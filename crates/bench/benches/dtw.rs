@@ -1,0 +1,61 @@
+//! Microbenchmarks of the time-warping distance kernels: the full DP, the
+//! early-abandoning decision procedure, and the banded variant, across the
+//! three recurrences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_core::distance::{dtw, dtw_banded, dtw_within, DtwKind};
+use tw_workload::{generate_random_walks, RandomWalkConfig};
+
+fn inputs(len: usize) -> (Vec<f64>, Vec<f64>) {
+    let data = generate_random_walks(&RandomWalkConfig::paper(2, len), 11);
+    (data[0].clone(), data[1].clone())
+}
+
+fn bench_full_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_full");
+    for len in [64usize, 256, 1024] {
+        let (s, q) = inputs(len);
+        for kind in [DtwKind::SumAbs, DtwKind::MaxAbs] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), len),
+                &(&s, &q),
+                |b, (s, q)| b.iter(|| dtw(black_box(s), black_box(q), kind)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_early_abandon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_within");
+    for len in [256usize, 1024] {
+        let (s, q) = inputs(len);
+        // A far pair abandons almost immediately; a near pair runs the DP to
+        // completion. Both cases matter: the scan baselines live on the far
+        // case, the verification step on the near one.
+        let far: Vec<f64> = s.iter().map(|v| v + 50.0).collect();
+        group.bench_with_input(BenchmarkId::new("far-abandons", len), &(), |b, ()| {
+            b.iter(|| dtw_within(black_box(&far), black_box(&q), DtwKind::MaxAbs, 0.1))
+        });
+        group.bench_with_input(BenchmarkId::new("near-completes", len), &(), |b, ()| {
+            b.iter(|| dtw_within(black_box(&s), black_box(&q), DtwKind::MaxAbs, 50.0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_banded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_banded");
+    let (s, q) = inputs(1024);
+    for w in [10usize, 100, 1024] {
+        group.bench_with_input(BenchmarkId::new("width", w), &w, |b, &w| {
+            b.iter(|| dtw_banded(black_box(&s), black_box(&q), DtwKind::MaxAbs, w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_dp, bench_early_abandon, bench_banded);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion counterpart of Figure 3: per-query wall time of each method on
+//! the stock data set as the tolerance varies. (The `experiments` binary
+//! reports the modeled 2001-disk elapsed time; this bench measures raw CPU.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_bench::experiments::stock_dataset;
+use tw_bench::runner::{build_store, Engines, Method};
+use tw_core::distance::DtwKind;
+use tw_core::search::{LbScan, NaiveScan};
+use tw_workload::generate_queries;
+
+fn bench_fig3(c: &mut Criterion) {
+    let data = stock_dataset(1);
+    let store = build_store(&data);
+    let engines = Engines::build(&store, &Method::ALL);
+    let queries = generate_queries(&data, 4, 2);
+    let mut group = c.benchmark_group("fig3_tolerance");
+    group.sample_size(10);
+    for eps in [0.05f64, 0.2, 0.5] {
+        group.bench_with_input(BenchmarkId::new("naive-scan", format!("{eps}")), &eps, |b, &eps| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(NaiveScan::search(&store, q, eps, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lb-scan", format!("{eps}")), &eps, |b, &eps| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(LbScan::search(&store, q, eps, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        let st = engines.st_filter.as_ref().unwrap();
+        group.bench_with_input(BenchmarkId::new("st-filter", format!("{eps}")), &eps, |b, &eps| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(st.search(&store, q, eps, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        let tw = engines.tw_sim.as_ref().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("tw-sim-search", format!("{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(tw.search(&store, q, eps, DtwKind::MaxAbs).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion counterpart of Figure 4: per-query wall time vs database size
+//! (random walks, fixed length, eps = 0.1). Sizes are scaled down so the
+//! bench finishes quickly; the `experiments` binary runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_bench::runner::{build_store, Engines, Method};
+use tw_core::distance::DtwKind;
+use tw_core::search::{LbScan, NaiveScan};
+use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_scale");
+    group.sample_size(10);
+    for n in [500usize, 2_000, 8_000] {
+        let data = generate_random_walks(&RandomWalkConfig::paper(n, 200), 9);
+        let store = build_store(&data);
+        let engines = Engines::build(&store, &[Method::TwSimSearch]);
+        let tw = engines.tw_sim.as_ref().unwrap();
+        let queries = generate_queries(&data, 2, 10);
+        group.bench_with_input(BenchmarkId::new("naive-scan", n), &(), |b, ()| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(NaiveScan::search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lb-scan", n), &(), |b, ()| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(LbScan::search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tw-sim-search", n), &(), |b, ()| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tw.search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion counterpart of Figure 5: per-query wall time vs sequence length
+//! (random walks, fixed count, eps = 0.1). Scaled down for bench runtime;
+//! the `experiments` binary runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_bench::runner::{build_store, Engines, Method};
+use tw_core::distance::DtwKind;
+use tw_core::search::{LbScan, NaiveScan};
+use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_length");
+    group.sample_size(10);
+    for len in [100usize, 400, 1_600] {
+        let data = generate_random_walks(&RandomWalkConfig::paper(1_000, len), 13);
+        let store = build_store(&data);
+        let engines = Engines::build(&store, &[Method::TwSimSearch]);
+        let tw = engines.tw_sim.as_ref().unwrap();
+        let queries = generate_queries(&data, 2, 14);
+        group.bench_with_input(BenchmarkId::new("naive-scan", len), &(), |b, ()| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(NaiveScan::search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lb-scan", len), &(), |b, ()| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(LbScan::search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tw-sim-search", len), &(), |b, ()| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(tw.search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Microbenchmarks of the lower-bound distances: the paper's `D_tw-lb`
+//! (LB_Kim), Yi et al.'s `D_lb`, and Keogh's envelope bound. Their whole
+//! value proposition is being orders of magnitude cheaper than the DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_core::distance::DtwKind;
+use tw_core::{lb_keogh, lb_kim, lb_yi};
+use tw_workload::{generate_random_walks, RandomWalkConfig};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bounds");
+    for len in [128usize, 1024, 8192] {
+        let data = generate_random_walks(&RandomWalkConfig::paper(2, len), 5);
+        let (s, q) = (&data[0], &data[1]);
+        group.bench_with_input(BenchmarkId::new("lb_kim", len), &(), |b, ()| {
+            b.iter(|| lb_kim(black_box(s), black_box(q)))
+        });
+        group.bench_with_input(BenchmarkId::new("lb_yi", len), &(), |b, ()| {
+            b.iter(|| lb_yi(black_box(s), black_box(q), DtwKind::MaxAbs))
+        });
+        group.bench_with_input(BenchmarkId::new("lb_keogh_w16", len), &(), |b, ()| {
+            b.iter(|| lb_keogh(black_box(s), black_box(q), DtwKind::MaxAbs, 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the R-tree substrate: insertion, bulk loading, and
+//! range queries across split algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_core::FeatureVector;
+use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
+use tw_workload::{generate_random_walks, RandomWalkConfig};
+
+fn feature_points(n: usize, len: usize) -> Vec<(Point<4>, u64)> {
+    generate_random_walks(&RandomWalkConfig::paper(n, len), 3)
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (FeatureVector::from_values(s).as_point(), i as u64))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_build");
+    group.sample_size(10);
+    let points = feature_points(10_000, 64);
+    for split in [
+        SplitAlgorithm::Linear,
+        SplitAlgorithm::Quadratic,
+        SplitAlgorithm::RStar,
+    ] {
+        let config = RTreeConfig::for_page_size::<4>(1024, split);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{split:?}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut t = RTree::new(config);
+                    for &(p, id) in &points {
+                        t.insert_point(p, id);
+                    }
+                    black_box(t.len())
+                })
+            },
+        );
+    }
+    let config = RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic);
+    group.bench_function("bulk_load_str", |b| {
+        b.iter(|| black_box(RTree::bulk_load(config, points.clone()).len()))
+    });
+    group.finish();
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree_range");
+    let points = feature_points(50_000, 64);
+    let config = RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic);
+    let tree = RTree::bulk_load(config, points);
+    let center = Point::new([5.0, 5.0, 6.0, 4.0]);
+    for eps in [0.01f64, 0.1, 1.0] {
+        group.bench_with_input(BenchmarkId::new("epsilon", format!("{eps}")), &eps, |b, &eps| {
+            b.iter(|| black_box(tree.range_centered(&center, eps).ids.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_range_query);
+criterion_main!(benches);

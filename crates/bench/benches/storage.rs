@@ -1,0 +1,40 @@
+//! Microbenchmarks of the storage substrate: append/get/scan paths and the
+//! buffer pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_storage::SequenceStore;
+use tw_workload::{generate_random_walks, RandomWalkConfig};
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    let data = generate_random_walks(&RandomWalkConfig::paper(1_000, 200), 9);
+
+    group.bench_function("append_1000x200", |b| {
+        b.iter(|| {
+            let mut store = SequenceStore::in_memory();
+            for s in &data {
+                store.append(s).unwrap();
+            }
+            black_box(store.len())
+        })
+    });
+
+    let mut store = SequenceStore::in_memory();
+    for s in &data {
+        store.append(s).unwrap();
+    }
+    group.bench_function("scan_1000x200", |b| {
+        b.iter(|| black_box(store.scan().unwrap().len()))
+    });
+    for id in [0u64, 500, 999] {
+        group.bench_with_input(BenchmarkId::new("random_get", id), &id, |b, &id| {
+            b.iter(|| black_box(store.get(id).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmarks of the suffix-tree substrate: Ukkonen construction and
+//! the ST-Filter traversal — the costs that §3.4 blames for ST-Filter's
+//! whole-matching performance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tw_suffix::{CategoryMethod, StFilter, SuffixTree};
+use tw_workload::{generate_random_walks, generate_stocks, normalize_to_unit_range, RandomWalkConfig, StockConfig};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_build");
+    group.sample_size(10);
+    for total_elems in [10_000usize, 50_000] {
+        let data = generate_random_walks(&RandomWalkConfig::paper(total_elems / 100, 100), 3);
+        group.bench_with_input(
+            BenchmarkId::new("st_filter_100cats", total_elems),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    black_box(
+                        StFilter::build(&data, 100, CategoryMethod::EqualWidth)
+                            .tree()
+                            .node_count(),
+                    )
+                })
+            },
+        );
+    }
+    // Raw Ukkonen over symbol strings (no categorization overhead).
+    let strings: Vec<Vec<u32>> = (0..100)
+        .map(|i| (0..500).map(|j| ((i * j) % 50) as u32).collect())
+        .collect();
+    group.bench_function("ukkonen_50k_symbols", |b| {
+        b.iter(|| black_box(SuffixTree::build(&strings, 1 << 16).node_count()))
+    });
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_traversal");
+    group.sample_size(10);
+    let mut data = generate_stocks(
+        &StockConfig {
+            count: 200,
+            mean_len: 120,
+            len_jitter: 30,
+        },
+        5,
+    );
+    normalize_to_unit_range(&mut data, 1.0, 10.0);
+    let filter = StFilter::build(&data, 100, CategoryMethod::EqualWidth);
+    let query = data[0].clone();
+    for eps in [0.05f64, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::new("whole_match", format!("{eps}")),
+            &eps,
+            |b, &eps| b.iter(|| black_box(filter.whole_match_candidates(&query, eps).ids.len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_traversal);
+criterion_main!(benches);

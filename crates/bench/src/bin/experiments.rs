@@ -1,0 +1,110 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [EXPERIMENT ...] [--full] [--queries N] [--paper-queries]
+//!             [--seed S] [--results DIR]
+//!
+//! EXPERIMENT: fig2 | fig3 | fig4 | fig5 | ablation-base | ablation-fastmap
+//!           | ablation-rtree | ablation-categories | subsequence | all
+//! ```
+//!
+//! Defaults run a scaled-down grid that finishes in minutes on one core;
+//! `--full` runs the paper's grid (hours). Results are printed and written
+//! as CSV under `results/`.
+
+use std::process::ExitCode;
+
+use tw_bench::{
+    ablation_band, ablation_base_distance, ablation_categories, ablation_fastmap, ablation_rtree,
+    fig2, fig3, fig4, fig5, subsequence_demo, ExperimentConfig, Table,
+};
+
+const USAGE: &str = "usage: experiments [fig2|fig3|fig4|fig5|ablation-base|ablation-fastmap|\
+ablation-rtree|ablation-categories|ablation-band|subsequence|all ...] [--full] [--queries N] \
+[--paper-queries] [--seed S] [--results DIR]";
+
+fn main() -> ExitCode {
+    let mut config = ExperimentConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => config.full = true,
+            "--paper-queries" => config.queries = 100,
+            "--queries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => config.queries = n,
+                _ => return usage_error("--queries needs a positive integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => return usage_error("--seed needs an integer"),
+            },
+            "--results" => match args.next() {
+                Some(dir) => config.results_dir = dir.into(),
+                None => return usage_error("--results needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => selected.push(name.to_string()),
+            other => return usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = [
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "ablation-base",
+            "ablation-fastmap",
+            "ablation-rtree",
+            "ablation-categories",
+            "ablation-band",
+            "subsequence",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!(
+        "running {} experiment(s); queries per point: {}; grid: {}; seed: {}",
+        selected.len(),
+        config.queries,
+        if config.full { "FULL (paper)" } else { "default (scaled)" },
+        config.seed
+    );
+    for name in &selected {
+        let started = std::time::Instant::now();
+        let table: Table = match name.as_str() {
+            "fig2" => fig2(&config),
+            "fig3" => fig3(&config),
+            "fig4" => fig4(&config),
+            "fig5" => fig5(&config),
+            "ablation-base" => ablation_base_distance(&config),
+            "ablation-fastmap" => ablation_fastmap(&config),
+            "ablation-rtree" => ablation_rtree(&config),
+            "ablation-categories" => ablation_categories(&config),
+            "ablation-band" => ablation_band(&config),
+            "subsequence" => subsequence_demo(&config),
+            other => {
+                eprintln!("unknown experiment: {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("\n{}", table.render());
+        println!(
+            "[{name} finished in {:.1}s; CSV in {}]",
+            started.elapsed().as_secs_f64(),
+            config.results_dir.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

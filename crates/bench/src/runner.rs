@@ -1,0 +1,232 @@
+//! Query-batch execution over the four methods.
+
+use std::time::Duration;
+
+use tw_core::distance::DtwKind;
+use tw_core::search::{LbScan, NaiveScan, SearchStats, StFilterSearch, TwSimSearch};
+use tw_storage::{HardwareModel, MemPager, SequenceStore};
+
+/// The four methods of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    NaiveScan,
+    LbScan,
+    StFilter,
+    TwSimSearch,
+}
+
+impl Method {
+    /// All four, in the order the paper's figures list them.
+    pub const ALL: [Method; 4] = [
+        Method::NaiveScan,
+        Method::LbScan,
+        Method::StFilter,
+        Method::TwSimSearch,
+    ];
+
+    /// Label used in tables and CSV files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::NaiveScan => "naive-scan",
+            Method::LbScan => "lb-scan",
+            Method::StFilter => "st-filter",
+            Method::TwSimSearch => "tw-sim-search",
+        }
+    }
+}
+
+/// Aggregated outcome of one method over a query batch.
+#[derive(Debug, Clone)]
+pub struct MethodBatch {
+    pub method: Method,
+    /// Summed stats over the batch.
+    pub stats: SearchStats,
+    /// Total matches across the batch.
+    pub total_matches: usize,
+    /// Queries executed.
+    pub queries: usize,
+}
+
+impl MethodBatch {
+    /// Mean candidate ratio per query.
+    pub fn mean_candidate_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.stats.candidate_ratio() / self.queries as f64
+    }
+
+    /// Mean modeled elapsed time per query under the hardware model.
+    pub fn mean_modeled_elapsed(&self, hw: &HardwareModel) -> Duration {
+        if self.queries == 0 {
+            return Duration::ZERO;
+        }
+        self.stats.modeled_elapsed(hw) / self.queries as u32
+    }
+
+    /// Mean measured CPU time per query.
+    pub fn mean_cpu(&self) -> Duration {
+        if self.queries == 0 {
+            return Duration::ZERO;
+        }
+        self.stats.cpu_time / self.queries as u32
+    }
+
+    /// Mean matches per query.
+    pub fn mean_matches(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.total_matches as f64 / self.queries as f64
+    }
+}
+
+/// Outcome of a full batch across the requested methods.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    pub per_method: Vec<MethodBatch>,
+}
+
+impl BatchOutcome {
+    /// The batch entry for one method, if it ran.
+    pub fn get(&self, method: Method) -> Option<&MethodBatch> {
+        self.per_method.iter().find(|m| m.method == method)
+    }
+}
+
+/// Loads a data set into an in-memory, 1 KB-paged sequence store.
+pub fn build_store(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
+    let mut store = SequenceStore::in_memory();
+    for s in data {
+        store.append(s).expect("append synthetic sequence");
+    }
+    store
+}
+
+/// Pre-built engines for a store, so batch runs don't pay build cost per
+/// query.
+pub struct Engines {
+    pub tw_sim: Option<TwSimSearch>,
+    pub st_filter: Option<StFilterSearch>,
+}
+
+impl Engines {
+    /// Builds the engines needed by `methods`.
+    pub fn build(store: &SequenceStore<MemPager>, methods: &[Method]) -> Self {
+        let tw_sim = methods
+            .contains(&Method::TwSimSearch)
+            .then(|| TwSimSearch::build(store).expect("build TW-Sim-Search index"));
+        let st_filter = methods
+            .contains(&Method::StFilter)
+            .then(|| StFilterSearch::build(store).expect("build ST-Filter"));
+        Self { tw_sim, st_filter }
+    }
+}
+
+/// Runs every query through every requested method, checking that all exact
+/// methods return identical result sets (the no-false-dismissal guarantee is
+/// verified on every batch, not assumed).
+pub fn run_batch(
+    store: &SequenceStore<MemPager>,
+    engines: &Engines,
+    queries: &[Vec<f64>],
+    epsilon: f64,
+    kind: DtwKind,
+    methods: &[Method],
+) -> BatchOutcome {
+    let mut per_method: Vec<MethodBatch> = methods
+        .iter()
+        .map(|&method| MethodBatch {
+            method,
+            stats: SearchStats::default(),
+            total_matches: 0,
+            queries: 0,
+        })
+        .collect();
+
+    for query in queries {
+        let mut reference_ids: Option<Vec<u64>> = None;
+        for batch in per_method.iter_mut() {
+            let result = match batch.method {
+                Method::NaiveScan => NaiveScan::search(store, query, epsilon, kind),
+                Method::LbScan => LbScan::search(store, query, epsilon, kind),
+                Method::StFilter => engines
+                    .st_filter
+                    .as_ref()
+                    .expect("ST-Filter engine built")
+                    .search(store, query, epsilon, kind),
+                Method::TwSimSearch => engines
+                    .tw_sim
+                    .as_ref()
+                    .expect("TW-Sim-Search engine built")
+                    .search(store, query, epsilon, kind),
+            }
+            .expect("query execution");
+            let ids = result.ids();
+            match &reference_ids {
+                None => reference_ids = Some(ids),
+                Some(reference) => assert_eq!(
+                    reference,
+                    &ids,
+                    "{} disagrees with the reference result set",
+                    batch.method.label()
+                ),
+            }
+            batch.stats.accumulate(&result.stats);
+            batch.total_matches += result.matches.len();
+            batch.queries += 1;
+        }
+    }
+    BatchOutcome { per_method }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
+
+    #[test]
+    fn batch_runs_all_methods_and_they_agree() {
+        let data = generate_random_walks(&RandomWalkConfig::paper(40, 30), 1);
+        let store = build_store(&data);
+        let engines = Engines::build(&store, &Method::ALL);
+        let queries = generate_queries(&data, 5, 2);
+        let outcome = run_batch(
+            &store,
+            &engines,
+            &queries,
+            0.2,
+            DtwKind::MaxAbs,
+            &Method::ALL,
+        );
+        assert_eq!(outcome.per_method.len(), 4);
+        let naive = outcome.get(Method::NaiveScan).unwrap();
+        let tw = outcome.get(Method::TwSimSearch).unwrap();
+        assert_eq!(naive.total_matches, tw.total_matches);
+        assert_eq!(naive.queries, 5);
+        // TW-Sim-Search candidates never exceed the database-per-query total.
+        assert!(tw.stats.candidates <= naive.stats.db_size * 5);
+    }
+
+    #[test]
+    fn modeled_time_orders_methods_sanely() {
+        // On a small but not tiny store, the scans pay sequential I/O while
+        // the index pays a few random reads: TW-Sim must be cheapest.
+        let data = generate_random_walks(&RandomWalkConfig::paper(300, 120), 3);
+        let store = build_store(&data);
+        let engines = Engines::build(&store, &[Method::NaiveScan, Method::TwSimSearch]);
+        let queries = generate_queries(&data, 3, 4);
+        let outcome = run_batch(
+            &store,
+            &engines,
+            &queries,
+            0.05,
+            DtwKind::MaxAbs,
+            &[Method::NaiveScan, Method::TwSimSearch],
+        );
+        let hw = HardwareModel::icde2001();
+        let naive = outcome.get(Method::NaiveScan).unwrap().mean_modeled_elapsed(&hw);
+        let tw = outcome.get(Method::TwSimSearch).unwrap().mean_modeled_elapsed(&hw);
+        assert!(tw < naive, "tw {tw:?} >= naive {naive:?}");
+    }
+}

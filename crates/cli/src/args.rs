@@ -1,0 +1,435 @@
+//! Hand-rolled argument parsing (the workspace's dependency policy keeps
+//! `clap` out; the grammar is small enough for a direct parser).
+
+use std::path::PathBuf;
+
+/// A fully parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Generate {
+        kind: DataKind,
+        count: usize,
+        len: usize,
+        seed: u64,
+        out: PathBuf,
+    },
+    Index {
+        db: PathBuf,
+        out: PathBuf,
+    },
+    Info {
+        db: PathBuf,
+        index: Option<PathBuf>,
+    },
+    Query {
+        db: PathBuf,
+        index: Option<PathBuf>,
+        epsilon: f64,
+        source: QuerySource,
+        knn: Option<usize>,
+    },
+    Bench {
+        db: PathBuf,
+        epsilon: f64,
+        queries: usize,
+        seed: u64,
+    },
+    Align {
+        db: PathBuf,
+        a: u64,
+        b: u64,
+    },
+    Subseq {
+        db: PathBuf,
+        epsilon: f64,
+        values: Vec<f64>,
+        min_len: usize,
+        max_len: usize,
+    },
+    Help,
+}
+
+/// Which generator fills a new database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataKind {
+    Walk,
+    Stock,
+    Cbf,
+}
+
+/// Where the query sequence comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySource {
+    /// Comma-separated literal values.
+    Values(Vec<f64>),
+    /// A stored sequence used as the query.
+    FromId(u64),
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `twsearch help`.
+pub const USAGE: &str = "\
+twsearch — similarity search supporting time warping (ICDE 2001 reproduction)
+
+USAGE:
+  twsearch generate --kind walk|stock|cbf --count N --len L [--seed S] --out DB
+  twsearch index    --db DB --out INDEX
+  twsearch info     --db DB [--index INDEX]
+  twsearch query    --db DB [--index INDEX] --eps E (--values v1,v2,... | --from-id N) [--knn K]
+  twsearch bench    --db DB --eps E [--queries N] [--seed S]
+  twsearch align    --db DB --a ID --b ID
+  twsearch subseq   --db DB --eps E --values v1,v2,... [--min-len N] [--max-len N]
+  twsearch help";
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, ParseError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(ParseError(format!("unexpected argument '{flag}'")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn take(&mut self, name: &str) -> Option<String> {
+        let pos = self.pairs.iter().position(|(n, _)| n == name)?;
+        Some(self.pairs.remove(pos).1)
+    }
+
+    fn require(&mut self, name: &str) -> Result<String, ParseError> {
+        self.take(name)
+            .ok_or_else(|| ParseError(format!("missing required flag --{name}")))
+    }
+
+    fn finish(self) -> Result<(), ParseError> {
+        if let Some((name, _)) = self.pairs.into_iter().next() {
+            return Err(ParseError(format!("unknown flag --{name}")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, ParseError> {
+    raw.parse()
+        .map_err(|_| ParseError(format!("--{name}: cannot parse '{raw}'")))
+}
+
+/// Parses the full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match verb.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let mut flags = Flags::parse(rest)?;
+            let kind = match flags.require("kind")?.as_str() {
+                "walk" => DataKind::Walk,
+                "stock" => DataKind::Stock,
+                "cbf" => DataKind::Cbf,
+                other => return Err(ParseError(format!("unknown data kind '{other}'"))),
+            };
+            let count = parse_num("count", &flags.require("count")?)?;
+            let len = parse_num("len", &flags.require("len")?)?;
+            let seed = match flags.take("seed") {
+                Some(raw) => parse_num("seed", &raw)?,
+                None => 42,
+            };
+            let out = PathBuf::from(flags.require("out")?);
+            flags.finish()?;
+            if count == 0 || len == 0 {
+                return Err(ParseError("--count and --len must be positive".into()));
+            }
+            Ok(Command::Generate {
+                kind,
+                count,
+                len,
+                seed,
+                out,
+            })
+        }
+        "index" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let out = PathBuf::from(flags.require("out")?);
+            flags.finish()?;
+            Ok(Command::Index { db, out })
+        }
+        "info" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let index = flags.take("index").map(PathBuf::from);
+            flags.finish()?;
+            Ok(Command::Info { db, index })
+        }
+        "query" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let index = flags.take("index").map(PathBuf::from);
+            let epsilon: f64 = parse_num("eps", &flags.require("eps")?)?;
+            let values = flags.take("values");
+            let from_id = flags.take("from-id");
+            let knn = match flags.take("knn") {
+                Some(raw) => Some(parse_num("knn", &raw)?),
+                None => None,
+            };
+            flags.finish()?;
+            let source = match (values, from_id) {
+                (Some(csv), None) => {
+                    let parsed: Result<Vec<f64>, _> = csv
+                        .split(',')
+                        .map(|tok| parse_num::<f64>("values", tok.trim()))
+                        .collect();
+                    QuerySource::Values(parsed?)
+                }
+                (None, Some(raw)) => QuerySource::FromId(parse_num("from-id", &raw)?),
+                _ => {
+                    return Err(ParseError(
+                        "query needs exactly one of --values or --from-id".into(),
+                    ))
+                }
+            };
+            if epsilon.is_nan() || epsilon < 0.0 {
+                return Err(ParseError(format!(
+                    "--eps must be non-negative, got {epsilon}"
+                )));
+            }
+            Ok(Command::Query {
+                db,
+                index,
+                epsilon,
+                source,
+                knn,
+            })
+        }
+        "subseq" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let epsilon: f64 = parse_num("eps", &flags.require("eps")?)?;
+            let csv = flags.require("values")?;
+            let values: Vec<f64> = csv
+                .split(',')
+                .map(|tok| parse_num::<f64>("values", tok.trim()))
+                .collect::<Result<_, _>>()?;
+            let min_len = match flags.take("min-len") {
+                Some(raw) => parse_num("min-len", &raw)?,
+                None => values.len().saturating_sub(values.len() / 2).max(1),
+            };
+            let max_len = match flags.take("max-len") {
+                Some(raw) => parse_num("max-len", &raw)?,
+                None => values.len() * 2,
+            };
+            flags.finish()?;
+            if values.is_empty() {
+                return Err(ParseError("--values must be non-empty".into()));
+            }
+            if epsilon.is_nan() || epsilon < 0.0 {
+                return Err(ParseError(format!(
+                    "--eps must be non-negative, got {epsilon}"
+                )));
+            }
+            Ok(Command::Subseq {
+                db,
+                epsilon,
+                values,
+                min_len,
+                max_len,
+            })
+        }
+        "align" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let a = parse_num("a", &flags.require("a")?)?;
+            let b = parse_num("b", &flags.require("b")?)?;
+            flags.finish()?;
+            Ok(Command::Align { db, a, b })
+        }
+        "bench" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let epsilon = parse_num("eps", &flags.require("eps")?)?;
+            let queries = match flags.take("queries") {
+                Some(raw) => parse_num("queries", &raw)?,
+                None => 10,
+            };
+            let seed = match flags.take("seed") {
+                Some(raw) => parse_num("seed", &raw)?,
+                None => 7,
+            };
+            flags.finish()?;
+            Ok(Command::Bench {
+                db,
+                epsilon,
+                queries,
+                seed,
+            })
+        }
+        other => Err(ParseError(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn generate_full() {
+        let cmd = parse(&argv(
+            "generate --kind walk --count 100 --len 50 --seed 9 --out db.tws",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                kind: DataKind::Walk,
+                count: 100,
+                len: 50,
+                seed: 9,
+                out: "db.tws".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults_seed() {
+        let cmd = parse(&argv("generate --kind stock --count 5 --len 9 --out x")).unwrap();
+        assert!(matches!(cmd, Command::Generate { seed: 42, .. }));
+    }
+
+    #[test]
+    fn generate_rejects_zero_count() {
+        assert!(parse(&argv("generate --kind cbf --count 0 --len 9 --out x")).is_err());
+    }
+
+    #[test]
+    fn query_with_values() {
+        let cmd = parse(&argv("query --db d --eps 0.5 --values 1.0,2.5,3")).unwrap();
+        match cmd {
+            Command::Query {
+                epsilon, source, ..
+            } => {
+                assert_eq!(epsilon, 0.5);
+                assert_eq!(source, QuerySource::Values(vec![1.0, 2.5, 3.0]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_with_from_id_and_knn() {
+        let cmd = parse(&argv("query --db d --index i --eps 1 --from-id 7 --knn 3")).unwrap();
+        match cmd {
+            Command::Query {
+                index,
+                source,
+                knn,
+                ..
+            } => {
+                assert_eq!(index, Some("i".into()));
+                assert_eq!(source, QuerySource::FromId(7));
+                assert_eq!(knn, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_needs_exactly_one_source() {
+        assert!(parse(&argv("query --db d --eps 1")).is_err());
+        assert!(parse(&argv("query --db d --eps 1 --values 1 --from-id 2")).is_err());
+    }
+
+    #[test]
+    fn query_rejects_negative_eps() {
+        let e = parse(&argv("query --db d --eps -1 --from-id 0")).unwrap_err();
+        assert!(e.0.contains("non-negative"));
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_rejected() {
+        assert!(parse(&argv("generate --kind walk --count 1 --len 1 --out x --bogus 1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("index --db d")).is_err()); // missing --out
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn subseq_parses_with_defaults() {
+        let cmd = parse(&argv("subseq --db d --eps 0.5 --values 1,2,3,4")).unwrap();
+        match cmd {
+            Command::Subseq {
+                epsilon,
+                values,
+                min_len,
+                max_len,
+                ..
+            } => {
+                assert_eq!(epsilon, 0.5);
+                assert_eq!(values.len(), 4);
+                assert_eq!(min_len, 2);
+                assert_eq!(max_len, 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("subseq --db d --eps 0.5 --values")).is_err());
+    }
+
+    #[test]
+    fn align_parses() {
+        let cmd = parse(&argv("align --db d --a 3 --b 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Align {
+                db: "d".into(),
+                a: 3,
+                b: 7
+            }
+        );
+        assert!(parse(&argv("align --db d --a 3")).is_err());
+    }
+
+    #[test]
+    fn bench_defaults() {
+        let cmd = parse(&argv("bench --db d --eps 0.2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                db: "d".into(),
+                epsilon: 0.2,
+                queries: 10,
+                seed: 7,
+            }
+        );
+    }
+}

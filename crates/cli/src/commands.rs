@@ -1,0 +1,515 @@
+//! Command implementations. Every command works against the on-disk formats
+//! (paged sequence store + serialized R-tree), so the CLI demonstrates the
+//! full persistence path of the library.
+
+use std::io::Write;
+use std::path::Path;
+
+use tw_core::distance::DtwKind;
+use tw_core::search::{LbScan, NaiveScan, SubsequenceIndex, TwSimSearch, WindowSpec};
+use tw_core::FeatureVector;
+use tw_rtree::RTree;
+use tw_storage::{FilePager, HardwareModel, SequenceStore};
+use tw_workload::{
+    cbf_dataset, generate_queries, generate_random_walks, generate_stocks,
+    normalize_to_unit_range, RandomWalkConfig, StockConfig,
+};
+
+use crate::args::{Command, DataKind, QuerySource, USAGE};
+
+/// A command failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail<E: std::fmt::Display>(context: &str) -> impl FnOnce(E) -> CliError + '_ {
+    move |e| CliError(format!("{context}: {e}"))
+}
+
+fn open_store(db: &Path) -> Result<SequenceStore<FilePager>, CliError> {
+    let pager = FilePager::open(db, 1024).map_err(fail(&format!("open {}", db.display())))?;
+    SequenceStore::open(pager, 256).map_err(fail("read store"))
+}
+
+fn load_index(path: &Path) -> Result<RTree<4>, CliError> {
+    let raw = std::fs::read(path).map_err(fail(&format!("read {}", path.display())))?;
+    RTree::from_bytes(raw.into()).map_err(fail("decode index"))
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}").map_err(fail("write"))?;
+            Ok(())
+        }
+        Command::Generate {
+            kind,
+            count,
+            len,
+            seed,
+            out: path,
+        } => generate(kind, count, len, seed, &path, out),
+        Command::Index { db, out: path } => index(&db, &path, out),
+        Command::Info { db, index } => info(&db, index.as_deref(), out),
+        Command::Query {
+            db,
+            index,
+            epsilon,
+            source,
+            knn,
+        } => query(&db, index.as_deref(), epsilon, source, knn, out),
+        Command::Bench {
+            db,
+            epsilon,
+            queries,
+            seed,
+        } => bench(&db, epsilon, queries, seed, out),
+        Command::Align { db, a, b } => align(&db, a, b, out),
+        Command::Subseq {
+            db,
+            epsilon,
+            values,
+            min_len,
+            max_len,
+        } => subseq(&db, epsilon, &values, min_len, max_len, out),
+    }
+}
+
+fn subseq(
+    db: &Path,
+    epsilon: f64,
+    values: &[f64],
+    min_len: usize,
+    max_len: usize,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let store = open_store(db)?;
+    let spec = WindowSpec::new(min_len, max_len, 2, 1).map_err(fail("window spec"))?;
+    let index = SubsequenceIndex::build(&store, spec).map_err(fail("build window index"))?;
+    let (matches, stats) = index
+        .search(&store, values, epsilon, DtwKind::MaxAbs)
+        .map_err(fail("subsequence query"))?;
+    writeln!(
+        out,
+        "{} window(s) within tolerance {epsilon} (indexed {} windows, verified {}):",
+        matches.len(),
+        index.window_count(),
+        stats.dtw_invocations
+    )
+    .map_err(fail("write"))?;
+    for m in matches.iter().take(50) {
+        writeln!(
+            out,
+            "  sequence {:>5}  [{:>5}..{:<5})  distance {:.4}",
+            m.id,
+            m.offset,
+            m.offset + m.len,
+            m.distance
+        )
+        .map_err(fail("write"))?;
+    }
+    if matches.len() > 50 {
+        writeln!(out, "  ... and {} more", matches.len() - 50).map_err(fail("write"))?;
+    }
+    Ok(())
+}
+
+fn align(db: &Path, a: u64, b: u64, out: &mut dyn Write) -> Result<(), CliError> {
+    let store = open_store(db)?;
+    let sa = store.get(a).map_err(fail(&format!("load sequence {a}")))?;
+    let sb = store.get(b).map_err(fail(&format!("load sequence {b}")))?;
+    if sa.is_empty() || sb.is_empty() {
+        return Err(CliError("cannot align empty sequences".into()));
+    }
+    let alignment = tw_core::Alignment::compute(&sa, &sb, DtwKind::MaxAbs);
+    writeln!(
+        out,
+        "aligning sequence {a} (len {}) with sequence {b} (len {}):\n{}",
+        sa.len(),
+        sb.len(),
+        alignment.render()
+    )
+    .map_err(fail("write"))?;
+    Ok(())
+}
+
+fn generate(
+    kind: DataKind,
+    count: usize,
+    len: usize,
+    seed: u64,
+    path: &Path,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let data: Vec<Vec<f64>> = match kind {
+        DataKind::Walk => generate_random_walks(&RandomWalkConfig::paper(count, len), seed),
+        DataKind::Stock => {
+            let mut d = generate_stocks(
+                &StockConfig {
+                    count,
+                    mean_len: len,
+                    len_jitter: len / 4,
+                },
+                seed,
+            );
+            normalize_to_unit_range(&mut d, 1.0, 10.0);
+            d
+        }
+        DataKind::Cbf => cbf_dataset(count, len, 0.2, seed)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect(),
+    };
+    let pager =
+        FilePager::create(path, 1024).map_err(fail(&format!("create {}", path.display())))?;
+    let mut store = SequenceStore::create(pager, 256).map_err(fail("create store"))?;
+    for s in &data {
+        store.append(s).map_err(fail("append"))?;
+    }
+    store.flush().map_err(fail("flush"))?;
+    writeln!(
+        out,
+        "wrote {} sequences ({} pages of 1 KB) to {}",
+        store.len(),
+        store.data_pages() + 1,
+        path.display()
+    )
+    .map_err(fail("write"))?;
+    Ok(())
+}
+
+fn index(db: &Path, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
+    let store = open_store(db)?;
+    let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
+    std::fs::write(path, engine.tree().to_bytes(1024))
+        .map_err(fail(&format!("write {}", path.display())))?;
+    writeln!(
+        out,
+        "indexed {} sequences: {} R-tree nodes, height {}, written to {}",
+        engine.len(),
+        engine.tree().node_count(),
+        engine.tree().height(),
+        path.display()
+    )
+    .map_err(fail("write"))?;
+    Ok(())
+}
+
+fn info(db: &Path, index: Option<&Path>, out: &mut dyn Write) -> Result<(), CliError> {
+    let store = open_store(db)?;
+    let lens: Vec<usize> = (0..store.len() as u64)
+        .map(|id| store.sequence_len(id).unwrap_or(0))
+        .collect();
+    let total: usize = lens.iter().sum();
+    writeln!(out, "database     {}", db.display()).map_err(fail("write"))?;
+    writeln!(out, "sequences    {}", store.len()).map_err(fail("write"))?;
+    if !lens.is_empty() {
+        writeln!(
+            out,
+            "lengths      min {} / mean {:.1} / max {}",
+            lens.iter().min().unwrap(),
+            total as f64 / lens.len() as f64,
+            lens.iter().max().unwrap()
+        )
+        .map_err(fail("write"))?;
+    }
+    writeln!(
+        out,
+        "storage      {} data pages ({} KiB)",
+        store.data_pages(),
+        store.data_bytes() / 1024
+    )
+    .map_err(fail("write"))?;
+    if let Some(index_path) = index {
+        let tree = load_index(index_path)?;
+        writeln!(
+            out,
+            "index        {} nodes, height {}, {} entries ({})",
+            tree.node_count(),
+            tree.height(),
+            tree.len(),
+            index_path.display()
+        )
+        .map_err(fail("write"))?;
+    }
+    Ok(())
+}
+
+fn query(
+    db: &Path,
+    index: Option<&Path>,
+    epsilon: f64,
+    source: QuerySource,
+    knn: Option<usize>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let store = open_store(db)?;
+    let query_values = match source {
+        QuerySource::Values(v) => v,
+        QuerySource::FromId(id) => store
+            .get(id)
+            .map_err(fail(&format!("load query sequence {id}")))?,
+    };
+    if query_values.is_empty() {
+        return Err(CliError("query sequence is empty".into()));
+    }
+
+    // With an index file: Algorithm 1 over the deserialized tree. Without:
+    // honest sequential scan.
+    let matches = if let Some(index_path) = index {
+        let tree = load_index(index_path)?;
+        let point = FeatureVector::from_values(&query_values).as_point();
+        let mut found = Vec::new();
+        for id in tree.range_centered(&point, epsilon).ids {
+            let values = store.get(id).map_err(fail("read candidate"))?;
+            let d = tw_core::dtw(&values, &query_values, DtwKind::MaxAbs).distance;
+            if d <= epsilon {
+                found.push((id, d));
+            }
+        }
+        found.sort_by_key(|&(id, _)| id);
+        found
+    } else {
+        NaiveScan::search(&store, &query_values, epsilon, DtwKind::MaxAbs)
+            .map_err(fail("scan"))?
+            .matches
+            .iter()
+            .map(|m| (m.id, m.distance))
+            .collect()
+    };
+
+    writeln!(
+        out,
+        "{} sequence(s) within tolerance {epsilon}:",
+        matches.len()
+    )
+    .map_err(fail("write"))?;
+    for (id, d) in &matches {
+        writeln!(out, "  id {id:>6}  distance {d:.4}").map_err(fail("write"))?;
+    }
+
+    if let Some(k) = knn {
+        let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
+        let (neighbors, _) = engine
+            .knn(&store, &query_values, k, DtwKind::MaxAbs)
+            .map_err(fail("knn"))?;
+        writeln!(out, "top-{k} nearest:").map_err(fail("write"))?;
+        for n in &neighbors {
+            writeln!(out, "  id {:>6}  distance {:.4}", n.id, n.distance).map_err(fail("write"))?;
+        }
+    }
+    Ok(())
+}
+
+fn bench(
+    db: &Path,
+    epsilon: f64,
+    queries: usize,
+    seed: u64,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let store = open_store(db)?;
+    let data = store.scan().map_err(fail("scan"))?;
+    let raw: Vec<Vec<f64>> = data.into_iter().map(|(_, v)| v).collect();
+    if raw.is_empty() {
+        return Err(CliError("database is empty".into()));
+    }
+    let query_set = generate_queries(&raw, queries, seed);
+    let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
+    let hw = HardwareModel::icde2001();
+
+    let mut report = |label: &str,
+                      run: &mut dyn FnMut(&[f64]) -> tw_core::SearchResult|
+     -> Result<(), CliError> {
+        let mut stats = tw_core::SearchStats::default();
+        let mut matches = 0usize;
+        for q in &query_set {
+            let r = run(q);
+            matches += r.matches.len();
+            stats.accumulate(&r.stats);
+        }
+        writeln!(
+            out,
+            "{label:>14}: {:.1} matches/query, {:.2}% candidates, cpu {:.1} ms, modeled {:.1} ms",
+            matches as f64 / query_set.len() as f64,
+            100.0 * stats.candidate_ratio() / query_set.len() as f64,
+            stats.cpu_time.as_secs_f64() * 1000.0 / query_set.len() as f64,
+            stats.modeled_elapsed(&hw).as_secs_f64() * 1000.0 / query_set.len() as f64,
+        )
+        .map_err(fail("write"))?;
+        Ok(())
+    };
+
+    report("naive-scan", &mut |q| {
+        NaiveScan::search(&store, q, epsilon, DtwKind::MaxAbs).expect("naive")
+    })?;
+    report("lb-scan", &mut |q| {
+        LbScan::search(&store, q, epsilon, DtwKind::MaxAbs).expect("lb")
+    })?;
+    report("tw-sim-search", &mut |q| {
+        engine
+            .search(&store, q, epsilon, DtwKind::MaxAbs)
+            .expect("tw")
+    })?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn run_str(line: &str) -> Result<String, CliError> {
+        let mut buf = Vec::new();
+        run(parse(&argv(line)).expect("parse"), &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8"))
+    }
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("twcli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = temp("flow");
+        let db = dir.join("db.tws");
+        let idx = dir.join("db.rtree");
+
+        let g = run_str(&format!(
+            "generate --kind walk --count 60 --len 40 --seed 5 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        assert!(g.contains("wrote 60 sequences"));
+
+        let i = run_str(&format!("index --db {} --out {}", db.display(), idx.display()))
+            .expect("index");
+        assert!(i.contains("indexed 60 sequences"));
+
+        let info = run_str(&format!("info --db {} --index {}", db.display(), idx.display()))
+            .expect("info");
+        assert!(info.contains("sequences    60"));
+        assert!(info.contains("index"));
+
+        // Query using a stored sequence: it must match itself at eps 0.
+        let q = run_str(&format!(
+            "query --db {} --index {} --eps 0.0 --from-id 3",
+            db.display(),
+            idx.display()
+        ))
+        .expect("query");
+        assert!(q.contains("id      3  distance 0.0000"), "{q}");
+
+        // And the indexed answer equals the scan answer at a loose eps.
+        let with_idx = run_str(&format!(
+            "query --db {} --index {} --eps 0.3 --from-id 3",
+            db.display(),
+            idx.display()
+        ))
+        .expect("query idx");
+        let no_idx = run_str(&format!(
+            "query --db {} --eps 0.3 --from-id 3",
+            db.display()
+        ))
+        .expect("query scan");
+        assert_eq!(with_idx, no_idx);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_with_literal_values_and_knn() {
+        let dir = temp("vals");
+        let db = dir.join("db.tws");
+        run_str(&format!(
+            "generate --kind cbf --count 30 --len 64 --seed 2 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        let out = run_str(&format!(
+            "query --db {} --eps 100 --values 0,0,3,6,6,3,0,0 --knn 3",
+            db.display()
+        ))
+        .expect("query");
+        assert!(out.contains("top-3 nearest:"));
+        assert!(out.matches("distance").count() >= 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_reports_three_methods() {
+        let dir = temp("bench");
+        let db = dir.join("db.tws");
+        run_str(&format!(
+            "generate --kind stock --count 40 --len 30 --seed 3 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        let out = run_str(&format!("bench --db {} --eps 0.1 --queries 3", db.display()))
+            .expect("bench");
+        assert!(out.contains("naive-scan"));
+        assert!(out.contains("lb-scan"));
+        assert!(out.contains("tw-sim-search"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subseq_finds_windows() {
+        let dir = temp("subseq");
+        let db = dir.join("db.tws");
+        run_str(&format!(
+            "generate --kind walk --count 8 --len 40 --seed 4 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        // A generous tolerance guarantees hits.
+        let out = run_str(&format!(
+            "subseq --db {} --eps 5 --values 5,5,5,5 --min-len 4 --max-len 8",
+            db.display()
+        ))
+        .expect("subseq");
+        assert!(out.contains("window(s) within tolerance"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn align_renders_mapping() {
+        let dir = temp("align");
+        let db = dir.join("db.tws");
+        run_str(&format!(
+            "generate --kind walk --count 5 --len 12 --seed 8 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        let out = run_str(&format!("align --db {} --a 0 --b 1", db.display())).expect("align");
+        assert!(out.contains("aligning sequence 0"));
+        assert!(out.contains("distance ="));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_database_is_a_clean_error() {
+        let err = run_str("info --db /nonexistent/nope.tws").unwrap_err();
+        assert!(err.0.contains("open"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str("help").expect("help");
+        assert!(out.contains("twsearch generate"));
+    }
+}

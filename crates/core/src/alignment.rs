@@ -1,0 +1,165 @@
+//! Warping-alignment utilities.
+//!
+//! §1 of the paper illustrates time warping by showing that
+//! `S = <20,21,21,20,20,23,23,23>` and `Q = <20,20,21,20,23>` "can be
+//! identically transformed into `<20,20,21,21,20,20,23,23,23>`". This module
+//! materializes that construction from the optimal warping path: both
+//! sequences stretched onto a common time axis, plus human-readable
+//! rendering of the element mapping `M` for diagnostics and examples.
+
+use crate::distance::{dtw_with_path, DtwKind};
+
+/// The optimal alignment of two sequences under a time-warping recurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    /// The time-warping distance of the pair.
+    pub distance: f64,
+    /// The element mapping `M` as `(index into s, index into q)` pairs,
+    /// monotone in both components.
+    pub path: Vec<(usize, usize)>,
+    /// `s` stretched onto the common axis (`len == path.len()`).
+    pub warped_s: Vec<f64>,
+    /// `q` stretched onto the common axis (`len == path.len()`).
+    pub warped_q: Vec<f64>,
+}
+
+impl Alignment {
+    /// Computes the optimal alignment. Costs the full `|s|·|q|` DP (no early
+    /// abandoning — the path itself is wanted).
+    ///
+    /// # Panics
+    /// Panics on empty input; alignment of an empty sequence is undefined.
+    pub fn compute(s: &[f64], q: &[f64], kind: DtwKind) -> Self {
+        assert!(
+            !s.is_empty() && !q.is_empty(),
+            "alignment requires non-empty sequences"
+        );
+        let (result, path) = dtw_with_path(s, q, kind);
+        let warped_s = path.iter().map(|&(i, _)| s[i]).collect();
+        let warped_q = path.iter().map(|&(_, j)| q[j]).collect();
+        Self {
+            distance: result.distance,
+            path,
+            warped_s,
+            warped_q,
+        }
+    }
+
+    /// Per-position gaps `|warped_s[i] - warped_q[i]|` along the alignment.
+    pub fn gaps(&self) -> Vec<f64> {
+        self.warped_s
+            .iter()
+            .zip(&self.warped_q)
+            .map(|(a, b)| (a - b).abs())
+            .collect()
+    }
+
+    /// The largest per-position gap — equals the distance under
+    /// [`DtwKind::MaxAbs`].
+    pub fn max_gap(&self) -> f64 {
+        self.gaps().into_iter().fold(0.0, f64::max)
+    }
+
+    /// How many times each element of `s` was replicated by the warping.
+    pub fn s_replication(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.path.last().map_or(0, |&(i, _)| i + 1)];
+        for &(i, _) in &self.path {
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    /// How many times each element of `q` was replicated by the warping.
+    pub fn q_replication(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.path.last().map_or(0, |&(_, j)| j + 1)];
+        for &(_, j) in &self.path {
+            counts[j] += 1;
+        }
+        counts
+    }
+
+    /// A compact multi-line rendering of the alignment, one column per
+    /// mapping, for logs and examples.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut top = String::from("s: ");
+        let mut bot = String::from("q: ");
+        let mut gap = String::from("d: ");
+        for (a, b) in self.warped_s.iter().zip(&self.warped_q) {
+            let _ = write!(top, "{a:>7.2}");
+            let _ = write!(bot, "{b:>7.2}");
+            let _ = write!(gap, "{:>7.2}", (a - b).abs());
+        }
+        format!("{top}\n{bot}\n{gap}\ndistance = {:.4}", self.distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_intro_pair_aligns_exactly() {
+        let s = [20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0, 23.0];
+        let q = [20.0, 20.0, 21.0, 20.0, 23.0];
+        let a = Alignment::compute(&s, &q, DtwKind::MaxAbs);
+        assert_eq!(a.distance, 0.0);
+        // The warped forms coincide (that is what distance 0 means).
+        assert_eq!(a.warped_s, a.warped_q);
+        assert_eq!(a.max_gap(), 0.0);
+        // The common warped form is at least as long as either input and the
+        // paper's stretched sequence has 9 elements.
+        assert!(a.path.len() >= s.len());
+        assert_eq!(a.warped_s.len(), 9);
+    }
+
+    #[test]
+    fn path_is_monotone_and_complete() {
+        let s = [1.0, 3.0, 2.0, 5.0];
+        let q = [1.5, 2.5, 5.5];
+        let a = Alignment::compute(&s, &q, DtwKind::SumAbs);
+        assert_eq!(a.path.first(), Some(&(0, 0)));
+        assert_eq!(a.path.last(), Some(&(3, 2)));
+        for w in a.path.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+            assert!(w[1].0 - w[0].0 <= 1 && w[1].1 - w[0].1 <= 1);
+            assert!(w[1] != w[0]);
+        }
+        // Every index of both sequences appears.
+        assert_eq!(a.s_replication().iter().sum::<usize>(), a.path.len());
+        assert!(a.s_replication().iter().all(|&c| c >= 1));
+        assert!(a.q_replication().iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn max_gap_equals_maxabs_distance() {
+        let s = [0.0, 4.0, 2.0, 7.0, 1.0];
+        let q = [0.5, 3.0, 7.5, 0.0];
+        let a = Alignment::compute(&s, &q, DtwKind::MaxAbs);
+        assert!((a.max_gap() - a.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_sum_equals_sumabs_distance() {
+        let s = [1.0, 2.0, 8.0];
+        let q = [1.5, 8.5];
+        let a = Alignment::compute(&s, &q, DtwKind::SumAbs);
+        let total: f64 = a.gaps().iter().sum();
+        assert!((total - a.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_shows_all_columns() {
+        let a = Alignment::compute(&[1.0, 2.0], &[1.0, 2.0, 2.0], DtwKind::MaxAbs);
+        let r = a.render();
+        assert!(r.starts_with("s: "));
+        assert!(r.contains("distance = 0.0000"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_panics() {
+        let _ = Alignment::compute(&[], &[1.0], DtwKind::MaxAbs);
+    }
+}

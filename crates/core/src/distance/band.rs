@@ -1,0 +1,150 @@
+//! Global-constraint (Sakoe–Chiba band) time warping.
+//!
+//! An extension beyond the paper: constraining the warping path to a band of
+//! half-width `w` around the (length-normalized) diagonal cuts the DP cost
+//! from `|S|·|Q|` to roughly `(|S|+|Q|)·w` and is standard practice in later
+//! DTW literature (the UCR suite, LB_Keogh). The banded distance
+//! upper-bounds the unconstrained one, so using it in the *post-filtering*
+//! step keeps the no-false-alarm side intact while it may dismiss matches the
+//! unconstrained distance would accept — the trade-off is measured by the
+//! harness ablations.
+
+use super::{DtwKind, DtwResult};
+
+/// Half-width that makes a band cover fraction `r` (0..=1) of the longer
+/// sequence, the conventional way band sizes are quoted (e.g. "10% band").
+pub fn sakoe_chiba_width(s_len: usize, q_len: usize, r: f64) -> usize {
+    assert!((0.0..=1.0).contains(&r), "band fraction must be in [0,1]");
+    let base = s_len.max(q_len) as f64;
+    (base * r).ceil() as usize
+}
+
+/// Time-warping distance constrained to a Sakoe–Chiba band of half-width `w`
+/// around the length-normalized diagonal.
+///
+/// With `w >= max(|S|, |Q|)` the result equals the unconstrained distance.
+/// Returns `+∞` when the band admits no complete path (never happens for
+/// `w >= 1` because the normalized diagonal itself is always admitted).
+pub fn dtw_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> DtwResult {
+    if s.is_empty() || q.is_empty() {
+        let distance = if s.len() == q.len() { 0.0 } else { f64::INFINITY };
+        return DtwResult { distance, cells: 0 };
+    }
+    let (n, m) = (s.len(), q.len());
+    // For different lengths the band must at least cover the slope gap.
+    let w = w.max(n.abs_diff(m));
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    let mut cells = 0u64;
+    for i in 1..=n {
+        // Band column range for row i (normalized diagonal j ≈ i * m / n).
+        let center = i * m / n;
+        let lo = center.saturating_sub(w).max(1);
+        let hi = (center + w).min(m);
+        cur[..lo].fill(f64::INFINITY);
+        for j in lo..=hi {
+            let gap = s[i - 1] - q[j - 1];
+            let best_prev = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = match kind {
+                DtwKind::SumAbs => gap.abs() + best_prev,
+                DtwKind::SumSquared => gap * gap + best_prev,
+                DtwKind::MaxAbs => gap.abs().max(best_prev),
+            };
+            cells += 1;
+        }
+        cur[hi + 1..=m].fill(f64::INFINITY);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let raw = prev[m];
+    let distance = match kind {
+        DtwKind::SumSquared if raw.is_finite() => raw.sqrt(),
+        _ => raw,
+    };
+    DtwResult { distance, cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dtw;
+    use super::*;
+
+    const KINDS: [DtwKind; 3] = [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs];
+
+    #[test]
+    fn full_band_equals_unconstrained() {
+        let s: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).sin() * 3.0).collect();
+        let q: Vec<f64> = (0..30).map(|i| (i as f64 * 0.25).cos() * 3.0).collect();
+        for kind in KINDS {
+            let banded = dtw_banded(&s, &q, kind, 40);
+            let full = dtw(&s, &q, kind);
+            assert!(
+                (banded.distance - full.distance).abs() < 1e-9,
+                "{kind:?}: {banded:?} vs {full:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_upper_bounds_unconstrained() {
+        let s: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64).collect();
+        let q: Vec<f64> = (0..50).map(|i| ((i * 5) % 11) as f64).collect();
+        for kind in KINDS {
+            let full = dtw(&s, &q, kind).distance;
+            for w in [1usize, 3, 10, 25] {
+                let banded = dtw_banded(&s, &q, kind, w).distance;
+                assert!(
+                    banded >= full - 1e-9,
+                    "{kind:?} w={w}: banded {banded} < full {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_width_monotone() {
+        let s: Vec<f64> = (0..60).map(|i| ((i * 3) % 17) as f64).collect();
+        let q: Vec<f64> = (0..60).map(|i| ((i * 11) % 19) as f64).collect();
+        let mut last = f64::INFINITY;
+        for w in [1usize, 2, 5, 15, 60] {
+            let d = dtw_banded(&s, &q, DtwKind::SumAbs, w).distance;
+            assert!(d <= last + 1e-9, "w={w}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn banded_costs_fewer_cells() {
+        let s = vec![1.0; 200];
+        let q = vec![1.0; 200];
+        let narrow = dtw_banded(&s, &q, DtwKind::MaxAbs, 5);
+        let full = dtw(&s, &q, DtwKind::MaxAbs);
+        assert!(narrow.cells < full.cells / 5);
+        assert_eq!(narrow.distance, 0.0);
+    }
+
+    #[test]
+    fn different_lengths_band_widened_to_slope() {
+        // Band smaller than the length gap must still produce a finite path.
+        let s = vec![2.0; 30];
+        let q = vec![2.0; 10];
+        let d = dtw_banded(&s, &q, DtwKind::MaxAbs, 1);
+        assert_eq!(d.distance, 0.0);
+    }
+
+    #[test]
+    fn width_helper() {
+        assert_eq!(sakoe_chiba_width(100, 80, 0.1), 10);
+        assert_eq!(sakoe_chiba_width(100, 80, 0.0), 0);
+        assert_eq!(sakoe_chiba_width(55, 20, 1.0), 55);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw_banded(&[], &[], DtwKind::MaxAbs, 3).distance, 0.0);
+        assert_eq!(
+            dtw_banded(&[1.0], &[], DtwKind::MaxAbs, 3).distance,
+            f64::INFINITY
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! The time-warping distance (Definitions 1 and 2), in three forms:
+//!
+//! * [`dtw`] — rolling-row dynamic program, `O(min(|S|,|Q|))` memory;
+//! * [`dtw_within`] — early-abandoning variant that proves or disproves
+//!   `D_tw <= epsilon` without necessarily completing the table (§4.1 of the
+//!   paper explains why the L∞ recurrence abandons especially early);
+//! * [`dtw_with_path`] — full-matrix variant recovering the optimal element
+//!   mapping `M`, used by diagnostics and tests.
+
+use super::DtwKind;
+
+/// Result of a full distance computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtwResult {
+    /// The time-warping distance.
+    pub distance: f64,
+    /// DP cells computed (the CPU-cost unit the experiments report).
+    pub cells: u64,
+}
+
+/// Result of a thresholded computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtwOutcome {
+    /// `Some(d)` when `d <= epsilon`; `None` when the distance provably
+    /// exceeds the tolerance (the exact value is then not computed).
+    pub within: Option<f64>,
+    /// DP cells computed before finishing or abandoning.
+    pub cells: u64,
+}
+
+#[inline]
+fn combine(kind: DtwKind, gap: f64, best_prev: f64) -> f64 {
+    match kind {
+        DtwKind::SumAbs => gap.abs() + best_prev,
+        DtwKind::SumSquared => gap * gap + best_prev,
+        DtwKind::MaxAbs => gap.abs().max(best_prev),
+    }
+}
+
+#[inline]
+fn finish(kind: DtwKind, raw: f64) -> f64 {
+    match kind {
+        DtwKind::SumSquared => raw.sqrt(),
+        _ => raw,
+    }
+}
+
+/// Converts a user tolerance into the internal accumulator scale.
+#[inline]
+fn threshold(kind: DtwKind, epsilon: f64) -> f64 {
+    match kind {
+        DtwKind::SumSquared => epsilon * epsilon,
+        _ => epsilon,
+    }
+}
+
+/// The time-warping distance between two sequences.
+///
+/// Empty inputs follow the paper's definition: both empty → 0, one empty →
+/// `+∞`.
+pub fn dtw(s: &[f64], q: &[f64], kind: DtwKind) -> DtwResult {
+    if s.is_empty() || q.is_empty() {
+        let distance = if s.len() == q.len() { 0.0 } else { f64::INFINITY };
+        return DtwResult { distance, cells: 0 };
+    }
+    // Keep the shorter sequence as the row to minimize memory.
+    let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
+    let m = rows.len();
+    let mut col = vec![f64::INFINITY; m + 1];
+    col[0] = 0.0;
+    let mut cells = 0u64;
+    for &c in cols {
+        let mut prev_diag = col[0];
+        col[0] = f64::INFINITY;
+        for i in 1..=m {
+            let best_prev = col[i].min(col[i - 1]).min(prev_diag);
+            prev_diag = col[i];
+            col[i] = combine(kind, rows[i - 1] - c, best_prev);
+        }
+        cells += m as u64;
+    }
+    DtwResult {
+        distance: finish(kind, col[m]),
+        cells,
+    }
+}
+
+/// Early-abandoning decision procedure for `D_tw(s, q) <= epsilon`.
+///
+/// Abandons as soon as every cell of the current column exceeds the
+/// tolerance: DP values never decrease along a warping path under any
+/// [`DtwKind`], so no extension can come back under `epsilon`.
+pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutcome {
+    debug_assert!(epsilon >= 0.0);
+    if s.is_empty() || q.is_empty() {
+        let within = if s.len() == q.len() { Some(0.0) } else { None };
+        return DtwOutcome { within, cells: 0 };
+    }
+    let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
+    let m = rows.len();
+    let thr = threshold(kind, epsilon);
+    let mut col = vec![f64::INFINITY; m + 1];
+    col[0] = 0.0;
+    let mut cells = 0u64;
+    for &c in cols {
+        let mut prev_diag = col[0];
+        col[0] = f64::INFINITY;
+        let mut col_min = f64::INFINITY;
+        for i in 1..=m {
+            let best_prev = col[i].min(col[i - 1]).min(prev_diag);
+            prev_diag = col[i];
+            col[i] = combine(kind, rows[i - 1] - c, best_prev);
+            col_min = col_min.min(col[i]);
+        }
+        cells += m as u64;
+        if col_min > thr {
+            return DtwOutcome {
+                within: None,
+                cells,
+            };
+        }
+    }
+    let d = finish(kind, col[m]);
+    DtwOutcome {
+        within: (d <= epsilon).then_some(d),
+        cells,
+    }
+}
+
+/// Full-matrix computation that also recovers the optimal warping path as
+/// `(s index, q index)` element mappings (the paper's `M = <m_1 ... m_|M|>`).
+pub fn dtw_with_path(s: &[f64], q: &[f64], kind: DtwKind) -> (DtwResult, Vec<(usize, usize)>) {
+    if s.is_empty() || q.is_empty() {
+        let distance = if s.len() == q.len() { 0.0 } else { f64::INFINITY };
+        return (DtwResult { distance, cells: 0 }, Vec::new());
+    }
+    let (n, m) = (s.len(), q.len());
+    let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    dp[idx(0, 0)] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let best_prev = dp[idx(i - 1, j)]
+                .min(dp[idx(i, j - 1)])
+                .min(dp[idx(i - 1, j - 1)]);
+            dp[idx(i, j)] = combine(kind, s[i - 1] - q[j - 1], best_prev);
+        }
+    }
+    // Backtrack the path (prefer the diagonal on ties: shortest mapping).
+    let mut path = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i >= 1 && j >= 1 {
+        path.push((i - 1, j - 1));
+        if i == 1 && j == 1 {
+            break;
+        }
+        let diag = dp[idx(i - 1, j - 1)];
+        let up = dp[idx(i - 1, j)];
+        let left = dp[idx(i, j - 1)];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    path.reverse();
+    (
+        DtwResult {
+            distance: finish(kind, dp[idx(n, m)]),
+            cells: (n * m) as u64,
+        },
+        path,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [DtwKind; 3] = [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs];
+
+    #[test]
+    fn paper_intro_example_warps_to_zero() {
+        // §1: S and Q transform into the same stretched sequence, so their
+        // time-warping distance is 0 under every kind.
+        let s = [20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0, 23.0];
+        let q = [20.0, 20.0, 21.0, 20.0, 23.0];
+        for kind in KINDS {
+            assert_eq!(dtw(&s, &q, kind).distance, 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn identity_zero_distance() {
+        let s = [1.0, 5.0, 3.0, 3.0, 8.0];
+        for kind in KINDS {
+            assert_eq!(dtw(&s, &s, kind).distance, 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let s = [1.0, 2.0, 9.0, 4.0];
+        let q = [2.0, 8.0, 5.0];
+        for kind in KINDS {
+            let a = dtw(&s, &q, kind).distance;
+            let b = dtw(&q, &s, kind).distance;
+            assert!((a - b).abs() < 1e-12, "{kind:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_conventions() {
+        for kind in KINDS {
+            assert_eq!(dtw(&[], &[], kind).distance, 0.0);
+            assert_eq!(dtw(&[1.0], &[], kind).distance, f64::INFINITY);
+            assert_eq!(dtw(&[], &[1.0], kind).distance, f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn single_elements() {
+        assert_eq!(dtw(&[3.0], &[7.0], DtwKind::SumAbs).distance, 4.0);
+        assert_eq!(dtw(&[3.0], &[7.0], DtwKind::MaxAbs).distance, 4.0);
+        assert_eq!(dtw(&[3.0], &[7.0], DtwKind::SumSquared).distance, 4.0);
+    }
+
+    #[test]
+    fn hand_computed_small_case() {
+        let s = [0.0, 10.0];
+        let q = [0.0, 0.0, 10.0];
+        // Path: (0,0)(0,1)(1,2) with gaps 0,0,0 — warping absorbs the
+        // repeated 0.
+        for kind in KINDS {
+            assert_eq!(dtw(&s, &q, kind).distance, 0.0, "{kind:?}");
+        }
+        // Shifted case forces a non-zero gap somewhere.
+        let q2 = [1.0, 1.0, 10.0];
+        assert_eq!(dtw(&s, &q2, DtwKind::MaxAbs).distance, 1.0);
+        assert_eq!(dtw(&s, &q2, DtwKind::SumAbs).distance, 2.0);
+    }
+
+    #[test]
+    fn max_kind_is_max_over_optimal_path() {
+        // §4.1: D_tw(S,Q) = max over the best mapping's element distances.
+        let s = [0.0, 5.0, 9.0];
+        let q = [1.0, 5.5, 8.0];
+        let (res, path) = dtw_with_path(&s, &q, DtwKind::MaxAbs);
+        let path_max = path
+            .iter()
+            .map(|&(i, j)| (s[i] - q[j]).abs())
+            .fold(0.0, f64::max);
+        assert!((res.distance - path_max).abs() < 1e-12);
+        assert_eq!(res.distance, 1.0); // pairs (0,1),(5,5.5),(9,8) -> max 1.0
+    }
+
+    #[test]
+    fn additive_kind_matches_matrix_version() {
+        let s = [1.0, 3.0, 2.0, 8.0, 9.0, 2.0];
+        let q = [1.0, 2.0, 8.5, 2.5];
+        for kind in KINDS {
+            let rolled = dtw(&s, &q, kind);
+            let (full, path) = dtw_with_path(&s, &q, kind);
+            assert!(
+                (rolled.distance - full.distance).abs() < 1e-12,
+                "{kind:?}"
+            );
+            assert!(!path.is_empty());
+            // Path is monotone and starts/ends at corners.
+            assert_eq!(path[0], (0, 0));
+            assert_eq!(*path.last().unwrap(), (s.len() - 1, q.len() - 1));
+            for w in path.windows(2) {
+                let (di, dj) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+                assert!(di <= 1 && dj <= 1 && di + dj >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_within_agrees_with_exact() {
+        let s = [2.0, 4.0, 6.0, 8.0];
+        let q = [2.5, 4.5, 8.5];
+        for kind in KINDS {
+            let exact = dtw(&s, &q, kind).distance;
+            // Just above the distance: accepted with the same value.
+            let hit = dtw_within(&s, &q, kind, exact + 1e-9);
+            assert!(hit.within.is_some(), "{kind:?}");
+            assert!((hit.within.unwrap() - exact).abs() < 1e-9);
+            // Just below: rejected.
+            let miss = dtw_within(&s, &q, kind, (exact - 1e-9).max(0.0));
+            if exact > 0.0 {
+                assert!(miss.within.is_none(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_within_abandons_early_on_distant_pairs() {
+        // Two far-apart long sequences: abandonment should happen in the
+        // first few columns, far below the full |S|*|Q| cell count.
+        let s: Vec<f64> = (0..500).map(|i| i as f64 * 0.01).collect();
+        let q: Vec<f64> = (0..500).map(|i| 100.0 + i as f64 * 0.01).collect();
+        let full_cells = (s.len() * q.len()) as u64;
+        for kind in KINDS {
+            let out = dtw_within(&s, &q, kind, 0.5);
+            assert!(out.within.is_none());
+            assert!(
+                out.cells <= full_cells / 100,
+                "{kind:?}: {} cells",
+                out.cells
+            );
+        }
+    }
+
+    #[test]
+    fn cells_counted() {
+        let s = [1.0; 7];
+        let q = [1.0; 11];
+        let res = dtw(&s, &q, DtwKind::MaxAbs);
+        assert_eq!(res.cells, 77);
+    }
+
+    #[test]
+    fn linf_tolerance_is_length_independent() {
+        // §4.1's motivation: under MaxAbs a uniform +delta shift yields
+        // distance delta regardless of length; under SumAbs it scales with
+        // length.
+        for len in [10usize, 100] {
+            let s: Vec<f64> = (0..len).map(|i| (i as f64 * 0.3).sin()).collect();
+            let q: Vec<f64> = s.iter().map(|v| v + 0.25).collect();
+            let dmax = dtw(&s, &q, DtwKind::MaxAbs).distance;
+            assert!((dmax - 0.25).abs() < 1e-9, "len {len}: {dmax}");
+        }
+        let s10: Vec<f64> = (0..10).map(|i| (i as f64 * 0.3).sin()).collect();
+        let q10: Vec<f64> = s10.iter().map(|v| v + 0.25).collect();
+        let s100: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let q100: Vec<f64> = s100.iter().map(|v| v + 0.25).collect();
+        let d10 = dtw(&s10, &q10, DtwKind::SumAbs).distance;
+        let d100 = dtw(&s100, &q100, DtwKind::SumAbs).distance;
+        assert!(d100 > 5.0 * d10);
+    }
+
+    #[test]
+    fn triangular_inequality_fails_for_dtw() {
+        // The premise of the whole paper (Yi et al.'s observation): D_tw is
+        // not a metric. Classic witness with repeated elements.
+        let x = [0.0];
+        let y = [0.0, 2.0];
+        let z = [2.0, 2.0, 2.0];
+        let k = DtwKind::SumAbs;
+        let xz = dtw(&x, &z, k).distance; // 6 (0 maps to all three 2s)
+        let xy = dtw(&x, &y, k).distance; // 2
+        let yz = dtw(&y, &z, k).distance; // 2
+        assert!(xz > xy + yz + 1e-12, "{xz} <= {xy} + {yz}");
+    }
+}

@@ -1,0 +1,98 @@
+//! `L_p` distances over equal-length sequences (§2 of the paper).
+
+/// `L_p` distance for a finite `p >= 1`.
+///
+/// # Panics
+/// Panics when the slices differ in length (the `L_p` family is only defined
+/// for equal lengths — the whole motivation for time warping) or `p < 1`.
+pub fn lp(s: &[f64], q: &[f64], p: f64) -> f64 {
+    assert_eq!(
+        s.len(),
+        q.len(),
+        "L_p requires equal lengths ({} vs {})",
+        s.len(),
+        q.len()
+    );
+    assert!(p >= 1.0, "L_p requires p >= 1, got {p}");
+    s.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Manhattan distance, `L_1`.
+pub fn l1(s: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(s.len(), q.len(), "L_1 requires equal lengths");
+    s.iter().zip(q).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Euclidean distance, `L_2`.
+pub fn l2(s: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(s.len(), q.len(), "L_2 requires equal lengths");
+    s.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Maximum distance, `L_∞`.
+pub fn linf(s: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(s.len(), q.len(), "L_inf requires equal lengths");
+    s.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+    const Q: [f64; 4] = [2.0, 2.0, 1.0, 0.0];
+
+    #[test]
+    fn known_values() {
+        assert_eq!(l1(&S, &Q), 1.0 + 0.0 + 2.0 + 4.0);
+        assert_eq!(l2(&S, &Q), (1.0f64 + 4.0 + 16.0).sqrt());
+        assert_eq!(linf(&S, &Q), 4.0);
+    }
+
+    #[test]
+    fn lp_generalizes() {
+        assert!((lp(&S, &Q, 1.0) - l1(&S, &Q)).abs() < 1e-12);
+        assert!((lp(&S, &Q, 2.0) - l2(&S, &Q)).abs() < 1e-12);
+        // L_p converges to L_inf as p grows.
+        assert!((lp(&S, &Q, 64.0) - linf(&S, &Q)).abs() < 0.1);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        assert_eq!(l1(&S, &S), 0.0);
+        assert_eq!(l2(&S, &S), 0.0);
+        assert_eq!(linf(&S, &S), 0.0);
+        assert_eq!(l1(&S, &Q), l1(&Q, &S));
+        assert_eq!(l2(&S, &Q), l2(&Q, &S));
+        assert_eq!(linf(&S, &Q), linf(&Q, &S));
+    }
+
+    #[test]
+    fn ordering_l1_ge_l2_ge_linf() {
+        assert!(l1(&S, &Q) >= l2(&S, &Q));
+        assert!(l2(&S, &Q) >= linf(&S, &Q));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn length_mismatch_panics() {
+        let _ = l2(&S, &Q[..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn sub_one_p_panics() {
+        let _ = lp(&S, &Q, 0.5);
+    }
+}

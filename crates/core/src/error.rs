@@ -1,0 +1,83 @@
+//! Error type of the core library.
+
+use tw_storage::StoreError;
+
+/// Errors surfaced by the tw-core public API.
+#[derive(Debug)]
+pub enum TwError {
+    /// Sequences must hold at least one element (feature extraction and the
+    /// time-warping recurrence are undefined on empty sequences).
+    EmptySequence,
+    /// Elements must be finite so distances form a total order.
+    InvalidElement { index: usize, value: f64 },
+    /// A query tolerance was negative or non-finite.
+    InvalidTolerance(f64),
+    /// The underlying sequence store failed.
+    Storage(StoreError),
+    /// An engine was asked about a sequence id it does not index.
+    UnknownSequence(u64),
+    /// Subsequence window bounds were inconsistent.
+    InvalidWindow { min_len: usize, max_len: usize },
+}
+
+impl std::fmt::Display for TwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TwError::EmptySequence => write!(f, "sequence must be non-empty"),
+            TwError::InvalidElement { index, value } => {
+                write!(f, "element {index} is not finite: {value}")
+            }
+            TwError::InvalidTolerance(e) => write!(f, "invalid tolerance {e}"),
+            TwError::Storage(e) => write!(f, "storage error: {e}"),
+            TwError::UnknownSequence(id) => write!(f, "unknown sequence id {id}"),
+            TwError::InvalidWindow { min_len, max_len } => {
+                write!(f, "invalid window bounds [{min_len}, {max_len}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TwError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for TwError {
+    fn from(e: StoreError) -> Self {
+        TwError::Storage(e)
+    }
+}
+
+/// Validates a query tolerance: finite and non-negative.
+pub fn validate_tolerance(epsilon: f64) -> Result<(), TwError> {
+    if epsilon.is_finite() && epsilon >= 0.0 {
+        Ok(())
+    } else {
+        Err(TwError::InvalidTolerance(epsilon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_validation() {
+        assert!(validate_tolerance(0.0).is_ok());
+        assert!(validate_tolerance(1.5).is_ok());
+        assert!(validate_tolerance(-0.1).is_err());
+        assert!(validate_tolerance(f64::NAN).is_err());
+        assert!(validate_tolerance(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(TwError::EmptySequence.to_string().contains("non-empty"));
+        assert!(TwError::InvalidTolerance(-1.0).to_string().contains("-1"));
+        assert!(TwError::UnknownSequence(9).to_string().contains('9'));
+    }
+}

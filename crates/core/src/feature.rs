@@ -1,0 +1,123 @@
+//! The warping-invariant 4-tuple feature vector (§4.2).
+//!
+//! `Feature(S) = (First(S), Last(S), Greatest(S), Smallest(S))`. Time warping
+//! only replicates elements along the time axis, so none of the four
+//! components change under any warping of `S` — which is what makes them
+//! legal indexing attributes.
+
+use crate::sequence::Sequence;
+use tw_rtree::Point;
+
+/// The 4-tuple feature vector of a sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    pub first: f64,
+    pub last: f64,
+    pub greatest: f64,
+    pub smallest: f64,
+}
+
+impl FeatureVector {
+    /// Extracts the feature vector from raw values.
+    ///
+    /// # Panics
+    /// Panics on empty input; use [`Sequence`] for validated construction.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "feature extraction needs elements");
+        let first = values[0];
+        let last = *values.last().expect("non-empty");
+        let (mut greatest, mut smallest) = (f64::NEG_INFINITY, f64::INFINITY);
+        for &v in values {
+            greatest = greatest.max(v);
+            smallest = smallest.min(v);
+        }
+        Self {
+            first,
+            last,
+            greatest,
+            smallest,
+        }
+    }
+
+    /// Extracts the feature vector from a validated sequence.
+    pub fn from_sequence(seq: &Sequence) -> Self {
+        Self::from_values(seq.values())
+    }
+
+    /// The feature vector as the 4-D point the R-tree indexes.
+    pub fn as_point(&self) -> Point<4> {
+        Point::new([self.first, self.last, self.greatest, self.smallest])
+    }
+
+    /// `D_tw-lb` (Definition 3): the L∞ distance between two feature
+    /// vectors. Lower-bounds `D_tw` (Theorem 1) and is a metric (Theorem 2).
+    pub fn lb_distance(&self, other: &FeatureVector) -> f64 {
+        (self.first - other.first)
+            .abs()
+            .max((self.last - other.last).abs())
+            .max((self.greatest - other.greatest).abs())
+            .max((self.smallest - other.smallest).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction() {
+        let f = FeatureVector::from_values(&[3.0, 9.0, 1.0, 4.0]);
+        assert_eq!(f.first, 3.0);
+        assert_eq!(f.last, 4.0);
+        assert_eq!(f.greatest, 9.0);
+        assert_eq!(f.smallest, 1.0);
+    }
+
+    #[test]
+    fn invariance_under_element_replication() {
+        // Time warping replicates elements; the feature vector must not move.
+        let base = [2.0, 7.0, 5.0];
+        let warped = [2.0, 2.0, 2.0, 7.0, 7.0, 5.0, 5.0];
+        assert_eq!(
+            FeatureVector::from_values(&base),
+            FeatureVector::from_values(&warped)
+        );
+    }
+
+    #[test]
+    fn lb_distance_is_linf_of_components() {
+        // a: first 0, last -2, greatest 5, smallest -2.
+        // b: first 0.5, last -2.5, greatest 9, smallest -2.5.
+        let a = FeatureVector::from_values(&[0.0, 1.0, 5.0, -2.0]);
+        let b = FeatureVector::from_values(&[0.5, 0.5, 9.0, -2.5]);
+        let expect = (a.first - b.first)
+            .abs()
+            .max((a.last - b.last).abs())
+            .max((a.greatest - b.greatest).abs())
+            .max((a.smallest - b.smallest).abs());
+        assert_eq!(a.lb_distance(&b), expect);
+        assert_eq!(a.lb_distance(&a), 0.0);
+        assert_eq!(a.lb_distance(&b), b.lb_distance(&a));
+    }
+
+    #[test]
+    fn triangle_inequality_of_lb() {
+        let x = FeatureVector::from_values(&[0.0, 3.0, 8.0]);
+        let y = FeatureVector::from_values(&[1.0, 1.0, 1.0]);
+        let z = FeatureVector::from_values(&[-4.0, 2.0, 2.0, 9.0]);
+        assert!(x.lb_distance(&z) <= x.lb_distance(&y) + y.lb_distance(&z) + 1e-12);
+    }
+
+    #[test]
+    fn as_point_layout() {
+        let f = FeatureVector::from_values(&[1.0, 2.0, 3.0]);
+        let p = f.as_point();
+        assert_eq!(p.coords(), &[1.0, 3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs elements")]
+    fn empty_rejected() {
+        let _ = FeatureVector::from_values(&[]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Lower-bound distances for the time-warping distance.
+//!
+//! * [`lb_kim`] — the paper's contribution: `D_tw-lb`, the L∞ distance of the
+//!   4-tuple feature vectors (known in the later literature as **LB_Kim**);
+//! * [`lb_yi`] — the scan-time lower bound of Yi, Jagadish & Faloutsos that
+//!   powers the LB-Scan baseline, in both the additive form of the original
+//!   paper and the max form matching Definition 2;
+//! * [`lb_keogh`] — the envelope bound of Keogh (an extension beyond the
+//!   paper, standard in post-2002 DTW systems), applicable under a warping
+//!   band.
+//!
+//! All three are proven lower bounds for the matching [`DtwKind`]; the
+//! property-test suite checks the inequality on randomized inputs.
+
+use crate::distance::DtwKind;
+use crate::feature::FeatureVector;
+
+/// `D_tw-lb` (Definition 3): L∞ over the 4-tuple feature vectors.
+///
+/// Lower-bounds `D_tw` for **every** [`DtwKind`]: Theorem 1 proves it for the
+/// MaxAbs recurrence, and the additive recurrences dominate the max one
+/// (a sum of non-negative gaps is at least their maximum).
+pub fn lb_kim(s: &[f64], q: &[f64]) -> f64 {
+    FeatureVector::from_values(s).lb_distance(&FeatureVector::from_values(q))
+}
+
+/// Yi et al.'s lower bound, `D_lb`, for the additive (SumAbs) distance:
+/// elements of either sequence lying outside the other's `[min, max]` range
+/// must each pay at least their gap to that range.
+fn lb_yi_sum(s: &[f64], q: &[f64]) -> f64 {
+    let (q_min, q_max) = min_max(q);
+    let (s_min, s_max) = min_max(s);
+    let gap = |v: f64, lo: f64, hi: f64| {
+        if v > hi {
+            v - hi
+        } else if v < lo {
+            lo - v
+        } else {
+            0.0
+        }
+    };
+    let from_s: f64 = s.iter().map(|&v| gap(v, q_min, q_max)).sum();
+    let from_q: f64 = q.iter().map(|&v| gap(v, s_min, s_max)).sum();
+    from_s.max(from_q)
+}
+
+/// The max-aggregation analogue of `D_lb`: every element maps to *some*
+/// element of the other sequence, so its gap to the other's value range is a
+/// lower bound on the maximal mapping distance.
+fn lb_yi_max(s: &[f64], q: &[f64]) -> f64 {
+    let (q_min, q_max) = min_max(q);
+    let (s_min, s_max) = min_max(s);
+    let gap = |v: f64, lo: f64, hi: f64| {
+        if v > hi {
+            v - hi
+        } else if v < lo {
+            lo - v
+        } else {
+            0.0
+        }
+    };
+    let from_s = s
+        .iter()
+        .map(|&v| gap(v, q_min, q_max))
+        .fold(0.0, f64::max);
+    let from_q = q
+        .iter()
+        .map(|&v| gap(v, s_min, s_max))
+        .fold(0.0, f64::max);
+    from_s.max(from_q)
+}
+
+/// Yi et al.'s scan-time lower bound for the given recurrence.
+///
+/// Complexity `O(|S| + |Q|)` — the point of LB-Scan is replacing the
+/// `O(|S|·|Q|)` DP with this for most of the database.
+pub fn lb_yi(s: &[f64], q: &[f64], kind: DtwKind) -> f64 {
+    match kind {
+        DtwKind::SumAbs => lb_yi_sum(s, q),
+        // sum of squares >= square of max gap; bound in the original scale.
+        DtwKind::SumSquared => lb_yi_max(s, q),
+        DtwKind::MaxAbs => lb_yi_max(s, q),
+    }
+}
+
+/// Keogh's envelope lower bound under a Sakoe–Chiba band of half-width `w`,
+/// for equal-length sequences.
+///
+/// Builds the upper/lower envelope of `q` and charges each element of `s`
+/// falling outside the envelope. Lower-bounds the **banded** distance
+/// [`crate::distance::dtw_banded`] with the same `w` (and hence anything the
+/// band upper-bounds is unrelated — use it only with banded verification).
+///
+/// # Panics
+/// Panics when lengths differ (the envelope construction assumes alignment
+/// indices exist on both sides).
+pub fn lb_keogh(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> f64 {
+    assert_eq!(
+        s.len(),
+        q.len(),
+        "LB_Keogh requires equal lengths ({} vs {})",
+        s.len(),
+        q.len()
+    );
+    let n = q.len();
+    let mut acc: f64 = 0.0;
+    for (i, &si) in s.iter().enumerate() {
+        let lo_i = i.saturating_sub(w);
+        let hi_i = (i + w).min(n - 1);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &q[lo_i..=hi_i] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let gap = if si > hi {
+            si - hi
+        } else if si < lo {
+            lo - si
+        } else {
+            0.0
+        };
+        match kind {
+            DtwKind::SumAbs => acc += gap,
+            DtwKind::SumSquared => acc += gap * gap,
+            DtwKind::MaxAbs => acc = acc.max(gap),
+        }
+    }
+    match kind {
+        DtwKind::SumSquared => acc.sqrt(),
+        _ => acc,
+    }
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{dtw, dtw_banded};
+
+    const KINDS: [DtwKind; 3] = [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs];
+
+    fn pseudo_random_seq(seed: u64, len: usize, scale: f64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 10_000) as f64 / 10_000.0 * scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lb_kim_lower_bounds_dtw_all_kinds() {
+        for seed in 1..40u64 {
+            let s = pseudo_random_seq(seed, 8 + (seed % 20) as usize, 5.0);
+            let q = pseudo_random_seq(seed * 7 + 3, 5 + (seed % 13) as usize, 5.0);
+            let lb = lb_kim(&s, &q);
+            for kind in KINDS {
+                let d = dtw(&s, &q, kind).distance;
+                assert!(
+                    lb <= d + 1e-9,
+                    "{kind:?} seed {seed}: lb {lb} > dtw {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lb_yi_lower_bounds_dtw() {
+        for seed in 1..40u64 {
+            let s = pseudo_random_seq(seed, 6 + (seed % 25) as usize, 4.0);
+            let q = pseudo_random_seq(seed * 13 + 1, 4 + (seed % 17) as usize, 6.0);
+            for kind in KINDS {
+                let lb = lb_yi(&s, &q, kind);
+                let d = dtw(&s, &q, kind).distance;
+                assert!(lb <= d + 1e-9, "{kind:?} seed {seed}: lb {lb} > dtw {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lb_kim_exact_on_disjoint_ranges() {
+        // Case 1 of Theorem 1's proof: disjoint ranges. The bound equals the
+        // range gap here.
+        let s = [10.0, 11.0, 12.0];
+        let q = [0.0, 1.0, 2.0];
+        let lb = lb_kim(&s, &q);
+        assert_eq!(lb, 10.0); // first: 10, last: 10, max: 10, min: 10
+        assert_eq!(dtw(&s, &q, DtwKind::MaxAbs).distance, 10.0);
+    }
+
+    #[test]
+    fn lb_kim_zero_for_warped_pair() {
+        let s = [20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0, 23.0];
+        let q = [20.0, 20.0, 21.0, 20.0, 23.0];
+        assert_eq!(lb_kim(&s, &q), 0.0);
+    }
+
+    #[test]
+    fn lb_yi_zero_when_ranges_coincide() {
+        // When the two value ranges coincide no element sticks out of the
+        // other's range, so the purely range-based bound is zero.
+        let s = [1.0, 5.0, 3.0];
+        let q = [1.5, 5.0, 1.0, 4.0];
+        assert_eq!(lb_yi(&s, &q, DtwKind::SumAbs), 0.0);
+        assert_eq!(lb_yi(&s, &q, DtwKind::MaxAbs), 0.0);
+        // One q element below s's range makes the bound positive.
+        let q2 = [1.5, 5.0, 0.25, 4.0];
+        assert_eq!(lb_yi(&s, &q2, DtwKind::SumAbs), 0.75);
+    }
+
+    #[test]
+    fn lb_yi_sum_counts_all_outliers() {
+        let s = [10.0, 10.0, 0.0]; // two elements 4 above q's max of 6
+        let q = [0.0, 6.0];
+        assert_eq!(lb_yi(&s, &q, DtwKind::SumAbs), 8.0);
+        assert_eq!(lb_yi(&s, &q, DtwKind::MaxAbs), 4.0);
+    }
+
+    #[test]
+    fn lb_kim_vs_lb_yi_tightness_differs() {
+        // LB_Kim sees first/last; LB_Yi only ranges. Shifted endpoints make
+        // LB_Kim strictly tighter.
+        let s = [0.0, 5.0, 0.0];
+        let q = [5.0, 0.0, 5.0];
+        assert_eq!(lb_yi(&s, &q, DtwKind::MaxAbs), 0.0);
+        assert_eq!(lb_kim(&s, &q), 5.0);
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_banded_dtw() {
+        for seed in 1..30u64 {
+            let n = 20 + (seed % 30) as usize;
+            let s = pseudo_random_seq(seed, n, 3.0);
+            let q = pseudo_random_seq(seed * 31 + 7, n, 3.0);
+            for w in [0usize, 2, 5, n] {
+                for kind in KINDS {
+                    // Equal lengths: the diagonal is always admissible, so a
+                    // width-w bound is compared against a width-w band.
+                    let lb = lb_keogh(&s, &q, kind, w);
+                    let d = dtw_banded(&s, &q, kind, w).distance;
+                    assert!(
+                        lb <= d + 1e-9,
+                        "{kind:?} seed {seed} w {w}: lb {lb} > banded {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lb_keogh_zero_width_is_pointwise() {
+        let s = [1.0, 2.0, 3.0];
+        let q = [1.5, 2.0, 2.0];
+        assert_eq!(lb_keogh(&s, &q, DtwKind::SumAbs, 0), 0.5 + 0.0 + 1.0);
+        assert_eq!(lb_keogh(&s, &q, DtwKind::MaxAbs, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn lb_keogh_length_mismatch_panics() {
+        let _ = lb_keogh(&[1.0, 2.0], &[1.0], DtwKind::MaxAbs, 1);
+    }
+
+    #[test]
+    fn lb_kim_triangle_inequality() {
+        // Theorem 2: D_tw-lb is a metric.
+        for seed in 1..25u64 {
+            let x = pseudo_random_seq(seed, 7, 4.0);
+            let y = pseudo_random_seq(seed + 100, 9, 4.0);
+            let z = pseudo_random_seq(seed + 200, 5, 4.0);
+            assert!(lb_kim(&x, &z) <= lb_kim(&x, &y) + lb_kim(&y, &z) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The FastMap method (§3.3, Yi et al.) — implemented to *measure* the false
+//! dismissal the paper excludes it for.
+//!
+//! Build time: fit a `k`-dimensional FastMap embedding of the database using
+//! the time-warping distance as the oracle, and index the embedded points in
+//! an R-tree (`k <= 4`; unused axes are zero). Query time: embed the query
+//! (it costs `2k` exact DTW evaluations against the pivot sequences), range-
+//! search the embedded space, and verify candidates exactly.
+//!
+//! Because DTW is not a metric, the embedded Euclidean distance can
+//! *overestimate* the true distance, so the range filter may drop true
+//! answers — a **false dismissal**. [`FastMapSearch::search`] is therefore
+//! approximate; the harness quantifies the recall loss against Naive-Scan
+//! (DESIGN.md "ablation-fastmap").
+
+use std::time::Instant;
+
+use tw_fastmap::{DistanceOracle, FastMap};
+use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
+use tw_storage::{Pager, SeqId, SequenceStore};
+
+use crate::distance::{dtw, dtw_within, DtwKind};
+use crate::error::{validate_tolerance, TwError};
+use crate::search::{Match, SearchResult, SearchStats};
+
+/// The approximate FastMap engine.
+#[derive(Debug, Clone)]
+pub struct FastMapSearch {
+    map: FastMap,
+    tree: RTree<4>,
+    kind: DtwKind,
+    k: usize,
+}
+
+struct DtwOracle<'a> {
+    data: &'a [Vec<f64>],
+    kind: DtwKind,
+}
+
+impl DistanceOracle for DtwOracle<'_> {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        dtw(&self.data[a], &self.data[b], self.kind).distance
+    }
+}
+
+impl FastMapSearch {
+    /// Fits a `k`-dimensional embedding (`1 <= k <= 4`) under the given
+    /// distance kind and indexes it.
+    pub fn build<P: Pager>(
+        store: &SequenceStore<P>,
+        k: usize,
+        kind: DtwKind,
+        seed: u64,
+    ) -> Result<Self, TwError> {
+        assert!((1..=4).contains(&k), "k must be in 1..=4, got {k}");
+        let data: Vec<Vec<f64>> = store
+            .scan()?
+            .into_iter()
+            .map(|(_, values)| values)
+            .collect();
+        store.take_io();
+        let oracle = DtwOracle { data: &data, kind };
+        let map = FastMap::fit(&oracle, k, seed);
+        let items: Vec<(Point<4>, SeqId)> = map
+            .coordinates()
+            .iter()
+            .enumerate()
+            .map(|(id, c)| (pad_point(c), id as SeqId))
+            .collect();
+        let config = RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic);
+        Ok(Self {
+            map,
+            tree: RTree::bulk_load(config, items),
+            kind,
+            k,
+        })
+    }
+
+    /// Embedded dimensionality.
+    pub fn dimensions(&self) -> usize {
+        self.k
+    }
+
+    /// Runs the (approximate) query.
+    pub fn search<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+    ) -> Result<SearchResult, TwError> {
+        validate_tolerance(epsilon)?;
+        if query.is_empty() {
+            return Err(TwError::EmptySequence);
+        }
+        let started = Instant::now();
+        store.take_io();
+        let mut stats = SearchStats {
+            db_size: store.len(),
+            ..Default::default()
+        };
+
+        // Embed the query: 2k exact DTW evaluations against pivot sequences.
+        let mut pivot_dtw_cells = 0u64;
+        let mut pivot_evals = 0u64;
+        let q_coords = self.map.project(|i| {
+            let pivot = store.get(i as SeqId).expect("pivot id indexed at build");
+            let r = dtw(&pivot, query, self.kind);
+            pivot_dtw_cells += r.cells;
+            pivot_evals += 1;
+            r.distance
+        });
+        stats.dtw_invocations += pivot_evals;
+        stats.dtw_cells += pivot_dtw_cells;
+        let q_point = pad_point(&q_coords);
+
+        // Range-filter in the embedded space. The square query over-covers
+        // the Euclidean ball, so the geometric filter itself loses nothing
+        // beyond what the embedding already lost.
+        let range = self.tree.range_centered(&q_point, epsilon);
+        stats.index_node_accesses = range.stats.node_accesses();
+        let mut matches = Vec::new();
+        for id in range.ids {
+            let coords = &self.map.coordinates()[id as usize];
+            if FastMap::embedded_distance(&q_coords, coords) > epsilon {
+                continue; // outside the Euclidean ball
+            }
+            stats.candidates += 1;
+            let values = store.get(id)?;
+            stats.dtw_invocations += 1;
+            let outcome = dtw_within(&values, query, self.kind, epsilon);
+            stats.dtw_cells += outcome.cells;
+            if let Some(distance) = outcome.within {
+                matches.push(Match { id, distance });
+            }
+        }
+        matches.sort_by_key(|m| m.id);
+        stats.io = store.take_io();
+        stats.cpu_time = started.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+/// Zero-pads a `k <= 4` coordinate vector into the fixed 4-D index space.
+fn pad_point(coords: &[f64]) -> Point<4> {
+    let mut p = [0.0; 4];
+    for (slot, &c) in p.iter_mut().zip(coords) {
+        *slot = c;
+    }
+    Point::new(p)
+}
+
+/// Ids present in `exact` but missing from `approx` — the false dismissals
+/// of an approximate engine.
+pub fn false_dismissals(exact: &SearchResult, approx: &SearchResult) -> Vec<SeqId> {
+    let approx_ids = approx.ids();
+    exact
+        .ids()
+        .into_iter()
+        .filter(|id| !approx_ids.contains(id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::NaiveScan;
+    use tw_storage::SequenceStore;
+
+    fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
+        let mut store = SequenceStore::in_memory();
+        for s in data {
+            store.append(s).unwrap();
+        }
+        store
+    }
+
+    fn db() -> Vec<Vec<f64>> {
+        vec![
+            vec![20.0, 21.0, 21.0, 20.0, 23.0],
+            vec![20.0, 20.0, 21.0, 20.0, 23.0, 23.0],
+            vec![5.0, 6.0, 7.0],
+            vec![19.5, 21.5, 20.5, 23.5],
+            vec![40.0, 41.0, 42.0],
+            vec![21.0, 22.0, 23.0],
+        ]
+    }
+
+    #[test]
+    fn returns_subset_of_exact_answers_with_exact_distances() {
+        let store = store_with(&db());
+        let engine = FastMapSearch::build(&store, 2, DtwKind::MaxAbs, 7).unwrap();
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        for eps in [0.0, 0.5, 1.0, 3.0] {
+            let exact = NaiveScan::search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
+            let approx = engine.search(&store, &query, eps).unwrap();
+            // No false alarms: every returned match is a true match.
+            let exact_ids = exact.ids();
+            for m in &approx.matches {
+                assert!(exact_ids.contains(&m.id), "eps {eps}: spurious {}", m.id);
+            }
+            // False dismissals are possible; they are what we measure.
+            let fd = false_dismissals(&exact, &approx);
+            assert_eq!(fd.len(), exact.matches.len() - approx.matches.len());
+        }
+    }
+
+    #[test]
+    fn non_metric_distance_can_cause_false_dismissal() {
+        // A database engineered so DTW's triangle violations surface in the
+        // embedding: repeated elements inflate distances to pivots.
+        let data = vec![
+            vec![0.0],
+            vec![0.0, 2.0],
+            vec![2.0, 2.0, 2.0],
+            vec![1.0],
+            vec![0.5, 0.5],
+            vec![1.5, 1.6, 1.4],
+        ];
+        let store = store_with(&data);
+        let query = vec![0.9];
+        let mut any_dismissal = false;
+        for seed in 0..20 {
+            let engine = FastMapSearch::build(&store, 1, DtwKind::SumAbs, seed).unwrap();
+            let exact = NaiveScan::search(&store, &query, 1.0, DtwKind::SumAbs).unwrap();
+            let approx = engine.search(&store, &query, 1.0).unwrap();
+            if !false_dismissals(&exact, &approx).is_empty() {
+                any_dismissal = true;
+                break;
+            }
+        }
+        // At least one seed must exhibit the phenomenon the paper criticizes.
+        assert!(any_dismissal, "expected a false dismissal under some pivot choice");
+    }
+
+    #[test]
+    fn generous_tolerance_recovers_everything() {
+        let store = store_with(&db());
+        let engine = FastMapSearch::build(&store, 3, DtwKind::MaxAbs, 1).unwrap();
+        let query = vec![20.0, 21.0, 22.0];
+        let eps = 100.0;
+        let exact = NaiveScan::search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
+        let approx = engine.search(&store, &query, eps).unwrap();
+        assert_eq!(exact.ids(), approx.ids());
+    }
+
+    #[test]
+    fn query_embedding_charges_pivot_dtw() {
+        let store = store_with(&db());
+        let engine = FastMapSearch::build(&store, 2, DtwKind::MaxAbs, 3).unwrap();
+        let res = engine.search(&store, &[20.0, 21.0], 0.5).unwrap();
+        // At least 2k pivot DTW evaluations happen before filtering.
+        assert!(res.stats.dtw_invocations >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=4")]
+    fn oversized_k_rejected() {
+        let store = store_with(&db());
+        let _ = FastMapSearch::build(&store, 5, DtwKind::MaxAbs, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Naive-Scan (§3.1): sequentially read every data sequence and verify it
+//! with the exact time-warping distance.
+//!
+//! The only optimization applied is early abandoning, which is available to
+//! every method's verification step alike; under the L∞ recurrence it fires
+//! as soon as any whole DP column exceeds the tolerance (§4.1).
+
+use std::time::Instant;
+
+use tw_storage::{Pager, SequenceStore};
+
+use crate::distance::{dtw_within, DtwKind};
+use crate::error::{validate_tolerance, TwError};
+use crate::search::{Match, SearchResult, SearchStats};
+
+/// The sequential-scan baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveScan;
+
+impl NaiveScan {
+    /// Runs the query: one sequential pass, one (early-abandoned) DTW per
+    /// sequence.
+    pub fn search<P: Pager>(
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        kind: DtwKind,
+    ) -> Result<SearchResult, TwError> {
+        validate_tolerance(epsilon)?;
+        let started = Instant::now();
+        store.take_io();
+        let mut stats = SearchStats {
+            db_size: store.len(),
+            ..Default::default()
+        };
+        let mut matches = Vec::new();
+        store.scan_visit(|id, values| {
+            stats.dtw_invocations += 1;
+            let outcome = dtw_within(&values, query, kind, epsilon);
+            stats.dtw_cells += outcome.cells;
+            if let Some(distance) = outcome.within {
+                matches.push(Match { id, distance });
+            }
+        })?;
+        // Naive-Scan has no filtering step: the paper plots its final result
+        // count as its candidate count (Experiment 1).
+        stats.candidates = matches.len();
+        stats.io = store.take_io();
+        stats.cpu_time = started.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::dtw;
+    use tw_storage::SequenceStore;
+
+    fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
+        let mut store = SequenceStore::in_memory();
+        for s in data {
+            store.append(s).unwrap();
+        }
+        store
+    }
+
+    fn db() -> Vec<Vec<f64>> {
+        vec![
+            vec![20.0, 21.0, 21.0, 20.0, 23.0],
+            vec![20.0, 20.0, 21.0, 20.0, 23.0, 23.0],
+            vec![5.0, 6.0, 7.0],
+            vec![19.5, 21.5, 20.5, 23.5],
+        ]
+    }
+
+    #[test]
+    fn finds_exact_matches() {
+        let store = store_with(&db());
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let res = NaiveScan::search(&store, &query, 0.0, DtwKind::MaxAbs).unwrap();
+        // Sequences 0 and 1 warp exactly onto the query.
+        assert_eq!(res.ids(), vec![0, 1]);
+        for m in &res.matches {
+            assert_eq!(m.distance, 0.0);
+        }
+    }
+
+    #[test]
+    fn tolerance_widens_result() {
+        let store = store_with(&db());
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let tight = NaiveScan::search(&store, &query, 0.0, DtwKind::MaxAbs).unwrap();
+        let loose = NaiveScan::search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        assert!(loose.matches.len() > tight.matches.len());
+        assert!(loose.ids().contains(&3));
+        assert!(!loose.ids().contains(&2));
+    }
+
+    #[test]
+    fn distances_match_exact_dtw() {
+        let store = store_with(&db());
+        let query = vec![20.5, 21.0, 22.9];
+        let res = NaiveScan::search(&store, &query, 2.0, DtwKind::MaxAbs).unwrap();
+        for m in &res.matches {
+            let expect = dtw(&db()[m.id as usize], &query, DtwKind::MaxAbs).distance;
+            assert!((m.distance - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_full_scan() {
+        let store = store_with(&db());
+        let res = NaiveScan::search(&store, &[20.0, 21.0], 0.5, DtwKind::MaxAbs).unwrap();
+        assert_eq!(res.stats.db_size, 4);
+        assert_eq!(res.stats.dtw_invocations, 4);
+        assert!(res.stats.io.sequential_pages_scanned > 0);
+        assert_eq!(res.stats.io.random_page_reads, 0);
+        assert_eq!(res.stats.index_node_accesses, 0);
+        assert_eq!(res.stats.candidates, res.matches.len());
+    }
+
+    #[test]
+    fn rejects_bad_tolerance() {
+        let store = store_with(&db());
+        assert!(NaiveScan::search(&store, &[1.0], -1.0, DtwKind::MaxAbs).is_err());
+        assert!(NaiveScan::search(&store, &[1.0], f64::NAN, DtwKind::MaxAbs).is_err());
+    }
+
+    #[test]
+    fn empty_database() {
+        let store = SequenceStore::in_memory();
+        let res = NaiveScan::search(&store, &[1.0], 1.0, DtwKind::MaxAbs).unwrap();
+        assert!(res.matches.is_empty());
+        assert_eq!(res.stats.db_size, 0);
+    }
+
+    #[test]
+    fn works_under_additive_kinds() {
+        let store = store_with(&db());
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        for kind in [DtwKind::SumAbs, DtwKind::SumSquared] {
+            let res = NaiveScan::search(&store, &query, 0.0, kind).unwrap();
+            assert_eq!(res.ids(), vec![0, 1], "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Multi-threaded Naive-Scan (extension).
+//!
+//! The paper's scan baselines are single-threaded (2001 hardware). Modern
+//! reproductions often parallelize the scan; this engine shows that even a
+//! perfectly parallel scan keeps the *asymptotic* behaviour Figures 4 and 5
+//! display — linear in database size — while TW-Sim-Search stays flat. The
+//! verification work is split across threads with crossbeam's scoped threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tw_storage::{Pager, SequenceStore};
+
+use crate::distance::{dtw_within, DtwKind};
+use crate::error::{validate_tolerance, TwError};
+use crate::search::{Match, SearchResult, SearchStats};
+
+/// A parallel sequential-scan engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelNaiveScan {
+    threads: usize,
+}
+
+impl ParallelNaiveScan {
+    /// Creates the engine with an explicit worker count.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        Self { threads }
+    }
+
+    /// Uses all available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { threads }
+    }
+
+    /// Runs the query with the scan fanned out over the workers.
+    pub fn search<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        kind: DtwKind,
+    ) -> Result<SearchResult, TwError> {
+        validate_tolerance(epsilon)?;
+        let started = Instant::now();
+        store.take_io();
+        let mut stats = SearchStats {
+            db_size: store.len(),
+            ..Default::default()
+        };
+        let rows = store.scan()?;
+        stats.io = store.take_io();
+
+        let cells = AtomicU64::new(0);
+        let chunk = rows.len().div_ceil(self.threads.max(1)).max(1);
+        let mut matches: Vec<Match> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = rows
+                .chunks(chunk)
+                .map(|part| {
+                    let cells = &cells;
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        let mut local_cells = 0u64;
+                        for (id, values) in part {
+                            let outcome = dtw_within(values, query, kind, epsilon);
+                            local_cells += outcome.cells;
+                            if let Some(distance) = outcome.within {
+                                local.push(Match {
+                                    id: *id,
+                                    distance,
+                                });
+                            }
+                        }
+                        cells.fetch_add(local_cells, Ordering::Relaxed);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        matches.sort_by_key(|m| m.id);
+
+        stats.dtw_invocations = rows.len() as u64;
+        stats.dtw_cells = cells.into_inner();
+        stats.candidates = matches.len();
+        stats.cpu_time = started.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+impl Default for ParallelNaiveScan {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// Runs a batch of independent queries against one TW-Sim-Search engine in
+/// parallel (one worker per available core by default). Engines and stores
+/// are shared immutably; results come back in query order.
+///
+/// This is the throughput path a serving deployment uses: Algorithm 1 is
+/// read-only, so concurrent queries need no coordination beyond the store's
+/// internal latches.
+pub fn parallel_query_batch<P: Pager + Sync>(
+    engine: &crate::search::TwSimSearch,
+    store: &SequenceStore<P>,
+    queries: &[Vec<f64>],
+    epsilon: f64,
+    kind: DtwKind,
+    threads: usize,
+) -> Result<Vec<SearchResult>, TwError> {
+    assert!(threads >= 1, "need at least one worker");
+    validate_tolerance(epsilon)?;
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let chunk = queries.len().div_ceil(threads).max(1);
+    let results: Vec<Result<Vec<SearchResult>, TwError>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|q| engine.search(store, q, epsilon, kind))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let mut out = Vec::with_capacity(queries.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::NaiveScan;
+    use tw_storage::SequenceStore;
+
+    fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
+        let mut store = SequenceStore::in_memory();
+        for s in data {
+            store.append(s).unwrap();
+        }
+        store
+    }
+
+    fn db(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let base = (i % 9) as f64;
+                vec![base, base + 0.4, base + 0.9, base + 0.2]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_sequential_scan() {
+        let data = db(137);
+        let store = store_with(&data);
+        let query = vec![4.1, 4.5, 4.8];
+        for threads in [1usize, 2, 4, 7] {
+            for eps in [0.2, 0.6, 3.0] {
+                let seq = NaiveScan::search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
+                let par = ParallelNaiveScan::new(threads)
+                    .search(&store, &query, eps, DtwKind::MaxAbs)
+                    .unwrap();
+                assert_eq!(seq.ids(), par.ids(), "threads={threads} eps={eps}");
+                assert_eq!(seq.stats.dtw_cells, par.stats.dtw_cells);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let store = store_with(&db(3));
+        let res = ParallelNaiveScan::new(16)
+            .search(&store, &[1.0, 1.4], 0.5, DtwKind::MaxAbs)
+            .unwrap();
+        assert_eq!(res.stats.dtw_invocations, 3);
+    }
+
+    #[test]
+    fn empty_database() {
+        let store = SequenceStore::in_memory();
+        let res = ParallelNaiveScan::new(4)
+            .search(&store, &[1.0], 1.0, DtwKind::MaxAbs)
+            .unwrap();
+        assert!(res.matches.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = ParallelNaiveScan::new(0);
+    }
+
+    #[test]
+    fn parallel_query_batch_matches_serial() {
+        let data = db(90);
+        let store = store_with(&data);
+        let engine = crate::search::TwSimSearch::build(&store).unwrap();
+        let queries: Vec<Vec<f64>> = data.iter().take(12).cloned().collect();
+        let serial: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| engine.search(&store, q, 0.3, DtwKind::MaxAbs).unwrap().ids())
+            .collect();
+        for threads in [1usize, 3, 8] {
+            let batch =
+                parallel_query_batch(&engine, &store, &queries, 0.3, DtwKind::MaxAbs, threads)
+                    .unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (b, expect) in batch.iter().zip(&serial) {
+                assert_eq!(&b.ids(), expect, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_query_batch_empty_input() {
+        let store = store_with(&db(5));
+        let engine = crate::search::TwSimSearch::build(&store).unwrap();
+        let out = parallel_query_batch(&engine, &store, &[], 0.1, DtwKind::MaxAbs, 4).unwrap();
+        assert!(out.is_empty());
+    }
+}

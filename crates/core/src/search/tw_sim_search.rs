@@ -1,0 +1,380 @@
+//! TW-Sim-Search (§4.3, Algorithm 1): the paper's contribution.
+//!
+//! Build time: extract the warping-invariant 4-tuple feature vector of every
+//! sequence and index the resulting 4-D points in an R-tree (1 KB pages as in
+//! §5.1, bulk-loaded per §4.3.1).
+//!
+//! Query time:
+//! 1. extract `Feature(Q)`;
+//! 2. run a square range query of half-side `ε` centred at `Feature(Q)` —
+//!    exactly the set `{S : D_tw-lb(S, Q) <= ε}`, which by Corollary 1
+//!    contains every true answer;
+//! 3. read each candidate sequence and verify with the exact (early-
+//!    abandoned) time-warping distance.
+
+use std::time::Instant;
+
+use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
+use tw_storage::{Pager, SeqId, SequenceStore};
+
+use crate::distance::{dtw_banded, dtw_within, DtwKind};
+use crate::error::{validate_tolerance, TwError};
+use crate::feature::FeatureVector;
+use crate::search::{Match, SearchResult, SearchStats};
+
+/// How TW-Sim-Search verifies candidates after the index filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// The paper's Algorithm 1: early-abandoning unconstrained DTW.
+    Exact,
+    /// Sakoe–Chiba-banded DTW with the given half-width; cheaper, answers
+    /// range queries under the banded distance.
+    Banded(usize),
+}
+
+/// The index-based engine.
+#[derive(Debug, Clone)]
+pub struct TwSimSearch {
+    tree: RTree<4>,
+}
+
+impl TwSimSearch {
+    /// The paper's index configuration: 4-D R-tree on 1 KB pages with
+    /// Guttman's quadratic split.
+    pub fn paper_config() -> RTreeConfig {
+        RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic)
+    }
+
+    /// Builds the index over every sequence in the store (bulk-loaded).
+    pub fn build<P: Pager>(store: &SequenceStore<P>) -> Result<Self, TwError> {
+        Self::build_with_config(store, Self::paper_config())
+    }
+
+    /// Builds with an explicit R-tree configuration (split-strategy and
+    /// page-size ablations).
+    pub fn build_with_config<P: Pager>(
+        store: &SequenceStore<P>,
+        config: RTreeConfig,
+    ) -> Result<Self, TwError> {
+        let mut items: Vec<(Point<4>, SeqId)> = Vec::with_capacity(store.len());
+        for (id, values) in store.scan()? {
+            if values.is_empty() {
+                continue;
+            }
+            items.push((FeatureVector::from_values(&values).as_point(), id));
+        }
+        store.take_io(); // build-time I/O is not charged to queries
+        Ok(Self {
+            tree: RTree::bulk_load(config, items),
+        })
+    }
+
+    /// Creates an empty index for incremental use.
+    pub fn empty(config: RTreeConfig) -> Self {
+        Self {
+            tree: RTree::new(config),
+        }
+    }
+
+    /// Wraps an already-built (e.g. deserialized) tree as an engine.
+    pub fn from_tree(tree: RTree<4>) -> Self {
+        Self { tree }
+    }
+
+    /// Inserts one sequence's feature vector (index maintenance, §4.3.1).
+    pub fn insert(&mut self, values: &[f64], id: SeqId) -> Result<(), TwError> {
+        if values.is_empty() {
+            return Err(TwError::EmptySequence);
+        }
+        self.tree
+            .insert_point(FeatureVector::from_values(values).as_point(), id);
+        Ok(())
+    }
+
+    /// Removes a sequence from the index given its values and id.
+    pub fn remove(&mut self, values: &[f64], id: SeqId) -> bool {
+        if values.is_empty() {
+            return false;
+        }
+        self.tree
+            .remove_point(&FeatureVector::from_values(values).as_point(), id)
+    }
+
+    /// Number of indexed sequences.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The underlying R-tree (diagnostics, persistence).
+    pub fn tree(&self) -> &RTree<4> {
+        &self.tree
+    }
+
+    /// Algorithm 1: range-filter on the index, then verify candidates with
+    /// the exact (unconstrained) time-warping distance.
+    pub fn search<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        kind: DtwKind,
+    ) -> Result<SearchResult, TwError> {
+        self.search_with(store, query, epsilon, kind, VerifyMode::Exact)
+    }
+
+    /// Algorithm 1 with a configurable verification step.
+    ///
+    /// [`VerifyMode::Banded`] verifies candidates under a Sakoe–Chiba band
+    /// (an extension beyond the paper, standard in post-2002 DTW systems).
+    /// The banded distance upper-bounds the unconstrained one, so the filter
+    /// remains sound *for the banded distance*: the result is exactly the
+    /// set `{S : D_tw^banded(S, Q) <= ε}` — a subset of the unconstrained
+    /// answer, computed with far fewer DP cells. The band-width trade-off is
+    /// measured by the harness ablations.
+    pub fn search_with<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        kind: DtwKind,
+        verify: VerifyMode,
+    ) -> Result<SearchResult, TwError> {
+        validate_tolerance(epsilon)?;
+        if query.is_empty() {
+            return Err(TwError::EmptySequence);
+        }
+        let started = Instant::now();
+        store.take_io();
+        let mut stats = SearchStats {
+            db_size: store.len(),
+            ..Default::default()
+        };
+
+        // Step 1-2: feature extraction + square range query.
+        let feature_q = FeatureVector::from_values(query).as_point();
+        let range = self.tree.range_centered(&feature_q, epsilon);
+        stats.index_node_accesses = range.stats.node_accesses();
+
+        // Step 3-7: candidate verification.
+        stats.candidates = range.ids.len();
+        let mut matches = Vec::new();
+        for id in range.ids {
+            let values = store.get(id)?;
+            stats.dtw_invocations += 1;
+            let (within, cells) = match verify {
+                VerifyMode::Exact => {
+                    let outcome = dtw_within(&values, query, kind, epsilon);
+                    (outcome.within, outcome.cells)
+                }
+                VerifyMode::Banded(w) => {
+                    let r = dtw_banded(&values, query, kind, w);
+                    ((r.distance <= epsilon).then_some(r.distance), r.cells)
+                }
+            };
+            stats.dtw_cells += cells;
+            if let Some(distance) = within {
+                matches.push(Match { id, distance });
+            }
+        }
+        matches.sort_by_key(|m| m.id);
+        stats.io = store.take_io();
+        stats.cpu_time = started.elapsed();
+        Ok(SearchResult { matches, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::NaiveScan;
+    use tw_storage::SequenceStore;
+
+    fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
+        let mut store = SequenceStore::in_memory();
+        for s in data {
+            store.append(s).unwrap();
+        }
+        store
+    }
+
+    fn db() -> Vec<Vec<f64>> {
+        vec![
+            vec![20.0, 21.0, 21.0, 20.0, 23.0],
+            vec![20.0, 20.0, 21.0, 20.0, 23.0, 23.0],
+            vec![5.0, 6.0, 7.0],
+            vec![19.5, 21.5, 20.5, 23.5],
+            vec![40.0, 41.0, 42.0],
+        ]
+    }
+
+    #[test]
+    fn agrees_with_naive_scan() {
+        let store = store_with(&db());
+        let engine = TwSimSearch::build(&store).unwrap();
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
+            for eps in [0.0, 0.3, 0.6, 2.0, 10.0] {
+                let naive = NaiveScan::search(&store, &query, eps, kind).unwrap();
+                let idx = engine.search(&store, &query, eps, kind).unwrap();
+                assert_eq!(naive.ids(), idx.ids(), "{kind:?} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn uses_random_reads_not_scans() {
+        let store = store_with(&db());
+        let engine = TwSimSearch::build(&store).unwrap();
+        let res = engine
+            .search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, DtwKind::MaxAbs)
+            .unwrap();
+        assert_eq!(res.stats.io.sequential_pages_scanned, 0);
+        assert!(res.stats.index_node_accesses > 0);
+        // Candidates are a strict subset of the database here.
+        assert!(res.stats.candidates < res.stats.db_size);
+    }
+
+    #[test]
+    fn filter_is_exactly_the_lb_ball() {
+        let data = db();
+        let store = store_with(&data);
+        let engine = TwSimSearch::build(&store).unwrap();
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let eps = 1.0;
+        let res = engine.search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
+        let expected: usize = data
+            .iter()
+            .filter(|s| crate::lower_bound::lb_kim(s, &query) <= eps)
+            .count();
+        assert_eq!(res.stats.candidates, expected);
+    }
+
+    #[test]
+    fn incremental_insert_remove() {
+        let store = store_with(&db());
+        let mut engine = TwSimSearch::empty(TwSimSearch::paper_config());
+        for (id, values) in store.scan().unwrap() {
+            engine.insert(&values, id).unwrap();
+        }
+        assert_eq!(engine.len(), 5);
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let r1 = engine.search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let naive = NaiveScan::search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        assert_eq!(r1.ids(), naive.ids());
+
+        // Remove a matching sequence from the index: it disappears from
+        // results without touching the store.
+        assert!(engine.remove(&db()[0], 0));
+        let r2 = engine.search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        assert!(!r2.ids().contains(&0));
+    }
+
+    #[test]
+    fn zero_tolerance_still_finds_warped_equals() {
+        let store = store_with(&db());
+        let engine = TwSimSearch::build(&store).unwrap();
+        let res = engine
+            .search(&store, &[20.0, 21.0, 20.0, 23.0], 0.0, DtwKind::MaxAbs)
+            .unwrap();
+        assert_eq!(res.ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_empty_query_and_bad_tolerance() {
+        let store = store_with(&db());
+        let engine = TwSimSearch::build(&store).unwrap();
+        assert!(engine.search(&store, &[], 1.0, DtwKind::MaxAbs).is_err());
+        assert!(engine
+            .search(&store, &[1.0], -0.5, DtwKind::MaxAbs)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_database_returns_nothing() {
+        let store = SequenceStore::in_memory();
+        let engine = TwSimSearch::build(&store).unwrap();
+        let res = engine.search(&store, &[1.0], 5.0, DtwKind::MaxAbs).unwrap();
+        assert!(res.matches.is_empty());
+    }
+
+    #[test]
+    fn banded_verification_subset_of_exact() {
+        let store = store_with(&db());
+        let engine = TwSimSearch::build(&store).unwrap();
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let exact = engine
+            .search(&store, &query, 0.6, DtwKind::MaxAbs)
+            .unwrap();
+        for w in [1usize, 2, 8] {
+            let banded = engine
+                .search_with(&store, &query, 0.6, DtwKind::MaxAbs, VerifyMode::Banded(w))
+                .unwrap();
+            // Banded distance >= exact distance, so banded matches form a
+            // subset of the exact ones.
+            for m in &banded.matches {
+                assert!(exact.ids().contains(&m.id), "w={w}");
+            }
+            // A full-width band is the exact answer.
+            let full = engine
+                .search_with(
+                    &store,
+                    &query,
+                    0.6,
+                    DtwKind::MaxAbs,
+                    VerifyMode::Banded(100),
+                )
+                .unwrap();
+            assert_eq!(full.ids(), exact.ids());
+        }
+    }
+
+    #[test]
+    fn banded_verification_saves_cells() {
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let base = (i % 5) as f64;
+                (0..300).map(|j| base + ((j % 7) as f64) * 0.01).collect()
+            })
+            .collect();
+        let store = store_with(&data);
+        let engine = TwSimSearch::build(&store).unwrap();
+        let query: Vec<f64> = (0..300).map(|j| ((j % 7) as f64) * 0.01).collect();
+        let exact = engine
+            .search(&store, &query, 0.05, DtwKind::MaxAbs)
+            .unwrap();
+        let banded = engine
+            .search_with(&store, &query, 0.05, DtwKind::MaxAbs, VerifyMode::Banded(5))
+            .unwrap();
+        assert_eq!(exact.ids(), banded.ids());
+        assert!(banded.stats.dtw_cells < exact.stats.dtw_cells);
+    }
+
+    #[test]
+    fn index_touches_few_nodes_on_selective_queries() {
+        // A larger database: selective queries must not visit most of the
+        // tree (the flatness claim of Figures 4-5).
+        let data: Vec<Vec<f64>> = (0..500)
+            .map(|i| {
+                let base = (i % 50) as f64;
+                vec![base, base + 0.5, base + 1.0, base + 0.2]
+            })
+            .collect();
+        let store = store_with(&data);
+        let engine = TwSimSearch::build(&store).unwrap();
+        let res = engine
+            .search(&store, &[7.0, 7.5, 8.0, 7.2], 0.1, DtwKind::MaxAbs)
+            .unwrap();
+        let total_nodes = engine.tree().node_count() as u64;
+        assert!(
+            res.stats.index_node_accesses < total_nodes / 2,
+            "visited {} of {total_nodes}",
+            res.stats.index_node_accesses
+        );
+        assert!(!res.matches.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! Sequence transformations from the similarity-search literature the paper
+//! builds on (§1): scaling, shifting, (z-)normalization, and moving average.
+//!
+//! These compose with time warping in the usual way — normalize or smooth
+//! first, then compare under `D_tw` — and the examples use them to make
+//! value-scale-insensitive queries. All transformations preserve sequence
+//! length except the moving averages, which shorten by `window - 1`.
+
+/// Multiplies every element by `factor` (amplitude scaling).
+pub fn scale(seq: &[f64], factor: f64) -> Vec<f64> {
+    seq.iter().map(|&v| v * factor).collect()
+}
+
+/// Adds `offset` to every element (vertical shifting).
+pub fn shift(seq: &[f64], offset: f64) -> Vec<f64> {
+    seq.iter().map(|&v| v + offset).collect()
+}
+
+/// Z-normalization: zero mean, unit variance. Constant sequences map to all
+/// zeros (their variance is zero; dividing by it would be undefined).
+pub fn z_normalize(seq: &[f64]) -> Vec<f64> {
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    let n = seq.len() as f64;
+    let mean = seq.iter().sum::<f64>() / n;
+    let var = seq.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    if std == 0.0 {
+        return vec![0.0; seq.len()];
+    }
+    seq.iter().map(|&v| (v - mean) / std).collect()
+}
+
+/// Min–max normalization into `[0, 1]`. Constant sequences map to all 0.5
+/// (the midpoint of the target range; any constant is equally defensible).
+pub fn min_max_normalize(seq: &[f64]) -> Vec<f64> {
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    let lo = seq.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = seq.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi == lo {
+        return vec![0.5; seq.len()];
+    }
+    seq.iter().map(|&v| (v - lo) / (hi - lo)).collect()
+}
+
+/// Simple moving average with the given window; output length is
+/// `len - window + 1`.
+///
+/// # Panics
+/// Panics when `window` is zero or exceeds the sequence length.
+pub fn moving_average(seq: &[f64], window: usize) -> Vec<f64> {
+    assert!(window >= 1, "window must be positive");
+    assert!(
+        window <= seq.len(),
+        "window {window} exceeds sequence length {}",
+        seq.len()
+    );
+    let mut out = Vec::with_capacity(seq.len() - window + 1);
+    let mut sum: f64 = seq[..window].iter().sum();
+    out.push(sum / window as f64);
+    for i in window..seq.len() {
+        sum += seq[i] - seq[i - window];
+        out.push(sum / window as f64);
+    }
+    out
+}
+
+/// Exponential moving average with smoothing factor `alpha` in `(0, 1]`.
+/// Output length equals input length.
+pub fn exponential_moving_average(seq: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "alpha must be in (0, 1], got {alpha}"
+    );
+    let mut out = Vec::with_capacity(seq.len());
+    let mut ema = match seq.first() {
+        Some(&v) => v,
+        None => return out,
+    };
+    for &v in seq {
+        ema = alpha * v + (1.0 - alpha) * ema;
+        out.push(ema);
+    }
+    out
+}
+
+/// First differences: `d_i = s_{i+1} - s_i`, the trend signal the paper's
+/// random-walk generator perturbs. Output length is `len - 1`.
+pub fn differences(seq: &[f64]) -> Vec<f64> {
+    seq.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Piecewise aggregate approximation (PAA): the mean of `pieces` equal-width
+/// chunks — the classic dimensionality reduction for sequences.
+///
+/// # Panics
+/// Panics when `pieces` is zero or exceeds the sequence length.
+pub fn paa(seq: &[f64], pieces: usize) -> Vec<f64> {
+    assert!(pieces >= 1, "pieces must be positive");
+    assert!(
+        pieces <= seq.len(),
+        "pieces {pieces} exceeds sequence length {}",
+        seq.len()
+    );
+    let n = seq.len();
+    (0..pieces)
+        .map(|p| {
+            let start = p * n / pieces;
+            let end = ((p + 1) * n / pieces).max(start + 1);
+            seq[start..end].iter().sum::<f64>() / (end - start) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{dtw, DtwKind};
+
+    const SEQ: [f64; 6] = [2.0, 4.0, 6.0, 4.0, 2.0, 6.0];
+
+    #[test]
+    fn scale_and_shift() {
+        assert_eq!(scale(&SEQ, 0.5), vec![1.0, 2.0, 3.0, 2.0, 1.0, 3.0]);
+        assert_eq!(shift(&SEQ, -2.0), vec![0.0, 2.0, 4.0, 2.0, 0.0, 4.0]);
+        assert_eq!(scale(&[], 2.0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn z_normalize_properties() {
+        let z = z_normalize(&SEQ);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        assert_eq!(z_normalize(&[3.0, 3.0]), vec![0.0, 0.0]);
+        assert!(z_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn z_normalization_removes_scale_and_shift() {
+        // After z-normalization, a scaled+shifted copy is DTW-identical.
+        let a = z_normalize(&SEQ);
+        let b = z_normalize(&shift(&scale(&SEQ, 3.0), 10.0));
+        assert!(dtw(&a, &b, DtwKind::MaxAbs).distance < 1e-12);
+    }
+
+    #[test]
+    fn min_max_into_unit_range() {
+        let m = min_max_normalize(&SEQ);
+        assert_eq!(m.iter().cloned().fold(f64::INFINITY, f64::min), 0.0);
+        assert_eq!(m.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 1.0);
+        assert_eq!(min_max_normalize(&[7.0, 7.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn moving_average_known_values() {
+        assert_eq!(moving_average(&SEQ, 1), SEQ.to_vec());
+        assert_eq!(moving_average(&SEQ, 2), vec![3.0, 5.0, 5.0, 3.0, 4.0]);
+        assert_eq!(moving_average(&SEQ, 6), vec![4.0]);
+    }
+
+    #[test]
+    fn moving_average_smooths_noise() {
+        let noisy: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.1) + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let smooth = moving_average(&noisy, 4);
+        let roughness = |s: &[f64]| {
+            s.windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .sum::<f64>()
+                / (s.len() - 1) as f64
+        };
+        assert!(roughness(&smooth) < roughness(&noisy) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds sequence length")]
+    fn moving_average_oversized_window_panics() {
+        let _ = moving_average(&SEQ, 7);
+    }
+
+    #[test]
+    fn ema_converges_to_constant() {
+        let flat = vec![5.0; 20];
+        let ema = exponential_moving_average(&flat, 0.3);
+        assert!(ema.iter().all(|&v| (v - 5.0).abs() < 1e-12));
+        assert!(exponential_moving_average(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ema_invalid_alpha_panics() {
+        let _ = exponential_moving_average(&SEQ, 0.0);
+    }
+
+    #[test]
+    fn differences_shorten_by_one() {
+        assert_eq!(differences(&SEQ), vec![2.0, 2.0, -2.0, -2.0, 4.0]);
+        assert!(differences(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn paa_reduces_dimensions() {
+        assert_eq!(paa(&SEQ, 3), vec![3.0, 5.0, 4.0]);
+        assert_eq!(paa(&SEQ, 6), SEQ.to_vec());
+        assert_eq!(paa(&SEQ, 1), vec![4.0]);
+    }
+
+    #[test]
+    fn paa_uneven_split() {
+        let seq = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = paa(&seq, 2);
+        assert_eq!(p.len(), 2);
+        // Chunks [1,2] and [3,4,5].
+        assert_eq!(p, vec![1.5, 4.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests of the core distance machinery against *definitional*
+//! oracles: the paper's recursive Definitions 1 and 2 implemented literally
+//! (with memoization), which the production iterative DPs must reproduce
+//! exactly on small inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use tw_core::distance::{dtw, dtw_banded, dtw_with_path, DtwKind};
+use tw_core::{
+    min_max_normalize, moving_average, paa, z_normalize, Alignment,
+};
+
+/// Definition 1 / Definition 2, written exactly as the paper states them:
+/// `D_tw(<>, <>) = 0`, `D_tw(S, <>) = D_tw(<>, Q) = ∞`,
+/// `D_tw(S, Q) = base(First(S), First(Q)) ⊕ min(D_tw(S, Rest(Q)),
+/// D_tw(Rest(S), Q), D_tw(Rest(S), Rest(Q)))` where `⊕` is `+` for the
+/// additive kinds and `max` for the L∞ kind.
+fn definitional_dtw(s: &[f64], q: &[f64], kind: DtwKind) -> f64 {
+    fn rec(
+        s: &[f64],
+        q: &[f64],
+        kind: DtwKind,
+        memo: &mut HashMap<(usize, usize), f64>,
+    ) -> f64 {
+        if s.is_empty() && q.is_empty() {
+            return 0.0;
+        }
+        if s.is_empty() || q.is_empty() {
+            return f64::INFINITY;
+        }
+        let key = (s.len(), q.len());
+        if let Some(&v) = memo.get(&key) {
+            return v;
+        }
+        let base = match kind {
+            DtwKind::SumAbs | DtwKind::MaxAbs => (s[0] - q[0]).abs(),
+            DtwKind::SumSquared => (s[0] - q[0]) * (s[0] - q[0]),
+        };
+        let tail = rec(s, &q[1..], kind, memo)
+            .min(rec(&s[1..], q, kind, memo))
+            .min(rec(&s[1..], &q[1..], kind, memo));
+        let v = match kind {
+            DtwKind::MaxAbs => base.max(tail),
+            _ => base + tail,
+        };
+        memo.insert(key, v);
+        v
+    }
+    let raw = rec(s, q, kind, &mut HashMap::new());
+    match kind {
+        DtwKind::SumSquared if raw.is_finite() => raw.sqrt(),
+        _ => raw,
+    }
+}
+
+fn short_seq() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, 1..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The iterative DP equals the paper's recursive definition.
+    #[test]
+    fn dp_matches_definition(s in short_seq(), q in short_seq()) {
+        for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
+            let dp = dtw(&s, &q, kind).distance;
+            let def = definitional_dtw(&s, &q, kind);
+            prop_assert!((dp - def).abs() < 1e-9, "{kind:?}: dp {dp} vs def {def}");
+        }
+    }
+
+    /// The full-matrix path variant agrees with the rolling DP.
+    #[test]
+    fn path_variant_matches_dp(s in short_seq(), q in short_seq()) {
+        for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
+            let (full, path) = dtw_with_path(&s, &q, kind);
+            prop_assert!((full.distance - dtw(&s, &q, kind).distance).abs() < 1e-9);
+            prop_assert!(!path.is_empty());
+        }
+    }
+
+    /// A band at least as wide as both lengths is the unconstrained distance.
+    #[test]
+    fn full_band_is_exact(s in short_seq(), q in short_seq()) {
+        let w = s.len().max(q.len());
+        for kind in [DtwKind::SumAbs, DtwKind::MaxAbs] {
+            let banded = dtw_banded(&s, &q, kind, w).distance;
+            let exact = dtw(&s, &q, kind).distance;
+            prop_assert!((banded - exact).abs() < 1e-9, "{kind:?}");
+        }
+    }
+
+    /// The alignment realizes its reported distance: aggregating the
+    /// per-position gaps along the path reproduces it.
+    #[test]
+    fn alignment_realizes_distance(s in short_seq(), q in short_seq()) {
+        let a = Alignment::compute(&s, &q, DtwKind::MaxAbs);
+        prop_assert!((a.max_gap() - a.distance).abs() < 1e-9);
+        let b = Alignment::compute(&s, &q, DtwKind::SumAbs);
+        let sum: f64 = b.gaps().iter().sum();
+        prop_assert!((sum - b.distance).abs() < 1e-9);
+    }
+
+    /// DTW is symmetric and zero on identical inputs (pseudo-metric axioms
+    /// minus the triangle, which genuinely fails).
+    #[test]
+    fn dtw_symmetry_and_identity(s in short_seq(), q in short_seq()) {
+        for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
+            prop_assert!((dtw(&s, &q, kind).distance - dtw(&q, &s, kind).distance).abs() < 1e-9);
+            prop_assert_eq!(dtw(&s, &s, kind).distance, 0.0);
+        }
+    }
+
+    /// Element replication (the warping operation itself): the L∞ distance
+    /// is exactly invariant — the duplicate pairs with whatever its original
+    /// paired with, changing no maximum. The additive distance can only
+    /// grow (every extra mapping adds a non-negative term) — which is the
+    /// paper's §4.1 argument for preferring L∞ tolerances.
+    #[test]
+    fn dtw_replication_laws(
+        s in short_seq(),
+        q in short_seq(),
+        dup in 0usize..8,
+    ) {
+        let mut warped = s.clone();
+        let at = dup % s.len();
+        warped.insert(at, s[at]);
+
+        let orig_max = dtw(&s, &q, DtwKind::MaxAbs).distance;
+        let stretched_max = dtw(&warped, &q, DtwKind::MaxAbs).distance;
+        prop_assert!(
+            (orig_max - stretched_max).abs() < 1e-9,
+            "MaxAbs: {orig_max} vs {stretched_max}"
+        );
+
+        let orig_sum = dtw(&s, &q, DtwKind::SumAbs).distance;
+        let stretched_sum = dtw(&warped, &q, DtwKind::SumAbs).distance;
+        prop_assert!(
+            stretched_sum >= orig_sum - 1e-9,
+            "SumAbs: {stretched_sum} < {orig_sum}"
+        );
+    }
+
+    /// z-normalization is idempotent up to floating error and kills scale
+    /// and shift.
+    #[test]
+    fn z_normalize_properties(
+        s in prop::collection::vec(-100.0f64..100.0, 2..40),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let z = z_normalize(&s);
+        let zz = z_normalize(&z);
+        for (a, b) in z.iter().zip(&zz) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+        let transformed: Vec<f64> = s.iter().map(|v| v * scale + shift).collect();
+        let zt = z_normalize(&transformed);
+        for (a, b) in z.iter().zip(&zt) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// Min-max normalization lands in [0, 1]; PAA and moving averages stay
+    /// within the input's range.
+    #[test]
+    fn normalization_and_smoothing_bounds(
+        s in prop::collection::vec(-100.0f64..100.0, 2..40),
+        window in 1usize..8,
+        pieces in 1usize..8,
+    ) {
+        for v in min_max_normalize(&s) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let lo = s.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let w = window.min(s.len());
+        for v in moving_average(&s, w) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        let p = pieces.min(s.len());
+        for v in paa(&s, p) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Host crate for the runnable examples in the repository root `examples/` directory.
+//! See `examples/*.rs`; each example declares its own run command.

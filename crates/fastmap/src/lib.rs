@@ -1,0 +1,406 @@
+//! # tw-fastmap — FastMap feature extraction (Faloutsos & Lin, SIGMOD 1995)
+//!
+//! The substrate behind the **FastMap method** of Yi et al. that the paper
+//! discusses in §3.3: map each sequence to a `k`-dimensional point using only
+//! a distance oracle, then index the points. With a *metric* distance the
+//! projection contracts distances and indexing the points is sound; with the
+//! **time-warping distance the triangular inequality fails**, projected
+//! distances can *overestimate*, and range queries in the projected space
+//! dismiss true results. The paper excludes the method from its charts for
+//! exactly this reason — we implement it so the benchmark harness can
+//! *measure* the false-dismissal rate it incurs (DESIGN.md,
+//! "ablation-fastmap").
+//!
+//! ## Example
+//!
+//! ```
+//! use tw_fastmap::{FastMap, SliceOracle};
+//!
+//! // Points on a line; Euclidean distances form a metric, so FastMap
+//! // recovers the geometry well.
+//! let vals = [0.0_f64, 1.0, 2.0, 10.0];
+//! let oracle = SliceOracle::new(vals.len(), |a, b| (vals[a] - vals[b]).abs());
+//! let map = FastMap::fit(&oracle, 1, 42);
+//! let c = map.coordinates();
+//! assert!((c[0][0] - c[3][0]).abs() > (c[0][0] - c[1][0]).abs());
+//! ```
+
+/// A pairwise distance oracle over `len()` objects.
+///
+/// FastMap only ever sees objects through this trait, which is what lets it
+/// embed objects under expensive, even non-metric, distances such as DTW.
+pub trait DistanceOracle {
+    /// Number of objects.
+    fn len(&self) -> usize;
+    /// Whether the collection is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Distance between objects `a` and `b`. Must be symmetric and
+    /// non-negative with `distance(a, a) == 0`; it need *not* satisfy the
+    /// triangular inequality.
+    fn distance(&self, a: usize, b: usize) -> f64;
+}
+
+/// A closure-backed oracle.
+pub struct SliceOracle<F: Fn(usize, usize) -> f64> {
+    len: usize,
+    dist: F,
+}
+
+impl<F: Fn(usize, usize) -> f64> SliceOracle<F> {
+    pub fn new(len: usize, dist: F) -> Self {
+        Self { len, dist }
+    }
+}
+
+impl<F: Fn(usize, usize) -> f64> DistanceOracle for SliceOracle<F> {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn distance(&self, a: usize, b: usize) -> f64 {
+        (self.dist)(a, b)
+    }
+}
+
+/// One projection axis: the pivot pair and their (reduced) separation.
+#[derive(Debug, Clone, Copy)]
+struct Axis {
+    pivot_a: usize,
+    pivot_b: usize,
+    /// Reduced distance between the pivots on this axis (may be 0 for
+    /// degenerate axes, which then contribute a constant coordinate).
+    d_ab: f64,
+}
+
+/// A fitted FastMap embedding.
+#[derive(Debug, Clone)]
+pub struct FastMap {
+    axes: Vec<Axis>,
+    coords: Vec<Vec<f64>>,
+    distance_evaluations: u64,
+}
+
+impl FastMap {
+    /// Fits a `k`-dimensional embedding of the oracle's objects.
+    ///
+    /// `seed` drives the deterministic pivot-selection heuristic. The number
+    /// of oracle calls is `O(k * n)` — this is FastMap's selling point over
+    /// an `O(n^2)` full distance matrix.
+    pub fn fit(oracle: &dyn DistanceOracle, k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one dimension");
+        let n = oracle.len();
+        let mut map = Self {
+            axes: Vec::with_capacity(k),
+            coords: vec![Vec::with_capacity(k); n],
+            distance_evaluations: 0,
+        };
+        if n == 0 {
+            return map;
+        }
+        let mut rng_state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for _ in 0..k {
+            let dim = map.axes.len();
+            let (a, b, d_ab) = map.choose_pivots(oracle, dim, &mut rng_state);
+            map.axes.push(Axis {
+                pivot_a: a,
+                pivot_b: b,
+                d_ab,
+            });
+            if d_ab <= f64::EPSILON {
+                // All remaining reduced distances are ~0: constant axis.
+                for c in &mut map.coords {
+                    c.push(0.0);
+                }
+                continue;
+            }
+            let d_ab_sq = d_ab * d_ab;
+            for i in 0..n {
+                let d_ai = map.reduced_sq(oracle, a, i, dim);
+                let d_bi = map.reduced_sq(oracle, b, i, dim);
+                let x = (d_ai + d_ab_sq - d_bi) / (2.0 * d_ab);
+                map.coords[i].push(x);
+            }
+        }
+        map
+    }
+
+    /// The embedded coordinates, one `k`-vector per object.
+    pub fn coordinates(&self) -> &[Vec<f64>] {
+        &self.coords
+    }
+
+    /// Number of fitted dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Oracle calls spent during fitting (the method's build cost).
+    pub fn distance_evaluations(&self) -> u64 {
+        self.distance_evaluations
+    }
+
+    /// Projects a *new* object given its original distances to the database
+    /// objects. `dist(i)` must return the original (unreduced) distance from
+    /// the new object to database object `i`.
+    pub fn project(&self, mut dist: impl FnMut(usize) -> f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.axes.len());
+        for (dim, axis) in self.axes.iter().enumerate() {
+            if axis.d_ab <= f64::EPSILON {
+                out.push(0.0);
+                continue;
+            }
+            let d_qa = reduced_query_sq(dist(axis.pivot_a), &out, &self.coords[axis.pivot_a], dim);
+            let d_qb = reduced_query_sq(dist(axis.pivot_b), &out, &self.coords[axis.pivot_b], dim);
+            let d_ab_sq = axis.d_ab * axis.d_ab;
+            out.push((d_qa + d_ab_sq - d_qb) / (2.0 * axis.d_ab));
+        }
+        out
+    }
+
+    /// Euclidean distance between two embedded points.
+    pub fn embedded_distance(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Squared reduced distance at dimension `dim`:
+    /// `d(i,j)^2 - sum_{s<dim} (x_i,s - x_j,s)^2`, clamped at zero. The clamp
+    /// is where non-metric inputs lose information — with DTW the raw value
+    /// can go negative.
+    fn reduced_sq(
+        &mut self,
+        oracle: &dyn DistanceOracle,
+        i: usize,
+        j: usize,
+        dim: usize,
+    ) -> f64 {
+        self.distance_evaluations += 1;
+        let d = oracle.distance(i, j);
+        let mut sq = d * d;
+        for s in 0..dim {
+            let diff = self.coords[i][s] - self.coords[j][s];
+            sq -= diff * diff;
+        }
+        sq.max(0.0)
+    }
+
+    /// The "choose distant objects" heuristic: start from a pseudo-random
+    /// object, repeatedly jump to the farthest object under the current
+    /// reduced distance.
+    fn choose_pivots(
+        &mut self,
+        oracle: &dyn DistanceOracle,
+        dim: usize,
+        rng_state: &mut u64,
+    ) -> (usize, usize, f64) {
+        let n = oracle.len();
+        let mut a = (xorshift(rng_state) % n as u64) as usize;
+        let mut b = a;
+        let mut d_ab = 0.0;
+        // A handful of refinement hops suffices in practice (the original
+        // paper uses a constant number of iterations).
+        for _ in 0..5 {
+            let (far, d) = self.farthest_from(oracle, a, dim);
+            if d <= d_ab {
+                break;
+            }
+            b = a;
+            a = far;
+            d_ab = d;
+        }
+        if a == b {
+            let (far, d) = self.farthest_from(oracle, a, dim);
+            b = far;
+            d_ab = d;
+        }
+        (a, b, d_ab)
+    }
+
+    fn farthest_from(
+        &mut self,
+        oracle: &dyn DistanceOracle,
+        from: usize,
+        dim: usize,
+    ) -> (usize, f64) {
+        let n = oracle.len();
+        let mut best = (from, 0.0f64);
+        for i in 0..n {
+            if i == from {
+                continue;
+            }
+            let d = self.reduced_sq(oracle, from, i, dim).sqrt();
+            if d > best.1 {
+                best = (i, d);
+            }
+        }
+        best
+    }
+}
+
+/// Squared reduced distance from a query (with the coordinates computed so
+/// far) to a database object at dimension `dim`.
+fn reduced_query_sq(original: f64, q_coords: &[f64], obj_coords: &[f64], dim: usize) -> f64 {
+    let mut d = original * original;
+    for s in 0..dim {
+        let diff = q_coords[s] - obj_coords[s];
+        d -= diff * diff;
+    }
+    d.max(0.0)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn euclid_oracle(points: Vec<(f64, f64)>) -> SliceOracle<impl Fn(usize, usize) -> f64> {
+        let pts = points.clone();
+        SliceOracle::new(points.len(), move |a, b| {
+            let (xa, ya) = pts[a];
+            let (xb, yb) = pts[b];
+            ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt()
+        })
+    }
+
+    #[test]
+    fn one_dimension_separates_line_points() {
+        let vals = [0.0_f64, 1.0, 2.0, 3.0, 100.0];
+        let oracle = SliceOracle::new(vals.len(), |a, b| (vals[a] - vals[b]).abs());
+        let map = FastMap::fit(&oracle, 1, 7);
+        let c = map.coordinates();
+        // The outlier must land far from the cluster in embedded space.
+        let cluster_spread = (c[0][0] - c[3][0]).abs();
+        let outlier_gap = (c[0][0] - c[4][0]).abs();
+        assert!(outlier_gap > 10.0 * cluster_spread.max(1e-9));
+    }
+
+    #[test]
+    fn embedding_contracts_metric_distances() {
+        // For metric inputs, FastMap's embedded Euclidean distance never
+        // exceeds the original distance (projection onto lines contracts).
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 0.5),
+            (2.0, 2.0),
+            (5.0, 1.0),
+            (3.0, 4.0),
+            (0.5, 3.0),
+        ];
+        let oracle = euclid_oracle(pts.clone());
+        let map = FastMap::fit(&oracle, 2, 3);
+        let c = map.coordinates();
+        for a in 0..pts.len() {
+            for b in 0..pts.len() {
+                let orig = oracle.distance(a, b);
+                let emb = FastMap::embedded_distance(&c[a], &c[b]);
+                assert!(
+                    emb <= orig + 1e-9,
+                    "pair ({a},{b}): embedded {emb} > original {orig}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_dimensions_approximate_plane_well() {
+        let pts = vec![
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (0.0, 3.0),
+            (4.0, 3.0),
+            (2.0, 1.5),
+        ];
+        let oracle = euclid_oracle(pts.clone());
+        let map = FastMap::fit(&oracle, 2, 11);
+        let c = map.coordinates();
+        // With k=2 on planar data the embedding should recover most of each
+        // pairwise distance.
+        for a in 0..pts.len() {
+            for b in (a + 1)..pts.len() {
+                let orig = oracle.distance(a, b);
+                let emb = FastMap::embedded_distance(&c[a], &c[b]);
+                assert!(emb >= 0.5 * orig, "pair ({a},{b}): {emb} << {orig}");
+            }
+        }
+    }
+
+    #[test]
+    fn project_places_known_object_near_its_fit_position() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (4.0, 0.0), (2.0, 3.0)];
+        let oracle = euclid_oracle(pts.clone());
+        let map = FastMap::fit(&oracle, 2, 5);
+        // Project object 1 as if it were a new query.
+        let projected = map.project(|i| oracle.distance(1, i));
+        let fitted = &map.coordinates()[1];
+        for (p, f) in projected.iter().zip(fitted) {
+            assert!((p - f).abs() < 1e-9, "projected {p} vs fitted {f}");
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_objects() {
+        let oracle = SliceOracle::new(5, |_, _| 0.0);
+        let map = FastMap::fit(&oracle, 3, 1);
+        for c in map.coordinates() {
+            assert_eq!(c, &vec![0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn empty_oracle() {
+        let oracle = SliceOracle::new(0, |_, _| 0.0);
+        let map = FastMap::fit(&oracle, 2, 1);
+        assert!(map.coordinates().is_empty());
+    }
+
+    #[test]
+    fn non_metric_distance_is_clamped_not_crashed() {
+        // A deliberately non-metric "distance": d(0,2) huge, d(0,1)+d(1,2)
+        // small — triangular inequality violated, reductions go negative.
+        let d = |a: usize, b: usize| -> f64 {
+            if a == b {
+                return 0.0;
+            }
+            match (a.min(b), a.max(b)) {
+                (0, 2) => 100.0,
+                _ => 1.0,
+            }
+        };
+        let oracle = SliceOracle::new(4, d);
+        let map = FastMap::fit(&oracle, 3, 9);
+        for c in map.coordinates() {
+            for &x in c {
+                assert!(x.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_cost_is_linear_per_dimension() {
+        let oracle = SliceOracle::new(100, |a, b| (a as f64 - b as f64).abs());
+        let map = FastMap::fit(&oracle, 3, 2);
+        // O(k * n) with the constant from pivot refinement; must be far below
+        // the n^2/2 = 5000 full matrix.
+        assert!(map.distance_evaluations() < 5000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let oracle = SliceOracle::new(20, |a, b| ((a * 7) as f64 - (b * 7) as f64).abs());
+        let m1 = FastMap::fit(&oracle, 2, 1234);
+        let m2 = FastMap::fit(&oracle, 2, 1234);
+        assert_eq!(m1.coordinates(), m2.coordinates());
+    }
+}

@@ -1,0 +1,263 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! §4.3.1 of the paper notes that initial index construction over a large
+//! database should use bulk loading. STR (Leutenegger et al.) packs leaves to
+//! full capacity by recursively tiling the sorted input, producing a tree with
+//! near-minimal node count and well-clustered leaves.
+
+use crate::geometry::{Point, Rect};
+use crate::node::{DataId, Entry, Node, NodeId, Payload};
+use crate::tree::{RTree, RTreeConfig};
+
+impl<const D: usize> RTree<D> {
+    /// Builds a tree from `(point, id)` pairs using STR bulk loading.
+    ///
+    /// Leaves are packed to `config.max_entries`; the resulting tree obeys the
+    /// same occupancy invariants as an incrementally built one (verified by
+    /// [`crate::validation::Violation`]-free validation in tests).
+    pub fn bulk_load(config: RTreeConfig, items: Vec<(Point<D>, DataId)>) -> Self {
+        let entries: Vec<Entry<D>> = items
+            .into_iter()
+            .map(|(p, id)| Entry {
+                rect: Rect::from_point(&p),
+                payload: Payload::Data(id),
+            })
+            .collect();
+        Self::bulk_load_rects(config, entries)
+    }
+
+    /// Builds a tree from arbitrary rectangle entries using STR.
+    pub fn bulk_load_rects(config: RTreeConfig, entries: Vec<Entry<D>>) -> Self {
+        let mut tree = RTree::new(config);
+        if entries.is_empty() {
+            return tree;
+        }
+        tree.len = entries.len();
+
+        // Pack level 0 (leaves), then repeatedly pack the parent level until a
+        // single node remains.
+        let mut level = 0u32;
+        let mut current = entries;
+        loop {
+            let groups = str_partition::<D>(current, config.max_entries);
+            if groups.len() == 1 {
+                // Single node: it becomes the root.
+                let root_entries = groups.into_iter().next().expect("one group");
+                let root = Node {
+                    level,
+                    entries: root_entries,
+                };
+                tree.nodes[0] = root;
+                // NodeId(0) was pre-allocated by RTree::new as the root.
+                tree.root = NodeId(0);
+                return tree;
+            }
+            // Materialize this level's nodes and produce parent entries.
+            let mut parent_entries = Vec::with_capacity(groups.len());
+            for g in groups {
+                let node = Node { level, entries: g };
+                let mbr = node.mbr();
+                let id = tree.push_node(node);
+                parent_entries.push(Entry {
+                    rect: mbr,
+                    payload: Payload::Child(id),
+                });
+            }
+            current = parent_entries;
+            level += 1;
+        }
+    }
+
+    fn push_node(&mut self, node: Node<D>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+        self.nodes.push(node);
+        id
+    }
+}
+
+/// Partitions entries into groups of at most `capacity` using the STR tiling:
+/// sort by the first axis, cut into vertical slabs, sort each slab by the next
+/// axis, recurse.
+fn str_partition<const D: usize>(
+    mut entries: Vec<Entry<D>>,
+    capacity: usize,
+) -> Vec<Vec<Entry<D>>> {
+    assert!(capacity >= 1);
+    let n = entries.len();
+    if n <= capacity {
+        return vec![entries];
+    }
+    let total_groups = n.div_ceil(capacity);
+    let mut out = Vec::with_capacity(total_groups);
+    tile(&mut entries, capacity, 0, &mut out);
+    out
+}
+
+fn tile<const D: usize>(
+    entries: &mut [Entry<D>],
+    capacity: usize,
+    axis: usize,
+    out: &mut Vec<Vec<Entry<D>>>,
+) {
+    let n = entries.len();
+    if n <= capacity {
+        out.push(entries.to_vec());
+        return;
+    }
+    sort_by_center(entries, axis);
+    if axis + 1 == D {
+        // Last axis: emit ceil(n/capacity) near-equal runs. Even sizing (vs
+        // greedy runs of `capacity`) guarantees every group holds at least
+        // floor(capacity/2) >= min_entries entries, preserving the occupancy
+        // invariant that incrementally built trees satisfy.
+        for range in even_partition(n, n.div_ceil(capacity)) {
+            out.push(entries[range].to_vec());
+        }
+        return;
+    }
+    // Number of leaf groups this subtree will produce, arranged in
+    // ~(groups^(1/axes))-many slabs across the remaining axes.
+    let groups = n.div_ceil(capacity);
+    let remaining_axes = (D - axis) as f64;
+    let slabs = ((groups as f64).powf(1.0 / remaining_axes).ceil() as usize).max(1);
+    for range in even_partition(n, slabs) {
+        tile(&mut entries[range], capacity, axis + 1, out);
+    }
+}
+
+/// Splits `0..n` into `parts` contiguous ranges whose lengths differ by at
+/// most one.
+fn even_partition(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+fn sort_by_center<const D: usize>(entries: &mut [Entry<D>], axis: usize) {
+    entries.sort_by(|a, b| {
+        let ca = a.rect.min()[axis] + a.rect.max()[axis];
+        let cb = b.rect.min()[axis] + b.rect.max()[axis];
+        ca.partial_cmp(&cb).expect("finite bounds")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SplitAlgorithm;
+
+    fn cfg() -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+            split: SplitAlgorithm::Quadratic,
+        }
+    }
+
+    fn points(n: usize) -> Vec<(Point<2>, DataId)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 101) as f64;
+                let y = ((i * 61) % 103) as f64;
+                (Point::new([x, y]), i as DataId)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t: RTree<2> = RTree::bulk_load(cfg(), vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn bulk_load_single_leaf() {
+        let t = RTree::bulk_load(cfg(), points(5));
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn bulk_load_preserves_all_ids() {
+        for n in [1usize, 8, 9, 64, 65, 500, 1000] {
+            let t = RTree::bulk_load(cfg(), points(n));
+            assert_eq!(t.len(), n);
+            let mut ids: Vec<DataId> = t.iter().map(|(_, id)| id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..n as u64).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_queries_match_incremental_tree() {
+        let pts = points(300);
+        let bulk = RTree::bulk_load(cfg(), pts.clone());
+        let mut incr = RTree::new(cfg());
+        for (p, id) in &pts {
+            incr.insert_point(*p, *id);
+        }
+        for window in [
+            Rect::new([0.0, 0.0], [30.0, 30.0]),
+            Rect::new([50.0, 50.0], [80.0, 103.0]),
+            Rect::new([-10.0, -10.0], [200.0, 200.0]),
+        ] {
+            let mut a = bulk.range(&window).ids;
+            let mut b = incr.range(&window).ids;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "{window:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_is_compact() {
+        let n = 1000;
+        let bulk = RTree::bulk_load(cfg(), points(n));
+        let mut incr = RTree::new(cfg());
+        for (p, id) in points(n) {
+            incr.insert_point(p, id);
+        }
+        // STR packs leaves full, so it needs no more (and usually far fewer)
+        // nodes than incremental insertion.
+        assert!(
+            bulk.node_count() <= incr.node_count(),
+            "bulk {} vs incr {}",
+            bulk.node_count(),
+            incr.node_count()
+        );
+        // Leaves are near capacity: node count close to ideal.
+        let ideal_leaves = n.div_ceil(cfg().max_entries);
+        assert!(bulk.node_count() <= 2 * ideal_leaves + 4);
+    }
+
+    #[test]
+    fn bulk_load_4d_feature_space() {
+        // The production shape: 4-D feature vectors on 1 KB pages.
+        let config = RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic);
+        let items: Vec<(Point<4>, DataId)> = (0..2000)
+            .map(|i| {
+                let f = i as f64;
+                (
+                    Point::new([f.sin() * 10.0, f.cos() * 10.0, f % 7.0, f % 11.0]),
+                    i,
+                )
+            })
+            .collect();
+        let t = RTree::bulk_load(config, items);
+        assert_eq!(t.len(), 2000);
+        // Radius 8 admits points where both |sin|*10 and |cos|*10 are <= 8
+        // (impossible at radius 5 since max(|sin|,|cos|) >= sqrt(2)/2).
+        let res = t.range_centered(&Point::new([0.0, 0.0, 0.0, 0.0]), 8.0);
+        assert!(!res.ids.is_empty());
+    }
+}

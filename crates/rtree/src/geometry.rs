@@ -1,0 +1,380 @@
+//! Axis-aligned geometry primitives for the R-tree.
+//!
+//! The tree is generic over the dimensionality `D` via const generics; the
+//! paper's TW-Sim-Search index instantiates `D = 4` (one axis per component of
+//! the warping-invariant feature vector).
+
+/// A point in `D`-dimensional space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from raw coordinates.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is NaN; the tree relies on total ordering of
+    /// coordinates.
+    pub fn new(coords: [f64; D]) -> Self {
+        assert!(
+            coords.iter().all(|c| !c.is_nan()),
+            "R-tree points must not contain NaN coordinates"
+        );
+        Self { coords }
+    }
+
+    /// The coordinate along axis `axis`.
+    #[inline]
+    pub fn coord(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+
+    /// All coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// Squared Euclidean distance to another point.
+    pub fn distance_sq(&self, other: &Self) -> f64 {
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Chebyshev (L∞) distance to another point.
+    ///
+    /// This is the metric under which the paper's `D_tw-lb` operates, so it is
+    /// the natural point-to-point distance for feature-vector queries.
+    pub fn chebyshev(&self, other: &Self) -> f64 {
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Self::new(coords)
+    }
+}
+
+/// An axis-aligned rectangle (minimum bounding rectangle, MBR) in
+/// `D`-dimensional space. `min[i] <= max[i]` holds on every axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    min: [f64; D],
+    max: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle from its lower and upper corners.
+    ///
+    /// # Panics
+    /// Panics if `min[i] > max[i]` on any axis or any bound is NaN.
+    pub fn new(min: [f64; D], max: [f64; D]) -> Self {
+        for axis in 0..D {
+            assert!(
+                !min[axis].is_nan() && !max[axis].is_nan(),
+                "R-tree rectangles must not contain NaN bounds"
+            );
+            assert!(
+                min[axis] <= max[axis],
+                "rectangle min must not exceed max on axis {axis}: {} > {}",
+                min[axis],
+                max[axis]
+            );
+        }
+        Self { min, max }
+    }
+
+    /// A degenerate rectangle covering exactly one point.
+    pub fn from_point(p: &Point<D>) -> Self {
+        Self {
+            min: *p.coords(),
+            max: *p.coords(),
+        }
+    }
+
+    /// The square (hyper-cube) range query used by TW-Sim-Search: the box of
+    /// half-side `radius` centred at `center` (Algorithm 1, Step 2).
+    pub fn centered(center: &Point<D>, radius: f64) -> Self {
+        assert!(radius >= 0.0, "query radius must be non-negative");
+        let mut min = *center.coords();
+        let mut max = *center.coords();
+        for axis in 0..D {
+            min[axis] -= radius;
+            max[axis] += radius;
+        }
+        Self { min, max }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn min(&self) -> &[f64; D] {
+        &self.min
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn max(&self) -> &[f64; D] {
+        &self.max
+    }
+
+    /// Extent along one axis.
+    #[inline]
+    pub fn side(&self, axis: usize) -> f64 {
+        self.max[axis] - self.min[axis]
+    }
+
+    /// Hyper-volume of the rectangle. Degenerate rectangles have zero area.
+    pub fn area(&self) -> f64 {
+        (0..D).map(|a| self.side(a)).product()
+    }
+
+    /// Sum of edge lengths (the "margin" criterion used by the R*-split).
+    pub fn margin(&self) -> f64 {
+        (0..D).map(|a| self.side(a)).sum()
+    }
+
+    /// Center point of the rectangle.
+    pub fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for (axis, slot) in c.iter_mut().enumerate() {
+            *slot = 0.5 * (self.min[axis] + self.max[axis]);
+        }
+        Point::new(c)
+    }
+
+    /// Smallest rectangle enclosing `self` and `other`.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut min = self.min;
+        let mut max = self.max;
+        for axis in 0..D {
+            min[axis] = min[axis].min(other.min[axis]);
+            max[axis] = max[axis].max(other.max[axis]);
+        }
+        Self { min, max }
+    }
+
+    /// Smallest rectangle enclosing all rectangles in `rects`.
+    ///
+    /// # Panics
+    /// Panics if `rects` is empty.
+    pub fn union_all<'a, I: IntoIterator<Item = &'a Self>>(rects: I) -> Self {
+        let mut it = rects.into_iter();
+        let first = *it.next().expect("union_all requires at least one rect");
+        it.fold(first, |acc, r| acc.union(r))
+    }
+
+    /// Increase in area if `other` were merged into `self`.
+    pub fn enlargement(&self, other: &Self) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Whether the two rectangles share any point (closed intervals).
+    pub fn intersects(&self, other: &Self) -> bool {
+        (0..D).all(|a| self.min[a] <= other.max[a] && other.min[a] <= self.max[a])
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains_rect(&self, other: &Self) -> bool {
+        (0..D).all(|a| self.min[a] <= other.min[a] && other.max[a] <= self.max[a])
+    }
+
+    /// Whether the point lies inside the rectangle (boundary inclusive).
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|a| self.min[a] <= p.coord(a) && p.coord(a) <= self.max[a])
+    }
+
+    /// Hyper-volume of the intersection of the two rectangles (0 if disjoint).
+    pub fn overlap_area(&self, other: &Self) -> f64 {
+        let mut area = 1.0;
+        for axis in 0..D {
+            let lo = self.min[axis].max(other.min[axis]);
+            let hi = self.max[axis].min(other.max[axis]);
+            if hi <= lo {
+                return 0.0;
+            }
+            area *= hi - lo;
+        }
+        area
+    }
+
+    /// Minimum squared Euclidean distance from `p` to any point of the
+    /// rectangle; 0 when `p` is inside. Used by the best-first kNN search.
+    pub fn min_dist_sq(&self, p: &Point<D>) -> f64 {
+        let mut d = 0.0;
+        for axis in 0..D {
+            let c = p.coord(axis);
+            let gap = if c < self.min[axis] {
+                self.min[axis] - c
+            } else if c > self.max[axis] {
+                c - self.max[axis]
+            } else {
+                0.0
+            };
+            d += gap * gap;
+        }
+        d
+    }
+
+    /// Minimum Chebyshev (L∞) distance from `p` to any point of the
+    /// rectangle; 0 when `p` is inside.
+    ///
+    /// A node whose MBR has `min_dist_chebyshev(Feature(Q)) > ε` cannot
+    /// contain any candidate of a TW-Sim-Search query with tolerance `ε`.
+    pub fn min_dist_chebyshev(&self, p: &Point<D>) -> f64 {
+        let mut d = 0.0f64;
+        for axis in 0..D {
+            let c = p.coord(axis);
+            let gap = if c < self.min[axis] {
+                self.min[axis] - c
+            } else if c > self.max[axis] {
+                c - self.max[axis]
+            } else {
+                0.0
+            };
+            d = d.max(gap);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r2(min: [f64; 2], max: [f64; 2]) -> Rect<2> {
+        Rect::new(min, max)
+    }
+
+    #[test]
+    fn point_accessors() {
+        let p = Point::new([1.0, 2.0, 3.0]);
+        assert_eq!(p.coord(0), 1.0);
+        assert_eq!(p.coord(2), 3.0);
+        assert_eq!(p.coords(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn point_rejects_nan() {
+        let _ = Point::new([0.0, f64::NAN]);
+    }
+
+    #[test]
+    fn point_distances() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.chebyshev(&b), 4.0);
+    }
+
+    #[test]
+    fn rect_area_margin() {
+        let r = r2([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(r.area(), 6.0);
+        assert_eq!(r.margin(), 5.0);
+        assert_eq!(r.center().coords(), &[1.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn rect_rejects_inverted_bounds() {
+        let _ = r2([1.0, 0.0], [0.0, 1.0]);
+    }
+
+    #[test]
+    fn rect_union_and_enlargement() {
+        let a = r2([0.0, 0.0], [1.0, 1.0]);
+        let b = r2([2.0, 2.0], [3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.min(), &[0.0, 0.0]);
+        assert_eq!(u.max(), &[3.0, 3.0]);
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+        // Union with an enclosed rect does not enlarge.
+        let inner = r2([0.25, 0.25], [0.5, 0.5]);
+        assert_eq!(a.enlargement(&inner), 0.0);
+    }
+
+    #[test]
+    fn rect_union_all() {
+        let rects = vec![
+            r2([0.0, 0.0], [1.0, 1.0]),
+            r2([-1.0, 0.5], [0.5, 2.0]),
+            r2([0.0, -3.0], [0.1, 0.0]),
+        ];
+        let u = Rect::union_all(rects.iter());
+        assert_eq!(u.min(), &[-1.0, -3.0]);
+        assert_eq!(u.max(), &[1.0, 2.0]);
+        for r in &rects {
+            assert!(u.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn rect_intersection_predicates() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let b = r2([1.0, 1.0], [3.0, 3.0]);
+        let c = r2([5.0, 5.0], [6.0, 6.0]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting (closed intervals).
+        let d = r2([2.0, 0.0], [3.0, 2.0]);
+        assert!(a.intersects(&d));
+        assert!(a.contains_rect(&r2([0.5, 0.5], [1.5, 1.5])));
+        assert!(!a.contains_rect(&b));
+    }
+
+    #[test]
+    fn rect_overlap_area() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let b = r2([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        let c = r2([2.0, 0.0], [3.0, 1.0]); // touching edge: zero area
+        assert_eq!(a.overlap_area(&c), 0.0);
+        let d = r2([10.0, 10.0], [11.0, 11.0]);
+        assert_eq!(a.overlap_area(&d), 0.0);
+    }
+
+    #[test]
+    fn rect_contains_point() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        assert!(a.contains_point(&Point::new([1.0, 1.0])));
+        assert!(a.contains_point(&Point::new([0.0, 2.0]))); // boundary
+        assert!(!a.contains_point(&Point::new([2.1, 1.0])));
+    }
+
+    #[test]
+    fn rect_min_distances() {
+        let a = r2([0.0, 0.0], [2.0, 2.0]);
+        let inside = Point::new([1.0, 1.0]);
+        assert_eq!(a.min_dist_sq(&inside), 0.0);
+        assert_eq!(a.min_dist_chebyshev(&inside), 0.0);
+        let outside = Point::new([5.0, 6.0]);
+        assert_eq!(a.min_dist_sq(&outside), 9.0 + 16.0);
+        assert_eq!(a.min_dist_chebyshev(&outside), 4.0);
+    }
+
+    #[test]
+    fn centered_query_box() {
+        let q = Rect::centered(&Point::new([1.0, 2.0, 3.0, 4.0]), 0.5);
+        assert_eq!(q.min(), &[0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(q.max(), &[1.5, 2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn degenerate_rect_from_point() {
+        let p = Point::new([1.0, 2.0]);
+        let r = Rect::from_point(&p);
+        assert_eq!(r.area(), 0.0);
+        assert!(r.contains_point(&p));
+    }
+}

@@ -1,0 +1,143 @@
+//! Arena-backed node storage for the R-tree.
+//!
+//! Nodes live in a single `Vec` and reference each other by [`NodeId`]. This
+//! keeps the tree cache-friendly and makes persisting the structure to pages
+//! straightforward (one node per page, `NodeId` doubles as the page number).
+
+use crate::geometry::Rect;
+
+/// Identifier of a node inside the tree arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena slot index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Opaque identifier of an indexed object (for TW-Sim-Search: the sequence id).
+pub type DataId = u64;
+
+/// An entry of a node: a bounding rectangle plus either a child pointer
+/// (internal nodes) or a data identifier (leaves).
+#[derive(Debug, Clone, Copy)]
+pub struct Entry<const D: usize> {
+    pub rect: Rect<D>,
+    pub payload: Payload,
+}
+
+/// What an entry points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Child node (entry of an internal node).
+    Child(NodeId),
+    /// Indexed object (entry of a leaf).
+    Data(DataId),
+}
+
+impl Payload {
+    /// The child id; panics when called on a data payload.
+    pub fn child(self) -> NodeId {
+        match self {
+            Payload::Child(id) => id,
+            Payload::Data(d) => panic!("expected child payload, found data {d}"),
+        }
+    }
+
+    /// The data id; panics when called on a child payload.
+    pub fn data(self) -> DataId {
+        match self {
+            Payload::Data(d) => d,
+            Payload::Child(id) => panic!("expected data payload, found child {id:?}"),
+        }
+    }
+}
+
+/// A tree node. `level == 0` marks a leaf; the root has the greatest level.
+#[derive(Debug, Clone)]
+pub struct Node<const D: usize> {
+    pub level: u32,
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> Node<D> {
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tight MBR over this node's entries.
+    ///
+    /// # Panics
+    /// Panics on an empty node; empty nodes only exist transiently during
+    /// splits and deletions and never participate in queries.
+    pub fn mbr(&self) -> Rect<D> {
+        Rect::union_all(self.entries.iter().map(|e| &e.rect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(min: [f64; 2], max: [f64; 2], id: u64) -> Entry<2> {
+        Entry {
+            rect: Rect::new(min, max),
+            payload: Payload::Data(id),
+        }
+    }
+
+    #[test]
+    fn leaf_detection() {
+        assert!(Node::<2>::new(0).is_leaf());
+        assert!(!Node::<2>::new(1).is_leaf());
+    }
+
+    #[test]
+    fn node_mbr_is_tight() {
+        let mut n = Node::new(0);
+        n.entries.push(entry([0.0, 0.0], [1.0, 1.0], 1));
+        n.entries.push(entry([-2.0, 0.5], [0.0, 4.0], 2));
+        let mbr = n.mbr();
+        assert_eq!(mbr.min(), &[-2.0, 0.0]);
+        assert_eq!(mbr.max(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Payload::Data(7).data(), 7);
+        assert_eq!(Payload::Child(NodeId(3)).child(), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected child payload")]
+    fn payload_child_on_data_panics() {
+        let _ = Payload::Data(1).child();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected data payload")]
+    fn payload_data_on_child_panics() {
+        let _ = Payload::Child(NodeId(0)).data();
+    }
+}

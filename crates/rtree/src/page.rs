@@ -1,0 +1,85 @@
+//! Page-capacity model.
+//!
+//! The paper stores the 4-dimensional index on 1 KB pages (§5.1). This module
+//! computes how many entries fit on a page of a given size so that the tree's
+//! fan-out — and therefore the node-access counts the experiments report —
+//! reflects the paper's configuration.
+
+/// Byte sizes of the on-page encoding (see `persist`):
+/// every node starts with a header, and each entry stores its MBR plus a
+/// payload word.
+pub const NODE_HEADER_BYTES: usize = 4 /* level */ + 4 /* entry count */;
+/// Each MBR bound is an f64; an entry stores `min` and `max` per dimension.
+pub const BOUND_BYTES: usize = 8;
+/// Payload: child node id or data id, stored as u64.
+pub const PAYLOAD_BYTES: usize = 8;
+
+/// Capacities derived from a page size and a dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLayout {
+    /// Page size in bytes the layout was derived from.
+    pub page_size: usize,
+    /// Bytes each entry occupies on the page.
+    pub entry_bytes: usize,
+    /// Entries that fit in an internal node.
+    pub internal_capacity: usize,
+    /// Entries that fit in a leaf node (identical encoding in this layout,
+    /// kept separate so alternative leaf encodings can diverge).
+    pub leaf_capacity: usize,
+}
+
+impl PageLayout {
+    /// Computes the layout for dimensionality `D`.
+    ///
+    /// # Panics
+    /// Panics when the page cannot hold at least four entries — the R-tree
+    /// needs a minimum fan-out to function.
+    pub fn for_dimension<const D: usize>(page_size: usize) -> Self {
+        let entry_bytes = 2 * D * BOUND_BYTES + PAYLOAD_BYTES;
+        let capacity = (page_size - NODE_HEADER_BYTES) / entry_bytes;
+        assert!(
+            capacity >= 4,
+            "page size {page_size} too small for dimension {D}: fits only {capacity} entries"
+        );
+        Self {
+            page_size,
+            entry_bytes,
+            internal_capacity: capacity,
+            leaf_capacity: capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_1kb_4d() {
+        // 4-D entry: 8 bounds x 8B + 8B payload = 72B; (1024-8)/72 = 14.
+        let layout = PageLayout::for_dimension::<4>(1024);
+        assert_eq!(layout.entry_bytes, 72);
+        assert_eq!(layout.internal_capacity, 14);
+        assert_eq!(layout.leaf_capacity, 14);
+    }
+
+    #[test]
+    fn capacity_scales_with_page_size() {
+        let small = PageLayout::for_dimension::<4>(1024);
+        let large = PageLayout::for_dimension::<4>(4096);
+        assert!(large.internal_capacity > 2 * small.internal_capacity);
+    }
+
+    #[test]
+    fn capacity_shrinks_with_dimension() {
+        let d2 = PageLayout::for_dimension::<2>(1024);
+        let d8 = PageLayout::for_dimension::<8>(1024);
+        assert!(d2.internal_capacity > d8.internal_capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_page_rejected() {
+        let _ = PageLayout::for_dimension::<4>(128);
+    }
+}

@@ -1,0 +1,324 @@
+//! Tree serialization: one node per fixed-size page, `NodeId` = page number.
+//!
+//! The format is a deliberately explicit little-endian layout (no serde) so
+//! the bytes on a page are exactly what [`crate::page::PageLayout`] budgets
+//! for:
+//!
+//! ```text
+//! page  := header entries padding
+//! header:= level:u32 count:u32
+//! entry := min[f64; D] max[f64; D] payload:u64
+//! ```
+//!
+//! Internal-node payloads store the child page number; leaf payloads store the
+//! data id. A small file header carries the tree metadata.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::geometry::Rect;
+use crate::node::{Entry, Node, NodeId, Payload};
+use crate::page::NODE_HEADER_BYTES;
+use crate::split::SplitAlgorithm;
+use crate::tree::{RTree, RTreeConfig};
+
+/// Magic marking a serialized tree ("TWR1").
+const MAGIC: u32 = 0x5457_5231;
+
+/// Errors produced while decoding a serialized tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic(u32),
+    /// The stored dimensionality does not match the requested `D`.
+    DimensionMismatch { stored: u32, requested: u32 },
+    /// The buffer ended before the declared structure was complete.
+    Truncated,
+    /// A node referenced a page number beyond the page table.
+    DanglingChild(u32),
+    /// Structural field held an impossible value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            DecodeError::DimensionMismatch { stored, requested } => {
+                write!(f, "dimension mismatch: stored {stored}, requested {requested}")
+            }
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::DanglingChild(p) => write!(f, "dangling child page {p}"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl<const D: usize> RTree<D> {
+    /// Serializes the tree into a contiguous byte buffer of fixed-size pages.
+    ///
+    /// Free-list slots are compacted away: pages are renumbered densely in
+    /// the order they are reachable from the root.
+    pub fn to_bytes(&self, page_size: usize) -> Bytes {
+        // Map reachable NodeIds -> dense page numbers (root gets page 0).
+        let mut order: Vec<NodeId> = Vec::with_capacity(self.node_count());
+        let mut page_of = vec![u32::MAX; self.nodes.len()];
+        let mut stack = vec![self.root_id()];
+        while let Some(id) = stack.pop() {
+            if page_of[id.index()] != u32::MAX {
+                continue;
+            }
+            page_of[id.index()] = order.len() as u32;
+            order.push(id);
+            for e in &self.node(id).entries {
+                if let Payload::Child(c) = e.payload {
+                    stack.push(c);
+                }
+            }
+        }
+
+        let entry_bytes = 2 * D * 8 + 8;
+        let needed = NODE_HEADER_BYTES + self.config.max_entries * entry_bytes;
+        assert!(
+            needed <= page_size,
+            "page size {page_size} too small for configured fan-out (needs {needed})"
+        );
+
+        // File header: magic, dim, page_size, page_count, root page, max
+        // entries, min entries, split tag (u32 each), then len (u64) = 40 B.
+        let header_len = 8 * 4 + 8;
+        let mut buf = BytesMut::with_capacity(header_len + order.len() * page_size);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(D as u32);
+        buf.put_u32_le(page_size as u32);
+        buf.put_u32_le(order.len() as u32);
+        buf.put_u32_le(0); // root page (dense numbering puts root first)
+        buf.put_u32_le(self.config.max_entries as u32);
+        buf.put_u32_le(self.config.min_entries as u32);
+        buf.put_u32_le(split_tag(self.config.split));
+        buf.put_u64_le(self.len() as u64);
+
+        for &id in &order {
+            let node = self.node(id);
+            let page_start = buf.len();
+            buf.put_u32_le(node.level);
+            buf.put_u32_le(node.entries.len() as u32);
+            for e in &node.entries {
+                for axis in 0..D {
+                    buf.put_f64_le(e.rect.min()[axis]);
+                }
+                for axis in 0..D {
+                    buf.put_f64_le(e.rect.max()[axis]);
+                }
+                let payload = match e.payload {
+                    Payload::Child(c) => u64::from(page_of[c.index()]),
+                    Payload::Data(d) => d,
+                };
+                buf.put_u64_le(payload);
+            }
+            buf.resize(page_start + page_size, 0);
+        }
+        buf.freeze()
+    }
+
+    /// Reconstructs a tree from [`RTree::to_bytes`] output.
+    pub fn from_bytes(mut buf: Bytes) -> Result<Self, DecodeError> {
+        const FILE_HEADER_BYTES: usize = 8 * 4 + 8; // eight u32 fields + u64 len
+        if buf.remaining() < FILE_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let dim = buf.get_u32_le();
+        if dim as usize != D {
+            return Err(DecodeError::DimensionMismatch {
+                stored: dim,
+                requested: D as u32,
+            });
+        }
+        let page_size = buf.get_u32_le() as usize;
+        let page_count = buf.get_u32_le() as usize;
+        let root_page = buf.get_u32_le();
+        let max_entries = buf.get_u32_le() as usize;
+        let min_entries = buf.get_u32_le() as usize;
+        let split = split_from_tag(buf.get_u32_le()).ok_or(DecodeError::Corrupt("split tag"))?;
+        let len = buf.get_u64_le() as usize;
+
+        if root_page as usize >= page_count.max(1) {
+            return Err(DecodeError::DanglingChild(root_page));
+        }
+        if buf.remaining() < page_count * page_size {
+            return Err(DecodeError::Truncated);
+        }
+
+        let mut nodes = Vec::with_capacity(page_count);
+        for _ in 0..page_count {
+            let mut page = buf.split_to(page_size);
+            let level = page.get_u32_le();
+            let count = page.get_u32_le() as usize;
+            if count > max_entries + 1 {
+                return Err(DecodeError::Corrupt("entry count exceeds fan-out"));
+            }
+            let entry_bytes = 2 * D * 8 + 8;
+            if page.remaining() < count * entry_bytes {
+                return Err(DecodeError::Truncated);
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut min = [0.0; D];
+                let mut max = [0.0; D];
+                for m in min.iter_mut() {
+                    *m = page.get_f64_le();
+                }
+                for m in max.iter_mut() {
+                    *m = page.get_f64_le();
+                }
+                let payload_word = page.get_u64_le();
+                let payload = if level == 0 {
+                    Payload::Data(payload_word)
+                } else {
+                    let child = u32::try_from(payload_word)
+                        .map_err(|_| DecodeError::Corrupt("child page overflow"))?;
+                    if child as usize >= page_count {
+                        return Err(DecodeError::DanglingChild(child));
+                    }
+                    Payload::Child(NodeId(child))
+                };
+                entries.push(Entry {
+                    rect: Rect::new(min, max),
+                    payload,
+                });
+            }
+            nodes.push(Node { level, entries });
+        }
+
+        if nodes.is_empty() {
+            nodes.push(Node::new(0));
+        }
+        Ok(Self {
+            nodes,
+            root: NodeId(root_page),
+            config: RTreeConfig {
+                max_entries,
+                min_entries,
+                split,
+            },
+            len,
+            free_list: Vec::new(),
+        })
+    }
+}
+
+fn split_tag(s: SplitAlgorithm) -> u32 {
+    match s {
+        SplitAlgorithm::Linear => 0,
+        SplitAlgorithm::Quadratic => 1,
+        SplitAlgorithm::RStar => 2,
+    }
+}
+
+fn split_from_tag(tag: u32) -> Option<SplitAlgorithm> {
+    match tag {
+        0 => Some(SplitAlgorithm::Linear),
+        1 => Some(SplitAlgorithm::Quadratic),
+        2 => Some(SplitAlgorithm::RStar),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn sample_tree(n: usize) -> RTree<4> {
+        let cfg = RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic);
+        let mut t = RTree::new(cfg);
+        for i in 0..n {
+            let f = i as f64;
+            t.insert_point(
+                Point::new([f.sin() * 5.0, f.cos() * 5.0, f % 13.0, -f % 7.0]),
+                i as u64,
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_contents_and_queries() {
+        let t = sample_tree(500);
+        let bytes = t.to_bytes(1024);
+        let back: RTree<4> = RTree::from_bytes(bytes).expect("decode");
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.height(), t.height());
+        let q = Point::new([0.0, 0.0, 5.0, -3.0]);
+        for eps in [0.5, 2.0, 10.0] {
+            let mut a = t.range_centered(&q, eps).ids;
+            let mut b = back.range_centered(&q, eps).ids;
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_tree() {
+        let t: RTree<4> = RTree::new(RTreeConfig::default());
+        let back: RTree<4> = RTree::from_bytes(t.to_bytes(1024)).expect("decode");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn serialized_size_is_pages() {
+        let t = sample_tree(200);
+        let bytes = t.to_bytes(1024);
+        let body = bytes.len() - 40;
+        assert_eq!(body % 1024, 0);
+        assert_eq!(body / 1024, t.node_count());
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(0xdead_beef);
+        raw.resize(64, 0);
+        let err = RTree::<4>::from_bytes(raw.freeze()).unwrap_err();
+        assert!(matches!(err, DecodeError::BadMagic(_)));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_dimension() {
+        let t = sample_tree(10);
+        let bytes = t.to_bytes(1024);
+        let err = RTree::<2>::from_bytes(bytes).unwrap_err();
+        assert!(matches!(err, DecodeError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_buffer() {
+        let t = sample_tree(100);
+        let bytes = t.to_bytes(1024);
+        let cut = bytes.slice(0..bytes.len() - 100);
+        let err = RTree::<4>::from_bytes(cut).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated));
+    }
+
+    #[test]
+    fn roundtrip_after_deletions_compacts_free_pages() {
+        let mut t = sample_tree(300);
+        for i in (0..300).step_by(2) {
+            let f = i as f64;
+            let p = Point::new([f.sin() * 5.0, f.cos() * 5.0, f % 13.0, -f % 7.0]);
+            assert!(t.remove_point(&p, i as u64));
+        }
+        let back: RTree<4> = RTree::from_bytes(t.to_bytes(1024)).expect("decode");
+        assert_eq!(back.len(), 150);
+        let mut ids: Vec<u64> = back.iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        let expect: Vec<u64> = (0..300u64).filter(|i| i % 2 == 1).collect();
+        assert_eq!(ids, expect);
+    }
+}

@@ -1,0 +1,330 @@
+//! Node split algorithms.
+//!
+//! The paper builds on Guttman's original R-tree; we provide his linear and
+//! quadratic splits plus the R*-tree topological split so the benchmark
+//! harness can ablate the choice (DESIGN.md, "ablation-rtree").
+
+use crate::geometry::Rect;
+use crate::node::Entry;
+
+/// Which split algorithm the tree uses when a node overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitAlgorithm {
+    /// Guttman's linear-cost split.
+    Linear,
+    /// Guttman's quadratic-cost split (the classic default).
+    #[default]
+    Quadratic,
+    /// The R*-tree split: choose the axis minimizing total margin, then the
+    /// distribution minimizing overlap (ties broken by area).
+    RStar,
+}
+
+/// Splits an overflowing entry set into two groups, each holding at least
+/// `min_entries` entries.
+///
+/// # Panics
+/// Panics if fewer than `2 * min_entries` entries are supplied — a split can
+/// then not satisfy the occupancy invariant.
+pub fn split_entries<const D: usize>(
+    algorithm: SplitAlgorithm,
+    entries: Vec<Entry<D>>,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    assert!(
+        entries.len() >= 2 * min_entries,
+        "cannot split {} entries with minimum occupancy {}",
+        entries.len(),
+        min_entries
+    );
+    match algorithm {
+        SplitAlgorithm::Linear => guttman_split(entries, min_entries, pick_seeds_linear),
+        SplitAlgorithm::Quadratic => guttman_split(entries, min_entries, pick_seeds_quadratic),
+        SplitAlgorithm::RStar => rstar_split(entries, min_entries),
+    }
+}
+
+/// Guttman's LinearPickSeeds: on each axis find the pair with the greatest
+/// normalized separation; pick the overall winner.
+fn pick_seeds_linear<const D: usize>(entries: &[Entry<D>]) -> (usize, usize) {
+    let mut best = (0usize, 1usize);
+    let mut best_sep = f64::NEG_INFINITY;
+    for axis in 0..D {
+        // Entry with the highest low side and entry with the lowest high side.
+        let (mut hi_low_idx, mut lo_high_idx) = (0usize, 0usize);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            if e.rect.min()[axis] > entries[hi_low_idx].rect.min()[axis] {
+                hi_low_idx = i;
+            }
+            if e.rect.max()[axis] < entries[lo_high_idx].rect.max()[axis] {
+                lo_high_idx = i;
+            }
+            lo = lo.min(e.rect.min()[axis]);
+            hi = hi.max(e.rect.max()[axis]);
+        }
+        if hi_low_idx == lo_high_idx {
+            continue;
+        }
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        let sep = (entries[hi_low_idx].rect.min()[axis] - entries[lo_high_idx].rect.max()[axis])
+            / width;
+        if sep > best_sep {
+            best_sep = sep;
+            best = (hi_low_idx.min(lo_high_idx), hi_low_idx.max(lo_high_idx));
+        }
+    }
+    best
+}
+
+/// Guttman's QuadraticPickSeeds: the pair wasting the most area together.
+fn pick_seeds_quadratic<const D: usize>(entries: &[Entry<D>]) -> (usize, usize) {
+    let mut best = (0usize, 1usize);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i].rect.union(&entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area();
+            if waste > worst_waste {
+                worst_waste = waste;
+                best = (i, j);
+            }
+        }
+    }
+    best
+}
+
+/// Guttman's split skeleton: seed two groups, then repeatedly assign the entry
+/// with the strongest group preference (PickNext), forcing assignment when a
+/// group must absorb all remaining entries to reach minimum occupancy.
+fn guttman_split<const D: usize>(
+    mut entries: Vec<Entry<D>>,
+    min_entries: usize,
+    pick_seeds: fn(&[Entry<D>]) -> (usize, usize),
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let (s1, s2) = pick_seeds(&entries);
+    debug_assert!(s1 < s2);
+    // Remove the later index first so the earlier stays valid.
+    let seed2 = entries.swap_remove(s2);
+    let seed1 = entries.swap_remove(s1);
+
+    let mut group1 = vec![seed1];
+    let mut group2 = vec![seed2];
+    let mut mbr1 = group1[0].rect;
+    let mut mbr2 = group2[0].rect;
+
+    while !entries.is_empty() {
+        let remaining = entries.len();
+        // Forced assignment: one group needs every remaining entry.
+        if group1.len() + remaining == min_entries {
+            for e in entries.drain(..) {
+                mbr1 = mbr1.union(&e.rect);
+                group1.push(e);
+            }
+            break;
+        }
+        if group2.len() + remaining == min_entries {
+            for e in entries.drain(..) {
+                mbr2 = mbr2.union(&e.rect);
+                group2.push(e);
+            }
+            break;
+        }
+        // PickNext: maximize |d1 - d2| where d_i is the enlargement of group i.
+        let mut pick = 0usize;
+        let mut pick_diff = f64::NEG_INFINITY;
+        for (i, e) in entries.iter().enumerate() {
+            let d1 = mbr1.enlargement(&e.rect);
+            let d2 = mbr2.enlargement(&e.rect);
+            let diff = (d1 - d2).abs();
+            if diff > pick_diff {
+                pick_diff = diff;
+                pick = i;
+            }
+        }
+        let e = entries.swap_remove(pick);
+        let d1 = mbr1.enlargement(&e.rect);
+        let d2 = mbr2.enlargement(&e.rect);
+        // Resolve ties by smaller area, then by fewer entries.
+        let to_first = match d1.partial_cmp(&d2).expect("finite enlargements") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                if mbr1.area() != mbr2.area() {
+                    mbr1.area() < mbr2.area()
+                } else {
+                    group1.len() <= group2.len()
+                }
+            }
+        };
+        if to_first {
+            mbr1 = mbr1.union(&e.rect);
+            group1.push(e);
+        } else {
+            mbr2 = mbr2.union(&e.rect);
+            group2.push(e);
+        }
+    }
+    (group1, group2)
+}
+
+/// The R*-tree split (Beckmann et al.): for each axis, sort entries by lower
+/// then by upper bound and evaluate all legal distributions; choose the axis
+/// with the least total margin, then the distribution with the least overlap
+/// (ties by area).
+fn rstar_split<const D: usize>(
+    entries: Vec<Entry<D>>,
+    min_entries: usize,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let total = entries.len();
+    let distributions = total - 2 * min_entries + 1;
+
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    // For each axis remember its best (sorted order, split position).
+    let mut per_axis_choice: Vec<(Vec<usize>, usize)> = Vec::with_capacity(D);
+
+    for axis in 0..D {
+        let mut margin_sum = 0.0;
+        let mut axis_best: Option<(Vec<usize>, usize, f64, f64)> = None; // order, k, overlap, area
+
+        for sort_by_upper in [false, true] {
+            let mut order: Vec<usize> = (0..total).collect();
+            order.sort_by(|&a, &b| {
+                let (ka, kb) = if sort_by_upper {
+                    (entries[a].rect.max()[axis], entries[b].rect.max()[axis])
+                } else {
+                    (entries[a].rect.min()[axis], entries[b].rect.min()[axis])
+                };
+                ka.partial_cmp(&kb).expect("finite bounds")
+            });
+            for k in 0..distributions {
+                let split_at = min_entries + k;
+                let left = Rect::union_all(order[..split_at].iter().map(|&i| &entries[i].rect));
+                let right = Rect::union_all(order[split_at..].iter().map(|&i| &entries[i].rect));
+                margin_sum += left.margin() + right.margin();
+                let overlap = left.overlap_area(&right);
+                let area = left.area() + right.area();
+                let better = match &axis_best {
+                    None => true,
+                    Some((_, _, best_overlap, best_area)) => {
+                        overlap < *best_overlap
+                            || (overlap == *best_overlap && area < *best_area)
+                    }
+                };
+                if better {
+                    axis_best = Some((order.clone(), split_at, overlap, area));
+                }
+            }
+        }
+        let (order, split_at, _, _) = axis_best.expect("at least one distribution");
+        per_axis_choice.push((order, split_at));
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    let (order, split_at) = per_axis_choice.swap_remove(best_axis);
+    let mut slots: Vec<Option<Entry<D>>> = entries.into_iter().map(Some).collect();
+    let left = order[..split_at]
+        .iter()
+        .map(|&i| slots[i].take().expect("each slot taken once"))
+        .collect();
+    let right = order[split_at..]
+        .iter()
+        .map(|&i| slots[i].take().expect("each slot taken once"))
+        .collect();
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Payload;
+
+    fn pt_entry(x: f64, y: f64, id: u64) -> Entry<2> {
+        Entry {
+            rect: Rect::new([x, y], [x, y]),
+            payload: Payload::Data(id),
+        }
+    }
+
+    fn ids(group: &[Entry<2>]) -> Vec<u64> {
+        let mut v: Vec<u64> = group.iter().map(|e| e.payload.data()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn two_clusters() -> Vec<Entry<2>> {
+        vec![
+            pt_entry(0.0, 0.0, 0),
+            pt_entry(0.1, 0.1, 1),
+            pt_entry(0.2, 0.0, 2),
+            pt_entry(10.0, 10.0, 3),
+            pt_entry(10.1, 10.2, 4),
+            pt_entry(10.2, 10.1, 5),
+        ]
+    }
+
+    #[test]
+    fn all_algorithms_respect_min_occupancy_and_preserve_entries() {
+        for alg in [
+            SplitAlgorithm::Linear,
+            SplitAlgorithm::Quadratic,
+            SplitAlgorithm::RStar,
+        ] {
+            let (g1, g2) = split_entries(alg, two_clusters(), 2);
+            assert!(g1.len() >= 2 && g2.len() >= 2, "{alg:?}");
+            assert_eq!(g1.len() + g2.len(), 6, "{alg:?}");
+            let mut all = ids(&g1);
+            all.extend(ids(&g2));
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4, 5], "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn clusters_are_separated() {
+        // Every algorithm should separate two far-apart clusters cleanly.
+        for alg in [
+            SplitAlgorithm::Linear,
+            SplitAlgorithm::Quadratic,
+            SplitAlgorithm::RStar,
+        ] {
+            let (g1, g2) = split_entries(alg, two_clusters(), 2);
+            let (low, high) = if g1[0].rect.min()[0] < 5.0 {
+                (ids(&g1), ids(&g2))
+            } else {
+                (ids(&g2), ids(&g1))
+            };
+            assert_eq!(low, vec![0, 1, 2], "{alg:?}");
+            assert_eq!(high, vec![3, 4, 5], "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn split_of_identical_entries_is_balanced_enough() {
+        // Degenerate case: all entries identical. The split must still honor
+        // minimum occupancy (it cannot separate by geometry).
+        for alg in [
+            SplitAlgorithm::Linear,
+            SplitAlgorithm::Quadratic,
+            SplitAlgorithm::RStar,
+        ] {
+            let entries: Vec<Entry<2>> = (0..8).map(|i| pt_entry(1.0, 1.0, i)).collect();
+            let (g1, g2) = split_entries(alg, entries, 3);
+            assert!(g1.len() >= 3, "{alg:?}: {}", g1.len());
+            assert!(g2.len() >= 3, "{alg:?}: {}", g2.len());
+            assert_eq!(g1.len() + g2.len(), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn split_with_too_few_entries_panics() {
+        let entries = vec![pt_entry(0.0, 0.0, 0), pt_entry(1.0, 1.0, 1)];
+        let _ = split_entries(SplitAlgorithm::Quadratic, entries, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Tree-quality metrics.
+//!
+//! Node-access counts tell you what a *specific* query cost; these structural
+//! metrics characterize the tree itself — how much sibling overlap a query
+//! must wade through, how full the leaves are, how much dead space the MBRs
+//! cover. The split-strategy ablation reports them alongside access counts.
+
+use crate::node::Payload;
+use crate::tree::RTree;
+
+/// Structural quality metrics of an R-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeQuality {
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Number of internal nodes (root included when it is not a leaf).
+    pub internal: usize,
+    /// Mean leaf fill factor relative to `max_entries` (0..=1).
+    pub leaf_utilization: f64,
+    /// Total overlap volume between sibling MBRs, summed over all internal
+    /// nodes. Lower is better: overlap is what forces multi-path descents.
+    pub sibling_overlap: f64,
+    /// Total margin (perimeter) of all node MBRs; the R* optimization
+    /// criterion. Lower is better for square-ish, cache-friendly nodes.
+    pub total_margin: f64,
+}
+
+impl<const D: usize> RTree<D> {
+    /// Computes the structural quality metrics (O(nodes · fan-out²) for the
+    /// overlap term).
+    pub fn quality(&self) -> TreeQuality {
+        let mut leaves = 0usize;
+        let mut internal = 0usize;
+        let mut leaf_fill = 0.0f64;
+        let mut sibling_overlap = 0.0f64;
+        let mut total_margin = 0.0f64;
+
+        let mut stack = vec![self.root_id()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if !node.is_empty() {
+                total_margin += node.mbr().margin();
+            }
+            if node.is_leaf() {
+                leaves += 1;
+                leaf_fill += node.len() as f64 / self.config().max_entries as f64;
+            } else {
+                internal += 1;
+                for (i, a) in node.entries.iter().enumerate() {
+                    for b in &node.entries[i + 1..] {
+                        sibling_overlap += a.rect.overlap_area(&b.rect);
+                    }
+                    if let Payload::Child(c) = a.payload {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        TreeQuality {
+            leaves,
+            internal,
+            leaf_utilization: if leaves == 0 { 0.0 } else { leaf_fill / leaves as f64 },
+            sibling_overlap,
+            total_margin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::split::SplitAlgorithm;
+    use crate::tree::RTreeConfig;
+
+    fn cfg(split: SplitAlgorithm) -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+            split,
+        }
+    }
+
+    fn clustered_points(n: usize) -> Vec<(Point<2>, u64)> {
+        (0..n)
+            .map(|i| {
+                let cluster = (i % 4) as f64 * 100.0;
+                let f = i as f64;
+                (
+                    Point::new([cluster + (f * 1.3) % 10.0, cluster + (f * 2.7) % 10.0]),
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single_leaf_trees() {
+        let t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        let q = t.quality();
+        assert_eq!(q.leaves, 1);
+        assert_eq!(q.internal, 0);
+        assert_eq!(q.leaf_utilization, 0.0);
+        assert_eq!(q.sibling_overlap, 0.0);
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let mut t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        for (p, id) in clustered_points(500) {
+            t.insert_point(p, id);
+        }
+        let q = t.quality();
+        assert_eq!(q.leaves + q.internal, t.node_count());
+        assert!(q.leaf_utilization > 0.3 && q.leaf_utilization <= 1.0);
+        assert!(q.total_margin > 0.0);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_has_high_utilization() {
+        let bulk = RTree::bulk_load(cfg(SplitAlgorithm::Quadratic), clustered_points(500));
+        let mut incr: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        for (p, id) in clustered_points(500) {
+            incr.insert_point(p, id);
+        }
+        let qb = bulk.quality();
+        let qi = incr.quality();
+        // STR packs leaves nearly full; incremental trees hover near 70%.
+        assert!(
+            qb.leaf_utilization >= qi.leaf_utilization,
+            "bulk {} < incr {}",
+            qb.leaf_utilization,
+            qi.leaf_utilization
+        );
+        assert!(qb.leaf_utilization > 0.8);
+    }
+
+    #[test]
+    fn rstar_reduces_overlap_on_clustered_data() {
+        let mut linear: RTree<2> = RTree::new(cfg(SplitAlgorithm::Linear));
+        let mut rstar: RTree<2> = RTree::new(cfg(SplitAlgorithm::RStar));
+        for (p, id) in clustered_points(800) {
+            linear.insert_point(p, id);
+            rstar.insert_point(p, id);
+        }
+        let ql = linear.quality();
+        let qr = rstar.quality();
+        assert!(
+            qr.sibling_overlap <= ql.sibling_overlap,
+            "R* overlap {} should not exceed linear overlap {}",
+            qr.sibling_overlap,
+            ql.sibling_overlap
+        );
+    }
+}

@@ -1,0 +1,586 @@
+//! The R-tree proper: insertion (Guttman ChooseLeaf / R* ChooseSubtree),
+//! deletion with CondenseTree re-insertion, and structural accessors.
+
+use crate::geometry::{Point, Rect};
+use crate::node::{DataId, Entry, Node, NodeId, Payload};
+use crate::page::PageLayout;
+use crate::split::{split_entries, SplitAlgorithm};
+
+/// Configuration of an [`RTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (fan-out), `M`.
+    pub max_entries: usize,
+    /// Minimum entries per node, `m <= M/2`.
+    pub min_entries: usize,
+    /// Split algorithm applied on overflow.
+    pub split: SplitAlgorithm,
+}
+
+impl RTreeConfig {
+    /// Configuration derived from an on-disk page size, as in the paper's
+    /// setup (§5.1 uses 1 KB pages).
+    pub fn for_page_size<const D: usize>(page_size: usize, split: SplitAlgorithm) -> Self {
+        let layout = PageLayout::for_dimension::<D>(page_size);
+        let max_entries = layout.internal_capacity.min(layout.leaf_capacity);
+        Self {
+            max_entries,
+            min_entries: (max_entries / 2).max(2),
+            split,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.max_entries >= 4,
+            "max_entries must be at least 4, got {}",
+            self.max_entries
+        );
+        assert!(
+            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
+            "min_entries must be in [2, max_entries/2], got m={} M={}",
+            self.min_entries,
+            self.max_entries
+        );
+    }
+}
+
+impl Default for RTreeConfig {
+    /// Default: the paper's 1 KB page sized for a 4-dimensional tree,
+    /// quadratic split (Guttman's classic choice).
+    fn default() -> Self {
+        Self::for_page_size::<4>(1024, SplitAlgorithm::Quadratic)
+    }
+}
+
+/// An `D`-dimensional R-tree mapping rectangles (or points) to [`DataId`]s.
+#[derive(Debug, Clone)]
+pub struct RTree<const D: usize> {
+    pub(crate) nodes: Vec<Node<D>>,
+    pub(crate) root: NodeId,
+    pub(crate) config: RTreeConfig,
+    pub(crate) len: usize,
+    /// Slots freed by merges/condense, recycled on node allocation.
+    pub(crate) free_list: Vec<NodeId>,
+}
+
+impl<const D: usize> Default for RTree<D> {
+    fn default() -> Self {
+        Self::new(RTreeConfig::default())
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Creates an empty tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        config.validate();
+        let root = Node::new(0);
+        Self {
+            nodes: vec![root],
+            root: NodeId(0),
+            config,
+            len: 0,
+            free_list: Vec::new(),
+        }
+    }
+
+    /// Number of indexed objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (levels); an empty tree has height 1 (the root leaf).
+    pub fn height(&self) -> u32 {
+        self.node(self.root).level + 1
+    }
+
+    /// Number of live nodes (root, internal and leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free_list.len()
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Root node id (for traversals in persist/validation code).
+    pub fn root_id(&self) -> NodeId {
+        self.root
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, id: NodeId) -> &Node<D> {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node<D> {
+        &mut self.nodes[id.index()]
+    }
+
+    fn alloc(&mut self, node: Node<D>) -> NodeId {
+        if let Some(id) = self.free_list.pop() {
+            self.nodes[id.index()] = node;
+            id
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    /// Inserts a point object. TW-Sim-Search stores each sequence's 4-tuple
+    /// feature vector as a point with the sequence id as payload.
+    pub fn insert_point(&mut self, point: Point<D>, id: DataId) {
+        self.insert_rect(Rect::from_point(&point), id);
+    }
+
+    /// Inserts a rectangle object.
+    pub fn insert_rect(&mut self, rect: Rect<D>, id: DataId) {
+        self.insert_entry_at_level(
+            Entry {
+                rect,
+                payload: Payload::Data(id),
+            },
+            0,
+        );
+        self.len += 1;
+    }
+
+    /// Inserts an entry at the given level (level 0 = leaves). Re-insertion
+    /// during CondenseTree uses levels > 0 for orphaned subtrees.
+    fn insert_entry_at_level(&mut self, entry: Entry<D>, level: u32) {
+        // R* forced reinsertion fires at most once per level per top-level
+        // insertion (Beckmann et al. §4.3); the flags live for this call.
+        let mut reinserted_levels = vec![false; (self.node(self.root).level + 2) as usize];
+        self.insert_entry_tracked(entry, level, &mut reinserted_levels);
+    }
+
+    fn insert_entry_tracked(
+        &mut self,
+        entry: Entry<D>,
+        level: u32,
+        reinserted_levels: &mut Vec<bool>,
+    ) {
+        let leaf_path = self.choose_path(entry.rect, level);
+        let target = *leaf_path.last().expect("path includes root");
+        self.node_mut(target).entries.push(entry);
+        let pending = self.handle_overflow(&leaf_path, reinserted_levels);
+        for (entry, level) in pending {
+            self.insert_entry_tracked(entry, level, reinserted_levels);
+        }
+    }
+
+    /// Walks from the root to the node at `target_level` along least-
+    /// enlargement children, returning the full path (root first).
+    fn choose_path(&self, rect: Rect<D>, target_level: u32) -> Vec<NodeId> {
+        let mut path = vec![self.root];
+        let mut current = self.root;
+        while self.node(current).level > target_level {
+            let node = self.node(current);
+            let use_overlap_criterion =
+                self.config.split == SplitAlgorithm::RStar && node.level == target_level + 1;
+            let chosen = if use_overlap_criterion {
+                self.choose_subtree_by_overlap(node, &rect)
+            } else {
+                choose_subtree_by_enlargement(node, &rect)
+            };
+            current = node.entries[chosen].payload.child();
+            path.push(current);
+        }
+        path
+    }
+
+    /// The R* criterion for the level above the leaves: minimize the increase
+    /// of overlap with sibling entries, ties by enlargement then area.
+    fn choose_subtree_by_overlap(&self, node: &Node<D>, rect: &Rect<D>) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, e) in node.entries.iter().enumerate() {
+            let enlarged = e.rect.union(rect);
+            let mut overlap_delta = 0.0;
+            for (j, other) in node.entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_delta +=
+                    enlarged.overlap_area(&other.rect) - e.rect.overlap_area(&other.rect);
+            }
+            let key = (overlap_delta, e.rect.enlargement(rect), e.rect.area());
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Resolves overflowing nodes along the insertion path, bottom-up,
+    /// growing a new root when the root itself splits. Parent MBRs are
+    /// refreshed at each step *before* the parent itself is considered, so
+    /// splits always operate on tight child rectangles.
+    ///
+    /// Under the R* strategy an overflowing non-root node first tries
+    /// **forced reinsertion**: the 30% of its entries farthest from its MBR
+    /// center are removed and handed back to the caller for re-insertion at
+    /// the same level, once per level per top-level insertion. This is the
+    /// second half of the R*-tree design (the topological split being the
+    /// first) and measurably tightens the tree on skewed insert orders.
+    fn handle_overflow(
+        &mut self,
+        path: &[NodeId],
+        reinserted_levels: &mut [bool],
+    ) -> Vec<(Entry<D>, u32)> {
+        let mut pending: Vec<(Entry<D>, u32)> = Vec::new();
+        for depth in (0..path.len()).rev() {
+            let node_id = path[depth];
+            let mut new_sibling = None;
+            if self.node(node_id).len() > self.config.max_entries {
+                let level = self.node(node_id).level;
+                let can_reinsert = self.config.split == SplitAlgorithm::RStar
+                    && depth != 0
+                    && !reinserted_levels
+                        .get(level as usize)
+                        .copied()
+                        .unwrap_or(true);
+                if can_reinsert {
+                    reinserted_levels[level as usize] = true;
+                    let evicted = self.evict_farthest(node_id);
+                    pending.extend(evicted.into_iter().map(|e| (e, level)));
+                } else {
+                    let entries = std::mem::take(&mut self.node_mut(node_id).entries);
+                    let (g1, g2) =
+                        split_entries(self.config.split, entries, self.config.min_entries);
+                    self.node_mut(node_id).entries = g1;
+                    new_sibling = Some(self.alloc(Node { level, entries: g2 }));
+                }
+            }
+            if depth == 0 {
+                if let Some(sibling) = new_sibling {
+                    // Root split: grow the tree by one level.
+                    let old_root = self.root;
+                    let new_root = self.alloc(Node::new(self.node(old_root).level + 1));
+                    let e1 = Entry {
+                        rect: self.node(old_root).mbr(),
+                        payload: Payload::Child(old_root),
+                    };
+                    let e2 = Entry {
+                        rect: self.node(sibling).mbr(),
+                        payload: Payload::Child(sibling),
+                    };
+                    self.node_mut(new_root).entries.extend([e1, e2]);
+                    self.root = new_root;
+                }
+            } else {
+                let parent = path[depth - 1];
+                // Tighten this node's entry in its parent: the insertion (or
+                // the split that just shrank this node) changed its MBR.
+                let mbr = self.node(node_id).mbr();
+                let entry = self
+                    .node_mut(parent)
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.payload == Payload::Child(node_id))
+                    .expect("parent on path must reference child on path");
+                entry.rect = mbr;
+                if let Some(sibling) = new_sibling {
+                    let sibling_mbr = self.node(sibling).mbr();
+                    self.node_mut(parent).entries.push(Entry {
+                        rect: sibling_mbr,
+                        payload: Payload::Child(sibling),
+                    });
+                }
+            }
+        }
+        pending
+    }
+
+    /// Removes the 30% of `node`'s entries whose centers lie farthest from
+    /// the node's MBR center (R* forced reinsertion, Beckmann et al.).
+    fn evict_farthest(&mut self, node_id: NodeId) -> Vec<Entry<D>> {
+        let center = self.node(node_id).mbr().center();
+        let node = self.node_mut(node_id);
+        let p = (node.entries.len() * 3 / 10).max(1);
+        node.entries.sort_by(|a, b| {
+            let da = a.rect.center().distance_sq(&center);
+            let db = b.rect.center().distance_sq(&center);
+            da.partial_cmp(&db).expect("finite coordinates")
+        });
+        let keep = node.entries.len() - p;
+        node.entries.split_off(keep)
+    }
+
+    /// Removes an object identified by `(rect, id)`. Returns `true` when the
+    /// object was present. Point objects use their degenerate rectangle.
+    pub fn remove(&mut self, rect: &Rect<D>, id: DataId) -> bool {
+        let Some(path) = self.find_leaf(self.root, rect, id, &mut Vec::new()) else {
+            return false;
+        };
+        let leaf = *path.last().expect("non-empty path");
+        let node = self.node_mut(leaf);
+        let before = node.entries.len();
+        node.entries
+            .retain(|e| !(e.payload == Payload::Data(id) && e.rect == *rect));
+        debug_assert_eq!(before - 1, node.entries.len());
+        self.len -= 1;
+        self.condense(path);
+        true
+    }
+
+    /// Removes a point object.
+    pub fn remove_point(&mut self, point: &Point<D>, id: DataId) -> bool {
+        self.remove(&Rect::from_point(point), id)
+    }
+
+    fn find_leaf(
+        &self,
+        current: NodeId,
+        rect: &Rect<D>,
+        id: DataId,
+        path: &mut Vec<NodeId>,
+    ) -> Option<Vec<NodeId>> {
+        path.push(current);
+        let node = self.node(current);
+        if node.is_leaf() {
+            if node
+                .entries
+                .iter()
+                .any(|e| e.payload == Payload::Data(id) && e.rect == *rect)
+            {
+                return Some(path.clone());
+            }
+        } else {
+            for e in &node.entries {
+                if e.rect.contains_rect(rect) {
+                    if let Some(found) = self.find_leaf(e.payload.child(), rect, id, path) {
+                        return Some(found);
+                    }
+                }
+            }
+        }
+        path.pop();
+        None
+    }
+
+    /// Guttman's CondenseTree: eliminate under-full nodes along the deletion
+    /// path and re-insert their orphaned entries at the proper level.
+    fn condense(&mut self, path: Vec<NodeId>) {
+        let mut orphans: Vec<(Entry<D>, u32)> = Vec::new();
+        for depth in (1..path.len()).rev() {
+            let child = path[depth];
+            let child_level = self.node(child).level;
+            let parent = path[depth - 1];
+            if self.node(child).len() < self.config.min_entries {
+                // Drop the child from its parent, orphaning its entries.
+                self.node_mut(parent)
+                    .entries
+                    .retain(|e| e.payload != Payload::Child(child));
+                let entries = std::mem::take(&mut self.node_mut(child).entries);
+                orphans.extend(entries.into_iter().map(|e| (e, child_level)));
+                self.free_list.push(child);
+            } else {
+                let mbr = self.node(child).mbr();
+                if let Some(e) = self
+                    .node_mut(parent)
+                    .entries
+                    .iter_mut()
+                    .find(|e| e.payload == Payload::Child(child))
+                {
+                    e.rect = mbr;
+                }
+            }
+        }
+        // Shrink the root: a non-leaf root with a single child is replaced by
+        // that child.
+        while !self.node(self.root).is_leaf() && self.node(self.root).len() == 1 {
+            let old_root = self.root;
+            self.root = self.node(old_root).entries[0].payload.child();
+            self.free_list.push(old_root);
+        }
+        for (entry, level) in orphans {
+            self.insert_entry_at_level(entry, level);
+        }
+    }
+
+    /// Iterates over every `(rect, data-id)` pair in the tree.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect<D>, DataId)> + '_ {
+        let mut stack = vec![self.root];
+        let mut leaf_entries: Vec<(&Rect<D>, DataId)> = Vec::new();
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            for e in &node.entries {
+                match e.payload {
+                    Payload::Child(c) => stack.push(c),
+                    Payload::Data(d) => leaf_entries.push((&e.rect, d)),
+                }
+            }
+        }
+        leaf_entries.into_iter()
+    }
+}
+
+/// Guttman ChooseLeaf criterion: least enlargement, ties by smallest area.
+fn choose_subtree_by_enlargement<const D: usize>(node: &Node<D>, rect: &Rect<D>) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (f64::INFINITY, f64::INFINITY);
+    for (i, e) in node.entries.iter().enumerate() {
+        let key = (e.rect.enlargement(rect), e.rect.area());
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(split: SplitAlgorithm) -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 4,
+            min_entries: 2,
+            split,
+        }
+    }
+
+    fn grid_points(n: usize) -> Vec<(Point<2>, DataId)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Point::new([x, y]), i as DataId)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_properties() {
+        let t: RTree<2> = RTree::new(small_config(SplitAlgorithm::Quadratic));
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn insert_grows_len_and_height() {
+        let mut t: RTree<2> = RTree::new(small_config(SplitAlgorithm::Quadratic));
+        for (p, id) in grid_points(100) {
+            t.insert_point(p, id);
+        }
+        assert_eq!(t.len(), 100);
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert_eq!(t.iter().count(), 100);
+    }
+
+    #[test]
+    fn insert_then_iterate_returns_all_ids() {
+        for split in [
+            SplitAlgorithm::Linear,
+            SplitAlgorithm::Quadratic,
+            SplitAlgorithm::RStar,
+        ] {
+            let mut t: RTree<2> = RTree::new(small_config(split));
+            for (p, id) in grid_points(57) {
+                t.insert_point(p, id);
+            }
+            let mut ids: Vec<DataId> = t.iter().map(|(_, id)| id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..57).collect::<Vec<_>>(), "{split:?}");
+        }
+    }
+
+    #[test]
+    fn remove_existing_and_missing() {
+        let mut t: RTree<2> = RTree::new(small_config(SplitAlgorithm::Quadratic));
+        for (p, id) in grid_points(30) {
+            t.insert_point(p, id);
+        }
+        assert!(t.remove_point(&Point::new([3.0, 0.0]), 3));
+        assert_eq!(t.len(), 29);
+        // Same id again: no longer present.
+        assert!(!t.remove_point(&Point::new([3.0, 0.0]), 3));
+        // Wrong location for an existing id: not found.
+        assert!(!t.remove_point(&Point::new([9.0, 9.0]), 5));
+        assert_eq!(t.len(), 29);
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let mut t: RTree<2> = RTree::new(small_config(SplitAlgorithm::Quadratic));
+        let pts = grid_points(40);
+        for (p, id) in &pts {
+            t.insert_point(*p, *id);
+        }
+        for (p, id) in &pts {
+            assert!(t.remove_point(p, *id));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        // The tree can be reused after total removal.
+        t.insert_point(Point::new([1.0, 1.0]), 999);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_points_with_distinct_ids_coexist() {
+        let mut t: RTree<2> = RTree::new(small_config(SplitAlgorithm::Quadratic));
+        let p = Point::new([1.0, 1.0]);
+        for id in 0..10 {
+            t.insert_point(p, id);
+        }
+        assert_eq!(t.len(), 10);
+        assert!(t.remove_point(&p, 4));
+        let ids: Vec<DataId> = t.iter().map(|(_, id)| id).collect();
+        assert_eq!(ids.len(), 9);
+        assert!(!ids.contains(&4));
+    }
+
+    #[test]
+    fn rstar_forced_reinsertion_on_skewed_order() {
+        // Monotone insertion order is the worst case Guttman trees degrade
+        // on; the R* path (overlap-aware choose-subtree + forced reinsertion
+        // + topological split) must stay structurally valid and complete.
+        let mut rstar: RTree<2> = RTree::new(small_config(SplitAlgorithm::RStar));
+        for i in 0..400u64 {
+            let f = i as f64;
+            rstar.insert_point(Point::new([f, f * 0.5]), i);
+        }
+        rstar.assert_valid();
+        assert_eq!(rstar.len(), 400);
+        let mut ids: Vec<DataId> = rstar.iter().map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..400).collect::<Vec<_>>());
+        // Range queries stay exact.
+        let hits = rstar.range(&crate::geometry::Rect::new([100.0, 50.0], [110.0, 55.0]));
+        assert_eq!(hits.ids.len(), 11); // points 100..=110
+    }
+
+    #[test]
+    fn page_derived_config_is_sane() {
+        let cfg = RTreeConfig::for_page_size::<4>(1024, SplitAlgorithm::Quadratic);
+        assert!(cfg.max_entries >= 10, "fan-out {}", cfg.max_entries);
+        assert!(cfg.min_entries >= 2);
+        assert!(cfg.min_entries <= cfg.max_entries / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn invalid_config_rejected() {
+        let _: RTree<2> = RTree::new(RTreeConfig {
+            max_entries: 4,
+            min_entries: 3,
+            split: SplitAlgorithm::Quadratic,
+        });
+    }
+}

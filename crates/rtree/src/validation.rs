@@ -1,0 +1,185 @@
+//! Structural invariant checker.
+//!
+//! Used by property tests and debug assertions to verify that every tree —
+//! incrementally built, bulk loaded, mutated, or deserialized — satisfies the
+//! R-tree invariants:
+//!
+//! 1. every parent entry's rectangle equals the tight MBR of its child,
+//! 2. every non-root node holds between `m` and `M` entries,
+//! 3. the root holds at least 2 entries unless it is a leaf,
+//! 4. all leaves sit at level 0 and depths are uniform,
+//! 5. the number of reachable data entries equals `len()`.
+
+use crate::node::{NodeId, Payload};
+use crate::tree::RTree;
+
+/// A violated invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Parent entry MBR is not the tight bounding box of the child node.
+    LooseMbr { parent: NodeId, child: NodeId },
+    /// Node occupancy out of `[min_entries, max_entries]`.
+    Occupancy { node: NodeId, len: usize },
+    /// A non-leaf root with fewer than two entries.
+    RootUnderfull { len: usize },
+    /// Child level is not exactly parent level - 1.
+    LevelSkew { parent: NodeId, child: NodeId },
+    /// Reachable data-entry count differs from `len()`.
+    LengthMismatch { counted: usize, recorded: usize },
+    /// A leaf entry carries a child payload or vice versa.
+    PayloadKind { node: NodeId },
+}
+
+impl<const D: usize> RTree<D> {
+    /// Checks all structural invariants, returning every violation found.
+    /// An empty vector means the tree is well formed.
+    pub fn validate(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let root = self.root_id();
+        let root_node = self.node(root);
+
+        if !root_node.is_leaf() && root_node.len() < 2 {
+            violations.push(Violation::RootUnderfull {
+                len: root_node.len(),
+            });
+        }
+        if root_node.len() > self.config.max_entries {
+            violations.push(Violation::Occupancy {
+                node: root,
+                len: root_node.len(),
+            });
+        }
+
+        let mut counted = 0usize;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            for e in &node.entries {
+                match (node.is_leaf(), e.payload) {
+                    (true, Payload::Data(_)) => counted += 1,
+                    (false, Payload::Child(c)) => {
+                        let child = self.node(c);
+                        if child.level + 1 != node.level {
+                            violations.push(Violation::LevelSkew {
+                                parent: id,
+                                child: c,
+                            });
+                        }
+                        if child.len() < self.config.min_entries
+                            || child.len() > self.config.max_entries
+                        {
+                            violations.push(Violation::Occupancy {
+                                node: c,
+                                len: child.len(),
+                            });
+                        }
+                        if child.is_empty() || child.mbr() != e.rect {
+                            violations.push(Violation::LooseMbr {
+                                parent: id,
+                                child: c,
+                            });
+                        }
+                        stack.push(c);
+                    }
+                    _ => violations.push(Violation::PayloadKind { node: id }),
+                }
+            }
+        }
+        if counted != self.len() {
+            violations.push(Violation::LengthMismatch {
+                counted,
+                recorded: self.len(),
+            });
+        }
+        violations
+    }
+
+    /// Panics with a readable report when the tree violates any invariant.
+    /// Intended for tests.
+    pub fn assert_valid(&self) {
+        let v = self.validate();
+        assert!(v.is_empty(), "R-tree invariant violations: {v:#?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::split::SplitAlgorithm;
+    use crate::tree::RTreeConfig;
+
+    fn cfg(split: SplitAlgorithm) -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 6,
+            min_entries: 2,
+            split,
+        }
+    }
+
+    #[test]
+    fn incremental_trees_are_valid_under_all_splits() {
+        for split in [
+            SplitAlgorithm::Linear,
+            SplitAlgorithm::Quadratic,
+            SplitAlgorithm::RStar,
+        ] {
+            let mut t: RTree<2> = RTree::new(cfg(split));
+            for i in 0..500u64 {
+                let f = i as f64;
+                t.insert_point(Point::new([(f * 1.7) % 50.0, (f * 3.1) % 40.0]), i);
+                if i % 97 == 0 {
+                    t.assert_valid();
+                }
+            }
+            t.assert_valid();
+        }
+    }
+
+    #[test]
+    fn tree_stays_valid_under_interleaved_deletes() {
+        let mut t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        let pts: Vec<(Point<2>, u64)> = (0..300u64)
+            .map(|i| {
+                let f = i as f64;
+                (Point::new([(f * 1.7) % 50.0, (f * 3.1) % 40.0]), i)
+            })
+            .collect();
+        for (p, id) in &pts {
+            t.insert_point(*p, *id);
+        }
+        for (i, (p, id)) in pts.iter().enumerate() {
+            if i % 3 != 0 {
+                assert!(t.remove_point(p, *id));
+            }
+            if i % 50 == 0 {
+                t.assert_valid();
+            }
+        }
+        t.assert_valid();
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn bulk_loaded_tree_is_valid() {
+        let pts: Vec<(Point<2>, u64)> = (0..777u64)
+            .map(|i| {
+                let f = i as f64;
+                (Point::new([(f * 0.9) % 33.0, (f * 2.3) % 44.0]), i)
+            })
+            .collect();
+        let t = RTree::bulk_load(cfg(SplitAlgorithm::Quadratic), pts);
+        t.assert_valid();
+    }
+
+    #[test]
+    fn deserialized_tree_is_valid() {
+        let mut t: RTree<2> = RTree::new(cfg(SplitAlgorithm::RStar));
+        for i in 0..200u64 {
+            let f = i as f64;
+            t.insert_point(Point::new([f % 19.0, f % 23.0]), i);
+        }
+        let back: RTree<2> = RTree::from_bytes(t.to_bytes(1024)).expect("decode");
+        back.assert_valid();
+    }
+}

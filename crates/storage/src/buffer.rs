@@ -1,0 +1,267 @@
+//! LRU buffer pool.
+//!
+//! Sits between a [`Pager`] and the sequence store, caching hot pages and
+//! counting hits/misses. The miss counts are what the cost model prices: a
+//! page served from the pool costs no modeled I/O, mirroring how the paper's
+//! R-tree root and upper levels stay resident across queries.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::pager::{Pager, PagerError};
+
+/// Hit/miss counters for the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Fraction of accesses served from memory; 0 when no accesses happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    data: Box<[u8]>,
+    dirty: bool,
+    /// Monotonic last-use stamp for LRU choice.
+    last_used: u64,
+}
+
+struct PoolInner {
+    frames: HashMap<u64, Frame>,
+    clock: u64,
+    stats: BufferStats,
+}
+
+/// An LRU page cache over a pager.
+pub struct BufferPool<P: Pager> {
+    pager: Mutex<P>,
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+}
+
+impl<P: Pager> BufferPool<P> {
+    /// Creates a pool caching up to `capacity` pages.
+    pub fn new(pager: P, capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        Self {
+            pager: Mutex::new(pager),
+            inner: Mutex::new(PoolInner {
+                frames: HashMap::with_capacity(capacity),
+                clock: 0,
+                stats: BufferStats::default(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Page size of the underlying pager.
+    pub fn page_size(&self) -> usize {
+        self.pager.lock().page_size()
+    }
+
+    /// Number of pages in the underlying pager.
+    pub fn page_count(&self) -> u64 {
+        self.pager.lock().page_count()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the counters (e.g., between measured queries).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = BufferStats::default();
+    }
+
+    /// Allocates a fresh page in the underlying pager.
+    pub fn allocate(&self) -> Result<u64, PagerError> {
+        self.pager.lock().allocate()
+    }
+
+    /// Reads a page through the cache into `out`.
+    pub fn read(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(frame) = inner.frames.get_mut(&page) {
+            frame.last_used = clock;
+            out.copy_from_slice(&frame.data);
+            inner.stats.hits += 1;
+            return Ok(());
+        }
+        inner.stats.misses += 1;
+        let mut data = vec![0u8; out.len()].into_boxed_slice();
+        self.pager.lock().read_page(page, &mut data)?;
+        out.copy_from_slice(&data);
+        self.insert_frame(&mut inner, page, data, false)?;
+        Ok(())
+    }
+
+    /// Writes a page through the cache (write-back on eviction).
+    pub fn write(&self, page: u64, data: &[u8]) -> Result<(), PagerError> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(frame) = inner.frames.get_mut(&page) {
+            frame.data.copy_from_slice(data);
+            frame.dirty = true;
+            frame.last_used = clock;
+            inner.stats.hits += 1;
+            return Ok(());
+        }
+        inner.stats.misses += 1;
+        self.insert_frame(&mut inner, page, data.to_vec().into_boxed_slice(), true)?;
+        Ok(())
+    }
+
+    fn insert_frame(
+        &self,
+        inner: &mut PoolInner,
+        page: u64,
+        data: Box<[u8]>,
+        dirty: bool,
+    ) -> Result<(), PagerError> {
+        if inner.frames.len() >= self.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(&p, _)| p)
+                .expect("pool non-empty when full");
+            let frame = inner.frames.remove(&victim).expect("victim present");
+            inner.stats.evictions += 1;
+            if frame.dirty {
+                inner.stats.writebacks += 1;
+                self.pager.lock().write_page(victim, &frame.data)?;
+            }
+        }
+        let clock = inner.clock;
+        inner.frames.insert(
+            page,
+            Frame {
+                data,
+                dirty,
+                last_used: clock,
+            },
+        );
+        Ok(())
+    }
+
+    /// Writes every dirty frame back and syncs the pager.
+    pub fn flush(&self) -> Result<(), PagerError> {
+        let mut inner = self.inner.lock();
+        let mut pager = self.pager.lock();
+        for (&page, frame) in inner.frames.iter_mut() {
+            if frame.dirty {
+                pager.write_page(page, &frame.data)?;
+                frame.dirty = false;
+            }
+        }
+        pager.sync()
+    }
+
+    /// Consumes the pool, flushing and returning the pager.
+    pub fn into_pager(self) -> Result<P, PagerError> {
+        self.flush()?;
+        Ok(self.pager.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn pool(cap: usize) -> BufferPool<MemPager> {
+        let mut pager = MemPager::new(64);
+        for _ in 0..8 {
+            pager.allocate().unwrap();
+        }
+        BufferPool::new(pager, cap)
+    }
+
+    #[test]
+    fn read_caches_page() {
+        let pool = pool(4);
+        let mut buf = vec![0u8; 64];
+        pool.read(0, &mut buf).unwrap();
+        pool.read(0, &mut buf).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let pool = pool(2);
+        let mut buf = vec![0u8; 64];
+        pool.read(0, &mut buf).unwrap(); // miss
+        pool.read(1, &mut buf).unwrap(); // miss
+        pool.read(0, &mut buf).unwrap(); // hit, freshens 0
+        pool.read(2, &mut buf).unwrap(); // miss, evicts 1
+        pool.read(0, &mut buf).unwrap(); // still a hit
+        pool.read(1, &mut buf).unwrap(); // miss again
+        let s = pool.stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 2);
+        assert!(s.evictions >= 2);
+    }
+
+    #[test]
+    fn writes_are_written_back_on_flush() {
+        let mut pager = MemPager::new(64);
+        pager.allocate().unwrap();
+        let pool = BufferPool::new(pager, 2);
+        let data = vec![9u8; 64];
+        pool.write(0, &data).unwrap();
+        let pager = pool.into_pager().unwrap();
+        let mut buf = vec![0u8; 64];
+        pager.read_page(0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut pager = MemPager::new(64);
+        for _ in 0..3 {
+            pager.allocate().unwrap();
+        }
+        let pool = BufferPool::new(pager, 1);
+        pool.write(0, &[7u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        pool.read(1, &mut buf).unwrap(); // evicts dirty page 0
+        assert_eq!(pool.stats().writebacks, 1);
+        pool.read(0, &mut buf).unwrap(); // re-read from pager
+        assert_eq!(buf, vec![7u8; 64]);
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let pool = pool(2);
+        let mut buf = vec![0u8; 64];
+        pool.read(0, &mut buf).unwrap();
+        pool.reset_stats();
+        assert_eq!(pool.stats(), BufferStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_rejected() {
+        let _ = BufferPool::new(MemPager::new(64), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Binary record codec.
+//!
+//! Sequences are stored as explicit little-endian records (no serde):
+//!
+//! ```text
+//! record := id:u64 len:u32 values:[f64; len]
+//! ```
+//!
+//! The codec is infallible on encode and validating on decode; it is the
+//! single place that defines the on-page byte layout of a sequence.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced while decoding a sequence record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the declared record was complete.
+    Truncated {
+        needed: usize,
+        available: usize,
+    },
+    /// The declared element count is beyond any sane record size.
+    LengthOverflow(u32),
+    /// A decoded element was NaN, which the engines cannot order.
+    NanElement {
+        id: u64,
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "record truncated: needed {needed} bytes, had {available}")
+            }
+            CodecError::LengthOverflow(n) => write!(f, "record length {n} exceeds limit"),
+            CodecError::NanElement { id, index } => {
+                write!(f, "sequence {id} holds NaN at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Hard upper bound on elements per record (64 Mi elements ≈ 512 MiB),
+/// a defence against decoding garbage as a gigantic allocation.
+pub const MAX_RECORD_ELEMS: u32 = 1 << 26;
+
+/// Header bytes preceding the values of every record.
+pub const RECORD_HEADER_BYTES: usize = 8 + 4;
+
+/// Size in bytes of an encoded record holding `len` elements.
+pub fn encoded_len(len: usize) -> usize {
+    RECORD_HEADER_BYTES + 8 * len
+}
+
+/// A decoded record: a sequence id plus its values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub id: u64,
+    pub values: Vec<f64>,
+}
+
+/// Appends the record encoding to `buf`.
+pub fn encode_record(buf: &mut BytesMut, id: u64, values: &[f64]) {
+    debug_assert!(values.len() <= MAX_RECORD_ELEMS as usize);
+    buf.reserve(encoded_len(values.len()));
+    buf.put_u64_le(id);
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f64_le(v);
+    }
+}
+
+/// Encodes a single record into a fresh buffer.
+pub fn encode_record_to_bytes(id: u64, values: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(values.len()));
+    encode_record(&mut buf, id, values);
+    buf.freeze()
+}
+
+/// Decodes one record from the front of `buf`, advancing it.
+pub fn decode_record(buf: &mut Bytes) -> Result<Record, CodecError> {
+    if buf.remaining() < RECORD_HEADER_BYTES {
+        return Err(CodecError::Truncated {
+            needed: RECORD_HEADER_BYTES,
+            available: buf.remaining(),
+        });
+    }
+    let id = buf.get_u64_le();
+    let len = buf.get_u32_le();
+    if len > MAX_RECORD_ELEMS {
+        return Err(CodecError::LengthOverflow(len));
+    }
+    let body = 8 * len as usize;
+    if buf.remaining() < body {
+        return Err(CodecError::Truncated {
+            needed: body,
+            available: buf.remaining(),
+        });
+    }
+    let mut values = Vec::with_capacity(len as usize);
+    for index in 0..len as usize {
+        let v = buf.get_f64_le();
+        if v.is_nan() {
+            return Err(CodecError::NanElement { id, index });
+        }
+        values.push(v);
+    }
+    Ok(Record { id, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let bytes = encode_record_to_bytes(7, &[1.0, -2.5, 3.25]);
+        assert_eq!(bytes.len(), encoded_len(3));
+        let mut buf = bytes;
+        let rec = decode_record(&mut buf).expect("decode");
+        assert_eq!(rec.id, 7);
+        assert_eq!(rec.values, vec![1.0, -2.5, 3.25]);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_empty_values() {
+        let mut buf = encode_record_to_bytes(0, &[]);
+        let rec = decode_record(&mut buf).expect("decode");
+        assert_eq!(rec.id, 0);
+        assert!(rec.values.is_empty());
+    }
+
+    #[test]
+    fn consecutive_records_stream() {
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, 1, &[1.0]);
+        encode_record(&mut buf, 2, &[2.0, 2.0]);
+        encode_record(&mut buf, 3, &[]);
+        let mut bytes = buf.freeze();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| decode_record(&mut bytes).expect("decode").id)
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let bytes = encode_record_to_bytes(1, &[1.0]);
+        let mut cut = bytes.slice(0..5);
+        let err = decode_record(&mut cut).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let bytes = encode_record_to_bytes(1, &[1.0, 2.0]);
+        let mut cut = bytes.slice(0..bytes.len() - 3);
+        let err = decode_record(&mut cut).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn insane_length_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(9);
+        raw.put_u32_le(u32::MAX);
+        let mut bytes = raw.freeze();
+        let err = decode_record(&mut bytes).unwrap_err();
+        assert_eq!(err, CodecError::LengthOverflow(u32::MAX));
+    }
+
+    #[test]
+    fn nan_element_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u64_le(4);
+        raw.put_u32_le(1);
+        raw.put_f64_le(f64::NAN);
+        let mut bytes = raw.freeze();
+        let err = decode_record(&mut bytes).unwrap_err();
+        assert!(matches!(err, CodecError::NanElement { id: 4, index: 0 }));
+    }
+
+    #[test]
+    fn infinities_roundtrip() {
+        // Infinities are representable (unlike NaN they are ordered).
+        let mut buf = encode_record_to_bytes(1, &[f64::INFINITY, f64::NEG_INFINITY]);
+        let rec = decode_record(&mut buf).expect("decode");
+        assert_eq!(rec.values, vec![f64::INFINITY, f64::NEG_INFINITY]);
+    }
+}

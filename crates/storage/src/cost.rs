@@ -1,0 +1,304 @@
+//! Disk I/O cost model.
+//!
+//! The paper's experiments ran on a SunSparc Ultra-5 with a 9.5 ms-seek disk
+//! and 1 KB index pages (§5.1), and its headline numbers are dominated by how
+//! many pages each method touches. On 2026 hardware the entire S&P-sized
+//! database fits in L2 cache, so raw wall-clock would not reproduce the
+//! paper's disk-bound trade-offs. This module prices page accesses with the
+//! paper's own disk constants so the harness can report a modeled elapsed
+//! time alongside measured CPU time.
+
+use std::time::Duration;
+
+/// Disk parameters used to convert page-access counts into time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Average positioning time for a random access.
+    pub seek: Duration,
+    /// Sustained sequential transfer rate in bytes per second.
+    pub transfer_bytes_per_sec: f64,
+    /// Page size in bytes.
+    pub page_size: usize,
+}
+
+impl DiskModel {
+    /// The paper's disk: 9.5 ms seek (§5.1), 1 KB pages, and a sustained
+    /// media transfer rate representative of a late-90s desktop disk
+    /// (~4 MB/s sustained; interface burst rates were far higher but the
+    /// experiments stream from the platters).
+    pub fn icde2001() -> Self {
+        Self {
+            seek: Duration::from_micros(9_500),
+            transfer_bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            page_size: 1024,
+        }
+    }
+
+    /// An instantaneous disk: every access is free. Useful to isolate CPU
+    /// cost in ablations.
+    pub fn free() -> Self {
+        Self {
+            seek: Duration::ZERO,
+            transfer_bytes_per_sec: f64::INFINITY,
+            page_size: 1024,
+        }
+    }
+
+    /// Time to transfer one page.
+    pub fn transfer_time(&self) -> Duration {
+        if self.transfer_bytes_per_sec.is_infinite() {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(self.page_size as f64 / self.transfer_bytes_per_sec)
+    }
+
+    /// Cost of `n` random page reads: each pays a seek plus a transfer.
+    pub fn random_reads(&self, n: u64) -> Duration {
+        self.seek
+            .saturating_mul(u32::try_from(n).unwrap_or(u32::MAX))
+            .saturating_add(self.transfer_time().saturating_mul(u32::try_from(n).unwrap_or(u32::MAX)))
+    }
+
+    /// Cost of a sequential scan of `n` pages: one initial seek, then pure
+    /// transfer.
+    pub fn sequential_scan(&self, n: u64) -> Duration {
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        self.seek
+            .saturating_add(self.transfer_time().saturating_mul(u32::try_from(n).unwrap_or(u32::MAX)))
+    }
+
+    /// Models the elapsed time of a query given its I/O profile: one seek
+    /// per random request, transfer for every page moved, one positioning
+    /// for a sequential scan.
+    pub fn elapsed(&self, io: &IoProfile) -> Duration {
+        let seeks = self
+            .seek
+            .saturating_mul(u32::try_from(io.random_requests).unwrap_or(u32::MAX));
+        let transfer = self
+            .transfer_time()
+            .saturating_mul(u32::try_from(io.random_page_reads).unwrap_or(u32::MAX));
+        seeks
+            .saturating_add(transfer)
+            .saturating_add(self.sequential_scan(io.sequential_pages_scanned))
+    }
+}
+
+/// CPU parameters used to convert work counters (DP cells, filter element
+/// operations) into time on the paper's machine.
+///
+/// The experiments' trade-off is *CPU spent on dynamic programming* versus
+/// *pages touched on disk*; reproducing the elapsed-time figures on modern
+/// hardware therefore needs both sides priced with 2001 constants — a 2026
+/// CPU computes the S&P-scale DTW in microseconds, which would erase the
+/// trade-off the paper measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Time-warping DP cells evaluated per second.
+    pub dtw_cells_per_sec: f64,
+    /// Cheap filter operations (lower-bound element ops, suffix-tree DP
+    /// cells) per second.
+    pub filter_ops_per_sec: f64,
+}
+
+impl CpuModel {
+    /// A 333 MHz UltraSPARC-IIi–class machine (§5.1's SunSparc Ultra-5):
+    /// a DP cell costs a few dozen instructions, a filter op somewhat less.
+    pub fn icde2001() -> Self {
+        Self {
+            dtw_cells_per_sec: 5.0e6,
+            filter_ops_per_sec: 2.0e7,
+        }
+    }
+
+    /// An infinitely fast CPU — isolates I/O in ablations.
+    pub fn free() -> Self {
+        Self {
+            dtw_cells_per_sec: f64::INFINITY,
+            filter_ops_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// Time to evaluate `cells` DP cells.
+    pub fn dtw_time(&self, cells: u64) -> Duration {
+        if self.dtw_cells_per_sec.is_infinite() {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(cells as f64 / self.dtw_cells_per_sec)
+    }
+
+    /// Time to evaluate `ops` filter operations.
+    pub fn filter_time(&self, ops: u64) -> Duration {
+        if self.filter_ops_per_sec.is_infinite() {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(ops as f64 / self.filter_ops_per_sec)
+    }
+}
+
+/// The complete 2001 hardware model: the paper's disk plus its CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareModel {
+    pub disk: DiskModel,
+    pub cpu: CpuModel,
+}
+
+impl HardwareModel {
+    /// The paper's evaluation platform (§5.1).
+    pub fn icde2001() -> Self {
+        Self {
+            disk: DiskModel::icde2001(),
+            cpu: CpuModel::icde2001(),
+        }
+    }
+
+    /// Free CPU, paper disk: the pure-I/O view.
+    pub fn io_only() -> Self {
+        Self {
+            disk: DiskModel::icde2001(),
+            cpu: CpuModel::free(),
+        }
+    }
+
+    /// Paper CPU, free disk: the pure-CPU view.
+    pub fn cpu_only() -> Self {
+        Self {
+            disk: DiskModel::free(),
+            cpu: CpuModel::icde2001(),
+        }
+    }
+}
+
+/// The I/O profile of one operation: how many pages it touched and how.
+///
+/// Random accesses are split into *requests* (each paying a seek) and the
+/// *pages* they transfer: a multi-page record read costs one positioning
+/// plus a contiguous transfer, not one seek per page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoProfile {
+    /// Independent random positionings (seeks) performed.
+    pub random_requests: u64,
+    /// Pages transferred by those random requests.
+    pub random_page_reads: u64,
+    /// Pages covered by sequential scans (Naive-Scan / LB-Scan passes).
+    pub sequential_pages_scanned: u64,
+}
+
+impl IoProfile {
+    /// Merges another profile into this one.
+    pub fn add(&mut self, other: &IoProfile) {
+        self.random_requests += other.random_requests;
+        self.random_page_reads += other.random_page_reads;
+        self.sequential_pages_scanned += other.sequential_pages_scanned;
+    }
+
+    /// Total pages touched regardless of access pattern.
+    pub fn total_pages(&self) -> u64 {
+        self.random_page_reads + self.sequential_pages_scanned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_disk_constants() {
+        let d = DiskModel::icde2001();
+        assert_eq!(d.seek, Duration::from_micros(9_500));
+        assert_eq!(d.page_size, 1024);
+        // 1 KB at 4 MB/s is ~244 us.
+        let t = d.transfer_time();
+        assert!(t > Duration::from_micros(230) && t < Duration::from_micros(260));
+    }
+
+    #[test]
+    fn random_reads_dominated_by_seeks() {
+        let d = DiskModel::icde2001();
+        let cost = d.random_reads(100);
+        assert!(cost >= Duration::from_micros(950_000));
+    }
+
+    #[test]
+    fn sequential_scan_pays_one_seek() {
+        let d = DiskModel::icde2001();
+        let seq = d.sequential_scan(1000);
+        let rnd = d.random_reads(1000);
+        assert!(seq < rnd / 10, "sequential {seq:?} vs random {rnd:?}");
+        assert_eq!(d.sequential_scan(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn free_disk_costs_nothing() {
+        let d = DiskModel::free();
+        let io = IoProfile {
+            random_requests: 1_000_000,
+            random_page_reads: 1_000_000,
+            sequential_pages_scanned: 1_000_000,
+        };
+        assert_eq!(d.elapsed(&io), Duration::ZERO);
+    }
+
+    #[test]
+    fn elapsed_combines_profiles() {
+        let d = DiskModel::icde2001();
+        let io = IoProfile {
+            random_requests: 4,
+            random_page_reads: 10,
+            sequential_pages_scanned: 100,
+        };
+        let expect = d.seek * 4 + d.transfer_time() * 10 + d.sequential_scan(100);
+        assert_eq!(d.elapsed(&io), expect);
+    }
+
+    #[test]
+    fn contiguous_record_cheaper_than_scattered_pages() {
+        // A 3-page record read (1 seek + 3 transfers) must cost less than
+        // three independent page reads (3 seeks + 3 transfers).
+        let d = DiskModel::icde2001();
+        let record = IoProfile {
+            random_requests: 1,
+            random_page_reads: 3,
+            sequential_pages_scanned: 0,
+        };
+        assert!(d.elapsed(&record) < d.random_reads(3));
+    }
+
+    #[test]
+    fn cpu_model_prices_work() {
+        let cpu = CpuModel::icde2001();
+        // 5M cells at 5M cells/s is one second.
+        assert_eq!(cpu.dtw_time(5_000_000), Duration::from_secs(1));
+        assert!(cpu.filter_time(2_000_000) < cpu.dtw_time(2_000_000));
+        assert_eq!(CpuModel::free().dtw_time(u64::MAX), Duration::ZERO);
+    }
+
+    #[test]
+    fn hardware_model_views() {
+        let io_only = HardwareModel::io_only();
+        assert_eq!(io_only.cpu.dtw_time(1_000_000), Duration::ZERO);
+        assert!(io_only.disk.random_reads(1) > Duration::ZERO);
+        let cpu_only = HardwareModel::cpu_only();
+        assert_eq!(cpu_only.disk.random_reads(1_000), Duration::ZERO);
+        assert!(cpu_only.cpu.dtw_time(1_000_000) > Duration::ZERO);
+    }
+
+    #[test]
+    fn profile_accumulates() {
+        let mut a = IoProfile {
+            random_requests: 1,
+            random_page_reads: 1,
+            sequential_pages_scanned: 2,
+        };
+        a.add(&IoProfile {
+            random_requests: 5,
+            random_page_reads: 10,
+            sequential_pages_scanned: 20,
+        });
+        assert_eq!(a.random_requests, 6);
+        assert_eq!(a.random_page_reads, 11);
+        assert_eq!(a.sequential_pages_scanned, 22);
+        assert_eq!(a.total_pages(), 33);
+    }
+}

@@ -1,0 +1,42 @@
+//! # tw-storage — paged sequence storage with a 2001-era disk cost model
+//!
+//! The storage substrate of the TW-Sim-Search reproduction:
+//!
+//! * [`Pager`] — fixed-size page backends ([`MemPager`], [`FilePager`]);
+//! * [`BufferPool`] — an LRU page cache with hit/miss counters;
+//! * [`SequenceStore`] — the sequence database itself: variable-length
+//!   numeric sequences appended to a heap of 1 KB pages, supporting random
+//!   `get` (the candidate reads of Algorithm 1, Step 5) and full sequential
+//!   `scan` (Naive-Scan / LB-Scan);
+//! * [`DiskModel`] / [`IoProfile`] — a cost model pricing page accesses with
+//!   the paper's disk constants (9.5 ms seek, §5.1) so experiments can report
+//!   disk-bound elapsed times on modern hardware.
+//!
+//! ## Example
+//!
+//! ```
+//! use tw_storage::{DiskModel, SequenceStore};
+//!
+//! let mut store = SequenceStore::in_memory();
+//! let id = store.append(&[20.0, 21.0, 21.0, 20.0, 23.0]).unwrap();
+//! assert_eq!(store.get(id).unwrap(), vec![20.0, 21.0, 21.0, 20.0, 23.0]);
+//!
+//! // Price the I/O this access performed on the paper's disk.
+//! let elapsed = DiskModel::icde2001().elapsed(&store.take_io());
+//! assert!(elapsed.as_micros() > 0);
+//! ```
+
+mod buffer;
+mod codec;
+mod cost;
+mod pager;
+mod seqstore;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use codec::{
+    decode_record, encode_record, encode_record_to_bytes, encoded_len, CodecError, Record,
+    MAX_RECORD_ELEMS, RECORD_HEADER_BYTES,
+};
+pub use cost::{CpuModel, DiskModel, HardwareModel, IoProfile};
+pub use pager::{FilePager, MemPager, Pager, PagerError, DEFAULT_PAGE_SIZE};
+pub use seqstore::{SeqId, SequenceStore, StoreError};

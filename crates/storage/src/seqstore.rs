@@ -1,0 +1,531 @@
+//! The sequence database: variable-length sequences on fixed-size pages.
+//!
+//! Records are appended back-to-back in a byte-addressed data region that
+//! spans pages (page 0 is a header page). The store keeps an in-memory
+//! directory `SeqId -> (offset, length)`, rebuilt from the self-describing
+//! records on open.
+//!
+//! Every logical operation accounts its I/O in an [`IoProfile`] under the
+//! cold-cache assumption the paper's experiments imply: a random `get` costs
+//! the pages the record spans, a full `scan` costs every data page
+//! sequentially. The buffer pool's actual hit statistics are available
+//! separately for cache-behaviour ablations.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+use crate::buffer::{BufferPool, BufferStats};
+use crate::codec::{decode_record, encode_record, CodecError};
+use crate::cost::IoProfile;
+use crate::pager::{MemPager, Pager, PagerError};
+
+/// Identifier of a sequence within a store (dense, starting at 0).
+pub type SeqId = u64;
+
+/// Magic marking a sequence store header page ("TWS1").
+const MAGIC: u32 = 0x5457_5331;
+const HEADER_PAGE: u64 = 0;
+
+/// Errors raised by the sequence store.
+#[derive(Debug)]
+pub enum StoreError {
+    Pager(PagerError),
+    Codec(CodecError),
+    /// Header page malformed or missing magic.
+    BadHeader(&'static str),
+    /// Requested id not present.
+    UnknownSequence(SeqId),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Pager(e) => write!(f, "storage error: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::BadHeader(w) => write!(f, "bad store header: {w}"),
+            StoreError::UnknownSequence(id) => write!(f, "unknown sequence id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<PagerError> for StoreError {
+    fn from(e: PagerError) -> Self {
+        StoreError::Pager(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    /// Byte offset of the record within the data region.
+    offset: u64,
+    /// Number of elements.
+    len: u32,
+}
+
+/// A paged store of numeric sequences.
+pub struct SequenceStore<P: Pager> {
+    pool: BufferPool<P>,
+    directory: Vec<DirEntry>,
+    /// Next free byte in the data region.
+    write_cursor: u64,
+    page_size: usize,
+    io: Mutex<IoProfile>,
+}
+
+impl SequenceStore<MemPager> {
+    /// An in-memory store with the paper's 1 KB pages.
+    pub fn in_memory() -> Self {
+        Self::create(MemPager::new(crate::pager::DEFAULT_PAGE_SIZE), 64)
+            .expect("in-memory store creation cannot fail")
+    }
+}
+
+impl<P: Pager> SequenceStore<P> {
+    /// Creates an empty store on a fresh pager.
+    pub fn create(mut pager: P, pool_pages: usize) -> Result<Self, StoreError> {
+        assert_eq!(pager.page_count(), 0, "create() requires an empty pager");
+        pager.allocate()?; // header page
+        let page_size = pager.page_size();
+        let store = Self {
+            pool: BufferPool::new(pager, pool_pages),
+            directory: Vec::new(),
+            write_cursor: 0,
+            page_size,
+            io: Mutex::new(IoProfile::default()),
+        };
+        store.write_header()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, rebuilding the directory by decoding the data
+    /// region sequentially.
+    pub fn open(pager: P, pool_pages: usize) -> Result<Self, StoreError> {
+        let page_size = pager.page_size();
+        let pool = BufferPool::new(pager, pool_pages);
+        let mut head = vec![0u8; page_size];
+        pool.read(HEADER_PAGE, &mut head)?;
+        let mut buf = Bytes::copy_from_slice(&head);
+        if buf.get_u32_le() != MAGIC {
+            return Err(StoreError::BadHeader("magic"));
+        }
+        let _version = buf.get_u32_le();
+        let count = buf.get_u64_le();
+        let data_bytes = buf.get_u64_le();
+
+        let mut store = Self {
+            pool,
+            directory: Vec::with_capacity(count as usize),
+            write_cursor: data_bytes,
+            page_size,
+            io: Mutex::new(IoProfile::default()),
+        };
+        // Rebuild the directory from the records themselves.
+        let mut raw = store.read_span(0, data_bytes as usize)?;
+        let mut offset = 0u64;
+        for expected_id in 0..count {
+            let before = raw.remaining();
+            let rec = decode_record(&mut raw)?;
+            if rec.id != expected_id {
+                return Err(StoreError::BadHeader("record id out of order"));
+            }
+            store.directory.push(DirEntry {
+                offset,
+                len: rec.values.len() as u32,
+            });
+            offset += (before - raw.remaining()) as u64;
+        }
+        *store.io.lock() = IoProfile::default();
+        Ok(store)
+    }
+
+    /// Number of stored sequences.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether the store holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Page size of the underlying pager.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of pages the data region occupies.
+    pub fn data_pages(&self) -> u64 {
+        self.write_cursor.div_ceil(self.page_size as u64)
+    }
+
+    /// Total bytes of record data.
+    pub fn data_bytes(&self) -> u64 {
+        self.write_cursor
+    }
+
+    /// Length (element count) of a stored sequence without reading its data.
+    pub fn sequence_len(&self, id: SeqId) -> Result<usize, StoreError> {
+        self.dir(id).map(|e| e.len as usize)
+    }
+
+    /// Number of pages a random read of `id` touches.
+    pub fn sequence_pages(&self, id: SeqId) -> Result<u64, StoreError> {
+        let e = self.dir(id)?;
+        let bytes = crate::codec::encoded_len(e.len as usize) as u64;
+        Ok(span_pages(e.offset, bytes, self.page_size as u64))
+    }
+
+    fn dir(&self, id: SeqId) -> Result<DirEntry, StoreError> {
+        self.directory
+            .get(id as usize)
+            .copied()
+            .ok_or(StoreError::UnknownSequence(id))
+    }
+
+    /// Appends a sequence, returning its id.
+    pub fn append(&mut self, values: &[f64]) -> Result<SeqId, StoreError> {
+        let id = self.directory.len() as SeqId;
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, id, values);
+        let offset = self.write_cursor;
+        self.write_span(offset, &buf)?;
+        self.directory.push(DirEntry {
+            offset,
+            len: values.len() as u32,
+        });
+        self.write_cursor += buf.len() as u64;
+        Ok(id)
+    }
+
+    /// Random-access read of one sequence. Accounts `pages-spanned` random
+    /// page reads in the I/O profile.
+    pub fn get(&self, id: SeqId) -> Result<Vec<f64>, StoreError> {
+        let e = self.dir(id)?;
+        let bytes = crate::codec::encoded_len(e.len as usize);
+        let mut raw = self.read_span(e.offset, bytes)?;
+        let rec = decode_record(&mut raw)?;
+        debug_assert_eq!(rec.id, id);
+        let mut io = self.io.lock();
+        io.random_requests += 1;
+        io.random_page_reads += span_pages(e.offset, bytes as u64, self.page_size as u64);
+        drop(io);
+        Ok(rec.values)
+    }
+
+    /// Sequential scan over every `(id, values)` pair, materialized.
+    /// Prefer [`SequenceStore::scan_visit`] for large databases — it streams
+    /// page by page instead of buffering the whole data region.
+    pub fn scan(&self) -> Result<Vec<(SeqId, Vec<f64>)>, StoreError> {
+        let mut out = Vec::with_capacity(self.directory.len());
+        self.scan_visit(|id, values| out.push((id, values)))?;
+        Ok(out)
+    }
+
+    /// Streaming sequential scan: decodes one record at a time, holding at
+    /// most one record plus one page in memory. Accounts one sequential pass
+    /// over the whole data region, like [`SequenceStore::scan`].
+    pub fn scan_visit<F>(&self, mut visit: F) -> Result<(), StoreError>
+    where
+        F: FnMut(SeqId, Vec<f64>),
+    {
+        let mut buf = BytesMut::new();
+        let mut page_buf = vec![0u8; self.page_size];
+        let mut next_page = 1u64; // page 0 is the header
+        let last_page = self.data_page(self.write_cursor.saturating_sub(1).max(0));
+        for (idx, entry) in self.directory.iter().enumerate() {
+            let need = crate::codec::encoded_len(entry.len as usize);
+            while buf.len() < need {
+                debug_assert!(
+                    next_page <= last_page,
+                    "scan ran past the data region at record {idx}"
+                );
+                self.pool.read(next_page, &mut page_buf)?;
+                buf.extend_from_slice(&page_buf);
+                next_page += 1;
+            }
+            let mut record = buf.split_to(need).freeze();
+            let rec = decode_record(&mut record)?;
+            debug_assert_eq!(rec.id, idx as u64);
+            visit(rec.id, rec.values);
+        }
+        self.io.lock().sequential_pages_scanned += self.data_pages();
+        Ok(())
+    }
+
+    /// Takes and resets the accumulated I/O profile.
+    pub fn take_io(&self) -> IoProfile {
+        std::mem::take(&mut self.io.lock())
+    }
+
+    /// Reads the accumulated I/O profile without resetting it.
+    pub fn io(&self) -> IoProfile {
+        *self.io.lock()
+    }
+
+    /// Buffer pool counters (actual caching behaviour, not the model).
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Persists the header and flushes dirty pages.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        self.write_header()?;
+        self.pool.flush()?;
+        Ok(())
+    }
+
+    fn write_header(&self) -> Result<(), StoreError> {
+        let mut page = BytesMut::with_capacity(self.page_size);
+        page.put_u32_le(MAGIC);
+        page.put_u32_le(1); // version
+        page.put_u64_le(self.directory.len() as u64);
+        page.put_u64_le(self.write_cursor);
+        page.resize(self.page_size, 0);
+        self.pool.write(HEADER_PAGE, &page)?;
+        Ok(())
+    }
+
+    /// Data-region page number holding byte `offset`.
+    fn data_page(&self, offset: u64) -> u64 {
+        1 + offset / self.page_size as u64
+    }
+
+    fn read_span(&self, offset: u64, len: usize) -> Result<Bytes, StoreError> {
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let ps = self.page_size as u64;
+        let first = self.data_page(offset);
+        let last = self.data_page(offset + len as u64 - 1);
+        let mut raw = BytesMut::with_capacity(((last - first + 1) * ps) as usize);
+        let mut page_buf = vec![0u8; self.page_size];
+        for p in first..=last {
+            self.pool.read(p, &mut page_buf)?;
+            raw.extend_from_slice(&page_buf);
+        }
+        let start = (offset % ps) as usize;
+        Ok(raw.freeze().slice(start..start + len))
+    }
+
+    fn write_span(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        let ps = self.page_size as u64;
+        // Ensure enough pages exist.
+        let end = offset + data.len() as u64;
+        let needed_last = self.data_page(end.saturating_sub(1).max(offset));
+        while self.pool.page_count() <= needed_last {
+            self.pool.allocate()?;
+        }
+        let mut page_buf = vec![0u8; self.page_size];
+        let mut written = 0usize;
+        let mut cursor = offset;
+        while written < data.len() {
+            let page = self.data_page(cursor);
+            let in_page = (cursor % ps) as usize;
+            let chunk = (self.page_size - in_page).min(data.len() - written);
+            // Read-modify-write when the chunk does not cover the whole page.
+            if chunk < self.page_size {
+                self.pool.read(page, &mut page_buf)?;
+            }
+            page_buf[in_page..in_page + chunk].copy_from_slice(&data[written..written + chunk]);
+            self.pool.write(page, &page_buf)?;
+            written += chunk;
+            cursor += chunk as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Number of pages a byte span `[offset, offset+len)` touches.
+fn span_pages(offset: u64, len: u64, page_size: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = offset / page_size;
+    let last = (offset + len - 1) / page_size;
+    last - first + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::FilePager;
+
+    fn sample(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..(i % 40 + 1)).map(|j| (i * 100 + j) as f64 * 0.5).collect())
+            .collect()
+    }
+
+    #[test]
+    fn append_and_get_roundtrip() {
+        let mut store = SequenceStore::in_memory();
+        let data = sample(50);
+        for (i, s) in data.iter().enumerate() {
+            let id = store.append(s).unwrap();
+            assert_eq!(id, i as u64);
+        }
+        assert_eq!(store.len(), 50);
+        for (i, s) in data.iter().enumerate() {
+            assert_eq!(&store.get(i as u64).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn get_unknown_id_errors() {
+        let store = SequenceStore::in_memory();
+        assert!(matches!(
+            store.get(0),
+            Err(StoreError::UnknownSequence(0))
+        ));
+    }
+
+    #[test]
+    fn scan_returns_everything_in_order() {
+        let mut store = SequenceStore::in_memory();
+        let data = sample(30);
+        for s in &data {
+            store.append(s).unwrap();
+        }
+        let scanned = store.scan().unwrap();
+        assert_eq!(scanned.len(), 30);
+        for (i, (id, values)) in scanned.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(values, &data[i]);
+        }
+    }
+
+    #[test]
+    fn scan_visit_streams_same_contents_as_scan() {
+        let mut store = SequenceStore::in_memory();
+        let data = sample(40);
+        for s in &data {
+            store.append(s).unwrap();
+        }
+        let materialized = store.scan().unwrap();
+        let mut streamed = Vec::new();
+        store.scan_visit(|id, values| streamed.push((id, values))).unwrap();
+        assert_eq!(materialized, streamed);
+        // Both account one sequential pass.
+        let io = store.take_io();
+        assert_eq!(io.sequential_pages_scanned, 2 * store.data_pages());
+    }
+
+    #[test]
+    fn scan_visit_handles_records_spanning_pages() {
+        let mut store = SequenceStore::in_memory();
+        // Records far larger than a page (128 f64 per 1 KB page).
+        for i in 0..5 {
+            store.append(&vec![i as f64; 400]).unwrap();
+        }
+        let mut seen = 0usize;
+        store
+            .scan_visit(|id, values| {
+                assert_eq!(values, vec![id as f64; 400]);
+                seen += 1;
+            })
+            .unwrap();
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn io_accounting_random_vs_sequential() {
+        let mut store = SequenceStore::in_memory();
+        // Long sequences spanning multiple 1 KB pages (128 f64 per page).
+        for _ in 0..10 {
+            store.append(&vec![1.0; 500]).unwrap();
+        }
+        store.take_io();
+        store.get(3).unwrap();
+        let io = store.take_io();
+        assert!(io.random_page_reads >= 4, "spans >= 4 pages: {io:?}");
+        assert_eq!(io.sequential_pages_scanned, 0);
+
+        store.scan().unwrap();
+        let io = store.take_io();
+        assert_eq!(io.random_page_reads, 0);
+        assert_eq!(io.sequential_pages_scanned, store.data_pages());
+    }
+
+    #[test]
+    fn sequence_pages_matches_accounting() {
+        let mut store = SequenceStore::in_memory();
+        store.append(&vec![0.5; 300]).unwrap();
+        store.take_io();
+        store.get(0).unwrap();
+        assert_eq!(
+            store.take_io().random_page_reads,
+            store.sequence_pages(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_sequence_roundtrip() {
+        let mut store = SequenceStore::in_memory();
+        let id = store.append(&[]).unwrap();
+        assert_eq!(store.get(id).unwrap(), Vec::<f64>::new());
+        assert_eq!(store.sequence_len(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("twstore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.pages");
+        let data = sample(25);
+        {
+            let pager = FilePager::create(&path, 1024).unwrap();
+            let mut store = SequenceStore::create(pager, 16).unwrap();
+            for s in &data {
+                store.append(s).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        {
+            let pager = FilePager::open(&path, 1024).unwrap();
+            let store = SequenceStore::open(pager, 16).unwrap();
+            assert_eq!(store.len(), 25);
+            for (i, s) in data.iter().enumerate() {
+                assert_eq!(&store.get(i as u64).unwrap(), s);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut pager = MemPager::new(1024);
+        pager.allocate().unwrap();
+        let err = match SequenceStore::open(pager, 4) {
+            Err(e) => e,
+            Ok(_) => panic!("garbage header must not open"),
+        };
+        assert!(matches!(err, StoreError::BadHeader("magic")));
+    }
+
+    #[test]
+    fn long_sequences_span_pages_correctly() {
+        let mut store = SequenceStore::in_memory();
+        let long: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let id = store.append(&long).unwrap();
+        assert_eq!(store.get(id).unwrap(), long);
+        assert!(store.data_pages() > 70);
+    }
+
+    #[test]
+    fn span_pages_math() {
+        assert_eq!(span_pages(0, 0, 1024), 0);
+        assert_eq!(span_pages(0, 1, 1024), 1);
+        assert_eq!(span_pages(0, 1024, 1024), 1);
+        assert_eq!(span_pages(0, 1025, 1024), 2);
+        assert_eq!(span_pages(1023, 2, 1024), 2);
+        assert_eq!(span_pages(1024, 1024, 1024), 1);
+    }
+}

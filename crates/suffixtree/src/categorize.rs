@@ -1,0 +1,231 @@
+//! Categorization of numeric sequences into symbol strings.
+//!
+//! ST-Filter (Park et al.) converts each numeric sequence into a string over a
+//! small alphabet of *categories* before inserting it into the suffix tree.
+//! The paper's experiments use 100 categories produced by the
+//! equal-length-interval method (§5.1); an equal-frequency variant is
+//! provided for the category-count ablation.
+
+use crate::ukkonen::Symbol;
+
+/// How category boundaries are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoryMethod {
+    /// Split `[min, max]` into equal-width intervals (the paper's method).
+    EqualWidth,
+    /// Choose boundaries at value quantiles so categories hold roughly equal
+    /// numbers of elements.
+    EqualFrequency,
+}
+
+/// A categorizer: a partition of the value domain into `k` intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorizer {
+    /// Interior boundaries, ascending; category `c` covers
+    /// `[bound(c-1), bound(c))` with the outer categories unbounded.
+    boundaries: Vec<f64>,
+    /// Representative [lo, hi] range per category used by the filter's
+    /// lower-bound distance (derived from observed data extremes).
+    ranges: Vec<(f64, f64)>,
+}
+
+impl Categorizer {
+    /// Fits a categorizer with `k` categories over every element of `data`.
+    ///
+    /// # Panics
+    /// Panics when `k < 2` or `data` holds no elements.
+    pub fn fit(data: &[Vec<f64>], k: usize, method: CategoryMethod) -> Self {
+        assert!(k >= 2, "need at least two categories, got {k}");
+        let mut values: Vec<f64> = data.iter().flatten().copied().collect();
+        assert!(!values.is_empty(), "cannot fit categorizer on empty data");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite elements"));
+        let lo = values[0];
+        let hi = *values.last().expect("non-empty");
+
+        let boundaries: Vec<f64> = match method {
+            CategoryMethod::EqualWidth => {
+                let width = (hi - lo) / k as f64;
+                (1..k).map(|i| lo + width * i as f64).collect()
+            }
+            CategoryMethod::EqualFrequency => (1..k)
+                .map(|i| {
+                    let rank = i * values.len() / k;
+                    values[rank.min(values.len() - 1)]
+                })
+                .collect(),
+        };
+
+        // Category value ranges: the interval the category covers, clipped to
+        // the observed extremes so the lower-bound distance stays tight.
+        let mut ranges = Vec::with_capacity(k);
+        for c in 0..k {
+            let c_lo = if c == 0 { lo } else { boundaries[c - 1] };
+            let c_hi = if c == k - 1 { hi } else { boundaries[c] };
+            ranges.push((c_lo, c_hi));
+        }
+        Self { boundaries, ranges }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the categorizer is degenerate (it never is after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The category of a value. Values outside the fitted domain clamp to the
+    /// outermost categories.
+    pub fn category(&self, v: f64) -> Symbol {
+        // partition_point returns the count of boundaries <= v, i.e. the
+        // category index.
+        let c = self.boundaries.partition_point(|&b| b <= v);
+        c as Symbol
+    }
+
+    /// The `[lo, hi]` value range of category `c`.
+    pub fn range(&self, c: Symbol) -> (f64, f64) {
+        self.ranges[c as usize]
+    }
+
+    /// Converts a numeric sequence into its category string.
+    pub fn encode(&self, seq: &[f64]) -> Vec<Symbol> {
+        seq.iter().map(|&v| self.category(v)).collect()
+    }
+
+    /// Lower bound on `|v - x|` over all `x` in category `c`'s range: zero
+    /// when `v` falls inside the range, otherwise the gap to the nearest end.
+    /// This is the per-element distance the ST-Filter DP uses; it never
+    /// overestimates the true element distance, so the filter admits no false
+    /// dismissal.
+    pub fn min_dist(&self, v: f64, c: Symbol) -> f64 {
+        let (lo, hi) = self.range(c);
+        if v < lo {
+            lo - v
+        } else if v > hi {
+            v - hi
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]]
+    }
+
+    #[test]
+    fn equal_width_boundaries() {
+        let c = Categorizer::fit(&data(), 5, CategoryMethod::EqualWidth);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.category(0.0), 0);
+        assert_eq!(c.category(1.9), 0);
+        assert_eq!(c.category(2.0), 1);
+        assert_eq!(c.category(10.0), 4);
+        // Out-of-domain values clamp.
+        assert_eq!(c.category(-100.0), 0);
+        assert_eq!(c.category(100.0), 4);
+    }
+
+    #[test]
+    fn ranges_tile_the_domain() {
+        let c = Categorizer::fit(&data(), 4, CategoryMethod::EqualWidth);
+        let mut prev_hi = None;
+        for i in 0..c.len() {
+            let (lo, hi) = c.range(i as Symbol);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p, "ranges must tile without gaps");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(c.range(0).0, 0.0);
+        assert_eq!(c.range(3).1, 10.0);
+    }
+
+    #[test]
+    fn encode_roundtrip_consistency() {
+        let c = Categorizer::fit(&data(), 10, CategoryMethod::EqualWidth);
+        let seq = vec![0.0, 5.5, 9.9];
+        let symbols = c.encode(&seq);
+        assert_eq!(symbols.len(), 3);
+        for (&v, &s) in seq.iter().zip(&symbols) {
+            let (lo, hi) = c.range(s);
+            assert!(v >= lo && v <= hi, "value {v} outside range of category {s}");
+        }
+    }
+
+    #[test]
+    fn min_dist_is_lower_bound_on_element_distance() {
+        let c = Categorizer::fit(&data(), 5, CategoryMethod::EqualWidth);
+        // For any value v and any element x with category(x) = c, the
+        // categorized distance never exceeds |v - x|.
+        let elems = [0.0, 1.3, 2.2, 4.9, 6.0, 7.7, 10.0];
+        let queries = [-1.0, 0.5, 3.3, 5.0, 9.2, 12.0];
+        for &x in &elems {
+            let cx = c.category(x);
+            for &v in &queries {
+                assert!(
+                    c.min_dist(v, cx) <= (v - x).abs() + 1e-12,
+                    "v={v} x={x} cat={cx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_dist_zero_inside_range() {
+        let c = Categorizer::fit(&data(), 5, CategoryMethod::EqualWidth);
+        let (lo, hi) = c.range(2);
+        assert_eq!(c.min_dist((lo + hi) / 2.0, 2), 0.0);
+        assert_eq!(c.min_dist(lo, 2), 0.0);
+        assert_eq!(c.min_dist(hi, 2), 0.0);
+        assert!(c.min_dist(hi + 1.0, 2) > 0.99);
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        // Skewed data: many small values, few large.
+        let skew = vec![(0..90).map(|i| i as f64 * 0.01).collect::<Vec<_>>(), vec![
+            50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ]];
+        let eq_w = Categorizer::fit(&skew, 4, CategoryMethod::EqualWidth);
+        let eq_f = Categorizer::fit(&skew, 4, CategoryMethod::EqualFrequency);
+        let count_in = |c: &Categorizer, cat: Symbol| {
+            skew.iter()
+                .flatten()
+                .filter(|&&v| c.category(v) == cat)
+                .count()
+        };
+        // Equal-width puts nearly everything in category 0; equal-frequency
+        // spreads the bulk across categories.
+        assert!(count_in(&eq_w, 0) >= 90);
+        assert!(count_in(&eq_f, 0) < 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two categories")]
+    fn single_category_rejected() {
+        let _ = Categorizer::fit(&data(), 1, CategoryMethod::EqualWidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_rejected() {
+        let _ = Categorizer::fit(&[], 4, CategoryMethod::EqualWidth);
+    }
+
+    #[test]
+    fn constant_data_degenerates_gracefully() {
+        let flat = vec![vec![5.0; 10]];
+        let c = Categorizer::fit(&flat, 4, CategoryMethod::EqualWidth);
+        assert_eq!(c.category(5.0), 3); // all boundaries equal 5.0; <= pushes up
+        assert_eq!(c.min_dist(5.0, c.category(5.0)), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tw-suffix — generalized suffix tree + ST-Filter for the reproduction
+//!
+//! The substrate behind the **ST-Filter** baseline (Park et al.) that the
+//! paper's experiments compare TW-Sim-Search against:
+//!
+//! * [`SuffixTree`] — a generalized suffix tree over symbol strings built
+//!   with Ukkonen's online algorithm (unique per-string terminators, leaf
+//!   suffix annotations, occurrence queries);
+//! * [`Categorizer`] — the equal-width (paper §5.1, 100 categories) and
+//!   equal-frequency categorization of numeric sequences into symbol strings;
+//! * [`StFilter`] — the time-warping filter traversal: a branch-and-bound
+//!   DP over tree paths using category-range lower-bound distances, for both
+//!   whole matching (the paper's experiments) and subsequence matching
+//!   (ST-Filter's original target).
+//!
+//! ## Example
+//!
+//! ```
+//! use tw_suffix::{CategoryMethod, StFilter};
+//!
+//! let db = vec![
+//!     vec![20.0, 21.0, 21.0, 20.0, 23.0],
+//!     vec![5.0, 6.0, 7.0],
+//! ];
+//! let filter = StFilter::build(&db, 16, CategoryMethod::EqualWidth);
+//! let candidates = filter.whole_match_candidates(&[20.0, 21.0, 20.0, 23.0], 1.0);
+//! assert!(candidates.ids.contains(&0));
+//! assert!(!candidates.ids.contains(&1));
+//! ```
+
+mod categorize;
+mod persist;
+mod stfilter;
+mod ukkonen;
+
+pub use categorize::{CategoryMethod, Categorizer};
+pub use persist::DecodeError;
+pub use stfilter::{StFilter, SubsequenceCandidates, TraversalStats, WholeMatchCandidates};
+pub use ukkonen::{NodeIdx, SuffixRef, SuffixTree, Symbol};

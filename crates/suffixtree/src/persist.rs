@@ -1,0 +1,237 @@
+//! Suffix-tree serialization.
+//!
+//! §3.4's critique of ST-Filter centres on the size of the suffix tree —
+//! which only matters because the tree is a persistent, disk-resident
+//! structure. This module gives the generalized suffix tree an explicit
+//! little-endian on-disk format so the size claims can be measured in bytes,
+//! and so the CLI/examples can reload a built filter.
+//!
+//! ```text
+//! file   := header strings text nodes
+//! header := magic:u32 sentinel:u32 string_count:u32 text_len:u32 node_count:u32
+//! strings:= (offset:u32 len:u32)*
+//! text   := symbol:u32 *
+//! node   := start:u32 end:u32 suffix:u32 child_count:u32 (symbol:u32 child:u32)*
+//! ```
+//!
+//! `suffix == u32::MAX` encodes "not a leaf".
+
+use std::collections::HashMap;
+
+use crate::ukkonen::{StNode, SuffixTree, Symbol};
+
+/// Magic marking a serialized suffix tree ("TWS2").
+const MAGIC: u32 = 0x5457_5332;
+const NO_SUFFIX: u32 = u32::MAX;
+
+/// Errors produced while decoding a serialized suffix tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic number.
+    BadMagic(u32),
+    /// Buffer ended early.
+    Truncated,
+    /// A structural field held an impossible value.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad suffix-tree magic 0x{m:08x}"),
+            DecodeError::Truncated => write!(f, "suffix-tree buffer truncated"),
+            DecodeError::Corrupt(w) => write!(f, "corrupt suffix-tree field: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+}
+
+impl SuffixTree {
+    /// Serializes the tree (including the concatenated text) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            20 + 8 * self.string_count() + 4 * self.text_len() + 16 * self.node_count(),
+        );
+        let put = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        put(&mut out, MAGIC);
+        put(&mut out, self.sentinel_base());
+        put(&mut out, self.string_count() as u32);
+        put(&mut out, self.text_len() as u32);
+        put(&mut out, self.node_count() as u32);
+        for i in 0..self.string_count() {
+            put(&mut out, self.string_offset(i) as u32);
+            put(&mut out, self.string_len(i) as u32);
+        }
+        for &sym in self.text() {
+            put(&mut out, sym);
+        }
+        for idx in 0..self.node_count() {
+            let node = self.node(idx);
+            put(&mut out, node.start as u32);
+            put(&mut out, node.end as u32);
+            put(
+                &mut out,
+                node.suffix_start.map_or(NO_SUFFIX, |s| s as u32),
+            );
+            let mut children: Vec<(Symbol, usize)> =
+                node.children.iter().map(|(&s, &c)| (s, c)).collect();
+            children.sort_unstable_by_key(|&(s, _)| s);
+            put(&mut out, children.len() as u32);
+            for (sym, child) in children {
+                put(&mut out, sym);
+                put(&mut out, child as u32);
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a tree from [`SuffixTree::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader { buf, pos: 0 };
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(DecodeError::BadMagic(magic));
+        }
+        let sentinel_base = r.u32()?;
+        let string_count = r.u32()? as usize;
+        let text_len = r.u32()? as usize;
+        let node_count = r.u32()? as usize;
+        if node_count == 0 {
+            return Err(DecodeError::Corrupt("zero nodes"));
+        }
+
+        let mut string_offsets = Vec::with_capacity(string_count);
+        let mut string_lens = Vec::with_capacity(string_count);
+        for _ in 0..string_count {
+            string_offsets.push(r.u32()? as usize);
+            string_lens.push(r.u32()? as usize);
+        }
+        let mut text = Vec::with_capacity(text_len);
+        for _ in 0..text_len {
+            text.push(r.u32()?);
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let start = r.u32()? as usize;
+            let end = r.u32()? as usize;
+            if start > end || end > text_len {
+                return Err(DecodeError::Corrupt("edge label out of bounds"));
+            }
+            let suffix = r.u32()?;
+            let child_count = r.u32()? as usize;
+            let mut children = HashMap::with_capacity(child_count);
+            for _ in 0..child_count {
+                let sym = r.u32()?;
+                let child = r.u32()? as usize;
+                if child >= node_count {
+                    return Err(DecodeError::Corrupt("child index out of bounds"));
+                }
+                children.insert(sym, child);
+            }
+            nodes.push(StNode {
+                start,
+                end,
+                link: 0, // suffix links are construction-time only
+                children,
+                suffix_start: (suffix != NO_SUFFIX).then_some(suffix as usize),
+            });
+        }
+        Ok(SuffixTree::from_parts(
+            text,
+            nodes,
+            string_offsets,
+            string_lens,
+            sentinel_base,
+        ))
+    }
+
+    /// Serialized size in bytes — the number §3.4's size comparison is
+    /// about.
+    pub fn serialized_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Symbol = 1 << 16;
+
+    fn sample_strings() -> Vec<Vec<Symbol>> {
+        vec![
+            vec![1, 2, 3, 2, 3, 2],
+            vec![2, 1, 2, 2],
+            vec![0, 0, 0, 1],
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries() {
+        let strings = sample_strings();
+        let tree = SuffixTree::build(&strings, BASE);
+        let back = SuffixTree::from_bytes(&tree.to_bytes()).expect("decode");
+        assert_eq!(back.node_count(), tree.node_count());
+        assert_eq!(back.string_count(), tree.string_count());
+        for pattern in [&[2, 3][..], &[1, 2], &[0, 0], &[3, 3], &[2, 3, 2]] {
+            assert_eq!(
+                back.occurrences(pattern),
+                tree.occurrences(pattern),
+                "pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_string() {
+        let tree = SuffixTree::build(&[vec![5, 5, 5]], BASE);
+        let back = SuffixTree::from_bytes(&tree.to_bytes()).expect("decode");
+        assert_eq!(back.occurrences(&[5, 5]), tree.occurrences(&[5, 5]));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut raw = SuffixTree::build(&sample_strings(), BASE).to_bytes();
+        raw[0] ^= 0xff;
+        assert!(matches!(
+            SuffixTree::from_bytes(&raw),
+            Err(DecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let raw = SuffixTree::build(&sample_strings(), BASE).to_bytes();
+        for cut in [4usize, 16, raw.len() / 2, raw.len() - 1] {
+            assert!(
+                SuffixTree::from_bytes(&raw[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn serialized_size_tracks_node_count() {
+        let small = SuffixTree::build(&[vec![1, 2]], BASE);
+        let strings: Vec<Vec<Symbol>> = (0..20)
+            .map(|i| (0..50).map(|j| ((i * j) % 7) as Symbol).collect())
+            .collect();
+        let big = SuffixTree::build(&strings, BASE);
+        assert!(big.serialized_bytes() > 20 * small.serialized_bytes());
+    }
+}

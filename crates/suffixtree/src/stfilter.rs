@@ -1,0 +1,413 @@
+//! The ST-Filter traversal (Park et al.), adapted for whole matching as the
+//! paper's Experiment baselines require.
+//!
+//! The filter walks the suffix tree depth-first, maintaining one column of a
+//! time-warping dynamic-programming table per path symbol. The per-element
+//! distance is the *category-range* lower bound
+//! ([`Categorizer::min_dist`]), so the DP value along any path lower-bounds
+//! the true time-warping distance to any sequence whose categorized string
+//! follows that path — branches whose entire column exceeds the tolerance
+//! can be pruned without false dismissal.
+//!
+//! Whole matching accepts at leaves representing a *complete* string (suffix
+//! offset 0); subsequence filtering accepts at any path position whose final
+//! DP cell is within tolerance.
+
+use crate::categorize::{CategoryMethod, Categorizer};
+use crate::ukkonen::{NodeIdx, SuffixTree, Symbol};
+
+/// Default sentinel base: categories use symbols `0..k`, terminators start
+/// here. Supports up to `u32::MAX - 2^16` strings.
+const SENTINEL_BASE: Symbol = 1 << 16;
+
+/// Traversal statistics for the cost model and the candidate-ratio figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Suffix-tree nodes expanded.
+    pub nodes_visited: u64,
+    /// DP cells computed during the traversal.
+    pub dp_cells: u64,
+}
+
+/// Whole-matching filter output: candidate sequence ids.
+#[derive(Debug, Clone)]
+pub struct WholeMatchCandidates {
+    pub ids: Vec<usize>,
+    pub stats: TraversalStats,
+}
+
+/// Subsequence filter output: candidate `(sequence, offset, length)` windows.
+#[derive(Debug, Clone)]
+pub struct SubsequenceCandidates {
+    pub windows: Vec<(usize, usize, usize)>,
+    pub stats: TraversalStats,
+}
+
+/// A suffix-tree-based similarity filter over categorized sequences.
+#[derive(Debug, Clone)]
+pub struct StFilter {
+    tree: SuffixTree,
+    categorizer: Categorizer,
+}
+
+impl StFilter {
+    /// Builds the filter: fit a categorizer, encode every sequence, build the
+    /// generalized suffix tree. The paper's experiments use `k = 100`
+    /// equal-width categories (§5.1).
+    pub fn build(data: &[Vec<f64>], categories: usize, method: CategoryMethod) -> Self {
+        let categorizer = Categorizer::fit(data, categories, method);
+        assert!(
+            categories < SENTINEL_BASE as usize,
+            "category count {categories} exceeds symbol space"
+        );
+        let strings: Vec<Vec<Symbol>> = data.iter().map(|s| categorizer.encode(s)).collect();
+        let tree = SuffixTree::build(&strings, SENTINEL_BASE);
+        Self { tree, categorizer }
+    }
+
+    /// The underlying suffix tree (size inspection, diagnostics).
+    pub fn tree(&self) -> &SuffixTree {
+        &self.tree
+    }
+
+    /// The fitted categorizer.
+    pub fn categorizer(&self) -> &Categorizer {
+        &self.categorizer
+    }
+
+    /// Whole-matching candidates: sequences whose categorized string can be
+    /// warped onto the query with lower-bound distance within `epsilon`.
+    ///
+    /// Sound (no false dismissal): if `D_tw(S, Q) <= epsilon` then the
+    /// categorized DP along S's path is `<= epsilon`, because every element of
+    /// S lies inside its category's range.
+    pub fn whole_match_candidates(&self, query: &[f64], epsilon: f64) -> WholeMatchCandidates {
+        let mut stats = TraversalStats::default();
+        let mut ids = Vec::new();
+        if query.is_empty() {
+            return WholeMatchCandidates { ids, stats };
+        }
+        let m = query.len();
+        // col[i] = DP value for query prefix of length i against the current
+        // path; col[0] is the empty-query row (infinite once the path is
+        // non-empty, zero at the root).
+        let mut col = vec![f64::INFINITY; m + 1];
+        col[0] = 0.0;
+        self.dfs_whole(0, &col, query, epsilon, &mut ids, &mut stats);
+        ids.sort_unstable();
+        ids.dedup();
+        WholeMatchCandidates { ids, stats }
+    }
+
+    fn dfs_whole(
+        &self,
+        node: NodeIdx,
+        col: &[f64],
+        query: &[f64],
+        epsilon: f64,
+        out: &mut Vec<usize>,
+        stats: &mut TraversalStats,
+    ) {
+        stats.nodes_visited += 1;
+        for (first_sym, child) in self.tree.children(node) {
+            let label = self.tree.edge_label(child);
+            debug_assert_eq!(label.first().copied(), Some(first_sym));
+            let mut cur = col.to_vec();
+            let mut pruned = false;
+            let mut accepted_leaf = false;
+            for &sym in label {
+                if self.tree.is_terminator(sym) {
+                    // End of a string. Terminators are unique per string, so
+                    // only leaf edges contain them. Accept if this leaf is a
+                    // full string (suffix offset 0) and the DP is within the
+                    // tolerance.
+                    if cur[query.len()] <= epsilon {
+                        let suf = self
+                            .tree
+                            .leaf_suffix(child)
+                            .expect("terminator only occurs on leaf edges");
+                        if suf.offset == 0 {
+                            out.push(suf.string_id);
+                        }
+                    }
+                    accepted_leaf = true;
+                    break;
+                }
+                advance_column(&mut cur, query, |q| self.categorizer.min_dist(q, sym));
+                stats.dp_cells += query.len() as u64;
+                if column_min(&cur) > epsilon {
+                    pruned = true;
+                    break;
+                }
+            }
+            if !pruned && !accepted_leaf {
+                self.dfs_whole(child, &cur, query, epsilon, out, stats);
+            }
+        }
+    }
+
+    /// Subsequence candidates: windows `(sequence, offset, length)` whose
+    /// categorized prefix path warps onto the whole query within `epsilon`.
+    /// Windows are reported at the shallowest qualifying path length per
+    /// occurrence; the caller verifies with the exact distance.
+    pub fn subsequence_candidates(&self, query: &[f64], epsilon: f64) -> SubsequenceCandidates {
+        let mut stats = TraversalStats::default();
+        let mut windows = Vec::new();
+        if query.is_empty() {
+            return SubsequenceCandidates { windows, stats };
+        }
+        let m = query.len();
+        let mut col = vec![f64::INFINITY; m + 1];
+        col[0] = 0.0;
+        self.dfs_subseq(0, &col, 0, query, epsilon, &mut windows, &mut stats);
+        windows.sort_unstable();
+        windows.dedup();
+        SubsequenceCandidates { windows, stats }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_subseq(
+        &self,
+        node: NodeIdx,
+        col: &[f64],
+        depth: usize,
+        query: &[f64],
+        epsilon: f64,
+        out: &mut Vec<(usize, usize, usize)>,
+        stats: &mut TraversalStats,
+    ) {
+        stats.nodes_visited += 1;
+        for (_, child) in self.tree.children(node) {
+            let label = self.tree.edge_label(child);
+            let mut cur = col.to_vec();
+            let mut pruned = false;
+            let mut path_len = depth;
+            for &sym in label {
+                if self.tree.is_terminator(sym) {
+                    pruned = true; // path cannot extend past a string end
+                    break;
+                }
+                advance_column(&mut cur, query, |q| self.categorizer.min_dist(q, sym));
+                stats.dp_cells += query.len() as u64;
+                path_len += 1;
+                if cur[query.len()] <= epsilon {
+                    // Every occurrence of this path is a candidate window.
+                    for occ in self.occurrences_below(child) {
+                        out.push((occ.0, occ.1, path_len));
+                    }
+                }
+                if column_min(&cur) > epsilon {
+                    pruned = true;
+                    break;
+                }
+            }
+            if !pruned {
+                self.dfs_subseq(child, &cur, path_len, query, epsilon, out, stats);
+            }
+        }
+    }
+
+    /// All `(string, offset)` suffix positions at or below `node`.
+    fn occurrences_below(&self, node: NodeIdx) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(idx) = stack.pop() {
+            let children = self.tree.children(idx);
+            if children.is_empty() {
+                if let Some(suf) = self.tree.leaf_suffix(idx) {
+                    out.push((suf.string_id, suf.offset));
+                }
+            } else {
+                stack.extend(children.into_iter().map(|(_, c)| c));
+            }
+        }
+        out
+    }
+}
+
+/// Advances a time-warping DP column by one path symbol, in place.
+///
+/// Recurrence (L∞ base, Definition 2 of the paper):
+/// `D(i, j) = max(d_i, min(D(i-1, j), D(i, j-1), D(i-1, j-1)))`
+/// where `d_i` is the per-element distance of query element `i` to the
+/// current symbol.
+fn advance_column(col: &mut [f64], query: &[f64], dist: impl Fn(f64) -> f64) {
+    let m = query.len();
+    // prev_diag tracks D(i-1, j-1) from the pre-update column.
+    let mut prev_diag = col[0];
+    // Row 0 against a non-empty path is infinite (empty query, Definition 2).
+    col[0] = f64::INFINITY;
+    for i in 1..=m {
+        let d = dist(query[i - 1]);
+        let best_prev = col[i].min(col[i - 1]).min(prev_diag);
+        prev_diag = col[i];
+        col[i] = d.max(best_prev);
+    }
+}
+
+fn column_min(col: &[f64]) -> f64 {
+    col.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference time-warping distance with L∞ base (Definition 2), full DP.
+    fn dtw_linf(s: &[f64], q: &[f64]) -> f64 {
+        let (n, m) = (s.len(), q.len());
+        if n == 0 || m == 0 {
+            return if n == m { 0.0 } else { f64::INFINITY };
+        }
+        let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
+        dp[0][0] = 0.0;
+        for i in 1..=n {
+            for j in 1..=m {
+                let d = (s[i - 1] - q[j - 1]).abs();
+                let best = dp[i - 1][j].min(dp[i][j - 1]).min(dp[i - 1][j - 1]);
+                dp[i][j] = d.max(best);
+            }
+        }
+        dp[n][m]
+    }
+
+    fn sample_db() -> Vec<Vec<f64>> {
+        vec![
+            vec![20.0, 21.0, 21.0, 20.0, 20.0, 23.0, 23.0, 23.0],
+            vec![20.0, 20.0, 21.0, 20.0, 23.0],
+            vec![5.0, 6.0, 7.0, 8.0],
+            vec![20.0, 25.0, 20.0, 25.0],
+            vec![22.9, 23.0, 22.8],
+        ]
+    }
+
+    #[test]
+    fn whole_match_no_false_dismissal() {
+        let db = sample_db();
+        let filter = StFilter::build(&db, 10, CategoryMethod::EqualWidth);
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        for eps in [0.0, 0.5, 1.0, 2.0, 5.0] {
+            let cands = filter.whole_match_candidates(&query, eps);
+            for (id, s) in db.iter().enumerate() {
+                if dtw_linf(s, &query) <= eps {
+                    assert!(
+                        cands.ids.contains(&id),
+                        "eps={eps}: sequence {id} dismissed (dtw={})",
+                        dtw_linf(s, &query)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_match_filters_distant_sequences() {
+        let db = sample_db();
+        // Many categories -> tight ranges -> good filtering.
+        let filter = StFilter::build(&db, 50, CategoryMethod::EqualWidth);
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let cands = filter.whole_match_candidates(&query, 0.5);
+        // Sequence 2 (values 5..8) is far from the query: must be pruned.
+        assert!(!cands.ids.contains(&2));
+        // Sequences 0 and 1 are warpable onto the query exactly.
+        assert!(cands.ids.contains(&0));
+        assert!(cands.ids.contains(&1));
+    }
+
+    #[test]
+    fn more_categories_filter_no_worse() {
+        let db = sample_db();
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let coarse = StFilter::build(&db, 4, CategoryMethod::EqualWidth);
+        let fine = StFilter::build(&db, 64, CategoryMethod::EqualWidth);
+        let eps = 1.0;
+        let c_coarse = coarse.whole_match_candidates(&query, eps).ids;
+        let c_fine = fine.whole_match_candidates(&query, eps).ids;
+        // 4 divides 64, so fine category ranges nest inside coarse ones:
+        // the fine lower bound dominates and its candidate set is a subset.
+        for id in &c_fine {
+            assert!(c_coarse.contains(id), "fine candidate {id} not in coarse set");
+        }
+        assert!(c_fine.len() <= c_coarse.len());
+    }
+
+    #[test]
+    fn zero_tolerance_exact_category_path() {
+        let db = sample_db();
+        let filter = StFilter::build(&db, 20, CategoryMethod::EqualWidth);
+        // Query equal to db[1]: must at least return 1.
+        let cands = filter.whole_match_candidates(&db[1].clone(), 0.0);
+        assert!(cands.ids.contains(&1));
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let db = sample_db();
+        let filter = StFilter::build(&db, 10, CategoryMethod::EqualWidth);
+        let cands = filter.whole_match_candidates(&[], 10.0);
+        assert!(cands.ids.is_empty());
+    }
+
+    #[test]
+    fn traversal_stats_populated() {
+        let db = sample_db();
+        let filter = StFilter::build(&db, 10, CategoryMethod::EqualWidth);
+        let cands = filter.whole_match_candidates(&[20.0, 21.0], 1.0);
+        assert!(cands.stats.nodes_visited > 0);
+        assert!(cands.stats.dp_cells > 0);
+    }
+
+    #[test]
+    fn tighter_epsilon_prunes_more() {
+        let db: Vec<Vec<f64>> = (0..30)
+            .map(|i| (0..20).map(|j| ((i * j) % 17) as f64).collect())
+            .collect();
+        let filter = StFilter::build(&db, 30, CategoryMethod::EqualWidth);
+        let query: Vec<f64> = (0..20).map(|j| (j % 17) as f64).collect();
+        let tight = filter.whole_match_candidates(&query, 0.5);
+        let loose = filter.whole_match_candidates(&query, 8.0);
+        assert!(tight.ids.len() <= loose.ids.len());
+        assert!(tight.stats.dp_cells <= loose.stats.dp_cells);
+    }
+
+    #[test]
+    fn subsequence_candidates_find_embedded_pattern() {
+        // db[0] embeds the pattern 7,8,9 at offset 3.
+        let db = vec![
+            vec![1.0, 1.0, 1.0, 7.0, 8.0, 9.0, 1.0, 1.0],
+            vec![2.0, 2.0, 2.0, 2.0],
+        ];
+        let filter = StFilter::build(&db, 12, CategoryMethod::EqualWidth);
+        let res = filter.subsequence_candidates(&[7.0, 8.0, 9.0], 1.0);
+        assert!(
+            res.windows.iter().any(|&(s, off, _)| s == 0 && off == 3),
+            "windows: {:?}",
+            res.windows
+        );
+        // Nothing in string 1 resembles the pattern.
+        assert!(res.windows.iter().all(|&(s, _, _)| s != 1));
+    }
+
+    #[test]
+    fn subsequence_no_false_dismissal_on_windows() {
+        let db = vec![vec![3.0, 5.0, 5.0, 6.0, 9.0, 2.0, 5.1, 6.2]];
+        let filter = StFilter::build(&db, 16, CategoryMethod::EqualWidth);
+        let query = vec![5.0, 6.0];
+        let eps = 0.5;
+        let res = filter.subsequence_candidates(&query, eps);
+        // Brute force: check all windows with exact DTW; each within eps must
+        // be covered by some candidate window at the same start.
+        let s = &db[0];
+        for start in 0..s.len() {
+            for end in (start + 1)..=s.len() {
+                if dtw_linf(&s[start..end], &query) <= eps {
+                    assert!(
+                        res.windows.iter().any(|&(_, off, len)| off == start && len <= end - start),
+                        "window [{start},{end}) dismissed; candidates {:?}",
+                        res.windows
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests of the suffix-tree substrate: the generalized suffix tree
+//! agrees with brute-force substring search on arbitrary string sets, stays
+//! within its size bound, and the ST-Filter never dismisses a true match.
+
+use proptest::prelude::*;
+
+use tw_suffix::{CategoryMethod, StFilter, SuffixRef, SuffixTree};
+
+const BASE: u32 = 1 << 16;
+
+fn strings_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..5, 1..40), 1..8)
+}
+
+fn brute_occurrences(strings: &[Vec<u32>], pattern: &[u32]) -> Vec<SuffixRef> {
+    let mut out = Vec::new();
+    for (id, st) in strings.iter().enumerate() {
+        if pattern.len() > st.len() {
+            continue;
+        }
+        for off in 0..=(st.len() - pattern.len()) {
+            // The tree reports the empty pattern once per suffix position
+            // (0..len); exclude the empty suffix at offset == len.
+            if off == st.len() {
+                continue;
+            }
+            if &st[off..off + pattern.len()] == pattern {
+                out.push(SuffixRef {
+                    string_id: id,
+                    offset: off,
+                });
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Reference L∞ time-warping distance.
+fn dtw_linf(s: &[f64], q: &[f64]) -> f64 {
+    let (n, m) = (s.len(), q.len());
+    if n == 0 || m == 0 {
+        return if n == m { 0.0 } else { f64::INFINITY };
+    }
+    let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let d = (s[i - 1] - q[j - 1]).abs();
+            let best = dp[i - 1][j].min(dp[i][j - 1]).min(dp[i - 1][j - 1]);
+            dp[i][j] = d.max(best);
+        }
+    }
+    dp[n][m]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Occurrence queries agree with brute force for arbitrary patterns.
+    #[test]
+    fn occurrences_agree_with_brute_force(
+        strings in strings_strategy(),
+        pattern in prop::collection::vec(0u32..6, 0..6),
+    ) {
+        let tree = SuffixTree::build(&strings, BASE);
+        prop_assert_eq!(
+            tree.occurrences(&pattern),
+            brute_occurrences(&strings, &pattern)
+        );
+        prop_assert_eq!(
+            tree.contains(&pattern),
+            !brute_occurrences(&strings, &pattern).is_empty() || pattern.is_empty()
+        );
+    }
+
+    /// Every substring of every input string is found (completeness).
+    #[test]
+    fn all_substrings_found(strings in strings_strategy()) {
+        let tree = SuffixTree::build(&strings, BASE);
+        for st in &strings {
+            for w in 1..=st.len().min(4) {
+                for win in st.windows(w) {
+                    prop_assert!(tree.contains(win), "missing window {win:?}");
+                }
+            }
+        }
+    }
+
+    /// The node count respects the classic 2n bound.
+    #[test]
+    fn node_count_linear(strings in strings_strategy()) {
+        let tree = SuffixTree::build(&strings, BASE);
+        prop_assert!(tree.node_count() <= 2 * tree.text_len().max(1));
+    }
+
+    /// ST-Filter whole-matching soundness on arbitrary numeric databases:
+    /// every sequence within tolerance appears among the candidates.
+    #[test]
+    fn st_filter_no_false_dismissal(
+        db in prop::collection::vec(prop::collection::vec(-20.0f64..20.0, 1..12), 1..10),
+        query in prop::collection::vec(-20.0f64..20.0, 1..10),
+        eps in 0.0f64..10.0,
+        categories in 2usize..30,
+    ) {
+        let filter = StFilter::build(&db, categories, CategoryMethod::EqualWidth);
+        let cands = filter.whole_match_candidates(&query, eps);
+        for (id, s) in db.iter().enumerate() {
+            if dtw_linf(s, &query) <= eps {
+                prop_assert!(
+                    cands.ids.contains(&id),
+                    "sequence {id} dismissed (dtw {}, eps {eps}, k {categories})",
+                    dtw_linf(s, &query)
+                );
+            }
+        }
+    }
+
+    /// Equal-frequency categorization is also sound.
+    #[test]
+    fn st_filter_equal_frequency_sound(
+        db in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 1..10), 1..8),
+        eps in 0.0f64..5.0,
+    ) {
+        let filter = StFilter::build(&db, 8, CategoryMethod::EqualFrequency);
+        let query = db[0].clone();
+        let cands = filter.whole_match_candidates(&query, eps);
+        for (id, s) in db.iter().enumerate() {
+            if dtw_linf(s, &query) <= eps {
+                prop_assert!(cands.ids.contains(&id), "sequence {id} dismissed");
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # tw-workload — data and query generators for the reproduction
+//!
+//! Every experiment input the paper uses (or that this repository's examples
+//! need), regenerable from a seed:
+//!
+//! * [`random_walk`] — the paper's synthetic generator (§5.1):
+//!   `s_i = s_{i-1} + z_i`, `z ~ U[-0.1, 0.1]`, `s_1 ~ U[1, 10]`;
+//! * [`stock`] — an S&P-500-like substitute for the paper's unavailable real
+//!   data set (545 series, average length 231; see DESIGN.md §3);
+//! * [`query_gen`] — the paper's query recipe: perturb a random database
+//!   sequence element-wise by `U[-std/2, +std/2]`;
+//! * [`patterns`] — Cylinder–Bell–Funnel and periodic/sensor-like shapes for
+//!   the example applications.
+
+pub mod patterns;
+pub mod query_gen;
+pub mod random_walk;
+pub mod stock;
+
+pub use patterns::{cbf, cbf_dataset, periodic, periodic_with_anomaly, CbfClass};
+pub use query_gen::{generate as generate_queries, std_dev};
+pub use random_walk::{generate as generate_random_walks, RandomWalkConfig};
+pub use stock::{generate as generate_stocks, normalize_to_unit_range, StockConfig};

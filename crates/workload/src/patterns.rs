@@ -1,0 +1,147 @@
+//! Pattern-shaped generators used by the example applications: the classic
+//! Cylinder–Bell–Funnel benchmark family and periodic (ECG/sensor-like)
+//! waves. These are not part of the paper's evaluation; they give the
+//! examples realistic, visually distinct workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The three Cylinder–Bell–Funnel classes (Saito 1994).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbfClass {
+    /// A flat plateau between onset and offset.
+    Cylinder,
+    /// A linear ramp up to the offset, then a drop.
+    Bell,
+    /// A drop at the onset, then a linear ramp down.
+    Funnel,
+}
+
+/// Generates one CBF sequence of length `len` with unit noise amplitude
+/// `noise`.
+pub fn cbf(class: CbfClass, len: usize, noise: f64, seed: u64) -> Vec<f64> {
+    assert!(len >= 16, "CBF patterns need some room, got {len}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let a = rng.gen_range(len / 8..len / 4); // onset
+    let b = rng.gen_range(len / 2..(7 * len) / 8); // offset
+    let amp = 6.0 + rng.gen_range(-1.0..1.0);
+    (0..len)
+        .map(|t| {
+            let base = if t < a || t > b {
+                0.0
+            } else {
+                match class {
+                    CbfClass::Cylinder => amp,
+                    CbfClass::Bell => amp * (t - a) as f64 / (b - a) as f64,
+                    CbfClass::Funnel => amp * (b - t) as f64 / (b - a) as f64,
+                }
+            };
+            base + noise * rng.gen_range(-1.0_f64..1.0)
+        })
+        .collect()
+}
+
+/// A labelled CBF data set: `count` sequences cycling through the classes.
+pub fn cbf_dataset(count: usize, len: usize, noise: f64, seed: u64) -> Vec<(CbfClass, Vec<f64>)> {
+    let classes = [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel];
+    (0..count)
+        .map(|i| {
+            let class = classes[i % 3];
+            (class, cbf(class, len, noise, seed.wrapping_add(i as u64)))
+        })
+        .collect()
+}
+
+/// A noisy periodic wave: `amplitude * sin(2π * t / period) + drift * t`,
+/// the shape of respiration/ECG-adjacent sensor channels.
+pub fn periodic(len: usize, period: f64, amplitude: f64, noise: f64, seed: u64) -> Vec<f64> {
+    assert!(period > 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    (0..len)
+        .map(|t| {
+            amplitude * ((std::f64::consts::TAU * t as f64 / period) + phase).sin()
+                + noise * rng.gen_range(-1.0_f64..1.0)
+        })
+        .collect()
+}
+
+/// A periodic wave with an injected anomaly: a window where the signal
+/// flat-lines (sensor stuck) — used by the sensor-monitoring example.
+pub fn periodic_with_anomaly(
+    len: usize,
+    period: f64,
+    amplitude: f64,
+    noise: f64,
+    anomaly_at: usize,
+    anomaly_len: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut seq = periodic(len, period, amplitude, noise, seed);
+    let end = (anomaly_at + anomaly_len).min(len);
+    let stuck = seq.get(anomaly_at).copied().unwrap_or(0.0);
+    for v in &mut seq[anomaly_at.min(len)..end] {
+        *v = stuck;
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbf_classes_have_distinct_shapes() {
+        let len = 128;
+        let cyl = cbf(CbfClass::Cylinder, len, 0.0, 1);
+        let bell = cbf(CbfClass::Bell, len, 0.0, 1);
+        let fun = cbf(CbfClass::Funnel, len, 0.0, 1);
+        // Same seed => same onset/offset; compare interior shapes.
+        let peak_pos = |s: &[f64]| {
+            s.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        // Bell peaks late in the event window, funnel peaks early.
+        assert!(peak_pos(&bell) > peak_pos(&fun));
+        // Cylinder's event window is flat.
+        let max = cyl.iter().cloned().fold(f64::MIN, f64::max);
+        let plateau: Vec<&f64> = cyl.iter().filter(|&&v| v > max * 0.9).collect();
+        assert!(plateau.len() > 10);
+    }
+
+    #[test]
+    fn cbf_dataset_cycles_classes() {
+        let ds = cbf_dataset(9, 64, 0.1, 5);
+        assert_eq!(ds.len(), 9);
+        assert_eq!(ds[0].0, CbfClass::Cylinder);
+        assert_eq!(ds[1].0, CbfClass::Bell);
+        assert_eq!(ds[2].0, CbfClass::Funnel);
+        assert_eq!(ds[3].0, CbfClass::Cylinder);
+    }
+
+    #[test]
+    fn periodic_oscillates_with_right_period() {
+        let p = periodic(200, 50.0, 2.0, 0.0, 3);
+        // Autocorrelation at lag=period should be strongly positive.
+        let corr: f64 = p[..150].iter().zip(&p[50..]).map(|(a, b)| a * b).sum();
+        let energy: f64 = p[..150].iter().map(|a| a * a).sum();
+        assert!(corr > 0.9 * energy, "corr {corr} energy {energy}");
+    }
+
+    #[test]
+    fn anomaly_flatlines_window() {
+        let s = periodic_with_anomaly(100, 20.0, 3.0, 0.0, 40, 10, 7);
+        for w in s[40..50].windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(cbf(CbfClass::Bell, 64, 0.3, 9), cbf(CbfClass::Bell, 64, 0.3, 9));
+        assert_eq!(periodic(64, 16.0, 1.0, 0.2, 4), periodic(64, 16.0, 1.0, 0.2, 4));
+    }
+}

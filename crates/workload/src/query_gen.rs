@@ -1,0 +1,106 @@
+//! The paper's query generator (§5.1).
+//!
+//! Each query is built by (1) selecting a random data sequence, (2) drawing a
+//! random value from `[-std/2, +std/2]` per element — where `std` is the
+//! standard deviation of the selected sequence — and (3) adding it to the
+//! element. Queries therefore resemble database sequences without being
+//! exact copies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard deviation of a sequence (population form).
+pub fn std_dev(seq: &[f64]) -> f64 {
+    if seq.is_empty() {
+        return 0.0;
+    }
+    let n = seq.len() as f64;
+    let mean = seq.iter().sum::<f64>() / n;
+    let var = seq.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    var.sqrt()
+}
+
+/// Generates `count` query sequences from `data` using the paper's recipe.
+///
+/// # Panics
+/// Panics when `data` is empty.
+pub fn generate(data: &[Vec<f64>], count: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(!data.is_empty(), "cannot generate queries from an empty database");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let base = &data[rng.gen_range(0..data.len())];
+            perturb(base, &mut rng)
+        })
+        .collect()
+}
+
+/// Perturbs one sequence per the paper's recipe.
+fn perturb(base: &[f64], rng: &mut SmallRng) -> Vec<f64> {
+    let half = std_dev(base) / 2.0;
+    base.iter()
+        .map(|&v| {
+            if half > 0.0 {
+                v + rng.gen_range(-half..=half)
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![10.0, 10.0, 10.0],
+            vec![0.0, 100.0],
+        ]
+    }
+
+    #[test]
+    fn std_dev_known_values() {
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0, 4.0, 5.0]) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(std_dev(&[0.0, 100.0]), 50.0);
+    }
+
+    #[test]
+    fn queries_have_database_lengths() {
+        let queries = generate(&db(), 50, 1);
+        assert_eq!(queries.len(), 50);
+        let lens: Vec<usize> = db().iter().map(|s| s.len()).collect();
+        for q in &queries {
+            assert!(lens.contains(&q.len()));
+        }
+    }
+
+    #[test]
+    fn perturbation_bounded_by_half_std() {
+        let data = vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]];
+        let half = std_dev(&data[0]) / 2.0;
+        for q in generate(&data, 100, 2) {
+            for (qv, dv) in q.iter().zip(&data[0]) {
+                assert!((qv - dv).abs() <= half + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_sequence_yields_identical_query() {
+        let data = vec![vec![7.0, 7.0, 7.0, 7.0]];
+        for q in generate(&data, 5, 3) {
+            assert_eq!(q, data[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(&db(), 10, 9), generate(&db(), 10, 9));
+        assert_ne!(generate(&db(), 10, 9), generate(&db(), 10, 10));
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's synthetic data generator (§5.1).
+//!
+//! Each sequence follows the random walk `s_i = s_{i-1} + z_i` where `z_i` is
+//! IID uniform on `[-0.1, 0.1]` and the first element is uniform on `[1, 10]`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the random-walk generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalkConfig {
+    /// Number of sequences.
+    pub count: usize,
+    /// Length of every sequence. The paper fixes lengths per experiment
+    /// (1,000 for Experiment 3; swept 100..5,000 in Experiment 4).
+    pub len: usize,
+    /// Step bound: `z_i ~ U[-step, step]`. Paper: 0.1.
+    pub step: f64,
+    /// First element range: `s_1 ~ U[start_min, start_max]`. Paper: [1, 10].
+    pub start_min: f64,
+    pub start_max: f64,
+}
+
+impl RandomWalkConfig {
+    /// The paper's exact parameters with a caller-chosen scale.
+    pub fn paper(count: usize, len: usize) -> Self {
+        Self {
+            count,
+            len,
+            step: 0.1,
+            start_min: 1.0,
+            start_max: 10.0,
+        }
+    }
+}
+
+/// Generates the configured number of random-walk sequences.
+pub fn generate(config: &RandomWalkConfig, seed: u64) -> Vec<Vec<f64>> {
+    assert!(config.len >= 1, "sequences must have at least one element");
+    assert!(config.step >= 0.0);
+    assert!(config.start_min <= config.start_max);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..config.count)
+        .map(|_| generate_one(config, &mut rng))
+        .collect()
+}
+
+fn generate_one(config: &RandomWalkConfig, rng: &mut SmallRng) -> Vec<f64> {
+    let mut seq = Vec::with_capacity(config.len);
+    let mut v = if config.start_min == config.start_max {
+        config.start_min
+    } else {
+        rng.gen_range(config.start_min..config.start_max)
+    };
+    seq.push(v);
+    for _ in 1..config.len {
+        let z = if config.step == 0.0 {
+            0.0
+        } else {
+            rng.gen_range(-config.step..=config.step)
+        };
+        v += z;
+        seq.push(v);
+    }
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = RandomWalkConfig::paper(10, 100);
+        let data = generate(&cfg, 1);
+        assert_eq!(data.len(), 10);
+        assert!(data.iter().all(|s| s.len() == 100));
+    }
+
+    #[test]
+    fn steps_bounded_by_config() {
+        let cfg = RandomWalkConfig::paper(5, 500);
+        for seq in generate(&cfg, 2) {
+            for w in seq.windows(2) {
+                assert!((w[1] - w[0]).abs() <= 0.1 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn first_elements_in_range() {
+        let cfg = RandomWalkConfig::paper(100, 2);
+        for seq in generate(&cfg, 3) {
+            assert!((1.0..10.0).contains(&seq[0]), "first {}", seq[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomWalkConfig::paper(3, 50);
+        assert_eq!(generate(&cfg, 42), generate(&cfg, 42));
+        assert_ne!(generate(&cfg, 42), generate(&cfg, 43));
+    }
+
+    #[test]
+    fn zero_step_is_constant_sequence() {
+        let cfg = RandomWalkConfig {
+            count: 1,
+            len: 10,
+            step: 0.0,
+            start_min: 5.0,
+            start_max: 5.0,
+        };
+        let data = generate(&cfg, 9);
+        assert!(data[0].iter().all(|&v| v == 5.0));
+    }
+}

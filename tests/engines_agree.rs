@@ -1,0 +1,110 @@
+//! All four exact engines — Naive-Scan, LB-Scan, ST-Filter, TW-Sim-Search —
+//! plus the parallel scan return identical result sets on realistic
+//! workloads (the paper's correctness claim, checked across data families).
+
+use tw_core::distance::DtwKind;
+use tw_core::search::{LbScan, NaiveScan, ParallelNaiveScan, StFilterSearch, TwSimSearch};
+use tw_storage::{MemPager, SequenceStore};
+use tw_workload::{
+    cbf_dataset, generate_queries, generate_random_walks, generate_stocks,
+    normalize_to_unit_range, RandomWalkConfig, StockConfig,
+};
+
+fn store_with(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
+    let mut store = SequenceStore::in_memory();
+    for s in data {
+        store.append(s).expect("append");
+    }
+    store
+}
+
+fn assert_all_engines_agree(data: &[Vec<f64>], queries: &[Vec<f64>], epsilons: &[f64]) {
+    let store = store_with(data);
+    let tw = TwSimSearch::build(&store).expect("build tw-sim");
+    let st = StFilterSearch::build(&store).expect("build st-filter");
+    let par = ParallelNaiveScan::new(3);
+    for kind in [DtwKind::MaxAbs, DtwKind::SumAbs] {
+        for &eps in epsilons {
+            for (qi, q) in queries.iter().enumerate() {
+                let reference = NaiveScan::search(&store, q, eps, kind)
+                    .expect("naive")
+                    .ids();
+                let lb = LbScan::search(&store, q, eps, kind).expect("lb").ids();
+                let sti = st.search(&store, q, eps, kind).expect("st").ids();
+                let twi = tw.search(&store, q, eps, kind).expect("tw").ids();
+                let pari = par.search(&store, q, eps, kind).expect("par").ids();
+                assert_eq!(reference, lb, "lb-scan: {kind:?} eps {eps} query {qi}");
+                assert_eq!(reference, sti, "st-filter: {kind:?} eps {eps} query {qi}");
+                assert_eq!(reference, twi, "tw-sim: {kind:?} eps {eps} query {qi}");
+                assert_eq!(reference, pari, "parallel: {kind:?} eps {eps} query {qi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_random_walks() {
+    let data = generate_random_walks(&RandomWalkConfig::paper(60, 40), 1);
+    let queries = generate_queries(&data, 4, 2);
+    assert_all_engines_agree(&data, &queries, &[0.05, 0.2, 1.0]);
+}
+
+#[test]
+fn engines_agree_on_stock_data() {
+    let mut data = generate_stocks(
+        &StockConfig {
+            count: 50,
+            mean_len: 60,
+            len_jitter: 20,
+        },
+        3,
+    );
+    normalize_to_unit_range(&mut data, 1.0, 10.0);
+    let queries = generate_queries(&data, 4, 4);
+    assert_all_engines_agree(&data, &queries, &[0.05, 0.3]);
+}
+
+#[test]
+fn engines_agree_on_cbf_shapes() {
+    let data: Vec<Vec<f64>> = cbf_dataset(30, 48, 0.3, 5)
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let queries: Vec<Vec<f64>> = data.iter().take(3).cloned().collect();
+    assert_all_engines_agree(&data, &queries, &[0.5, 2.0]);
+}
+
+#[test]
+fn engines_agree_with_mixed_lengths_and_duplicates() {
+    // Duplicates, singletons, constant sequences, and wildly varying lengths.
+    let mut data = vec![
+        vec![5.0],
+        vec![5.0],
+        vec![5.0; 100],
+        vec![1.0, 2.0, 3.0],
+        (0..200).map(|i| (i as f64 * 0.1).sin() * 3.0 + 5.0).collect(),
+    ];
+    data.extend(generate_random_walks(&RandomWalkConfig::paper(20, 15), 9));
+    let queries = vec![vec![5.0, 5.0], vec![1.5, 2.5], data[4].clone()];
+    assert_all_engines_agree(&data, &queries, &[0.0, 0.1, 1.0, 10.0]);
+}
+
+#[test]
+fn knn_agrees_with_tolerance_search_boundary() {
+    // The k-th neighbour's distance, used as a tolerance, must return at
+    // least k sequences.
+    let data = generate_random_walks(&RandomWalkConfig::paper(80, 30), 11);
+    let store = store_with(&data);
+    let tw = TwSimSearch::build(&store).expect("build");
+    let query = generate_queries(&data, 1, 12).remove(0);
+    let (neighbors, _) = tw.knn(&store, &query, 5, DtwKind::MaxAbs).expect("knn");
+    assert_eq!(neighbors.len(), 5);
+    let radius = neighbors.last().unwrap().distance;
+    let within = tw
+        .search(&store, &query, radius, DtwKind::MaxAbs)
+        .expect("range");
+    assert!(within.matches.len() >= 5);
+    for n in &neighbors {
+        assert!(within.ids().contains(&n.id));
+    }
+}

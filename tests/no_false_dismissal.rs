@@ -1,0 +1,124 @@
+//! Property tests of the paper's central guarantees:
+//!
+//! * Theorem 1: `D_tw(S, Q) >= D_tw-lb(S, Q)` for all sequences;
+//! * Theorem 2: `D_tw-lb` satisfies the triangular inequality (it is a
+//!   pseudo-metric);
+//! * Corollary 1: filtering with `D_tw-lb` admits every true match (no false
+//!   dismissal), end to end through the R-tree index.
+
+use proptest::prelude::*;
+
+use tw_core::distance::{dtw, dtw_within, DtwKind};
+use tw_core::search::{NaiveScan, TwSimSearch};
+use tw_core::{lb_kim, lb_yi};
+use tw_storage::SequenceStore;
+
+const KINDS: [DtwKind; 3] = [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs];
+
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 1..=max_len)
+}
+
+fn db_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(seq_strategy(12), 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Theorem 1, for every recurrence kind.
+    #[test]
+    fn lb_kim_never_exceeds_dtw(s in seq_strategy(20), q in seq_strategy(20)) {
+        let lb = lb_kim(&s, &q);
+        for kind in KINDS {
+            let d = dtw(&s, &q, kind).distance;
+            prop_assert!(lb <= d + 1e-9, "{kind:?}: lb {lb} > dtw {d}");
+        }
+    }
+
+    /// LB_Yi is also a valid lower bound for its matching kind.
+    #[test]
+    fn lb_yi_never_exceeds_dtw(s in seq_strategy(20), q in seq_strategy(20)) {
+        for kind in KINDS {
+            let lb = lb_yi(&s, &q, kind);
+            let d = dtw(&s, &q, kind).distance;
+            prop_assert!(lb <= d + 1e-9, "{kind:?}: lb {lb} > dtw {d}");
+        }
+    }
+
+    /// Theorem 2: the triangular inequality of `D_tw-lb`.
+    #[test]
+    fn lb_kim_triangle(
+        x in seq_strategy(15),
+        y in seq_strategy(15),
+        z in seq_strategy(15),
+    ) {
+        prop_assert!(lb_kim(&x, &z) <= lb_kim(&x, &y) + lb_kim(&y, &z) + 1e-9);
+    }
+
+    /// Symmetry and identity of `D_tw-lb` (the other metric axioms).
+    #[test]
+    fn lb_kim_metric_axioms(s in seq_strategy(15), q in seq_strategy(15)) {
+        prop_assert_eq!(lb_kim(&s, &q), lb_kim(&q, &s));
+        prop_assert_eq!(lb_kim(&s, &s), 0.0);
+        prop_assert!(lb_kim(&s, &q) >= 0.0);
+    }
+
+    /// The early-abandoning decision procedure agrees with the full DP.
+    #[test]
+    fn dtw_within_is_consistent(
+        s in seq_strategy(15),
+        q in seq_strategy(15),
+        eps in 0.0f64..60.0,
+    ) {
+        for kind in KINDS {
+            let exact = dtw(&s, &q, kind).distance;
+            let outcome = dtw_within(&s, &q, kind, eps);
+            if exact <= eps {
+                let within = outcome.within;
+                prop_assert!(within.is_some(), "{kind:?}: {exact} <= {eps} but rejected");
+                prop_assert!((within.unwrap() - exact).abs() < 1e-9);
+            } else {
+                prop_assert!(outcome.within.is_none(),
+                    "{kind:?}: {exact} > {eps} but accepted");
+            }
+        }
+    }
+
+    /// Corollary 1 end to end: the index-based engine returns exactly the
+    /// scan's result set on arbitrary databases, queries and tolerances.
+    #[test]
+    fn tw_sim_search_no_false_dismissal(
+        data in db_strategy(),
+        q in seq_strategy(12),
+        eps in 0.0f64..20.0,
+    ) {
+        let mut store = SequenceStore::in_memory();
+        for s in &data {
+            store.append(s).expect("append");
+        }
+        let engine = TwSimSearch::build(&store).expect("build");
+        for kind in KINDS {
+            let naive = NaiveScan::search(&store, &q, eps, kind).expect("scan");
+            let idx = engine.search(&store, &q, eps, kind).expect("index search");
+            prop_assert_eq!(naive.ids(), idx.ids(), "{:?} eps {}", kind, eps);
+        }
+    }
+
+    /// The filter step never under-approximates: every true match is among
+    /// the candidates (candidates >= matches).
+    #[test]
+    fn candidates_cover_matches(
+        data in db_strategy(),
+        q in seq_strategy(12),
+        eps in 0.0f64..10.0,
+    ) {
+        let mut store = SequenceStore::in_memory();
+        for s in &data {
+            store.append(s).expect("append");
+        }
+        let engine = TwSimSearch::build(&store).expect("build");
+        let res = engine.search(&store, &q, eps, DtwKind::MaxAbs).expect("search");
+        prop_assert!(res.stats.candidates >= res.matches.len());
+    }
+}
