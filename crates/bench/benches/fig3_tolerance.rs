@@ -8,7 +8,7 @@ use std::hint::black_box;
 use tw_bench::experiments::stock_dataset;
 use tw_bench::runner::{build_store, Engines, Method};
 use tw_core::distance::DtwKind;
-use tw_core::search::{LbScan, NaiveScan};
+use tw_core::search::EngineOpts;
 use tw_workload::generate_queries;
 
 fn bench_fig3(c: &mut Criterion) {
@@ -16,43 +16,24 @@ fn bench_fig3(c: &mut Criterion) {
     let store = build_store(&data);
     let engines = Engines::build(&store, &Method::ALL);
     let queries = generate_queries(&data, 4, 2);
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     let mut group = c.benchmark_group("fig3_tolerance");
     group.sample_size(10);
     for eps in [0.05f64, 0.2, 0.5] {
-        group.bench_with_input(BenchmarkId::new("naive-scan", format!("{eps}")), &eps, |b, &eps| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(NaiveScan::search(&store, q, eps, DtwKind::MaxAbs).unwrap());
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("lb-scan", format!("{eps}")), &eps, |b, &eps| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(LbScan::search(&store, q, eps, DtwKind::MaxAbs).unwrap());
-                }
-            })
-        });
-        let st = engines.st_filter.as_ref().unwrap();
-        group.bench_with_input(BenchmarkId::new("st-filter", format!("{eps}")), &eps, |b, &eps| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(st.search(&store, q, eps, DtwKind::MaxAbs).unwrap());
-                }
-            })
-        });
-        let tw = engines.tw_sim.as_ref().unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("tw-sim-search", format!("{eps}")),
-            &eps,
-            |b, &eps| {
-                b.iter(|| {
-                    for q in &queries {
-                        black_box(tw.search(&store, q, eps, DtwKind::MaxAbs).unwrap());
-                    }
-                })
-            },
-        );
+        for method in Method::ALL {
+            let engine = engines.engine_for(method);
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), format!("{eps}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| {
+                        for q in &queries {
+                            black_box(engine.range_search(&store, q, eps, &opts).unwrap());
+                        }
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -7,39 +7,30 @@ use std::hint::black_box;
 
 use tw_bench::runner::{build_store, Engines, Method};
 use tw_core::distance::DtwKind;
-use tw_core::search::{LbScan, NaiveScan};
+use tw_core::search::EngineOpts;
 use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
 
+const METHODS: [Method; 3] = [Method::NaiveScan, Method::LbScan, Method::TwSimSearch];
+
 fn bench_fig4(c: &mut Criterion) {
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     let mut group = c.benchmark_group("fig4_scale");
     group.sample_size(10);
     for n in [500usize, 2_000, 8_000] {
         let data = generate_random_walks(&RandomWalkConfig::paper(n, 200), 9);
         let store = build_store(&data);
-        let engines = Engines::build(&store, &[Method::TwSimSearch]);
-        let tw = engines.tw_sim.as_ref().unwrap();
+        let engines = Engines::build(&store, &METHODS);
         let queries = generate_queries(&data, 2, 10);
-        group.bench_with_input(BenchmarkId::new("naive-scan", n), &(), |b, ()| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(NaiveScan::search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("lb-scan", n), &(), |b, ()| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(LbScan::search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("tw-sim-search", n), &(), |b, ()| {
-            b.iter(|| {
-                for q in &queries {
-                    black_box(tw.search(&store, q, 0.1, DtwKind::MaxAbs).unwrap());
-                }
-            })
-        });
+        for method in METHODS {
+            let engine = engines.engine_for(method);
+            group.bench_with_input(BenchmarkId::new(engine.name(), n), &(), |b, ()| {
+                b.iter(|| {
+                    for q in &queries {
+                        black_box(engine.range_search(&store, q, 0.1, &opts).unwrap());
+                    }
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -54,9 +54,11 @@ fn bench_range_query(c: &mut Criterion) {
     let tree = RTree::bulk_load(config, points);
     let center = Point::new([5.0, 5.0, 6.0, 4.0]);
     for eps in [0.01f64, 0.1, 1.0] {
-        group.bench_with_input(BenchmarkId::new("epsilon", format!("{eps}")), &eps, |b, &eps| {
-            b.iter(|| black_box(tree.range_centered(&center, eps).ids.len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("epsilon", format!("{eps}")),
+            &eps,
+            |b, &eps| b.iter(|| black_box(tree.range_centered(&center, eps).ids.len())),
+        );
     }
     group.finish();
 }

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tw_suffix::{CategoryMethod, StFilter, SuffixTree};
-use tw_workload::{generate_random_walks, generate_stocks, normalize_to_unit_range, RandomWalkConfig, StockConfig};
+use tw_workload::{
+    generate_random_walks, generate_stocks, normalize_to_unit_range, RandomWalkConfig, StockConfig,
+};
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("suffix_build");

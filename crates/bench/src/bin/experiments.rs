@@ -73,7 +73,11 @@ fn main() -> ExitCode {
         "running {} experiment(s); queries per point: {}; grid: {}; seed: {}",
         selected.len(),
         config.queries,
-        if config.full { "FULL (paper)" } else { "default (scaled)" },
+        if config.full {
+            "FULL (paper)"
+        } else {
+            "default (scaled)"
+        },
         config.seed
     );
     for name in &selected {

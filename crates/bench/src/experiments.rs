@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use tw_core::distance::DtwKind;
 use tw_core::search::{
-    false_dismissals, FastMapSearch, NaiveScan, SubsequenceIndex, VerifyMode, WindowSpec,
+    false_dismissals, EngineOpts, FastMapSearch, NaiveScan, SearchEngine, SubsequenceIndex,
+    VerifyMode, WindowSpec,
 };
 use tw_core::TwSimSearch;
 use tw_rtree::{RTreeConfig, SplitAlgorithm};
@@ -85,7 +86,14 @@ pub fn fig2(config: &ExperimentConfig) -> Table {
         &["epsilon", "method", "candidate_ratio", "mean_matches"],
     );
     for &eps in &STOCK_TOLERANCES {
-        let outcome = run_batch(&store, &engines, &queries, eps, DtwKind::MaxAbs, &Method::ALL);
+        let outcome = run_batch(
+            &store,
+            &engines,
+            &queries,
+            eps,
+            DtwKind::MaxAbs,
+            &Method::ALL,
+        );
         for batch in &outcome.per_method {
             table.push_row(vec![
                 format!("{eps}"),
@@ -118,7 +126,14 @@ pub fn fig3(config: &ExperimentConfig) -> Table {
         ],
     );
     for &eps in &STOCK_TOLERANCES {
-        let outcome = run_batch(&store, &engines, &queries, eps, DtwKind::MaxAbs, &Method::ALL);
+        let outcome = run_batch(
+            &store,
+            &engines,
+            &queries,
+            eps,
+            DtwKind::MaxAbs,
+            &Method::ALL,
+        );
         let best_scan = outcome
             .per_method
             .iter()
@@ -227,7 +242,14 @@ fn sweep_scale(
         let engines = Engines::build(&store, &methods);
         let queries = generate_queries(&data, config.queries.min(5), config.seed + 7);
         let x = if x_label == "num_sequences" { n } else { len };
-        let outcome = run_batch(&store, &engines, &queries, epsilon, DtwKind::MaxAbs, &methods);
+        let outcome = run_batch(
+            &store,
+            &engines,
+            &queries,
+            epsilon,
+            DtwKind::MaxAbs,
+            &methods,
+        );
         let best_scan = outcome
             .per_method
             .iter()
@@ -269,7 +291,14 @@ pub fn ablation_base_distance(config: &ExperimentConfig) -> Table {
 
     let mut table = Table::new(
         "Ablation: base distance L-inf (Definition 2) vs L1 (Definition 1)",
-        &["kind", "epsilon", "method", "elapsed_s", "cpu_s", "dtw_cells"],
+        &[
+            "kind",
+            "epsilon",
+            "method",
+            "elapsed_s",
+            "cpu_s",
+            "dtw_cells",
+        ],
     );
     // An L1 tolerance comparable in selectivity to the L∞ ones: the additive
     // distance scales with the warped length, so the grid is coarser.
@@ -305,7 +334,14 @@ pub fn ablation_fastmap(config: &ExperimentConfig) -> Table {
 
     let mut table = Table::new(
         "Ablation: FastMap method recall (false dismissals) vs k and epsilon",
-        &["k", "epsilon", "recall", "false_dismissals", "true_matches", "candidate_ratio"],
+        &[
+            "k",
+            "epsilon",
+            "recall",
+            "false_dismissals",
+            "true_matches",
+            "candidate_ratio",
+        ],
     );
     for k in 1..=4usize {
         let engine =
@@ -314,9 +350,16 @@ pub fn ablation_fastmap(config: &ExperimentConfig) -> Table {
             let mut dismissed = 0usize;
             let mut truth = 0usize;
             let mut candidates = 0usize;
+            let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
             for q in &queries {
-                let exact = NaiveScan::search(&store, q, eps, DtwKind::MaxAbs).expect("naive");
-                let approx = engine.search(&store, q, eps).expect("fastmap");
+                let exact = NaiveScan
+                    .range_search(&store, q, eps, &opts)
+                    .expect("naive")
+                    .into_result();
+                let approx = engine
+                    .range_search(&store, q, eps, &opts)
+                    .expect("fastmap")
+                    .into_result();
                 dismissed += false_dismissals(&exact, &approx).len();
                 truth += exact.matches.len();
                 candidates += approx.stats.candidates;
@@ -367,10 +410,9 @@ pub fn ablation_rtree(config: &ExperimentConfig) -> Table {
         let quality = engine.tree().quality();
         let mut accesses = 0u64;
         let mut cpu = Duration::ZERO;
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         for q in &queries {
-            let r = engine
-                .search(&store, q, 0.1, DtwKind::MaxAbs)
-                .expect("query");
+            let r = engine.range_search(&store, q, 0.1, &opts).expect("query");
             accesses += r.stats.index_node_accesses;
             cpu += r.stats.cpu_time;
         }
@@ -431,8 +473,9 @@ pub fn ablation_categories(config: &ExperimentConfig) -> Table {
         .expect("build ST-Filter");
         let mut stats = tw_core::SearchStats::default();
         let mut n = 0usize;
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         for q in &queries {
-            let r = engine.search(&store, q, 0.2, DtwKind::MaxAbs).expect("query");
+            let r = engine.range_search(&store, q, 0.2, &opts).expect("query");
             stats.accumulate(&r.stats);
             n += 1;
         }
@@ -459,14 +502,20 @@ pub fn ablation_band(config: &ExperimentConfig) -> Table {
 
     let mut table = Table::new(
         "Ablation: banded candidate verification (stock data, eps=0.2)",
-        &["band", "matches", "dropped_vs_exact", "dtw_cells", "cells_saved"],
+        &[
+            "band",
+            "matches",
+            "dropped_vs_exact",
+            "dtw_cells",
+            "cells_saved",
+        ],
     );
     // Exact baseline.
     let mut exact_matches = 0usize;
     let mut exact_cells = 0u64;
     for q in &queries {
         let r = engine
-            .search(&store, q, epsilon, DtwKind::MaxAbs)
+            .range_search(&store, q, epsilon, &EngineOpts::new().kind(DtwKind::MaxAbs))
             .expect("exact query");
         exact_matches += r.matches.len();
         exact_cells += r.stats.dtw_cells;
@@ -481,9 +530,12 @@ pub fn ablation_band(config: &ExperimentConfig) -> Table {
     for w in [5usize, 20, 80] {
         let mut matches = 0usize;
         let mut cells = 0u64;
+        let opts = EngineOpts::new()
+            .kind(DtwKind::MaxAbs)
+            .verify(VerifyMode::Banded(w));
         for q in &queries {
             let r = engine
-                .search_with(&store, q, epsilon, DtwKind::MaxAbs, VerifyMode::Banded(w))
+                .range_search(&store, q, epsilon, &opts)
                 .expect("banded query");
             matches += r.matches.len();
             cells += r.stats.dtw_cells;
@@ -509,7 +561,13 @@ pub fn subsequence_demo(config: &ExperimentConfig) -> Table {
 
     let mut table = Table::new(
         "Subsequence matching (windowed features, random-walk data)",
-        &["epsilon", "windows_indexed", "candidates", "matches", "cpu_ms"],
+        &[
+            "epsilon",
+            "windows_indexed",
+            "candidates",
+            "matches",
+            "cpu_ms",
+        ],
     );
     // Queries: perturbed windows cut from the data itself.
     let raw_queries: Vec<Vec<f64>> = data
@@ -534,7 +592,10 @@ pub fn subsequence_demo(config: &ExperimentConfig) -> Table {
             format!("{}", index.window_count()),
             format!("{candidates}"),
             format!("{matches}"),
-            format!("{:.2}", cpu.as_secs_f64() * 1000.0 / raw_queries.len() as f64),
+            format!(
+                "{:.2}",
+                cpu.as_secs_f64() * 1000.0 / raw_queries.len() as f64
+            ),
         ]);
     }
     config.save(&table, "subsequence.csv");

@@ -3,7 +3,9 @@
 use std::time::Duration;
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{LbScan, NaiveScan, SearchStats, StFilterSearch, TwSimSearch};
+use tw_core::search::{
+    EngineOpts, LbScan, NaiveScan, SearchEngine, SearchStats, StFilterSearch, TwSimSearch,
+};
 use tw_storage::{HardwareModel, MemPager, SequenceStore};
 
 /// The four methods of the paper's evaluation.
@@ -121,6 +123,17 @@ impl Engines {
             .then(|| StFilterSearch::build(store).expect("build ST-Filter"));
         Self { tw_sim, st_filter }
     }
+
+    /// The trait object executing `method` — the single dispatch point every
+    /// batch run goes through.
+    pub fn engine_for(&self, method: Method) -> &dyn SearchEngine<MemPager> {
+        match method {
+            Method::NaiveScan => &NaiveScan,
+            Method::LbScan => &LbScan,
+            Method::StFilter => self.st_filter.as_ref().expect("ST-Filter engine built"),
+            Method::TwSimSearch => self.tw_sim.as_ref().expect("TW-Sim-Search engine built"),
+        }
+    }
 }
 
 /// Runs every query through every requested method, checking that all exact
@@ -144,24 +157,14 @@ pub fn run_batch(
         })
         .collect();
 
+    let opts = EngineOpts::new().kind(kind);
     for query in queries {
         let mut reference_ids: Option<Vec<u64>> = None;
         for batch in per_method.iter_mut() {
-            let result = match batch.method {
-                Method::NaiveScan => NaiveScan::search(store, query, epsilon, kind),
-                Method::LbScan => LbScan::search(store, query, epsilon, kind),
-                Method::StFilter => engines
-                    .st_filter
-                    .as_ref()
-                    .expect("ST-Filter engine built")
-                    .search(store, query, epsilon, kind),
-                Method::TwSimSearch => engines
-                    .tw_sim
-                    .as_ref()
-                    .expect("TW-Sim-Search engine built")
-                    .search(store, query, epsilon, kind),
-            }
-            .expect("query execution");
+            let result = engines
+                .engine_for(batch.method)
+                .range_search(store, query, epsilon, &opts)
+                .expect("query execution");
             let ids = result.ids();
             match &reference_ids {
                 None => reference_ids = Some(ids),
@@ -225,8 +228,14 @@ mod tests {
             &[Method::NaiveScan, Method::TwSimSearch],
         );
         let hw = HardwareModel::icde2001();
-        let naive = outcome.get(Method::NaiveScan).unwrap().mean_modeled_elapsed(&hw);
-        let tw = outcome.get(Method::TwSimSearch).unwrap().mean_modeled_elapsed(&hw);
+        let naive = outcome
+            .get(Method::NaiveScan)
+            .unwrap()
+            .mean_modeled_elapsed(&hw);
+        let tw = outcome
+            .get(Method::TwSimSearch)
+            .unwrap()
+            .mean_modeled_elapsed(&hw);
         assert!(tw < naive, "tw {tw:?} >= naive {naive:?}");
     }
 }

@@ -345,10 +345,7 @@ mod tests {
         let cmd = parse(&argv("query --db d --index i --eps 1 --from-id 7 --knn 3")).unwrap();
         match cmd {
             Command::Query {
-                index,
-                source,
-                knn,
-                ..
+                index, source, knn, ..
             } => {
                 assert_eq!(index, Some("i".into()));
                 assert_eq!(source, QuerySource::FromId(7));
@@ -372,7 +369,10 @@ mod tests {
 
     #[test]
     fn unknown_flags_and_commands_rejected() {
-        assert!(parse(&argv("generate --kind walk --count 1 --len 1 --out x --bogus 1")).is_err());
+        assert!(parse(&argv(
+            "generate --kind walk --count 1 --len 1 --out x --bogus 1"
+        ))
+        .is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("index --db d")).is_err()); // missing --out
     }

@@ -6,13 +6,15 @@ use std::io::Write;
 use std::path::Path;
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{LbScan, NaiveScan, SubsequenceIndex, TwSimSearch, WindowSpec};
+use tw_core::search::{
+    EngineOpts, LbScan, NaiveScan, SearchEngine, SubsequenceIndex, TwSimSearch, WindowSpec,
+};
 use tw_core::FeatureVector;
 use tw_rtree::RTree;
 use tw_storage::{FilePager, HardwareModel, SequenceStore};
 use tw_workload::{
-    cbf_dataset, generate_queries, generate_random_walks, generate_stocks,
-    normalize_to_unit_range, RandomWalkConfig, StockConfig,
+    cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
+    RandomWalkConfig, StockConfig,
 };
 
 use crate::args::{Command, DataKind, QuerySource, USAGE};
@@ -278,7 +280,13 @@ fn query(
         found.sort_by_key(|&(id, _)| id);
         found
     } else {
-        NaiveScan::search(&store, &query_values, epsilon, DtwKind::MaxAbs)
+        NaiveScan
+            .range_search(
+                &store,
+                &query_values,
+                epsilon,
+                &EngineOpts::new().kind(DtwKind::MaxAbs),
+            )
             .map_err(fail("scan"))?
             .matches
             .iter()
@@ -325,40 +333,30 @@ fn bench(
     let query_set = generate_queries(&raw, queries, seed);
     let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
     let hw = HardwareModel::icde2001();
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
 
-    let mut report = |label: &str,
-                      run: &mut dyn FnMut(&[f64]) -> tw_core::SearchResult|
-     -> Result<(), CliError> {
+    let engines: [&dyn SearchEngine<FilePager>; 3] = [&NaiveScan, &LbScan, &engine];
+    for e in engines {
         let mut stats = tw_core::SearchStats::default();
         let mut matches = 0usize;
         for q in &query_set {
-            let r = run(q);
+            let r = e
+                .range_search(&store, q, epsilon, &opts)
+                .map_err(fail(e.name()))?;
             matches += r.matches.len();
             stats.accumulate(&r.stats);
         }
         writeln!(
             out,
-            "{label:>14}: {:.1} matches/query, {:.2}% candidates, cpu {:.1} ms, modeled {:.1} ms",
+            "{:>14}: {:.1} matches/query, {:.2}% candidates, cpu {:.1} ms, modeled {:.1} ms",
+            e.name(),
             matches as f64 / query_set.len() as f64,
             100.0 * stats.candidate_ratio() / query_set.len() as f64,
             stats.cpu_time.as_secs_f64() * 1000.0 / query_set.len() as f64,
             stats.modeled_elapsed(&hw).as_secs_f64() * 1000.0 / query_set.len() as f64,
         )
         .map_err(fail("write"))?;
-        Ok(())
-    };
-
-    report("naive-scan", &mut |q| {
-        NaiveScan::search(&store, q, epsilon, DtwKind::MaxAbs).expect("naive")
-    })?;
-    report("lb-scan", &mut |q| {
-        LbScan::search(&store, q, epsilon, DtwKind::MaxAbs).expect("lb")
-    })?;
-    report("tw-sim-search", &mut |q| {
-        engine
-            .search(&store, q, epsilon, DtwKind::MaxAbs)
-            .expect("tw")
-    })?;
+    }
     Ok(())
 }
 
@@ -396,12 +394,20 @@ mod tests {
         .expect("generate");
         assert!(g.contains("wrote 60 sequences"));
 
-        let i = run_str(&format!("index --db {} --out {}", db.display(), idx.display()))
-            .expect("index");
+        let i = run_str(&format!(
+            "index --db {} --out {}",
+            db.display(),
+            idx.display()
+        ))
+        .expect("index");
         assert!(i.contains("indexed 60 sequences"));
 
-        let info = run_str(&format!("info --db {} --index {}", db.display(), idx.display()))
-            .expect("info");
+        let info = run_str(&format!(
+            "info --db {} --index {}",
+            db.display(),
+            idx.display()
+        ))
+        .expect("info");
         assert!(info.contains("sequences    60"));
         assert!(info.contains("index"));
 
@@ -459,8 +465,11 @@ mod tests {
             db.display()
         ))
         .expect("generate");
-        let out = run_str(&format!("bench --db {} --eps 0.1 --queries 3", db.display()))
-            .expect("bench");
+        let out = run_str(&format!(
+            "bench --db {} --eps 0.1 --queries 3",
+            db.display()
+        ))
+        .expect("bench");
         assert!(out.contains("naive-scan"));
         assert!(out.contains("lb-scan"));
         assert!(out.contains("tw-sim-search"));

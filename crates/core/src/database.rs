@@ -13,7 +13,9 @@ use tw_storage::{FilePager, MemPager, Pager, SeqId, SequenceStore, StoreError};
 
 use crate::distance::DtwKind;
 use crate::error::TwError;
-use crate::search::{KnnMatch, NaiveScan, SearchResult, SearchStats, TwSimSearch};
+use crate::search::{
+    EngineOpts, KnnMatch, NaiveScan, SearchEngine, SearchResult, SearchStats, TwSimSearch,
+};
 use crate::sequence::Sequence;
 
 /// A sequence database with its TW-Sim-Search index always in sync.
@@ -63,9 +65,8 @@ impl TimeWarpDatabase<FilePager> {
     /// Flushes the store and writes the serialized index next to it.
     pub fn save_index<Q: AsRef<Path>>(&self, index_path: Q) -> Result<(), TwError> {
         self.store.flush()?;
-        std::fs::write(index_path, self.engine.tree().to_bytes(1024)).map_err(|e| {
-            TwError::Storage(StoreError::Pager(tw_storage::PagerError::Io(e)))
-        })?;
+        std::fs::write(index_path, self.engine.tree().to_bytes(1024))
+            .map_err(|e| TwError::Storage(StoreError::Pager(tw_storage::PagerError::Io(e))))?;
         Ok(())
     }
 
@@ -77,9 +78,8 @@ impl TimeWarpDatabase<FilePager> {
     ) -> Result<Self, TwError> {
         let pager = FilePager::open(db_path, 1024).map_err(StoreError::Pager)?;
         let store = SequenceStore::open(pager, 256)?;
-        let raw = std::fs::read(index_path).map_err(|e| {
-            TwError::Storage(StoreError::Pager(tw_storage::PagerError::Io(e)))
-        })?;
+        let raw = std::fs::read(index_path)
+            .map_err(|e| TwError::Storage(StoreError::Pager(tw_storage::PagerError::Io(e))))?;
         let tree: RTree<4> = RTree::from_bytes(raw.into())
             .map_err(|_| TwError::Storage(StoreError::BadHeader("index file")))?;
         Ok(Self {
@@ -139,18 +139,29 @@ impl<P: Pager> TimeWarpDatabase<P> {
     /// Range query: all sequences within `epsilon` of `query` under the
     /// configured recurrence (Algorithm 1).
     pub fn similar(&self, query: &[f64], epsilon: f64) -> Result<SearchResult, TwError> {
-        self.engine.search(&self.store, query, epsilon, self.kind)
+        let opts = EngineOpts::new().kind(self.kind);
+        Ok(self
+            .engine
+            .range_search(&self.store, query, epsilon, &opts)?
+            .into_result())
     }
 
     /// kNN query: the `k` nearest sequences under the configured recurrence.
-    pub fn nearest(&self, query: &[f64], k: usize) -> Result<(Vec<KnnMatch>, SearchStats), TwError> {
+    pub fn nearest(
+        &self,
+        query: &[f64],
+        k: usize,
+    ) -> Result<(Vec<KnnMatch>, SearchStats), TwError> {
         self.engine.knn(&self.store, query, k, self.kind)
     }
 
     /// Exhaustive-scan cross-check (diagnostics; the result always equals
     /// [`TimeWarpDatabase::similar`]).
     pub fn similar_by_scan(&self, query: &[f64], epsilon: f64) -> Result<SearchResult, TwError> {
-        NaiveScan::search(&self.store, query, epsilon, self.kind)
+        let opts = EngineOpts::new().kind(self.kind);
+        Ok(NaiveScan
+            .range_search(&self.store, query, epsilon, &opts)?
+            .into_result())
     }
 }
 

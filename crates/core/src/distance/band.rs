@@ -27,7 +27,11 @@ pub fn sakoe_chiba_width(s_len: usize, q_len: usize, r: f64) -> usize {
 /// `w >= 1` because the normalized diagonal itself is always admitted).
 pub fn dtw_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> DtwResult {
     if s.is_empty() || q.is_empty() {
-        let distance = if s.len() == q.len() { 0.0 } else { f64::INFINITY };
+        let distance = if s.len() == q.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         return DtwResult { distance, cells: 0 };
     }
     let (n, m) = (s.len(), q.len());

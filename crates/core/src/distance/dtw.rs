@@ -60,7 +60,11 @@ fn threshold(kind: DtwKind, epsilon: f64) -> f64 {
 /// `+∞`.
 pub fn dtw(s: &[f64], q: &[f64], kind: DtwKind) -> DtwResult {
     if s.is_empty() || q.is_empty() {
-        let distance = if s.len() == q.len() { 0.0 } else { f64::INFINITY };
+        let distance = if s.len() == q.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         return DtwResult { distance, cells: 0 };
     }
     // Keep the shorter sequence as the row to minimize memory.
@@ -131,7 +135,11 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
 /// `(s index, q index)` element mappings (the paper's `M = <m_1 ... m_|M|>`).
 pub fn dtw_with_path(s: &[f64], q: &[f64], kind: DtwKind) -> (DtwResult, Vec<(usize, usize)>) {
     if s.is_empty() || q.is_empty() {
-        let distance = if s.len() == q.len() { 0.0 } else { f64::INFINITY };
+        let distance = if s.len() == q.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         return (DtwResult { distance, cells: 0 }, Vec::new());
     }
     let (n, m) = (s.len(), q.len());
@@ -264,10 +272,7 @@ mod tests {
         for kind in KINDS {
             let rolled = dtw(&s, &q, kind);
             let (full, path) = dtw_with_path(&s, &q, kind);
-            assert!(
-                (rolled.distance - full.distance).abs() < 1e-12,
-                "{kind:?}"
-            );
+            assert!((rolled.distance - full.distance).abs() < 1e-12, "{kind:?}");
             assert!(!path.is_empty());
             // Path is monotone and starts/ends at corners.
             assert_eq!(path[0], (0, 0));

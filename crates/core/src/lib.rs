@@ -19,8 +19,12 @@
 //! * the four **search engines** of the paper's evaluation
 //!   ([`search`]): [`NaiveScan`], [`LbScan`], [`StFilterSearch`] and the
 //!   contribution, [`TwSimSearch`] — plus the approximate [`FastMapSearch`]
-//!   (measured for false dismissals), a parallel scan, kNN queries and the
-//!   §6 subsequence-matching extension ([`SubsequenceIndex`]);
+//!   (measured for false dismissals), the cost-based [`HybridSearch`]
+//!   router, kNN queries and the §6 subsequence-matching extension
+//!   ([`SubsequenceIndex`]). All six implement one object-safe trait,
+//!   [`SearchEngine`], parameterized by [`EngineOpts`] (distance kind,
+//!   verification threads, Sakoe–Chiba band, cost model) and sharing one
+//!   parallel verification pipeline;
 //! * instrumentation ([`SearchStats`]) reporting candidate ratios, DTW
 //!   cells, index node accesses and storage I/O, priced by the disk model in
 //!   `tw-storage` to regenerate the paper's elapsed-time figures.
@@ -36,7 +40,7 @@
 //!
 //! ```
 //! use tw_core::distance::DtwKind;
-//! use tw_core::search::{NaiveScan, TwSimSearch};
+//! use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
 //! use tw_storage::SequenceStore;
 //!
 //! // A tiny sequence database.
@@ -48,11 +52,12 @@
 //! // Build the paper's 4-D feature index and query it.
 //! let engine = TwSimSearch::build(&store).unwrap();
 //! let query = [20.0, 21.0, 20.0, 23.0];
-//! let result = engine.search(&store, &query, 0.5, DtwKind::MaxAbs).unwrap();
+//! let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+//! let result = engine.range_search(&store, &query, 0.5, &opts).unwrap();
 //! assert_eq!(result.ids(), vec![0, 1]);
 //!
 //! // Exactly what the sequential scan finds — but without scanning.
-//! let naive = NaiveScan::search(&store, &query, 0.5, DtwKind::MaxAbs).unwrap();
+//! let naive = NaiveScan.range_search(&store, &query, 0.5, &opts).unwrap();
 //! assert_eq!(result.ids(), naive.ids());
 //! assert!(result.stats.io.sequential_pages_scanned == 0);
 //! ```
@@ -74,13 +79,13 @@ pub use error::TwError;
 pub use feature::FeatureVector;
 pub use lower_bound::{lb_keogh, lb_kim, lb_yi};
 pub use search::{
-    false_dismissals, FastMapSearch, HybridPlan, HybridSearch, KnnMatch, LbScan, Match,
-    NaiveScan, ParallelNaiveScan,
+    false_dismissals, verify_candidates, EngineOpts, FastMapSearch, HybridPlan, HybridSearch,
+    KnnMatch, LbScan, Match, NaiveScan, ParallelNaiveScan, SearchEngine, SearchOutcome,
     SearchResult, SearchStats, StFilterSearch, SubsequenceIndex, SubsequenceMatch, TwSimSearch,
     VerifyMode, WindowSpec,
 };
 pub use sequence::Sequence;
 pub use transform::{
-    differences, exponential_moving_average, min_max_normalize, moving_average, paa, scale,
-    shift, z_normalize,
+    differences, exponential_moving_average, min_max_normalize, moving_average, paa, scale, shift,
+    z_normalize,
 };

@@ -59,14 +59,8 @@ fn lb_yi_max(s: &[f64], q: &[f64]) -> f64 {
             0.0
         }
     };
-    let from_s = s
-        .iter()
-        .map(|&v| gap(v, q_min, q_max))
-        .fold(0.0, f64::max);
-    let from_q = q
-        .iter()
-        .map(|&v| gap(v, s_min, s_max))
-        .fold(0.0, f64::max);
+    let from_s = s.iter().map(|&v| gap(v, q_min, q_max)).fold(0.0, f64::max);
+    let from_q = q.iter().map(|&v| gap(v, s_min, s_max)).fold(0.0, f64::max);
     from_s.max(from_q)
 }
 
@@ -168,10 +162,7 @@ mod tests {
             let lb = lb_kim(&s, &q);
             for kind in KINDS {
                 let d = dtw(&s, &q, kind).distance;
-                assert!(
-                    lb <= d + 1e-9,
-                    "{kind:?} seed {seed}: lb {lb} > dtw {d}"
-                );
+                assert!(lb <= d + 1e-9, "{kind:?} seed {seed}: lb {lb} > dtw {d}");
             }
         }
     }

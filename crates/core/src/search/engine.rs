@@ -1,0 +1,213 @@
+//! The unified query API: one object-safe trait over every search engine.
+//!
+//! The paper evaluates four methods (plus FastMap and the hybrid router)
+//! that all answer the same ε-range question but were historically invoked
+//! through per-engine inherent methods with diverging signatures. The
+//! [`SearchEngine`] trait collapses them: callers build an [`EngineOpts`],
+//! pick an engine — statically or as `Box<dyn SearchEngine<P>>` — and get a
+//! [`SearchOutcome`] whose stats are comparable across engines.
+//!
+//! ```
+//! use tw_core::distance::DtwKind;
+//! use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
+//! use tw_storage::{MemPager, SequenceStore};
+//!
+//! let mut store = SequenceStore::in_memory();
+//! store.append(&[20.0, 21.0, 20.0, 23.0]).unwrap();
+//! store.append(&[5.0, 6.0, 7.0]).unwrap();
+//!
+//! let engines: Vec<Box<dyn SearchEngine<MemPager>>> = vec![
+//!     Box::new(NaiveScan),
+//!     Box::new(TwSimSearch::build(&store).unwrap()),
+//! ];
+//! let opts = EngineOpts::new().kind(DtwKind::MaxAbs).threads(2);
+//! for engine in &engines {
+//!     let out = engine
+//!         .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.5, &opts)
+//!         .unwrap();
+//!     assert_eq!(out.ids(), vec![0], "{}", engine.name());
+//! }
+//! ```
+
+use tw_storage::{HardwareModel, Pager, SeqId, SequenceStore};
+
+use crate::distance::DtwKind;
+use crate::error::TwError;
+use crate::search::{HybridPlan, Match, SearchResult, SearchStats, VerifyMode};
+
+/// Per-query options shared by every engine, built fluently.
+///
+/// Engines read the subset that applies to them: every engine honours
+/// `kind`, `threads` and `verify` (they parameterize the shared
+/// verification pipeline), while `hardware` is consulted only by the
+/// cost-based [`crate::search::HybridSearch`] router. The one exception is
+/// [`crate::search::FastMapSearch`], whose distance kind is fixed when its
+/// embedding is fitted — it ignores `kind` and documents so.
+#[derive(Debug, Clone)]
+pub struct EngineOpts {
+    /// The time-warping recurrence (default: the paper's L∞,
+    /// [`DtwKind::MaxAbs`]).
+    pub kind: DtwKind,
+    /// Worker threads for candidate verification (default 1, sequential).
+    pub threads: usize,
+    /// How candidates are verified: exact early-abandoning DTW or a
+    /// Sakoe–Chiba band (default [`VerifyMode::Exact`]).
+    pub verify: VerifyMode,
+    /// The cost model the hybrid router prices continuations with
+    /// (default: the paper's 2001 hardware).
+    pub hardware: HardwareModel,
+}
+
+impl EngineOpts {
+    /// The paper's defaults: L∞ recurrence, sequential exact verification,
+    /// 2001 hardware model.
+    pub fn new() -> Self {
+        Self {
+            kind: DtwKind::MaxAbs,
+            threads: 1,
+            verify: VerifyMode::Exact,
+            hardware: HardwareModel::icde2001(),
+        }
+    }
+
+    /// Selects the time-warping recurrence.
+    pub fn kind(mut self, kind: DtwKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the verification thread count (must be at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one verify worker");
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the verification mode.
+    pub fn verify(mut self, verify: VerifyMode) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Sets the hardware cost model used for plan pricing.
+    pub fn hardware(mut self, hardware: HardwareModel) -> Self {
+        self.hardware = hardware;
+        self
+    }
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything one ε-range query produced.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutcome {
+    /// Matches sorted by ascending sequence id.
+    pub matches: Vec<Match>,
+    /// The engine's work accounting.
+    pub stats: SearchStats,
+    /// The continuation a planning engine executed; `None` for engines that
+    /// never plan.
+    pub plan: Option<HybridPlan>,
+}
+
+impl SearchOutcome {
+    /// The matched ids, ascending.
+    pub fn ids(&self) -> Vec<SeqId> {
+        self.matches.iter().map(|m| m.id).collect()
+    }
+
+    /// Drops the plan, yielding the legacy result type.
+    pub fn into_result(self) -> SearchResult {
+        SearchResult {
+            matches: self.matches,
+            stats: self.stats,
+        }
+    }
+}
+
+impl From<SearchResult> for SearchOutcome {
+    fn from(result: SearchResult) -> Self {
+        Self {
+            matches: result.matches,
+            stats: result.stats,
+            plan: None,
+        }
+    }
+}
+
+/// An ε-range search engine over stores paged by `P`.
+///
+/// Object-safe: heterogeneous engine sets run as
+/// `Vec<Box<dyn SearchEngine<P>>>` (how the CLI, the bench harness and the
+/// cross-engine agreement tests dispatch). All implementations answer
+/// exactly (no false dismissals) except [`crate::search::FastMapSearch`],
+/// which is approximate by construction and says so in its docs.
+pub trait SearchEngine<P: Pager>: Send + Sync {
+    /// Stable, human-readable engine name (used in reports and labels).
+    fn name(&self) -> &str;
+
+    /// Finds every stored sequence within `epsilon` of `query` under the
+    /// options' distance kind, verifying candidates through the shared
+    /// pipeline ([`crate::search::verify_candidates`]).
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_builder_defaults_and_overrides() {
+        let d = EngineOpts::default();
+        assert_eq!(d.kind, DtwKind::MaxAbs);
+        assert_eq!(d.threads, 1);
+        assert_eq!(d.verify, VerifyMode::Exact);
+
+        let o = EngineOpts::new()
+            .kind(DtwKind::SumAbs)
+            .threads(4)
+            .verify(VerifyMode::Banded(3))
+            .hardware(HardwareModel::cpu_only());
+        assert_eq!(o.kind, DtwKind::SumAbs);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.verify, VerifyMode::Banded(3));
+        assert_eq!(o.hardware, HardwareModel::cpu_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one verify worker")]
+    fn zero_threads_rejected() {
+        let _ = EngineOpts::new().threads(0);
+    }
+
+    #[test]
+    fn outcome_roundtrips_to_result() {
+        let outcome = SearchOutcome {
+            matches: vec![Match {
+                id: 3,
+                distance: 0.25,
+            }],
+            stats: SearchStats {
+                db_size: 10,
+                ..Default::default()
+            },
+            plan: Some(HybridPlan::IndexVerify),
+        };
+        assert_eq!(outcome.ids(), vec![3]);
+        let result = outcome.clone().into_result();
+        assert_eq!(result.ids(), vec![3]);
+        let back: SearchOutcome = result.into();
+        assert_eq!(back.plan, None);
+        assert_eq!(back.stats.db_size, 10);
+    }
+}

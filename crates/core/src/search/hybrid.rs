@@ -11,8 +11,9 @@
 use tw_storage::{HardwareModel, Pager, SequenceStore};
 
 use crate::distance::DtwKind;
-use crate::error::TwError;
-use crate::search::{LbScan, SearchResult, TwSimSearch};
+use crate::error::{validate_tolerance, TwError};
+use crate::feature::FeatureVector;
+use crate::search::{EngineOpts, LbScan, SearchEngine, SearchOutcome, SearchResult, TwSimSearch};
 
 /// Which continuation the hybrid engine executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,9 @@ impl HybridSearch {
     }
 
     /// Runs the query, choosing the cheaper continuation under `hw`.
+    #[deprecated(
+        note = "use `SearchEngine::range_search` with `EngineOpts::hardware`; the plan is in `SearchOutcome::plan`"
+    )]
     pub fn search<P: Pager>(
         &self,
         store: &SequenceStore<P>,
@@ -56,16 +60,30 @@ impl HybridSearch {
         kind: DtwKind,
         hw: &HardwareModel,
     ) -> Result<(SearchResult, HybridPlan), TwError> {
+        let opts = EngineOpts::new().kind(kind).hardware(*hw);
+        let outcome = SearchEngine::range_search(self, store, query, epsilon, &opts)?;
+        let plan = outcome.plan.expect("hybrid always records a plan");
+        Ok((outcome.into_result(), plan))
+    }
+
+    /// Prices both continuations with the hardware model and picks the
+    /// cheaper one. Returns the plan and the node accesses the planning
+    /// probe itself spent.
+    fn choose_plan<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        hw: &HardwareModel,
+    ) -> Result<(HybridPlan, u64), TwError> {
         // The index filter itself is in-memory-cheap; run it to learn the
         // candidate count.
-        let probe = {
-            use crate::feature::FeatureVector;
-            if query.is_empty() {
-                return Err(TwError::EmptySequence);
-            }
-            let q = FeatureVector::from_values(query).as_point();
-            self.engine.tree().range_centered(&q, epsilon)
-        };
+        if query.is_empty() {
+            return Err(TwError::EmptySequence);
+        }
+        let q = FeatureVector::from_values(query).as_point();
+        let probe = self.engine.tree().range_centered(&q, epsilon);
+        let probe_nodes = probe.stats.node_accesses();
 
         // Price the index continuation: one random request per candidate
         // plus its pages, plus the node accesses already performed.
@@ -81,7 +99,7 @@ impl HybridSearch {
         let index_cost = hw
             .disk
             .elapsed(&index_io)
-            .saturating_add(hw.disk.random_reads(probe.stats.node_accesses()));
+            .saturating_add(hw.disk.random_reads(probe_nodes));
 
         // Price the scan continuation: one streaming pass. (Verification DTW
         // cost is comparable on both paths — the scan's LB filter admits a
@@ -94,27 +112,58 @@ impl HybridSearch {
         let scan_cost = hw
             .disk
             .elapsed(&scan_io)
-            .saturating_add(hw.disk.random_reads(probe.stats.node_accesses()));
+            .saturating_add(hw.disk.random_reads(probe_nodes));
+
+        let plan = if index_cost <= scan_cost {
+            HybridPlan::IndexVerify
+        } else {
+            HybridPlan::SequentialScan
+        };
+        Ok((plan, probe_nodes))
+    }
+}
+
+impl<P: Pager> SearchEngine<P> for HybridSearch {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    /// Prices the index and scan continuations with `opts.hardware`, runs
+    /// the cheaper one, and records which in [`SearchOutcome::plan`]. Either
+    /// way the result set is exact.
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError> {
+        validate_tolerance(epsilon)?;
+        let (plan, probe_nodes) = self.choose_plan(store, query, epsilon, &opts.hardware)?;
 
         // Either continuation reports the planner's probe traversal in its
         // stats — those node accesses were genuinely spent. (The index path
-        // traverses again inside `search`; a production system would reuse
-        // the probe's candidate list, but keeping Algorithm 1's entry point
-        // untouched makes the engines directly comparable.)
-        if index_cost <= scan_cost {
-            let mut result = self.engine.search(store, query, epsilon, kind)?;
-            result.stats.index_node_accesses += probe.stats.node_accesses();
-            Ok((result, HybridPlan::IndexVerify))
-        } else {
-            let mut result = LbScan::search(store, query, epsilon, kind)?;
-            result.stats.index_node_accesses += probe.stats.node_accesses();
-            Ok((result, HybridPlan::SequentialScan))
-        }
+        // traverses again inside its own search; a production system would
+        // reuse the probe's candidate list, but keeping Algorithm 1's entry
+        // point untouched makes the engines directly comparable.)
+        let mut outcome = match plan {
+            HybridPlan::IndexVerify => {
+                SearchEngine::range_search(&self.engine, store, query, epsilon, opts)?
+            }
+            HybridPlan::SequentialScan => {
+                SearchEngine::range_search(&LbScan, store, query, epsilon, opts)?
+            }
+        };
+        outcome.stats.index_node_accesses += probe_nodes;
+        outcome.plan = Some(plan);
+        Ok(outcome)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -137,9 +186,7 @@ mod tests {
         let queries = generate_queries(&data, 4, 2);
         for q in &queries {
             for eps in [0.02, 0.3, 5.0, 100.0] {
-                let (res, _plan) = hybrid
-                    .search(&store, q, eps, DtwKind::MaxAbs, &hw)
-                    .unwrap();
+                let (res, _plan) = hybrid.search(&store, q, eps, DtwKind::MaxAbs, &hw).unwrap();
                 let naive = NaiveScan::search(&store, q, eps, DtwKind::MaxAbs).unwrap();
                 assert_eq!(res.ids(), naive.ids(), "eps {eps}");
             }
@@ -194,7 +241,13 @@ mod tests {
         let store = store_with(&data);
         let hybrid = HybridSearch::build(&store).unwrap();
         assert!(hybrid
-            .search(&store, &[], 1.0, DtwKind::MaxAbs, &HardwareModel::icde2001())
+            .search(
+                &store,
+                &[],
+                1.0,
+                DtwKind::MaxAbs,
+                &HardwareModel::icde2001()
+            )
             .is_err());
     }
 }

@@ -129,10 +129,7 @@ mod tests {
     }
 
     fn brute_knn(data: &[Vec<f64>], query: &[f64], k: usize, kind: DtwKind) -> Vec<f64> {
-        let mut d: Vec<f64> = data
-            .iter()
-            .map(|s| dtw(s, query, kind).distance)
-            .collect();
+        let mut d: Vec<f64> = data.iter().map(|s| dtw(s, query, kind).distance).collect();
         d.sort_by(|a, b| a.partial_cmp(b).unwrap());
         d.truncate(k);
         d

@@ -10,10 +10,12 @@ use std::time::Instant;
 
 use tw_storage::{Pager, SequenceStore};
 
-use crate::distance::{dtw_within, DtwKind};
+use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::lower_bound::lb_yi;
-use crate::search::{Match, SearchResult, SearchStats};
+use crate::search::{
+    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+};
 
 /// The lower-bound-filtered sequential scan.
 #[derive(Debug, Clone, Copy, Default)]
@@ -22,12 +24,30 @@ pub struct LbScan;
 impl LbScan {
     /// Runs the query: one sequential pass, `D_lb` per sequence, exact DTW on
     /// survivors.
+    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
     pub fn search<P: Pager>(
         store: &SequenceStore<P>,
         query: &[f64],
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<SearchResult, TwError> {
+        let opts = EngineOpts::new().kind(kind);
+        Ok(SearchEngine::range_search(&LbScan, store, query, epsilon, &opts)?.into_result())
+    }
+}
+
+impl<P: Pager> SearchEngine<P> for LbScan {
+    fn name(&self) -> &str {
+        "lb-scan"
+    }
+
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
         let started = Instant::now();
         store.take_io();
@@ -35,29 +55,41 @@ impl LbScan {
             db_size: store.len(),
             ..Default::default()
         };
-        let mut matches = Vec::new();
+        // Filter stage: the cheap linear lower bound prunes during the scan;
+        // survivors are kept resident for verification.
+        let mut candidates = Vec::new();
         store.scan_visit(|id, values| {
             stats.lb_evaluations += 1;
             stats.filter_ops += (values.len() + query.len()) as u64;
-            if values.is_empty() || lb_yi(&values, query, kind) > epsilon {
+            if values.is_empty() || lb_yi(&values, query, opts.kind) > epsilon {
                 return;
             }
-            stats.candidates += 1;
-            stats.dtw_invocations += 1;
-            let outcome = dtw_within(&values, query, kind, epsilon);
-            stats.dtw_cells += outcome.cells;
-            if let Some(distance) = outcome.within {
-                matches.push(Match { id, distance });
-            }
+            candidates.push((id, values));
         })?;
+        stats.candidates = candidates.len();
         stats.io = store.take_io();
+        let (matches, verify_stats) = verify_candidates(
+            &candidates,
+            query,
+            epsilon,
+            opts.kind,
+            opts.verify,
+            opts.threads,
+        );
+        stats.accumulate(&verify_stats);
         stats.cpu_time = started.elapsed();
-        Ok(SearchResult { matches, stats })
+        Ok(SearchOutcome {
+            matches,
+            stats,
+            plan: None,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -111,7 +143,11 @@ mod tests {
         // DP cells. (Early abandoning already helps Naive-Scan; LB-Scan skips
         // the DP entirely.)
         let data: Vec<Vec<f64>> = (0..30)
-            .map(|i| (0..200).map(|j| (i * 10) as f64 + (j % 5) as f64 * 0.01).collect())
+            .map(|i| {
+                (0..200)
+                    .map(|j| (i * 10) as f64 + (j % 5) as f64 * 0.01)
+                    .collect()
+            })
             .collect();
         let store = store_with(&data);
         let query: Vec<f64> = (0..200).map(|j| (j % 5) as f64 * 0.01).collect();

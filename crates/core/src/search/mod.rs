@@ -7,6 +7,7 @@
 //! `D_tw(S, Q) <= ε`. They differ in *how much work* they spend doing it,
 //! which is what [`SearchStats`] captures.
 
+mod engine;
 mod fastmap_search;
 mod hybrid;
 mod knn;
@@ -16,7 +17,9 @@ mod parallel;
 mod st_filter;
 mod subsequence;
 mod tw_sim_search;
+mod verify;
 
+pub use engine::{EngineOpts, SearchEngine, SearchOutcome};
 pub use fastmap_search::{false_dismissals, FastMapSearch};
 pub use hybrid::{HybridPlan, HybridSearch};
 pub use knn::KnnMatch;
@@ -26,6 +29,7 @@ pub use parallel::{parallel_query_batch, ParallelNaiveScan};
 pub use st_filter::StFilterSearch;
 pub use subsequence::{SubsequenceIndex, SubsequenceMatch, WindowSpec};
 pub use tw_sim_search::{TwSimSearch, VerifyMode};
+pub use verify::verify_candidates;
 
 use std::time::Duration;
 
@@ -137,7 +141,7 @@ mod tests {
         let hw = HardwareModel::icde2001();
         let stats = SearchStats {
             index_node_accesses: 10,
-            dtw_cells: 5_000_000, // 1 s at the 2001 CPU rate
+            dtw_cells: 5_000_000,  // 1 s at the 2001 CPU rate
             filter_ops: 2_000_000, // 0.1 s
             io: IoProfile {
                 random_requests: 5,

@@ -9,9 +9,11 @@ use std::time::Instant;
 
 use tw_storage::{Pager, SequenceStore};
 
-use crate::distance::{dtw_within, DtwKind};
+use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
-use crate::search::{Match, SearchResult, SearchStats};
+use crate::search::{
+    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+};
 
 /// The sequential-scan baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,12 +22,30 @@ pub struct NaiveScan;
 impl NaiveScan {
     /// Runs the query: one sequential pass, one (early-abandoned) DTW per
     /// sequence.
+    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
     pub fn search<P: Pager>(
         store: &SequenceStore<P>,
         query: &[f64],
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<SearchResult, TwError> {
+        let opts = EngineOpts::new().kind(kind);
+        Ok(SearchEngine::range_search(&NaiveScan, store, query, epsilon, &opts)?.into_result())
+    }
+}
+
+impl<P: Pager> SearchEngine<P> for NaiveScan {
+    fn name(&self) -> &str {
+        "naive-scan"
+    }
+
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
         let started = Instant::now();
         store.take_io();
@@ -33,26 +53,28 @@ impl NaiveScan {
             db_size: store.len(),
             ..Default::default()
         };
-        let mut matches = Vec::new();
-        store.scan_visit(|id, values| {
-            stats.dtw_invocations += 1;
-            let outcome = dtw_within(&values, query, kind, epsilon);
-            stats.dtw_cells += outcome.cells;
-            if let Some(distance) = outcome.within {
-                matches.push(Match { id, distance });
-            }
-        })?;
+        // No filtering step: every stored sequence goes to verification.
+        let rows = store.scan()?;
+        stats.io = store.take_io();
+        let (matches, verify_stats) =
+            verify_candidates(&rows, query, epsilon, opts.kind, opts.verify, opts.threads);
+        stats.accumulate(&verify_stats);
         // Naive-Scan has no filtering step: the paper plots its final result
         // count as its candidate count (Experiment 1).
         stats.candidates = matches.len();
-        stats.io = store.take_io();
         stats.cpu_time = started.elapsed();
-        Ok(SearchResult { matches, stats })
+        Ok(SearchOutcome {
+            matches,
+            stats,
+            plan: None,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::distance::dtw;
     use tw_storage::SequenceStore;

@@ -1,19 +1,18 @@
-//! Multi-threaded Naive-Scan (extension).
+//! Multi-threaded query execution (extension).
 //!
 //! The paper's scan baselines are single-threaded (2001 hardware). Modern
-//! reproductions often parallelize the scan; this engine shows that even a
-//! perfectly parallel scan keeps the *asymptotic* behaviour Figures 4 and 5
-//! display — linear in database size — while TW-Sim-Search stays flat. The
-//! verification work is split across threads with crossbeam's scoped threads.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+//! reproductions often parallelize the scan; a perfectly parallel scan keeps
+//! the *asymptotic* behaviour Figures 4 and 5 display — linear in database
+//! size — while TW-Sim-Search stays flat. [`ParallelNaiveScan`] survives as a
+//! shim over the shared verification pipeline (`EngineOpts::threads` is the
+//! replacement); [`parallel_query_batch`] fans independent *queries* out
+//! instead of candidates within one query.
 
 use tw_storage::{Pager, SequenceStore};
 
-use crate::distance::{dtw_within, DtwKind};
+use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
-use crate::search::{Match, SearchResult, SearchStats};
+use crate::search::{EngineOpts, NaiveScan, SearchEngine, SearchOutcome, SearchResult};
 
 /// A parallel sequential-scan engine.
 #[derive(Debug, Clone, Copy)]
@@ -36,7 +35,10 @@ impl ParallelNaiveScan {
         Self { threads }
     }
 
-    /// Runs the query with the scan fanned out over the workers.
+    /// Runs the query with the verification fanned out over the workers.
+    #[deprecated(
+        note = "use `SearchEngine::range_search` on `NaiveScan` with `EngineOpts::threads`"
+    )]
     pub fn search<P: Pager>(
         &self,
         store: &SequenceStore<P>,
@@ -44,54 +46,8 @@ impl ParallelNaiveScan {
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<SearchResult, TwError> {
-        validate_tolerance(epsilon)?;
-        let started = Instant::now();
-        store.take_io();
-        let mut stats = SearchStats {
-            db_size: store.len(),
-            ..Default::default()
-        };
-        let rows = store.scan()?;
-        stats.io = store.take_io();
-
-        let cells = AtomicU64::new(0);
-        let chunk = rows.len().div_ceil(self.threads.max(1)).max(1);
-        let mut matches: Vec<Match> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = rows
-                .chunks(chunk)
-                .map(|part| {
-                    let cells = &cells;
-                    scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        let mut local_cells = 0u64;
-                        for (id, values) in part {
-                            let outcome = dtw_within(values, query, kind, epsilon);
-                            local_cells += outcome.cells;
-                            if let Some(distance) = outcome.within {
-                                local.push(Match {
-                                    id: *id,
-                                    distance,
-                                });
-                            }
-                        }
-                        cells.fetch_add(local_cells, Ordering::Relaxed);
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("scan worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
-        matches.sort_by_key(|m| m.id);
-
-        stats.dtw_invocations = rows.len() as u64;
-        stats.dtw_cells = cells.into_inner();
-        stats.candidates = matches.len();
-        stats.cpu_time = started.elapsed();
-        Ok(SearchResult { matches, stats })
+        let opts = EngineOpts::new().kind(kind).threads(self.threads);
+        Ok(SearchEngine::range_search(&NaiveScan, store, query, epsilon, &opts)?.into_result())
     }
 }
 
@@ -122,13 +78,18 @@ pub fn parallel_query_batch<P: Pager + Sync>(
         return Ok(Vec::new());
     }
     let chunk = queries.len().div_ceil(threads).max(1);
-    let results: Vec<Result<Vec<SearchResult>, TwError>> = crossbeam::thread::scope(|scope| {
+    let opts = EngineOpts::new().kind(kind);
+    let results: Vec<Result<Vec<SearchResult>, TwError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|part| {
-                scope.spawn(move |_| {
+                let opts = &opts;
+                scope.spawn(move || {
                     part.iter()
-                        .map(|q| engine.search(store, q, epsilon, kind))
+                        .map(|q| {
+                            SearchEngine::range_search(engine, store, q, epsilon, opts)
+                                .map(SearchOutcome::into_result)
+                        })
                         .collect::<Result<Vec<_>, _>>()
                 })
             })
@@ -137,8 +98,7 @@ pub fn parallel_query_batch<P: Pager + Sync>(
             .into_iter()
             .map(|h| h.join().expect("query worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
     let mut out = Vec::with_capacity(queries.len());
     for r in results {
         out.extend(r?);
@@ -148,6 +108,8 @@ pub fn parallel_query_batch<P: Pager + Sync>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -218,7 +180,12 @@ mod tests {
         let queries: Vec<Vec<f64>> = data.iter().take(12).cloned().collect();
         let serial: Vec<Vec<u64>> = queries
             .iter()
-            .map(|q| engine.search(&store, q, 0.3, DtwKind::MaxAbs).unwrap().ids())
+            .map(|q| {
+                engine
+                    .search(&store, q, 0.3, DtwKind::MaxAbs)
+                    .unwrap()
+                    .ids()
+            })
             .collect();
         for threads in [1usize, 3, 8] {
             let batch =

@@ -18,7 +18,10 @@ use tw_suffix::{CategoryMethod, StFilter};
 
 use crate::distance::{dtw_within, DtwKind};
 use crate::error::{validate_tolerance, TwError};
-use crate::search::{Match, SearchResult, SearchStats, SubsequenceMatch};
+use crate::search::{
+    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+    SubsequenceMatch,
+};
 
 /// The suffix-tree baseline engine.
 #[derive(Debug, Clone)]
@@ -103,8 +106,7 @@ impl StFilterSearch {
                 // Verify each admissible window length from the proposal up.
                 for end in (offset + len)..=values.len() {
                     stats.dtw_invocations += 1;
-                    let outcome =
-                        dtw_within(&values[offset..end], query, kind, epsilon);
+                    let outcome = dtw_within(&values[offset..end], query, kind, epsilon);
                     stats.dtw_cells += outcome.cells;
                     if let Some(distance) = outcome.within {
                         matches.push(SubsequenceMatch {
@@ -125,6 +127,7 @@ impl StFilterSearch {
     }
 
     /// Runs the query: tree traversal filter, then exact verification.
+    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
     pub fn search<P: Pager>(
         &self,
         store: &SequenceStore<P>,
@@ -132,6 +135,23 @@ impl StFilterSearch {
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<SearchResult, TwError> {
+        let opts = EngineOpts::new().kind(kind);
+        Ok(SearchEngine::range_search(self, store, query, epsilon, &opts)?.into_result())
+    }
+}
+
+impl<P: Pager> SearchEngine<P> for StFilterSearch {
+    fn name(&self) -> &str {
+        "st-filter"
+    }
+
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
         if query.is_empty() {
             return Err(TwError::EmptySequence);
@@ -151,26 +171,34 @@ impl StFilterSearch {
         stats.filter_ops = filtered.stats.dp_cells;
         stats.candidates = filtered.ids.len();
 
-        let mut matches = Vec::new();
+        let mut candidates = Vec::with_capacity(filtered.ids.len());
         for id in filtered.ids {
             let id = id as u64;
-            let values = store.get(id)?;
-            stats.dtw_invocations += 1;
-            let outcome = dtw_within(&values, query, kind, epsilon);
-            stats.dtw_cells += outcome.cells;
-            if let Some(distance) = outcome.within {
-                matches.push(Match { id, distance });
-            }
+            candidates.push((id, store.get(id)?));
         }
-        matches.sort_by_key(|m| m.id);
+        let (matches, verify_stats) = verify_candidates(
+            &candidates,
+            query,
+            epsilon,
+            opts.kind,
+            opts.verify,
+            opts.threads,
+        );
+        stats.accumulate(&verify_stats);
         stats.io = store.take_io();
         stats.cpu_time = started.elapsed();
-        Ok(SearchResult { matches, stats })
+        Ok(SearchOutcome {
+            matches,
+            stats,
+            plan: None,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -258,14 +286,10 @@ mod tests {
 
     #[test]
     fn subsequence_search_finds_embedded_pattern() {
-        let data = vec![
-            vec![1.0, 1.0, 7.0, 8.0, 9.0, 1.0, 1.0],
-            vec![2.0, 2.0, 2.0],
-        ];
+        let data = vec![vec![1.0, 1.0, 7.0, 8.0, 9.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
         let store = store_with(&data);
         let engine =
-            StFilterSearch::build_with_categories(&store, 20, CategoryMethod::EqualWidth)
-                .unwrap();
+            StFilterSearch::build_with_categories(&store, 20, CategoryMethod::EqualWidth).unwrap();
         let (found, stats) = engine
             .subsequence_search(&store, &[7.0, 8.0, 9.0], 0.5, DtwKind::MaxAbs)
             .unwrap();

@@ -256,9 +256,7 @@ mod tests {
                 let d = dtw(&s[offset..offset + len], &query, DtwKind::MaxAbs).distance;
                 if d <= eps {
                     assert!(
-                        matches
-                            .iter()
-                            .any(|m| m.offset == offset && m.len == len),
+                        matches.iter().any(|m| m.offset == offset && m.len == len),
                         "window ({offset},{len}) with d={d} dismissed"
                     );
                 }
@@ -278,10 +276,8 @@ mod tests {
     fn stride_reduces_index_size() {
         let data = vec![(0..200).map(|i| (i % 13) as f64).collect::<Vec<f64>>()];
         let store = store_with(&data);
-        let dense =
-            SubsequenceIndex::build(&store, WindowSpec::new(8, 8, 1, 1).unwrap()).unwrap();
-        let sparse =
-            SubsequenceIndex::build(&store, WindowSpec::new(8, 8, 1, 4).unwrap()).unwrap();
+        let dense = SubsequenceIndex::build(&store, WindowSpec::new(8, 8, 1, 1).unwrap()).unwrap();
+        let sparse = SubsequenceIndex::build(&store, WindowSpec::new(8, 8, 1, 4).unwrap()).unwrap();
         assert!(sparse.window_count() * 3 < dense.window_count());
     }
 
@@ -297,12 +293,9 @@ mod tests {
     fn windows_longer_than_sequence_skipped() {
         let data = vec![vec![1.0, 2.0]];
         let store = store_with(&data);
-        let index =
-            SubsequenceIndex::build(&store, WindowSpec::new(5, 10, 1, 1).unwrap()).unwrap();
+        let index = SubsequenceIndex::build(&store, WindowSpec::new(5, 10, 1, 1).unwrap()).unwrap();
         assert_eq!(index.window_count(), 0);
-        let (matches, _) = index
-            .search(&store, &[1.0], 10.0, DtwKind::MaxAbs)
-            .unwrap();
+        let (matches, _) = index.search(&store, &[1.0], 10.0, DtwKind::MaxAbs).unwrap();
         assert!(matches.is_empty());
     }
 }

@@ -17,10 +17,12 @@ use std::time::Instant;
 use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
 use tw_storage::{Pager, SeqId, SequenceStore};
 
-use crate::distance::{dtw_banded, dtw_within, DtwKind};
+use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
-use crate::search::{Match, SearchResult, SearchStats};
+use crate::search::{
+    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+};
 
 /// How TW-Sim-Search verifies candidates after the index filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +119,7 @@ impl TwSimSearch {
 
     /// Algorithm 1: range-filter on the index, then verify candidates with
     /// the exact (unconstrained) time-warping distance.
+    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
     pub fn search<P: Pager>(
         &self,
         store: &SequenceStore<P>,
@@ -124,18 +127,12 @@ impl TwSimSearch {
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<SearchResult, TwError> {
-        self.search_with(store, query, epsilon, kind, VerifyMode::Exact)
+        let opts = EngineOpts::new().kind(kind);
+        Ok(SearchEngine::range_search(self, store, query, epsilon, &opts)?.into_result())
     }
 
     /// Algorithm 1 with a configurable verification step.
-    ///
-    /// [`VerifyMode::Banded`] verifies candidates under a Sakoe–Chiba band
-    /// (an extension beyond the paper, standard in post-2002 DTW systems).
-    /// The banded distance upper-bounds the unconstrained one, so the filter
-    /// remains sound *for the banded distance*: the result is exactly the
-    /// set `{S : D_tw^banded(S, Q) <= ε}` — a subset of the unconstrained
-    /// answer, computed with far fewer DP cells. The band-width trade-off is
-    /// measured by the harness ablations.
+    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts::verify`")]
     pub fn search_with<P: Pager>(
         &self,
         store: &SequenceStore<P>,
@@ -144,6 +141,31 @@ impl TwSimSearch {
         kind: DtwKind,
         verify: VerifyMode,
     ) -> Result<SearchResult, TwError> {
+        let opts = EngineOpts::new().kind(kind).verify(verify);
+        Ok(SearchEngine::range_search(self, store, query, epsilon, &opts)?.into_result())
+    }
+}
+
+impl<P: Pager> SearchEngine<P> for TwSimSearch {
+    fn name(&self) -> &str {
+        "tw-sim-search"
+    }
+
+    /// Algorithm 1. [`VerifyMode::Banded`] in the options verifies
+    /// candidates under a Sakoe–Chiba band (an extension beyond the paper,
+    /// standard in post-2002 DTW systems). The banded distance upper-bounds
+    /// the unconstrained one, so the filter remains sound *for the banded
+    /// distance*: the result is exactly the set
+    /// `{S : D_tw^banded(S, Q) <= ε}` — a subset of the unconstrained
+    /// answer, computed with far fewer DP cells. The band-width trade-off is
+    /// measured by the harness ablations.
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
         if query.is_empty() {
             return Err(TwError::EmptySequence);
@@ -160,36 +182,35 @@ impl TwSimSearch {
         let range = self.tree.range_centered(&feature_q, epsilon);
         stats.index_node_accesses = range.stats.node_accesses();
 
-        // Step 3-7: candidate verification.
+        // Step 3-7: read candidates, verify through the shared pipeline.
         stats.candidates = range.ids.len();
-        let mut matches = Vec::new();
+        let mut candidates = Vec::with_capacity(range.ids.len());
         for id in range.ids {
-            let values = store.get(id)?;
-            stats.dtw_invocations += 1;
-            let (within, cells) = match verify {
-                VerifyMode::Exact => {
-                    let outcome = dtw_within(&values, query, kind, epsilon);
-                    (outcome.within, outcome.cells)
-                }
-                VerifyMode::Banded(w) => {
-                    let r = dtw_banded(&values, query, kind, w);
-                    ((r.distance <= epsilon).then_some(r.distance), r.cells)
-                }
-            };
-            stats.dtw_cells += cells;
-            if let Some(distance) = within {
-                matches.push(Match { id, distance });
-            }
+            candidates.push((id, store.get(id)?));
         }
-        matches.sort_by_key(|m| m.id);
+        let (matches, verify_stats) = verify_candidates(
+            &candidates,
+            query,
+            epsilon,
+            opts.kind,
+            opts.verify,
+            opts.threads,
+        );
+        stats.accumulate(&verify_stats);
         stats.io = store.take_io();
         stats.cpu_time = started.elapsed();
-        Ok(SearchResult { matches, stats })
+        Ok(SearchOutcome {
+            matches,
+            stats,
+            plan: None,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated shims stay covered until their removal.
+    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -307,9 +328,7 @@ mod tests {
         let store = store_with(&db());
         let engine = TwSimSearch::build(&store).unwrap();
         let query = vec![20.0, 21.0, 20.0, 23.0];
-        let exact = engine
-            .search(&store, &query, 0.6, DtwKind::MaxAbs)
-            .unwrap();
+        let exact = engine.search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
         for w in [1usize, 2, 8] {
             let banded = engine
                 .search_with(&store, &query, 0.6, DtwKind::MaxAbs, VerifyMode::Banded(w))

@@ -1,0 +1,183 @@
+//! The shared candidate-verification pipeline.
+//!
+//! Every exact engine is a *filter* followed by the same final step: compute
+//! the true time-warping distance of each surviving candidate and keep those
+//! within tolerance. This module centralizes that step so all engines share
+//! one implementation of early abandoning, banded verification, and
+//! multi-threaded fan-out — the paper's methods differ only in their filters.
+//!
+//! Determinism: candidates are verified independently (early abandoning is
+//! per-candidate, so `dtw_cells` does not depend on thread count or order)
+//! and the merged match list is sorted by sequence id, so the outcome is
+//! identical for every thread count.
+
+use tw_storage::SeqId;
+
+use crate::distance::{dtw_banded, dtw_within, DtwKind};
+use crate::search::{Match, SearchStats, VerifyMode};
+
+/// Verifies pre-read candidate sequences against the query, fanning the DTW
+/// work out over `threads` scoped workers.
+///
+/// Returns the qualifying matches sorted by ascending [`SeqId`] and a
+/// [`SearchStats`] carrying only the verification counters
+/// (`dtw_invocations`, `dtw_cells`) — the caller merges it into its own
+/// stats with [`SearchStats::accumulate`].
+///
+/// Workers receive only the candidate slices, never the store, so the
+/// pipeline works with any pager and charges no I/O of its own: candidates
+/// arrive already materialized by the engine's filter stage.
+pub fn verify_candidates(
+    candidates: &[(SeqId, Vec<f64>)],
+    query: &[f64],
+    epsilon: f64,
+    kind: DtwKind,
+    verify: VerifyMode,
+    threads: usize,
+) -> (Vec<Match>, SearchStats) {
+    assert!(threads >= 1, "need at least one verify worker");
+    let (mut matches, stats) = if threads == 1 || candidates.len() < 2 {
+        verify_chunk(candidates, query, epsilon, kind, verify)
+    } else {
+        let chunk = candidates.len().div_ceil(threads);
+        let parts: Vec<(Vec<Match>, SearchStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || verify_chunk(part, query, epsilon, kind, verify)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verify worker panicked"))
+                .collect()
+        });
+        let mut matches = Vec::new();
+        let mut stats = SearchStats::default();
+        for (part_matches, part_stats) in parts {
+            matches.extend(part_matches);
+            stats.accumulate(&part_stats);
+        }
+        (matches, stats)
+    };
+    matches.sort_by_key(|m| m.id);
+    (matches, stats)
+}
+
+/// Sequentially verifies one slice of candidates.
+fn verify_chunk(
+    candidates: &[(SeqId, Vec<f64>)],
+    query: &[f64],
+    epsilon: f64,
+    kind: DtwKind,
+    verify: VerifyMode,
+) -> (Vec<Match>, SearchStats) {
+    let mut matches = Vec::new();
+    let mut stats = SearchStats::default();
+    for (id, values) in candidates {
+        stats.dtw_invocations += 1;
+        let (within, cells) = match verify {
+            VerifyMode::Exact => {
+                let outcome = dtw_within(values, query, kind, epsilon);
+                (outcome.within, outcome.cells)
+            }
+            VerifyMode::Banded(w) => {
+                let r = dtw_banded(values, query, kind, w);
+                ((r.distance <= epsilon).then_some(r.distance), r.cells)
+            }
+        };
+        stats.dtw_cells += cells;
+        if let Some(distance) = within {
+            matches.push(Match { id: *id, distance });
+        }
+    }
+    (matches, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::dtw;
+
+    fn candidates() -> Vec<(SeqId, Vec<f64>)> {
+        (0..23)
+            .map(|i| {
+                let base = (i % 7) as f64;
+                (i as SeqId, vec![base, base + 0.3, base + 0.8])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let (base_matches, base_stats) =
+            verify_candidates(&cands, &query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 1);
+        assert!(!base_matches.is_empty());
+        for threads in [2usize, 3, 4, 16] {
+            let (m, s) = verify_candidates(
+                &cands,
+                &query,
+                0.5,
+                DtwKind::MaxAbs,
+                VerifyMode::Exact,
+                threads,
+            );
+            assert_eq!(m, base_matches, "threads={threads}");
+            assert_eq!(s.dtw_invocations, base_stats.dtw_invocations);
+            assert_eq!(s.dtw_cells, base_stats.dtw_cells);
+        }
+    }
+
+    #[test]
+    fn matches_sorted_even_from_unsorted_candidates() {
+        let mut cands = candidates();
+        cands.reverse();
+        let query = [3.0, 3.3, 3.9];
+        let (m, _) = verify_candidates(&cands, &query, 5.0, DtwKind::MaxAbs, VerifyMode::Exact, 3);
+        assert!(m.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let cands = candidates();
+        let query = [2.0, 2.5, 2.9];
+        let (m, _) = verify_candidates(&cands, &query, 1.0, DtwKind::SumAbs, VerifyMode::Exact, 4);
+        for matched in &m {
+            let expect = dtw(&cands[matched.id as usize].1, &query, DtwKind::SumAbs).distance;
+            assert!((matched.distance - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn banded_mode_is_a_subset_of_exact() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let (exact, _) =
+            verify_candidates(&cands, &query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 2);
+        let (banded, _) = verify_candidates(
+            &cands,
+            &query,
+            0.5,
+            DtwKind::MaxAbs,
+            VerifyMode::Banded(1),
+            2,
+        );
+        let exact_ids: Vec<_> = exact.iter().map(|m| m.id).collect();
+        for m in &banded {
+            assert!(exact_ids.contains(&m.id));
+        }
+    }
+
+    #[test]
+    fn empty_candidates_are_fine() {
+        let (m, s) = verify_candidates(&[], &[1.0], 1.0, DtwKind::MaxAbs, VerifyMode::Exact, 4);
+        assert!(m.is_empty());
+        assert_eq!(s.dtw_invocations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one verify worker")]
+    fn zero_threads_rejected() {
+        let _ = verify_candidates(&[], &[1.0], 1.0, DtwKind::MaxAbs, VerifyMode::Exact, 0);
+    }
+}

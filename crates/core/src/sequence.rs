@@ -63,7 +63,10 @@ impl Sequence {
 
     /// `Greatest(S)`.
     pub fn greatest(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// `Smallest(S)`.

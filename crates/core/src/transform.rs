@@ -170,10 +170,7 @@ mod tests {
             .collect();
         let smooth = moving_average(&noisy, 4);
         let roughness = |s: &[f64]| {
-            s.windows(2)
-                .map(|w| (w[1] - w[0]).abs())
-                .sum::<f64>()
-                / (s.len() - 1) as f64
+            s.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (s.len() - 1) as f64
         };
         assert!(roughness(&smooth) < roughness(&noisy) / 2.0);
     }

@@ -8,9 +8,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use tw_core::distance::{dtw, dtw_banded, dtw_with_path, DtwKind};
-use tw_core::{
-    min_max_normalize, moving_average, paa, z_normalize, Alignment,
-};
+use tw_core::{min_max_normalize, moving_average, paa, z_normalize, Alignment};
 
 /// Definition 1 / Definition 2, written exactly as the paper states them:
 /// `D_tw(<>, <>) = 0`, `D_tw(S, <>) = D_tw(<>, Q) = ∞`,
@@ -18,12 +16,7 @@ use tw_core::{
 /// D_tw(Rest(S), Q), D_tw(Rest(S), Rest(Q)))` where `⊕` is `+` for the
 /// additive kinds and `max` for the L∞ kind.
 fn definitional_dtw(s: &[f64], q: &[f64], kind: DtwKind) -> f64 {
-    fn rec(
-        s: &[f64],
-        q: &[f64],
-        kind: DtwKind,
-        memo: &mut HashMap<(usize, usize), f64>,
-    ) -> f64 {
+    fn rec(s: &[f64], q: &[f64], kind: DtwKind, memo: &mut HashMap<(usize, usize), f64>) -> f64 {
         if s.is_empty() && q.is_empty() {
             return 0.0;
         }
@@ -162,6 +155,23 @@ proptest! {
         for (a, b) in z.iter().zip(&zt) {
             prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
         }
+    }
+
+    /// Historical shrink from `proptest_core.proptest-regressions`, promoted
+    /// to a pinned case (the vendored proptest stand-in does not replay
+    /// regression files): a constant-zero plateau stretched against a
+    /// one-element query must keep its L∞ distance.
+    #[test]
+    fn dtw_replication_regression_zero_plateau(_unused in 0u8..1) {
+        let s = [0.0, 0.0, 0.0];
+        let q = [1.0670075982143068];
+        let warped = [0.0, 0.0, 0.0, 0.0];
+        let orig = dtw(&s, &q, DtwKind::MaxAbs).distance;
+        let stretched = dtw(&warped, &q, DtwKind::MaxAbs).distance;
+        prop_assert!(
+            (orig - stretched).abs() < 1e-9,
+            "MaxAbs replication: {orig} vs {stretched}"
+        );
     }
 
     /// Min-max normalization lands in [0, 1]; PAA and moving averages stay

@@ -171,13 +171,7 @@ impl FastMap {
     /// `d(i,j)^2 - sum_{s<dim} (x_i,s - x_j,s)^2`, clamped at zero. The clamp
     /// is where non-metric inputs lose information — with DTW the raw value
     /// can go negative.
-    fn reduced_sq(
-        &mut self,
-        oracle: &dyn DistanceOracle,
-        i: usize,
-        j: usize,
-        dim: usize,
-    ) -> f64 {
+    fn reduced_sq(&mut self, oracle: &dyn DistanceOracle, i: usize, j: usize, dim: usize) -> f64 {
         self.distance_evaluations += 1;
         let d = oracle.distance(i, j);
         let mut sq = d * d;
@@ -315,13 +309,7 @@ mod tests {
 
     #[test]
     fn two_dimensions_approximate_plane_well() {
-        let pts = vec![
-            (0.0, 0.0),
-            (4.0, 0.0),
-            (0.0, 3.0),
-            (4.0, 3.0),
-            (2.0, 1.5),
-        ];
+        let pts = vec![(0.0, 0.0), (4.0, 0.0), (0.0, 3.0), (4.0, 3.0), (2.0, 1.5)];
         let oracle = euclid_oracle(pts.clone());
         let map = FastMap::fit(&oracle, 2, 11);
         let c = map.coordinates();

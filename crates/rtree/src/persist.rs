@@ -44,7 +44,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
             DecodeError::DimensionMismatch { stored, requested } => {
-                write!(f, "dimension mismatch: stored {stored}, requested {requested}")
+                write!(
+                    f,
+                    "dimension mismatch: stored {stored}, requested {requested}"
+                )
             }
             DecodeError::Truncated => write!(f, "buffer truncated"),
             DecodeError::DanglingChild(p) => write!(f, "dangling child page {p}"),

@@ -280,7 +280,10 @@ mod tests {
         let mut brute: Vec<(f64, DataId)> = (0..100u64)
             .map(|i| {
                 let p = Point::new([(i % 10) as f64, (i / 10) as f64]);
-                (((p.coord(0) - 4.6).powi(2) + (p.coord(1) - 4.6).powi(2)).sqrt(), i)
+                (
+                    ((p.coord(0) - 4.6).powi(2) + (p.coord(1) - 4.6).powi(2)).sqrt(),
+                    i,
+                )
             })
             .collect();
         brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());

@@ -67,8 +67,8 @@ fn pick_seeds_linear<const D: usize>(entries: &[Entry<D>]) -> (usize, usize) {
             continue;
         }
         let width = (hi - lo).max(f64::MIN_POSITIVE);
-        let sep = (entries[hi_low_idx].rect.min()[axis] - entries[lo_high_idx].rect.max()[axis])
-            / width;
+        let sep =
+            (entries[hi_low_idx].rect.min()[axis] - entries[lo_high_idx].rect.max()[axis]) / width;
         if sep > best_sep {
             best_sep = sep;
             best = (hi_low_idx.min(lo_high_idx), hi_low_idx.max(lo_high_idx));
@@ -209,8 +209,7 @@ fn rstar_split<const D: usize>(
                 let better = match &axis_best {
                     None => true,
                     Some((_, _, best_overlap, best_area)) => {
-                        overlap < *best_overlap
-                            || (overlap == *best_overlap && area < *best_area)
+                        overlap < *best_overlap || (overlap == *best_overlap && area < *best_area)
                     }
                 };
                 if better {

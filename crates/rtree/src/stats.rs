@@ -59,7 +59,11 @@ impl<const D: usize> RTree<D> {
         TreeQuality {
             leaves,
             internal,
-            leaf_utilization: if leaves == 0 { 0.0 } else { leaf_fill / leaves as f64 },
+            leaf_utilization: if leaves == 0 {
+                0.0
+            } else {
+                leaf_fill / leaves as f64
+            },
             sibling_overlap,
             total_margin,
         }

@@ -15,24 +15,21 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     /// The buffer ended before the declared record was complete.
-    Truncated {
-        needed: usize,
-        available: usize,
-    },
+    Truncated { needed: usize, available: usize },
     /// The declared element count is beyond any sane record size.
     LengthOverflow(u32),
     /// A decoded element was NaN, which the engines cannot order.
-    NanElement {
-        id: u64,
-        index: usize,
-    },
+    NanElement { id: u64, index: usize },
 }
 
 impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::Truncated { needed, available } => {
-                write!(f, "record truncated: needed {needed} bytes, had {available}")
+                write!(
+                    f,
+                    "record truncated: needed {needed} bytes, had {available}"
+                )
             }
             CodecError::LengthOverflow(n) => write!(f, "record length {n} exceeds limit"),
             CodecError::NanElement { id, index } => {

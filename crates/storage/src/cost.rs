@@ -56,7 +56,10 @@ impl DiskModel {
     pub fn random_reads(&self, n: u64) -> Duration {
         self.seek
             .saturating_mul(u32::try_from(n).unwrap_or(u32::MAX))
-            .saturating_add(self.transfer_time().saturating_mul(u32::try_from(n).unwrap_or(u32::MAX)))
+            .saturating_add(
+                self.transfer_time()
+                    .saturating_mul(u32::try_from(n).unwrap_or(u32::MAX)),
+            )
     }
 
     /// Cost of a sequential scan of `n` pages: one initial seek, then pure
@@ -65,8 +68,10 @@ impl DiskModel {
         if n == 0 {
             return Duration::ZERO;
         }
-        self.seek
-            .saturating_add(self.transfer_time().saturating_mul(u32::try_from(n).unwrap_or(u32::MAX)))
+        self.seek.saturating_add(
+            self.transfer_time()
+                .saturating_mul(u32::try_from(n).unwrap_or(u32::MAX)),
+        )
     }
 
     /// Models the elapsed time of a query given its I/O profile: one seek

@@ -84,7 +84,8 @@ impl Pager for MemPager {
     }
 
     fn allocate(&mut self) -> Result<u64, PagerError> {
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         Ok(self.pages.len() as u64 - 1)
     }
 

@@ -239,7 +239,7 @@ impl<P: Pager> SequenceStore<P> {
         let mut buf = BytesMut::new();
         let mut page_buf = vec![0u8; self.page_size];
         let mut next_page = 1u64; // page 0 is the header
-        let last_page = self.data_page(self.write_cursor.saturating_sub(1).max(0));
+        let last_page = self.data_page(self.write_cursor.saturating_sub(1));
         for (idx, entry) in self.directory.iter().enumerate() {
             let need = crate::codec::encoded_len(entry.len as usize);
             while buf.len() < need {
@@ -360,7 +360,11 @@ mod tests {
 
     fn sample(n: usize) -> Vec<Vec<f64>> {
         (0..n)
-            .map(|i| (0..(i % 40 + 1)).map(|j| (i * 100 + j) as f64 * 0.5).collect())
+            .map(|i| {
+                (0..(i % 40 + 1))
+                    .map(|j| (i * 100 + j) as f64 * 0.5)
+                    .collect()
+            })
             .collect()
     }
 
@@ -381,10 +385,7 @@ mod tests {
     #[test]
     fn get_unknown_id_errors() {
         let store = SequenceStore::in_memory();
-        assert!(matches!(
-            store.get(0),
-            Err(StoreError::UnknownSequence(0))
-        ));
+        assert!(matches!(store.get(0), Err(StoreError::UnknownSequence(0))));
     }
 
     #[test]
@@ -411,7 +412,9 @@ mod tests {
         }
         let materialized = store.scan().unwrap();
         let mut streamed = Vec::new();
-        store.scan_visit(|id, values| streamed.push((id, values))).unwrap();
+        store
+            .scan_visit(|id, values| streamed.push((id, values)))
+            .unwrap();
         assert_eq!(materialized, streamed);
         // Both account one sequential pass.
         let io = store.take_io();

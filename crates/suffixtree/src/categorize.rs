@@ -117,7 +117,10 @@ mod tests {
     use super::*;
 
     fn data() -> Vec<Vec<f64>> {
-        vec![vec![0.0, 1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]]
+        vec![
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        ]
     }
 
     #[test]
@@ -157,7 +160,10 @@ mod tests {
         assert_eq!(symbols.len(), 3);
         for (&v, &s) in seq.iter().zip(&symbols) {
             let (lo, hi) = c.range(s);
-            assert!(v >= lo && v <= hi, "value {v} outside range of category {s}");
+            assert!(
+                v >= lo && v <= hi,
+                "value {v} outside range of category {s}"
+            );
         }
     }
 
@@ -192,9 +198,10 @@ mod tests {
     #[test]
     fn equal_frequency_balances_counts() {
         // Skewed data: many small values, few large.
-        let skew = vec![(0..90).map(|i| i as f64 * 0.01).collect::<Vec<_>>(), vec![
-            50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
-        ]];
+        let skew = vec![
+            (0..90).map(|i| i as f64 * 0.01).collect::<Vec<_>>(),
+            vec![50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        ];
         let eq_w = Categorizer::fit(&skew, 4, CategoryMethod::EqualWidth);
         let eq_f = Categorizer::fit(&skew, 4, CategoryMethod::EqualFrequency);
         let count_in = |c: &Categorizer, cat: Symbol| {

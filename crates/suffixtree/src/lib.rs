@@ -33,7 +33,7 @@ mod persist;
 mod stfilter;
 mod ukkonen;
 
-pub use categorize::{CategoryMethod, Categorizer};
+pub use categorize::{Categorizer, CategoryMethod};
 pub use persist::DecodeError;
 pub use stfilter::{StFilter, SubsequenceCandidates, TraversalStats, WholeMatchCandidates};
 pub use ukkonen::{NodeIdx, SuffixRef, SuffixTree, Symbol};

@@ -84,10 +84,7 @@ impl SuffixTree {
             let node = self.node(idx);
             put(&mut out, node.start as u32);
             put(&mut out, node.end as u32);
-            put(
-                &mut out,
-                node.suffix_start.map_or(NO_SUFFIX, |s| s as u32),
-            );
+            put(&mut out, node.suffix_start.map_or(NO_SUFFIX, |s| s as u32));
             let mut children: Vec<(Symbol, usize)> =
                 node.children.iter().map(|(&s, &c)| (s, c)).collect();
             children.sort_unstable_by_key(|&(s, _)| s);
@@ -174,11 +171,7 @@ mod tests {
     const BASE: Symbol = 1 << 16;
 
     fn sample_strings() -> Vec<Vec<Symbol>> {
-        vec![
-            vec![1, 2, 3, 2, 3, 2],
-            vec![2, 1, 2, 2],
-            vec![0, 0, 0, 1],
-        ]
+        vec![vec![1, 2, 3, 2, 3, 2], vec![2, 1, 2, 2], vec![0, 0, 0, 1]]
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! offset 0); subsequence filtering accepts at any path position whose final
 //! DP cell is within tolerance.
 
-use crate::categorize::{CategoryMethod, Categorizer};
+use crate::categorize::{Categorizer, CategoryMethod};
 use crate::ukkonen::{NodeIdx, SuffixTree, Symbol};
 
 /// Default sentinel base: categories use symbols `0..k`, terminators start
@@ -326,7 +326,10 @@ mod tests {
         // 4 divides 64, so fine category ranges nest inside coarse ones:
         // the fine lower bound dominates and its candidate set is a subset.
         for id in &c_fine {
-            assert!(c_coarse.contains(id), "fine candidate {id} not in coarse set");
+            assert!(
+                c_coarse.contains(id),
+                "fine candidate {id} not in coarse set"
+            );
         }
         assert!(c_fine.len() <= c_coarse.len());
     }
@@ -402,7 +405,9 @@ mod tests {
             for end in (start + 1)..=s.len() {
                 if dtw_linf(&s[start..end], &query) <= eps {
                     assert!(
-                        res.windows.iter().any(|&(_, off, len)| off == start && len <= end - start),
+                        res.windows
+                            .iter()
+                            .any(|&(_, off, len)| off == start && len <= end - start),
                         "window [{start},{end}) dismissed; candidates {:?}",
                         res.windows
                     );

@@ -476,7 +476,10 @@ mod tests {
         for _ in 0..200 {
             let len = 1 + (next() % 6) as usize;
             let pattern: Vec<Symbol> = (0..len).map(|_| (next() % 5) as Symbol).collect();
-            assert_eq!(t.occurrences(&pattern), brute_occurrences(&strings, &pattern));
+            assert_eq!(
+                t.occurrences(&pattern),
+                brute_occurrences(&strings, &pattern)
+            );
         }
     }
 

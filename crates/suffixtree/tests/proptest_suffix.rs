@@ -74,6 +74,18 @@ proptest! {
         );
     }
 
+    /// Historical shrink from `proptest_suffix.proptest-regressions`,
+    /// promoted to a pinned case (the vendored proptest stand-in does not
+    /// replay regression files): the empty pattern against a single
+    /// one-symbol string must report exactly the non-empty suffix positions.
+    #[test]
+    fn occurrences_empty_pattern_regression(_unused in 0u8..1) {
+        let strings = vec![vec![0u32]];
+        let tree = SuffixTree::build(&strings, BASE);
+        prop_assert_eq!(tree.occurrences(&[]), brute_occurrences(&strings, &[]));
+        prop_assert!(tree.contains(&[]));
+    }
+
     /// Every substring of every input string is found (completeness).
     #[test]
     fn all_substrings_found(strings in strings_strategy()) {

@@ -141,7 +141,13 @@ mod tests {
 
     #[test]
     fn generators_deterministic() {
-        assert_eq!(cbf(CbfClass::Bell, 64, 0.3, 9), cbf(CbfClass::Bell, 64, 0.3, 9));
-        assert_eq!(periodic(64, 16.0, 1.0, 0.2, 4), periodic(64, 16.0, 1.0, 0.2, 4));
+        assert_eq!(
+            cbf(CbfClass::Bell, 64, 0.3, 9),
+            cbf(CbfClass::Bell, 64, 0.3, 9)
+        );
+        assert_eq!(
+            periodic(64, 16.0, 1.0, 0.2, 4),
+            periodic(64, 16.0, 1.0, 0.2, 4)
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn std_dev(seq: &[f64]) -> f64 {
 /// # Panics
 /// Panics when `data` is empty.
 pub fn generate(data: &[Vec<f64>], count: usize, seed: u64) -> Vec<Vec<f64>> {
-    assert!(!data.is_empty(), "cannot generate queries from an empty database");
+    assert!(
+        !data.is_empty(),
+        "cannot generate queries from an empty database"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {

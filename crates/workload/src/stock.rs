@@ -37,7 +37,10 @@ impl StockConfig {
 
 /// Generates stock-like price series.
 pub fn generate(config: &StockConfig, seed: u64) -> Vec<Vec<f64>> {
-    assert!(config.mean_len > config.len_jitter, "jitter exceeds mean length");
+    assert!(
+        config.mean_len > config.len_jitter,
+        "jitter exceeds mean length"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..config.count)
         .map(|_| generate_one(config, &mut rng))
@@ -105,8 +108,7 @@ mod tests {
     fn sp500_shape() {
         let data = generate(&StockConfig::sp500(), 7);
         assert_eq!(data.len(), 545);
-        let mean: f64 =
-            data.iter().map(|s| s.len() as f64).sum::<f64>() / data.len() as f64;
+        let mean: f64 = data.iter().map(|s| s.len() as f64).sum::<f64>() / data.len() as f64;
         assert!((mean - 231.0).abs() < 20.0, "mean length {mean}");
         // Lengths vary (cross-length DTW is exercised).
         let min = data.iter().map(|s| s.len()).min().unwrap();

@@ -26,7 +26,10 @@ fn main() {
     for s in &data {
         store.append(s).expect("append");
     }
-    println!("Clustering {} sequences into {K} groups under DTW-L\u{221e}.", data.len());
+    println!(
+        "Clustering {} sequences into {K} groups under DTW-L\u{221e}.",
+        data.len()
+    );
 
     // k-medoids (PAM-lite): seed with spread-out medoids, then alternate
     // assignment and medoid refresh until stable.
@@ -83,7 +86,12 @@ fn main() {
         let members: Vec<usize> = (0..data.len()).filter(|&i| assignment[i] == c).collect();
         let majority = classes
             .iter()
-            .map(|&class| (class, members.iter().filter(|&&m| labels[m] == class).count()))
+            .map(|&class| {
+                (
+                    class,
+                    members.iter().filter(|&&m| labels[m] == class).count(),
+                )
+            })
             .max_by_key(|&(_, n)| n)
             .expect("classes non-empty");
         correct += majority.1;

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release -p tw-examples --example quickstart`
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{NaiveScan, TwSimSearch};
+use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
 use tw_core::{dtw, lb_kim, Alignment};
 use tw_storage::{HardwareModel, SequenceStore};
 
@@ -19,11 +19,17 @@ fn main() {
         s.len(),
         q.len()
     );
-    println!("  D_tw-lb(S, Q) = {}  (the 4-tuple lower bound)\n", lb_kim(&s, &q));
+    println!(
+        "  D_tw-lb(S, Q) = {}  (the 4-tuple lower bound)\n",
+        lb_kim(&s, &q)
+    );
 
     // The alignment that realizes the distance: both sequences stretched
     // onto the common axis the paper's Section 1 illustrates.
-    println!("Optimal warping alignment:\n{}\n", Alignment::compute(&s, &q, DtwKind::MaxAbs).render());
+    println!(
+        "Optimal warping alignment:\n{}\n",
+        Alignment::compute(&s, &q, DtwKind::MaxAbs).render()
+    );
 
     // A small sequence database on 1 KB pages.
     let mut store = SequenceStore::in_memory();
@@ -50,8 +56,9 @@ fn main() {
 
     // Query: find everything within tolerance 0.5 of Q.
     let epsilon = 0.5;
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     let result = engine
-        .search(&store, &q, epsilon, DtwKind::MaxAbs)
+        .range_search(&store, &q, epsilon, &opts)
         .expect("query");
     println!("Query {q:?} with tolerance {epsilon}:");
     for m in &result.matches {
@@ -64,7 +71,9 @@ fn main() {
     }
 
     // The same answer a full scan would produce — guaranteed, not hoped.
-    let naive = NaiveScan::search(&store, &q, epsilon, DtwKind::MaxAbs).expect("scan");
+    let naive = NaiveScan
+        .range_search(&store, &q, epsilon, &opts)
+        .expect("scan");
     assert_eq!(result.ids(), naive.ids());
     println!("\nVerified against Naive-Scan: identical result sets (no false dismissal).");
 

@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p tw-examples --example sensor_monitor`
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{NaiveScan, TwSimSearch};
+use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
 use tw_storage::SequenceStore;
 use tw_workload::{cbf, CbfClass};
 
@@ -37,8 +37,9 @@ fn main() {
 
     let engine = TwSimSearch::build(&store).expect("build index");
     let epsilon = 1.6;
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     let result = engine
-        .search(&store, &template, epsilon, DtwKind::MaxAbs)
+        .range_search(&store, &template, epsilon, &opts)
         .expect("triage query");
 
     let flagged = result.ids();
@@ -64,7 +65,9 @@ fn main() {
     );
 
     // The guarantee: the index answer equals the exhaustive scan answer.
-    let naive = NaiveScan::search(&store, &template, epsilon, DtwKind::MaxAbs).expect("scan");
+    let naive = NaiveScan
+        .range_search(&store, &template, epsilon, &opts)
+        .expect("scan");
     assert_eq!(naive.ids(), flagged);
     println!(
         "\nIndex verified {} of {} channels ({} index nodes); the scan \

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p tw-examples --example stock_screening`
 
 use tw_core::distance::DtwKind;
-use tw_core::search::TwSimSearch;
+use tw_core::search::{EngineOpts, SearchEngine, TwSimSearch};
 use tw_storage::{HardwareModel, SequenceStore};
 use tw_workload::{generate_stocks, normalize_to_unit_range, StockConfig};
 
@@ -43,19 +43,25 @@ fn main() {
     // Tolerance screen: every series whose warped trajectory stays within
     // 0.15 normalized price units of the reference at every aligned point.
     let epsilon = 0.15;
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     let result = engine
-        .search(&store, &query, epsilon, DtwKind::MaxAbs)
+        .range_search(&store, &query, epsilon, &opts)
         .expect("screen");
-    println!("\nWithin tolerance {epsilon}: {} series", result.matches.len());
+    println!(
+        "\nWithin tolerance {epsilon}: {} series",
+        result.matches.len()
+    );
     for m in result.matches.iter().take(10) {
-        let status = if m.id == reference_id { " (the reference itself)" } else { "" };
+        let status = if m.id == reference_id {
+            " (the reference itself)"
+        } else {
+            ""
+        };
         println!("  series {:>3}  distance {:.4}{status}", m.id, m.distance);
     }
 
     // kNN screen: the 5 closest series regardless of tolerance.
-    let (neighbors, knn_stats) = engine
-        .knn(&store, &query, 5, DtwKind::MaxAbs)
-        .expect("knn");
+    let (neighbors, knn_stats) = engine.knn(&store, &query, 5, DtwKind::MaxAbs).expect("knn");
     println!("\nTop-5 nearest series under time warping:");
     for n in &neighbors {
         println!("  series {:>3}  distance {:.4}", n.id, n.distance);

@@ -50,9 +50,9 @@ fn main() {
     let mut sorted: Vec<&tw_core::SubsequenceMatch> = matches.iter().collect();
     sorted.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
     for m in sorted {
-        let overlaps = best.iter().any(|b| {
-            b.id == m.id && m.offset < b.offset + b.len && b.offset < m.offset + m.len
-        });
+        let overlaps = best
+            .iter()
+            .any(|b| b.id == m.id && m.offset < b.offset + b.len && b.offset < m.offset + m.len);
         if !overlaps {
             best.push(m);
         }

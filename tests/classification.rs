@@ -37,9 +37,7 @@ fn one_nn_dtw_classifies_cbf() {
     for i in 0..total {
         let truth = classes[i % 3];
         let query = cbf(truth, 96, 0.35, 10_000 + i as u64);
-        let (neighbors, _) = engine
-            .knn(&store, &query, 1, DtwKind::MaxAbs)
-            .expect("knn");
+        let (neighbors, _) = engine.knn(&store, &query, 1, DtwKind::MaxAbs).expect("knn");
         let predicted = labels[neighbors[0].id as usize];
         if predicted == truth {
             correct += 1;
@@ -90,9 +88,7 @@ fn knn_majority_vote_is_robust() {
     for i in 0..15 {
         let truth = [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel][i % 3];
         let query = cbf(truth, 80, 0.5, 5_000 + i as u64);
-        let (neighbors, _) = engine
-            .knn(&store, &query, 3, DtwKind::MaxAbs)
-            .expect("knn");
+        let (neighbors, _) = engine.knn(&store, &query, 3, DtwKind::MaxAbs).expect("knn");
         for n in &neighbors {
             total_neighbors += 1;
             if labels[n.id as usize] == truth {

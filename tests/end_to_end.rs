@@ -2,7 +2,7 @@
 //! pipeline behaving the way the paper's evaluation says it should.
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{LbScan, NaiveScan, StFilterSearch, TwSimSearch};
+use tw_core::search::{EngineOpts, LbScan, NaiveScan, SearchEngine, StFilterSearch, TwSimSearch};
 use tw_storage::{HardwareModel, MemPager, SequenceStore};
 use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
 
@@ -23,9 +23,10 @@ fn tw_sim_filters_better_than_lb_scan() {
     let tw = TwSimSearch::build(&store).expect("build");
     let queries = generate_queries(&data, 10, 22);
     let (mut tw_cands, mut lb_cands, mut matches) = (0usize, 0usize, 0usize);
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     for q in &queries {
-        let r1 = tw.search(&store, q, 0.1, DtwKind::MaxAbs).expect("tw");
-        let r2 = LbScan::search(&store, q, 0.1, DtwKind::MaxAbs).expect("lb");
+        let r1 = tw.range_search(&store, q, 0.1, &opts).expect("tw");
+        let r2 = LbScan.range_search(&store, q, 0.1, &opts).expect("lb");
         assert_eq!(r1.ids(), r2.ids());
         tw_cands += r1.stats.candidates;
         lb_cands += r2.stats.candidates;
@@ -51,9 +52,12 @@ fn modeled_speedup_grows_with_database_size() {
         let queries = generate_queries(&data, 5, 32);
         let mut tw_time = std::time::Duration::ZERO;
         let mut scan_time = std::time::Duration::ZERO;
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         for q in &queries {
-            let r1 = tw.search(&store, q, 0.05, DtwKind::MaxAbs).expect("tw");
-            let r2 = NaiveScan::search(&store, q, 0.05, DtwKind::MaxAbs).expect("naive");
+            let r1 = tw.range_search(&store, q, 0.05, &opts).expect("tw");
+            let r2 = NaiveScan
+                .range_search(&store, q, 0.05, &opts)
+                .expect("naive");
             tw_time += r1.stats.modeled_elapsed(&hw);
             scan_time += r2.stats.modeled_elapsed(&hw);
         }
@@ -82,9 +86,10 @@ fn candidate_ratio_shrinks_with_tolerance() {
     let queries = generate_queries(&data, 5, 42);
     let ratio_at = |eps: f64| {
         let mut cands = 0usize;
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         for q in &queries {
             cands += tw
-                .search(&store, q, eps, DtwKind::MaxAbs)
+                .range_search(&store, q, eps, &opts)
                 .expect("query")
                 .stats
                 .candidates;
@@ -129,20 +134,26 @@ fn incremental_growth_stays_exact() {
         tw.insert(s, id).expect("insert");
     }
     let queries = generate_queries(&extra, 5, 63);
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
     for q in &queries {
-        let idx = tw.search(&store, q, 0.15, DtwKind::MaxAbs).expect("tw");
-        let scan = NaiveScan::search(&store, q, 0.15, DtwKind::MaxAbs).expect("naive");
+        let idx = tw.range_search(&store, q, 0.15, &opts).expect("tw");
+        let scan = NaiveScan
+            .range_search(&store, q, 0.15, &opts)
+            .expect("naive");
         assert_eq!(idx.ids(), scan.ids());
     }
     // At least one query should match its perturbed source in the new batch.
     let any_new_match = queries.iter().any(|q| {
-        tw.search(&store, q, 0.15, DtwKind::MaxAbs)
+        tw.range_search(&store, q, 0.15, &opts)
             .expect("tw")
             .ids()
             .iter()
             .any(|&id| id >= initial.len() as u64)
     });
-    assert!(any_new_match, "no query matched the incrementally added data");
+    assert!(
+        any_new_match,
+        "no query matched the incrementally added data"
+    );
 }
 
 /// The stats surface adds up: scans pay sequential pages, the index pays
@@ -153,13 +164,16 @@ fn stats_accounting_is_coherent() {
     let store = store_with(&data);
     let tw = TwSimSearch::build(&store).expect("build");
     let q = generate_queries(&data, 1, 72).remove(0);
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
 
-    let scan = NaiveScan::search(&store, &q, 0.1, DtwKind::MaxAbs).expect("naive");
+    let scan = NaiveScan
+        .range_search(&store, &q, 0.1, &opts)
+        .expect("naive");
     assert_eq!(scan.stats.io.sequential_pages_scanned, store.data_pages());
     assert_eq!(scan.stats.io.random_page_reads, 0);
     assert_eq!(scan.stats.dtw_invocations as usize, data.len());
 
-    let idx = tw.search(&store, &q, 0.1, DtwKind::MaxAbs).expect("tw");
+    let idx = tw.range_search(&store, &q, 0.1, &opts).expect("tw");
     assert_eq!(idx.stats.io.sequential_pages_scanned, 0);
     assert_eq!(idx.stats.dtw_invocations as usize, idx.stats.candidates);
     assert!(idx.stats.index_node_accesses >= 1);

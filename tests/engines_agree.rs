@@ -1,14 +1,24 @@
-//! All four exact engines — Naive-Scan, LB-Scan, ST-Filter, TW-Sim-Search —
-//! plus the parallel scan return identical result sets on realistic
+//! Every exact engine — Naive-Scan, LB-Scan, ST-Filter, TW-Sim-Search and
+//! the hybrid router — returns an identical result set on realistic
 //! workloads (the paper's correctness claim, checked across data families).
+//!
+//! All engines run through the unified [`SearchEngine`] trait, and every
+//! workload is repeated at 1, 2 and 4 verification threads: the shared
+//! verification pipeline must be deterministic, so the thread count can
+//! never change a result set.
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{LbScan, NaiveScan, ParallelNaiveScan, StFilterSearch, TwSimSearch};
+use tw_core::search::{
+    EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, SearchEngine, StFilterSearch,
+    TwSimSearch,
+};
 use tw_storage::{MemPager, SequenceStore};
 use tw_workload::{
-    cbf_dataset, generate_queries, generate_random_walks, generate_stocks,
-    normalize_to_unit_range, RandomWalkConfig, StockConfig,
+    cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
+    RandomWalkConfig, StockConfig,
 };
+
+const VERIFY_THREADS: [usize; 3] = [1, 2, 4];
 
 fn store_with(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
     let mut store = SequenceStore::in_memory();
@@ -18,25 +28,44 @@ fn store_with(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
     store
 }
 
+/// Every engine with the exactness guarantee, as trait objects.
+fn exact_engines(store: &SequenceStore<MemPager>) -> Vec<Box<dyn SearchEngine<MemPager>>> {
+    vec![
+        Box::new(NaiveScan),
+        Box::new(LbScan),
+        Box::new(StFilterSearch::build(store).expect("build st-filter")),
+        Box::new(TwSimSearch::build(store).expect("build tw-sim")),
+        Box::new(HybridSearch::build(store).expect("build hybrid")),
+    ]
+}
+
 fn assert_all_engines_agree(data: &[Vec<f64>], queries: &[Vec<f64>], epsilons: &[f64]) {
     let store = store_with(data);
-    let tw = TwSimSearch::build(&store).expect("build tw-sim");
-    let st = StFilterSearch::build(&store).expect("build st-filter");
-    let par = ParallelNaiveScan::new(3);
+    let engines = exact_engines(&store);
     for kind in [DtwKind::MaxAbs, DtwKind::SumAbs] {
-        for &eps in epsilons {
-            for (qi, q) in queries.iter().enumerate() {
-                let reference = NaiveScan::search(&store, q, eps, kind)
-                    .expect("naive")
-                    .ids();
-                let lb = LbScan::search(&store, q, eps, kind).expect("lb").ids();
-                let sti = st.search(&store, q, eps, kind).expect("st").ids();
-                let twi = tw.search(&store, q, eps, kind).expect("tw").ids();
-                let pari = par.search(&store, q, eps, kind).expect("par").ids();
-                assert_eq!(reference, lb, "lb-scan: {kind:?} eps {eps} query {qi}");
-                assert_eq!(reference, sti, "st-filter: {kind:?} eps {eps} query {qi}");
-                assert_eq!(reference, twi, "tw-sim: {kind:?} eps {eps} query {qi}");
-                assert_eq!(reference, pari, "parallel: {kind:?} eps {eps} query {qi}");
+        for threads in VERIFY_THREADS {
+            let opts = EngineOpts::new().kind(kind).threads(threads);
+            for &eps in epsilons {
+                for (qi, q) in queries.iter().enumerate() {
+                    let reference = NaiveScan
+                        .range_search(&store, q, eps, &opts)
+                        .expect("naive")
+                        .ids();
+                    for engine in &engines {
+                        let ids = engine
+                            .range_search(&store, q, eps, &opts)
+                            .unwrap_or_else(|e| panic!("{} failed: {e:?}", engine.name()))
+                            .ids();
+                        // Identical — not merely equivalent — result sets:
+                        // no false dismissal and no false alarm, in one.
+                        assert_eq!(
+                            reference,
+                            ids,
+                            "{}: {kind:?} eps {eps} query {qi} threads {threads}",
+                            engine.name()
+                        );
+                    }
+                }
             }
         }
     }
@@ -82,11 +111,79 @@ fn engines_agree_with_mixed_lengths_and_duplicates() {
         vec![5.0],
         vec![5.0; 100],
         vec![1.0, 2.0, 3.0],
-        (0..200).map(|i| (i as f64 * 0.1).sin() * 3.0 + 5.0).collect(),
+        (0..200)
+            .map(|i| (i as f64 * 0.1).sin() * 3.0 + 5.0)
+            .collect(),
     ];
     data.extend(generate_random_walks(&RandomWalkConfig::paper(20, 15), 9));
     let queries = vec![vec![5.0, 5.0], vec![1.5, 2.5], data[4].clone()];
     assert_all_engines_agree(&data, &queries, &[0.0, 0.1, 1.0, 10.0]);
+}
+
+#[test]
+fn matches_and_work_are_thread_count_invariant() {
+    // Beyond the id sets: distances and the DTW cell count must not depend
+    // on how verification is sharded (early abandonment is per-candidate).
+    let data = generate_random_walks(&RandomWalkConfig::paper(80, 40), 17);
+    let store = store_with(&data);
+    let engines = exact_engines(&store);
+    let query = generate_queries(&data, 1, 18).remove(0);
+    for engine in &engines {
+        let baseline = engine
+            .range_search(&store, &query, 0.3, &EngineOpts::new())
+            .expect("threads=1");
+        for threads in [2usize, 4] {
+            let out = engine
+                .range_search(&store, &query, 0.3, &EngineOpts::new().threads(threads))
+                .expect("threaded");
+            for (a, b) in baseline.matches.iter().zip(&out.matches) {
+                assert_eq!(a.id, b.id, "{} threads {threads}", engine.name());
+                assert_eq!(
+                    a.distance,
+                    b.distance,
+                    "{} threads {threads}",
+                    engine.name()
+                );
+            }
+            assert_eq!(baseline.matches.len(), out.matches.len());
+            assert_eq!(
+                baseline.stats.dtw_cells,
+                out.stats.dtw_cells,
+                "{} threads {threads}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fastmap_stays_a_subset_at_every_thread_count() {
+    // The one approximate engine: never a false alarm, whatever the
+    // verification parallelism.
+    let data = generate_random_walks(&RandomWalkConfig::paper(40, 30), 21);
+    let store = store_with(&data);
+    let fastmap = FastMapSearch::build(&store, 2, DtwKind::MaxAbs, 7).expect("fit fastmap");
+    let queries = generate_queries(&data, 3, 22);
+    for threads in VERIFY_THREADS {
+        let opts = EngineOpts::new().threads(threads);
+        for q in &queries {
+            for eps in [0.05, 0.3, 2.0] {
+                let exact = NaiveScan
+                    .range_search(&store, q, eps, &opts)
+                    .expect("naive");
+                let approx = fastmap
+                    .range_search(&store, q, eps, &opts)
+                    .expect("fastmap");
+                let exact_ids = exact.ids();
+                for id in approx.ids() {
+                    assert!(
+                        exact_ids.contains(&id),
+                        "spurious {id} at threads {threads}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
@@ -101,7 +198,7 @@ fn knn_agrees_with_tolerance_search_boundary() {
     assert_eq!(neighbors.len(), 5);
     let radius = neighbors.last().unwrap().distance;
     let within = tw
-        .search(&store, &query, radius, DtwKind::MaxAbs)
+        .range_search(&store, &query, radius, &EngineOpts::new())
         .expect("range");
     assert!(within.matches.len() >= 5);
     for n in &neighbors {

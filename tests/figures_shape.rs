@@ -20,7 +20,14 @@ fn fig2_shape_filter_ordering() {
     let store = build_store(&data);
     let engines = Engines::build(&store, &Method::ALL);
     let queries = generate_queries(&data, 6, 2);
-    let outcome = run_batch(&store, &engines, &queries, 0.2, DtwKind::MaxAbs, &Method::ALL);
+    let outcome = run_batch(
+        &store,
+        &engines,
+        &queries,
+        0.2,
+        DtwKind::MaxAbs,
+        &Method::ALL,
+    );
 
     let ratio = |m: Method| outcome.get(m).unwrap().mean_candidate_ratio();
     let truth = ratio(Method::NaiveScan);
@@ -90,8 +97,18 @@ fn fig4_shape_index_flat_scans_linear() {
         let engines = Engines::build(&store, &methods);
         let queries = generate_queries(&data, 3, 4);
         let outcome = run_batch(&store, &engines, &queries, 0.1, DtwKind::MaxAbs, &methods);
-        scan_times.push(outcome.get(Method::NaiveScan).unwrap().mean_modeled_elapsed(&hw));
-        tw_times.push(outcome.get(Method::TwSimSearch).unwrap().mean_modeled_elapsed(&hw));
+        scan_times.push(
+            outcome
+                .get(Method::NaiveScan)
+                .unwrap()
+                .mean_modeled_elapsed(&hw),
+        );
+        tw_times.push(
+            outcome
+                .get(Method::TwSimSearch)
+                .unwrap()
+                .mean_modeled_elapsed(&hw),
+        );
     }
     // The scan grows ~16x over a 16x size range; allow generous slack.
     let scan_growth = scan_times[2].as_secs_f64() / scan_times[0].as_secs_f64();
@@ -116,8 +133,14 @@ fn fig5_shape_over_length() {
         let engines = Engines::build(&store, &methods);
         let queries = generate_queries(&data, 3, 6);
         let outcome = run_batch(&store, &engines, &queries, 0.1, DtwKind::MaxAbs, &methods);
-        let scan = outcome.get(Method::NaiveScan).unwrap().mean_modeled_elapsed(&hw);
-        let tw = outcome.get(Method::TwSimSearch).unwrap().mean_modeled_elapsed(&hw);
+        let scan = outcome
+            .get(Method::NaiveScan)
+            .unwrap()
+            .mean_modeled_elapsed(&hw);
+        let tw = outcome
+            .get(Method::TwSimSearch)
+            .unwrap()
+            .mean_modeled_elapsed(&hw);
         speedups.push(scan.as_secs_f64() / tw.as_secs_f64());
     }
     assert!(

@@ -13,7 +13,10 @@ fn record_codec_layout_is_pinned() {
     // record := id:u64le len:u32le values:[f64le]
     let bytes = encode_record_to_bytes(0x0102_0304_0506_0708, &[1.0]);
     assert_eq!(bytes.len(), 8 + 4 + 8);
-    assert_eq!(&bytes[..8], &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+    assert_eq!(
+        &bytes[..8],
+        &[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]
+    );
     assert_eq!(&bytes[8..12], &[1, 0, 0, 0]);
     assert_eq!(&bytes[12..20], &1.0f64.to_le_bytes());
 }

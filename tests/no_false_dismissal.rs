@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use tw_core::distance::{dtw, dtw_within, DtwKind};
-use tw_core::search::{NaiveScan, TwSimSearch};
+use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
 use tw_core::{lb_kim, lb_yi};
 use tw_storage::SequenceStore;
 
@@ -99,8 +99,9 @@ proptest! {
         }
         let engine = TwSimSearch::build(&store).expect("build");
         for kind in KINDS {
-            let naive = NaiveScan::search(&store, &q, eps, kind).expect("scan");
-            let idx = engine.search(&store, &q, eps, kind).expect("index search");
+            let opts = EngineOpts::new().kind(kind);
+            let naive = NaiveScan.range_search(&store, &q, eps, &opts).expect("scan");
+            let idx = engine.range_search(&store, &q, eps, &opts).expect("index search");
             prop_assert_eq!(naive.ids(), idx.ids(), "{:?} eps {}", kind, eps);
         }
     }
@@ -118,7 +119,9 @@ proptest! {
             store.append(s).expect("append");
         }
         let engine = TwSimSearch::build(&store).expect("build");
-        let res = engine.search(&store, &q, eps, DtwKind::MaxAbs).expect("search");
+        let res = engine
+            .range_search(&store, &q, eps, &EngineOpts::new().kind(DtwKind::MaxAbs))
+            .expect("search");
         prop_assert!(res.stats.candidates >= res.matches.len());
     }
 }

@@ -2,7 +2,7 @@
 //! through their on-disk formats and keep answering queries identically.
 
 use tw_core::distance::DtwKind;
-use tw_core::search::{NaiveScan, TwSimSearch};
+use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
 use tw_core::FeatureVector;
 use tw_rtree::RTree;
 use tw_storage::{FilePager, SequenceStore};
@@ -31,7 +31,8 @@ fn store_survives_reopen_and_queries_agree() {
         queries
             .iter()
             .map(|q| {
-                NaiveScan::search(&store, q, 0.1, DtwKind::MaxAbs)
+                NaiveScan
+                    .range_search(&store, q, 0.1, &EngineOpts::new().kind(DtwKind::MaxAbs))
                     .expect("scan")
                     .ids()
             })
@@ -46,7 +47,8 @@ fn store_survives_reopen_and_queries_agree() {
         assert_eq!(&store.get(i as u64).expect("get"), s);
     }
     for (q, expect) in queries.iter().zip(&reference) {
-        let ids = NaiveScan::search(&store, q, 0.1, DtwKind::MaxAbs)
+        let ids = NaiveScan
+            .range_search(&store, q, 0.1, &EngineOpts::new().kind(DtwKind::MaxAbs))
             .expect("scan")
             .ids();
         assert_eq!(&ids, expect);
@@ -111,7 +113,8 @@ fn full_pipeline_on_disk() {
     tree.assert_valid();
 
     for q in &queries {
-        let scan_ids = NaiveScan::search(&store, q, 0.1, DtwKind::MaxAbs)
+        let scan_ids = NaiveScan
+            .range_search(&store, q, 0.1, &EngineOpts::new().kind(DtwKind::MaxAbs))
             .expect("scan")
             .ids();
         // Reconstruct the filter+verify loop over the deserialized tree.

@@ -81,11 +81,9 @@ fn st_filter_subsequence_candidates_cover_truth() {
                 for end in (start + 1)..=s.len() {
                     if dtw(&s[start..end], &query, DtwKind::MaxAbs).distance <= eps {
                         assert!(
-                            res.windows
-                                .iter()
-                                .any(|&(sid, off, len)| sid == id
-                                    && off == start
-                                    && len <= end - start),
+                            res.windows.iter().any(|&(sid, off, len)| sid == id
+                                && off == start
+                                && len <= end - start),
                             "window ({id},{start},{end}) dismissed"
                         );
                     }
@@ -105,12 +103,9 @@ fn st_filter_and_window_index_agree_on_shared_universe() {
     let store = store_with(&data);
     let spec = WindowSpec::new(4, 10, 1, 1).expect("spec");
     let index = SubsequenceIndex::build(&store, spec).expect("build window index");
-    let st = StFilterSearch::build_with_categories(
-        &store,
-        40,
-        tw_suffix::CategoryMethod::EqualWidth,
-    )
-    .expect("build st-filter");
+    let st =
+        StFilterSearch::build_with_categories(&store, 40, tw_suffix::CategoryMethod::EqualWidth)
+            .expect("build st-filter");
 
     for base in data.iter().take(3) {
         let query = base[8..15].to_vec();

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io; this shim keeps the
+//! workspace's `[[bench]]` targets compiling and runnable. It implements the
+//! API subset the benches use — `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! plain wall-clock timer instead of criterion's statistical machinery.
+//! Numbers printed are means over a short calibrated run: fine for spotting
+//! order-of-magnitude regressions, not for publication.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Runs one benchmark body repeatedly and records the mean time.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a short calibrated run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run until ~50 ms or 10k iterations.
+        let budget = Duration::from_millis(50);
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < budget && iters < 10_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean = started.elapsed() / self.iters as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// calibration ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: 0,
+            mean: Duration::ZERO,
+        };
+        routine(&mut b);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), b.iters, b.mean);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut routine: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point matching `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        {
+            let mut group = BenchmarkGroup {
+                criterion: self,
+                name: name.to_string(),
+            };
+            group.bench_function("", routine);
+        }
+        self
+    }
+
+    fn report(&mut self, label: &str, iters: u64, mean: Duration) {
+        let label = label.trim_end_matches('/');
+        println!(
+            "{label:<60} {:>12.0} ns/iter ({iters} iters)",
+            mean.as_nanos() as f64
+        );
+    }
+}
+
+/// Declares a benchmark group function (simple `criterion_group!(name, fns…)`
+/// form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("g", 2), &3, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

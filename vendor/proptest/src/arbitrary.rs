@@ -1,0 +1,72 @@
+//! `any::<T>()` for the primitive types the workspace's tests generate.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::{Any, Strategy};
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Debug + Clone {
+    /// Draws one full-range value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range; avoids NaN/inf which
+        // upstream can emit but none of the workspace's properties expect.
+        let mag = rng.unit_f64() * 1e9;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::fn_seed;
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = TestRng::deterministic(fn_seed("any"), 0);
+        let bytes: Vec<u8> = (0..64).map(|_| u8::arbitrary(&mut rng)).collect();
+        assert!(bytes.iter().collect::<std::collections::HashSet<_>>().len() > 16);
+        let f = f64::arbitrary(&mut rng);
+        assert!(f.is_finite());
+    }
+}

@@ -1,0 +1,109 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_inclusive - self.lo + 1) as u64;
+        self.lo + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors of `element` values with lengths in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{fn_seed, TestRng};
+
+    #[test]
+    fn lengths_follow_size_range() {
+        let mut rng = TestRng::deterministic(fn_seed("vec_len"), 0);
+        let s = vec(0u8..10, 2..5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            seen[v.len() - 2] = true;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(seen.iter().all(|&b| b), "not all lengths in 2..5 produced");
+    }
+
+    #[test]
+    fn nested_vec_composes() {
+        let mut rng = TestRng::deterministic(fn_seed("vec_nested"), 0);
+        let s = vec(vec(0u8..3, 1..4), 2..=2);
+        let v = s.generate(&mut rng);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|inner| (1..4).contains(&inner.len())));
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let mut rng = TestRng::deterministic(fn_seed("vec_exact"), 0);
+        let s = vec(0.0f64..1.0, 7);
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the property-testing surface its test suites use: the [`Strategy`] trait
+//! over ranges / tuples / mapped values, [`collection::vec`],
+//! [`arbitrary::any`], weighted [`prop_oneof!`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **Deterministic cases, no shrinking.** Every case derives from a fixed
+//!   per-test seed, so failures reproduce on every run; the failing inputs
+//!   are printed verbatim instead of shrunk. `.proptest-regressions` files
+//!   are not read — regressions worth keeping are promoted to explicit
+//!   `#[test]`s.
+//! * **Strategies are generators only** (no value trees), which is all the
+//!   workspace's properties need.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the test files import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    // Upstream's prelude exposes the crate itself under the name `prop`
+    // (enabling `prop::collection::vec`).
+    pub use crate as prop;
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the upstream form used in this workspace: an optional leading
+/// `#![proptest_config(expr)]`, then any number of `#[test]` functions whose
+/// arguments bind `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __test_seed = $crate::test_runner::fn_seed(::std::stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic(__test_seed, __case as u64);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __outcome = {
+                        $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                        ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(move || { $body })
+                        )
+                    };
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        ::std::eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:",
+                            ::std::stringify!($name),
+                            __case,
+                            __config.cases
+                        );
+                        $(::std::eprintln!(
+                            "  {} = {:?}",
+                            ::std::stringify!($arg),
+                            $arg
+                        );)+
+                        ::std::panic::resume_unwind(__err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::prop_oneof![ $( 1 => $strat ),+ ]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Add(f64),
+        Drop(usize),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in -3.0f64..7.0,
+            n in 2usize..9,
+            m in 1u64..=4,
+        ) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((2..9).contains(&n));
+            prop_assert!((1..=4).contains(&m));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(0i32..5, 3..6),
+            w in prop::collection::vec(any::<u8>(), 4..=4),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            op in prop_oneof![
+                3 => (0.0f64..1.0).prop_map(Op::Add),
+                1 => (0usize..10).prop_map(Op::Drop),
+            ],
+            pair in (0u32..3, -1.0f64..1.0),
+        ) {
+            match op {
+                Op::Add(x) => prop_assert!((0.0..1.0).contains(&x)),
+                Op::Drop(n) => prop_assert!(n < 10),
+            }
+            prop_assert!(pair.0 < 3 && (-1.0..1.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(-1.0f64..1.0, 1..20);
+        let seed = crate::test_runner::fn_seed("x");
+        let a: Vec<Vec<f64>> = (0..10)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::deterministic(seed, c)))
+            .collect();
+        let b: Vec<Vec<f64>> = (0..10)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::deterministic(seed, c)))
+            .collect();
+        assert_eq!(a, b);
+        // Different cases see different data.
+        assert_ne!(a[0], a[1]);
+    }
+}

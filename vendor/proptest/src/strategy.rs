@@ -1,0 +1,228 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type. Unlike upstream proptest there is no value
+/// tree / shrinking — a strategy is just a deterministic generator.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value: Debug + Clone;
+
+    /// Produces one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug + Clone,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V: Debug + Clone> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug + Clone,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice among type-erased strategies; built by [`crate::prop_oneof!`].
+#[derive(Clone)]
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V: Debug + Clone> Union<V> {
+    /// A union over `arms`; each weight must be positive.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().all(|(w, _)| *w > 0),
+            "prop_oneof! weights must be positive"
+        );
+        Self { arms }
+    }
+}
+
+impl<V: Debug + Clone> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Strategy producing a constant value (`Just` in upstream proptest).
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: Debug + Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        debug_assert!(lo <= hi, "empty f64 range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident: $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Marker so `any::<T>()` can live in [`crate::arbitrary`] while its strategy
+/// type stays here.
+#[derive(Debug, Clone)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::fn_seed;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic(fn_seed("strategy_tests"), 0)
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut r = rng();
+        let mut seen_low = false;
+        for _ in 0..200 {
+            let v = (10u32..13).generate(&mut r);
+            assert!((10..13).contains(&v));
+            seen_low |= v == 10;
+            let f = (-2.0f64..=2.0).generate(&mut r);
+            assert!((-2.0..=2.0).contains(&f));
+            let i = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&i));
+        }
+        assert!(seen_low, "bounded sampling never hit the low end");
+    }
+
+    #[test]
+    fn union_honours_weights_roughly() {
+        let u = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let mut r = rng();
+        let hits = (0..1000).filter(|_| u.generate(&mut r)).count();
+        assert!(hits > 700, "expected ~900 true picks, saw {hits}");
+    }
+
+    #[test]
+    fn map_composes() {
+        let s = (1u8..5).prop_map(|x| x as u32 * 100);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v % 100 == 0 && (100..500).contains(&v));
+        }
+    }
+}
