@@ -46,6 +46,10 @@ pub enum Command {
         min_len: usize,
         max_len: usize,
     },
+    VerifyStore {
+        db: PathBuf,
+        index: Option<PathBuf>,
+    },
     Help,
 }
 
@@ -90,6 +94,7 @@ USAGE:
   twsearch bench    --db DB --eps E [--queries N] [--seed S]
   twsearch align    --db DB --a ID --b ID
   twsearch subseq   --db DB --eps E --values v1,v2,... [--min-len N] [--max-len N]
+  twsearch verify-store --db DB [--index INDEX]
   twsearch help";
 
 struct Flags {
@@ -257,6 +262,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 max_len,
             })
         }
+        "verify-store" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let index = flags.take("index").map(PathBuf::from);
+            flags.finish()?;
+            Ok(Command::VerifyStore { db, index })
+        }
         "align" => {
             let mut flags = Flags::parse(rest)?;
             let db = PathBuf::from(flags.require("db")?);
@@ -417,6 +429,23 @@ mod tests {
             }
         );
         assert!(parse(&argv("align --db d --a 3")).is_err());
+    }
+
+    #[test]
+    fn verify_store_parses() {
+        let cmd = parse(&argv("verify-store --db d --index i")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::VerifyStore {
+                db: "d".into(),
+                index: Some("i".into()),
+            }
+        );
+        assert!(matches!(
+            parse(&argv("verify-store --db d")).unwrap(),
+            Command::VerifyStore { index: None, .. }
+        ));
+        assert!(parse(&argv("verify-store")).is_err());
     }
 
     #[test]

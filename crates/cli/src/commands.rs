@@ -7,11 +7,14 @@ use std::path::Path;
 
 use tw_core::distance::DtwKind;
 use tw_core::search::{
-    EngineOpts, LbScan, NaiveScan, SearchEngine, SubsequenceIndex, TwSimSearch, WindowSpec,
+    EngineHealth, EngineOpts, LbScan, NaiveScan, ResilientSearch, SearchEngine, SubsequenceIndex,
+    TwSimSearch, WindowSpec,
 };
-use tw_core::FeatureVector;
-use tw_rtree::RTree;
-use tw_storage::{FilePager, HardwareModel, SequenceStore};
+use tw_rtree::{read_tree_file, RTree};
+use tw_storage::{
+    create_sequence_file, open_sequence_file, DynSequenceStore, HardwareModel, Pager, RecordFormat,
+    RecoveryReport,
+};
 use tw_workload::{
     cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
     RandomWalkConfig, StockConfig,
@@ -35,14 +38,28 @@ fn fail<E: std::fmt::Display>(context: &str) -> impl FnOnce(E) -> CliError + '_ 
     move |e| CliError(format!("{context}: {e}"))
 }
 
-fn open_store(db: &Path) -> Result<SequenceStore<FilePager>, CliError> {
-    let pager = FilePager::open(db, 1024).map_err(fail(&format!("open {}", db.display())))?;
-    SequenceStore::open(pager, 256).map_err(fail("read store"))
+/// Opens a store through the auto-sniffing protective stack: plain v1 files
+/// and checksummed v2 files both work, torn tails are recovered. The report
+/// says whether recovery had to drop anything.
+fn open_store(db: &Path) -> Result<(DynSequenceStore, RecoveryReport), CliError> {
+    open_sequence_file(db, 1024, 256).map_err(fail(&format!("open {}", db.display())))
+}
+
+/// Prints a one-line warning when opening had to discard a damaged tail.
+fn warn_recovery(report: &RecoveryReport, out: &mut dyn Write) -> Result<(), CliError> {
+    if !report.is_clean() {
+        writeln!(
+            out,
+            "warning: store tail was damaged; recovered {} of {} record(s)",
+            report.recovered_records, report.expected_records
+        )
+        .map_err(fail("write"))?;
+    }
+    Ok(())
 }
 
 fn load_index(path: &Path) -> Result<RTree<4>, CliError> {
-    let raw = std::fs::read(path).map_err(fail(&format!("read {}", path.display())))?;
-    RTree::from_bytes(raw.into()).map_err(fail("decode index"))
+    read_tree_file(path).map_err(fail(&format!("read index {}", path.display())))
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -82,7 +99,61 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
             min_len,
             max_len,
         } => subseq(&db, epsilon, &values, min_len, max_len, out),
+        Command::VerifyStore { db, index } => verify_store(&db, index.as_deref(), out),
     }
+}
+
+/// Full integrity sweep: open with recovery, decode every record (which
+/// re-verifies page and record checksums end to end), and — when given — the
+/// index file, reporting whether queries would degrade.
+fn verify_store(db: &Path, index: Option<&Path>, out: &mut dyn Write) -> Result<(), CliError> {
+    let (store, report) = open_store(db)?;
+    writeln!(out, "store        {}", db.display()).map_err(fail("write"))?;
+    let page_format = match store.page_format_version() {
+        2 => "v2 (per-page checksums)".to_string(),
+        v => format!("v{v} (plain pages)"),
+    };
+    writeln!(out, "page format  {page_format}").map_err(fail("write"))?;
+    let record_format = match store.record_format() {
+        RecordFormat::V2 => "v2 (per-record checksums)",
+        RecordFormat::V1 => "v1 (no checksums)",
+    };
+    writeln!(out, "records      {record_format}").map_err(fail("write"))?;
+    let mut decoded = 0u64;
+    store
+        .scan_visit(|_, _| decoded += 1)
+        .map_err(fail("decode sweep"))?;
+    if report.is_clean() {
+        writeln!(out, "integrity    OK: {decoded} record(s) decoded cleanly")
+            .map_err(fail("write"))?;
+    } else {
+        writeln!(
+            out,
+            "integrity    RECOVERED: {} of {} record(s) readable ({} lost to a damaged tail)",
+            report.recovered_records,
+            report.expected_records,
+            report.lost_records()
+        )
+        .map_err(fail("write"))?;
+    }
+    if let Some(index_path) = index {
+        match TwSimSearch::load_file(index_path, Some(store.len())) {
+            Ok(engine) => writeln!(
+                out,
+                "index        OK: {} entries, {} nodes, height {}",
+                engine.len(),
+                engine.tree().node_count(),
+                engine.tree().height()
+            )
+            .map_err(fail("write"))?,
+            Err(e) => writeln!(
+                out,
+                "index        UNUSABLE ({e}); queries will fall back to lb-scan"
+            )
+            .map_err(fail("write"))?,
+        }
+    }
+    Ok(())
 }
 
 fn subseq(
@@ -93,7 +164,7 @@ fn subseq(
     max_len: usize,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let store = open_store(db)?;
+    let (store, _) = open_store(db)?;
     let spec = WindowSpec::new(min_len, max_len, 2, 1).map_err(fail("window spec"))?;
     let index = SubsequenceIndex::build(&store, spec).map_err(fail("build window index"))?;
     let (matches, stats) = index
@@ -125,7 +196,7 @@ fn subseq(
 }
 
 fn align(db: &Path, a: u64, b: u64, out: &mut dyn Write) -> Result<(), CliError> {
-    let store = open_store(db)?;
+    let (store, _) = open_store(db)?;
     let sa = store.get(a).map_err(fail(&format!("load sequence {a}")))?;
     let sb = store.get(b).map_err(fail(&format!("load sequence {b}")))?;
     if sa.is_empty() || sb.is_empty() {
@@ -170,11 +241,23 @@ fn generate(
             .map(|(_, s)| s)
             .collect(),
     };
-    let pager =
-        FilePager::create(path, 1024).map_err(fail(&format!("create {}", path.display())))?;
-    let mut store = SequenceStore::create(pager, 256).map_err(fail("create store"))?;
-    for s in &data {
+    let mut store = create_sequence_file(path, 1024, 256)
+        .map_err(fail(&format!("create {}", path.display())))?;
+    // Crash-test hook: abort the process (no flush, no cleanup) after N
+    // appends, simulating a writer dying mid-ingest. Recovery on the next
+    // open must cope with whatever state the file was left in.
+    let crash_after: Option<usize> = std::env::var("TWSEARCH_CRASH_AFTER_APPENDS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    for (appended, s) in data.iter().enumerate() {
         store.append(s).map_err(fail("append"))?;
+        // Periodic flushes bound how much an interrupted ingest can lose.
+        if (appended + 1) % 1024 == 0 {
+            store.flush().map_err(fail("flush"))?;
+        }
+        if crash_after == Some(appended + 1) {
+            std::process::abort();
+        }
     }
     store.flush().map_err(fail("flush"))?;
     writeln!(
@@ -189,9 +272,10 @@ fn generate(
 }
 
 fn index(db: &Path, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
-    let store = open_store(db)?;
+    let (store, _) = open_store(db)?;
     let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
-    std::fs::write(path, engine.tree().to_bytes(1024))
+    engine
+        .save_file(path)
         .map_err(fail(&format!("write {}", path.display())))?;
     writeln!(
         out,
@@ -206,7 +290,8 @@ fn index(db: &Path, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn info(db: &Path, index: Option<&Path>, out: &mut dyn Write) -> Result<(), CliError> {
-    let store = open_store(db)?;
+    let (store, report) = open_store(db)?;
+    warn_recovery(&report, out)?;
     let lens: Vec<usize> = (0..store.len() as u64)
         .map(|id| store.sequence_len(id).unwrap_or(0))
         .collect();
@@ -253,7 +338,8 @@ fn query(
     knn: Option<usize>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let store = open_store(db)?;
+    let (store, report) = open_store(db)?;
+    warn_recovery(&report, out)?;
     let query_values = match source {
         QuerySource::Values(v) => v,
         QuerySource::FromId(id) => store
@@ -264,29 +350,22 @@ fn query(
         return Err(CliError("query sequence is empty".into()));
     }
 
-    // With an index file: Algorithm 1 over the deserialized tree. Without:
-    // honest sequential scan.
-    let matches = if let Some(index_path) = index {
-        let tree = load_index(index_path)?;
-        let point = FeatureVector::from_values(&query_values).as_point();
-        let mut found = Vec::new();
-        for id in tree.range_centered(&point, epsilon).ids {
-            let values = store.get(id).map_err(fail("read candidate"))?;
-            let d = tw_core::dtw(&values, &query_values, DtwKind::MaxAbs).distance;
-            if d <= epsilon {
-                found.push((id, d));
-            }
+    // With an index file: Algorithm 1 over the deserialized tree, degrading
+    // to the exact scan path if the index cannot be trusted. Without: honest
+    // sequential scan.
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    let matches: Vec<(u64, f64)> = if let Some(index_path) = index {
+        let engine = ResilientSearch::from_index_file(index_path, Some(store.len()));
+        let outcome = engine
+            .range_search(&store, &query_values, epsilon, &opts)
+            .map_err(fail("query"))?;
+        if let EngineHealth::Degraded { fallback, reason } = &outcome.health {
+            writeln!(out, "warning: degraded to {fallback}: {reason}").map_err(fail("write"))?;
         }
-        found.sort_by_key(|&(id, _)| id);
-        found
+        outcome.matches.iter().map(|m| (m.id, m.distance)).collect()
     } else {
         NaiveScan
-            .range_search(
-                &store,
-                &query_values,
-                epsilon,
-                &EngineOpts::new().kind(DtwKind::MaxAbs),
-            )
+            .range_search(&store, &query_values, epsilon, &opts)
             .map_err(fail("scan"))?
             .matches
             .iter()
@@ -324,7 +403,7 @@ fn bench(
     seed: u64,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let store = open_store(db)?;
+    let (store, _) = open_store(db)?;
     let data = store.scan().map_err(fail("scan"))?;
     let raw: Vec<Vec<f64>> = data.into_iter().map(|(_, v)| v).collect();
     if raw.is_empty() {
@@ -335,7 +414,7 @@ fn bench(
     let hw = HardwareModel::icde2001();
     let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
 
-    let engines: [&dyn SearchEngine<FilePager>; 3] = [&NaiveScan, &LbScan, &engine];
+    let engines: [&dyn SearchEngine<Box<dyn Pager>>; 3] = [&NaiveScan, &LbScan, &engine];
     for e in engines {
         let mut stats = tw_core::SearchStats::default();
         let mut matches = 0usize;
@@ -507,6 +586,70 @@ mod tests {
         let out = run_str(&format!("align --db {} --a 0 --b 1", db.display())).expect("align");
         assert!(out.contains("aligning sequence 0"));
         assert!(out.contains("distance ="));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_store_reports_health() {
+        let dir = temp("verify");
+        let db = dir.join("db.tws");
+        let idx = dir.join("db.rtree");
+        run_str(&format!(
+            "generate --kind walk --count 20 --len 16 --seed 1 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        run_str(&format!(
+            "index --db {} --out {}",
+            db.display(),
+            idx.display()
+        ))
+        .expect("index");
+
+        let ok = run_str(&format!(
+            "verify-store --db {} --index {}",
+            db.display(),
+            idx.display()
+        ))
+        .expect("verify");
+        assert!(ok.contains("integrity    OK"), "{ok}");
+        assert!(ok.contains("per-page checksums"), "{ok}");
+        assert!(ok.contains("index        OK"), "{ok}");
+
+        // Flip a bit in the index: verify-store flags it, the query answers
+        // anyway (degraded), and the answers equal the scan path's.
+        let mut raw = std::fs::read(&idx).expect("read idx");
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x04;
+        std::fs::write(&idx, raw).expect("write idx");
+
+        let bad = run_str(&format!(
+            "verify-store --db {} --index {}",
+            db.display(),
+            idx.display()
+        ))
+        .expect("verify corrupt");
+        assert!(bad.contains("index        UNUSABLE"), "{bad}");
+
+        let degraded = run_str(&format!(
+            "query --db {} --index {} --eps 0.4 --from-id 2",
+            db.display(),
+            idx.display()
+        ))
+        .expect("degraded query");
+        assert!(
+            degraded.contains("warning: degraded to lb-scan"),
+            "{degraded}"
+        );
+        let scan = run_str(&format!(
+            "query --db {} --eps 0.4 --from-id 2",
+            db.display()
+        ))
+        .expect("scan query");
+        // Same qualifying set below the warning line.
+        let degraded_body = degraded.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(degraded_body, scan.trim_end());
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,7 +8,6 @@
 
 use std::path::Path;
 
-use tw_rtree::RTree;
 use tw_storage::{FilePager, MemPager, Pager, SeqId, SequenceStore, StoreError};
 
 use crate::distance::DtwKind;
@@ -62,29 +61,33 @@ impl TimeWarpDatabase<FilePager> {
         })
     }
 
-    /// Flushes the store and writes the serialized index next to it.
+    /// Flushes the store and writes the serialized index next to it
+    /// (checksummed format, temp file + fsync + atomic rename: a crash
+    /// mid-save leaves the previous index intact).
     pub fn save_index<Q: AsRef<Path>>(&self, index_path: Q) -> Result<(), TwError> {
         self.store.flush()?;
-        std::fs::write(index_path, self.engine.tree().to_bytes(1024))
-            .map_err(|e| TwError::Storage(StoreError::Pager(tw_storage::PagerError::Io(e))))?;
-        Ok(())
+        self.engine.save_file(index_path)
     }
 
     /// Opens an on-disk database with a previously saved index instead of
     /// rebuilding it.
+    ///
+    /// The index is decoded with checksum verification, structurally
+    /// validated and checked against the store's cardinality; a failure on
+    /// any of those surfaces as [`TwError::Index`] or
+    /// [`TwError::CorruptIndex`] rather than an engine that silently drops
+    /// answers. Callers that prefer degradation over failure can use
+    /// [`crate::search::ResilientSearch::from_index_file`] instead.
     pub fn open_with_index<Q: AsRef<Path>, R: AsRef<Path>>(
         db_path: Q,
         index_path: R,
     ) -> Result<Self, TwError> {
         let pager = FilePager::open(db_path, 1024).map_err(StoreError::Pager)?;
         let store = SequenceStore::open(pager, 256)?;
-        let raw = std::fs::read(index_path)
-            .map_err(|e| TwError::Storage(StoreError::Pager(tw_storage::PagerError::Io(e))))?;
-        let tree: RTree<4> = RTree::from_bytes(raw.into())
-            .map_err(|_| TwError::Storage(StoreError::BadHeader("index file")))?;
+        let engine = TwSimSearch::load_file(index_path, Some(store.len()))?;
         Ok(Self {
             store,
-            engine: TwSimSearch::from_tree(tree),
+            engine,
             kind: DtwKind::MaxAbs,
         })
     }

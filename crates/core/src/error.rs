@@ -1,5 +1,6 @@
 //! Error type of the core library.
 
+use tw_rtree::PersistError;
 use tw_storage::StoreError;
 
 /// Errors surfaced by the tw-core public API.
@@ -18,6 +19,11 @@ pub enum TwError {
     UnknownSequence(u64),
     /// Subsequence window bounds were inconsistent.
     InvalidWindow { min_len: usize, max_len: usize },
+    /// The persisted R-tree index could not be read or decoded.
+    Index(PersistError),
+    /// The index decoded but failed validation against the store (structural
+    /// invariants or a size that contradicts the database).
+    CorruptIndex(String),
 }
 
 impl std::fmt::Display for TwError {
@@ -33,6 +39,8 @@ impl std::fmt::Display for TwError {
             TwError::InvalidWindow { min_len, max_len } => {
                 write!(f, "invalid window bounds [{min_len}, {max_len}]")
             }
+            TwError::Index(e) => write!(f, "index load failed: {e}"),
+            TwError::CorruptIndex(why) => write!(f, "index failed validation: {why}"),
         }
     }
 }
@@ -41,6 +49,7 @@ impl std::error::Error for TwError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TwError::Storage(e) => Some(e),
+            TwError::Index(e) => Some(e),
             _ => None,
         }
     }
@@ -49,6 +58,12 @@ impl std::error::Error for TwError {
 impl From<StoreError> for TwError {
     fn from(e: StoreError) -> Self {
         TwError::Storage(e)
+    }
+}
+
+impl From<PersistError> for TwError {
+    fn from(e: PersistError) -> Self {
+        TwError::Index(e)
     }
 }
 

@@ -102,6 +102,45 @@ impl Default for EngineOpts {
     }
 }
 
+/// How the engine that answered a query was operating.
+///
+/// Degradation is not failure: a [`crate::search::ResilientSearch`] that
+/// cannot trust its index answers through the scan path instead, which is
+/// still exact (the LB_Yi filter plus full verification preserves the
+/// paper's no-false-dismissal guarantee) — just slower. The health field is
+/// how that tradeoff is surfaced instead of being swallowed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// The engine ran its primary plan.
+    #[default]
+    Healthy,
+    /// The primary plan was unavailable; an exact fallback answered.
+    Degraded {
+        /// Name of the engine that actually answered (e.g. "lb-scan").
+        fallback: &'static str,
+        /// Why the primary plan was abandoned.
+        reason: String,
+    },
+}
+
+impl EngineHealth {
+    /// Whether a fallback answered instead of the primary plan.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, EngineHealth::Degraded { .. })
+    }
+}
+
+impl std::fmt::Display for EngineHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineHealth::Healthy => write!(f, "healthy"),
+            EngineHealth::Degraded { fallback, reason } => {
+                write!(f, "degraded to {fallback}: {reason}")
+            }
+        }
+    }
+}
+
 /// Everything one ε-range query produced.
 #[derive(Debug, Clone, Default)]
 pub struct SearchOutcome {
@@ -112,6 +151,8 @@ pub struct SearchOutcome {
     /// The continuation a planning engine executed; `None` for engines that
     /// never plan.
     pub plan: Option<HybridPlan>,
+    /// Whether the primary plan answered or an exact fallback did.
+    pub health: EngineHealth,
 }
 
 impl SearchOutcome {
@@ -135,6 +176,7 @@ impl From<SearchResult> for SearchOutcome {
             matches: result.matches,
             stats: result.stats,
             plan: None,
+            health: EngineHealth::Healthy,
         }
     }
 }
@@ -202,6 +244,7 @@ mod tests {
                 ..Default::default()
             },
             plan: Some(HybridPlan::IndexVerify),
+            health: EngineHealth::Healthy,
         };
         assert_eq!(outcome.ids(), vec![3]);
         let result = outcome.clone().into_result();
@@ -209,5 +252,18 @@ mod tests {
         let back: SearchOutcome = result.into();
         assert_eq!(back.plan, None);
         assert_eq!(back.stats.db_size, 10);
+        assert!(!back.health.is_degraded());
+    }
+
+    #[test]
+    fn health_default_and_display() {
+        assert_eq!(EngineHealth::default(), EngineHealth::Healthy);
+        let degraded = EngineHealth::Degraded {
+            fallback: "lb-scan",
+            reason: "index checksum mismatch".into(),
+        };
+        assert!(degraded.is_degraded());
+        let text = degraded.to_string();
+        assert!(text.contains("lb-scan") && text.contains("checksum"));
     }
 }

@@ -22,7 +22,8 @@ use tw_storage::{Pager, SeqId, SequenceStore};
 use crate::distance::{dtw, DtwKind};
 use crate::error::{validate_tolerance, TwError};
 use crate::search::{
-    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
+    SearchStats,
 };
 
 /// The approximate FastMap engine.
@@ -171,6 +172,7 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
             matches,
             stats,
             plan: None,
+            health: EngineHealth::Healthy,
         })
     }
 }

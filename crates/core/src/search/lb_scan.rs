@@ -14,7 +14,8 @@ use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::lower_bound::lb_yi;
 use crate::search::{
-    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
+    SearchStats,
 };
 
 /// The lower-bound-filtered sequential scan.
@@ -82,6 +83,7 @@ impl<P: Pager> SearchEngine<P> for LbScan {
             matches,
             stats,
             plan: None,
+            health: EngineHealth::Healthy,
         })
     }
 }

@@ -14,18 +14,20 @@ mod knn;
 mod lb_scan;
 mod naive_scan;
 mod parallel;
+mod resilient;
 mod st_filter;
 mod subsequence;
 mod tw_sim_search;
 mod verify;
 
-pub use engine::{EngineOpts, SearchEngine, SearchOutcome};
+pub use engine::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome};
 pub use fastmap_search::{false_dismissals, FastMapSearch};
 pub use hybrid::{HybridPlan, HybridSearch};
 pub use knn::KnnMatch;
 pub use lb_scan::LbScan;
 pub use naive_scan::NaiveScan;
 pub use parallel::{parallel_query_batch, ParallelNaiveScan};
+pub use resilient::ResilientSearch;
 pub use st_filter::StFilterSearch;
 pub use subsequence::{SubsequenceIndex, SubsequenceMatch, WindowSpec};
 pub use tw_sim_search::{TwSimSearch, VerifyMode};

@@ -12,7 +12,8 @@ use tw_storage::{Pager, SequenceStore};
 use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::search::{
-    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
+    SearchStats,
 };
 
 /// The sequential-scan baseline.
@@ -67,6 +68,7 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
             matches,
             stats,
             plan: None,
+            health: EngineHealth::Healthy,
         })
     }
 }

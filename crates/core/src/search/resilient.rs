@@ -1,0 +1,248 @@
+//! Graceful degradation: TW-Sim-Search when the index is trustworthy,
+//! LB-Scan when it is not.
+//!
+//! The index is an accelerator, not the source of truth — every sequence the
+//! paper's Algorithm 1 can return is also found by the LB-Scan path (both
+//! filter with a lower bound that satisfies Corollary 1 and verify with the
+//! exact distance). So when the index file is missing, corrupt, stale, or the
+//! store throws a mid-query error on a candidate read, the right move is not
+//! to fail the query but to answer through the sequential path and *say so*:
+//! the [`SearchOutcome::health`] field carries
+//! [`EngineHealth::Degraded`] with the fallback engine's name and the reason.
+//!
+//! Errors that would equally fail the scan path (empty query, invalid
+//! tolerance) are propagated, not masked.
+
+use std::path::Path;
+
+use tw_storage::{Pager, SequenceStore};
+
+use crate::error::TwError;
+use crate::search::{EngineHealth, EngineOpts, LbScan, SearchEngine, SearchOutcome, TwSimSearch};
+
+/// An engine that prefers the index and survives without it.
+#[derive(Debug, Clone)]
+pub struct ResilientSearch {
+    primary: Option<TwSimSearch>,
+    /// Why `primary` is absent (set when the index failed to load).
+    offline_reason: Option<String>,
+}
+
+impl ResilientSearch {
+    /// Wraps a healthy index-based engine.
+    pub fn new(engine: TwSimSearch) -> Self {
+        Self {
+            primary: Some(engine),
+            offline_reason: None,
+        }
+    }
+
+    /// Loads the index from `path`, degrading instead of failing.
+    ///
+    /// Decode errors, checksum mismatches, structural violations and a
+    /// cardinality that contradicts `expected_len` (see
+    /// [`TwSimSearch::load_file`]) all produce an engine that answers every
+    /// query through LB-Scan and reports why.
+    pub fn from_index_file<Q: AsRef<Path>>(path: Q, expected_len: Option<usize>) -> Self {
+        match TwSimSearch::load_file(path, expected_len) {
+            Ok(engine) => Self::new(engine),
+            Err(e) => Self {
+                primary: None,
+                offline_reason: Some(e.to_string()),
+            },
+        }
+    }
+
+    /// Whether the index is unavailable and every query will fall back.
+    pub fn is_index_offline(&self) -> bool {
+        self.primary.is_none()
+    }
+
+    /// Why the index is offline, if it is.
+    pub fn offline_reason(&self) -> Option<&str> {
+        self.offline_reason.as_deref()
+    }
+
+    /// The wrapped index engine, when it loaded.
+    pub fn primary(&self) -> Option<&TwSimSearch> {
+        self.primary.as_ref()
+    }
+
+    /// Whether `err` is the kind of failure the scan path can route around:
+    /// damage to stored state, not a malformed query.
+    fn recoverable(err: &TwError) -> bool {
+        matches!(
+            err,
+            TwError::Storage(_)
+                | TwError::UnknownSequence(_)
+                | TwError::Index(_)
+                | TwError::CorruptIndex(_)
+        )
+    }
+
+    fn fall_back<P: Pager>(
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+        reason: String,
+    ) -> Result<SearchOutcome, TwError> {
+        let mut outcome = LbScan.range_search(store, query, epsilon, opts)?;
+        outcome.health = EngineHealth::Degraded {
+            fallback: "lb-scan",
+            reason,
+        };
+        Ok(outcome)
+    }
+}
+
+impl<P: Pager> SearchEngine<P> for ResilientSearch {
+    fn name(&self) -> &str {
+        "resilient-search"
+    }
+
+    fn range_search(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SearchOutcome, TwError> {
+        let Some(primary) = &self.primary else {
+            let reason = self
+                .offline_reason
+                .clone()
+                .unwrap_or_else(|| "index offline".to_string());
+            return Self::fall_back(store, query, epsilon, opts, reason);
+        };
+        match primary.range_search(store, query, epsilon, opts) {
+            Ok(outcome) => Ok(outcome),
+            Err(err) if Self::recoverable(&err) => {
+                let reason = format!("index path failed: {err}");
+                // If the store itself is unreadable the scan fails too; the
+                // original error explains more than the scan's would.
+                Self::fall_back(store, query, epsilon, opts, reason).map_err(|_| err)
+            }
+            Err(err) => Err(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DtwKind;
+    use tw_storage::{MemPager, SequenceStore};
+
+    fn store_with(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
+        let mut store = SequenceStore::in_memory();
+        for s in data {
+            store.append(s).unwrap();
+        }
+        store
+    }
+
+    fn db() -> Vec<Vec<f64>> {
+        vec![
+            vec![20.0, 21.0, 21.0, 20.0, 23.0],
+            vec![20.0, 20.0, 21.0, 20.0, 23.0, 23.0],
+            vec![5.0, 6.0, 7.0],
+            vec![19.5, 21.5, 20.5, 23.5],
+        ]
+    }
+
+    #[test]
+    fn healthy_engine_answers_through_the_index() {
+        let store = store_with(&db());
+        let engine = ResilientSearch::new(TwSimSearch::build(&store).unwrap());
+        assert!(!engine.is_index_offline());
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let out = engine
+            .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, &opts)
+            .unwrap();
+        assert_eq!(out.ids(), vec![0, 1, 3]);
+        assert!(!out.health.is_degraded());
+        // The index path leaves its fingerprint: node accesses, no scan.
+        assert!(out.stats.index_node_accesses > 0);
+        assert_eq!(out.stats.io.sequential_pages_scanned, 0);
+    }
+
+    #[test]
+    fn missing_index_file_degrades_with_exact_answers() {
+        let store = store_with(&db());
+        let engine = ResilientSearch::from_index_file("/nonexistent/path.rtree", None);
+        assert!(engine.is_index_offline());
+        assert!(engine.offline_reason().is_some());
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let out = engine
+            .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, &opts)
+            .unwrap();
+        // Exactly the qualifying set, through the scan path.
+        assert_eq!(out.ids(), vec![0, 1, 3]);
+        assert!(out.health.is_degraded());
+        assert!(out.stats.io.sequential_pages_scanned > 0);
+    }
+
+    #[test]
+    fn stale_index_cardinality_is_rejected_and_routed_around() {
+        let dir = std::env::temp_dir().join(format!("tw-resilient-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let idx = dir.join("stale.rtree");
+
+        // Index three sequences, then grow the store to four: the saved
+        // index silently misses the new sequence.
+        let store = store_with(&db());
+        let small = store_with(&db()[..3]);
+        TwSimSearch::build(&small).unwrap().save_file(&idx).unwrap();
+
+        let strict = ResilientSearch::from_index_file(&idx, Some(store.len()));
+        assert!(strict.is_index_offline());
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let out = strict
+            .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, &opts)
+            .unwrap();
+        // Sequence 3 qualifies and is missing from the stale index; the
+        // fallback still finds it — no false dismissal.
+        assert_eq!(out.ids(), vec![0, 1, 3]);
+        assert!(out.health.is_degraded());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_index_file_degrades() {
+        let dir = std::env::temp_dir().join(format!("tw-resilient-c-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let idx = dir.join("corrupt.rtree");
+
+        let store = store_with(&db());
+        TwSimSearch::build(&store).unwrap().save_file(&idx).unwrap();
+        // Flip one bit in the middle of the file.
+        let mut raw = std::fs::read(&idx).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        std::fs::write(&idx, raw).unwrap();
+
+        let engine = ResilientSearch::from_index_file(&idx, Some(store.len()));
+        assert!(engine.is_index_offline());
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let out = engine
+            .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, &opts)
+            .unwrap();
+        assert_eq!(out.ids(), vec![0, 1, 3]);
+        assert!(out.health.is_degraded());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_validation_errors_are_not_masked() {
+        let store = store_with(&db());
+        let engine = ResilientSearch::from_index_file("/nonexistent/path.rtree", None);
+        let opts = EngineOpts::new();
+        assert!(matches!(
+            engine.range_search(&store, &[1.0], -1.0, &opts),
+            Err(TwError::InvalidTolerance(_))
+        ));
+    }
+}

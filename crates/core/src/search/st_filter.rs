@@ -19,8 +19,8 @@ use tw_suffix::{CategoryMethod, StFilter};
 use crate::distance::{dtw_within, DtwKind};
 use crate::error::{validate_tolerance, TwError};
 use crate::search::{
-    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
-    SubsequenceMatch,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
+    SearchStats, SubsequenceMatch,
 };
 
 /// The suffix-tree baseline engine.
@@ -191,6 +191,7 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
             matches,
             stats,
             plan: None,
+            health: EngineHealth::Healthy,
         })
     }
 }

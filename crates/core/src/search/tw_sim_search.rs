@@ -12,16 +12,18 @@
 //! 3. read each candidate sequence and verify with the exact (early-
 //!    abandoned) time-warping distance.
 
+use std::path::Path;
 use std::time::Instant;
 
-use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
+use tw_rtree::{read_tree_file, write_tree_file, Point, RTree, RTreeConfig, SplitAlgorithm};
 use tw_storage::{Pager, SeqId, SequenceStore};
 
 use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
 use crate::search::{
-    verify_candidates, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
+    SearchStats,
 };
 
 /// How TW-Sim-Search verifies candidates after the index filter.
@@ -81,6 +83,50 @@ impl TwSimSearch {
     /// Wraps an already-built (e.g. deserialized) tree as an engine.
     pub fn from_tree(tree: RTree<4>) -> Self {
         Self { tree }
+    }
+
+    /// Persists the index crash-safely (temp file + fsync + atomic rename,
+    /// checksummed TWR2 format).
+    pub fn save_file<Q: AsRef<Path>>(&self, path: Q) -> Result<(), TwError> {
+        write_tree_file(path, &self.tree, 1024)?;
+        Ok(())
+    }
+
+    /// Loads a persisted index, refusing to serve from one that cannot be
+    /// trusted.
+    ///
+    /// Three gates, in order:
+    /// 1. decode — I/O failures, bad magic and per-page checksum mismatches
+    ///    surface as [`TwError::Index`];
+    /// 2. structural validation — MBR containment, entry fan-out and level
+    ///    invariants ([`RTree::validate`]) must hold, else
+    ///    [`TwError::CorruptIndex`];
+    /// 3. cardinality — if the caller knows how many sequences the store
+    ///    holds, an index of any other size is stale or damaged. Serving from
+    ///    it could silently drop qualifying sequences, which would break the
+    ///    no-false-dismissal guarantee — so it is rejected here.
+    pub fn load_file<Q: AsRef<Path>>(
+        path: Q,
+        expected_len: Option<usize>,
+    ) -> Result<Self, TwError> {
+        let tree: RTree<4> = read_tree_file(path)?;
+        let violations = tree.validate();
+        if !violations.is_empty() {
+            return Err(TwError::CorruptIndex(format!(
+                "{} structural violation(s), first: {:?}",
+                violations.len(),
+                violations[0]
+            )));
+        }
+        if let Some(expected) = expected_len {
+            if tree.len() != expected {
+                return Err(TwError::CorruptIndex(format!(
+                    "index covers {} sequences but the store holds {expected}",
+                    tree.len()
+                )));
+            }
+        }
+        Ok(Self { tree })
     }
 
     /// Inserts one sequence's feature vector (index maintenance, §4.3.1).
@@ -203,6 +249,7 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
             matches,
             stats,
             plan: None,
+            health: EngineHealth::Healthy,
         })
     }
 }

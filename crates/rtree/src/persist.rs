@@ -12,6 +12,16 @@
 //!
 //! Internal-node payloads store the child page number; leaf payloads store the
 //! data id. A small file header carries the tree metadata.
+//!
+//! Two file generations exist. "TWR1" is the legacy unchecksummed layout
+//! (40-byte header, then pages); it is still decoded for old index files.
+//! "TWR2" is what [`RTree::to_bytes`] writes: the same header extended with
+//! a header CRC (44 bytes), a per-page CRC-32 table, then the pages — so a
+//! flipped bit anywhere in a persisted index is a typed decode error, never
+//! a silently wrong tree. Both decoders finish with a structural walk that
+//! rejects dangling, cyclic or level-inconsistent child references.
+
+use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -21,8 +31,13 @@ use crate::page::NODE_HEADER_BYTES;
 use crate::split::SplitAlgorithm;
 use crate::tree::{RTree, RTreeConfig};
 
-/// Magic marking a serialized tree ("TWR1").
+/// Magic marking a legacy serialized tree ("TWR1").
 const MAGIC: u32 = 0x5457_5231;
+/// Magic marking a checksummed serialized tree ("TWR2").
+const MAGIC_V2: u32 = 0x5457_5232;
+
+const HEADER_V1_BYTES: usize = 8 * 4 + 8;
+const HEADER_V2_BYTES: usize = HEADER_V1_BYTES + 4;
 
 /// Errors produced while decoding a serialized tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +50,15 @@ pub enum DecodeError {
     Truncated,
     /// A node referenced a page number beyond the page table.
     DanglingChild(u32),
+    /// A page is referenced by more than one parent or reachable from
+    /// itself — following children would revisit it, so the structure is
+    /// not a tree.
+    CyclicChild(u32),
+    /// A stored checksum does not match the bytes it covers.
+    ChecksumMismatch {
+        /// Damaged page, or `u32::MAX` when the file header itself failed.
+        page: u32,
+    },
     /// Structural field held an impossible value.
     Corrupt(&'static str),
 }
@@ -51,12 +75,128 @@ impl std::fmt::Display for DecodeError {
             }
             DecodeError::Truncated => write!(f, "buffer truncated"),
             DecodeError::DanglingChild(p) => write!(f, "dangling child page {p}"),
+            DecodeError::CyclicChild(p) => {
+                write!(
+                    f,
+                    "page {p} referenced more than once (cycle or shared child)"
+                )
+            }
+            DecodeError::ChecksumMismatch { page } => {
+                if *page == u32::MAX {
+                    write!(f, "file header checksum mismatch")
+                } else {
+                    write!(f, "page {page} checksum mismatch")
+                }
+            }
             DecodeError::Corrupt(what) => write!(f, "corrupt field: {what}"),
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// Errors from the file-level helpers ([`write_tree_file`] /
+/// [`read_tree_file`]): either the bytes were bad or the I/O failed.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index file I/O error: {e}"),
+            PersistError::Decode(e) => write!(f, "index file decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        PersistError::Decode(e)
+    }
+}
+
+/// CRC-32 (IEEE, reflected) — same polynomial as `tw_storage::crc32`,
+/// duplicated here because the rtree crate stands alone (no storage dep).
+fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            t[i] = crc;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Atomically replaces `path` with the serialized tree: write to a
+/// temporary sibling, fsync it, rename over the target, fsync the
+/// directory. A crash at any point leaves either the old complete file or
+/// the new complete file — never a torn mix.
+pub fn write_tree_file<P: AsRef<Path>, const D: usize>(
+    path: P,
+    tree: &RTree<D>,
+    page_size: usize,
+) -> Result<(), PersistError> {
+    use std::io::Write;
+    let path = path.as_ref();
+    let bytes = tree.to_bytes(page_size);
+    let tmp = path.with_extension("tmp-new");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Durability of the rename itself needs the directory synced; best
+    // effort — some filesystems refuse to open directories for writing.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and decodes a tree file written by [`write_tree_file`].
+pub fn read_tree_file<P: AsRef<Path>, const D: usize>(path: P) -> Result<RTree<D>, PersistError> {
+    let raw = std::fs::read(path)?;
+    Ok(RTree::from_bytes(Bytes::from(raw))?)
+}
 
 impl<const D: usize> RTree<D> {
     /// Serializes the tree into a contiguous byte buffer of fixed-size pages.
@@ -89,10 +229,13 @@ impl<const D: usize> RTree<D> {
         );
 
         // File header: magic, dim, page_size, page_count, root page, max
-        // entries, min entries, split tag (u32 each), then len (u64) = 40 B.
-        let header_len = 8 * 4 + 8;
-        let mut buf = BytesMut::with_capacity(header_len + order.len() * page_size);
-        buf.put_u32_le(MAGIC);
+        // entries, min entries, split tag (u32 each), then len (u64) = 40 B,
+        // then the header CRC = 44 B. A per-page CRC table follows, then the
+        // pages themselves.
+        let crc_table_len = order.len() * 4;
+        let mut buf =
+            BytesMut::with_capacity(HEADER_V2_BYTES + crc_table_len + order.len() * page_size);
+        buf.put_u32_le(MAGIC_V2);
         buf.put_u32_le(D as u32);
         buf.put_u32_le(page_size as u32);
         buf.put_u32_le(order.len() as u32);
@@ -101,8 +244,13 @@ impl<const D: usize> RTree<D> {
         buf.put_u32_le(self.config.min_entries as u32);
         buf.put_u32_le(split_tag(self.config.split));
         buf.put_u64_le(self.len() as u64);
+        let header_crc = crc32(&buf[..HEADER_V1_BYTES]);
+        buf.put_u32_le(header_crc);
+        // Reserve the CRC table; filled in after the pages are rendered.
+        let table_start = buf.len();
+        buf.resize(table_start + crc_table_len, 0);
 
-        for &id in &order {
+        for (i, &id) in order.iter().enumerate() {
             let node = self.node(id);
             let page_start = buf.len();
             buf.put_u32_le(node.level);
@@ -121,20 +269,25 @@ impl<const D: usize> RTree<D> {
                 buf.put_u64_le(payload);
             }
             buf.resize(page_start + page_size, 0);
+            let crc = crc32(&buf[page_start..page_start + page_size]);
+            buf[table_start + 4 * i..table_start + 4 * i + 4].copy_from_slice(&crc.to_le_bytes());
         }
         buf.freeze()
     }
 
-    /// Reconstructs a tree from [`RTree::to_bytes`] output.
+    /// Reconstructs a tree from [`RTree::to_bytes`] output ("TWR2") or from
+    /// a legacy unchecksummed "TWR1" file.
     pub fn from_bytes(mut buf: Bytes) -> Result<Self, DecodeError> {
-        const FILE_HEADER_BYTES: usize = 8 * 4 + 8; // eight u32 fields + u64 len
-        if buf.remaining() < FILE_HEADER_BYTES {
+        if buf.remaining() < HEADER_V1_BYTES {
             return Err(DecodeError::Truncated);
         }
+        let header_raw = buf.clone();
         let magic = buf.get_u32_le();
-        if magic != MAGIC {
-            return Err(DecodeError::BadMagic(magic));
-        }
+        let checksummed = match magic {
+            MAGIC => false,
+            MAGIC_V2 => true,
+            other => return Err(DecodeError::BadMagic(other)),
+        };
         let dim = buf.get_u32_le();
         if dim as usize != D {
             return Err(DecodeError::DimensionMismatch {
@@ -150,6 +303,25 @@ impl<const D: usize> RTree<D> {
         let split = split_from_tag(buf.get_u32_le()).ok_or(DecodeError::Corrupt("split tag"))?;
         let len = buf.get_u64_le() as usize;
 
+        // The v2 header carries its own CRC plus a per-page CRC table.
+        let mut page_crcs: Vec<u32> = Vec::new();
+        if checksummed {
+            if buf.remaining() < 4 {
+                return Err(DecodeError::Truncated);
+            }
+            let stored = buf.get_u32_le();
+            if stored != crc32(&header_raw[..HEADER_V1_BYTES]) {
+                return Err(DecodeError::ChecksumMismatch { page: u32::MAX });
+            }
+            if buf.remaining() < page_count * 4 {
+                return Err(DecodeError::Truncated);
+            }
+            page_crcs.reserve(page_count);
+            for _ in 0..page_count {
+                page_crcs.push(buf.get_u32_le());
+            }
+        }
+
         if root_page as usize >= page_count.max(1) {
             return Err(DecodeError::DanglingChild(root_page));
         }
@@ -158,8 +330,17 @@ impl<const D: usize> RTree<D> {
         }
 
         let mut nodes = Vec::with_capacity(page_count);
-        for _ in 0..page_count {
+        let mut crc_iter = page_crcs.iter();
+        for page_no in 0..page_count {
             let mut page = buf.split_to(page_size);
+            // The CRC table is empty for legacy (unchecksummed) files.
+            if let Some(&expected) = crc_iter.next() {
+                if crc32(&page) != expected {
+                    return Err(DecodeError::ChecksumMismatch {
+                        page: page_no as u32,
+                    });
+                }
+            }
             let level = page.get_u32_le();
             let count = page.get_u32_le() as usize;
             if count > max_entries + 1 {
@@ -201,6 +382,7 @@ impl<const D: usize> RTree<D> {
         if nodes.is_empty() {
             nodes.push(Node::new(0));
         }
+        validate_child_structure(&nodes, root_page)?;
         Ok(Self {
             nodes,
             root: NodeId(root_page),
@@ -213,6 +395,37 @@ impl<const D: usize> RTree<D> {
             free_list: Vec::new(),
         })
     }
+}
+
+/// Walks the decoded pages from the root, rejecting child references that
+/// would make the structure something other than a tree: a page referenced
+/// twice (shared child or a cycle) or a child whose level is not exactly
+/// one below its parent. Range checks already happened during decode, so
+/// indexing here cannot go out of bounds.
+fn validate_child_structure<const D: usize>(
+    nodes: &[Node<D>],
+    root_page: u32,
+) -> Result<(), DecodeError> {
+    let mut visited = vec![false; nodes.len()];
+    let mut stack = vec![root_page as usize];
+    visited[root_page as usize] = true;
+    while let Some(idx) = stack.pop() {
+        let node = &nodes[idx];
+        for e in &node.entries {
+            if let Payload::Child(c) = e.payload {
+                let child = c.index();
+                if nodes[child].level + 1 != node.level {
+                    return Err(DecodeError::Corrupt("child level"));
+                }
+                if visited[child] {
+                    return Err(DecodeError::CyclicChild(child as u32));
+                }
+                visited[child] = true;
+                stack.push(child);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn split_tag(s: SplitAlgorithm) -> u32 {
@@ -275,12 +488,12 @@ mod tests {
     }
 
     #[test]
-    fn serialized_size_is_pages() {
+    fn serialized_size_is_header_table_pages() {
         let t = sample_tree(200);
         let bytes = t.to_bytes(1024);
-        let body = bytes.len() - 40;
-        assert_eq!(body % 1024, 0);
-        assert_eq!(body / 1024, t.node_count());
+        let n = t.node_count();
+        // 44-byte header, 4-byte CRC per page, then whole pages.
+        assert_eq!(bytes.len(), HEADER_V2_BYTES + 4 * n + n * 1024);
     }
 
     #[test]
@@ -307,6 +520,119 @@ mod tests {
         let cut = bytes.slice(0..bytes.len() - 100);
         let err = RTree::<4>::from_bytes(cut).unwrap_err();
         assert!(matches!(err, DecodeError::Truncated));
+    }
+
+    /// Renders a tree in the legacy TWR1 layout (what old index files hold).
+    fn to_bytes_v1(t: &RTree<4>, page_size: usize) -> Bytes {
+        // Rewrite the v2 output: swap the magic, drop header CRC + table.
+        let v2 = t.to_bytes(page_size);
+        let page_count = u32::from_le_bytes([v2[12], v2[13], v2[14], v2[15]]) as usize;
+        let mut out = BytesMut::with_capacity(HEADER_V1_BYTES + page_count * page_size);
+        out.put_u32_le(MAGIC);
+        out.extend_from_slice(&v2[4..HEADER_V1_BYTES]);
+        out.extend_from_slice(&v2[HEADER_V2_BYTES + 4 * page_count..]);
+        out.freeze()
+    }
+
+    #[test]
+    fn legacy_twr1_files_still_decode() {
+        let t = sample_tree(300);
+        let legacy = to_bytes_v1(&t, 1024);
+        assert_eq!(&legacy[0..4], &MAGIC.to_le_bytes());
+        let back: RTree<4> = RTree::from_bytes(legacy).expect("legacy decode");
+        assert_eq!(back.len(), t.len());
+        let q = Point::new([1.0, -1.0, 6.0, -2.0]);
+        let mut a = t.range_centered(&q, 3.0).ids;
+        let mut b = back.range_centered(&q, 3.0).ids;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_bit_corruption_is_always_detected() {
+        let t = sample_tree(60);
+        let clean = t.to_bytes(1024);
+        // Flip one bit at a spread of offsets across header, CRC table and
+        // pages; every flip must produce an error, never a wrong tree.
+        for offset in (0..clean.len()).step_by(97) {
+            let mut bad = clean.to_vec();
+            bad[offset] ^= 0x10;
+            match RTree::<4>::from_bytes(Bytes::from(bad)) {
+                Err(_) => {}
+                Ok(_) => panic!("bit flip at offset {offset} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_child_reference_is_rejected() {
+        // Build a real multi-level tree, then redirect one internal entry's
+        // child pointer back at the root to create a cycle.
+        let t = sample_tree(500);
+        assert!(t.height() > 1, "need an internal level for this test");
+        let bytes = t.to_bytes(1024);
+        let page_count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+        let table_start = HEADER_V2_BYTES;
+        let pages_start = table_start + 4 * page_count;
+        // Page 0 is the root (internal, level > 0); its first entry payload
+        // sits after the 8-byte node header and the 2*4*8-byte rect.
+        let payload_off = pages_start + NODE_HEADER_BYTES + 2 * 4 * 8;
+        let mut bad = bytes.to_vec();
+        bad[payload_off..payload_off + 8].copy_from_slice(&0u64.to_le_bytes());
+        // Reseal the page CRC so only the cycle (not the checksum) trips.
+        let page0 = &bad[pages_start..pages_start + 1024];
+        let crc = crc32(page0).to_le_bytes();
+        bad[table_start..table_start + 4].copy_from_slice(&crc);
+        let err = RTree::<4>::from_bytes(Bytes::from(bad)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::CyclicChild(0) | DecodeError::Corrupt("child level")
+            ),
+            "self-referential child must be rejected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn shared_child_reference_is_rejected() {
+        // Two sibling entries pointing at the same child page: not a tree.
+        let t = sample_tree(500);
+        assert!(t.height() > 1);
+        let bytes = t.to_bytes(1024);
+        let page_count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+        let table_start = HEADER_V2_BYTES;
+        let pages_start = table_start + 4 * page_count;
+        let entry_bytes = 2 * 4 * 8 + 8;
+        let first_payload = pages_start + NODE_HEADER_BYTES + 2 * 4 * 8;
+        let second_payload = first_payload + entry_bytes;
+        let mut bad = bytes.to_vec();
+        let first: [u8; 8] = bad[first_payload..first_payload + 8].try_into().unwrap();
+        bad[second_payload..second_payload + 8].copy_from_slice(&first);
+        let page0 = &bad[pages_start..pages_start + 1024];
+        let crc = crc32(page0).to_le_bytes();
+        bad[table_start..table_start + 4].copy_from_slice(&crc);
+        let err = RTree::<4>::from_bytes(Bytes::from(bad)).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::CyclicChild(_)),
+            "shared child must be rejected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tree_file_roundtrip_is_atomic_and_readable() {
+        let dir = std::env::temp_dir().join(format!("twrtree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.twr");
+        let t = sample_tree(200);
+        write_tree_file(&path, &t, 1024).expect("write");
+        // Overwrite with a different tree: the rename path must replace it.
+        let t2 = sample_tree(80);
+        write_tree_file(&path, &t2, 1024).expect("rewrite");
+        let back: RTree<4> = read_tree_file(&path).expect("read");
+        assert_eq!(back.len(), t2.len());
+        assert!(!path.with_extension("tmp-new").exists(), "no temp residue");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -50,12 +50,14 @@ pub struct BufferPool<P: Pager> {
     pager: Mutex<P>,
     inner: Mutex<PoolInner>,
     capacity: usize,
+    page_size: usize,
 }
 
 impl<P: Pager> BufferPool<P> {
     /// Creates a pool caching up to `capacity` pages.
     pub fn new(pager: P, capacity: usize) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let page_size = pager.page_size();
         Self {
             pager: Mutex::new(pager),
             inner: Mutex::new(PoolInner {
@@ -64,12 +66,29 @@ impl<P: Pager> BufferPool<P> {
                 stats: BufferStats::default(),
             }),
             capacity,
+            page_size,
         }
     }
 
     /// Page size of the underlying pager.
     pub fn page_size(&self) -> usize {
-        self.pager.lock().page_size()
+        self.page_size
+    }
+
+    /// Page format generation of the underlying pager.
+    pub fn page_format_version(&self) -> u32 {
+        self.pager.lock().page_format_version()
+    }
+
+    fn check_frame(&self, got: usize) -> Result<(), PagerError> {
+        if got == self.page_size {
+            Ok(())
+        } else {
+            Err(PagerError::FrameSize {
+                expected: self.page_size,
+                got,
+            })
+        }
     }
 
     /// Number of pages in the underlying pager.
@@ -94,6 +113,7 @@ impl<P: Pager> BufferPool<P> {
 
     /// Reads a page through the cache into `out`.
     pub fn read(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
+        self.check_frame(out.len())?;
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -113,6 +133,7 @@ impl<P: Pager> BufferPool<P> {
 
     /// Writes a page through the cache (write-back on eviction).
     pub fn write(&self, page: u64, data: &[u8]) -> Result<(), PagerError> {
+        self.check_frame(data.len())?;
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
@@ -140,13 +161,14 @@ impl<P: Pager> BufferPool<P> {
                 .frames
                 .iter()
                 .min_by_key(|(_, f)| f.last_used)
-                .map(|(&p, _)| p)
-                .expect("pool non-empty when full");
-            let frame = inner.frames.remove(&victim).expect("victim present");
-            inner.stats.evictions += 1;
-            if frame.dirty {
-                inner.stats.writebacks += 1;
-                self.pager.lock().write_page(victim, &frame.data)?;
+                .map(|(&p, _)| p);
+            if let Some(frame) = victim.and_then(|v| inner.frames.remove(&v).map(|f| (v, f))) {
+                let (victim, frame) = frame;
+                inner.stats.evictions += 1;
+                if frame.dirty {
+                    inner.stats.writebacks += 1;
+                    self.pager.lock().write_page(victim, &frame.data)?;
+                }
             }
         }
         let clock = inner.clock;

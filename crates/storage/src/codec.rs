@@ -1,15 +1,22 @@
 //! Binary record codec.
 //!
-//! Sequences are stored as explicit little-endian records (no serde):
+//! Sequences are stored as explicit little-endian records (no serde), in
+//! one of two format generations:
 //!
 //! ```text
-//! record := id:u64 len:u32 values:[f64; len]
+//! v1 record := id:u64 len:u32 values:[f64; len]
+//! v2 record := id:u64 len:u32 crc:u32 values:[f64; len]
 //! ```
 //!
-//! The codec is infallible on encode and validating on decode; it is the
-//! single place that defines the on-page byte layout of a sequence.
+//! The v2 CRC-32 covers the id and length bytes plus every value byte, so
+//! any single-byte corruption of a persisted record decodes to a typed
+//! [`CodecError`] — never a panic, and never silently wrong data. The codec
+//! is infallible on encode and validating on decode; it is the single place
+//! that defines the on-page byte layout of a sequence.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::checksum::Crc32;
 
 /// Errors produced while decoding a sequence record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +27,9 @@ pub enum CodecError {
     LengthOverflow(u32),
     /// A decoded element was NaN, which the engines cannot order.
     NanElement { id: u64, index: usize },
+    /// The v2 record checksum does not match its bytes (the id itself may
+    /// be part of the damage; it is reported as stored).
+    ChecksumMismatch { id: u64 },
 }
 
 impl std::fmt::Display for CodecError {
@@ -35,22 +45,66 @@ impl std::fmt::Display for CodecError {
             CodecError::NanElement { id, index } => {
                 write!(f, "sequence {id} holds NaN at index {index}")
             }
+            CodecError::ChecksumMismatch { id } => {
+                write!(f, "record checksum mismatch (stored id {id})")
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
+impl CodecError {
+    /// Whether the error means the stored bytes are damaged (as opposed to
+    /// a short buffer, which recovery treats as a clean truncation point).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            CodecError::ChecksumMismatch { .. }
+                | CodecError::LengthOverflow(_)
+                | CodecError::NanElement { .. }
+        )
+    }
+}
+
+/// Record layout generation (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFormat {
+    /// Unchecksummed legacy layout.
+    V1,
+    /// CRC-guarded layout.
+    V2,
+}
+
+impl RecordFormat {
+    /// Header bytes preceding the values.
+    pub fn header_bytes(self) -> usize {
+        match self {
+            RecordFormat::V1 => RECORD_HEADER_BYTES,
+            RecordFormat::V2 => RECORD_HEADER_BYTES_V2,
+        }
+    }
+
+    /// Size in bytes of an encoded record holding `len` elements.
+    pub fn encoded_len(self, len: usize) -> usize {
+        self.header_bytes() + 8 * len
+    }
+}
+
 /// Hard upper bound on elements per record (64 Mi elements ≈ 512 MiB),
 /// a defence against decoding garbage as a gigantic allocation.
 pub const MAX_RECORD_ELEMS: u32 = 1 << 26;
 
-/// Header bytes preceding the values of every record.
+/// Header bytes preceding the values of every v1 record.
 pub const RECORD_HEADER_BYTES: usize = 8 + 4;
 
-/// Size in bytes of an encoded record holding `len` elements.
+/// Header bytes preceding the values of every v2 record (adds the CRC).
+pub const RECORD_HEADER_BYTES_V2: usize = 8 + 4 + 4;
+
+/// Size in bytes of an encoded v1 record holding `len` elements.
+/// Prefer [`RecordFormat::encoded_len`] in format-aware code.
 pub fn encoded_len(len: usize) -> usize {
-    RECORD_HEADER_BYTES + 8 * len
+    RecordFormat::V1.encoded_len(len)
 }
 
 /// A decoded record: a sequence id plus its values.
@@ -60,7 +114,7 @@ pub struct Record {
     pub values: Vec<f64>,
 }
 
-/// Appends the record encoding to `buf`.
+/// Appends the v1 record encoding to `buf`.
 pub fn encode_record(buf: &mut BytesMut, id: u64, values: &[f64]) {
     debug_assert!(values.len() <= MAX_RECORD_ELEMS as usize);
     buf.reserve(encoded_len(values.len()));
@@ -71,14 +125,47 @@ pub fn encode_record(buf: &mut BytesMut, id: u64, values: &[f64]) {
     }
 }
 
-/// Encodes a single record into a fresh buffer.
+/// Appends the checksummed v2 record encoding to `buf`.
+pub fn encode_record_v2(buf: &mut BytesMut, id: u64, values: &[f64]) {
+    debug_assert!(values.len() <= MAX_RECORD_ELEMS as usize);
+    buf.reserve(RecordFormat::V2.encoded_len(values.len()));
+    let mut crc = Crc32::new();
+    crc.update(&id.to_le_bytes());
+    crc.update(&(values.len() as u32).to_le_bytes());
+    for &v in values {
+        crc.update(&v.to_le_bytes());
+    }
+    buf.put_u64_le(id);
+    buf.put_u32_le(values.len() as u32);
+    buf.put_u32_le(crc.finalize());
+    for &v in values {
+        buf.put_f64_le(v);
+    }
+}
+
+/// Appends the record encoding for `format` to `buf`.
+pub fn encode_record_fmt(format: RecordFormat, buf: &mut BytesMut, id: u64, values: &[f64]) {
+    match format {
+        RecordFormat::V1 => encode_record(buf, id, values),
+        RecordFormat::V2 => encode_record_v2(buf, id, values),
+    }
+}
+
+/// Encodes a single v1 record into a fresh buffer.
 pub fn encode_record_to_bytes(id: u64, values: &[f64]) -> Bytes {
     let mut buf = BytesMut::with_capacity(encoded_len(values.len()));
     encode_record(&mut buf, id, values);
     buf.freeze()
 }
 
-/// Decodes one record from the front of `buf`, advancing it.
+/// Encodes a single v2 record into a fresh buffer.
+pub fn encode_record_to_bytes_v2(id: u64, values: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(RecordFormat::V2.encoded_len(values.len()));
+    encode_record_v2(&mut buf, id, values);
+    buf.freeze()
+}
+
+/// Decodes one v1 record from the front of `buf`, advancing it.
 pub fn decode_record(buf: &mut Bytes) -> Result<Record, CodecError> {
     if buf.remaining() < RECORD_HEADER_BYTES {
         return Err(CodecError::Truncated {
@@ -107,6 +194,60 @@ pub fn decode_record(buf: &mut Bytes) -> Result<Record, CodecError> {
         values.push(v);
     }
     Ok(Record { id, values })
+}
+
+/// Decodes one checksummed v2 record from the front of `buf`, advancing it.
+///
+/// The CRC is verified over the id, length and value bytes before any value
+/// is accepted, so flipped bits anywhere in the record — including the id —
+/// surface as [`CodecError::ChecksumMismatch`], not as wrong data.
+pub fn decode_record_v2(buf: &mut Bytes) -> Result<Record, CodecError> {
+    if buf.remaining() < RECORD_HEADER_BYTES_V2 {
+        return Err(CodecError::Truncated {
+            needed: RECORD_HEADER_BYTES_V2,
+            available: buf.remaining(),
+        });
+    }
+    // Keep the raw header bytes in view for the CRC before advancing.
+    let id_len_bytes = buf.slice(0..RECORD_HEADER_BYTES);
+    let id = buf.get_u64_le();
+    let len = buf.get_u32_le();
+    let stored_crc = buf.get_u32_le();
+    if len > MAX_RECORD_ELEMS {
+        return Err(CodecError::LengthOverflow(len));
+    }
+    let body = 8 * len as usize;
+    if buf.remaining() < body {
+        return Err(CodecError::Truncated {
+            needed: body,
+            available: buf.remaining(),
+        });
+    }
+    let mut crc = Crc32::new();
+    crc.update(&id_len_bytes);
+    crc.update(&buf.slice(0..body));
+    if crc.finalize() != stored_crc {
+        // Do not decode values the checksum disowns.
+        buf.advance(body);
+        return Err(CodecError::ChecksumMismatch { id });
+    }
+    let mut values = Vec::with_capacity(len as usize);
+    for index in 0..len as usize {
+        let v = buf.get_f64_le();
+        if v.is_nan() {
+            return Err(CodecError::NanElement { id, index });
+        }
+        values.push(v);
+    }
+    Ok(Record { id, values })
+}
+
+/// Decodes one record in `format` from the front of `buf`, advancing it.
+pub fn decode_record_fmt(format: RecordFormat, buf: &mut Bytes) -> Result<Record, CodecError> {
+    match format {
+        RecordFormat::V1 => decode_record(buf),
+        RecordFormat::V2 => decode_record_v2(buf),
+    }
 }
 
 #[cfg(test)]
@@ -189,5 +330,74 @@ mod tests {
         let mut buf = encode_record_to_bytes(1, &[f64::INFINITY, f64::NEG_INFINITY]);
         let rec = decode_record(&mut buf).expect("decode");
         assert_eq!(rec.values, vec![f64::INFINITY, f64::NEG_INFINITY]);
+    }
+
+    #[test]
+    fn v2_roundtrip() {
+        let bytes = encode_record_to_bytes_v2(7, &[1.0, -2.5, 3.25]);
+        assert_eq!(bytes.len(), RecordFormat::V2.encoded_len(3));
+        let mut buf = bytes;
+        let rec = decode_record_v2(&mut buf).expect("decode");
+        assert_eq!(rec.id, 7);
+        assert_eq!(rec.values, vec![1.0, -2.5, 3.25]);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn v2_layout_is_v1_plus_crc() {
+        // v2 := id:u64 len:u32 crc:u32 values — the v1 fields keep their
+        // positions, the CRC slots in before the values.
+        let v1 = encode_record_to_bytes(0x0102_0304_0506_0708, &[1.0]);
+        let v2 = encode_record_to_bytes_v2(0x0102_0304_0506_0708, &[1.0]);
+        assert_eq!(v2.len(), v1.len() + 4);
+        assert_eq!(&v2[..12], &v1[..12]);
+        assert_eq!(&v2[16..], &v1[12..]);
+    }
+
+    #[test]
+    fn v2_every_single_byte_corruption_is_an_error() {
+        let clean = encode_record_to_bytes_v2(42, &[1.5, -0.25, 1e9, 0.0]);
+        for byte in 0..clean.len() {
+            for delta in [0x01u8, 0x80, 0xFF] {
+                let mut bad = clean.to_vec();
+                bad[byte] ^= delta;
+                let mut buf = Bytes::from(bad);
+                // Any typed error is acceptable; a successful decode is not.
+                if let Ok(rec) = decode_record_v2(&mut buf) {
+                    panic!("corruption at byte {byte} (^{delta:#04x}) decoded as {rec:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_checksum_mismatch_consumes_the_record() {
+        // A stream must be able to step over a corrupt record deliberately.
+        let mut buf = BytesMut::new();
+        encode_record_v2(&mut buf, 1, &[1.0]);
+        encode_record_v2(&mut buf, 2, &[2.0]);
+        let mut bytes = buf.freeze().to_vec();
+        bytes[20] ^= 0xFF; // first value byte of record 1
+        let mut stream = Bytes::from(bytes);
+        assert!(matches!(
+            decode_record_v2(&mut stream),
+            Err(CodecError::ChecksumMismatch { id: 1 })
+        ));
+        let rec = decode_record_v2(&mut stream).expect("next record intact");
+        assert_eq!(rec.id, 2);
+    }
+
+    #[test]
+    fn format_dispatch_matches_direct_calls() {
+        let mut b1 = BytesMut::new();
+        encode_record_fmt(RecordFormat::V1, &mut b1, 5, &[9.0]);
+        assert_eq!(b1.freeze(), encode_record_to_bytes(5, &[9.0]));
+        let mut b2 = BytesMut::new();
+        encode_record_fmt(RecordFormat::V2, &mut b2, 5, &[9.0]);
+        let frozen = b2.freeze();
+        assert_eq!(frozen.clone(), encode_record_to_bytes_v2(5, &[9.0]));
+        let mut stream = frozen;
+        let rec = decode_record_fmt(RecordFormat::V2, &mut stream).unwrap();
+        assert_eq!(rec.values, vec![9.0]);
     }
 }

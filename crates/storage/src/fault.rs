@@ -1,0 +1,464 @@
+//! Deterministic fault injection.
+//!
+//! [`FaultPager`] decorates any [`Pager`] and injects faults on a schedule
+//! driven entirely by a seed: the same seed and operation sequence always
+//! produce the same faults, so every failure mode a test provokes is
+//! reproducible from its seed alone. It belongs at the *bottom* of a pager
+//! stack — under [`crate::ChecksumPager`], which is what turns its silent
+//! bit flips and torn writes into detectable [`PagerError::Corrupt`]s, and
+//! under [`crate::RetryPager`], which absorbs its transient errors.
+//!
+//! Supported fault kinds:
+//! - **Transient** — the op fails with [`PagerError::Transient`]; nothing is
+//!   persisted or read. Models EINTR/EIO blips.
+//! - **Bit flip** — a read succeeds but one bit of the returned buffer is
+//!   flipped. Models media decay and DMA corruption.
+//! - **Short read** — a read returns only a prefix; the rest of the buffer
+//!   is zeroed. Models a ragged EOF.
+//! - **Torn write** — a write persists only a prefix of the new page, the
+//!   old bytes survive in the tail, and the op *reports failure* the way a
+//!   power cut would leave no acknowledgement. Models a crash mid-sector.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::pager::{Pager, PagerError};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with a transient error; state is untouched.
+    Transient,
+    /// Complete the read, then flip bit `bit` of byte `byte` (both taken
+    /// modulo the buffer size) in the returned data.
+    BitFlip { byte: usize, bit: u8 },
+    /// Complete the read for the first `len` bytes only; zero the rest.
+    ShortRead { len: usize },
+    /// Persist only the first `len` bytes of the write, then fail.
+    TornWrite { len: usize },
+}
+
+/// Per-operation fault probabilities, in parts per thousand.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed for the deterministic schedule.
+    pub seed: u64,
+    /// ‰ of reads that fail transiently.
+    pub transient_read_per_mille: u16,
+    /// ‰ of writes that fail transiently.
+    pub transient_write_per_mille: u16,
+    /// ‰ of reads that return a flipped bit.
+    pub bit_flip_per_mille: u16,
+    /// ‰ of reads that come back short.
+    pub short_read_per_mille: u16,
+    /// ‰ of writes that tear.
+    pub torn_write_per_mille: u16,
+    /// Upper bound on *consecutive* injected faults. With this below a retry
+    /// policy's attempt budget, transient-only schedules always converge.
+    pub max_consecutive: u32,
+}
+
+impl FaultConfig {
+    /// A schedule that injects nothing (the pager is transparent until the
+    /// handle arms different rates or forces specific faults).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_read_per_mille: 0,
+            transient_write_per_mille: 0,
+            bit_flip_per_mille: 0,
+            short_read_per_mille: 0,
+            torn_write_per_mille: 0,
+            max_consecutive: 2,
+        }
+    }
+
+    /// Transient-only schedule: ~`per_mille`‰ of reads and writes fail with
+    /// a retryable error, never more than `max_consecutive` in a row.
+    pub fn transient(seed: u64, per_mille: u16) -> Self {
+        Self {
+            transient_read_per_mille: per_mille,
+            transient_write_per_mille: per_mille,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Read-corruption schedule: ~`per_mille`‰ of reads return a flipped
+    /// bit (detectable only when a checksum layer sits above).
+    pub fn bit_flips(seed: u64, per_mille: u16) -> Self {
+        Self {
+            bit_flip_per_mille: per_mille,
+            ..Self::quiet(seed)
+        }
+    }
+}
+
+/// Counters of what was actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub transient_faults: u64,
+    pub bit_flips: u64,
+    pub short_reads: u64,
+    pub torn_writes: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults of any kind.
+    pub fn injected(&self) -> u64 {
+        self.transient_faults + self.bit_flips + self.short_reads + self.torn_writes
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    config: FaultConfig,
+    rng: u64,
+    armed: bool,
+    consecutive: u32,
+    forced_read: VecDeque<FaultKind>,
+    forced_write: VecDeque<FaultKind>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// SplitMix64 step: a full-period, statistically solid 64-bit generator
+    /// in three lines — no dependency on the vendored rand needed here.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < per_mille as u64
+    }
+
+    /// Picks the fault (if any) for the next read of a `page_size`-byte page.
+    fn schedule_read(&mut self, page_size: usize) -> Option<FaultKind> {
+        if let Some(kind) = self.forced_read.pop_front() {
+            return Some(kind);
+        }
+        if !self.armed || self.consecutive >= self.config.max_consecutive {
+            self.consecutive = 0;
+            return None;
+        }
+        if self.roll(self.config.transient_read_per_mille) {
+            return Some(FaultKind::Transient);
+        }
+        if self.roll(self.config.bit_flip_per_mille) {
+            let byte = self.next_u64() as usize % page_size.max(1);
+            let bit = (self.next_u64() % 8) as u8;
+            return Some(FaultKind::BitFlip { byte, bit });
+        }
+        if self.roll(self.config.short_read_per_mille) {
+            let len = self.next_u64() as usize % page_size.max(1);
+            return Some(FaultKind::ShortRead { len });
+        }
+        None
+    }
+
+    fn schedule_write(&mut self, page_size: usize) -> Option<FaultKind> {
+        if let Some(kind) = self.forced_write.pop_front() {
+            return Some(kind);
+        }
+        if !self.armed || self.consecutive >= self.config.max_consecutive {
+            self.consecutive = 0;
+            return None;
+        }
+        if self.roll(self.config.transient_write_per_mille) {
+            return Some(FaultKind::Transient);
+        }
+        if self.roll(self.config.torn_write_per_mille) {
+            let len = self.next_u64() as usize % page_size.max(1);
+            return Some(FaultKind::TornWrite { len });
+        }
+        None
+    }
+}
+
+/// Shared control surface for a [`FaultPager`]: lets a test keep injecting
+/// power after the pager itself has been swallowed by a store or pool.
+#[derive(Debug, Clone)]
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    /// Starts injecting per the configured rates.
+    pub fn arm(&self) {
+        self.state.lock().armed = true;
+    }
+
+    /// Stops rate-based injection (forced faults still fire).
+    pub fn disarm(&self) {
+        self.state.lock().armed = false;
+    }
+
+    /// Queues a specific fault for an upcoming read, bypassing the rates.
+    pub fn force_read(&self, kind: FaultKind) {
+        self.state.lock().forced_read.push_back(kind);
+    }
+
+    /// Queues a specific fault for an upcoming write, bypassing the rates.
+    pub fn force_write(&self, kind: FaultKind) {
+        self.state.lock().forced_write.push_back(kind);
+    }
+
+    /// Snapshot of injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+}
+
+/// A pager decorator injecting deterministic faults (see module docs).
+#[derive(Debug)]
+pub struct FaultPager<P: Pager> {
+    inner: P,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<P: Pager> FaultPager<P> {
+    /// Wraps `inner` with the given schedule, initially **disarmed** so the
+    /// caller can build a clean store first. Returns the pager and the
+    /// handle that arms/steers it.
+    pub fn new(inner: P, config: FaultConfig) -> (Self, FaultHandle) {
+        let state = Arc::new(Mutex::new(FaultState {
+            rng: config.seed ^ 0xD6E8_FEB8_6659_FD93,
+            config,
+            armed: false,
+            consecutive: 0,
+            forced_read: VecDeque::new(),
+            forced_write: VecDeque::new(),
+            stats: FaultStats::default(),
+        }));
+        let handle = FaultHandle {
+            state: Arc::clone(&state),
+        };
+        (Self { inner, state }, handle)
+    }
+
+    /// The wrapped pager.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Pager> Pager for FaultPager<P> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> Result<u64, PagerError> {
+        // Allocation is metadata, not page I/O: kept fault-free so schedules
+        // perturb data paths without wedging the file geometry.
+        self.inner.allocate()
+    }
+
+    fn read_page(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
+        let fault = {
+            let mut st = self.state.lock();
+            st.stats.reads += 1;
+            st.schedule_read(out.len())
+        };
+        match fault {
+            None => self.inner.read_page(page, out),
+            Some(FaultKind::Transient) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(PagerError::Transient { page, op: "read" })
+            }
+            Some(FaultKind::BitFlip { byte, bit }) => {
+                self.inner.read_page(page, out)?;
+                if !out.is_empty() {
+                    out[byte % out.len()] ^= 1 << (bit % 8);
+                }
+                let mut st = self.state.lock();
+                st.stats.bit_flips += 1;
+                st.consecutive += 1;
+                Ok(())
+            }
+            Some(FaultKind::ShortRead { len }) => {
+                self.inner.read_page(page, out)?;
+                let keep = len.min(out.len());
+                for b in &mut out[keep..] {
+                    *b = 0;
+                }
+                let mut st = self.state.lock();
+                st.stats.short_reads += 1;
+                st.consecutive += 1;
+                Ok(())
+            }
+            // Write faults forced onto the read queue degenerate to
+            // transients: there is nothing to tear on a read.
+            Some(FaultKind::TornWrite { .. }) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(PagerError::Transient { page, op: "read" })
+            }
+        }
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError> {
+        let fault = {
+            let mut st = self.state.lock();
+            st.stats.writes += 1;
+            st.schedule_write(data.len())
+        };
+        match fault {
+            None => self.inner.write_page(page, data),
+            Some(FaultKind::Transient)
+            | Some(FaultKind::BitFlip { .. })
+            | Some(FaultKind::ShortRead { .. }) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(PagerError::Transient { page, op: "write" })
+            }
+            Some(FaultKind::TornWrite { len }) => {
+                // Persist old-tail + new-prefix, then report failure — the
+                // page now holds a mix a checksum layer must catch.
+                let keep = len.min(data.len());
+                let mut merged = vec![0u8; data.len()];
+                self.inner.read_page(page, &mut merged)?;
+                merged[..keep].copy_from_slice(&data[..keep]);
+                self.inner.write_page(page, &merged)?;
+                let mut st = self.state.lock();
+                st.stats.torn_writes += 1;
+                st.consecutive += 1;
+                Err(PagerError::Transient { page, op: "write" })
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), PagerError> {
+        self.inner.sync()
+    }
+
+    fn page_format_version(&self) -> u32 {
+        self.inner.page_format_version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn filled_pager() -> (FaultPager<MemPager>, FaultHandle) {
+        let mut inner = MemPager::new(128);
+        inner.allocate().unwrap();
+        inner.write_page(0, &[0xAAu8; 128]).unwrap();
+        FaultPager::new(inner, FaultConfig::quiet(42))
+    }
+
+    #[test]
+    fn disarmed_pager_is_transparent() {
+        let (p, handle) = FaultPager::new(MemPager::new(128), FaultConfig::transient(1, 1000));
+        let mut p = p;
+        p.allocate().unwrap();
+        let mut out = vec![0u8; 128];
+        for _ in 0..50 {
+            p.read_page(0, &mut out).expect("no faults while disarmed");
+        }
+        assert_eq!(handle.stats().injected(), 0);
+        assert_eq!(handle.stats().reads, 50);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| -> Vec<bool> {
+            let (p, handle) = FaultPager::new(
+                {
+                    let mut m = MemPager::new(128);
+                    m.allocate().unwrap();
+                    m
+                },
+                FaultConfig::transient(seed, 300),
+            );
+            handle.arm();
+            let mut out = vec![0u8; 128];
+            (0..100)
+                .map(|_| p.read_page(0, &mut out).is_err())
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn consecutive_fault_cap_holds() {
+        let (p, handle) = FaultPager::new(
+            {
+                let mut m = MemPager::new(128);
+                m.allocate().unwrap();
+                m
+            },
+            FaultConfig {
+                max_consecutive: 2,
+                ..FaultConfig::transient(3, 1000) // every roll wants to fail
+            },
+        );
+        handle.arm();
+        let mut out = vec![0u8; 128];
+        let mut streak = 0u32;
+        for _ in 0..200 {
+            if p.read_page(0, &mut out).is_err() {
+                streak += 1;
+                assert!(streak <= 2, "cap of 2 consecutive faults violated");
+            } else {
+                streak = 0;
+            }
+        }
+        assert!(handle.stats().transient_faults > 0);
+    }
+
+    #[test]
+    fn forced_bit_flip_corrupts_exactly_one_bit() {
+        let (p, handle) = filled_pager();
+        handle.force_read(FaultKind::BitFlip { byte: 5, bit: 3 });
+        let mut out = vec![0u8; 128];
+        p.read_page(0, &mut out).expect("flip still succeeds");
+        let mut expected = vec![0xAAu8; 128];
+        expected[5] ^= 1 << 3;
+        assert_eq!(out, expected);
+        // Next read is clean: the forced queue has drained.
+        p.read_page(0, &mut out).unwrap();
+        assert_eq!(out, vec![0xAAu8; 128]);
+    }
+
+    #[test]
+    fn forced_short_read_zeroes_the_tail() {
+        let (p, handle) = filled_pager();
+        handle.force_read(FaultKind::ShortRead { len: 10 });
+        let mut out = vec![0u8; 128];
+        p.read_page(0, &mut out).unwrap();
+        assert!(out[..10].iter().all(|&b| b == 0xAA));
+        assert!(out[10..].iter().all(|&b| b == 0));
+        assert_eq!(handle.stats().short_reads, 1);
+    }
+
+    #[test]
+    fn forced_torn_write_persists_a_prefix_and_fails() {
+        let (mut p, handle) = filled_pager();
+        handle.force_write(FaultKind::TornWrite { len: 16 });
+        let err = p.write_page(0, &[0x55u8; 128]).unwrap_err();
+        assert!(err.is_transient(), "torn write must look unacknowledged");
+        let mut out = vec![0u8; 128];
+        p.read_page(0, &mut out).unwrap();
+        assert!(out[..16].iter().all(|&b| b == 0x55), "new prefix persisted");
+        assert!(out[16..].iter().all(|&b| b == 0xAA), "old tail survives");
+        assert_eq!(handle.stats().torn_writes, 1);
+    }
+}

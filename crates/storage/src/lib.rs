@@ -27,16 +27,25 @@
 //! ```
 
 mod buffer;
+mod checksum;
 mod codec;
 mod cost;
+mod fault;
+mod openfile;
 mod pager;
+mod retry;
 mod seqstore;
 
 pub use buffer::{BufferPool, BufferStats};
+pub use checksum::{crc32, ChecksumPager, Crc32, PAGE_FORMAT_CRC, TRAILER_BYTES};
 pub use codec::{
-    decode_record, encode_record, encode_record_to_bytes, encoded_len, CodecError, Record,
-    MAX_RECORD_ELEMS, RECORD_HEADER_BYTES,
+    decode_record, decode_record_fmt, decode_record_v2, encode_record, encode_record_fmt,
+    encode_record_to_bytes, encode_record_to_bytes_v2, encode_record_v2, encoded_len, CodecError,
+    Record, RecordFormat, MAX_RECORD_ELEMS, RECORD_HEADER_BYTES, RECORD_HEADER_BYTES_V2,
 };
 pub use cost::{CpuModel, DiskModel, HardwareModel, IoProfile};
-pub use pager::{FilePager, MemPager, Pager, PagerError, DEFAULT_PAGE_SIZE};
-pub use seqstore::{SeqId, SequenceStore, StoreError};
+pub use fault::{FaultConfig, FaultHandle, FaultKind, FaultPager, FaultStats};
+pub use openfile::{create_sequence_file, open_sequence_file, DynSequenceStore};
+pub use pager::{FilePager, MemPager, Pager, PagerError, DEFAULT_PAGE_SIZE, PAGE_FORMAT_PLAIN};
+pub use retry::{RetryPager, RetryPolicy};
+pub use seqstore::{RecoveryReport, SeqId, SequenceStore, StoreError};

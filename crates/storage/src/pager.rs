@@ -13,6 +13,9 @@ use parking_lot::Mutex;
 /// Default page size; the paper's experiments use 1 KB pages (§5.1).
 pub const DEFAULT_PAGE_SIZE: usize = 1024;
 
+/// Plain page format: the whole page is payload (format generation 1).
+pub const PAGE_FORMAT_PLAIN: u32 = 1;
+
 /// Errors raised by pagers.
 #[derive(Debug)]
 pub enum PagerError {
@@ -20,6 +23,31 @@ pub enum PagerError {
     OutOfRange { page: u64, pages: u64 },
     /// Underlying file I/O failed.
     Io(std::io::Error),
+    /// A transient fault: the operation failed but a retry may succeed
+    /// (interrupted syscalls, injected EIO, controller hiccups).
+    Transient { page: u64, op: &'static str },
+    /// The page's stored checksum does not match its contents, or its
+    /// trailer is malformed: the bytes cannot be trusted.
+    Corrupt { page: u64, reason: &'static str },
+    /// The caller's buffer does not match the pager's page size.
+    FrameSize { expected: usize, got: usize },
+}
+
+impl PagerError {
+    /// Whether a retry of the same operation may succeed (the fault is in
+    /// the I/O path, not in the stored bytes).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PagerError::Transient { .. } => true,
+            PagerError::Io(e) => e.kind() == std::io::ErrorKind::Interrupted,
+            _ => false,
+        }
+    }
+
+    /// Whether the error means the stored bytes are damaged.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, PagerError::Corrupt { .. })
+    }
 }
 
 impl std::fmt::Display for PagerError {
@@ -29,11 +57,27 @@ impl std::fmt::Display for PagerError {
                 write!(f, "page {page} out of range (file has {pages})")
             }
             PagerError::Io(e) => write!(f, "pager I/O error: {e}"),
+            PagerError::Transient { page, op } => {
+                write!(f, "transient I/O fault during {op} of page {page}")
+            }
+            PagerError::Corrupt { page, reason } => {
+                write!(f, "page {page} is corrupt: {reason}")
+            }
+            PagerError::FrameSize { expected, got } => {
+                write!(f, "buffer of {got} bytes for {expected}-byte pages")
+            }
         }
     }
 }
 
-impl std::error::Error for PagerError {}
+impl std::error::Error for PagerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PagerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for PagerError {
     fn from(e: std::io::Error) -> Self {
@@ -55,6 +99,48 @@ pub trait Pager: Send {
     fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError>;
     /// Flushes buffered writes to stable storage.
     fn sync(&mut self) -> Result<(), PagerError>;
+    /// Generation of the on-page byte format this pager reads and writes.
+    /// Plain pagers expose the whole page ([`PAGE_FORMAT_PLAIN`]); the
+    /// checksumming decorator reserves a verified trailer
+    /// ([`crate::checksum::PAGE_FORMAT_CRC`]).
+    fn page_format_version(&self) -> u32 {
+        PAGE_FORMAT_PLAIN
+    }
+}
+
+/// Boxed pagers are pagers: lets call sites pick a pager stack at runtime
+/// (plain vs checksummed files) behind one store type.
+impl Pager for Box<dyn Pager> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+    fn allocate(&mut self) -> Result<u64, PagerError> {
+        (**self).allocate()
+    }
+    fn read_page(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
+        (**self).read_page(page, out)
+    }
+    fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError> {
+        (**self).write_page(page, data)
+    }
+    fn sync(&mut self) -> Result<(), PagerError> {
+        (**self).sync()
+    }
+    fn page_format_version(&self) -> u32 {
+        (**self).page_format_version()
+    }
+}
+
+/// Rejects a frame buffer whose size does not match the page size.
+fn check_frame(expected: usize, got: usize) -> Result<(), PagerError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(PagerError::FrameSize { expected, got })
+    }
 }
 
 /// An in-memory pager.
@@ -90,7 +176,7 @@ impl Pager for MemPager {
     }
 
     fn read_page(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
-        assert_eq!(out.len(), self.page_size);
+        check_frame(self.page_size, out.len())?;
         let slot = self
             .pages
             .get(page as usize)
@@ -103,7 +189,7 @@ impl Pager for MemPager {
     }
 
     fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError> {
-        assert_eq!(data.len(), self.page_size);
+        check_frame(self.page_size, data.len())?;
         let pages = self.page_count();
         let slot = self
             .pages
@@ -163,6 +249,33 @@ impl FilePager {
             pages: len / page_size as u64,
         })
     }
+
+    /// Opens an existing paged file, truncating a trailing partial page.
+    ///
+    /// Recovery entry point: a writer killed mid-`write_page` can leave the
+    /// file with a ragged tail. [`FilePager::open`] refuses such files; this
+    /// constructor chops the incomplete page (it was never acknowledged by a
+    /// `sync`, so no durable data is lost) and reports how many bytes went.
+    pub fn open_trimmed<P: AsRef<Path>>(
+        path: P,
+        page_size: usize,
+    ) -> Result<(Self, u64), PagerError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let trimmed = len % page_size as u64;
+        if trimmed != 0 {
+            file.set_len(len - trimmed)?;
+            file.sync_all()?;
+        }
+        Ok((
+            Self {
+                file: Mutex::new(file),
+                page_size,
+                pages: (len - trimmed) / page_size as u64,
+            },
+            trimmed,
+        ))
+    }
 }
 
 impl Pager for FilePager {
@@ -187,7 +300,7 @@ impl Pager for FilePager {
     }
 
     fn read_page(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
-        assert_eq!(out.len(), self.page_size);
+        check_frame(self.page_size, out.len())?;
         if page >= self.pages {
             return Err(PagerError::OutOfRange {
                 page,
@@ -201,7 +314,7 @@ impl Pager for FilePager {
     }
 
     fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError> {
-        assert_eq!(data.len(), self.page_size);
+        check_frame(self.page_size, data.len())?;
         if page >= self.pages {
             return Err(PagerError::OutOfRange {
                 page,
@@ -304,5 +417,67 @@ mod tests {
     #[should_panic(expected = "unreasonably small")]
     fn tiny_page_size_rejected() {
         let _ = MemPager::new(16);
+    }
+
+    #[test]
+    fn wrong_frame_size_is_a_typed_error() {
+        let mut p = MemPager::new(256);
+        p.allocate().unwrap();
+        let mut small = vec![0u8; 100];
+        assert!(matches!(
+            p.read_page(0, &mut small),
+            Err(PagerError::FrameSize {
+                expected: 256,
+                got: 100
+            })
+        ));
+        assert!(matches!(
+            p.write_page(0, &small),
+            Err(PagerError::FrameSize { .. })
+        ));
+    }
+
+    #[test]
+    fn open_trimmed_drops_partial_tail() {
+        let dir = std::env::temp_dir().join(format!("twpager-trim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ragged.pages");
+        // Two whole pages plus 100 bytes of torn tail.
+        std::fs::write(&path, vec![7u8; 2 * 256 + 100]).unwrap();
+        let (p, trimmed) = FilePager::open_trimmed(&path, 256).expect("open trimmed");
+        assert_eq!(trimmed, 100);
+        assert_eq!(p.page_count(), 2);
+        drop(p);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 512);
+        // An already-aligned file is untouched.
+        let (p, trimmed) = FilePager::open_trimmed(&path, 256).expect("reopen");
+        assert_eq!(trimmed, 0);
+        assert_eq!(p.page_count(), 2);
+        drop(p);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(PagerError::Transient {
+            page: 3,
+            op: "read"
+        }
+        .is_transient());
+        let interrupted = PagerError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "EINTR",
+        ));
+        assert!(interrupted.is_transient());
+        assert!(!PagerError::Corrupt {
+            page: 0,
+            reason: "crc"
+        }
+        .is_transient());
+        assert!(PagerError::Corrupt {
+            page: 0,
+            reason: "crc"
+        }
+        .is_corruption());
     }
 }

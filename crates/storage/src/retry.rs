@@ -1,0 +1,294 @@
+//! Bounded retry for transient page I/O.
+//!
+//! [`RetryPager`] decorates any [`Pager`] and re-issues operations that fail
+//! with a *transient* error ([`PagerError::is_transient`]), sleeping an
+//! exponentially growing, bounded backoff between attempts. Permanent errors
+//! — out-of-range pages, checksum corruption, frame-size misuse — pass
+//! through untouched on the first occurrence.
+//!
+//! Stacking order matters: retry belongs *above* the checksum layer so that
+//! a transient fault injected below the checksum is retried against freshly
+//! verified bytes, while corruption is reported, not hammered.
+
+use std::time::Duration;
+
+use crate::pager::{Pager, PagerError};
+
+/// Retry budget and backoff shape.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles each retry after that.
+    pub initial_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Also retry [`PagerError::Corrupt`] reads. Off by default — corruption
+    /// is normally permanent — but when the damage is injected on the *read*
+    /// path (bit flips in transit, not on media), a re-read genuinely heals.
+    pub retry_corrupt: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(5),
+            retry_corrupt: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` tries and default backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Enables re-reading on checksum mismatch (transit corruption).
+    pub fn with_retry_corrupt(mut self) -> Self {
+        self.retry_corrupt = true;
+        self
+    }
+
+    fn backoff_for(&self, retry_index: u32) -> Duration {
+        let factor = 1u32 << retry_index.min(16);
+        self.initial_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+
+    fn should_retry(&self, err: &PagerError, is_read: bool) -> bool {
+        err.is_transient() || (self.retry_corrupt && is_read && err.is_corruption())
+    }
+}
+
+/// A pager decorator retrying transient failures with bounded backoff.
+#[derive(Debug)]
+pub struct RetryPager<P: Pager> {
+    inner: P,
+    policy: RetryPolicy,
+    retries: std::sync::atomic::AtomicU64,
+}
+
+impl<P: Pager> RetryPager<P> {
+    pub fn new(inner: P, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            retries: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped pager.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Number of retries performed (not counting first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn run<T>(
+        &self,
+        is_read: bool,
+        mut op: impl FnMut() -> Result<T, PagerError>,
+    ) -> Result<T, PagerError> {
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts || !self.policy.should_retry(&e, is_read)
+                    {
+                        return Err(e);
+                    }
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(self.policy.backoff_for(attempt - 1));
+                }
+            }
+        }
+    }
+}
+
+impl<P: Pager> Pager for RetryPager<P> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn allocate(&mut self) -> Result<u64, PagerError> {
+        // Borrow dance: `run` takes &self, allocate needs &mut inner.
+        let policy = self.policy;
+        let mut attempt = 0;
+        loop {
+            match self.inner.allocate() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= policy.max_attempts || !policy.should_retry(&e, false) {
+                        return Err(e);
+                    }
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff_for(attempt - 1));
+                }
+            }
+        }
+    }
+
+    fn read_page(&self, page: u64, out: &mut [u8]) -> Result<(), PagerError> {
+        let inner = &self.inner;
+        self.run(true, || inner.read_page(page, out))
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError> {
+        let policy = self.policy;
+        let mut attempt = 0;
+        loop {
+            match self.inner.write_page(page, data) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= policy.max_attempts || !policy.should_retry(&e, false) {
+                        return Err(e);
+                    }
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff_for(attempt - 1));
+                }
+            }
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), PagerError> {
+        let policy = self.policy;
+        let mut attempt = 0;
+        loop {
+            match self.inner.sync() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= policy.max_attempts || !policy.should_retry(&e, false) {
+                        return Err(e);
+                    }
+                    self.retries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff_for(attempt - 1));
+                }
+            }
+        }
+    }
+
+    fn page_format_version(&self) -> u32 {
+        self.inner.page_format_version()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultKind, FaultPager};
+    use crate::pager::MemPager;
+
+    fn faulty() -> (RetryPager<FaultPager<MemPager>>, crate::fault::FaultHandle) {
+        let mut inner = MemPager::new(128);
+        inner.allocate().unwrap();
+        inner.write_page(0, &[9u8; 128]).unwrap();
+        let (fp, handle) = FaultPager::new(inner, FaultConfig::quiet(11));
+        (RetryPager::new(fp, RetryPolicy::attempts(4)), handle)
+    }
+
+    #[test]
+    fn transient_read_is_absorbed() {
+        let (p, handle) = faulty();
+        handle.force_read(FaultKind::Transient);
+        handle.force_read(FaultKind::Transient);
+        let mut out = vec![0u8; 128];
+        p.read_page(0, &mut out)
+            .expect("retries cover 2 transients");
+        assert_eq!(out, vec![9u8; 128]);
+        assert_eq!(p.retries(), 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_error() {
+        let (p, handle) = faulty();
+        for _ in 0..4 {
+            handle.force_read(FaultKind::Transient);
+        }
+        let mut out = vec![0u8; 128];
+        let err = p.read_page(0, &mut out).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(p.retries(), 3, "max_attempts=4 means 3 retries");
+    }
+
+    #[test]
+    fn permanent_errors_pass_straight_through() {
+        let (p, _handle) = faulty();
+        let mut out = vec![0u8; 128];
+        assert!(matches!(
+            p.read_page(99, &mut out),
+            Err(PagerError::OutOfRange { .. })
+        ));
+        assert_eq!(p.retries(), 0);
+    }
+
+    #[test]
+    fn corrupt_not_retried_by_default() {
+        use crate::checksum::ChecksumPager;
+        let mut inner = MemPager::new(128);
+        inner.allocate().unwrap();
+        let (fp, handle) = FaultPager::new(inner, FaultConfig::quiet(5));
+        let mut stack = RetryPager::new(ChecksumPager::new(fp), RetryPolicy::default());
+        let data = vec![3u8; stack.page_size()];
+        stack.write_page(0, &data).unwrap();
+        handle.force_read(FaultKind::BitFlip { byte: 0, bit: 0 });
+        let mut out = vec![0u8; stack.page_size()];
+        let err = stack.read_page(0, &mut out).unwrap_err();
+        assert!(err.is_corruption());
+        assert_eq!(stack.retries(), 0);
+    }
+
+    #[test]
+    fn corrupt_retried_when_opted_in() {
+        use crate::checksum::ChecksumPager;
+        let mut inner = MemPager::new(128);
+        inner.allocate().unwrap();
+        let (fp, handle) = FaultPager::new(inner, FaultConfig::quiet(5));
+        let mut stack = RetryPager::new(
+            ChecksumPager::new(fp),
+            RetryPolicy::default().with_retry_corrupt(),
+        );
+        let data = vec![3u8; stack.page_size()];
+        stack.write_page(0, &data).unwrap();
+        // The flip happens in transit, so a re-read heals it.
+        handle.force_read(FaultKind::BitFlip { byte: 4, bit: 1 });
+        let mut out = vec![0u8; stack.page_size()];
+        stack
+            .read_page(0, &mut out)
+            .expect("re-read heals transit flip");
+        assert_eq!(out, data);
+        assert_eq!(stack.retries(), 1);
+    }
+
+    #[test]
+    fn write_transients_are_absorbed() {
+        let (mut p, handle) = faulty();
+        handle.force_write(FaultKind::Transient);
+        p.write_page(0, &[4u8; 128]).expect("retried write lands");
+        let mut out = vec![0u8; 128];
+        p.read_page(0, &mut out).unwrap();
+        assert_eq!(out, vec![4u8; 128]);
+    }
+}

@@ -13,4 +13,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+# The fault-schedule matrix runs fixed seeds (the schedules are deterministic
+# SplitMix64 streams), so this pass is reproducible bit-for-bit. It is part of
+# the workspace test run above; running it again by name makes a regression
+# show up under its own heading in CI logs.
+echo "==> fault injection (fixed seeds)"
+cargo test -q -p tw-integration --offline --test fault_injection
+
+echo "==> crash recovery"
+"$(dirname "$0")/crashtest.sh"
+
 echo "All checks passed."

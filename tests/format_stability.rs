@@ -3,14 +3,27 @@
 //! database facade write them to user files). These tests pin the headers
 //! and representative byte layouts so accidental format changes fail loudly
 //! instead of corrupting user data silently.
+//!
+//! The current formats are the checksummed v2 generation (store headers and
+//! records carry CRC32s, R-tree files are "TWR2"); the unchecksummed v1
+//! layouts remain readable through the compat path and are pinned here too.
 
 use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
-use tw_storage::{encode_record_to_bytes, MemPager, Pager, SequenceStore};
+use tw_storage::{
+    encode_record_to_bytes, encode_record_to_bytes_v2, open_sequence_file, MemPager, Pager,
+    RecordFormat, SequenceStore, StoreError,
+};
 use tw_suffix::SuffixTree;
 
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twfmt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
 #[test]
-fn record_codec_layout_is_pinned() {
-    // record := id:u64le len:u32le values:[f64le]
+fn record_codec_v1_layout_is_pinned() {
+    // v1 record := id:u64le len:u32le values:[f64le]
     let bytes = encode_record_to_bytes(0x0102_0304_0506_0708, &[1.0]);
     assert_eq!(bytes.len(), 8 + 4 + 8);
     assert_eq!(
@@ -22,12 +35,26 @@ fn record_codec_layout_is_pinned() {
 }
 
 #[test]
-fn store_header_magic_is_pinned() {
-    // The header page layout: magic "TWS1" (0x54575331 LE), version 1,
-    // count u64, data bytes u64. Write through the store, read the raw
-    // header page back via a file round-trip.
-    let dir = std::env::temp_dir().join(format!("twfmt-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("mkdir");
+fn record_codec_v2_layout_is_pinned() {
+    // v2 record := id:u64le len:u32le crc:u32le values:[f64le] — exactly v1
+    // with a CRC32 spliced in after the length.
+    let v1 = encode_record_to_bytes(0x0102_0304_0506_0708, &[1.0, 2.0]);
+    let v2 = encode_record_to_bytes_v2(0x0102_0304_0506_0708, &[1.0, 2.0]);
+    assert_eq!(v2.len(), v1.len() + 4);
+    assert_eq!(&v2[..12], &v1[..12], "id and len unchanged");
+    assert_eq!(&v2[16..], &v1[12..], "values unchanged");
+    // The CRC field is over id ‖ len ‖ values, so it is deterministic.
+    let again = encode_record_to_bytes_v2(0x0102_0304_0506_0708, &[1.0, 2.0]);
+    assert_eq!(v2, again);
+}
+
+#[test]
+fn store_header_v2_is_pinned() {
+    // The current header layout: magic "TWS1" (0x54575331 LE), version 2,
+    // page format u32, reserved u32, count u64, data bytes u64, then a CRC32
+    // over the preceding 32 bytes. Written through a plain file pager so the
+    // raw bytes are directly inspectable (page format 1 = plain pages).
+    let dir = temp_dir("pin");
     let path = dir.join("pin.tws");
     {
         let pager = tw_storage::FilePager::create(&path, 1024).expect("create");
@@ -37,14 +64,70 @@ fn store_header_magic_is_pinned() {
     }
     let raw = std::fs::read(&path).expect("read file");
     assert_eq!(&raw[0..4], &0x5457_5331u32.to_le_bytes(), "magic");
-    assert_eq!(&raw[4..8], &1u32.to_le_bytes(), "version");
-    assert_eq!(&raw[8..16], &1u64.to_le_bytes(), "sequence count");
+    assert_eq!(&raw[4..8], &2u32.to_le_bytes(), "version");
+    assert_eq!(&raw[8..12], &1u32.to_le_bytes(), "page format (plain)");
+    assert_eq!(&raw[12..16], &0u32.to_le_bytes(), "reserved");
+    assert_eq!(&raw[16..24], &1u64.to_le_bytes(), "sequence count");
+    // Header CRC at 32..36 protects the preceding fields: flipping a header
+    // byte must make the open fail instead of trusting the damage.
+    let mut bad = raw.clone();
+    bad[17] ^= 0xFF; // count now wrong, CRC now stale
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert!(open_sequence_file(&path, 1024, 4).is_err());
     std::fs::remove_dir_all(&dir).ok();
 
     // Open path validates the magic; garbage must be rejected.
     let mut garbage = MemPager::new(1024);
     garbage.allocate().unwrap();
     assert!(SequenceStore::open(garbage, 4).is_err());
+}
+
+#[test]
+fn legacy_v1_store_file_decodes_via_compat_path() {
+    // A hand-built v1-generation file (version 1 header, unchecksummed
+    // records, plain pages): the auto-opening path must read it and keep it
+    // in v1 format rather than upgrading or rejecting it.
+    let dir = temp_dir("v1compat");
+    let path = dir.join("legacy.tws");
+    let record = encode_record_to_bytes(0, &[3.0, 4.0]);
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&0x5457_5331u32.to_le_bytes()); // magic
+    raw.extend_from_slice(&1u32.to_le_bytes()); // version 1
+    raw.extend_from_slice(&1u64.to_le_bytes()); // count
+    raw.extend_from_slice(&(record.len() as u64).to_le_bytes()); // data bytes
+    raw.resize(1024, 0); // header page
+    raw.extend_from_slice(&record);
+    raw.resize(2048, 0); // one data page
+    std::fs::write(&path, &raw).expect("write fixture");
+
+    let (store, report) = open_sequence_file(&path, 1024, 4).expect("open v1");
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(store.record_format(), RecordFormat::V1);
+    assert_eq!(store.get(0).expect("get"), vec![3.0, 4.0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn future_store_version_is_rejected_with_a_clear_error() {
+    let dir = temp_dir("future");
+    let path = dir.join("future.tws");
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&0x5457_5331u32.to_le_bytes());
+    raw.extend_from_slice(&9u32.to_le_bytes()); // a version from the future
+    raw.resize(1024, 0);
+    std::fs::write(&path, &raw).expect("write fixture");
+
+    match open_sequence_file(&path, 1024, 4) {
+        Err(StoreError::UnsupportedVersion(9)) => {}
+        Err(other) => panic!("expected UnsupportedVersion(9), got {other:?}"),
+        Ok(_) => panic!("a future-version store must not open"),
+    }
+    let message = match open_sequence_file(&path, 1024, 4) {
+        Err(e) => e.to_string(),
+        Ok(_) => unreachable!(),
+    };
+    assert!(message.contains('9'), "{message}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -56,8 +139,8 @@ fn rtree_file_header_is_pinned() {
     });
     tree.insert_point(Point::new([1.0, 2.0]), 7);
     let bytes = tree.to_bytes(1024);
-    // magic "TWR1" = 0x54575231 little-endian.
-    assert_eq!(&bytes[0..4], &0x5457_5231u32.to_le_bytes());
+    // magic "TWR2" = 0x54575232 little-endian (the checksummed generation).
+    assert_eq!(&bytes[0..4], &0x5457_5232u32.to_le_bytes());
     // dimension = 2
     assert_eq!(&bytes[4..8], &2u32.to_le_bytes());
     // page size = 1024
@@ -65,8 +148,30 @@ fn rtree_file_header_is_pinned() {
     // one node (a single leaf) and root page 0
     assert_eq!(&bytes[12..16], &1u32.to_le_bytes());
     assert_eq!(&bytes[16..20], &0u32.to_le_bytes());
-    // header is 40 bytes, then whole pages
-    assert_eq!((bytes.len() - 40) % 1024, 0);
+    // 44-byte header, then one CRC table slot per page, then whole pages
+    let pages = 1;
+    assert_eq!((bytes.len() - 44 - 4 * pages) % 1024, 0);
+    assert_eq!(bytes.len(), 44 + 4 * pages + 1024 * pages);
+}
+
+#[test]
+fn rtree_page_corruption_is_detected_at_decode() {
+    let mut tree: RTree<2> = RTree::new(RTreeConfig {
+        max_entries: 4,
+        min_entries: 2,
+        split: SplitAlgorithm::Quadratic,
+    });
+    for i in 0..64 {
+        tree.insert_point(Point::new([i as f64, (i * 2) as f64]), i);
+    }
+    let bytes = tree.to_bytes(1024).to_vec();
+    // Flip a bit inside the page region: the per-page CRC must catch it.
+    let mut bad = bytes.clone();
+    let target = bytes.len() - 100;
+    bad[target] ^= 0x20;
+    assert!(RTree::<2>::from_bytes(bytes::Bytes::from(bad)).is_err());
+    // The untouched buffer still decodes.
+    assert!(RTree::<2>::from_bytes(bytes::Bytes::from(bytes)).is_ok());
 }
 
 #[test]
