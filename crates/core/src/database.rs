@@ -169,6 +169,7 @@ impl<P: Pager> TimeWarpDatabase<P> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

@@ -69,6 +69,7 @@ pub fn dtw_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> DtwResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::super::dtw;
     use super::*;

@@ -23,9 +23,12 @@ impl FeatureVector {
     /// # Panics
     /// Panics on empty input; use [`Sequence`] for validated construction.
     pub fn from_values(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "feature extraction needs elements");
-        let first = values[0];
-        let last = *values.last().expect("non-empty");
+        let (first, last) = match values {
+            [only] => (*only, *only),
+            [first, .., last] => (*first, *last),
+            // tw-allow(panic): documented API contract — empty input is a caller bug
+            [] => panic!("feature extraction needs elements"),
+        };
         let (mut greatest, mut smallest) = (f64::NEG_INFINITY, f64::INFINITY);
         for &v in values {
             greatest = greatest.max(v);
@@ -61,6 +64,7 @@ impl FeatureVector {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

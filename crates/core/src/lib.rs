@@ -62,6 +62,8 @@
 //! assert!(result.stats.io.sequential_pages_scanned == 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alignment;
 pub mod database;
 pub mod distance;
@@ -80,9 +82,8 @@ pub use feature::FeatureVector;
 pub use lower_bound::{lb_keogh, lb_kim, lb_yi};
 pub use search::{
     false_dismissals, verify_candidates, EngineOpts, FastMapSearch, HybridPlan, HybridSearch,
-    KnnMatch, LbScan, Match, NaiveScan, ParallelNaiveScan, SearchEngine, SearchOutcome,
-    SearchResult, SearchStats, StFilterSearch, SubsequenceIndex, SubsequenceMatch, TwSimSearch,
-    VerifyMode, WindowSpec,
+    KnnMatch, LbScan, Match, NaiveScan, SearchEngine, SearchOutcome, SearchResult, SearchStats,
+    StFilterSearch, SubsequenceIndex, SubsequenceMatch, TwSimSearch, VerifyMode, WindowSpec,
 };
 pub use sequence::Sequence;
 pub use transform::{

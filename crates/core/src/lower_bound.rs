@@ -136,6 +136,7 @@ fn min_max(v: &[f64]) -> (f64, f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
     use crate::distance::{dtw, dtw_banded};

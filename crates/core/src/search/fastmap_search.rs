@@ -86,20 +86,6 @@ impl FastMapSearch {
     pub fn dimensions(&self) -> usize {
         self.k
     }
-
-    /// Runs the (approximate) query.
-    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
-    pub fn search<P: Pager>(
-        &self,
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-    ) -> Result<SearchResult, TwError> {
-        Ok(
-            SearchEngine::range_search(self, store, query, epsilon, &EngineOpts::new())?
-                .into_result(),
-        )
-    }
 }
 
 impl<P: Pager> SearchEngine<P> for FastMapSearch {
@@ -130,15 +116,27 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         };
 
         // Embed the query: 2k exact DTW evaluations against pivot sequences.
+        // `project` wants an infallible oracle, so a store fault (a failed
+        // pivot read) is captured and surfaced afterwards instead of
+        // panicking inside the closure.
         let mut pivot_dtw_cells = 0u64;
         let mut pivot_evals = 0u64;
-        let q_coords = self.map.project(|i| {
-            let pivot = store.get(i as SeqId).expect("pivot id indexed at build");
-            let r = dtw(&pivot, query, self.kind);
-            pivot_dtw_cells += r.cells;
-            pivot_evals += 1;
-            r.distance
+        let mut pivot_fault: Option<TwError> = None;
+        let q_coords = self.map.project(|i| match store.get(i as SeqId) {
+            Ok(pivot) => {
+                let r = dtw(&pivot, query, self.kind);
+                pivot_dtw_cells += r.cells;
+                pivot_evals += 1;
+                r.distance
+            }
+            Err(e) => {
+                pivot_fault.get_or_insert(TwError::from(e));
+                f64::NAN
+            }
         });
+        if let Some(fault) = pivot_fault {
+            return Err(fault);
+        }
         stats.dtw_invocations += pivot_evals;
         stats.dtw_cells += pivot_dtw_cells;
         let q_point = pad_point(&q_coords);
@@ -199,8 +197,6 @@ pub fn false_dismissals(exact: &SearchResult, approx: &SearchResult) -> Vec<SeqI
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -229,9 +225,16 @@ mod tests {
         let store = store_with(&db());
         let engine = FastMapSearch::build(&store, 2, DtwKind::MaxAbs, 7).unwrap();
         let query = vec![20.0, 21.0, 20.0, 23.0];
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         for eps in [0.0, 0.5, 1.0, 3.0] {
-            let exact = NaiveScan::search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
-            let approx = engine.search(&store, &query, eps).unwrap();
+            let exact = NaiveScan
+                .range_search(&store, &query, eps, &opts)
+                .unwrap()
+                .into_result();
+            let approx = engine
+                .range_search(&store, &query, eps, &opts)
+                .unwrap()
+                .into_result();
             // No false alarms: every returned match is a true match.
             let exact_ids = exact.ids();
             for m in &approx.matches {
@@ -258,10 +261,17 @@ mod tests {
         let store = store_with(&data);
         let query = vec![0.9];
         let mut any_dismissal = false;
+        let opts = EngineOpts::new().kind(DtwKind::SumAbs);
         for seed in 0..20 {
             let engine = FastMapSearch::build(&store, 1, DtwKind::SumAbs, seed).unwrap();
-            let exact = NaiveScan::search(&store, &query, 1.0, DtwKind::SumAbs).unwrap();
-            let approx = engine.search(&store, &query, 1.0).unwrap();
+            let exact = NaiveScan
+                .range_search(&store, &query, 1.0, &opts)
+                .unwrap()
+                .into_result();
+            let approx = engine
+                .range_search(&store, &query, 1.0, &opts)
+                .unwrap()
+                .into_result();
             if !false_dismissals(&exact, &approx).is_empty() {
                 any_dismissal = true;
                 break;
@@ -280,8 +290,15 @@ mod tests {
         let engine = FastMapSearch::build(&store, 3, DtwKind::MaxAbs, 1).unwrap();
         let query = vec![20.0, 21.0, 22.0];
         let eps = 100.0;
-        let exact = NaiveScan::search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
-        let approx = engine.search(&store, &query, eps).unwrap();
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let exact = NaiveScan
+            .range_search(&store, &query, eps, &opts)
+            .unwrap()
+            .into_result();
+        let approx = engine
+            .range_search(&store, &query, eps, &opts)
+            .unwrap()
+            .into_result();
         assert_eq!(exact.ids(), approx.ids());
     }
 
@@ -289,7 +306,10 @@ mod tests {
     fn query_embedding_charges_pivot_dtw() {
         let store = store_with(&db());
         let engine = FastMapSearch::build(&store, 2, DtwKind::MaxAbs, 3).unwrap();
-        let res = engine.search(&store, &[20.0, 21.0], 0.5).unwrap();
+        let res = engine
+            .range_search(&store, &[20.0, 21.0], 0.5, &EngineOpts::new())
+            .unwrap()
+            .into_result();
         // At least 2k pivot DTW evaluations happen before filtering.
         assert!(res.stats.dtw_invocations >= 4);
     }

@@ -10,10 +10,9 @@
 
 use tw_storage::{HardwareModel, Pager, SequenceStore};
 
-use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
-use crate::search::{EngineOpts, LbScan, SearchEngine, SearchOutcome, SearchResult, TwSimSearch};
+use crate::search::{EngineOpts, LbScan, SearchEngine, SearchOutcome, TwSimSearch};
 
 /// Which continuation the hybrid engine executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,24 +45,6 @@ impl HybridSearch {
     /// The underlying index engine.
     pub fn engine(&self) -> &TwSimSearch {
         &self.engine
-    }
-
-    /// Runs the query, choosing the cheaper continuation under `hw`.
-    #[deprecated(
-        note = "use `SearchEngine::range_search` with `EngineOpts::hardware`; the plan is in `SearchOutcome::plan`"
-    )]
-    pub fn search<P: Pager>(
-        &self,
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-        hw: &HardwareModel,
-    ) -> Result<(SearchResult, HybridPlan), TwError> {
-        let opts = EngineOpts::new().kind(kind).hardware(*hw);
-        let outcome = SearchEngine::range_search(self, store, query, epsilon, &opts)?;
-        let plan = outcome.plan.expect("hybrid always records a plan");
-        Ok((outcome.into_result(), plan))
     }
 
     /// Prices both continuations with the hardware model and picks the
@@ -162,9 +143,8 @@ impl<P: Pager> SearchEngine<P> for HybridSearch {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
+    use crate::distance::DtwKind;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
     use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
@@ -177,17 +157,35 @@ mod tests {
         store
     }
 
+    /// Runs the hybrid engine and returns `(result, plan)`.
+    fn run(
+        hybrid: &HybridSearch,
+        store: &SequenceStore<tw_storage::MemPager>,
+        query: &[f64],
+        epsilon: f64,
+        hw: HardwareModel,
+    ) -> (crate::search::SearchResult, HybridPlan) {
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs).hardware(hw);
+        let outcome = hybrid.range_search(store, query, epsilon, &opts).unwrap();
+        let plan = outcome.plan.unwrap();
+        (outcome.into_result(), plan)
+    }
+
     #[test]
     fn always_exact_whatever_the_plan() {
         let data = generate_random_walks(&RandomWalkConfig::paper(120, 60), 1);
         let store = store_with(&data);
         let hybrid = HybridSearch::build(&store).unwrap();
         let hw = HardwareModel::icde2001();
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         let queries = generate_queries(&data, 4, 2);
         for q in &queries {
             for eps in [0.02, 0.3, 5.0, 100.0] {
-                let (res, _plan) = hybrid.search(&store, q, eps, DtwKind::MaxAbs, &hw).unwrap();
-                let naive = NaiveScan::search(&store, q, eps, DtwKind::MaxAbs).unwrap();
+                let (res, _plan) = run(&hybrid, &store, q, eps, hw);
+                let naive = NaiveScan
+                    .range_search(&store, q, eps, &opts)
+                    .unwrap()
+                    .into_result();
                 assert_eq!(res.ids(), naive.ids(), "eps {eps}");
             }
         }
@@ -198,11 +196,8 @@ mod tests {
         let data = generate_random_walks(&RandomWalkConfig::paper(300, 80), 3);
         let store = store_with(&data);
         let hybrid = HybridSearch::build(&store).unwrap();
-        let hw = HardwareModel::icde2001();
         let q = generate_queries(&data, 1, 4).remove(0);
-        let (_, plan) = hybrid
-            .search(&store, &q, 0.02, DtwKind::MaxAbs, &hw)
-            .unwrap();
+        let (_, plan) = run(&hybrid, &store, &q, 0.02, HardwareModel::icde2001());
         assert_eq!(plan, HybridPlan::IndexVerify);
     }
 
@@ -213,11 +208,8 @@ mod tests {
         let data = generate_random_walks(&RandomWalkConfig::paper(300, 80), 5);
         let store = store_with(&data);
         let hybrid = HybridSearch::build(&store).unwrap();
-        let hw = HardwareModel::icde2001();
         let q = generate_queries(&data, 1, 6).remove(0);
-        let (_, plan) = hybrid
-            .search(&store, &q, 1000.0, DtwKind::MaxAbs, &hw)
-            .unwrap();
+        let (_, plan) = run(&hybrid, &store, &q, 1000.0, HardwareModel::icde2001());
         assert_eq!(plan, HybridPlan::SequentialScan);
     }
 
@@ -227,11 +219,8 @@ mod tests {
         let data = generate_random_walks(&RandomWalkConfig::paper(100, 40), 7);
         let store = store_with(&data);
         let hybrid = HybridSearch::build(&store).unwrap();
-        let hw = HardwareModel::cpu_only();
         let q = generate_queries(&data, 1, 8).remove(0);
-        let (_, plan) = hybrid
-            .search(&store, &q, 1000.0, DtwKind::MaxAbs, &hw)
-            .unwrap();
+        let (_, plan) = run(&hybrid, &store, &q, 1000.0, HardwareModel::cpu_only());
         assert_eq!(plan, HybridPlan::IndexVerify);
     }
 
@@ -240,14 +229,9 @@ mod tests {
         let data = generate_random_walks(&RandomWalkConfig::paper(10, 10), 9);
         let store = store_with(&data);
         let hybrid = HybridSearch::build(&store).unwrap();
-        assert!(hybrid
-            .search(
-                &store,
-                &[],
-                1.0,
-                DtwKind::MaxAbs,
-                &HardwareModel::icde2001()
-            )
-            .is_err());
+        let opts = EngineOpts::new()
+            .kind(DtwKind::MaxAbs)
+            .hardware(HardwareModel::icde2001());
+        assert!(hybrid.range_search(&store, &[], 1.0, &opts).is_err());
     }
 }

@@ -66,7 +66,7 @@ impl TwSimSearch {
             let mut complete = false;
             for neighbor in &batch.neighbors {
                 let kth_best = if best.len() == k {
-                    best.last().expect("k entries").distance
+                    best.last().map_or(f64::INFINITY, |m| m.distance)
                 } else {
                     f64::INFINITY
                 };
@@ -92,11 +92,7 @@ impl TwSimSearch {
                     distance,
                 };
                 let pos = best
-                    .binary_search_by(|x| {
-                        x.distance
-                            .partial_cmp(&m.distance)
-                            .expect("finite distances")
-                    })
+                    .binary_search_by(|x| x.distance.total_cmp(&m.distance))
                     .unwrap_or_else(|p| p);
                 best.insert(pos, m);
                 if best.len() > k {

@@ -10,32 +10,15 @@ use std::time::Instant;
 
 use tw_storage::{Pager, SequenceStore};
 
-use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::lower_bound::lb_yi;
 use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
-    SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
 };
 
 /// The lower-bound-filtered sequential scan.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LbScan;
-
-impl LbScan {
-    /// Runs the query: one sequential pass, `D_lb` per sequence, exact DTW on
-    /// survivors.
-    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
-    pub fn search<P: Pager>(
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-    ) -> Result<SearchResult, TwError> {
-        let opts = EngineOpts::new().kind(kind);
-        Ok(SearchEngine::range_search(&LbScan, store, query, epsilon, &opts)?.into_result())
-    }
-}
 
 impl<P: Pager> SearchEngine<P> for LbScan {
     fn name(&self) -> &str {
@@ -90,10 +73,9 @@ impl<P: Pager> SearchEngine<P> for LbScan {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
-    use crate::search::NaiveScan;
+    use crate::distance::DtwKind;
+    use crate::search::{run_search, NaiveScan};
     use tw_storage::SequenceStore;
 
     fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
@@ -120,8 +102,8 @@ mod tests {
         let query = vec![20.0, 21.0, 20.0, 23.0];
         for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
             for eps in [0.0, 0.3, 0.6, 2.0, 10.0] {
-                let naive = NaiveScan::search(&store, &query, eps, kind).unwrap();
-                let lb = LbScan::search(&store, &query, eps, kind).unwrap();
+                let naive = run_search(&NaiveScan, &store, &query, eps, kind).unwrap();
+                let lb = run_search(&LbScan, &store, &query, eps, kind).unwrap();
                 assert_eq!(naive.ids(), lb.ids(), "{kind:?} eps {eps}");
             }
         }
@@ -131,7 +113,7 @@ mod tests {
     fn filters_before_dtw() {
         let store = store_with(&db());
         let query = vec![20.0, 21.0, 20.0, 23.0];
-        let res = LbScan::search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&LbScan, &store, &query, 0.6, DtwKind::MaxAbs).unwrap();
         // Sequences 2 (5..7) and 4 (40..42) are range-separated: LB prunes
         // them without any DTW call.
         assert!(res.stats.dtw_invocations <= 3, "{:?}", res.stats);
@@ -153,8 +135,8 @@ mod tests {
             .collect();
         let store = store_with(&data);
         let query: Vec<f64> = (0..200).map(|j| (j % 5) as f64 * 0.01).collect();
-        let naive = NaiveScan::search(&store, &query, 0.5, DtwKind::MaxAbs).unwrap();
-        let lb = LbScan::search(&store, &query, 0.5, DtwKind::MaxAbs).unwrap();
+        let naive = run_search(&NaiveScan, &store, &query, 0.5, DtwKind::MaxAbs).unwrap();
+        let lb = run_search(&LbScan, &store, &query, 0.5, DtwKind::MaxAbs).unwrap();
         assert_eq!(naive.ids(), lb.ids());
         assert!(lb.stats.dtw_cells < naive.stats.dtw_cells);
     }
@@ -163,8 +145,8 @@ mod tests {
     fn scan_io_identical_to_naive() {
         let store = store_with(&db());
         let query = vec![20.0, 21.0];
-        let naive = NaiveScan::search(&store, &query, 0.5, DtwKind::MaxAbs).unwrap();
-        let lb = LbScan::search(&store, &query, 0.5, DtwKind::MaxAbs).unwrap();
+        let naive = run_search(&NaiveScan, &store, &query, 0.5, DtwKind::MaxAbs).unwrap();
+        let lb = run_search(&LbScan, &store, &query, 0.5, DtwKind::MaxAbs).unwrap();
         // Both methods scan the whole database: same sequential I/O.
         assert_eq!(naive.stats.io, lb.stats.io);
     }
@@ -172,7 +154,7 @@ mod tests {
     #[test]
     fn candidates_superset_of_matches() {
         let store = store_with(&db());
-        let res = LbScan::search(&store, &[20.0, 22.0, 23.0], 0.7, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&LbScan, &store, &[20.0, 22.0, 23.0], 0.7, DtwKind::MaxAbs).unwrap();
         assert!(res.stats.candidates >= res.matches.len());
     }
 }

@@ -26,7 +26,7 @@ pub use hybrid::{HybridPlan, HybridSearch};
 pub use knn::KnnMatch;
 pub use lb_scan::LbScan;
 pub use naive_scan::NaiveScan;
-pub use parallel::{parallel_query_batch, ParallelNaiveScan};
+pub use parallel::parallel_query_batch;
 pub use resilient::ResilientSearch;
 pub use st_filter::StFilterSearch;
 pub use subsequence::{SubsequenceIndex, SubsequenceMatch, WindowSpec};
@@ -123,7 +123,28 @@ impl SearchResult {
     }
 }
 
+/// Shorthand used by the engine test modules: run a range query through the
+/// [`SearchEngine`] trait with default options plus an explicit kind.
 #[cfg(test)]
+pub(crate) fn run_search<P, E>(
+    engine: &E,
+    store: &tw_storage::SequenceStore<P>,
+    query: &[f64],
+    epsilon: f64,
+    kind: crate::distance::DtwKind,
+) -> Result<SearchResult, crate::error::TwError>
+where
+    P: tw_storage::Pager,
+    E: SearchEngine<P> + ?Sized,
+{
+    let opts = EngineOpts::new().kind(kind);
+    Ok(engine
+        .range_search(store, query, epsilon, &opts)?
+        .into_result())
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

@@ -9,31 +9,14 @@ use std::time::Instant;
 
 use tw_storage::{Pager, SequenceStore};
 
-use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
-    SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
 };
 
 /// The sequential-scan baseline.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NaiveScan;
-
-impl NaiveScan {
-    /// Runs the query: one sequential pass, one (early-abandoned) DTW per
-    /// sequence.
-    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
-    pub fn search<P: Pager>(
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-    ) -> Result<SearchResult, TwError> {
-        let opts = EngineOpts::new().kind(kind);
-        Ok(SearchEngine::range_search(&NaiveScan, store, query, epsilon, &opts)?.into_result())
-    }
-}
 
 impl<P: Pager> SearchEngine<P> for NaiveScan {
     fn name(&self) -> &str {
@@ -74,11 +57,11 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
-    use crate::distance::dtw;
+    use crate::distance::{dtw, DtwKind};
+    use crate::search::run_search;
     use tw_storage::SequenceStore;
 
     fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
@@ -102,7 +85,7 @@ mod tests {
     fn finds_exact_matches() {
         let store = store_with(&db());
         let query = vec![20.0, 21.0, 20.0, 23.0];
-        let res = NaiveScan::search(&store, &query, 0.0, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&NaiveScan, &store, &query, 0.0, DtwKind::MaxAbs).unwrap();
         // Sequences 0 and 1 warp exactly onto the query.
         assert_eq!(res.ids(), vec![0, 1]);
         for m in &res.matches {
@@ -114,8 +97,8 @@ mod tests {
     fn tolerance_widens_result() {
         let store = store_with(&db());
         let query = vec![20.0, 21.0, 20.0, 23.0];
-        let tight = NaiveScan::search(&store, &query, 0.0, DtwKind::MaxAbs).unwrap();
-        let loose = NaiveScan::search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let tight = run_search(&NaiveScan, &store, &query, 0.0, DtwKind::MaxAbs).unwrap();
+        let loose = run_search(&NaiveScan, &store, &query, 0.6, DtwKind::MaxAbs).unwrap();
         assert!(loose.matches.len() > tight.matches.len());
         assert!(loose.ids().contains(&3));
         assert!(!loose.ids().contains(&2));
@@ -125,7 +108,7 @@ mod tests {
     fn distances_match_exact_dtw() {
         let store = store_with(&db());
         let query = vec![20.5, 21.0, 22.9];
-        let res = NaiveScan::search(&store, &query, 2.0, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&NaiveScan, &store, &query, 2.0, DtwKind::MaxAbs).unwrap();
         for m in &res.matches {
             let expect = dtw(&db()[m.id as usize], &query, DtwKind::MaxAbs).distance;
             assert!((m.distance - expect).abs() < 1e-12);
@@ -135,7 +118,7 @@ mod tests {
     #[test]
     fn stats_reflect_full_scan() {
         let store = store_with(&db());
-        let res = NaiveScan::search(&store, &[20.0, 21.0], 0.5, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&NaiveScan, &store, &[20.0, 21.0], 0.5, DtwKind::MaxAbs).unwrap();
         assert_eq!(res.stats.db_size, 4);
         assert_eq!(res.stats.dtw_invocations, 4);
         assert!(res.stats.io.sequential_pages_scanned > 0);
@@ -147,14 +130,14 @@ mod tests {
     #[test]
     fn rejects_bad_tolerance() {
         let store = store_with(&db());
-        assert!(NaiveScan::search(&store, &[1.0], -1.0, DtwKind::MaxAbs).is_err());
-        assert!(NaiveScan::search(&store, &[1.0], f64::NAN, DtwKind::MaxAbs).is_err());
+        assert!(run_search(&NaiveScan, &store, &[1.0], -1.0, DtwKind::MaxAbs).is_err());
+        assert!(run_search(&NaiveScan, &store, &[1.0], f64::NAN, DtwKind::MaxAbs).is_err());
     }
 
     #[test]
     fn empty_database() {
         let store = SequenceStore::in_memory();
-        let res = NaiveScan::search(&store, &[1.0], 1.0, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&NaiveScan, &store, &[1.0], 1.0, DtwKind::MaxAbs).unwrap();
         assert!(res.matches.is_empty());
         assert_eq!(res.stats.db_size, 0);
     }
@@ -164,7 +147,7 @@ mod tests {
         let store = store_with(&db());
         let query = vec![20.0, 21.0, 20.0, 23.0];
         for kind in [DtwKind::SumAbs, DtwKind::SumSquared] {
-            let res = NaiveScan::search(&store, &query, 0.0, kind).unwrap();
+            let res = run_search(&NaiveScan, &store, &query, 0.0, kind).unwrap();
             assert_eq!(res.ids(), vec![0, 1], "{kind:?}");
         }
     }

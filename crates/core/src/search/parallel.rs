@@ -3,59 +3,15 @@
 //! The paper's scan baselines are single-threaded (2001 hardware). Modern
 //! reproductions often parallelize the scan; a perfectly parallel scan keeps
 //! the *asymptotic* behaviour Figures 4 and 5 display — linear in database
-//! size — while TW-Sim-Search stays flat. [`ParallelNaiveScan`] survives as a
-//! shim over the shared verification pipeline (`EngineOpts::threads` is the
-//! replacement); [`parallel_query_batch`] fans independent *queries* out
-//! instead of candidates within one query.
+//! size — while TW-Sim-Search stays flat. Per-query parallel verification is
+//! `EngineOpts::threads` on any engine; [`parallel_query_batch`] fans
+//! independent *queries* out instead of candidates within one query.
 
 use tw_storage::{Pager, SequenceStore};
 
 use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
-use crate::search::{EngineOpts, NaiveScan, SearchEngine, SearchOutcome, SearchResult};
-
-/// A parallel sequential-scan engine.
-#[derive(Debug, Clone, Copy)]
-pub struct ParallelNaiveScan {
-    threads: usize,
-}
-
-impl ParallelNaiveScan {
-    /// Creates the engine with an explicit worker count.
-    pub fn new(threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one worker");
-        Self { threads }
-    }
-
-    /// Uses all available parallelism.
-    pub fn with_available_parallelism() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self { threads }
-    }
-
-    /// Runs the query with the verification fanned out over the workers.
-    #[deprecated(
-        note = "use `SearchEngine::range_search` on `NaiveScan` with `EngineOpts::threads`"
-    )]
-    pub fn search<P: Pager>(
-        &self,
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-    ) -> Result<SearchResult, TwError> {
-        let opts = EngineOpts::new().kind(kind).threads(self.threads);
-        Ok(SearchEngine::range_search(&NaiveScan, store, query, epsilon, &opts)?.into_result())
-    }
-}
-
-impl Default for ParallelNaiveScan {
-    fn default() -> Self {
-        Self::with_available_parallelism()
-    }
-}
+use crate::search::{EngineOpts, SearchEngine, SearchOutcome, SearchResult};
 
 /// Runs a batch of independent queries against one TW-Sim-Search engine in
 /// parallel (one worker per available core by default). Engines and stores
@@ -96,7 +52,7 @@ pub fn parallel_query_batch<P: Pager + Sync>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("query worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     });
     let mut out = Vec::with_capacity(queries.len());
@@ -108,8 +64,6 @@ pub fn parallel_query_batch<P: Pager + Sync>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
     use crate::search::NaiveScan;
     use tw_storage::SequenceStore;
@@ -131,17 +85,27 @@ mod tests {
             .collect()
     }
 
+    fn scan_with_threads(
+        store: &SequenceStore<tw_storage::MemPager>,
+        query: &[f64],
+        epsilon: f64,
+        threads: usize,
+    ) -> SearchResult {
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs).threads(threads);
+        SearchEngine::range_search(&NaiveScan, store, query, epsilon, &opts)
+            .unwrap()
+            .into_result()
+    }
+
     #[test]
     fn agrees_with_sequential_scan() {
         let data = db(137);
         let store = store_with(&data);
         let query = vec![4.1, 4.5, 4.8];
-        for threads in [1usize, 2, 4, 7] {
+        for threads in [2usize, 4, 7] {
             for eps in [0.2, 0.6, 3.0] {
-                let seq = NaiveScan::search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
-                let par = ParallelNaiveScan::new(threads)
-                    .search(&store, &query, eps, DtwKind::MaxAbs)
-                    .unwrap();
+                let seq = scan_with_threads(&store, &query, eps, 1);
+                let par = scan_with_threads(&store, &query, eps, threads);
                 assert_eq!(seq.ids(), par.ids(), "threads={threads} eps={eps}");
                 assert_eq!(seq.stats.dtw_cells, par.stats.dtw_cells);
             }
@@ -151,25 +115,15 @@ mod tests {
     #[test]
     fn more_threads_than_rows() {
         let store = store_with(&db(3));
-        let res = ParallelNaiveScan::new(16)
-            .search(&store, &[1.0, 1.4], 0.5, DtwKind::MaxAbs)
-            .unwrap();
+        let res = scan_with_threads(&store, &[1.0, 1.4], 0.5, 16);
         assert_eq!(res.stats.dtw_invocations, 3);
     }
 
     #[test]
     fn empty_database() {
         let store = SequenceStore::in_memory();
-        let res = ParallelNaiveScan::new(4)
-            .search(&store, &[1.0], 1.0, DtwKind::MaxAbs)
-            .unwrap();
+        let res = scan_with_threads(&store, &[1.0], 1.0, 4);
         assert!(res.matches.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_rejected() {
-        let _ = ParallelNaiveScan::new(0);
     }
 
     #[test]
@@ -178,12 +132,13 @@ mod tests {
         let store = store_with(&data);
         let engine = crate::search::TwSimSearch::build(&store).unwrap();
         let queries: Vec<Vec<f64>> = data.iter().take(12).cloned().collect();
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
         let serial: Vec<Vec<u64>> = queries
             .iter()
             .map(|q| {
-                engine
-                    .search(&store, q, 0.3, DtwKind::MaxAbs)
+                SearchEngine::range_search(&engine, &store, q, 0.3, &opts)
                     .unwrap()
+                    .into_result()
                     .ids()
             })
             .collect();

@@ -19,8 +19,8 @@ use tw_suffix::{CategoryMethod, StFilter};
 use crate::distance::{dtw_within, DtwKind};
 use crate::error::{validate_tolerance, TwError};
 use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
-    SearchStats, SubsequenceMatch,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
+    SubsequenceMatch,
 };
 
 /// The suffix-tree baseline engine.
@@ -125,19 +125,6 @@ impl StFilterSearch {
         stats.cpu_time = started.elapsed();
         Ok((matches, stats))
     }
-
-    /// Runs the query: tree traversal filter, then exact verification.
-    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
-    pub fn search<P: Pager>(
-        &self,
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-    ) -> Result<SearchResult, TwError> {
-        let opts = EngineOpts::new().kind(kind);
-        Ok(SearchEngine::range_search(self, store, query, epsilon, &opts)?.into_result())
-    }
 }
 
 impl<P: Pager> SearchEngine<P> for StFilterSearch {
@@ -198,10 +185,8 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
-    use crate::search::NaiveScan;
+    use crate::search::{run_search, NaiveScan};
     use tw_storage::SequenceStore;
 
     fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
@@ -229,8 +214,8 @@ mod tests {
         let query = vec![20.0, 21.0, 20.0, 23.0];
         for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
             for eps in [0.0, 0.3, 0.6, 2.0, 10.0] {
-                let naive = NaiveScan::search(&store, &query, eps, kind).unwrap();
-                let st = engine.search(&store, &query, eps, kind).unwrap();
+                let naive = run_search(&NaiveScan, &store, &query, eps, kind).unwrap();
+                let st = run_search(&engine, &store, &query, eps, kind).unwrap();
                 assert_eq!(naive.ids(), st.ids(), "{kind:?} eps {eps}");
             }
         }
@@ -240,9 +225,14 @@ mod tests {
     fn filters_distant_sequences() {
         let store = store_with(&db());
         let engine = StFilterSearch::build(&store).unwrap();
-        let res = engine
-            .search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, DtwKind::MaxAbs)
-            .unwrap();
+        let res = run_search(
+            &engine,
+            &store,
+            &[20.0, 21.0, 20.0, 23.0],
+            0.6,
+            DtwKind::MaxAbs,
+        )
+        .unwrap();
         assert!(res.stats.candidates < res.stats.db_size);
         assert!(res.stats.index_node_accesses > 0);
     }
@@ -276,8 +266,8 @@ mod tests {
         let fine =
             StFilterSearch::build_with_categories(&store, 64, CategoryMethod::EqualWidth).unwrap();
         let query: Vec<f64> = (0..30).map(|j| ((j * 2) % 19) as f64).collect();
-        let rc = coarse.search(&store, &query, 1.0, DtwKind::MaxAbs).unwrap();
-        let rf = fine.search(&store, &query, 1.0, DtwKind::MaxAbs).unwrap();
+        let rc = run_search(&coarse, &store, &query, 1.0, DtwKind::MaxAbs).unwrap();
+        let rf = run_search(&fine, &store, &query, 1.0, DtwKind::MaxAbs).unwrap();
         // The §3.4 trade-off: finer categories => fewer candidates but a
         // larger tree.
         assert!(rf.stats.candidates <= rc.stats.candidates);
@@ -305,6 +295,6 @@ mod tests {
     fn rejects_empty_query() {
         let store = store_with(&db());
         let engine = StFilterSearch::build(&store).unwrap();
-        assert!(engine.search(&store, &[], 1.0, DtwKind::MaxAbs).is_err());
+        assert!(run_search(&engine, &store, &[], 1.0, DtwKind::MaxAbs).is_err());
     }
 }

@@ -18,12 +18,10 @@ use std::time::Instant;
 use tw_rtree::{read_tree_file, write_tree_file, Point, RTree, RTreeConfig, SplitAlgorithm};
 use tw_storage::{Pager, SeqId, SequenceStore};
 
-use crate::distance::DtwKind;
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
 use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
-    SearchStats,
+    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
 };
 
 /// How TW-Sim-Search verifies candidates after the index filter.
@@ -162,34 +160,6 @@ impl TwSimSearch {
     pub fn tree(&self) -> &RTree<4> {
         &self.tree
     }
-
-    /// Algorithm 1: range-filter on the index, then verify candidates with
-    /// the exact (unconstrained) time-warping distance.
-    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts`")]
-    pub fn search<P: Pager>(
-        &self,
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-    ) -> Result<SearchResult, TwError> {
-        let opts = EngineOpts::new().kind(kind);
-        Ok(SearchEngine::range_search(self, store, query, epsilon, &opts)?.into_result())
-    }
-
-    /// Algorithm 1 with a configurable verification step.
-    #[deprecated(note = "use `SearchEngine::range_search` with `EngineOpts::verify`")]
-    pub fn search_with<P: Pager>(
-        &self,
-        store: &SequenceStore<P>,
-        query: &[f64],
-        epsilon: f64,
-        kind: DtwKind,
-        verify: VerifyMode,
-    ) -> Result<SearchResult, TwError> {
-        let opts = EngineOpts::new().kind(kind).verify(verify);
-        Ok(SearchEngine::range_search(self, store, query, epsilon, &opts)?.into_result())
-    }
 }
 
 impl<P: Pager> SearchEngine<P> for TwSimSearch {
@@ -256,10 +226,9 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated shims stay covered until their removal.
-    #![allow(deprecated)]
     use super::*;
-    use crate::search::NaiveScan;
+    use crate::distance::DtwKind;
+    use crate::search::{run_search, NaiveScan, SearchResult};
     use tw_storage::SequenceStore;
 
     fn store_with(data: &[Vec<f64>]) -> SequenceStore<tw_storage::MemPager> {
@@ -268,6 +237,21 @@ mod tests {
             store.append(s).unwrap();
         }
         store
+    }
+
+    /// Runs Algorithm 1 with an explicit verification mode.
+    fn run_with(
+        engine: &TwSimSearch,
+        store: &SequenceStore<tw_storage::MemPager>,
+        query: &[f64],
+        epsilon: f64,
+        verify: VerifyMode,
+    ) -> SearchResult {
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs).verify(verify);
+        engine
+            .range_search(store, query, epsilon, &opts)
+            .unwrap()
+            .into_result()
     }
 
     fn db() -> Vec<Vec<f64>> {
@@ -287,8 +271,8 @@ mod tests {
         let query = vec![20.0, 21.0, 20.0, 23.0];
         for kind in [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs] {
             for eps in [0.0, 0.3, 0.6, 2.0, 10.0] {
-                let naive = NaiveScan::search(&store, &query, eps, kind).unwrap();
-                let idx = engine.search(&store, &query, eps, kind).unwrap();
+                let naive = run_search(&NaiveScan, &store, &query, eps, kind).unwrap();
+                let idx = run_search(&engine, &store, &query, eps, kind).unwrap();
                 assert_eq!(naive.ids(), idx.ids(), "{kind:?} eps {eps}");
             }
         }
@@ -298,9 +282,14 @@ mod tests {
     fn uses_random_reads_not_scans() {
         let store = store_with(&db());
         let engine = TwSimSearch::build(&store).unwrap();
-        let res = engine
-            .search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, DtwKind::MaxAbs)
-            .unwrap();
+        let res = run_search(
+            &engine,
+            &store,
+            &[20.0, 21.0, 20.0, 23.0],
+            0.6,
+            DtwKind::MaxAbs,
+        )
+        .unwrap();
         assert_eq!(res.stats.io.sequential_pages_scanned, 0);
         assert!(res.stats.index_node_accesses > 0);
         // Candidates are a strict subset of the database here.
@@ -314,7 +303,7 @@ mod tests {
         let engine = TwSimSearch::build(&store).unwrap();
         let query = vec![20.0, 21.0, 20.0, 23.0];
         let eps = 1.0;
-        let res = engine.search(&store, &query, eps, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&engine, &store, &query, eps, DtwKind::MaxAbs).unwrap();
         let expected: usize = data
             .iter()
             .filter(|s| crate::lower_bound::lb_kim(s, &query) <= eps)
@@ -331,14 +320,14 @@ mod tests {
         }
         assert_eq!(engine.len(), 5);
         let query = vec![20.0, 21.0, 20.0, 23.0];
-        let r1 = engine.search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
-        let naive = NaiveScan::search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let r1 = run_search(&engine, &store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let naive = run_search(&NaiveScan, &store, &query, 0.6, DtwKind::MaxAbs).unwrap();
         assert_eq!(r1.ids(), naive.ids());
 
         // Remove a matching sequence from the index: it disappears from
         // results without touching the store.
         assert!(engine.remove(&db()[0], 0));
-        let r2 = engine.search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let r2 = run_search(&engine, &store, &query, 0.6, DtwKind::MaxAbs).unwrap();
         assert!(!r2.ids().contains(&0));
     }
 
@@ -346,9 +335,14 @@ mod tests {
     fn zero_tolerance_still_finds_warped_equals() {
         let store = store_with(&db());
         let engine = TwSimSearch::build(&store).unwrap();
-        let res = engine
-            .search(&store, &[20.0, 21.0, 20.0, 23.0], 0.0, DtwKind::MaxAbs)
-            .unwrap();
+        let res = run_search(
+            &engine,
+            &store,
+            &[20.0, 21.0, 20.0, 23.0],
+            0.0,
+            DtwKind::MaxAbs,
+        )
+        .unwrap();
         assert_eq!(res.ids(), vec![0, 1]);
     }
 
@@ -356,17 +350,15 @@ mod tests {
     fn rejects_empty_query_and_bad_tolerance() {
         let store = store_with(&db());
         let engine = TwSimSearch::build(&store).unwrap();
-        assert!(engine.search(&store, &[], 1.0, DtwKind::MaxAbs).is_err());
-        assert!(engine
-            .search(&store, &[1.0], -0.5, DtwKind::MaxAbs)
-            .is_err());
+        assert!(run_search(&engine, &store, &[], 1.0, DtwKind::MaxAbs).is_err());
+        assert!(run_search(&engine, &store, &[1.0], -0.5, DtwKind::MaxAbs).is_err());
     }
 
     #[test]
     fn empty_database_returns_nothing() {
         let store = SequenceStore::in_memory();
         let engine = TwSimSearch::build(&store).unwrap();
-        let res = engine.search(&store, &[1.0], 5.0, DtwKind::MaxAbs).unwrap();
+        let res = run_search(&engine, &store, &[1.0], 5.0, DtwKind::MaxAbs).unwrap();
         assert!(res.matches.is_empty());
     }
 
@@ -375,26 +367,16 @@ mod tests {
         let store = store_with(&db());
         let engine = TwSimSearch::build(&store).unwrap();
         let query = vec![20.0, 21.0, 20.0, 23.0];
-        let exact = engine.search(&store, &query, 0.6, DtwKind::MaxAbs).unwrap();
+        let exact = run_search(&engine, &store, &query, 0.6, DtwKind::MaxAbs).unwrap();
         for w in [1usize, 2, 8] {
-            let banded = engine
-                .search_with(&store, &query, 0.6, DtwKind::MaxAbs, VerifyMode::Banded(w))
-                .unwrap();
+            let banded = run_with(&engine, &store, &query, 0.6, VerifyMode::Banded(w));
             // Banded distance >= exact distance, so banded matches form a
             // subset of the exact ones.
             for m in &banded.matches {
                 assert!(exact.ids().contains(&m.id), "w={w}");
             }
             // A full-width band is the exact answer.
-            let full = engine
-                .search_with(
-                    &store,
-                    &query,
-                    0.6,
-                    DtwKind::MaxAbs,
-                    VerifyMode::Banded(100),
-                )
-                .unwrap();
+            let full = run_with(&engine, &store, &query, 0.6, VerifyMode::Banded(100));
             assert_eq!(full.ids(), exact.ids());
         }
     }
@@ -410,12 +392,8 @@ mod tests {
         let store = store_with(&data);
         let engine = TwSimSearch::build(&store).unwrap();
         let query: Vec<f64> = (0..300).map(|j| ((j % 7) as f64) * 0.01).collect();
-        let exact = engine
-            .search(&store, &query, 0.05, DtwKind::MaxAbs)
-            .unwrap();
-        let banded = engine
-            .search_with(&store, &query, 0.05, DtwKind::MaxAbs, VerifyMode::Banded(5))
-            .unwrap();
+        let exact = run_search(&engine, &store, &query, 0.05, DtwKind::MaxAbs).unwrap();
+        let banded = run_with(&engine, &store, &query, 0.05, VerifyMode::Banded(5));
         assert_eq!(exact.ids(), banded.ids());
         assert!(banded.stats.dtw_cells < exact.stats.dtw_cells);
     }
@@ -432,9 +410,7 @@ mod tests {
             .collect();
         let store = store_with(&data);
         let engine = TwSimSearch::build(&store).unwrap();
-        let res = engine
-            .search(&store, &[7.0, 7.5, 8.0, 7.2], 0.1, DtwKind::MaxAbs)
-            .unwrap();
+        let res = run_search(&engine, &store, &[7.0, 7.5, 8.0, 7.2], 0.1, DtwKind::MaxAbs).unwrap();
         let total_nodes = engine.tree().node_count() as u64;
         assert!(
             res.stats.index_node_accesses < total_nodes / 2,

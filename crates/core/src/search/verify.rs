@@ -47,7 +47,7 @@ pub fn verify_candidates(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("verify worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         });
         let mut matches = Vec::new();

@@ -26,6 +26,8 @@ pub fn z_normalize(seq: &[f64]) -> Vec<f64> {
     let mean = seq.iter().sum::<f64>() / n;
     let var = seq.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n;
     let std = var.sqrt();
+    #[allow(clippy::float_cmp)]
+    // tw-allow(float-eq): exact-zero variance guard before dividing; any nonzero std is usable
     if std == 0.0 {
         return vec![0.0; seq.len()];
     }
@@ -40,6 +42,7 @@ pub fn min_max_normalize(seq: &[f64]) -> Vec<f64> {
     }
     let lo = seq.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = seq.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    #[allow(clippy::float_cmp)]
     if hi == lo {
         return vec![0.5; seq.len()];
     }
@@ -116,6 +119,7 @@ pub fn paa(seq: &[f64], pieces: usize) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
     use crate::distance::{dtw, DtwKind};

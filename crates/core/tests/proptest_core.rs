@@ -3,6 +3,8 @@
 //! (with memoization), which the production iterative DPs must reproduce
 //! exactly on small inputs.
 
+#![allow(clippy::float_cmp)] // exact-reproduction oracle: DP must equal the definition
+
 use std::collections::HashMap;
 
 use proptest::prelude::*;

@@ -25,6 +25,8 @@
 //! assert!((c[0][0] - c[3][0]).abs() > (c[0][0] - c[1][0]).abs());
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// A pairwise distance oracle over `len()` objects.
 ///
 /// FastMap only ever sees objects through this trait, which is what lets it

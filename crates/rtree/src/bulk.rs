@@ -42,6 +42,8 @@ impl<const D: usize> RTree<D> {
             let groups = str_partition::<D>(current, config.max_entries);
             if groups.len() == 1 {
                 // Single node: it becomes the root.
+                #[allow(clippy::expect_used)]
+                // tw-allow(expect): guarded by `groups.len() == 1` on the line above
                 let root_entries = groups.into_iter().next().expect("one group");
                 let root = Node {
                     level,
@@ -69,6 +71,8 @@ impl<const D: usize> RTree<D> {
     }
 
     fn push_node(&mut self, node: Node<D>) -> NodeId {
+        #[allow(clippy::expect_used)]
+        // tw-allow(expect): > 4 billion nodes exceeds the NodeId/page-number format by design
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
         self.nodes.push(node);
         id
@@ -145,7 +149,7 @@ fn sort_by_center<const D: usize>(entries: &mut [Entry<D>], axis: usize) {
     entries.sort_by(|a, b| {
         let ca = a.rect.min()[axis] + a.rect.max()[axis];
         let cb = b.rect.min()[axis] + b.rect.max()[axis];
-        ca.partial_cmp(&cb).expect("finite bounds")
+        ca.total_cmp(&cb)
     });
 }
 

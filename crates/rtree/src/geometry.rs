@@ -168,6 +168,8 @@ impl<const D: usize> Rect<D> {
     /// Panics if `rects` is empty.
     pub fn union_all<'a, I: IntoIterator<Item = &'a Self>>(rects: I) -> Self {
         let mut it = rects.into_iter();
+        #[allow(clippy::expect_used)]
+        // tw-allow(expect): documented API contract — empty input is a caller bug
         let first = *it.next().expect("union_all requires at least one rect");
         it.fold(first, |acc, r| acc.union(r))
     }
@@ -247,6 +249,7 @@ impl<const D: usize> Rect<D> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

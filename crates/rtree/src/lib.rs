@@ -16,6 +16,9 @@
 //!   default as in §5.1) with explicit little-endian encoding;
 //! * an **invariant validator** used by the property-test suite.
 //!
+//! The crate is `#![forbid(unsafe_code)]`: every query and persistence path
+//! is safe Rust, checked by the workspace's `tw-analyze` pass.
+//!
 //! ## Example
 //!
 //! ```
@@ -31,7 +34,10 @@
 //! assert_eq!(hits.ids, vec![42]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bulk;
+mod convert;
 mod geometry;
 mod node;
 mod page;

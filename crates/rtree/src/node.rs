@@ -43,6 +43,7 @@ impl Payload {
     pub fn child(self) -> NodeId {
         match self {
             Payload::Child(id) => id,
+            // tw-allow(panic): documented API contract — a data payload here is a caller bug
             Payload::Data(d) => panic!("expected child payload, found data {d}"),
         }
     }
@@ -51,6 +52,7 @@ impl Payload {
     pub fn data(self) -> DataId {
         match self {
             Payload::Data(d) => d,
+            // tw-allow(panic): documented API contract — a child payload here is a caller bug
             Payload::Child(id) => panic!("expected data payload, found child {id:?}"),
         }
     }
@@ -97,6 +99,7 @@ impl<const D: usize> Node<D> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

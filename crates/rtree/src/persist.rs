@@ -25,6 +25,7 @@ use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::convert::{u32_to_usize, usize_to_u32, usize_to_u64};
 use crate::geometry::Rect;
 use crate::node::{Entry, Node, NodeId, Payload};
 use crate::page::NODE_HEADER_BYTES;
@@ -138,9 +139,10 @@ impl From<DecodeError> for PersistError {
 fn crc32(data: &[u8]) -> u32 {
     const fn table() -> [u32; 256] {
         let mut t = [0u32; 256];
-        let mut i = 0;
+        let mut i = 0usize;
+        let mut seed = 0u32;
         while i < 256 {
-            let mut crc = i as u32;
+            let mut crc = seed;
             let mut bit = 0;
             while bit < 8 {
                 crc = if crc & 1 != 0 {
@@ -152,13 +154,14 @@ fn crc32(data: &[u8]) -> u32 {
             }
             t[i] = crc;
             i += 1;
+            seed += 1;
         }
         t
     }
     static TABLE: [u32; 256] = table();
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ TABLE[u32_to_usize((crc ^ u32::from(b)) & 0xFF)];
     }
     !crc
 }
@@ -212,7 +215,7 @@ impl<const D: usize> RTree<D> {
             if page_of[id.index()] != u32::MAX {
                 continue;
             }
-            page_of[id.index()] = order.len() as u32;
+            page_of[id.index()] = usize_to_u32(order.len());
             order.push(id);
             for e in &self.node(id).entries {
                 if let Payload::Child(c) = e.payload {
@@ -236,14 +239,14 @@ impl<const D: usize> RTree<D> {
         let mut buf =
             BytesMut::with_capacity(HEADER_V2_BYTES + crc_table_len + order.len() * page_size);
         buf.put_u32_le(MAGIC_V2);
-        buf.put_u32_le(D as u32);
-        buf.put_u32_le(page_size as u32);
-        buf.put_u32_le(order.len() as u32);
+        buf.put_u32_le(usize_to_u32(D));
+        buf.put_u32_le(usize_to_u32(page_size));
+        buf.put_u32_le(usize_to_u32(order.len()));
         buf.put_u32_le(0); // root page (dense numbering puts root first)
-        buf.put_u32_le(self.config.max_entries as u32);
-        buf.put_u32_le(self.config.min_entries as u32);
+        buf.put_u32_le(usize_to_u32(self.config.max_entries));
+        buf.put_u32_le(usize_to_u32(self.config.min_entries));
         buf.put_u32_le(split_tag(self.config.split));
-        buf.put_u64_le(self.len() as u64);
+        buf.put_u64_le(usize_to_u64(self.len()));
         let header_crc = crc32(&buf[..HEADER_V1_BYTES]);
         buf.put_u32_le(header_crc);
         // Reserve the CRC table; filled in after the pages are rendered.
@@ -254,7 +257,7 @@ impl<const D: usize> RTree<D> {
             let node = self.node(id);
             let page_start = buf.len();
             buf.put_u32_le(node.level);
-            buf.put_u32_le(node.entries.len() as u32);
+            buf.put_u32_le(usize_to_u32(node.entries.len()));
             for e in &node.entries {
                 for axis in 0..D {
                     buf.put_f64_le(e.rect.min()[axis]);
@@ -289,19 +292,20 @@ impl<const D: usize> RTree<D> {
             other => return Err(DecodeError::BadMagic(other)),
         };
         let dim = buf.get_u32_le();
-        if dim as usize != D {
+        if u32_to_usize(dim) != D {
             return Err(DecodeError::DimensionMismatch {
                 stored: dim,
-                requested: D as u32,
+                requested: u32::try_from(D).unwrap_or(u32::MAX),
             });
         }
-        let page_size = buf.get_u32_le() as usize;
-        let page_count = buf.get_u32_le() as usize;
+        let page_size = u32_to_usize(buf.get_u32_le());
+        let page_count = u32_to_usize(buf.get_u32_le());
         let root_page = buf.get_u32_le();
-        let max_entries = buf.get_u32_le() as usize;
-        let min_entries = buf.get_u32_le() as usize;
+        let max_entries = u32_to_usize(buf.get_u32_le());
+        let min_entries = u32_to_usize(buf.get_u32_le());
         let split = split_from_tag(buf.get_u32_le()).ok_or(DecodeError::Corrupt("split tag"))?;
-        let len = buf.get_u64_le() as usize;
+        let len = usize::try_from(buf.get_u64_le())
+            .map_err(|_| DecodeError::Corrupt("length exceeds address space"))?;
 
         // The v2 header carries its own CRC plus a per-page CRC table.
         let mut page_crcs: Vec<u32> = Vec::new();
@@ -322,7 +326,7 @@ impl<const D: usize> RTree<D> {
             }
         }
 
-        if root_page as usize >= page_count.max(1) {
+        if u32_to_usize(root_page) >= page_count.max(1) {
             return Err(DecodeError::DanglingChild(root_page));
         }
         if buf.remaining() < page_count * page_size {
@@ -337,12 +341,12 @@ impl<const D: usize> RTree<D> {
             if let Some(&expected) = crc_iter.next() {
                 if crc32(&page) != expected {
                     return Err(DecodeError::ChecksumMismatch {
-                        page: page_no as u32,
+                        page: usize_to_u32(page_no),
                     });
                 }
             }
             let level = page.get_u32_le();
-            let count = page.get_u32_le() as usize;
+            let count = u32_to_usize(page.get_u32_le());
             if count > max_entries + 1 {
                 return Err(DecodeError::Corrupt("entry count exceeds fan-out"));
             }
@@ -366,7 +370,7 @@ impl<const D: usize> RTree<D> {
                 } else {
                     let child = u32::try_from(payload_word)
                         .map_err(|_| DecodeError::Corrupt("child page overflow"))?;
-                    if child as usize >= page_count {
+                    if u32_to_usize(child) >= page_count {
                         return Err(DecodeError::DanglingChild(child));
                     }
                     Payload::Child(NodeId(child))
@@ -407,8 +411,8 @@ fn validate_child_structure<const D: usize>(
     root_page: u32,
 ) -> Result<(), DecodeError> {
     let mut visited = vec![false; nodes.len()];
-    let mut stack = vec![root_page as usize];
-    visited[root_page as usize] = true;
+    let mut stack = vec![u32_to_usize(root_page)];
+    visited[u32_to_usize(root_page)] = true;
     while let Some(idx) = stack.pop() {
         let node = &nodes[idx];
         for e in &node.entries {
@@ -418,7 +422,7 @@ fn validate_child_structure<const D: usize>(
                     return Err(DecodeError::Corrupt("child level"));
                 }
                 if visited[child] {
-                    return Err(DecodeError::CyclicChild(child as u32));
+                    return Err(DecodeError::CyclicChild(c.0));
                 }
                 visited[child] = true;
                 stack.push(child);

@@ -125,7 +125,7 @@ impl<const D: usize> RTree<D> {
         }
         impl PartialEq for Queued {
             fn eq(&self, other: &Self) -> bool {
-                self.dist == other.dist
+                self.cmp(other) == Ordering::Equal
             }
         }
         impl Eq for Queued {}
@@ -136,11 +136,9 @@ impl<const D: usize> RTree<D> {
         }
         impl Ord for Queued {
             fn cmp(&self, other: &Self) -> Ordering {
-                // Min-heap on distance via reversed comparison.
-                other
-                    .dist
-                    .partial_cmp(&self.dist)
-                    .expect("distances are finite")
+                // Min-heap on distance via reversed comparison; total_cmp keeps
+                // the order total even if a NaN distance ever slips in.
+                other.dist.total_cmp(&self.dist)
             }
         }
 
@@ -183,6 +181,7 @@ impl<const D: usize> RTree<D> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
     use crate::split::SplitAlgorithm;

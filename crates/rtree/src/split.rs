@@ -147,16 +147,14 @@ fn guttman_split<const D: usize>(
         let d1 = mbr1.enlargement(&e.rect);
         let d2 = mbr2.enlargement(&e.rect);
         // Resolve ties by smaller area, then by fewer entries.
-        let to_first = match d1.partial_cmp(&d2).expect("finite enlargements") {
+        let to_first = match d1.total_cmp(&d2) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => {
-                if mbr1.area() != mbr2.area() {
-                    mbr1.area() < mbr2.area()
-                } else {
-                    group1.len() <= group2.len()
-                }
-            }
+            std::cmp::Ordering::Equal => match mbr1.area().total_cmp(&mbr2.area()) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => group1.len() <= group2.len(),
+            },
         };
         if to_first {
             mbr1 = mbr1.union(&e.rect);
@@ -197,7 +195,7 @@ fn rstar_split<const D: usize>(
                 } else {
                     (entries[a].rect.min()[axis], entries[b].rect.min()[axis])
                 };
-                ka.partial_cmp(&kb).expect("finite bounds")
+                ka.total_cmp(&kb)
             });
             for k in 0..distributions {
                 let split_at = min_entries + k;
@@ -209,7 +207,11 @@ fn rstar_split<const D: usize>(
                 let better = match &axis_best {
                     None => true,
                     Some((_, _, best_overlap, best_area)) => {
-                        overlap < *best_overlap || (overlap == *best_overlap && area < *best_area)
+                        match overlap.total_cmp(best_overlap) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Greater => false,
+                            std::cmp::Ordering::Equal => area < *best_area,
+                        }
                     }
                 };
                 if better {
@@ -217,6 +219,8 @@ fn rstar_split<const D: usize>(
                 }
             }
         }
+        #[allow(clippy::expect_used)]
+        // tw-allow(expect): the k-loop always runs — an overflowing node holds > 2·min_entries
         let (order, split_at, _, _) = axis_best.expect("at least one distribution");
         per_axis_choice.push((order, split_at));
         if margin_sum < best_axis_margin {
@@ -227,12 +231,16 @@ fn rstar_split<const D: usize>(
 
     let (order, split_at) = per_axis_choice.swap_remove(best_axis);
     let mut slots: Vec<Option<Entry<D>>> = entries.into_iter().map(Some).collect();
+    #[allow(clippy::expect_used)]
     let left = order[..split_at]
         .iter()
+        // tw-allow(expect): `order` is a permutation of 0..total, so each slot is taken once
         .map(|&i| slots[i].take().expect("each slot taken once"))
         .collect();
+    #[allow(clippy::expect_used)]
     let right = order[split_at..]
         .iter()
+        // tw-allow(expect): `order` is a permutation of 0..total, so each slot is taken once
         .map(|&i| slots[i].take().expect("each slot taken once"))
         .collect();
     (left, right)

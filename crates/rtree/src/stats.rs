@@ -71,6 +71,7 @@ impl<const D: usize> RTree<D> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
     use crate::geometry::Point;

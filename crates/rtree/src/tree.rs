@@ -131,6 +131,8 @@ impl<const D: usize> RTree<D> {
             self.nodes[id.index()] = node;
             id
         } else {
+            #[allow(clippy::expect_used)]
+            // tw-allow(expect): > 4 billion nodes exceeds the NodeId/page-number format by design
             let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
             self.nodes.push(node);
             id
@@ -171,6 +173,8 @@ impl<const D: usize> RTree<D> {
         reinserted_levels: &mut Vec<bool>,
     ) {
         let leaf_path = self.choose_path(entry.rect, level);
+        #[allow(clippy::expect_used)]
+        // tw-allow(expect): choose_path always returns at least the root
         let target = *leaf_path.last().expect("path includes root");
         self.node_mut(target).entries.push(entry);
         let pending = self.handle_overflow(&leaf_path, reinserted_levels);
@@ -284,11 +288,13 @@ impl<const D: usize> RTree<D> {
                 // Tighten this node's entry in its parent: the insertion (or
                 // the split that just shrank this node) changed its MBR.
                 let mbr = self.node(node_id).mbr();
+                #[allow(clippy::expect_used)]
                 let entry = self
                     .node_mut(parent)
                     .entries
                     .iter_mut()
                     .find(|e| e.payload == Payload::Child(node_id))
+                    // tw-allow(expect): structural invariant — path nodes are parent-linked
                     .expect("parent on path must reference child on path");
                 entry.rect = mbr;
                 if let Some(sibling) = new_sibling {
@@ -312,7 +318,7 @@ impl<const D: usize> RTree<D> {
         node.entries.sort_by(|a, b| {
             let da = a.rect.center().distance_sq(&center);
             let db = b.rect.center().distance_sq(&center);
-            da.partial_cmp(&db).expect("finite coordinates")
+            da.total_cmp(&db)
         });
         let keep = node.entries.len() - p;
         node.entries.split_off(keep)
@@ -324,6 +330,8 @@ impl<const D: usize> RTree<D> {
         let Some(path) = self.find_leaf(self.root, rect, id, &mut Vec::new()) else {
             return false;
         };
+        #[allow(clippy::expect_used)]
+        // tw-allow(expect): find_leaf returns Some only for non-empty paths
         let leaf = *path.last().expect("non-empty path");
         let node = self.node_mut(leaf);
         let before = node.entries.len();

@@ -204,6 +204,7 @@ impl<P: Pager> BufferPool<P> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
     use crate::pager::MemPager;

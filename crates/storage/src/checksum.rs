@@ -27,9 +27,10 @@ const TRAILER_VERSION: u16 = 1;
 /// CRC32 lookup table for the reflected IEEE polynomial 0xEDB88320.
 const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    let mut i = 0usize;
+    let mut seed = 0u32;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = seed;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 {
@@ -41,6 +42,7 @@ const fn crc32_table() -> [u32; 256] {
         }
         table[i] = crc;
         i += 1;
+        seed += 1;
     }
     table
 }
@@ -62,7 +64,8 @@ impl Crc32 {
     pub fn update(&mut self, data: &[u8]) {
         let mut crc = self.state;
         for &b in data {
-            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+            crc =
+                (crc >> 8) ^ CRC32_TABLE[crate::convert::u32_to_usize((crc ^ u32::from(b)) & 0xFF)];
         }
         self.state = crc;
     }

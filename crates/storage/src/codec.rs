@@ -17,6 +17,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::checksum::Crc32;
+use crate::convert::{record_len_u32, u32_to_usize};
 
 /// Errors produced while decoding a sequence record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,10 +117,9 @@ pub struct Record {
 
 /// Appends the v1 record encoding to `buf`.
 pub fn encode_record(buf: &mut BytesMut, id: u64, values: &[f64]) {
-    debug_assert!(values.len() <= MAX_RECORD_ELEMS as usize);
     buf.reserve(encoded_len(values.len()));
     buf.put_u64_le(id);
-    buf.put_u32_le(values.len() as u32);
+    buf.put_u32_le(record_len_u32(values.len()));
     for &v in values {
         buf.put_f64_le(v);
     }
@@ -127,16 +127,15 @@ pub fn encode_record(buf: &mut BytesMut, id: u64, values: &[f64]) {
 
 /// Appends the checksummed v2 record encoding to `buf`.
 pub fn encode_record_v2(buf: &mut BytesMut, id: u64, values: &[f64]) {
-    debug_assert!(values.len() <= MAX_RECORD_ELEMS as usize);
     buf.reserve(RecordFormat::V2.encoded_len(values.len()));
     let mut crc = Crc32::new();
     crc.update(&id.to_le_bytes());
-    crc.update(&(values.len() as u32).to_le_bytes());
+    crc.update(&record_len_u32(values.len()).to_le_bytes());
     for &v in values {
         crc.update(&v.to_le_bytes());
     }
     buf.put_u64_le(id);
-    buf.put_u32_le(values.len() as u32);
+    buf.put_u32_le(record_len_u32(values.len()));
     buf.put_u32_le(crc.finalize());
     for &v in values {
         buf.put_f64_le(v);
@@ -178,15 +177,15 @@ pub fn decode_record(buf: &mut Bytes) -> Result<Record, CodecError> {
     if len > MAX_RECORD_ELEMS {
         return Err(CodecError::LengthOverflow(len));
     }
-    let body = 8 * len as usize;
+    let body = 8 * u32_to_usize(len);
     if buf.remaining() < body {
         return Err(CodecError::Truncated {
             needed: body,
             available: buf.remaining(),
         });
     }
-    let mut values = Vec::with_capacity(len as usize);
-    for index in 0..len as usize {
+    let mut values = Vec::with_capacity(u32_to_usize(len));
+    for index in 0..u32_to_usize(len) {
         let v = buf.get_f64_le();
         if v.is_nan() {
             return Err(CodecError::NanElement { id, index });
@@ -216,7 +215,7 @@ pub fn decode_record_v2(buf: &mut Bytes) -> Result<Record, CodecError> {
     if len > MAX_RECORD_ELEMS {
         return Err(CodecError::LengthOverflow(len));
     }
-    let body = 8 * len as usize;
+    let body = 8 * u32_to_usize(len);
     if buf.remaining() < body {
         return Err(CodecError::Truncated {
             needed: body,
@@ -231,8 +230,8 @@ pub fn decode_record_v2(buf: &mut Bytes) -> Result<Record, CodecError> {
         buf.advance(body);
         return Err(CodecError::ChecksumMismatch { id });
     }
-    let mut values = Vec::with_capacity(len as usize);
-    for index in 0..len as usize {
+    let mut values = Vec::with_capacity(u32_to_usize(len));
+    for index in 0..u32_to_usize(len) {
         let v = buf.get_f64_le();
         if v.is_nan() {
             return Err(CodecError::NanElement { id, index });

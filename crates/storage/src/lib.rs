@@ -26,9 +26,12 @@
 //! assert!(elapsed.as_micros() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod buffer;
 mod checksum;
 mod codec;
+mod convert;
 mod cost;
 mod fault;
 mod openfile;

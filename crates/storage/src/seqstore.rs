@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use crate::buffer::{BufferPool, BufferStats};
 use crate::checksum::Crc32;
 use crate::codec::{decode_record_fmt, encode_record_fmt, CodecError, RecordFormat};
+use crate::convert::{in_page_usize, record_len_u32, u32_to_usize, usize_to_u64};
 use crate::cost::IoProfile;
 use crate::pager::{MemPager, Pager, PagerError};
 
@@ -178,8 +179,10 @@ pub struct SequenceStore<P: Pager> {
 
 impl SequenceStore<MemPager> {
     /// An in-memory store with the paper's 1 KB pages.
+    #[allow(clippy::expect_used)]
     pub fn in_memory() -> Self {
         Self::create(MemPager::new(crate::pager::DEFAULT_PAGE_SIZE), 64)
+            // tw-allow(expect): a fresh MemPager is empty and cannot fail I/O
             .expect("in-memory store creation cannot fail")
     }
 }
@@ -244,7 +247,7 @@ impl<P: Pager> SequenceStore<P> {
         };
         let store = Self {
             pool,
-            directory: Vec::with_capacity(count as usize),
+            directory: Vec::with_capacity(usize::try_from(count).unwrap_or(0)),
             write_cursor: data_bytes,
             page_size,
             format,
@@ -259,7 +262,9 @@ impl<P: Pager> SequenceStore<P> {
     pub fn open(pager: P, pool_pages: usize) -> Result<Self, StoreError> {
         let (mut store, count, data_bytes) = Self::open_shell(pager, pool_pages)?;
         let format = store.format;
-        let mut raw = store.read_span(0, data_bytes as usize)?;
+        let data_len = usize::try_from(data_bytes)
+            .map_err(|_| StoreError::Corrupt("data extent exceeds address space"))?;
+        let mut raw = store.read_span(0, data_len)?;
         let mut offset = 0u64;
         for expected_id in 0..count {
             let before = raw.remaining();
@@ -269,9 +274,9 @@ impl<P: Pager> SequenceStore<P> {
             }
             store.directory.push(DirEntry {
                 offset,
-                len: rec.values.len() as u32,
+                len: record_len_u32(rec.values.len()),
             });
-            offset += (before - raw.remaining()) as u64;
+            offset += usize_to_u64(before - raw.remaining());
         }
         *store.io.lock() = IoProfile::default();
         Ok(store)
@@ -295,12 +300,12 @@ impl<P: Pager> SequenceStore<P> {
             .pool
             .page_count()
             .saturating_sub(1)
-            .saturating_mul(store.page_size as u64);
+            .saturating_mul(usize_to_u64(store.page_size));
         let data_end = data_bytes.min(allocated);
 
         let mut offset = 0u64;
         for expected_id in 0..count {
-            let header_need = format.header_bytes() as u64;
+            let header_need = usize_to_u64(format.header_bytes());
             if offset + header_need > data_end {
                 break;
             }
@@ -310,11 +315,12 @@ impl<P: Pager> SequenceStore<P> {
             };
             let _id = head.get_u64_le();
             let len = head.get_u32_le();
-            let need = format.encoded_len(len as usize) as u64;
+            let need_bytes = format.encoded_len(u32_to_usize(len));
+            let need = usize_to_u64(need_bytes);
             if len > crate::codec::MAX_RECORD_ELEMS || offset + need > data_end {
                 break;
             }
-            let mut raw = match store.read_span(offset, need as usize) {
+            let mut raw = match store.read_span(offset, need_bytes) {
                 Ok(b) => b,
                 Err(_) => break,
             };
@@ -322,7 +328,7 @@ impl<P: Pager> SequenceStore<P> {
                 Ok(rec) if rec.id == expected_id => {
                     store.directory.push(DirEntry {
                         offset,
-                        len: rec.values.len() as u32,
+                        len: record_len_u32(rec.values.len()),
                     });
                     offset += need;
                 }
@@ -332,7 +338,7 @@ impl<P: Pager> SequenceStore<P> {
 
         let report = RecoveryReport {
             expected_records: count,
-            recovered_records: store.directory.len() as u64,
+            recovered_records: usize_to_u64(store.directory.len()),
             expected_bytes: data_bytes,
             recovered_bytes: offset,
         };
@@ -373,7 +379,7 @@ impl<P: Pager> SequenceStore<P> {
 
     /// Number of pages the data region occupies.
     pub fn data_pages(&self) -> u64 {
-        self.write_cursor.div_ceil(self.page_size as u64)
+        self.write_cursor.div_ceil(usize_to_u64(self.page_size))
     }
 
     /// Total bytes of record data.
@@ -383,35 +389,36 @@ impl<P: Pager> SequenceStore<P> {
 
     /// Length (element count) of a stored sequence without reading its data.
     pub fn sequence_len(&self, id: SeqId) -> Result<usize, StoreError> {
-        self.dir(id).map(|e| e.len as usize)
+        self.dir(id).map(|e| u32_to_usize(e.len))
     }
 
     /// Number of pages a random read of `id` touches.
     pub fn sequence_pages(&self, id: SeqId) -> Result<u64, StoreError> {
         let e = self.dir(id)?;
-        let bytes = self.format.encoded_len(e.len as usize) as u64;
-        Ok(span_pages(e.offset, bytes, self.page_size as u64))
+        let bytes = usize_to_u64(self.format.encoded_len(u32_to_usize(e.len)));
+        Ok(span_pages(e.offset, bytes, usize_to_u64(self.page_size)))
     }
 
     fn dir(&self, id: SeqId) -> Result<DirEntry, StoreError> {
-        self.directory
-            .get(id as usize)
+        usize::try_from(id)
+            .ok()
+            .and_then(|i| self.directory.get(i))
             .copied()
             .ok_or(StoreError::UnknownSequence(id))
     }
 
     /// Appends a sequence, returning its id.
     pub fn append(&mut self, values: &[f64]) -> Result<SeqId, StoreError> {
-        let id = self.directory.len() as SeqId;
+        let id = usize_to_u64(self.directory.len());
         let mut buf = BytesMut::new();
         encode_record_fmt(self.format, &mut buf, id, values);
         let offset = self.write_cursor;
         self.write_span(offset, &buf)?;
         self.directory.push(DirEntry {
             offset,
-            len: values.len() as u32,
+            len: record_len_u32(values.len()),
         });
-        self.write_cursor += buf.len() as u64;
+        self.write_cursor += usize_to_u64(buf.len());
         Ok(id)
     }
 
@@ -419,7 +426,7 @@ impl<P: Pager> SequenceStore<P> {
     /// page reads in the I/O profile.
     pub fn get(&self, id: SeqId) -> Result<Vec<f64>, StoreError> {
         let e = self.dir(id)?;
-        let bytes = self.format.encoded_len(e.len as usize);
+        let bytes = self.format.encoded_len(u32_to_usize(e.len));
         let mut raw = self.read_span(e.offset, bytes)?;
         let rec = decode_record_fmt(self.format, &mut raw)?;
         if rec.id != id {
@@ -427,7 +434,8 @@ impl<P: Pager> SequenceStore<P> {
         }
         let mut io = self.io.lock();
         io.random_requests += 1;
-        io.random_page_reads += span_pages(e.offset, bytes as u64, self.page_size as u64);
+        io.random_page_reads +=
+            span_pages(e.offset, usize_to_u64(bytes), usize_to_u64(self.page_size));
         drop(io);
         Ok(rec.values)
     }
@@ -453,7 +461,7 @@ impl<P: Pager> SequenceStore<P> {
         let mut next_page = 1u64; // page 0 is the header
         let last_page = self.data_page(self.write_cursor.saturating_sub(1));
         for (idx, entry) in self.directory.iter().enumerate() {
-            let need = self.format.encoded_len(entry.len as usize);
+            let need = self.format.encoded_len(u32_to_usize(entry.len));
             while buf.len() < need {
                 if next_page > last_page {
                     return Err(StoreError::Corrupt("directory points past the data region"));
@@ -464,7 +472,7 @@ impl<P: Pager> SequenceStore<P> {
             }
             let mut record = buf.split_to(need).freeze();
             let rec = decode_record_fmt(self.format, &mut record)?;
-            if rec.id != idx as u64 {
+            if rec.id != usize_to_u64(idx) {
                 return Err(StoreError::Corrupt("record id does not match directory"));
             }
             visit(rec.id, rec.values);
@@ -501,14 +509,14 @@ impl<P: Pager> SequenceStore<P> {
         match self.format {
             RecordFormat::V1 => {
                 page.put_u32_le(1); // version
-                page.put_u64_le(self.directory.len() as u64);
+                page.put_u64_le(usize_to_u64(self.directory.len()));
                 page.put_u64_le(self.write_cursor);
             }
             RecordFormat::V2 => {
                 page.put_u32_le(2); // version
                 page.put_u32_le(self.pool.page_format_version());
                 page.put_u32_le(0); // reserved
-                page.put_u64_le(self.directory.len() as u64);
+                page.put_u64_le(usize_to_u64(self.directory.len()));
                 page.put_u64_le(self.write_cursor);
                 let mut crc = Crc32::new();
                 crc.update(&page[..HEADER_V2_CRC_SPAN]);
@@ -522,30 +530,31 @@ impl<P: Pager> SequenceStore<P> {
 
     /// Data-region page number holding byte `offset`.
     fn data_page(&self, offset: u64) -> u64 {
-        1 + offset / self.page_size as u64
+        1 + offset / usize_to_u64(self.page_size)
     }
 
     fn read_span(&self, offset: u64, len: usize) -> Result<Bytes, StoreError> {
         if len == 0 {
             return Ok(Bytes::new());
         }
-        let ps = self.page_size as u64;
+        let ps = usize_to_u64(self.page_size);
         let first = self.data_page(offset);
-        let last = self.data_page(offset + len as u64 - 1);
-        let mut raw = BytesMut::with_capacity(((last - first + 1) * ps) as usize);
+        let last = self.data_page(offset + usize_to_u64(len) - 1);
+        let span = usize::try_from((last - first + 1) * ps).unwrap_or(0);
+        let mut raw = BytesMut::with_capacity(span);
         let mut page_buf = vec![0u8; self.page_size];
         for p in first..=last {
             self.pool.read(p, &mut page_buf)?;
             raw.extend_from_slice(&page_buf);
         }
-        let start = (offset % ps) as usize;
+        let start = in_page_usize(offset % ps);
         Ok(raw.freeze().slice(start..start + len))
     }
 
     fn write_span(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
-        let ps = self.page_size as u64;
+        let ps = usize_to_u64(self.page_size);
         // Ensure enough pages exist.
-        let end = offset + data.len() as u64;
+        let end = offset + usize_to_u64(data.len());
         let needed_last = self.data_page(end.saturating_sub(1).max(offset));
         while self.pool.page_count() <= needed_last {
             self.pool.allocate()?;
@@ -555,7 +564,7 @@ impl<P: Pager> SequenceStore<P> {
         let mut cursor = offset;
         while written < data.len() {
             let page = self.data_page(cursor);
-            let in_page = (cursor % ps) as usize;
+            let in_page = in_page_usize(cursor % ps);
             let chunk = (self.page_size - in_page).min(data.len() - written);
             // Read-modify-write when the chunk does not cover the whole page.
             if chunk < self.page_size {
@@ -564,7 +573,7 @@ impl<P: Pager> SequenceStore<P> {
             page_buf[in_page..in_page + chunk].copy_from_slice(&data[written..written + chunk]);
             self.pool.write(page, &page_buf)?;
             written += chunk;
-            cursor += chunk as u64;
+            cursor += usize_to_u64(chunk);
         }
         Ok(())
     }

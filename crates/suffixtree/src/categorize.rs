@@ -38,8 +38,10 @@ impl Categorizer {
         assert!(k >= 2, "need at least two categories, got {k}");
         let mut values: Vec<f64> = data.iter().flatten().copied().collect();
         assert!(!values.is_empty(), "cannot fit categorizer on empty data");
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite elements"));
+        values.sort_by(f64::total_cmp);
         let lo = values[0];
+        #[allow(clippy::expect_used)]
+        // tw-allow(expect): guarded by the non-empty assert above
         let hi = *values.last().expect("non-empty");
 
         let boundaries: Vec<f64> = match method {
@@ -113,6 +115,7 @@ impl Categorizer {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

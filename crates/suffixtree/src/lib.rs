@@ -28,6 +28,8 @@
 //! assert!(!candidates.ids.contains(&1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod categorize;
 mod persist;
 mod stfilter;

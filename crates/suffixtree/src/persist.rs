@@ -53,10 +53,12 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    #[allow(clippy::expect_used)]
     fn u32(&mut self) -> Result<u32, DecodeError> {
         let end = self.pos.checked_add(4).ok_or(DecodeError::Truncated)?;
         let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
         self.pos = end;
+        // tw-allow(expect): the range above yields exactly 4 bytes
         Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     }
 }

@@ -122,9 +122,11 @@ impl StFilter {
                     // full string (suffix offset 0) and the DP is within the
                     // tolerance.
                     if cur[query.len()] <= epsilon {
+                        #[allow(clippy::expect_used)]
                         let suf = self
                             .tree
                             .leaf_suffix(child)
+                            // tw-allow(expect): Ukkonen invariant — skipping instead would false-dismiss
                             .expect("terminator only occurs on leaf edges");
                         if suf.offset == 0 {
                             out.push(suf.string_id);

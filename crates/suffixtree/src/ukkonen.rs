@@ -68,8 +68,13 @@ impl SuffixTree {
                 );
                 text.push(sym);
             }
+            #[allow(clippy::expect_used)]
+            // tw-allow(expect): documented API contract — u32 symbol space bounds the string count
+            let per_string = u32::try_from(i).expect("too many strings");
+            #[allow(clippy::expect_used)]
             let terminator = sentinel_base
-                .checked_add(u32::try_from(i).expect("too many strings"))
+                .checked_add(per_string)
+                // tw-allow(expect): documented API contract — sentinel space sized by caller
                 .expect("sentinel space exhausted");
             text.push(terminator);
         }

@@ -12,6 +12,8 @@
 //! * [`patterns`] — Cylinder–Bell–Funnel and periodic/sensor-like shapes for
 //!   the example applications.
 
+#![forbid(unsafe_code)]
+
 pub mod patterns;
 pub mod query_gen;
 pub mod random_walk;

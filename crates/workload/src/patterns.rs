@@ -87,6 +87,7 @@ pub fn periodic_with_anomaly(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

@@ -53,6 +53,7 @@ fn perturb(base: &[f64], rng: &mut SmallRng) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

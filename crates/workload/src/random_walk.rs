@@ -45,6 +45,9 @@ pub fn generate(config: &RandomWalkConfig, seed: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
+// Exact-equality guards: `gen_range` panics on empty ranges, so degenerate
+// bounds must be caught with `==`, not a tolerance.
+#[allow(clippy::float_cmp)]
 fn generate_one(config: &RandomWalkConfig, rng: &mut SmallRng) -> Vec<f64> {
     let mut seq = Vec::with_capacity(config.len);
     let mut v = if config.start_min == config.start_max {
@@ -54,6 +57,7 @@ fn generate_one(config: &RandomWalkConfig, rng: &mut SmallRng) -> Vec<f64> {
     };
     seq.push(v);
     for _ in 1..config.len {
+        // tw-allow(float-eq): exact-zero step guard — gen_range rejects an empty range
         let z = if config.step == 0.0 {
             0.0
         } else {
@@ -66,6 +70,7 @@ fn generate_one(config: &RandomWalkConfig, rng: &mut SmallRng) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;
 

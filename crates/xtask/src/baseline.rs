@@ -1,0 +1,195 @@
+//! The violation ratchet: `analyze-baseline.toml`.
+//!
+//! The baseline records, per `(file, rule)`, how many violations are
+//! grandfathered in as debt. A run fails only when a count *grows*; counts
+//! that shrink are reported so `--fix-baseline` can lock the improvement
+//! in. The granularity is deliberately per-file-per-rule counts rather
+//! than per-line entries: line-keyed baselines rot on every unrelated
+//! edit, counts only move when the debt itself moves.
+//!
+//! The format is a tiny TOML subset (array-of-tables with string/integer
+//! values) so that the analyzer stays dependency-free; both the writer and
+//! the parser live here and round-trip each other.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Grandfathered violation counts keyed by `(file, rule)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// Parses the baseline file. A missing file is an empty baseline (the
+    /// ratchet starts at zero debt).
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match fs::read_to_string(path) {
+            Ok(text) => {
+                Self::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parses the TOML subset produced by [`Baseline::render`].
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<u64>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<u64>)>| {
+            if let Some((file, rule, count)) = cur.take() {
+                match (file, rule, count) {
+                    (Some(f), Some(r), Some(c)) => {
+                        entries.insert((f, r), c);
+                        Ok(())
+                    }
+                    _ => Err("incomplete [[entry]] (need file, rule, count)".to_string()),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut cur)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", n + 1))?;
+            let entry = cur
+                .as_mut()
+                .ok_or_else(|| format!("line {}: key outside [[entry]]", n + 1))?;
+            let value = value.trim();
+            match key.trim() {
+                "file" => entry.0 = Some(unquote(value)?),
+                "rule" => entry.1 = Some(unquote(value)?),
+                "count" => {
+                    entry.2 = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("line {}: bad count {value:?}", n + 1))?,
+                    )
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", n + 1)),
+            }
+        }
+        flush(&mut cur)?;
+        Ok(Self { entries })
+    }
+
+    /// Serializes the baseline, sorted by file then rule.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# tw-analyze violation ratchet. Grandfathered debt, counted per (file, rule).\n\
+             # CI fails when a count grows. Regenerate after intentional changes with:\n\
+             #   cargo run -p xtask -- analyze --fix-baseline\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            let _ = write!(
+                out,
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            );
+        }
+        out
+    }
+
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.render())
+    }
+}
+
+fn unquote(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|v| v.to_string())
+        .ok_or_else(|| format!("expected quoted string, got {v:?}"))
+}
+
+/// Outcome of checking current counts against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// `(file, rule, current, baselined)` where current > baselined: CI fails.
+    pub regressions: Vec<(String, String, u64, u64)>,
+    /// Debt that shrank or vanished: lock in with `--fix-baseline`.
+    pub improvements: Vec<(String, String, u64, u64)>,
+}
+
+impl Comparison {
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Compares current violation counts with the committed baseline.
+pub fn compare(current: &BTreeMap<(String, String), u64>, baseline: &Baseline) -> Comparison {
+    let mut cmp = Comparison::default();
+    for ((file, rule), &count) in current {
+        let base = baseline
+            .entries
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if count > base {
+            cmp.regressions
+                .push((file.clone(), rule.clone(), count, base));
+        } else if count < base {
+            cmp.improvements
+                .push((file.clone(), rule.clone(), count, base));
+        }
+    }
+    for ((file, rule), &base) in &baseline.entries {
+        if !current.contains_key(&(file.clone(), rule.clone())) && base > 0 {
+            cmp.improvements.push((file.clone(), rule.clone(), 0, base));
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Baseline::default();
+        b.entries
+            .insert(("crates/core/src/x.rs".into(), "slice-index".into()), 7);
+        b.entries
+            .insert(("crates/storage/src/y.rs".into(), "unwrap".into()), 2);
+        let parsed = Baseline::parse(&b.render()).expect("parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn empty_and_comments_parse() {
+        let b = Baseline::parse("# nothing here\n\n").expect("parses");
+        assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn ratchet_direction() {
+        let mut base = Baseline::default();
+        base.entries.insert(("a.rs".into(), "unwrap".into()), 3);
+        base.entries.insert(("b.rs".into(), "cast".into()), 1);
+        let mut current = BTreeMap::new();
+        current.insert(("a.rs".into(), "unwrap".into()), 4); // grew
+        let cmp = compare(&current, &base);
+        assert!(cmp.is_regression());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.improvements.len(), 1); // b.rs debt vanished
+
+        current.insert(("a.rs".into(), "unwrap".into()), 3);
+        current.insert(("b.rs".into(), "cast".into()), 1);
+        assert!(!compare(&current, &base).is_regression());
+    }
+}

@@ -1,0 +1,460 @@
+//! A hand-rolled Rust lexer: just enough fidelity for lint rules.
+//!
+//! The analyzer must run `--offline` with no dependencies beyond `std`, so
+//! instead of `syn` we tokenize by hand. The lexer understands everything
+//! that would otherwise cause false positives in a plain text scan:
+//!
+//! * line comments (including doc comments — doctest code is *not* library
+//!   code and must not trip the panic rules),
+//! * nested block comments,
+//! * string/char/byte literals with escapes, raw strings `r#"…"#`,
+//!   raw identifiers `r#type`,
+//! * lifetimes vs. char literals,
+//! * float vs. integer literals (the float-safety rules need to know),
+//! * multi-character operators (`==`, `!=`, `->`, `::`, …).
+//!
+//! While lexing it also collects `// tw-allow(rule): reason` suppression
+//! directives, which live in comments and are therefore invisible to the
+//! token stream.
+
+/// Token kind. Keywords are `Ident`s; rules match on text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Ident,
+    Int,
+    Float,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A `// tw-allow(rule, …): reason` directive found in a line comment.
+///
+/// `standalone` means the comment is the only thing on its line, in which
+/// case it suppresses findings on the *next* line; a trailing comment
+/// suppresses findings on its own line.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub standalone: bool,
+}
+
+/// The lexed file: tokens plus the suppression directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+/// Tokenizes `source`. Unterminated literals simply end the token at EOF —
+/// for a linter, graceful degradation beats erroring out.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_has_code: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.line_has_code = true;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let standalone = !self.line_has_code;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        if let Some(allow) = parse_allow(&text, line, standalone) {
+            self.out.allows.push(allow);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push(Kind::Str, String::new(), line);
+    }
+
+    fn raw_string(&mut self) {
+        // At `r`/`br` with `"` or `#`s ahead; the caller verified the shape.
+        let line = self.line;
+        while self.peek(0) != b'"' && self.peek(0) != b'#' && self.pos < self.src.len() {
+            self.bump(); // the r / br prefix
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Kind::Str, String::new(), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a` (lifetime) vs `'a'` (char): a lifetime is a quote followed by
+        // an identifier that is *not* closed by another quote.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // quote
+            let start = self.pos;
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(Kind::Lifetime, text, line);
+            return;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // stray quote; don't eat the file
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push(Kind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            // `1.0` and `1.` are floats; `1..` is a range; `1.max()` a call.
+            if self.peek(0) == b'.'
+                && (self.peek(1).is_ascii_digit()
+                    || !(is_ident_start(self.peek(1)) || self.peek(1) == b'.'))
+            {
+                float = true;
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.bump();
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            if self.peek(0) == b'f' {
+                float = true; // f32 / f64 suffix
+            }
+            while is_ident_continue(self.peek(0)) {
+                self.bump(); // type suffix
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = if float { Kind::Float } else { Kind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        // Raw strings / byte strings / raw identifiers share ident-start
+        // prefixes: r" r#" br" b" b' br#" r#ident.
+        let (p0, p1, p2) = (self.peek(0), self.peek(1), self.peek(2));
+        let raw_str = (p0 == b'r' && (p1 == b'"' || (p1 == b'#' && !is_ident_start(p2))))
+            || (p0 == b'b' && p1 == b'r' && (p2 == b'"' || p2 == b'#'));
+        if raw_str {
+            self.raw_string();
+            return;
+        }
+        if p0 == b'b' && (p1 == b'"' || p1 == b'\'') {
+            self.bump(); // b prefix; lex the rest as the plain literal
+            if self.peek(0) == b'"' {
+                self.string();
+            } else {
+                self.char_or_lifetime();
+            }
+            return;
+        }
+        let start = self.pos;
+        if p0 == b'r' && p1 == b'#' {
+            self.bump();
+            self.bump(); // raw identifier prefix
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+        self.push(Kind::Ident, text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let three = [self.peek(0), self.peek(1), self.peek(2)];
+        for cand in [*b"..=", *b"...", *b"<<=", *b">>="] {
+            if three == cand {
+                for _ in 0..3 {
+                    self.bump();
+                }
+                self.push(
+                    Kind::Punct,
+                    String::from_utf8_lossy(&cand).into_owned(),
+                    line,
+                );
+                return;
+            }
+        }
+        let two = [self.peek(0), self.peek(1)];
+        const TWO: &[&[u8; 2]] = &[
+            b"==", b"!=", b"<=", b">=", b"&&", b"||", b"::", b"->", b"=>", b"..", b"+=", b"-=",
+            b"*=", b"/=", b"%=", b"^=", b"&=", b"|=", b"<<", b">>",
+        ];
+        for cand in TWO {
+            if two == **cand {
+                self.bump();
+                self.bump();
+                self.push(
+                    Kind::Punct,
+                    String::from_utf8_lossy(*cand).into_owned(),
+                    line,
+                );
+                return;
+            }
+        }
+        let c = self.bump();
+        self.push(Kind::Punct, (c as char).to_string(), line);
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Parses `tw-allow(rule, …): reason` out of a line comment, if present.
+/// A directive with no rules or an empty reason is still returned — the
+/// rules pass reports it as `bad-allow` instead of honouring it.
+fn parse_allow(comment: &str, line: u32, standalone: bool) -> Option<Allow> {
+    let at = comment.find("tw-allow(")?;
+    let rest = &comment[at + "tw-allow(".len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = &rest[close + 1..];
+    let reason = after
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    Some(Allow {
+        line,
+        rules,
+        reason,
+        standalone,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let lx = lex("// x.unwrap()\n/* panic!() /* nested */ */\nlet s = \"unwrap()\";");
+        let idents: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"let x = r#"quote " inside"#; r#type"##);
+        assert!(toks.contains(&(Kind::Str, String::new())));
+        assert!(toks.contains(&(Kind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("1.0 2 3.5f64 4f32 1..n 7e3 0x1f");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "3.5f64", "4f32", "7e3"]);
+        assert!(toks.contains(&(Kind::Punct, "..".into())));
+        assert!(toks.contains(&(Kind::Int, "0x1f".into())));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_ops() {
+        let toks = kinds("a == b != c -> d :: e ..= f");
+        for op in ["==", "!=", "->", "::", "..="] {
+            assert!(toks.contains(&(Kind::Punct, op.into())), "{op}");
+        }
+    }
+
+    #[test]
+    fn allow_directive_parsed() {
+        let lx =
+            lex("x(); // tw-allow(unwrap, panic): mutex can't be poisoned\n// tw-allow(cast)\n");
+        assert_eq!(lx.allows.len(), 2);
+        assert_eq!(lx.allows[0].rules, ["unwrap", "panic"]);
+        assert!(!lx.allows[0].standalone);
+        assert!(lx.allows[0].reason.contains("poisoned"));
+        assert!(lx.allows[1].standalone);
+        assert!(lx.allows[1].reason.is_empty());
+    }
+}

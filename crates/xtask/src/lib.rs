@@ -1,0 +1,84 @@
+//! # xtask — `tw-analyze`, the workspace's static-analysis pass
+//!
+//! A dependency-free (std-only, works `--offline`) analyzer that enforces
+//! the project lints clippy cannot express: panic-freedom in library code,
+//! NaN-total float comparisons on the DTW paths, on-disk-format cast and
+//! endianness hygiene, and `source()`-preserving error construction. See
+//! DESIGN.md "Static analysis & lint policy" for the rule catalog and
+//! `// tw-allow(rule): reason` suppression etiquette.
+//!
+//! Run it as `cargo run -p xtask -- analyze`; CI (`scripts/check.sh`) runs
+//! it between clippy and the tests and fails on any violation not covered
+//! by the committed `analyze-baseline.toml` ratchet.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use baseline::{Baseline, Comparison};
+use rules::Violation;
+
+/// Everything one analysis run produced.
+#[derive(Debug)]
+pub struct Report {
+    pub root: PathBuf,
+    /// All findings, including suppressed ones (reports distinguish them).
+    pub violations: Vec<Violation>,
+    /// Active (non-suppressed) counts per `(file, rule)` — the ratchet input.
+    pub counts: BTreeMap<(String, String), u64>,
+    pub files_analyzed: usize,
+}
+
+impl Report {
+    pub fn active(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| v.suppressed.is_none())
+    }
+
+    pub fn suppressed_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.suppressed.is_some())
+            .count()
+    }
+
+    /// Checks the run against a baseline file.
+    pub fn compare(&self, baseline_path: &Path) -> io::Result<Comparison> {
+        let base = Baseline::load(baseline_path)?;
+        Ok(baseline::compare(&self.counts, &base))
+    }
+
+    /// The baseline that would make this run pass exactly.
+    pub fn as_baseline(&self) -> Baseline {
+        Baseline {
+            entries: self.counts.clone(),
+        }
+    }
+}
+
+/// Analyzes every library-crate source file under `root`.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let files = walk::collect(root)?;
+    let mut violations = Vec::new();
+    let files_analyzed = files.len();
+    for file in &files {
+        let source = std::fs::read_to_string(&file.abs)?;
+        violations.extend(rules::analyze_source(&file.rel, &source, file.class));
+    }
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for v in violations.iter().filter(|v| v.suppressed.is_none()) {
+        *counts
+            .entry((v.file.clone(), v.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    Ok(Report {
+        root: root.to_path_buf(),
+        violations,
+        counts,
+        files_analyzed,
+    })
+}

@@ -1,0 +1,181 @@
+//! `tw-analyze` — CLI entry point. See `xtask` (the library) for the rules.
+//!
+//! ```text
+//! cargo run -p xtask -- analyze                 # check against the ratchet
+//! cargo run -p xtask -- analyze --fix-baseline  # rewrite analyze-baseline.toml
+//! cargo run -p xtask -- analyze --list          # print every finding
+//! cargo run -p xtask -- rules                   # rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean (vs. baseline), 1 new violations, 2 usage/IO error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::rules::{family_of, RULES};
+use xtask::{baseline::Baseline, walk};
+
+const BASELINE_FILE: &str = "analyze-baseline.toml";
+
+struct Opts {
+    command: String,
+    fix_baseline: bool,
+    list: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tw-analyze <analyze|rules> [--fix-baseline] [--list] \
+         [--root DIR] [--baseline FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Opts {
+        command: String::new(),
+        fix_baseline: false,
+        list: false,
+        root: None,
+        baseline: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fix-baseline" => opts.fix_baseline = true,
+            "--list" => opts.list = true,
+            "--root" => opts.root = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(args.next().ok_or_else(usage)?)),
+            cmd if opts.command.is_empty() && !cmd.starts_with('-') => {
+                opts.command = cmd.to_string();
+            }
+            _ => return Err(usage()),
+        }
+    }
+    if opts.command.is_empty() {
+        opts.command = "analyze".to_string();
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    match opts.command.as_str() {
+        "rules" => {
+            println!("{:<15} {:<17} description", "rule", "family");
+            for (name, family, desc) in RULES {
+                println!("{name:<15} {family:<17} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        "analyze" => analyze(&opts),
+        _ => usage(),
+    }
+}
+
+fn analyze(opts: &Opts) -> ExitCode {
+    let root = match walk::find_root(opts.root.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tw-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match xtask::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tw-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if opts.fix_baseline {
+        if let Err(e) = report.as_baseline().save(&baseline_path) {
+            eprintln!("tw-analyze: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} entries, {} active violations across {} files)",
+            baseline_path.display(),
+            report.counts.len(),
+            report.active().count(),
+            report.files_analyzed,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.list {
+        for v in &report.violations {
+            match &v.suppressed {
+                Some(reason) => println!(
+                    "{}:{}: [{}] suppressed: {} (tw-allow: {reason})",
+                    v.file, v.line, v.rule, v.message
+                ),
+                None => println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message),
+            }
+        }
+    }
+
+    let cmp = match report.compare(&baseline_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tw-analyze: reading {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    // Per-family summary of active violations.
+    let mut by_family: BTreeMap<&str, u64> = BTreeMap::new();
+    for v in report.active() {
+        *by_family.entry(family_of(v.rule)).or_insert(0) += 1;
+    }
+    println!(
+        "tw-analyze: {} files, {} active violations ({} suppressed by tw-allow)",
+        report.files_analyzed,
+        report.active().count(),
+        report.suppressed_count(),
+    );
+    for (family, n) in &by_family {
+        println!("  {family:<17} {n}");
+    }
+
+    if !cmp.improvements.is_empty() {
+        println!("ratchet can tighten (run with --fix-baseline to lock in):");
+        for (file, rule, now, base) in &cmp.improvements {
+            println!("  {file} [{rule}] {base} -> {now}");
+        }
+    }
+
+    if cmp.is_regression() {
+        eprintln!("tw-analyze: NEW violations over the committed baseline:");
+        for (file, rule, now, base) in &cmp.regressions {
+            eprintln!("  {file} [{rule}] baseline {base}, now {now}:");
+            for v in report
+                .active()
+                .filter(|v| v.file == *file && v.rule == *rule)
+            {
+                eprintln!("    {}:{}: {}", v.file, v.line, v.message);
+            }
+        }
+        eprintln!(
+            "fix the new violations, add `// tw-allow(rule): reason` with justification,\n\
+             or (for intentional debt) rerun with --fix-baseline and commit the result."
+        );
+        return ExitCode::FAILURE;
+    }
+    let baselined: u64 = Baseline::load(&baseline_path)
+        .map(|b| b.entries.values().sum())
+        .unwrap_or(0);
+    println!("clean vs. baseline ({baselined} grandfathered)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,558 @@
+//! The project lint rules, applied to a lexed file.
+//!
+//! Four rule families (see DESIGN.md "Static analysis & lint policy"):
+//!
+//! * **panic-freedom** — `unwrap`, `expect`, `panic`, `slice-index`:
+//!   library code must propagate `TwError`/`StoreError`/`PersistError`
+//!   instead of aborting a query thread. Tests, benches, the CLI and the
+//!   examples are exempt (they are not library code and never analyzed).
+//! * **float-safety** — `float-eq`, `partial-cmp`: DTW/L∞ code paths must
+//!   be NaN-total. `partial_cmp(..).unwrap()` panics on NaN and
+//!   `sort_by(partial_cmp)` silently mis-sorts; both must use `total_cmp`.
+//! * **format-stability** — `cast`, `endianness`: inside the on-disk
+//!   format files, `as` casts silently truncate and anything but
+//!   little-endian breaks the TWS1/TWS2/TWR2 layouts pinned by
+//!   `tests/format_stability.rs`.
+//! * **error-hygiene** — `boxed-error`, `error-stringify`: public
+//!   signatures carry concrete error types, and `map_err` closures must not
+//!   flatten a source error into a `String` (that severs the `source()`
+//!   chain `TwError` promises).
+//!
+//! Plus `forbid-unsafe` / `unsafe-code` (every library crate declares
+//! `#![forbid(unsafe_code)]`) and `bad-allow` (a `tw-allow` with an unknown
+//! rule name or no reason is itself a violation, never a suppression).
+//!
+//! All checks are lexical. Where a rule would need type inference (e.g.
+//! `==` between two float *variables*) we approximate (a float literal on
+//! either side) and let the matching clippy lint cover the rest; the
+//! workspace `[lints]` table keeps the two in agreement.
+
+use crate::lexer::{lex, Kind, Lexed, Token};
+
+/// Every rule the analyzer knows, with its family (for reporting) and a
+/// one-line description (for `--rules` and the docs).
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "unwrap",
+        "panic-freedom",
+        ".unwrap() forbidden in library code; propagate the error",
+    ),
+    (
+        "expect",
+        "panic-freedom",
+        ".expect(..) forbidden in library code; propagate the error",
+    ),
+    (
+        "panic",
+        "panic-freedom",
+        "panic!/unreachable!/todo!/unimplemented! forbidden in library code",
+    ),
+    (
+        "slice-index",
+        "panic-freedom",
+        "slice indexing can panic; prefer get()/iterators or tw-allow with a bounds argument",
+    ),
+    (
+        "float-eq",
+        "float-safety",
+        "==/!= against a float literal; compare with an epsilon or total_cmp",
+    ),
+    (
+        "partial-cmp",
+        "float-safety",
+        "partial_cmp unwrapped or used as a sort comparator; use total_cmp",
+    ),
+    (
+        "cast",
+        "format-stability",
+        "`as` casts silently truncate in on-disk format code; use try_from/from",
+    ),
+    (
+        "endianness",
+        "format-stability",
+        "on-disk formats are little-endian; to_be/from_be/to_ne/from_ne forbidden",
+    ),
+    (
+        "boxed-error",
+        "error-hygiene",
+        "Box<dyn Error> in a public signature; use the concrete error enum",
+    ),
+    (
+        "error-stringify",
+        "error-hygiene",
+        "map_err flattens an error into a String, severing the source() chain",
+    ),
+    (
+        "forbid-unsafe",
+        "unsafe",
+        "library crate roots must declare #![forbid(unsafe_code)]",
+    ),
+    (
+        "unsafe-code",
+        "unsafe",
+        "unsafe blocks/functions forbidden in library code",
+    ),
+    (
+        "bad-allow",
+        "meta",
+        "tw-allow directive with unknown rule or missing reason",
+    ),
+];
+
+/// Returns the family a rule belongs to, or "meta" if unknown.
+pub fn family_of(rule: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|(name, _, _)| *name == rule)
+        .map(|(_, fam, _)| *fam)
+        .unwrap_or("meta")
+}
+
+fn is_known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(name, _, _)| *name == rule)
+}
+
+/// What kind of file is being analyzed; selects the applicable rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Library code: panic-freedom, float-safety, error-hygiene, unsafe.
+    pub library: bool,
+    /// On-disk format code: format-stability rules additionally apply.
+    pub format: bool,
+    /// A library crate root (`lib.rs`): must carry #![forbid(unsafe_code)].
+    pub crate_root: bool,
+}
+
+impl FileClass {
+    pub fn library() -> Self {
+        Self {
+            library: true,
+            format: false,
+            crate_root: false,
+        }
+    }
+}
+
+/// One finding. `suppressed` carries the reason of the honoured `tw-allow`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+    pub suppressed: Option<String>,
+}
+
+/// Lexes and analyzes one file's source. `file` is the path label used in
+/// reports (repo-relative in real runs, arbitrary in fixture tests).
+pub fn analyze_source(file: &str, source: &str, class: FileClass) -> Vec<Violation> {
+    let lexed = lex(source);
+    let skip = test_code_mask(&lexed.tokens);
+    let mut raw = scan(&lexed.tokens, &skip, class);
+    if class.crate_root && !has_forbid_unsafe(&lexed.tokens) {
+        raw.push((1, "forbid-unsafe", "missing #![forbid(unsafe_code)]".into()));
+    }
+    apply_allows(file, raw, &lexed)
+}
+
+// ---------------------------------------------------------------------------
+// test-code detection
+// ---------------------------------------------------------------------------
+
+/// Marks token ranges covered by `#[cfg(test)]` / `#[test]` items: the rules
+/// do not apply inside them. `#[cfg(not(test))]`-style attributes are left
+/// alone (anything mentioning `not` is conservatively treated as non-test).
+fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut skip = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && at(tokens, i + 1) == "[" {
+            let attr_end = match matching(tokens, i + 1, "[", "]") {
+                Some(e) => e,
+                None => break,
+            };
+            let attr = &tokens[i + 2..attr_end];
+            if is_test_attr(attr) {
+                let item_end = item_end_after(tokens, attr_end + 1);
+                for s in skip.iter_mut().take(item_end + 1).skip(i) {
+                    *s = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    skip
+}
+
+fn is_test_attr(attr: &[Token]) -> bool {
+    let has = |t: &str| attr.iter().any(|tok| tok.text == t);
+    if has("not") {
+        return false;
+    }
+    // #[test], #[cfg(test)], #[cfg(all(test, ...))], #[tokio::test]-style.
+    (attr.len() == 1 && attr[0].text == "test") || (has("cfg") && has("test"))
+}
+
+/// Given the index just past an attribute, returns the index of the token
+/// that ends the annotated item: the `;` of `mod x;`-style items, or the
+/// `}` matching its first body brace. Further attributes are skipped.
+fn item_end_after(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() {
+        if tokens[i].text == "#" && at(tokens, i + 1) == "[" {
+            match matching(tokens, i + 1, "[", "]") {
+                Some(e) => i = e + 1,
+                None => return tokens.len() - 1,
+            }
+            continue;
+        }
+        break;
+    }
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            ";" => return j,
+            "{" => return matching(tokens, j, "{", "}").unwrap_or(tokens.len() - 1),
+            _ => j += 1,
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the delimiter matching `tokens[open_at]`, or None.
+fn matching(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_at) {
+        if t.kind == Kind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn at(tokens: &[Token], i: usize) -> &str {
+    tokens.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+// ---------------------------------------------------------------------------
+// the scanning pass
+// ---------------------------------------------------------------------------
+
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32",
+];
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (slice patterns, array types/literals after `return`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "return", "in", "if", "while", "match", "else", "move", "as", "break",
+    "continue", "where", "dyn", "impl", "for", "fn", "const", "static", "use", "pub", "mod",
+    "struct", "enum", "trait", "type", "unsafe", "box", "yield", "await", "loop",
+];
+
+const PARTIAL_CMP_SINKS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+    "binary_search_by",
+    "max_by",
+    "min_by",
+];
+
+fn scan(tokens: &[Token], skip: &[bool], class: FileClass) -> Vec<(u32, &'static str, String)> {
+    let mut out: Vec<(u32, &'static str, String)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        let next = tokens.get(i + 1);
+        let prev_text = prev.map(|p| p.text.as_str()).unwrap_or("");
+        let next_text = next.map(|n| n.text.as_str()).unwrap_or("");
+
+        if class.library {
+            match t.text.as_str() {
+                "unwrap" if prev_text == "." && next_text == "(" => {
+                    out.push((t.line, "unwrap", ".unwrap() in library code".into()));
+                }
+                "expect" if prev_text == "." && next_text == "(" => {
+                    out.push((t.line, "expect", ".expect(..) in library code".into()));
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if next_text == "!" && prev_text != "::" && prev_text != "." =>
+                {
+                    out.push((t.line, "panic", format!("{}! in library code", t.text)));
+                }
+                "unsafe" => {
+                    out.push((t.line, "unsafe-code", "unsafe in library code".into()));
+                }
+                "partial_cmp" if prev_text != "fn" => {
+                    if let Some(end) = (next_text == "(")
+                        .then(|| matching(tokens, i + 1, "(", ")"))
+                        .flatten()
+                    {
+                        let method = at(tokens, end + 2);
+                        if at(tokens, end + 1) == "." && (method == "unwrap" || method == "expect")
+                        {
+                            out.push((
+                                t.line,
+                                "partial-cmp",
+                                format!("partial_cmp(..).{method}() panics on NaN; use total_cmp"),
+                            ));
+                        }
+                    }
+                }
+                s if PARTIAL_CMP_SINKS.contains(&s) && next_text == "(" => {
+                    if let Some(end) = matching(tokens, i + 1, "(", ")") {
+                        if tokens[i + 1..end].iter().any(|a| a.text == "partial_cmp") {
+                            out.push((
+                                t.line,
+                                "partial-cmp",
+                                format!(
+                                    "{s}(.. partial_cmp ..) is not a total order; use total_cmp"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                "map_err" if next_text == "(" => {
+                    if let Some(end) = matching(tokens, i + 1, "(", ")") {
+                        let args = &tokens[i + 1..end];
+                        let stringifies = args
+                            .iter()
+                            .any(|a| a.text == "to_string" || a.text == "format");
+                        let wraps_error = args
+                            .iter()
+                            .any(|a| a.kind == Kind::Ident && a.text.ends_with("Error"));
+                        if stringifies && wraps_error {
+                            out.push((
+                                t.line,
+                                "error-stringify",
+                                "map_err stringifies the source error; wrap it instead".into(),
+                            ));
+                        }
+                    }
+                }
+                "fn" => {
+                    if let Some(v) = check_fn_signature(tokens, i) {
+                        out.push(v);
+                    }
+                }
+                _ => {}
+            }
+
+            // Slice/array indexing: a postfix `[` after an expression-ending
+            // token. Attribute brackets (`#[`), macro brackets (`vec![`),
+            // types and patterns are all excluded by the prev-token shape.
+            if t.text == "[" && t.kind == Kind::Punct {
+                if let Some(p) = prev {
+                    let postfix = match p.kind {
+                        Kind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+                        Kind::Int => true, // tuple-field access chains: x.0[i]
+                        Kind::Punct => p.text == ")" || p.text == "]" || p.text == "?",
+                        _ => false,
+                    };
+                    if postfix {
+                        out.push((t.line, "slice-index", "indexing can panic".into()));
+                    }
+                }
+            }
+
+            // Float (in)equality against a literal.
+            if t.kind == Kind::Punct && (t.text == "==" || t.text == "!=") {
+                let float_side = prev.map(|p| p.kind == Kind::Float).unwrap_or(false)
+                    || next.map(|n| n.kind == Kind::Float).unwrap_or(false);
+                if float_side {
+                    out.push((
+                        t.line,
+                        "float-eq",
+                        format!("`{}` against a float literal", t.text),
+                    ));
+                }
+            }
+        }
+
+        if class.format {
+            match t.text.as_str() {
+                "as" if INT_TYPES.contains(&next_text) => {
+                    out.push((
+                        t.line,
+                        "cast",
+                        format!("`as {next_text}` in format code can truncate; use try_from/from"),
+                    ));
+                }
+                "to_be_bytes" | "from_be_bytes" | "to_ne_bytes" | "from_ne_bytes" => {
+                    out.push((
+                        t.line,
+                        "endianness",
+                        format!("{} in format code; formats are little-endian", t.text),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    // A line can hit the same rule twice (e.g. two indexes); keep both — the
+    // ratchet counts occurrences — but collapse exact duplicates from
+    // overlapping detectors.
+    out.dedup();
+    out
+}
+
+/// Flags `Box<dyn ..Error..>` anywhere in a `pub fn` signature.
+fn check_fn_signature(tokens: &[Token], fn_at: usize) -> Option<(u32, &'static str, String)> {
+    // Public? Look back past `async`/`const`/`unsafe`/`extern "C"` for `pub`
+    // not followed by a restriction like `pub(crate)`.
+    let mut k = fn_at;
+    let mut public = false;
+    for _ in 0..4 {
+        k = k.checked_sub(1)?;
+        match tokens[k].text.as_str() {
+            "async" | "const" | "unsafe" | "extern" => continue,
+            "pub" => {
+                public = at(tokens, k + 1) != "(";
+                break;
+            }
+            _ => break,
+        }
+    }
+    if !public {
+        return None;
+    }
+    let mut j = fn_at + 1;
+    while j < tokens.len() && tokens[j].text != "{" && tokens[j].text != ";" {
+        if tokens[j].text == "Box"
+            && at(tokens, j + 1) == "<"
+            && at(tokens, j + 2) == "dyn"
+            && tokens
+                .get(j + 3..tokens.len().min(j + 8))
+                .unwrap_or_default()
+                .iter()
+                .any(|t| t.text.ends_with("Error"))
+        {
+            return Some((
+                tokens[j].line,
+                "boxed-error",
+                "Box<dyn Error> in public signature; use the concrete error enum".into(),
+            ));
+        }
+        j += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// suppression
+// ---------------------------------------------------------------------------
+
+fn apply_allows(
+    file: &str,
+    raw: Vec<(u32, &'static str, String)>,
+    lexed: &Lexed,
+) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    for allow in &lexed.allows {
+        let bad: Vec<&String> = allow.rules.iter().filter(|r| !is_known_rule(r)).collect();
+        if !bad.is_empty() {
+            out.push(Violation {
+                file: file.into(),
+                line: allow.line,
+                rule: "bad-allow",
+                message: format!("tw-allow names unknown rule(s): {bad:?}"),
+                suppressed: None,
+            });
+        }
+        if allow.reason.is_empty() || allow.rules.is_empty() {
+            out.push(Violation {
+                file: file.into(),
+                line: allow.line,
+                rule: "bad-allow",
+                message: "tw-allow needs rules and a reason: // tw-allow(rule): why".into(),
+                suppressed: None,
+            });
+        }
+    }
+    for (line, rule, message) in raw {
+        let suppressed = lexed
+            .allows
+            .iter()
+            .find(|a| {
+                !a.reason.is_empty()
+                    && a.rules.iter().any(|r| r == rule)
+                    && ((a.standalone && a.line + 1 == line) || (!a.standalone && a.line == line))
+            })
+            .map(|a| a.reason.clone());
+        out.push(Violation {
+            file: file.into(),
+            line,
+            rule,
+            message,
+            suppressed,
+        });
+    }
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired(src: &str, class: FileClass) -> Vec<(&'static str, u32)> {
+        analyze_source("t.rs", src, class)
+            .into_iter()
+            .filter(|v| v.suppressed.is_none())
+            .map(|v| (v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n fn g() { x.unwrap(); }\n}\n";
+        assert!(fired(src, FileClass::library()).is_empty());
+    }
+
+    #[test]
+    fn trailing_and_standalone_allows() {
+        let src = "fn f() { x.unwrap(); // tw-allow(unwrap): fresh vec is non-empty\n\
+                   // tw-allow(panic): state machine exhaustive\n panic!(\"no\"); }";
+        assert!(fired(src, FileClass::library()).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_allow() {
+        let src = "fn f() { x.unwrap(); // tw-allow(unwrap)\n}";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.contains(&("bad-allow", 1)));
+        assert!(rules.contains(&("unwrap", 1)), "{rules:?}");
+    }
+
+    #[test]
+    fn doc_comment_examples_are_exempt() {
+        let src = "//! ```\n//! x.unwrap();\n//! ```\nfn f() {}\n";
+        assert!(fired(src, FileClass::library()).is_empty());
+    }
+}

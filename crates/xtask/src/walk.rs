@@ -1,0 +1,107 @@
+//! Workspace layout knowledge: which files are library code, which are
+//! on-disk format code, and how to find the workspace root.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::FileClass;
+
+/// The crates whose `src/` trees are library code and subject to the full
+/// rule set. Tool/consumer crates (`cli`, `bench`, `examples`,
+/// `integration`, `xtask`) and `vendor/` are exempt by design: panics there
+/// abort one process, not a query thread inside the engine.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "core",
+    "storage",
+    "rtree",
+    "fastmap",
+    "suffixtree",
+    "workload",
+];
+
+/// Files implementing the on-disk formats (TWS1/TWS2 records, TWR2 pages):
+/// the format-stability rules apply on top of the library rules.
+pub const FORMAT_FILES: &[&str] = &[
+    "crates/storage/src/codec.rs",
+    "crates/storage/src/checksum.rs",
+    "crates/storage/src/seqstore.rs",
+    "crates/rtree/src/persist.rs",
+];
+
+/// Locates the workspace root: an explicit `--root`, else walking up from
+/// `$CARGO_MANIFEST_DIR` (set under `cargo run`), else from the cwd, until
+/// a `Cargo.toml` containing `[workspace]` is found.
+pub fn find_root(explicit: Option<&Path>) -> io::Result<PathBuf> {
+    if let Some(root) = explicit {
+        return Ok(root.to_path_buf());
+    }
+    let start = match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::current_dir()?,
+    };
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no workspace Cargo.toml above {}", start.display()),
+            )
+        })?;
+    }
+}
+
+/// One file scheduled for analysis.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (the baseline key).
+    pub rel: String,
+    pub abs: PathBuf,
+    pub class: FileClass,
+}
+
+/// Collects every library-crate source file under `root`, classified.
+pub fn collect(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut rs = Vec::new();
+        walk_dir(&src, &mut rs)?;
+        rs.sort();
+        for abs in rs {
+            let rel = abs
+                .strip_prefix(root)
+                .unwrap_or(&abs)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let class = FileClass {
+                library: true,
+                format: FORMAT_FILES.contains(&rel.as_str()),
+                crate_root: rel == format!("crates/{krate}/src/lib.rs"),
+            };
+            files.push(SourceFile { rel, abs, class });
+        }
+    }
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            walk_dir(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

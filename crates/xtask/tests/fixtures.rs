@@ -1,0 +1,252 @@
+//! Known-bad fixtures, one per rule, proving every detector fires where it
+//! should — and the `tw-allow` etiquette tests proving suppression is
+//! line-exact (trailing comment = same line, standalone comment = next line
+//! only, missing reason or unknown rule = `bad-allow`, never a suppression).
+
+use xtask::rules::{analyze_source, FileClass};
+
+/// Active (non-suppressed) findings as `(line, rule)` pairs.
+fn active(file: &str, src: &str, class: FileClass) -> Vec<(u32, &'static str)> {
+    analyze_source(file, src, class)
+        .into_iter()
+        .filter(|v| v.suppressed.is_none())
+        .map(|v| (v.line, v.rule))
+        .collect()
+}
+
+fn lib(src: &str) -> Vec<(u32, &'static str)> {
+    active("crates/core/src/fixture.rs", src, FileClass::library())
+}
+
+fn fmt_file(src: &str) -> Vec<(u32, &'static str)> {
+    let class = FileClass {
+        library: true,
+        format: true,
+        crate_root: false,
+    };
+    active("crates/storage/src/codec.rs", src, class)
+}
+
+// ---------------------------------------------------------------------------
+// panic-freedom
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unwrap_in_library_code_fires() {
+    let got = lib("fn f(v: Option<u32>) -> u32 { v.unwrap() }\n");
+    assert_eq!(got, vec![(1, "unwrap")]);
+}
+
+#[test]
+fn expect_in_library_code_fires() {
+    let got = lib("fn f(v: Option<u32>) -> u32 { v.expect(\"present\") }\n");
+    assert_eq!(got, vec![(1, "expect")]);
+}
+
+#[test]
+fn panic_family_macros_fire() {
+    let src = "fn f(n: u32) {\n\
+               panic!(\"boom\");\n\
+               unreachable!();\n\
+               todo!();\n\
+               unimplemented!();\n\
+               }\n";
+    let got = lib(src);
+    assert_eq!(
+        got,
+        vec![(2, "panic"), (3, "panic"), (4, "panic"), (5, "panic")]
+    );
+}
+
+#[test]
+fn slice_indexing_fires_but_slice_patterns_do_not() {
+    assert_eq!(
+        lib("fn f(v: &[u8]) -> u8 { v[0] }\n"),
+        vec![(1, "slice-index")]
+    );
+    // A slice *type* and a `let`-bound array literal are not index expressions.
+    assert_eq!(lib("fn f() { let v = [0u8; 4]; drop(v); }\n"), vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// float-safety
+// ---------------------------------------------------------------------------
+
+#[test]
+fn float_literal_comparison_fires_either_side() {
+    assert_eq!(
+        lib("fn f(x: f64) -> bool { x == 0.0 }\n"),
+        vec![(1, "float-eq")]
+    );
+    assert_eq!(
+        lib("fn f(x: f64) -> bool { 1.5 != x }\n"),
+        vec![(1, "float-eq")]
+    );
+}
+
+#[test]
+fn variable_to_variable_comparison_is_left_to_clippy() {
+    // The lexical pass cannot see types; `float_cmp` in the workspace
+    // `[lints]` table covers the variable == variable case.
+    assert_eq!(lib("fn f(x: f64, y: f64) -> bool { x == y }\n"), vec![]);
+}
+
+#[test]
+fn partial_cmp_unwrap_and_sort_sinks_fire() {
+    assert_eq!(
+        lib("fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }\n"),
+        // The `.unwrap()` itself also trips the panic-freedom rule.
+        vec![(1, "partial-cmp"), (1, "unwrap")]
+    );
+    assert_eq!(
+        lib("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n"),
+        vec![(1, "partial-cmp"), (1, "partial-cmp"), (1, "unwrap")]
+    );
+    // total_cmp is the sanctioned comparator.
+    assert_eq!(
+        lib("fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n"),
+        vec![]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// format-stability (format files only)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn casts_fire_only_in_format_files() {
+    let src = "fn f(n: u64) -> u32 { n as u32 }\n";
+    assert_eq!(fmt_file(src), vec![(1, "cast")]);
+    assert_eq!(lib(src), vec![]);
+}
+
+#[test]
+fn endianness_fires_only_in_format_files() {
+    let src = "fn f(x: u32) -> [u8; 4] { x.to_be_bytes() }\n";
+    assert_eq!(fmt_file(src), vec![(1, "endianness")]);
+    assert_eq!(lib(src), vec![]);
+    // Little-endian is the format's byte order and passes.
+    assert_eq!(
+        fmt_file("fn f(x: u32) -> [u8; 4] { x.to_le_bytes() }\n"),
+        vec![]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// error-hygiene
+// ---------------------------------------------------------------------------
+
+#[test]
+fn boxed_error_in_public_signature_fires() {
+    let src = "pub fn f() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }\n";
+    assert_eq!(lib(src), vec![(1, "boxed-error")]);
+}
+
+#[test]
+fn map_err_stringify_fires() {
+    let src = "fn f(r: Result<(), StoreError>) -> Result<(), String> {\n\
+               r.map_err(|e: StoreError| e.to_string())\n\
+               }\n";
+    assert_eq!(lib(src), vec![(2, "error-stringify")]);
+}
+
+// ---------------------------------------------------------------------------
+// unsafe
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsafe_block_fires() {
+    let got = lib("fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+    assert!(got.contains(&(1, "unsafe-code")), "{got:?}");
+}
+
+#[test]
+fn crate_root_without_forbid_unsafe_fires() {
+    let class = FileClass {
+        library: true,
+        format: false,
+        crate_root: true,
+    };
+    assert_eq!(
+        active("crates/core/src/lib.rs", "pub mod x;\n", class),
+        vec![(1, "forbid-unsafe")]
+    );
+    assert_eq!(
+        active(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod x;\n",
+            class
+        ),
+        vec![]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// test-code exemption
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cfg_test_modules_and_test_fns_are_exempt() {
+    let src = "#[cfg(test)]\nmod tests {\n fn h(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+    assert_eq!(lib(src), vec![]);
+    let src = "#[test]\nfn t() { None::<u32>.unwrap(); }\n";
+    assert_eq!(lib(src), vec![]);
+    // ... but library code *after* a test module is still analyzed.
+    let src = "#[cfg(test)]\nmod tests {}\nfn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(lib(src), vec![(3, "unwrap")]);
+}
+
+// ---------------------------------------------------------------------------
+// tw-allow etiquette
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trailing_allow_suppresses_its_own_line() {
+    let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() } // tw-allow(unwrap): fixture reason\n";
+    assert_eq!(lib(src), vec![]);
+    // The finding is still recorded, just marked suppressed.
+    let all = analyze_source("crates/core/src/fixture.rs", src, FileClass::library());
+    assert_eq!(all.len(), 1);
+    assert_eq!(all[0].suppressed.as_deref(), Some("fixture reason"));
+}
+
+#[test]
+fn standalone_allow_suppresses_only_the_next_line() {
+    let src = "// tw-allow(unwrap): fixture reason\n\
+               fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
+               fn g(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(lib(src), vec![(3, "unwrap")]);
+    // A blank line between the comment and the code breaks adjacency.
+    let src = "// tw-allow(unwrap): fixture reason\n\n\
+               fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(lib(src), vec![(3, "unwrap")]);
+}
+
+#[test]
+fn allow_only_covers_the_named_rule() {
+    let src = "// tw-allow(expect): wrong rule for this line\n\
+               fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    assert_eq!(lib(src), vec![(2, "unwrap")]);
+}
+
+#[test]
+fn allow_with_unknown_rule_is_a_bad_allow_not_a_suppression() {
+    let src = "// tw-allow(unrwap): typo in the rule name\n\
+               fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+    let got = lib(src);
+    assert_eq!(got, vec![(1, "bad-allow"), (2, "unwrap")]);
+}
+
+#[test]
+fn allow_without_reason_is_a_bad_allow_not_a_suppression() {
+    let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() } // tw-allow(unwrap)\n";
+    let got = lib(src);
+    assert_eq!(got, vec![(1, "bad-allow"), (1, "unwrap")]);
+}
+
+#[test]
+fn multi_rule_allow_covers_each_named_rule() {
+    let src =
+        "fn f(v: &[f64]) -> bool { v[0] == 0.0 } // tw-allow(slice-index, float-eq): fixture\n";
+    assert_eq!(lib(src), vec![]);
+}

@@ -1,0 +1,127 @@
+//! Runs the analyzer on this very workspace and pins the policy down:
+//!
+//! * the committed `analyze-baseline.toml` is *exact* — no regressions, and
+//!   no stale entries a `--fix-baseline` run would remove;
+//! * the grandfathered debt contains **zero** float-safety and **zero**
+//!   format-stability entries (those families are fully burned down);
+//! * the core library is panic-macro- and unwrap-free outside `tw-allow`d
+//!   lines;
+//! * a freshly introduced `.unwrap()` in `crates/core/src/` is reported as a
+//!   regression against the committed baseline, which is exactly what makes
+//!   `scripts/check.sh` fail.
+
+use std::path::PathBuf;
+
+use xtask::baseline::{self, Baseline};
+use xtask::rules::{analyze_source, family_of, FileClass};
+use xtask::{walk, Report};
+
+const BASELINE_FILE: &str = "analyze-baseline.toml";
+
+fn workspace() -> (Report, PathBuf) {
+    let root = walk::find_root(None).expect("workspace root");
+    let report = xtask::run(&root).expect("workspace analysis");
+    (report, root)
+}
+
+#[test]
+fn committed_baseline_is_exact() {
+    let (report, root) = workspace();
+    let path = root.join(BASELINE_FILE);
+    assert!(path.is_file(), "missing committed {BASELINE_FILE}");
+    let cmp = report.compare(&path).expect("readable baseline");
+    assert!(
+        cmp.regressions.is_empty(),
+        "workspace has violations over the committed baseline: {:?}",
+        cmp.regressions
+    );
+    assert!(
+        cmp.improvements.is_empty(),
+        "committed baseline is stale (debt shrank); rerun \
+         `cargo run -p xtask -- analyze --fix-baseline`: {:?}",
+        cmp.improvements
+    );
+}
+
+#[test]
+fn no_float_safety_or_format_stability_debt() {
+    let (report, root) = workspace();
+    let base = Baseline::load(&root.join(BASELINE_FILE)).expect("readable baseline");
+    for family in ["float-safety", "format-stability"] {
+        let baselined: Vec<_> = base
+            .entries
+            .keys()
+            .filter(|(_, rule)| family_of(rule) == family)
+            .collect();
+        assert!(
+            baselined.is_empty(),
+            "{family} debt in baseline: {baselined:?}"
+        );
+        let active: Vec<_> = report
+            .active()
+            .filter(|v| family_of(v.rule) == family)
+            .map(|v| format!("{}:{} [{}]", v.file, v.line, v.rule))
+            .collect();
+        assert!(active.is_empty(), "active {family} violations: {active:?}");
+    }
+}
+
+#[test]
+fn core_library_is_unwrap_and_panic_free() {
+    let (report, _) = workspace();
+    let offenders: Vec<_> = report
+        .active()
+        .filter(|v| matches!(v.rule, "unwrap" | "expect" | "panic"))
+        .map(|v| format!("{}:{} [{}]", v.file, v.line, v.rule))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "library code aborts instead of propagating errors: {offenders:?}"
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_reason() {
+    let (report, _) = workspace();
+    for v in &report.violations {
+        if let Some(reason) = &v.suppressed {
+            assert!(
+                !reason.trim().is_empty(),
+                "{}:{} [{}] suppressed without a reason",
+                v.file,
+                v.line,
+                v.rule
+            );
+        }
+    }
+}
+
+#[test]
+fn fresh_unwrap_in_core_is_a_ratchet_regression() {
+    let (report, root) = workspace();
+    let rel = "crates/core/src/sequence.rs";
+    let mut source = std::fs::read_to_string(root.join(rel)).expect("core source");
+    source.push_str("\nfn injected(v: Option<u32>) -> u32 { v.unwrap() }\n");
+
+    // Re-analyze just the edited file and splice its counts into the
+    // workspace totals, exactly as a real run over the edited tree would.
+    let mut counts = report.counts.clone();
+    counts.retain(|(file, _), _| file != rel);
+    for v in analyze_source(rel, &source, FileClass::library()) {
+        if v.suppressed.is_none() {
+            *counts
+                .entry((v.file.clone(), v.rule.to_string()))
+                .or_insert(0) += 1;
+        }
+    }
+
+    let base = Baseline::load(&root.join(BASELINE_FILE)).expect("readable baseline");
+    let cmp = baseline::compare(&counts, &base);
+    assert!(
+        cmp.regressions
+            .iter()
+            .any(|(file, rule, _, _)| file == rel && rule == "unwrap"),
+        "injected unwrap not caught: {:?}",
+        cmp.regressions
+    );
+}

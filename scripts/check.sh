@@ -10,6 +10,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# The project's own lints (panic-freedom, float-safety, format-stability,
+# error-hygiene) with the analyze-baseline.toml ratchet: fails on any
+# violation the committed baseline does not grandfather. After intentional
+# changes, regenerate with `cargo run -p xtask -- analyze --fix-baseline`.
+echo "==> tw-analyze (project lints + ratchet)"
+cargo run -q -p xtask --offline -- analyze
+
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
