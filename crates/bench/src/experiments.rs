@@ -24,6 +24,14 @@ use tw_workload::{
 use crate::runner::{build_store, run_batch, Engines, Method};
 use crate::table::{fmt_pct, fmt_secs, Table};
 
+/// The workspace's `results/` directory, resolved from this crate's
+/// manifest so it lands in the same place no matter which directory a test
+/// or binary runs from. Generated CSVs and logs belong here (and only the
+/// README is tracked — see `.gitignore`).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
 /// Knobs shared by all experiments.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -46,7 +54,7 @@ impl Default for ExperimentConfig {
             queries: 20,
             seed: 20010402, // ICDE 2001 started April 2; any constant works
             full: false,
-            results_dir: PathBuf::from("results"),
+            results_dir: results_dir(),
         }
     }
 }

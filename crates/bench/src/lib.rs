@@ -11,7 +11,7 @@ pub mod table;
 
 pub use experiments::{
     ablation_band, ablation_base_distance, ablation_categories, ablation_fastmap, ablation_rtree,
-    fig2, fig3, fig4, fig5, subsequence_demo, ExperimentConfig,
+    fig2, fig3, fig4, fig5, results_dir, subsequence_demo, ExperimentConfig,
 };
 pub use runner::{build_store, run_batch, BatchOutcome, Method, MethodBatch};
 pub use table::Table;

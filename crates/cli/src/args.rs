@@ -27,6 +27,8 @@ pub enum Command {
         epsilon: f64,
         source: QuerySource,
         knn: Option<usize>,
+        /// Print the per-phase pipeline counter table after the results.
+        stats: bool,
     },
     Bench {
         db: PathBuf,
@@ -90,7 +92,7 @@ USAGE:
   twsearch generate --kind walk|stock|cbf --count N --len L [--seed S] --out DB
   twsearch index    --db DB --out INDEX
   twsearch info     --db DB [--index INDEX]
-  twsearch query    --db DB [--index INDEX] --eps E (--values v1,v2,... | --from-id N) [--knn K]
+  twsearch query    --db DB [--index INDEX] --eps E (--values v1,v2,... | --from-id N) [--knn K] [--stats]
   twsearch bench    --db DB --eps E [--queries N] [--seed S]
   twsearch align    --db DB --a ID --b ID
   twsearch subseq   --db DB --eps E --values v1,v2,... [--min-len N] [--max-len N]
@@ -99,22 +101,43 @@ USAGE:
 
 struct Flags {
     pairs: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, ParseError> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parses `--flag value` pairs; names listed in `switches` are boolean
+    /// and take no value.
+    fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Self, ParseError> {
         let mut pairs = Vec::new();
+        let mut seen_switches = Vec::new();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(ParseError(format!("unexpected argument '{flag}'")));
             };
+            if switches.contains(&name) {
+                seen_switches.push(name.to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| ParseError(format!("--{name} needs a value")))?;
             pairs.push((name.to_string(), value.clone()));
         }
-        Ok(Self { pairs })
+        Ok(Self {
+            pairs,
+            switches: seen_switches,
+        })
+    }
+
+    fn take_switch(&mut self, name: &str) -> bool {
+        let before = self.switches.len();
+        self.switches.retain(|n| n != name);
+        self.switches.len() != before
     }
 
     fn take(&mut self, name: &str) -> Option<String> {
@@ -189,7 +212,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Info { db, index })
         }
         "query" => {
-            let mut flags = Flags::parse(rest)?;
+            let mut flags = Flags::parse_with_switches(rest, &["stats"])?;
             let db = PathBuf::from(flags.require("db")?);
             let index = flags.take("index").map(PathBuf::from);
             let epsilon: f64 = parse_num("eps", &flags.require("eps")?)?;
@@ -199,6 +222,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 Some(raw) => Some(parse_num("knn", &raw)?),
                 None => None,
             };
+            let stats = flags.take_switch("stats");
             flags.finish()?;
             let source = match (values, from_id) {
                 (Some(csv), None) => {
@@ -226,6 +250,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 epsilon,
                 source,
                 knn,
+                stats,
             })
         }
         "subseq" => {
@@ -365,6 +390,17 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_stats_switch_takes_no_value() {
+        // `--stats` before another flag must not swallow it as a value.
+        let cmd = parse(&argv("query --db d --stats --eps 1 --from-id 7")).unwrap();
+        assert!(matches!(cmd, Command::Query { stats: true, .. }));
+        let cmd = parse(&argv("query --db d --eps 1 --from-id 7")).unwrap();
+        assert!(matches!(cmd, Command::Query { stats: false, .. }));
+        // Other commands don't accept it.
+        assert!(parse(&argv("info --db d --stats")).is_err());
     }
 
     #[test]

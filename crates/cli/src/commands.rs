@@ -84,7 +84,8 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
             epsilon,
             source,
             knn,
-        } => query(&db, index.as_deref(), epsilon, source, knn, out),
+            stats,
+        } => query(&db, index.as_deref(), epsilon, source, knn, stats, out),
         Command::Bench {
             db,
             epsilon,
@@ -330,12 +331,43 @@ fn info(db: &Path, index: Option<&Path>, out: &mut dyn Write) -> Result<(), CliE
     Ok(())
 }
 
+/// The `--stats` table: per-phase wall clock, then the pipeline counters in
+/// accounting order (candidates = pruned + verified + abandoned).
+fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<(), CliError> {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1000.0;
+    writeln!(out, "pipeline phases:").map_err(fail("write"))?;
+    writeln!(out, "  filter {:>10.3} ms", ms(qs.phases.filter)).map_err(fail("write"))?;
+    writeln!(out, "  fetch  {:>10.3} ms", ms(qs.phases.fetch)).map_err(fail("write"))?;
+    writeln!(out, "  verify {:>10.3} ms", ms(qs.phases.verify)).map_err(fail("write"))?;
+    writeln!(out, "  total  {:>10.3} ms", ms(qs.phases.total())).map_err(fail("write"))?;
+    writeln!(out, "pipeline counters:").map_err(fail("write"))?;
+    let rows: [(&str, u64); 12] = [
+        ("candidates", qs.candidates),
+        ("pruned (lb_kim)", qs.pruned_lb_kim),
+        ("pruned (lb_yi)", qs.pruned_lb_yi),
+        ("pruned (embedding)", qs.pruned_embedding),
+        ("verified", qs.verified),
+        ("abandoned", qs.abandoned),
+        ("dtw cells", qs.dtw_cells),
+        ("pivot dtw", qs.pivot_dtw),
+        ("index node accesses", qs.index_node_accesses()),
+        ("index leaf accesses", qs.index_leaf_accesses),
+        ("pager reads", qs.pager_reads),
+        ("checksum retries", qs.checksum_retries),
+    ];
+    for (label, value) in rows {
+        writeln!(out, "  {label:<20} {value:>10}").map_err(fail("write"))?;
+    }
+    Ok(())
+}
+
 fn query(
     db: &Path,
     index: Option<&Path>,
     epsilon: f64,
     source: QuerySource,
     knn: Option<usize>,
+    stats: bool,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let (store, report) = open_store(db)?;
@@ -354,7 +386,7 @@ fn query(
     // to the exact scan path if the index cannot be trusted. Without: honest
     // sequential scan.
     let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
-    let matches: Vec<(u64, f64)> = if let Some(index_path) = index {
+    let outcome = if let Some(index_path) = index {
         let engine = ResilientSearch::from_index_file(index_path, Some(store.len()));
         let outcome = engine
             .range_search(&store, &query_values, epsilon, &opts)
@@ -362,16 +394,13 @@ fn query(
         if let EngineHealth::Degraded { fallback, reason } = &outcome.health {
             writeln!(out, "warning: degraded to {fallback}: {reason}").map_err(fail("write"))?;
         }
-        outcome.matches.iter().map(|m| (m.id, m.distance)).collect()
+        outcome
     } else {
         NaiveScan
             .range_search(&store, &query_values, epsilon, &opts)
             .map_err(fail("scan"))?
-            .matches
-            .iter()
-            .map(|m| (m.id, m.distance))
-            .collect()
     };
+    let matches: Vec<(u64, f64)> = outcome.matches.iter().map(|m| (m.id, m.distance)).collect();
 
     writeln!(
         out,
@@ -381,6 +410,9 @@ fn query(
     .map_err(fail("write"))?;
     for (id, d) in &matches {
         writeln!(out, "  id {id:>6}  distance {d:.4}").map_err(fail("write"))?;
+    }
+    if stats {
+        write_query_stats(&outcome.query_stats, out)?;
     }
 
     if let Some(k) = knn {
@@ -512,6 +544,56 @@ mod tests {
         ))
         .expect("query scan");
         assert_eq!(with_idx, no_idx);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_stats_flag_prints_phase_table() {
+        let dir = temp("stats");
+        let db = dir.join("db.tws");
+        let idx = dir.join("db.rtree");
+        run_str(&format!(
+            "generate --kind walk --count 40 --len 30 --seed 8 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        run_str(&format!(
+            "index --db {} --out {}",
+            db.display(),
+            idx.display()
+        ))
+        .expect("index");
+
+        let with_stats = run_str(&format!(
+            "query --db {} --index {} --eps 0.2 --from-id 1 --stats",
+            db.display(),
+            idx.display()
+        ))
+        .expect("query");
+        for needle in [
+            "pipeline phases:",
+            "filter",
+            "verify",
+            "pipeline counters:",
+            "candidates",
+            "dtw cells",
+            "pager reads",
+        ] {
+            assert!(
+                with_stats.contains(needle),
+                "missing {needle:?}:\n{with_stats}"
+            );
+        }
+
+        // Without the flag the table is absent.
+        let without = run_str(&format!(
+            "query --db {} --index {} --eps 0.2 --from-id 1",
+            db.display(),
+            idx.display()
+        ))
+        .expect("query");
+        assert!(!without.contains("pipeline counters:"));
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -26,6 +26,10 @@ pub struct DtwOutcome {
     pub within: Option<f64>,
     /// DP cells computed before finishing or abandoning.
     pub cells: u64,
+    /// `true` when the computation was cut short by early abandoning
+    /// (a whole DP column exceeded the tolerance); `false` when it ran to
+    /// completion, whatever the verdict.
+    pub early_abandoned: bool,
 }
 
 #[inline]
@@ -98,7 +102,11 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
     debug_assert!(epsilon >= 0.0);
     if s.is_empty() || q.is_empty() {
         let within = if s.len() == q.len() { Some(0.0) } else { None };
-        return DtwOutcome { within, cells: 0 };
+        return DtwOutcome {
+            within,
+            cells: 0,
+            early_abandoned: false,
+        };
     }
     let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
     let m = rows.len();
@@ -121,6 +129,7 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
             return DtwOutcome {
                 within: None,
                 cells,
+                early_abandoned: true,
             };
         }
     }
@@ -128,6 +137,7 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
     DtwOutcome {
         within: (d <= epsilon).then_some(d),
         cells,
+        early_abandoned: false,
     }
 }
 
@@ -313,12 +323,29 @@ mod tests {
         for kind in KINDS {
             let out = dtw_within(&s, &q, kind, 0.5);
             assert!(out.within.is_none());
+            assert!(out.early_abandoned, "{kind:?} should abandon");
             assert!(
                 out.cells <= full_cells / 100,
                 "{kind:?}: {} cells",
                 out.cells
             );
         }
+    }
+
+    #[test]
+    fn early_abandoned_flag_is_false_on_completion() {
+        let s = [2.0, 4.0, 6.0];
+        let q = [2.5, 4.5, 6.5];
+        for kind in KINDS {
+            // Generous tolerance: runs to completion and accepts.
+            let hit = dtw_within(&s, &q, kind, 100.0);
+            assert!(hit.within.is_some());
+            assert!(!hit.early_abandoned, "{kind:?}");
+        }
+        // Empty input: trivially complete, never abandoned.
+        let empty = dtw_within(&[], &[1.0], DtwKind::MaxAbs, 1.0);
+        assert!(empty.within.is_none());
+        assert!(!empty.early_abandoned);
     }
 
     #[test]

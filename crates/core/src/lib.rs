@@ -72,6 +72,7 @@ pub mod feature;
 pub mod lower_bound;
 pub mod search;
 pub mod sequence;
+pub mod stats;
 pub mod transform;
 
 pub use alignment::Alignment;
@@ -86,6 +87,7 @@ pub use search::{
     StFilterSearch, SubsequenceIndex, SubsequenceMatch, TwSimSearch, VerifyMode, WindowSpec,
 };
 pub use sequence::Sequence;
+pub use stats::{Phase, PhaseTimes, PipelineCounters, QueryStats};
 pub use transform::{
     differences, exponential_moving_average, min_max_normalize, moving_average, paa, scale, shift,
     z_normalize,

@@ -34,6 +34,7 @@ use tw_storage::{HardwareModel, Pager, SeqId, SequenceStore};
 use crate::distance::DtwKind;
 use crate::error::TwError;
 use crate::search::{HybridPlan, Match, SearchResult, SearchStats, VerifyMode};
+use crate::stats::QueryStats;
 
 /// Per-query options shared by every engine, built fluently.
 ///
@@ -153,6 +154,10 @@ pub struct SearchOutcome {
     pub plan: Option<HybridPlan>,
     /// Whether the primary plan answered or an exact fallback did.
     pub health: EngineHealth,
+    /// Per-phase observability breakdown (candidates, prunes, verify /
+    /// abandon split, I/O, timers) — see [`crate::stats`] for the counter
+    /// semantics and the accounting invariant.
+    pub query_stats: QueryStats,
 }
 
 impl SearchOutcome {
@@ -177,6 +182,7 @@ impl From<SearchResult> for SearchOutcome {
             stats: result.stats,
             plan: None,
             health: EngineHealth::Healthy,
+            query_stats: QueryStats::default(),
         }
     }
 }
@@ -245,6 +251,7 @@ mod tests {
             },
             plan: Some(HybridPlan::IndexVerify),
             health: EngineHealth::Healthy,
+            query_stats: QueryStats::default(),
         };
         assert_eq!(outcome.ids(), vec![3]);
         let result = outcome.clone().into_result();

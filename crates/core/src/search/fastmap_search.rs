@@ -25,6 +25,7 @@ use crate::search::{
     verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
     SearchStats,
 };
+use crate::stats::{Phase, PipelineCounters};
 
 /// The approximate FastMap engine.
 #[derive(Debug, Clone)]
@@ -110,6 +111,8 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         }
         let started = Instant::now();
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
@@ -118,10 +121,13 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         // Embed the query: 2k exact DTW evaluations against pivot sequences.
         // `project` wants an infallible oracle, so a store fault (a failed
         // pivot read) is captured and surfaced afterwards instead of
-        // panicking inside the closure.
+        // panicking inside the closure. Pivot DTWs are embedding overhead,
+        // not candidate verification: they count under `pivot_dtw` (their
+        // cells still land in `dtw_cells`), outside the verify accounting.
         let mut pivot_dtw_cells = 0u64;
         let mut pivot_evals = 0u64;
         let mut pivot_fault: Option<TwError> = None;
+        let started_filter = Instant::now();
         let q_coords = self.map.project(|i| match store.get(i as SeqId) {
             Ok(pivot) => {
                 let r = dtw(&pivot, query, self.kind);
@@ -139,21 +145,33 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         }
         stats.dtw_invocations += pivot_evals;
         stats.dtw_cells += pivot_dtw_cells;
+        counters.add_pivot_dtw(pivot_evals);
+        counters.add_dtw_cells(pivot_dtw_cells);
         let q_point = pad_point(&q_coords);
 
         // Range-filter in the embedded space. The square query over-covers
-        // the Euclidean ball, so the geometric filter itself loses nothing
-        // beyond what the embedding already lost.
+        // the Euclidean ball; ball rejections are counted as pruned by the
+        // embedding (a heuristic filter, not a lower bound).
         let range = self.tree.range_centered(&q_point, epsilon);
         stats.index_node_accesses = range.stats.node_accesses();
-        let mut candidates = Vec::new();
-        for id in range.ids {
-            let coords = &self.map.coordinates()[id as usize];
-            if FastMap::embedded_distance(&q_coords, coords) > epsilon {
-                continue; // outside the Euclidean ball
+        counters.add_index_internal(range.stats.internal_accesses);
+        counters.add_index_leaf(range.stats.leaf_accesses);
+        counters.add_candidates(range.ids.len() as u64);
+        counters.add_phase(Phase::Filter, started_filter.elapsed());
+        let mut pruned = 0u64;
+        let candidates = counters.time(Phase::Fetch, || {
+            let mut candidates = Vec::new();
+            for id in range.ids {
+                let coords = &self.map.coordinates()[id as usize];
+                if FastMap::embedded_distance(&q_coords, coords) > epsilon {
+                    pruned += 1;
+                    continue; // outside the Euclidean ball
+                }
+                candidates.push((id, store.get(id)?));
             }
-            candidates.push((id, store.get(id)?));
-        }
+            Ok::<_, TwError>(candidates)
+        })?;
+        counters.add_pruned_embedding(pruned);
         stats.candidates = candidates.len();
         let (matches, verify_stats) = verify_candidates(
             &candidates,
@@ -162,15 +180,19 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
             self.kind,
             opts.verify,
             opts.threads,
+            &counters,
         );
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         stats.cpu_time = started.elapsed();
         Ok(SearchOutcome {
             matches,
             stats,
             plan: None,
             health: EngineHealth::Healthy,
+            query_stats: counters.snapshot(),
         })
     }
 }
@@ -312,6 +334,29 @@ mod tests {
             .into_result();
         // At least 2k pivot DTW evaluations happen before filtering.
         assert!(res.stats.dtw_invocations >= 4);
+    }
+
+    #[test]
+    fn query_stats_separate_pivot_work_from_verification() {
+        let store = store_with(&db());
+        let engine = FastMapSearch::build(&store, 2, DtwKind::MaxAbs, 3).unwrap();
+        let out = engine
+            .range_search(&store, &[20.0, 21.0], 0.5, &EngineOpts::new())
+            .unwrap();
+        let qs = out.query_stats;
+        assert!(qs.pivot_dtw >= 4, "{qs:?}");
+        // Pivot DTWs are not part of the candidate accounting...
+        assert!(qs.accounting_balanced(), "{qs:?}");
+        assert_eq!(
+            qs.verified + qs.abandoned + qs.pivot_dtw,
+            out.stats.dtw_invocations
+        );
+        // ...but their cells are included, matching the SearchStats total.
+        assert_eq!(qs.dtw_cells, out.stats.dtw_cells);
+        assert_eq!(
+            qs.candidates as usize,
+            qs.pruned_embedding as usize + out.stats.candidates
+        );
     }
 
     #[test]

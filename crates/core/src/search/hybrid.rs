@@ -48,7 +48,7 @@ impl HybridSearch {
     }
 
     /// Prices both continuations with the hardware model and picks the
-    /// cheaper one. Returns the plan and the node accesses the planning
+    /// cheaper one. Returns the plan and the traversal stats the planning
     /// probe itself spent.
     fn choose_plan<P: Pager>(
         &self,
@@ -56,7 +56,7 @@ impl HybridSearch {
         query: &[f64],
         epsilon: f64,
         hw: &HardwareModel,
-    ) -> Result<(HybridPlan, u64), TwError> {
+    ) -> Result<(HybridPlan, tw_rtree::QueryStats), TwError> {
         // The index filter itself is in-memory-cheap; run it to learn the
         // candidate count.
         if query.is_empty() {
@@ -100,7 +100,7 @@ impl HybridSearch {
         } else {
             HybridPlan::SequentialScan
         };
-        Ok((plan, probe_nodes))
+        Ok((plan, probe.stats))
     }
 }
 
@@ -120,7 +120,7 @@ impl<P: Pager> SearchEngine<P> for HybridSearch {
         opts: &EngineOpts,
     ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
-        let (plan, probe_nodes) = self.choose_plan(store, query, epsilon, &opts.hardware)?;
+        let (plan, probe_stats) = self.choose_plan(store, query, epsilon, &opts.hardware)?;
 
         // Either continuation reports the planner's probe traversal in its
         // stats — those node accesses were genuinely spent. (The index path
@@ -135,7 +135,9 @@ impl<P: Pager> SearchEngine<P> for HybridSearch {
                 SearchEngine::range_search(&LbScan, store, query, epsilon, opts)?
             }
         };
-        outcome.stats.index_node_accesses += probe_nodes;
+        outcome.stats.index_node_accesses += probe_stats.node_accesses();
+        outcome.query_stats.index_internal_accesses += probe_stats.internal_accesses;
+        outcome.query_stats.index_leaf_accesses += probe_stats.leaf_accesses;
         outcome.plan = Some(plan);
         Ok(outcome)
     }
@@ -222,6 +224,23 @@ mod tests {
         let q = generate_queries(&data, 1, 8).remove(0);
         let (_, plan) = run(&hybrid, &store, &q, 1000.0, HardwareModel::cpu_only());
         assert_eq!(plan, HybridPlan::IndexVerify);
+    }
+
+    #[test]
+    fn probe_traversal_lands_in_query_stats() {
+        let data = generate_random_walks(&RandomWalkConfig::paper(120, 60), 11);
+        let store = store_with(&data);
+        let hybrid = HybridSearch::build(&store).unwrap();
+        let q = generate_queries(&data, 1, 12).remove(0);
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let out = hybrid.range_search(&store, &q, 0.05, &opts).unwrap();
+        let qs = out.query_stats;
+        // The probe plus any index traversal agree with the aggregate stat.
+        assert_eq!(qs.index_node_accesses(), out.stats.index_node_accesses);
+        assert!(qs.index_node_accesses() > 0);
+        // The probe only adds node accesses — accounting stays balanced.
+        assert!(qs.accounting_balanced(), "{qs:?}");
+        assert_eq!(qs.dtw_cells, out.stats.dtw_cells);
     }
 
     #[test]

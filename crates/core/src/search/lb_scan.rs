@@ -15,6 +15,7 @@ use crate::lower_bound::lb_yi;
 use crate::search::{
     verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
 };
+use crate::stats::{Phase, PipelineCounters};
 
 /// The lower-bound-filtered sequential scan.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,23 +36,35 @@ impl<P: Pager> SearchEngine<P> for LbScan {
         validate_tolerance(epsilon)?;
         let started = Instant::now();
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
         };
         // Filter stage: the cheap linear lower bound prunes during the scan;
-        // survivors are kept resident for verification.
+        // survivors are kept resident for verification. Every scanned row
+        // enters the accounting as a candidate; LB rejections (including
+        // empty rows, which cannot match a non-empty query) count as pruned
+        // by `D_lb`.
         let mut candidates = Vec::new();
-        store.scan_visit(|id, values| {
-            stats.lb_evaluations += 1;
-            stats.filter_ops += (values.len() + query.len()) as u64;
-            if values.is_empty() || lb_yi(&values, query, opts.kind) > epsilon {
-                return;
-            }
-            candidates.push((id, values));
+        let mut pruned = 0u64;
+        counters.time(Phase::Filter, || {
+            store.scan_visit(|id, values| {
+                stats.lb_evaluations += 1;
+                stats.filter_ops += (values.len() + query.len()) as u64;
+                if values.is_empty() || lb_yi(&values, query, opts.kind) > epsilon {
+                    pruned += 1;
+                    return;
+                }
+                candidates.push((id, values));
+            })
         })?;
+        counters.add_candidates(pruned + candidates.len() as u64);
+        counters.add_pruned_lb_yi(pruned);
         stats.candidates = candidates.len();
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
         let (matches, verify_stats) = verify_candidates(
             &candidates,
             query,
@@ -59,14 +72,17 @@ impl<P: Pager> SearchEngine<P> for LbScan {
             opts.kind,
             opts.verify,
             opts.threads,
+            &counters,
         );
         stats.accumulate(&verify_stats);
         stats.cpu_time = started.elapsed();
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         Ok(SearchOutcome {
             matches,
             stats,
             plan: None,
             health: EngineHealth::Healthy,
+            query_stats: counters.snapshot(),
         })
     }
 }
@@ -156,5 +172,25 @@ mod tests {
         let store = store_with(&db());
         let res = run_search(&LbScan, &store, &[20.0, 22.0, 23.0], 0.7, DtwKind::MaxAbs).unwrap();
         assert!(res.stats.candidates >= res.matches.len());
+    }
+
+    #[test]
+    fn query_stats_split_pruned_from_verified() {
+        let store = store_with(&db());
+        let query = vec![20.0, 21.0, 20.0, 23.0];
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let res = LbScan.range_search(&store, &query, 0.6, &opts).unwrap();
+        let qs = res.query_stats;
+        // All five rows enter the pipeline; the range-separated ones are
+        // pruned by Yi's bound, the rest verified or abandoned.
+        assert_eq!(qs.candidates, 5);
+        assert!(qs.pruned_lb_yi >= 2, "{qs:?}");
+        assert!(qs.accounting_balanced(), "{qs:?}");
+        assert_eq!(qs.dtw_cells, res.stats.dtw_cells);
+        assert_eq!(
+            qs.verified + qs.abandoned,
+            res.stats.dtw_invocations,
+            "verify accounting matches the DTW invocation count"
+        );
     }
 }

@@ -13,6 +13,7 @@ use crate::error::{validate_tolerance, TwError};
 use crate::search::{
     verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
 };
+use crate::stats::{Phase, PipelineCounters};
 
 /// The sequential-scan baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,25 +34,38 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
         validate_tolerance(epsilon)?;
         let started = Instant::now();
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
         };
         // No filtering step: every stored sequence goes to verification.
-        let rows = store.scan()?;
+        let rows = counters.time(Phase::Fetch, || store.scan())?;
         stats.io = store.take_io();
-        let (matches, verify_stats) =
-            verify_candidates(&rows, query, epsilon, opts.kind, opts.verify, opts.threads);
+        counters.add_candidates(rows.len() as u64);
+        counters.add_pager_reads(stats.io.total_pages());
+        let (matches, verify_stats) = verify_candidates(
+            &rows,
+            query,
+            epsilon,
+            opts.kind,
+            opts.verify,
+            opts.threads,
+            &counters,
+        );
         stats.accumulate(&verify_stats);
         // Naive-Scan has no filtering step: the paper plots its final result
         // count as its candidate count (Experiment 1).
         stats.candidates = matches.len();
         stats.cpu_time = started.elapsed();
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         Ok(SearchOutcome {
             matches,
             stats,
             plan: None,
             health: EngineHealth::Healthy,
+            query_stats: counters.snapshot(),
         })
     }
 }
@@ -125,6 +139,23 @@ mod tests {
         assert_eq!(res.stats.io.random_page_reads, 0);
         assert_eq!(res.stats.index_node_accesses, 0);
         assert_eq!(res.stats.candidates, res.matches.len());
+    }
+
+    #[test]
+    fn query_stats_account_every_row() {
+        let store = store_with(&db());
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let res = NaiveScan
+            .range_search(&store, &[20.0, 21.0], 0.5, &opts)
+            .unwrap();
+        let qs = res.query_stats;
+        // Every stored row enters the pipeline; none are pruned.
+        assert_eq!(qs.candidates, 4);
+        assert_eq!(qs.pruned_total(), 0);
+        assert!(qs.accounting_balanced());
+        assert_eq!(qs.dtw_cells, res.stats.dtw_cells);
+        assert!(qs.pager_reads > 0);
+        assert_eq!(qs.checksum_retries, 0);
     }
 
     #[test]

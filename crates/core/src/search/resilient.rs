@@ -236,6 +236,35 @@ mod tests {
     }
 
     #[test]
+    fn query_stats_flow_through_both_paths() {
+        let store = store_with(&db());
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let query = [20.0, 21.0, 20.0, 23.0];
+
+        let healthy = ResilientSearch::new(TwSimSearch::build(&store).unwrap());
+        let out = healthy.range_search(&store, &query, 0.6, &opts).unwrap();
+        assert!(
+            out.query_stats.accounting_balanced(),
+            "{:?}",
+            out.query_stats
+        );
+        assert!(out.query_stats.index_node_accesses() > 0);
+
+        let degraded = ResilientSearch::from_index_file("/nonexistent/path.rtree", None);
+        let out = degraded.range_search(&store, &query, 0.6, &opts).unwrap();
+        assert!(out.health.is_degraded());
+        assert!(
+            out.query_stats.accounting_balanced(),
+            "{:?}",
+            out.query_stats
+        );
+        // The fallback is the LB-filtered scan: every row entered the
+        // pipeline and the distant ones were pruned by Yi's bound.
+        assert_eq!(out.query_stats.candidates, 4);
+        assert_eq!(out.query_stats.index_node_accesses(), 0);
+    }
+
+    #[test]
     fn query_validation_errors_are_not_masked() {
         let store = store_with(&db());
         let engine = ResilientSearch::from_index_file("/nonexistent/path.rtree", None);

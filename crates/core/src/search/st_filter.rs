@@ -22,6 +22,7 @@ use crate::search::{
     verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
     SubsequenceMatch,
 };
+use crate::stats::{Phase, PipelineCounters};
 
 /// The suffix-tree baseline engine.
 #[derive(Debug, Clone)]
@@ -145,6 +146,8 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
         }
         let started = Instant::now();
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
@@ -153,16 +156,25 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
         // The tree traversal's DP is a max-aggregation lower bound, which
         // also lower-bounds the additive kinds (a sum of non-negative terms
         // dominates its maximum) — the filter stays sound for every kind.
-        let filtered = self.filter.whole_match_candidates(query, epsilon);
+        let filtered = counters.time(Phase::Filter, || {
+            self.filter.whole_match_candidates(query, epsilon)
+        });
         stats.index_node_accesses = filtered.stats.nodes_visited;
+        // The suffix tree has no internal/leaf split in its traversal stats;
+        // its node visits are recorded as internal accesses.
+        counters.add_index_internal(filtered.stats.nodes_visited);
         stats.filter_ops = filtered.stats.dp_cells;
         stats.candidates = filtered.ids.len();
+        counters.add_candidates(filtered.ids.len() as u64);
 
-        let mut candidates = Vec::with_capacity(filtered.ids.len());
-        for id in filtered.ids {
-            let id = id as u64;
-            candidates.push((id, store.get(id)?));
-        }
+        let candidates = counters.time(Phase::Fetch, || {
+            let mut candidates = Vec::with_capacity(filtered.ids.len());
+            for id in filtered.ids {
+                let id = id as u64;
+                candidates.push((id, store.get(id)?));
+            }
+            Ok::<_, TwError>(candidates)
+        })?;
         let (matches, verify_stats) = verify_candidates(
             &candidates,
             query,
@@ -170,15 +182,19 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
             opts.kind,
             opts.verify,
             opts.threads,
+            &counters,
         );
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         stats.cpu_time = started.elapsed();
         Ok(SearchOutcome {
             matches,
             stats,
             plan: None,
             health: EngineHealth::Healthy,
+            query_stats: counters.snapshot(),
         })
     }
 }
@@ -225,16 +241,17 @@ mod tests {
     fn filters_distant_sequences() {
         let store = store_with(&db());
         let engine = StFilterSearch::build(&store).unwrap();
-        let res = run_search(
-            &engine,
-            &store,
-            &[20.0, 21.0, 20.0, 23.0],
-            0.6,
-            DtwKind::MaxAbs,
-        )
-        .unwrap();
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let res = engine
+            .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, &opts)
+            .unwrap();
         assert!(res.stats.candidates < res.stats.db_size);
         assert!(res.stats.index_node_accesses > 0);
+        let qs = res.query_stats;
+        assert_eq!(qs.candidates, res.stats.candidates as u64);
+        assert!(qs.accounting_balanced(), "{qs:?}");
+        assert_eq!(qs.index_node_accesses(), res.stats.index_node_accesses);
+        assert_eq!(qs.dtw_cells, res.stats.dtw_cells);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::feature::FeatureVector;
 use crate::search::{
     verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
 };
+use crate::stats::{Phase, PipelineCounters};
 
 /// How TW-Sim-Search verifies candidates after the index filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,22 +189,34 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
         }
         let started = Instant::now();
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
         };
 
         // Step 1-2: feature extraction + square range query.
-        let feature_q = FeatureVector::from_values(query).as_point();
-        let range = self.tree.range_centered(&feature_q, epsilon);
+        let range = counters.time(Phase::Filter, || {
+            let feature_q = FeatureVector::from_values(query).as_point();
+            self.tree.range_centered(&feature_q, epsilon)
+        });
         stats.index_node_accesses = range.stats.node_accesses();
+        counters.add_index_internal(range.stats.internal_accesses);
+        counters.add_index_leaf(range.stats.leaf_accesses);
 
         // Step 3-7: read candidates, verify through the shared pipeline.
+        // The index filter *is* the candidate set: nothing is pruned after
+        // it, so candidates == verified + abandoned in the accounting.
         stats.candidates = range.ids.len();
-        let mut candidates = Vec::with_capacity(range.ids.len());
-        for id in range.ids {
-            candidates.push((id, store.get(id)?));
-        }
+        counters.add_candidates(range.ids.len() as u64);
+        let candidates = counters.time(Phase::Fetch, || {
+            let mut candidates = Vec::with_capacity(range.ids.len());
+            for id in range.ids {
+                candidates.push((id, store.get(id)?));
+            }
+            Ok::<_, TwError>(candidates)
+        })?;
         let (matches, verify_stats) = verify_candidates(
             &candidates,
             query,
@@ -211,15 +224,19 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
             opts.kind,
             opts.verify,
             opts.threads,
+            &counters,
         );
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         stats.cpu_time = started.elapsed();
         Ok(SearchOutcome {
             matches,
             stats,
             plan: None,
             health: EngineHealth::Healthy,
+            query_stats: counters.snapshot(),
         })
     }
 }
@@ -294,6 +311,24 @@ mod tests {
         assert!(res.stats.index_node_accesses > 0);
         // Candidates are a strict subset of the database here.
         assert!(res.stats.candidates < res.stats.db_size);
+    }
+
+    #[test]
+    fn query_stats_carry_index_and_io_breakdown() {
+        let store = store_with(&db());
+        let engine = TwSimSearch::build(&store).unwrap();
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let out = engine
+            .range_search(&store, &[20.0, 21.0, 20.0, 23.0], 0.6, &opts)
+            .unwrap();
+        let qs = out.query_stats;
+        assert_eq!(qs.candidates, out.stats.candidates as u64);
+        assert_eq!(qs.pruned_total(), 0);
+        assert!(qs.accounting_balanced(), "{qs:?}");
+        assert_eq!(qs.index_node_accesses(), out.stats.index_node_accesses);
+        assert!(qs.index_leaf_accesses > 0);
+        assert_eq!(qs.dtw_cells, out.stats.dtw_cells);
+        assert_eq!(qs.pager_reads, out.stats.io.total_pages());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use tw_storage::SeqId;
 
 use crate::distance::{dtw_banded, dtw_within, DtwKind};
 use crate::search::{Match, SearchStats, VerifyMode};
+use crate::stats::{Phase, PipelineCounters};
 
 /// Verifies pre-read candidate sequences against the query, fanning the DTW
 /// work out over `threads` scoped workers.
@@ -22,7 +23,11 @@ use crate::search::{Match, SearchStats, VerifyMode};
 /// Returns the qualifying matches sorted by ascending [`SeqId`] and a
 /// [`SearchStats`] carrying only the verification counters
 /// (`dtw_invocations`, `dtw_cells`) — the caller merges it into its own
-/// stats with [`SearchStats::accumulate`].
+/// stats with [`SearchStats::accumulate`]. The shared [`PipelineCounters`]
+/// receive the observability breakdown: `verified` / `abandoned` per
+/// candidate, `dtw_cells`, and the wall-clock time of the whole call under
+/// [`Phase::Verify`]. Counting is per-candidate, so the counters are
+/// thread-count invariant.
 ///
 /// Workers receive only the candidate slices, never the store, so the
 /// pipeline works with any pager and charges no I/O of its own: candidates
@@ -34,53 +39,71 @@ pub fn verify_candidates(
     kind: DtwKind,
     verify: VerifyMode,
     threads: usize,
+    counters: &PipelineCounters,
 ) -> (Vec<Match>, SearchStats) {
     assert!(threads >= 1, "need at least one verify worker");
-    let (mut matches, stats) = if threads == 1 || candidates.len() < 2 {
-        verify_chunk(candidates, query, epsilon, kind, verify)
-    } else {
-        let chunk = candidates.len().div_ceil(threads);
-        let parts: Vec<(Vec<Match>, SearchStats)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|part| scope.spawn(move || verify_chunk(part, query, epsilon, kind, verify)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        });
-        let mut matches = Vec::new();
-        let mut stats = SearchStats::default();
-        for (part_matches, part_stats) in parts {
-            matches.extend(part_matches);
-            stats.accumulate(&part_stats);
-        }
+    counters.time(Phase::Verify, || {
+        let (mut matches, stats) = if threads == 1 || candidates.len() < 2 {
+            verify_chunk(candidates, query, epsilon, kind, verify, counters)
+        } else {
+            let chunk = candidates.len().div_ceil(threads);
+            let parts: Vec<(Vec<Match>, SearchStats)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            verify_chunk(part, query, epsilon, kind, verify, counters)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            });
+            let mut matches = Vec::new();
+            let mut stats = SearchStats::default();
+            for (part_matches, part_stats) in parts {
+                matches.extend(part_matches);
+                stats.accumulate(&part_stats);
+            }
+            (matches, stats)
+        };
+        matches.sort_by_key(|m| m.id);
         (matches, stats)
-    };
-    matches.sort_by_key(|m| m.id);
-    (matches, stats)
+    })
 }
 
-/// Sequentially verifies one slice of candidates.
+/// Sequentially verifies one slice of candidates, publishing per-chunk
+/// totals into the shared counters (one `fetch_add` per counter per chunk,
+/// not per candidate, to keep contention negligible).
 fn verify_chunk(
     candidates: &[(SeqId, Vec<f64>)],
     query: &[f64],
     epsilon: f64,
     kind: DtwKind,
     verify: VerifyMode,
+    counters: &PipelineCounters,
 ) -> (Vec<Match>, SearchStats) {
     let mut matches = Vec::new();
     let mut stats = SearchStats::default();
+    let mut verified = 0u64;
+    let mut abandoned = 0u64;
     for (id, values) in candidates {
         stats.dtw_invocations += 1;
         let (within, cells) = match verify {
             VerifyMode::Exact => {
                 let outcome = dtw_within(values, query, kind, epsilon);
+                if outcome.early_abandoned {
+                    abandoned += 1;
+                } else {
+                    verified += 1;
+                }
                 (outcome.within, outcome.cells)
             }
             VerifyMode::Banded(w) => {
                 let r = dtw_banded(values, query, kind, w);
+                verified += 1;
                 ((r.distance <= epsilon).then_some(r.distance), r.cells)
             }
         };
@@ -89,6 +112,9 @@ fn verify_chunk(
             matches.push(Match { id: *id, distance });
         }
     }
+    counters.add_verified(verified);
+    counters.add_abandoned(abandoned);
+    counters.add_dtw_cells(stats.dtw_cells);
     (matches, stats)
 }
 
@@ -110,10 +136,19 @@ mod tests {
     fn thread_count_does_not_change_the_outcome() {
         let cands = candidates();
         let query = [3.0, 3.3, 3.9];
-        let (base_matches, base_stats) =
-            verify_candidates(&cands, &query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 1);
+        let base_counters = PipelineCounters::new();
+        let (base_matches, base_stats) = verify_candidates(
+            &cands,
+            &query,
+            0.5,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            1,
+            &base_counters,
+        );
         assert!(!base_matches.is_empty());
         for threads in [2usize, 3, 4, 16] {
+            let counters = PipelineCounters::new();
             let (m, s) = verify_candidates(
                 &cands,
                 &query,
@@ -121,11 +156,60 @@ mod tests {
                 DtwKind::MaxAbs,
                 VerifyMode::Exact,
                 threads,
+                &counters,
             );
             assert_eq!(m, base_matches, "threads={threads}");
             assert_eq!(s.dtw_invocations, base_stats.dtw_invocations);
             assert_eq!(s.dtw_cells, base_stats.dtw_cells);
+            assert!(
+                counters.snapshot().counters_eq(&base_counters.snapshot()),
+                "threads={threads}"
+            );
         }
+    }
+
+    #[test]
+    fn counters_partition_verified_and_abandoned() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let counters = PipelineCounters::new();
+        let (m, s) = verify_candidates(
+            &cands,
+            &query,
+            0.5,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            3,
+            &counters,
+        );
+        let snap = counters.snapshot();
+        // Every candidate either completed or abandoned.
+        assert_eq!(snap.verified + snap.abandoned, cands.len() as u64);
+        // Matches only come from completed verifications.
+        assert!((m.len() as u64) <= snap.verified);
+        // Cells recorded in the counters equal the SearchStats total.
+        assert_eq!(snap.dtw_cells, s.dtw_cells);
+        // Verify-phase time was attributed.
+        assert!(snap.phases.verify > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn banded_mode_never_abandons() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let counters = PipelineCounters::new();
+        let _ = verify_candidates(
+            &cands,
+            &query,
+            0.5,
+            DtwKind::MaxAbs,
+            VerifyMode::Banded(1),
+            2,
+            &counters,
+        );
+        let snap = counters.snapshot();
+        assert_eq!(snap.abandoned, 0);
+        assert_eq!(snap.verified, cands.len() as u64);
     }
 
     #[test]
@@ -133,7 +217,15 @@ mod tests {
         let mut cands = candidates();
         cands.reverse();
         let query = [3.0, 3.3, 3.9];
-        let (m, _) = verify_candidates(&cands, &query, 5.0, DtwKind::MaxAbs, VerifyMode::Exact, 3);
+        let (m, _) = verify_candidates(
+            &cands,
+            &query,
+            5.0,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            3,
+            &PipelineCounters::new(),
+        );
         assert!(m.windows(2).all(|w| w[0].id < w[1].id));
     }
 
@@ -141,7 +233,15 @@ mod tests {
     fn distances_are_exact() {
         let cands = candidates();
         let query = [2.0, 2.5, 2.9];
-        let (m, _) = verify_candidates(&cands, &query, 1.0, DtwKind::SumAbs, VerifyMode::Exact, 4);
+        let (m, _) = verify_candidates(
+            &cands,
+            &query,
+            1.0,
+            DtwKind::SumAbs,
+            VerifyMode::Exact,
+            4,
+            &PipelineCounters::new(),
+        );
         for matched in &m {
             let expect = dtw(&cands[matched.id as usize].1, &query, DtwKind::SumAbs).distance;
             assert!((matched.distance - expect).abs() < 1e-12);
@@ -152,8 +252,15 @@ mod tests {
     fn banded_mode_is_a_subset_of_exact() {
         let cands = candidates();
         let query = [3.0, 3.3, 3.9];
-        let (exact, _) =
-            verify_candidates(&cands, &query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 2);
+        let (exact, _) = verify_candidates(
+            &cands,
+            &query,
+            0.5,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            2,
+            &PipelineCounters::new(),
+        );
         let (banded, _) = verify_candidates(
             &cands,
             &query,
@@ -161,6 +268,7 @@ mod tests {
             DtwKind::MaxAbs,
             VerifyMode::Banded(1),
             2,
+            &PipelineCounters::new(),
         );
         let exact_ids: Vec<_> = exact.iter().map(|m| m.id).collect();
         for m in &banded {
@@ -170,14 +278,32 @@ mod tests {
 
     #[test]
     fn empty_candidates_are_fine() {
-        let (m, s) = verify_candidates(&[], &[1.0], 1.0, DtwKind::MaxAbs, VerifyMode::Exact, 4);
+        let counters = PipelineCounters::new();
+        let (m, s) = verify_candidates(
+            &[],
+            &[1.0],
+            1.0,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            4,
+            &counters,
+        );
         assert!(m.is_empty());
         assert_eq!(s.dtw_invocations, 0);
+        assert_eq!(counters.snapshot().verified, 0);
     }
 
     #[test]
     #[should_panic(expected = "at least one verify worker")]
     fn zero_threads_rejected() {
-        let _ = verify_candidates(&[], &[1.0], 1.0, DtwKind::MaxAbs, VerifyMode::Exact, 0);
+        let _ = verify_candidates(
+            &[],
+            &[1.0],
+            1.0,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            0,
+            &PipelineCounters::new(),
+        );
     }
 }

@@ -80,6 +80,12 @@ impl<P: Pager> BufferPool<P> {
         self.pager.lock().page_format_version()
     }
 
+    /// Checksum-triggered read retries absorbed by the pager stack (see
+    /// [`Pager::checksum_retries`]); 0 for stacks without a retry layer.
+    pub fn checksum_retries(&self) -> u64 {
+        self.pager.lock().checksum_retries()
+    }
+
     fn check_frame(&self, got: usize) -> Result<(), PagerError> {
         if got == self.page_size {
             Ok(())

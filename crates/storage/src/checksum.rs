@@ -203,6 +203,10 @@ impl<P: Pager> Pager for ChecksumPager<P> {
     fn page_format_version(&self) -> u32 {
         PAGE_FORMAT_CRC
     }
+
+    fn checksum_retries(&self) -> u64 {
+        self.inner.checksum_retries()
+    }
 }
 
 #[cfg(test)]

@@ -349,6 +349,10 @@ impl<P: Pager> Pager for FaultPager<P> {
     fn page_format_version(&self) -> u32 {
         self.inner.page_format_version()
     }
+
+    fn checksum_retries(&self) -> u64 {
+        self.inner.checksum_retries()
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,13 @@ pub trait Pager: Send {
     fn page_format_version(&self) -> u32 {
         PAGE_FORMAT_PLAIN
     }
+    /// Number of page reads re-issued after a checksum (corruption) failure
+    /// anywhere in the pager stack. Plain pagers never retry; the retry
+    /// decorator overrides this, and every other decorator forwards it so
+    /// the count survives arbitrary stacking.
+    fn checksum_retries(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed pagers are pagers: lets call sites pick a pager stack at runtime
@@ -131,6 +138,9 @@ impl Pager for Box<dyn Pager> {
     }
     fn page_format_version(&self) -> u32 {
         (**self).page_format_version()
+    }
+    fn checksum_retries(&self) -> u64 {
+        (**self).checksum_retries()
     }
 }
 

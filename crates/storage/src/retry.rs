@@ -73,6 +73,7 @@ pub struct RetryPager<P: Pager> {
     inner: P,
     policy: RetryPolicy,
     retries: std::sync::atomic::AtomicU64,
+    corrupt_retries: std::sync::atomic::AtomicU64,
 }
 
 impl<P: Pager> RetryPager<P> {
@@ -81,6 +82,7 @@ impl<P: Pager> RetryPager<P> {
             inner,
             policy,
             retries: std::sync::atomic::AtomicU64::new(0),
+            corrupt_retries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -92,6 +94,13 @@ impl<P: Pager> RetryPager<P> {
     /// Number of retries performed (not counting first attempts).
     pub fn retries(&self) -> u64 {
         self.retries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Retries whose trigger was a checksum/corruption failure (a subset of
+    /// [`retries`](Self::retries); requires `retry_corrupt`).
+    pub fn corrupt_retries(&self) -> u64 {
+        self.corrupt_retries
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn run<T>(
@@ -111,6 +120,10 @@ impl<P: Pager> RetryPager<P> {
                     }
                     self.retries
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if e.is_corruption() {
+                        self.corrupt_retries
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
                     std::thread::sleep(self.policy.backoff_for(attempt - 1));
                 }
             }
@@ -192,6 +205,12 @@ impl<P: Pager> Pager for RetryPager<P> {
 
     fn page_format_version(&self) -> u32 {
         self.inner.page_format_version()
+    }
+
+    fn checksum_retries(&self) -> u64 {
+        // Own corrupt-triggered retries plus anything a nested retry layer
+        // deeper in the stack already absorbed.
+        self.corrupt_retries() + self.inner.checksum_retries()
     }
 }
 
@@ -280,6 +299,21 @@ mod tests {
             .expect("re-read heals transit flip");
         assert_eq!(out, data);
         assert_eq!(stack.retries(), 1);
+        assert_eq!(stack.corrupt_retries(), 1);
+        assert_eq!(Pager::checksum_retries(&stack), 1);
+    }
+
+    #[test]
+    fn transient_retries_do_not_count_as_checksum_retries() {
+        let (p, handle) = faulty();
+        handle.force_read(FaultKind::Transient);
+        let mut out = vec![0u8; 128];
+        p.read_page(0, &mut out).expect("retry absorbs transient");
+        assert_eq!(p.retries(), 1);
+        assert_eq!(p.corrupt_retries(), 0);
+        assert_eq!(Pager::checksum_retries(&p), 0);
+        // Plain pagers report zero through the defaulted trait method.
+        assert_eq!(Pager::checksum_retries(&MemPager::new(128)), 0);
     }
 
     #[test]

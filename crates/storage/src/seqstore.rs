@@ -496,6 +496,13 @@ impl<P: Pager> SequenceStore<P> {
         self.pool.stats()
     }
 
+    /// Checksum-triggered read retries absorbed by the pager stack since the
+    /// store was opened; 0 for stacks without a retry layer. Cumulative —
+    /// callers measuring one query take a before/after delta.
+    pub fn checksum_retries(&self) -> u64 {
+        self.pool.checksum_retries()
+    }
+
     /// Persists the header and flushes dirty pages.
     pub fn flush(&self) -> Result<(), StoreError> {
         self.write_header()?;

@@ -1,0 +1,506 @@
+//! `xtask bench` — the seeded workload matrix behind `BENCH_search.json`.
+//!
+//! Runs every search engine over a corpus-size × sequence-length × ε grid of
+//! seeded random-walk workloads, aggregates the [`tw_core::QueryStats`]
+//! pipeline counters per engine, and writes one JSON document with a pinned
+//! schema (see [`validate`]). Everything except the `elapsed_ms` fields is a
+//! pure function of the seed, which is what the schema-pin test in
+//! `crates/xtask/tests/bench_schema.rs` locks down.
+//!
+//! ```text
+//! cargo run -p xtask -- bench --smoke          # CI-sized run
+//! cargo run -p xtask -- bench                  # full matrix
+//! cargo run -p xtask -- validate-bench [FILE]  # schema check only
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tw_core::distance::DtwKind;
+use tw_core::search::{
+    EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch, SearchEngine,
+    StFilterSearch, TwSimSearch,
+};
+use tw_core::QueryStats;
+use tw_storage::{MemPager, SequenceStore};
+use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
+
+use crate::json::{self, Json};
+
+/// Bump when a field is added, removed or renamed. The schema-pin test and
+/// [`validate`] both key off this.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Engine labels in report order — every run covers all seven.
+pub const ENGINES: [&str; 7] = [
+    "naive-scan",
+    "lb-scan",
+    "st-filter",
+    "tw-sim-search",
+    "fastmap",
+    "hybrid",
+    "resilient-search",
+];
+
+/// The seeded workload matrix. Every field is recorded in the emitted
+/// `config` object so a run is reproducible from the file alone.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// CI-sized run (single small cell) vs. the full matrix.
+    pub smoke: bool,
+    /// Master seed for corpus and query generation.
+    pub seed: u64,
+    pub corpus_sizes: Vec<usize>,
+    pub seq_lens: Vec<usize>,
+    pub epsilons: Vec<f64>,
+    pub queries_per_cell: usize,
+    /// Verification threads handed to [`EngineOpts`].
+    pub threads: usize,
+}
+
+impl BenchConfig {
+    /// The CI configuration: one small cell, fast enough for every push.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            smoke: true,
+            seed,
+            corpus_sizes: vec![60],
+            seq_lens: vec![32],
+            epsilons: vec![0.3],
+            queries_per_cell: 3,
+            threads: 2,
+        }
+    }
+
+    /// The full matrix: spans the selectivity regimes of Figures 2–5
+    /// without taking hours.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            smoke: false,
+            seed,
+            corpus_sizes: vec![200, 500],
+            seq_lens: vec![64, 128],
+            epsilons: vec![0.1, 0.3],
+            queries_per_cell: 5,
+            threads: 2,
+        }
+    }
+}
+
+/// Per-engine aggregation over the whole matrix.
+#[derive(Debug, Default, Clone)]
+struct EngineAgg {
+    elapsed_nanos: u128,
+    stats: QueryStats,
+    /// Sum of per-query database row counts — the candidate-ratio
+    /// denominator.
+    rows_seen: u64,
+    matches: u64,
+}
+
+/// Runs the matrix and returns the report document. Fails (rather than
+/// silently emitting nonsense) if any engine's pipeline accounting is
+/// unbalanced or an exact engine disagrees with the naive scan.
+pub fn run(config: &BenchConfig, commit: &str) -> Result<Json, String> {
+    let mut aggs: Vec<EngineAgg> = vec![EngineAgg::default(); ENGINES.len()];
+    let opts = EngineOpts::new()
+        .kind(DtwKind::MaxAbs)
+        .threads(config.threads);
+
+    let mut cell = 0u64;
+    for &n in &config.corpus_sizes {
+        for &len in &config.seq_lens {
+            cell += 1;
+            let data = generate_random_walks(&RandomWalkConfig::paper(n, len), config.seed + cell);
+            let mut store = SequenceStore::in_memory();
+            for s in &data {
+                store
+                    .append(s)
+                    .map_err(|e| format!("appending workload sequence: {e}"))?;
+            }
+            let engines = build_engines(&store)?;
+            let queries = generate_queries(&data, config.queries_per_cell, config.seed + cell);
+            for &epsilon in &config.epsilons {
+                for query in &queries {
+                    run_query(&store, &engines, query, epsilon, &opts, &mut aggs)?;
+                }
+            }
+        }
+    }
+
+    Ok(report(config, commit, &aggs))
+}
+
+struct BuiltEngines {
+    st_filter: StFilterSearch,
+    tw_sim: TwSimSearch,
+    fastmap: FastMapSearch,
+    hybrid: HybridSearch,
+    resilient: ResilientSearch,
+}
+
+impl BuiltEngines {
+    fn engine_for(&self, label: &str) -> &dyn SearchEngine<MemPager> {
+        match label {
+            "naive-scan" => &NaiveScan,
+            "lb-scan" => &LbScan,
+            "st-filter" => &self.st_filter,
+            "tw-sim-search" => &self.tw_sim,
+            "fastmap" => &self.fastmap,
+            "hybrid" => &self.hybrid,
+            _ => &self.resilient,
+        }
+    }
+}
+
+fn build_engines(store: &SequenceStore<MemPager>) -> Result<BuiltEngines, String> {
+    let tw_sim = TwSimSearch::build(store).map_err(|e| format!("building tw-sim-search: {e}"))?;
+    Ok(BuiltEngines {
+        st_filter: StFilterSearch::build(store).map_err(|e| format!("building st-filter: {e}"))?,
+        fastmap: FastMapSearch::build(store, 4, DtwKind::MaxAbs, 7)
+            .map_err(|e| format!("building fastmap: {e}"))?,
+        hybrid: HybridSearch::build(store).map_err(|e| format!("building hybrid: {e}"))?,
+        resilient: ResilientSearch::new(tw_sim.clone()),
+        tw_sim,
+    })
+}
+
+fn run_query(
+    store: &SequenceStore<MemPager>,
+    engines: &BuiltEngines,
+    query: &[f64],
+    epsilon: f64,
+    opts: &EngineOpts,
+    aggs: &mut [EngineAgg],
+) -> Result<(), String> {
+    let mut reference: Option<Vec<u64>> = None;
+    for (label, agg) in ENGINES.iter().zip(aggs.iter_mut()) {
+        let engine = engines.engine_for(label);
+        let started = Instant::now();
+        let outcome = engine
+            .range_search(store, query, epsilon, opts)
+            .map_err(|e| format!("{label}: query failed: {e}"))?;
+        agg.elapsed_nanos += started.elapsed().as_nanos();
+
+        let qs = outcome.query_stats;
+        if !qs.accounting_balanced() {
+            return Err(format!("{label}: unbalanced pipeline accounting: {qs:?}"));
+        }
+        let ids = outcome.ids();
+        match (&reference, *label) {
+            // FastMap is allowed to dismiss true answers; every other
+            // engine must agree with the naive scan exactly.
+            (Some(reference), label) if label != "fastmap" && reference != &ids => {
+                return Err(format!("{label} disagrees with naive-scan (eps {epsilon})"));
+            }
+            (None, _) => reference = Some(ids.clone()),
+            _ => {}
+        }
+        agg.stats.merge(&qs);
+        agg.rows_seen += outcome.stats.db_size as u64;
+        agg.matches += outcome.matches.len() as u64;
+    }
+    Ok(())
+}
+
+fn num(n: u64) -> Json {
+    // u64 counters in this harness stay far below 2^53; JSON numbers are
+    // doubles, so saturate rather than losing precision silently.
+    const MAX_EXACT: u64 = 1 << 53;
+    Json::Num(n.min(MAX_EXACT) as f64)
+}
+
+fn report(config: &BenchConfig, commit: &str, aggs: &[EngineAgg]) -> Json {
+    let config_obj = Json::Obj(vec![
+        ("smoke".to_string(), Json::Bool(config.smoke)),
+        ("seed".to_string(), num(config.seed)),
+        (
+            "corpus_sizes".to_string(),
+            Json::Arr(config.corpus_sizes.iter().map(|&n| num(n as u64)).collect()),
+        ),
+        (
+            "seq_lens".to_string(),
+            Json::Arr(config.seq_lens.iter().map(|&n| num(n as u64)).collect()),
+        ),
+        (
+            "epsilons".to_string(),
+            Json::Arr(config.epsilons.iter().map(|&e| Json::Num(e)).collect()),
+        ),
+        (
+            "queries_per_cell".to_string(),
+            num(config.queries_per_cell as u64),
+        ),
+        ("threads".to_string(), num(config.threads as u64)),
+        ("kind".to_string(), Json::Str("max-abs".to_string())),
+    ]);
+
+    let mut per_engine = Vec::with_capacity(ENGINES.len());
+    for (label, agg) in ENGINES.iter().zip(aggs) {
+        let s = &agg.stats;
+        let ratio = if agg.rows_seen == 0 {
+            0.0
+        } else {
+            s.candidates as f64 / agg.rows_seen as f64
+        };
+        let prune_counts = Json::Obj(vec![
+            ("lb_kim".to_string(), num(s.pruned_lb_kim)),
+            ("lb_yi".to_string(), num(s.pruned_lb_yi)),
+            ("embedding".to_string(), num(s.pruned_embedding)),
+        ]);
+        per_engine.push((
+            label.to_string(),
+            Json::Obj(vec![
+                (
+                    "elapsed_ms".to_string(),
+                    Json::Num(agg.elapsed_nanos as f64 / 1e6),
+                ),
+                ("candidate_ratio".to_string(), Json::Num(ratio)),
+                ("dtw_cells".to_string(), num(s.dtw_cells)),
+                ("prune_counts".to_string(), prune_counts),
+                ("verified".to_string(), num(s.verified)),
+                ("abandoned".to_string(), num(s.abandoned)),
+                ("matches".to_string(), num(agg.matches)),
+            ]),
+        ));
+    }
+
+    Json::Obj(vec![
+        ("schema_version".to_string(), num(SCHEMA_VERSION)),
+        ("commit".to_string(), Json::Str(commit.to_string())),
+        ("config".to_string(), config_obj),
+        ("per_engine".to_string(), Json::Obj(per_engine)),
+    ])
+}
+
+/// The fields every run must carry, in order — the pinned schema.
+pub const TOP_LEVEL_KEYS: [&str; 4] = ["schema_version", "commit", "config", "per_engine"];
+pub const CONFIG_KEYS: [&str; 8] = [
+    "smoke",
+    "seed",
+    "corpus_sizes",
+    "seq_lens",
+    "epsilons",
+    "queries_per_cell",
+    "threads",
+    "kind",
+];
+pub const ENGINE_KEYS: [&str; 7] = [
+    "elapsed_ms",
+    "candidate_ratio",
+    "dtw_cells",
+    "prune_counts",
+    "verified",
+    "abandoned",
+    "matches",
+];
+pub const PRUNE_KEYS: [&str; 3] = ["lb_kim", "lb_yi", "embedding"];
+
+fn check_keys(what: &str, doc: &Json, expected: &[&str]) -> Result<(), String> {
+    let keys = doc.keys();
+    if keys != expected {
+        return Err(format!("{what}: keys {keys:?}, schema pins {expected:?}"));
+    }
+    Ok(())
+}
+
+fn check_num(what: &str, value: Option<&Json>) -> Result<f64, String> {
+    let n = value
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: expected a number"))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(format!(
+            "{what}: expected a finite non-negative number, got {n}"
+        ));
+    }
+    Ok(n)
+}
+
+/// Validates a parsed report against the pinned schema: exact key sets in
+/// order, `schema_version` match, all seven engines present, every metric a
+/// finite non-negative number.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    check_keys("top level", doc, &TOP_LEVEL_KEYS)?;
+    let version = check_num("schema_version", doc.get("schema_version"))?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version}, this tool pins {SCHEMA_VERSION}"
+        ));
+    }
+    doc.get("commit")
+        .and_then(Json::as_str)
+        .ok_or("commit: expected a string")?;
+
+    let config = doc.get("config").ok_or("missing config")?;
+    check_keys("config", config, &CONFIG_KEYS)?;
+    for key in ["corpus_sizes", "seq_lens", "epsilons"] {
+        let arr = config
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("config.{key}: expected an array"))?;
+        if arr.is_empty() {
+            return Err(format!("config.{key}: empty matrix axis"));
+        }
+        for (i, item) in arr.iter().enumerate() {
+            check_num(&format!("config.{key}[{i}]"), Some(item))?;
+        }
+    }
+    for key in ["seed", "queries_per_cell", "threads"] {
+        check_num(&format!("config.{key}"), config.get(key))?;
+    }
+
+    let per_engine = doc.get("per_engine").ok_or("missing per_engine")?;
+    check_keys("per_engine", per_engine, &ENGINES)?;
+    for label in ENGINES {
+        let entry = per_engine
+            .get(label)
+            .ok_or_else(|| format!("missing engine {label}"))?;
+        check_keys(&format!("per_engine.{label}"), entry, &ENGINE_KEYS)?;
+        for key in [
+            "elapsed_ms",
+            "candidate_ratio",
+            "dtw_cells",
+            "verified",
+            "abandoned",
+            "matches",
+        ] {
+            check_num(&format!("per_engine.{label}.{key}"), entry.get(key))?;
+        }
+        let prune = entry
+            .get("prune_counts")
+            .ok_or_else(|| format!("per_engine.{label}: missing prune_counts"))?;
+        check_keys(
+            &format!("per_engine.{label}.prune_counts"),
+            prune,
+            &PRUNE_KEYS,
+        )?;
+        for key in PRUNE_KEYS {
+            check_num(
+                &format!("per_engine.{label}.prune_counts.{key}"),
+                prune.get(key),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `git rev-parse HEAD`, or `"unknown"` outside a usable git checkout.
+pub fn current_commit(root: &Path) -> String {
+    std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn default_out(root: &Path) -> PathBuf {
+    root.join("BENCH_search.json")
+}
+
+/// `xtask bench [--smoke] [--seed N] [--out FILE]`.
+pub fn bench_cli(args: &[String], root: &Path) -> Result<(), String> {
+    let mut smoke = false;
+    let mut seed = 20010402u64; // same master seed as the experiment harness
+    let mut out = default_out(root);
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
+            }
+            "--out" => out = PathBuf::from(iter.next().ok_or("--out needs a value")?),
+            other => return Err(format!("unknown bench flag {other}")),
+        }
+    }
+    let config = if smoke {
+        BenchConfig::smoke(seed)
+    } else {
+        BenchConfig::full(seed)
+    };
+    let doc = run(&config, &current_commit(root))?;
+    validate(&doc)?; // the writer holds itself to the same pin as CI
+    let text = doc.to_pretty()?;
+    std::fs::write(&out, &text).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} engines, {} run)",
+        out.display(),
+        ENGINES.len(),
+        if smoke { "smoke" } else { "full" }
+    );
+    Ok(())
+}
+
+/// `xtask validate-bench [FILE]`.
+pub fn validate_cli(args: &[String], root: &Path) -> Result<(), String> {
+    let path = match args {
+        [] => default_out(root),
+        [one] => PathBuf::from(one),
+        _ => return Err("usage: validate-bench [FILE]".to_string()),
+    };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("{}: schema v{SCHEMA_VERSION} ok", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_passes_its_own_validation() {
+        let config = BenchConfig::smoke(11);
+        let doc = run(&config, "testcommit").unwrap();
+        validate(&doc).unwrap();
+        // Every engine did real work.
+        let per_engine = doc.get("per_engine").unwrap();
+        for label in ENGINES {
+            let cells = per_engine
+                .get(label)
+                .and_then(|e| e.get("dtw_cells"))
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert!(cells > 0.0, "{label} evaluated no DTW cells");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_schema_drift() {
+        let doc = run(&BenchConfig::smoke(11), "c").unwrap();
+        // Renaming a top-level field breaks the pin.
+        let Json::Obj(mut members) = doc.clone() else {
+            panic!("report must be an object")
+        };
+        members[0].0 = "schemaVersion".to_string();
+        assert!(validate(&Json::Obj(members)).is_err());
+        // Dropping an engine breaks the pin.
+        let Json::Obj(mut members) = doc else {
+            panic!("report must be an object")
+        };
+        let Some(Json::Obj(engines)) = members
+            .iter_mut()
+            .find(|(k, _)| k == "per_engine")
+            .map(|(_, v)| v)
+        else {
+            panic!("per_engine must be an object")
+        };
+        engines.pop();
+        assert!(validate(&Json::Obj(members.clone())).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let root = std::env::temp_dir();
+        assert!(bench_cli(&["--bogus".to_string()], &root).is_err());
+        assert!(validate_cli(&["a".to_string(), "b".to_string()], &root).is_err());
+    }
+}

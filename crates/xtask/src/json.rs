@@ -1,0 +1,368 @@
+//! A minimal JSON value type, serializer and parser.
+//!
+//! The workspace builds `--offline` with no registry access, so `xtask`
+//! cannot use serde; `BENCH_search.json` is small and its schema is pinned,
+//! which makes a hand-rolled tree both sufficient and easy to validate
+//! against (see `bench::validate`). Objects preserve insertion order so the
+//! emitted file is byte-stable across runs with equal values.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Numbers are kept as `f64`; the serializer refuses
+/// non-finite values (JSON has no encoding for them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered; keys are not deduplicated (the builder never
+    /// repeats one).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's keys in order, or empty for other variants.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(members) => members.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> Result<String, String> {
+        let mut out = String::new();
+        self.write(&mut out, 0)?;
+        out.push('\n');
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String, indent: usize) -> Result<(), String> {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    return Err(format!("non-finite number {n} has no JSON encoding"));
+                }
+                // `Display` for f64 is the shortest round-trippable decimal
+                // form — deterministic for equal inputs, and valid JSON.
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return Ok(());
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1)?;
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return Ok(());
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&pad_in);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1)?;
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&what) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {pos}",
+            char::from(what),
+            pos = *pos
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{word}' at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("\\u{hex}: {e}"))?;
+                        // Surrogates never appear in our own output; map
+                        // them to the replacement character rather than
+                        // failing the whole parse.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(members: &[(&str, Json)]) -> Json {
+        Json::Obj(
+            members
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn round_trips_nested_values() {
+        let doc = obj(&[
+            ("schema_version", Json::Num(1.0)),
+            ("name", Json::Str("bench \"smoke\"\n".to_string())),
+            (
+                "values",
+                Json::Arr(vec![Json::Num(0.25), Json::Bool(false), Json::Null]),
+            ),
+            ("empty_obj", obj(&[])),
+            ("empty_arr", Json::Arr(vec![])),
+        ]);
+        let text = doc.to_pretty().unwrap();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let doc = obj(&[("a", Json::Num(1.5)), ("b", Json::Num(545.0))]);
+        assert_eq!(doc.to_pretty().unwrap(), doc.to_pretty().unwrap());
+        assert!(doc.to_pretty().unwrap().contains("\"b\": 545"));
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        assert!(Json::Num(f64::NAN).to_pretty().is_err());
+        assert!(Json::Num(f64::INFINITY).to_pretty().is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\": ").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn get_and_keys_navigate_objects() {
+        let doc = parse(r#"{"config": {"seed": 7}, "arr": [1]}"#).unwrap();
+        assert_eq!(doc.keys(), vec!["config", "arr"]);
+        let seed = doc.get("config").and_then(|c| c.get("seed")).unwrap();
+        assert_eq!(seed.as_f64(), Some(7.0));
+        assert_eq!(doc.get("arr").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

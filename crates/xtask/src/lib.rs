@@ -12,6 +12,8 @@
 //! by the committed `analyze-baseline.toml` ratchet.
 
 pub mod baseline;
+pub mod bench;
+pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod walk;

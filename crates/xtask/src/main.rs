@@ -1,10 +1,12 @@
-//! `tw-analyze` — CLI entry point. See `xtask` (the library) for the rules.
+//! Workspace tooling CLI — static analysis and the bench harness.
 //!
 //! ```text
 //! cargo run -p xtask -- analyze                 # check against the ratchet
 //! cargo run -p xtask -- analyze --fix-baseline  # rewrite analyze-baseline.toml
 //! cargo run -p xtask -- analyze --list          # print every finding
 //! cargo run -p xtask -- rules                   # rule catalog
+//! cargo run -p xtask -- bench --smoke           # write BENCH_search.json
+//! cargo run -p xtask -- validate-bench [FILE]   # schema-pin check
 //! ```
 //!
 //! Exit codes: 0 clean (vs. baseline), 1 new violations, 2 usage/IO error.
@@ -29,9 +31,33 @@ struct Opts {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tw-analyze <analyze|rules> [--fix-baseline] [--list] \
-         [--root DIR] [--baseline FILE]"
+         [--root DIR] [--baseline FILE]\n       \
+         tw-analyze bench [--smoke] [--seed N] [--out FILE]\n       \
+         tw-analyze validate-bench [FILE]"
     );
     ExitCode::from(2)
+}
+
+/// Dispatches the bench subcommands, which have their own flag grammar.
+fn bench_command(command: &str, args: &[String]) -> ExitCode {
+    let root = match walk::find_root(None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tw-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        "bench" => xtask::bench::bench_cli(args, &root),
+        _ => xtask::bench::validate_cli(args, &root),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tw-analyze: {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn parse_args() -> Result<Opts, ExitCode> {
@@ -62,6 +88,10 @@ fn parse_args() -> Result<Opts, ExitCode> {
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(command @ ("bench" | "validate-bench")) = argv.first().map(String::as_str) {
+        return bench_command(command, &argv[1..]);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,

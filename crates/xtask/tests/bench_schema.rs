@@ -1,0 +1,108 @@
+//! Schema pin for `BENCH_search.json`.
+//!
+//! The golden fixture (`tests/fixtures/BENCH_search.golden.json`) is a smoke
+//! run at the default seed with the two legitimately run-dependent fields
+//! normalized (`commit` → `"golden"`, `elapsed_ms` → `0`). These tests pin:
+//!
+//! 1. the exact key structure (names and order, recursively);
+//! 2. every value except `commit` and `elapsed_ms` — the counters are a pure
+//!    function of the seed, so a drift here means the workload generator, an
+//!    engine, or the stats layer changed behaviour;
+//! 3. that two same-seed runs differ only in the elapsed-time fields.
+//!
+//! If a schema change is intentional: bump `SCHEMA_VERSION`, regenerate the
+//! fixture with `cargo run -p xtask -- bench --smoke --out <fixture>`, and
+//! re-normalize the two run-dependent fields.
+
+use xtask::bench::{self, BenchConfig, ENGINES, SCHEMA_VERSION};
+use xtask::json::{self, Json};
+
+const GOLDEN_SEED: u64 = 20010402;
+
+fn golden() -> Json {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/BENCH_search.golden.json"
+    );
+    let text = std::fs::read_to_string(path).expect("read golden fixture");
+    json::parse(&text).expect("parse golden fixture")
+}
+
+fn fresh() -> Json {
+    bench::run(&BenchConfig::smoke(GOLDEN_SEED), "golden").expect("smoke bench run")
+}
+
+/// Is `path` one of the fields allowed to vary between runs?
+fn run_dependent(path: &str) -> bool {
+    path == "commit" || path.ends_with(".elapsed_ms")
+}
+
+/// Recursively asserts equal structure, and equal values outside the
+/// run-dependent fields.
+fn assert_same(path: &str, a: &Json, b: &Json) {
+    match (a, b) {
+        (Json::Obj(_), Json::Obj(_)) => {
+            assert_eq!(a.keys(), b.keys(), "key drift at {path:?}");
+            for key in a.keys() {
+                let child = if path.is_empty() {
+                    key.to_string()
+                } else {
+                    format!("{path}.{key}")
+                };
+                assert_same(&child, a.get(key).unwrap(), b.get(key).unwrap());
+            }
+        }
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "array length drift at {path:?}");
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                assert_same(&format!("{path}[{i}]"), x, y);
+            }
+        }
+        _ if run_dependent(path) => {
+            // Still pinned to be present and numeric/string as appropriate.
+            assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "type drift at {path:?}"
+            );
+        }
+        _ => assert_eq!(a, b, "value drift at {path:?}"),
+    }
+}
+
+#[test]
+fn golden_fixture_passes_the_pinned_schema() {
+    let doc = golden();
+    bench::validate(&doc).expect("golden fixture must satisfy the schema pin");
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_f64),
+        Some(SCHEMA_VERSION as f64)
+    );
+    assert_eq!(doc.get("per_engine").unwrap().keys(), ENGINES);
+}
+
+#[test]
+fn smoke_run_matches_the_golden_fixture_outside_elapsed_fields() {
+    assert_same("", &golden(), &fresh());
+}
+
+#[test]
+fn same_seed_runs_are_deterministic_except_elapsed() {
+    assert_same("", &fresh(), &fresh());
+}
+
+#[test]
+fn different_seed_changes_the_workload() {
+    // Sanity check that the determinism pin is non-vacuous: the seed really
+    // drives the counters.
+    let a = bench::run(&BenchConfig::smoke(GOLDEN_SEED), "c").expect("run a");
+    let b = bench::run(&BenchConfig::smoke(GOLDEN_SEED + 1), "c").expect("run b");
+    let cells = |doc: &Json| {
+        doc.get("per_engine")
+            .and_then(|e| e.get("naive-scan"))
+            .and_then(|e| e.get("dtw_cells"))
+            .and_then(Json::as_f64)
+            .expect("dtw_cells present")
+    };
+    assert_ne!(cells(&a), cells(&b));
+}

@@ -20,6 +20,17 @@ cargo run -q -p xtask --offline -- analyze
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+# One smoke cell of the seeded bench matrix: asserts the query-stats
+# accounting invariant and exact-engine agreement on every query, then
+# re-validates the emitted BENCH_search.json against the pinned schema
+# (DESIGN.md §10). Written to a scratch file so CI never dirties the
+# committed full-matrix BENCH_search.json at the repo root.
+echo "==> bench smoke + schema validation"
+BENCH_SMOKE_OUT="$(mktemp -t BENCH_search.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+cargo run -q -p xtask --offline -- bench --smoke --out "$BENCH_SMOKE_OUT"
+cargo run -q -p xtask --offline -- validate-bench "$BENCH_SMOKE_OUT"
+
 # The fault-schedule matrix runs fixed seeds (the schedules are deterministic
 # SplitMix64 streams), so this pass is reproducible bit-for-bit. It is part of
 # the workspace test run above; running it again by name makes a regression

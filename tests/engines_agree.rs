@@ -152,6 +152,15 @@ fn matches_and_work_are_thread_count_invariant() {
                 "{} threads {threads}",
                 engine.name()
             );
+            // The pipeline counters are equally thread-invariant (phase
+            // timers excepted — wall clock is never deterministic).
+            assert!(
+                out.query_stats.counters_eq(&baseline.query_stats),
+                "{} threads {threads}: {:?} vs {:?}",
+                engine.name(),
+                out.query_stats,
+                baseline.query_stats
+            );
         }
     }
 }

@@ -8,9 +8,9 @@
 
 use proptest::prelude::*;
 
-use tw_core::distance::{dtw, dtw_within, DtwKind};
-use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
-use tw_core::{lb_kim, lb_yi};
+use tw_core::distance::{dtw, dtw_banded, dtw_within, DtwKind};
+use tw_core::search::{EngineOpts, LbScan, NaiveScan, SearchEngine, TwSimSearch};
+use tw_core::{lb_keogh, lb_kim, lb_yi};
 use tw_storage::SequenceStore;
 
 const KINDS: [DtwKind; 3] = [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs];
@@ -21,6 +21,20 @@ fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
 
 fn db_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(seq_strategy(12), 1..25)
+}
+
+/// A random walk in the paper's generator family: start plus bounded steps.
+fn walk_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    (1.0f64..10.0, prop::collection::vec(-0.1f64..0.1, 1..=len)).prop_map(|(start, steps)| {
+        let mut walk = Vec::with_capacity(steps.len() + 1);
+        let mut value = start;
+        walk.push(value);
+        for step in steps {
+            value += step;
+            walk.push(value);
+        }
+        walk
+    })
 }
 
 proptest! {
@@ -104,6 +118,78 @@ proptest! {
             let idx = engine.range_search(&store, &q, eps, &opts).expect("index search");
             prop_assert_eq!(naive.ids(), idx.ids(), "{:?} eps {}", kind, eps);
         }
+    }
+
+    /// The pruning cascade on the paper's own data family: every bound the
+    /// engines prune with stays below the true distance on random walks.
+    /// (Note `lb_kim <= lb_yi` does NOT hold in general — s = [0, 10],
+    /// q = [10, 0] gives lb_kim = 10, lb_yi = 0 — so each bound is checked
+    /// against `D_tw` directly, which is all soundness requires.)
+    #[test]
+    fn bound_cascade_on_random_walks(s in walk_strategy(24), q in walk_strategy(24)) {
+        let kim = lb_kim(&s, &q);
+        for kind in KINDS {
+            let d = dtw(&s, &q, kind).distance;
+            let yi = lb_yi(&s, &q, kind);
+            prop_assert!(kim <= d + 1e-9, "{kind:?}: lb_kim {kim} > dtw {d}");
+            prop_assert!(yi <= d + 1e-9, "{kind:?}: lb_yi {yi} > dtw {d}");
+        }
+    }
+
+    /// LB_Keogh lower-bounds the banded DTW it is derived from (equal
+    /// lengths, shared band width).
+    #[test]
+    fn lb_keogh_never_exceeds_banded_dtw(
+        // One vec of pairs, unzipped — guarantees equal lengths without
+        // needing a dependent strategy.
+        pairs in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 1..=16),
+        w in 0usize..6,
+    ) {
+        let (s, q): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        for kind in KINDS {
+            let lb = lb_keogh(&s, &q, kind, w);
+            let d = dtw_banded(&s, &q, kind, w).distance;
+            prop_assert!(lb <= d + 1e-9, "{kind:?} w {w}: lb_keogh {lb} > banded {d}");
+        }
+    }
+
+    /// A sequence a lower bound prunes is never a true ε-match: pruning
+    /// decisions and the exact distance can never disagree.
+    #[test]
+    fn pruned_sequences_are_never_true_matches(
+        s in walk_strategy(20),
+        q in walk_strategy(20),
+        eps in 0.0f64..2.0,
+    ) {
+        for kind in KINDS {
+            let d = dtw(&s, &q, kind).distance;
+            if lb_kim(&s, &q) > eps || lb_yi(&s, &q, kind) > eps {
+                prop_assert!(d > eps, "{kind:?}: pruned but dtw {d} <= eps {eps}");
+            }
+        }
+    }
+
+    /// Counters can't hide a false dismissal: LB-Scan's pruned rows are
+    /// accounted for AND its result set still equals the naive scan's, so a
+    /// bound that over-prunes fails on both axes at once.
+    #[test]
+    fn pruning_counters_are_consistent_with_exactness(
+        data in prop::collection::vec(walk_strategy(16), 1..20),
+        q in walk_strategy(16),
+        eps in 0.0f64..1.0,
+    ) {
+        let mut store = SequenceStore::in_memory();
+        for s in &data {
+            store.append(s).expect("append");
+        }
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+        let naive = NaiveScan.range_search(&store, &q, eps, &opts).expect("scan");
+        let lb = LbScan.range_search(&store, &q, eps, &opts).expect("lb-scan");
+        prop_assert_eq!(naive.ids(), lb.ids(), "eps {}", eps);
+        let qs = lb.query_stats;
+        prop_assert!(qs.accounting_balanced(), "{:?}", qs);
+        prop_assert_eq!(qs.candidates, data.len() as u64);
+        prop_assert!(lb.matches.len() as u64 <= qs.verified + qs.abandoned);
     }
 
     /// The filter step never under-approximates: every true match is among

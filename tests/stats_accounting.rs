@@ -1,0 +1,201 @@
+//! The accounting invariant, enforced for all seven engines at every
+//! verification thread count:
+//!
+//! ```text
+//! candidates == pruned_lb_kim + pruned_lb_yi + pruned_embedding
+//!               + verified + abandoned
+//! ```
+//!
+//! plus `matches <= verified + abandoned` (a match must have been DTW'd) and
+//! agreement between the legacy `SearchStats` aggregates and the new
+//! `QueryStats` pipeline counters. A broken counter site anywhere in an
+//! engine shows up here as an unbalanced ledger.
+
+use tw_core::distance::DtwKind;
+use tw_core::search::{
+    EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch, SearchEngine,
+    StFilterSearch, TwSimSearch,
+};
+use tw_core::QueryStats;
+use tw_storage::{MemPager, SequenceStore};
+use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
+
+const VERIFY_THREADS: [usize; 3] = [1, 2, 4];
+
+fn store_with(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
+    let mut store = SequenceStore::in_memory();
+    for s in data {
+        store.append(s).expect("append");
+    }
+    store
+}
+
+/// All seven engines, including the approximate and degraded-capable ones.
+fn all_engines(store: &SequenceStore<MemPager>) -> Vec<Box<dyn SearchEngine<MemPager>>> {
+    vec![
+        Box::new(NaiveScan),
+        Box::new(LbScan),
+        Box::new(StFilterSearch::build(store).expect("build st-filter")),
+        Box::new(TwSimSearch::build(store).expect("build tw-sim")),
+        Box::new(FastMapSearch::build(store, 2, DtwKind::MaxAbs, 7).expect("fit fastmap")),
+        Box::new(HybridSearch::build(store).expect("build hybrid")),
+        Box::new(ResilientSearch::new(
+            TwSimSearch::build(store).expect("build tw-sim for resilient"),
+        )),
+    ]
+}
+
+/// The invariant itself, with a context string for failure messages.
+fn assert_accounting(name: &str, ctx: &str, qs: &QueryStats, matches: usize) {
+    assert!(
+        qs.accounting_balanced(),
+        "{name} {ctx}: candidates {} != pruned {} + verified {} + abandoned {} ({qs:?})",
+        qs.candidates,
+        qs.pruned_total(),
+        qs.verified,
+        qs.abandoned
+    );
+    assert!(
+        matches as u64 <= qs.verified + qs.abandoned,
+        "{name} {ctx}: {matches} matches but only {} DTW'd candidates",
+        qs.verified + qs.abandoned
+    );
+}
+
+#[test]
+fn every_engine_balances_at_every_thread_count() {
+    let data = generate_random_walks(&RandomWalkConfig::paper(70, 40), 31);
+    let store = store_with(&data);
+    let engines = all_engines(&store);
+    let queries = generate_queries(&data, 3, 32);
+
+    for engine in &engines {
+        for threads in VERIFY_THREADS {
+            let opts = EngineOpts::new().kind(DtwKind::MaxAbs).threads(threads);
+            for (qi, query) in queries.iter().enumerate() {
+                for eps in [0.05, 0.3, 2.0] {
+                    let out = engine
+                        .range_search(&store, query, eps, &opts)
+                        .unwrap_or_else(|e| panic!("{}: {e:?}", engine.name()));
+                    let ctx = format!("threads {threads} query {qi} eps {eps}");
+                    assert_accounting(engine.name(), &ctx, &out.query_stats, out.matches.len());
+                    // The stats layer and the legacy aggregate count the
+                    // same DTW work.
+                    assert_eq!(
+                        out.query_stats.dtw_cells,
+                        out.stats.dtw_cells,
+                        "{} {ctx}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn counters_are_thread_count_invariant() {
+    let data = generate_random_walks(&RandomWalkConfig::paper(60, 35), 41);
+    let store = store_with(&data);
+    let engines = all_engines(&store);
+    let query = generate_queries(&data, 1, 42).remove(0);
+
+    for engine in &engines {
+        let base = engine
+            .range_search(&store, &query, 0.3, &EngineOpts::new().threads(1))
+            .expect("threads=1");
+        for threads in [2usize, 4] {
+            let out = engine
+                .range_search(&store, &query, 0.3, &EngineOpts::new().threads(threads))
+                .expect("threaded");
+            assert!(
+                out.query_stats.counters_eq(&base.query_stats),
+                "{} threads {threads}: {:?} vs {:?}",
+                engine.name(),
+                out.query_stats,
+                base.query_stats
+            );
+        }
+    }
+}
+
+#[test]
+fn verify_work_matches_dtw_invocations() {
+    // verified + abandoned is exactly the number of exact-DTW decision
+    // procedures the engine ran on candidates; FastMap's pivot projections
+    // are the one extra DTW source and are ledgered separately.
+    let data = generate_random_walks(&RandomWalkConfig::paper(50, 30), 51);
+    let store = store_with(&data);
+    let engines = all_engines(&store);
+    let query = generate_queries(&data, 1, 52).remove(0);
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+
+    for engine in &engines {
+        let out = engine
+            .range_search(&store, &query, 0.3, &opts)
+            .expect("search");
+        let qs = out.query_stats;
+        assert_eq!(
+            qs.verified + qs.abandoned + qs.pivot_dtw,
+            out.stats.dtw_invocations,
+            "{}: {qs:?}",
+            engine.name()
+        );
+        if engine.name() != "fastmap" {
+            assert_eq!(qs.pivot_dtw, 0, "{}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn degraded_resilient_engine_still_balances() {
+    let data = generate_random_walks(&RandomWalkConfig::paper(40, 30), 61);
+    let store = store_with(&data);
+    let engine = ResilientSearch::from_index_file("/nonexistent/stats.rtree", None);
+    let query = generate_queries(&data, 1, 62).remove(0);
+    for threads in VERIFY_THREADS {
+        let out = engine
+            .range_search(
+                &store,
+                &query,
+                0.3,
+                &EngineOpts::new().kind(DtwKind::MaxAbs).threads(threads),
+            )
+            .expect("degraded search");
+        assert!(out.health.is_degraded());
+        assert_accounting(
+            "resilient-search(degraded)",
+            &format!("threads {threads}"),
+            &out.query_stats,
+            out.matches.len(),
+        );
+        // The fallback is a scan: every stored row entered the pipeline.
+        assert_eq!(out.query_stats.candidates, store.len() as u64);
+    }
+}
+
+#[test]
+fn pruned_candidates_are_never_matches() {
+    // If a candidate was pruned by a lower bound it cannot appear in the
+    // result set — matches fit inside the verified/abandoned budget even at
+    // a tolerance where pruning is heavy.
+    let data = generate_random_walks(&RandomWalkConfig::paper(80, 40), 71);
+    let store = store_with(&data);
+    let query = generate_queries(&data, 1, 72).remove(0);
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    let out = LbScan
+        .range_search(&store, &query, 0.05, &opts)
+        .expect("lb-scan");
+    let qs = out.query_stats;
+    assert!(
+        qs.pruned_lb_yi > 0,
+        "tolerance too loose to exercise pruning"
+    );
+    let naive = NaiveScan
+        .range_search(&store, &query, 0.05, &opts)
+        .expect("naive");
+    // Exactness in the presence of pruning: the pruned rows were all true
+    // rejections.
+    assert_eq!(out.ids(), naive.ids());
+    assert!(out.matches.len() as u64 <= qs.verified + qs.abandoned);
+}
