@@ -29,6 +29,10 @@ pub enum Command {
         knn: Option<usize>,
         /// Print the per-phase pipeline counter table after the results.
         stats: bool,
+        /// Wall-clock budget; the query returns partial results at expiry.
+        deadline_ms: Option<u64>,
+        /// DTW-cell budget; refinement stops once this much work is spent.
+        max_cells: Option<u64>,
     },
     Bench {
         db: PathBuf,
@@ -92,7 +96,7 @@ USAGE:
   twsearch generate --kind walk|stock|cbf --count N --len L [--seed S] --out DB
   twsearch index    --db DB --out INDEX
   twsearch info     --db DB [--index INDEX]
-  twsearch query    --db DB [--index INDEX] --eps E (--values v1,v2,... | --from-id N) [--knn K] [--stats]
+  twsearch query    --db DB [--index INDEX] --eps E (--values v1,v2,... | --from-id N) [--knn K] [--stats] [--deadline-ms MS] [--max-cells N]
   twsearch bench    --db DB --eps E [--queries N] [--seed S]
   twsearch align    --db DB --a ID --b ID
   twsearch subseq   --db DB --eps E --values v1,v2,... [--min-len N] [--max-len N]
@@ -223,6 +227,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 None => None,
             };
             let stats = flags.take_switch("stats");
+            let deadline_ms = match flags.take("deadline-ms") {
+                Some(raw) => Some(parse_num("deadline-ms", &raw)?),
+                None => None,
+            };
+            let max_cells = match flags.take("max-cells") {
+                Some(raw) => Some(parse_num("max-cells", &raw)?),
+                None => None,
+            };
             flags.finish()?;
             let source = match (values, from_id) {
                 (Some(csv), None) => {
@@ -251,6 +263,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 source,
                 knn,
                 stats,
+                deadline_ms,
+                max_cells,
             })
         }
         "subseq" => {
@@ -401,6 +415,37 @@ mod tests {
         assert!(matches!(cmd, Command::Query { stats: false, .. }));
         // Other commands don't accept it.
         assert!(parse(&argv("info --db d --stats")).is_err());
+    }
+
+    #[test]
+    fn query_budget_flags_parse() {
+        let cmd = parse(&argv(
+            "query --db d --eps 1 --from-id 0 --deadline-ms 250 --max-cells 100000",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Query {
+                deadline_ms,
+                max_cells,
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(250));
+                assert_eq!(max_cells, Some(100_000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults stay off.
+        let cmd = parse(&argv("query --db d --eps 1 --from-id 0")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Query {
+                deadline_ms: None,
+                max_cells: None,
+                ..
+            }
+        ));
+        // Values are validated.
+        assert!(parse(&argv("query --db d --eps 1 --from-id 0 --deadline-ms abc")).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::io::Write;
 use std::path::Path;
 
 use tw_core::distance::DtwKind;
+use tw_core::govern::{QueryBudget, Termination};
 use tw_core::search::{
     EngineHealth, EngineOpts, LbScan, NaiveScan, ResilientSearch, SearchEngine, SubsequenceIndex,
     TwSimSearch, WindowSpec,
@@ -85,7 +86,17 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
             source,
             knn,
             stats,
-        } => query(&db, index.as_deref(), epsilon, source, knn, stats, out),
+            deadline_ms,
+            max_cells,
+        } => {
+            let budget = QueryOptions {
+                knn,
+                stats,
+                deadline_ms,
+                max_cells,
+            };
+            query(&db, index.as_deref(), epsilon, source, &budget, out)
+        }
         Command::Bench {
             db,
             epsilon,
@@ -341,13 +352,14 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
     writeln!(out, "  verify {:>10.3} ms", ms(qs.phases.verify)).map_err(fail("write"))?;
     writeln!(out, "  total  {:>10.3} ms", ms(qs.phases.total())).map_err(fail("write"))?;
     writeln!(out, "pipeline counters:").map_err(fail("write"))?;
-    let rows: [(&str, u64); 12] = [
+    let rows: [(&str, u64); 13] = [
         ("candidates", qs.candidates),
         ("pruned (lb_kim)", qs.pruned_lb_kim),
         ("pruned (lb_yi)", qs.pruned_lb_yi),
         ("pruned (embedding)", qs.pruned_embedding),
         ("verified", qs.verified),
         ("abandoned", qs.abandoned),
+        ("skipped unverified", qs.skipped_unverified),
         ("dtw cells", qs.dtw_cells),
         ("pivot dtw", qs.pivot_dtw),
         ("index node accesses", qs.index_node_accesses()),
@@ -361,13 +373,51 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
     Ok(())
 }
 
+/// The optional knobs of the `query` command, bundled to keep the call site
+/// readable.
+struct QueryOptions {
+    knn: Option<usize>,
+    stats: bool,
+    deadline_ms: Option<u64>,
+    max_cells: Option<u64>,
+}
+
+impl QueryOptions {
+    /// The governor budget implied by `--deadline-ms` / `--max-cells`, or
+    /// `None` when neither was given (ungoverned query).
+    fn budget(&self) -> Option<QueryBudget> {
+        if self.deadline_ms.is_none() && self.max_cells.is_none() {
+            return None;
+        }
+        let mut budget = QueryBudget::new();
+        if let Some(ms) = self.deadline_ms {
+            budget = budget.deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(cells) = self.max_cells {
+            budget = budget.max_cells(cells);
+        }
+        Some(budget)
+    }
+}
+
+/// Prints the one-line partial-result warning when a query was cut short.
+fn warn_termination(termination: &Termination, out: &mut dyn Write) -> Result<(), CliError> {
+    if !termination.is_complete() {
+        writeln!(
+            out,
+            "warning: partial results — query terminated early: {termination}"
+        )
+        .map_err(fail("write"))?;
+    }
+    Ok(())
+}
+
 fn query(
     db: &Path,
     index: Option<&Path>,
     epsilon: f64,
     source: QuerySource,
-    knn: Option<usize>,
-    stats: bool,
+    options: &QueryOptions,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let (store, report) = open_store(db)?;
@@ -385,7 +435,10 @@ fn query(
     // With an index file: Algorithm 1 over the deserialized tree, degrading
     // to the exact scan path if the index cannot be trusted. Without: honest
     // sequential scan.
-    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    let mut opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    if let Some(budget) = options.budget() {
+        opts = opts.budget(budget);
+    }
     let outcome = if let Some(index_path) = index {
         let engine = ResilientSearch::from_index_file(index_path, Some(store.len()));
         let outcome = engine
@@ -402,6 +455,7 @@ fn query(
     };
     let matches: Vec<(u64, f64)> = outcome.matches.iter().map(|m| (m.id, m.distance)).collect();
 
+    warn_termination(&outcome.termination, out)?;
     writeln!(
         out,
         "{} sequence(s) within tolerance {epsilon}:",
@@ -411,17 +465,18 @@ fn query(
     for (id, d) in &matches {
         writeln!(out, "  id {id:>6}  distance {d:.4}").map_err(fail("write"))?;
     }
-    if stats {
+    if options.stats {
         write_query_stats(&outcome.query_stats, out)?;
     }
 
-    if let Some(k) = knn {
+    if let Some(k) = options.knn {
         let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
-        let (neighbors, _) = engine
-            .knn(&store, &query_values, k, DtwKind::MaxAbs)
+        let knn_out = engine
+            .knn_governed(&store, &query_values, k, &opts)
             .map_err(fail("knn"))?;
+        warn_termination(&knn_out.termination, out)?;
         writeln!(out, "top-{k} nearest:").map_err(fail("write"))?;
-        for n in &neighbors {
+        for n in &knn_out.matches {
             writeln!(out, "  id {:>6}  distance {:.4}", n.id, n.distance).map_err(fail("write"))?;
         }
     }
@@ -594,6 +649,46 @@ mod tests {
         ))
         .expect("query");
         assert!(!without.contains("pipeline counters:"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_budget_flags_cut_work_and_warn() {
+        let dir = temp("budget");
+        let db = dir.join("db.tws");
+        run_str(&format!(
+            "generate --kind walk --count 50 --len 40 --seed 4 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+
+        // A one-cell budget trips on the first DTW column: the scan reports
+        // partial results and says why.
+        let strict = run_str(&format!(
+            "query --db {} --eps 0.5 --from-id 1 --max-cells 1 --stats",
+            db.display()
+        ))
+        .expect("query");
+        assert!(
+            strict.contains("partial results") && strict.contains("budget-exhausted(dtw-cells)"),
+            "{strict}"
+        );
+        assert!(strict.contains("skipped unverified"), "{strict}");
+
+        // A generous budget changes nothing: same output as the ungoverned
+        // run, no warning.
+        let loose = run_str(&format!(
+            "query --db {} --eps 0.5 --from-id 1 --max-cells 99999999 --deadline-ms 60000",
+            db.display()
+        ))
+        .expect("query");
+        let ungoverned = run_str(&format!(
+            "query --db {} --eps 0.5 --from-id 1",
+            db.display()
+        ))
+        .expect("query");
+        assert_eq!(loose, ungoverned);
 
         std::fs::remove_dir_all(&dir).ok();
     }

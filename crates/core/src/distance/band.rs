@@ -10,6 +10,7 @@
 //! harness ablations.
 
 use super::{DtwKind, DtwResult};
+use crate::govern::CancelToken;
 
 /// Half-width that makes a band cover fraction `r` (0..=1) of the longer
 /// sequence, the conventional way band sizes are quoted (e.g. "10% band").
@@ -26,13 +27,28 @@ pub fn sakoe_chiba_width(s_len: usize, q_len: usize, r: f64) -> usize {
 /// Returns `+∞` when the band admits no complete path (never happens for
 /// `w >= 1` because the normalized diagonal itself is always admitted).
 pub fn dtw_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> DtwResult {
+    dtw_banded_governed(s, q, kind, w, &CancelToken::unlimited()).0
+}
+
+/// [`dtw_banded`] under a query governor: each completed band row charges its
+/// cells against `token`. Returns the (possibly partial) result plus a flag
+/// that is `true` when the token tripped mid-computation — the distance is
+/// then `+∞` and must not be treated as a verdict. With an unlimited token
+/// the behaviour is identical to [`dtw_banded`].
+pub fn dtw_banded_governed(
+    s: &[f64],
+    q: &[f64],
+    kind: DtwKind,
+    w: usize,
+    token: &CancelToken,
+) -> (DtwResult, bool) {
     if s.is_empty() || q.is_empty() {
         let distance = if s.len() == q.len() {
             0.0
         } else {
             f64::INFINITY
         };
-        return DtwResult { distance, cells: 0 };
+        return (DtwResult { distance, cells: 0 }, false);
     }
     let (n, m) = (s.len(), q.len());
     // For different lengths the band must at least cover the slope gap.
@@ -46,6 +62,7 @@ pub fn dtw_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> DtwResult {
         let center = i * m / n;
         let lo = center.saturating_sub(w).max(1);
         let hi = (center + w).min(m);
+        let row_start = cells;
         cur[..lo].fill(f64::INFINITY);
         for j in lo..=hi {
             let gap = s[i - 1] - q[j - 1];
@@ -59,13 +76,22 @@ pub fn dtw_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> DtwResult {
         }
         cur[hi + 1..=m].fill(f64::INFINITY);
         std::mem::swap(&mut prev, &mut cur);
+        if token.charge_cells(cells - row_start) {
+            return (
+                DtwResult {
+                    distance: f64::INFINITY,
+                    cells,
+                },
+                true,
+            );
+        }
     }
     let raw = prev[m];
     let distance = match kind {
         DtwKind::SumSquared if raw.is_finite() => raw.sqrt(),
         _ => raw,
     };
-    DtwResult { distance, cells }
+    (DtwResult { distance, cells }, false)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //!   mapping `M`, used by diagnostics and tests.
 
 use super::DtwKind;
+use crate::govern::CancelToken;
 
 /// Result of a full distance computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +31,10 @@ pub struct DtwOutcome {
     /// (a whole DP column exceeded the tolerance); `false` when it ran to
     /// completion, whatever the verdict.
     pub early_abandoned: bool,
+    /// `true` when a query budget/deadline cancelled the computation before
+    /// it could decide; `within` is then `None` but the candidate was *not*
+    /// rejected — callers must ledger it as skipped, not pruned.
+    pub cancelled: bool,
 }
 
 #[inline]
@@ -99,6 +104,21 @@ pub fn dtw(s: &[f64], q: &[f64], kind: DtwKind) -> DtwResult {
 /// tolerance: DP values never decrease along a warping path under any
 /// [`DtwKind`], so no extension can come back under `epsilon`.
 pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutcome {
+    dtw_within_governed(s, q, kind, epsilon, &CancelToken::unlimited())
+}
+
+/// [`dtw_within`] under a query governor: each completed DP column charges
+/// its cells against `token` and the computation stops — undecided, with
+/// [`DtwOutcome::cancelled`] set — once the token trips. With an unlimited
+/// token the behaviour (verdict *and* cell count) is identical to
+/// [`dtw_within`].
+pub fn dtw_within_governed(
+    s: &[f64],
+    q: &[f64],
+    kind: DtwKind,
+    epsilon: f64,
+    token: &CancelToken,
+) -> DtwOutcome {
     debug_assert!(epsilon >= 0.0);
     if s.is_empty() || q.is_empty() {
         let within = if s.len() == q.len() { Some(0.0) } else { None };
@@ -106,6 +126,7 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
             within,
             cells: 0,
             early_abandoned: false,
+            cancelled: false,
         };
     }
     let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
@@ -130,6 +151,15 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
                 within: None,
                 cells,
                 early_abandoned: true,
+                cancelled: false,
+            };
+        }
+        if token.charge_cells(m as u64) {
+            return DtwOutcome {
+                within: None,
+                cells,
+                early_abandoned: false,
+                cancelled: true,
             };
         }
     }
@@ -138,6 +168,7 @@ pub fn dtw_within(s: &[f64], q: &[f64], kind: DtwKind, epsilon: f64) -> DtwOutco
         within: (d <= epsilon).then_some(d),
         cells,
         early_abandoned: false,
+        cancelled: false,
     }
 }
 

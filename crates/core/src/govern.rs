@@ -1,0 +1,427 @@
+//! The query governor: budgets, termination taxonomy, and admission control.
+//!
+//! PR 2 made storage failures survivable and the stats layer made cost
+//! observable; this module makes cost *controllable*. A [`QueryBudget`]
+//! bounds what one query may consume — wall-clock time, DTW cells, candidate
+//! bytes, pager reads — and compiles ([`QueryBudget::arm`]) into a shared
+//! [`CancelToken`] checked cooperatively at cheap boundaries throughout the
+//! pipeline: the DTW column/row loops, every engine's candidate loop, the
+//! parallel verifier, and the pager retry path.
+//!
+//! **Exceeding a budget is not an error.** Engines return their usual
+//! `SearchOutcome`, now carrying a [`Termination`] label and *partial results
+//! with exactness bookkeeping*: every returned match was verified exact
+//! before the cancellation, and candidates the query never decided are
+//! ledgered as `skipped_unverified` so the accounting invariant still
+//! balances. A governed query can return fewer matches than an ungoverned
+//! one, but never a false positive.
+//!
+//! [`AdmissionGate`] is the overload front door: a concurrency limit with a
+//! bounded wait queue. Queries beyond the queue bound are shed immediately
+//! ([`Termination::Shed`]) instead of piling up threads — bounded work,
+//! bounded waiting, bounded memory.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+pub use tw_storage::{CancelCause, CancelToken, Clock, ManualClock, SystemClock};
+
+/// Declarative resource limits for one query.
+///
+/// All limits are optional; an empty budget arms into the unlimited token
+/// (zero overhead). The clock defaults to real time and is swappable for a
+/// [`ManualClock`] in tests, which makes every deadline scenario — including
+/// deadline-during-pager-stall — deterministic.
+#[derive(Debug, Clone)]
+pub struct QueryBudget {
+    deadline: Option<Duration>,
+    max_cells: Option<u64>,
+    max_candidate_bytes: Option<u64>,
+    max_pager_reads: Option<u64>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryBudget {
+    /// An empty budget: no limits, arms to the unlimited token.
+    pub fn new() -> Self {
+        Self {
+            deadline: None,
+            max_cells: None,
+            max_candidate_bytes: None,
+            max_pager_reads: None,
+            clock: Arc::new(SystemClock::new()),
+        }
+    }
+
+    /// Caps the query's wall-clock time.
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.deadline = Some(after);
+        self
+    }
+
+    /// Caps total DTW DP cells (the dominant CPU cost).
+    pub fn max_cells(mut self, n: u64) -> Self {
+        self.max_cells = Some(n);
+        self
+    }
+
+    /// Caps bytes of candidate sequence data fetched from storage.
+    pub fn max_candidate_bytes(mut self, n: u64) -> Self {
+        self.max_candidate_bytes = Some(n);
+        self
+    }
+
+    /// Caps pager page reads (modeled I/O).
+    pub fn max_pager_reads(mut self, n: u64) -> Self {
+        self.max_pager_reads = Some(n);
+        self
+    }
+
+    /// Replaces the time source (tests: [`ManualClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_cells.is_none()
+            && self.max_candidate_bytes.is_none()
+            && self.max_pager_reads.is_none()
+    }
+
+    /// Compiles the budget into a fresh token. The deadline starts ticking
+    /// *now* — arm once per query, at query start.
+    pub fn arm(&self) -> CancelToken {
+        let mut builder = CancelToken::builder(Arc::clone(&self.clock));
+        if let Some(after) = self.deadline {
+            builder = builder.deadline_in(after);
+        }
+        if let Some(n) = self.max_cells {
+            builder = builder.max_cells(n);
+        }
+        if let Some(n) = self.max_candidate_bytes {
+            builder = builder.max_candidate_bytes(n);
+        }
+        if let Some(n) = self.max_pager_reads {
+            builder = builder.max_pager_reads(n);
+        }
+        builder.build()
+    }
+}
+
+/// Which budget dimension ended a query early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The DTW cell budget.
+    DtwCells,
+    /// The candidate byte budget.
+    CandidateBytes,
+    /// The pager read budget.
+    PagerReads,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::DtwCells => write!(f, "dtw-cells"),
+            BudgetKind::CandidateBytes => write!(f, "candidate-bytes"),
+            BudgetKind::PagerReads => write!(f, "pager-reads"),
+        }
+    }
+}
+
+/// How a query ended. Not an error: partial results are real results with
+/// honest bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Termination {
+    /// The query ran to completion; results are the full exact answer.
+    #[default]
+    Complete,
+    /// The wall-clock deadline passed; results are a verified-exact subset.
+    DeadlineExceeded,
+    /// A resource budget ran out; results are a verified-exact subset.
+    BudgetExhausted {
+        /// The dimension that ran out first.
+        which: BudgetKind,
+    },
+    /// Admission control rejected the query under overload; no work was done.
+    Shed,
+}
+
+impl Termination {
+    /// Whether the result set is the complete exact answer.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Termination::Complete)
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Termination::Complete => write!(f, "complete"),
+            Termination::DeadlineExceeded => write!(f, "deadline-exceeded"),
+            Termination::BudgetExhausted { which } => write!(f, "budget-exhausted({which})"),
+            Termination::Shed => write!(f, "shed"),
+        }
+    }
+}
+
+/// Maps a token's final state to the outcome label. Reads the recorded
+/// cause only — a query that *finished* its work before anyone observed the
+/// deadline reports `Complete` even if wall time has since passed it.
+pub fn termination_of(token: &CancelToken) -> Termination {
+    match token.cause() {
+        None => Termination::Complete,
+        Some(CancelCause::Deadline) => Termination::DeadlineExceeded,
+        Some(CancelCause::DtwCells) => Termination::BudgetExhausted {
+            which: BudgetKind::DtwCells,
+        },
+        Some(CancelCause::CandidateBytes) => Termination::BudgetExhausted {
+            which: BudgetKind::CandidateBytes,
+        },
+        Some(CancelCause::PagerReads) => Termination::BudgetExhausted {
+            which: BudgetKind::PagerReads,
+        },
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+    shed: u64,
+}
+
+/// Concurrency-limited admission with bounded queueing.
+///
+/// At most `max_concurrent` queries hold permits at once; up to `max_queued`
+/// more wait for a free slot; anything beyond that is shed immediately.
+/// Permits release on drop (including panic unwind), waking one waiter.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    max_concurrent: usize,
+    max_queued: usize,
+    state: Mutex<GateState>,
+    available: Condvar,
+}
+
+/// The gate's verdict for one arriving query.
+#[derive(Debug)]
+pub enum Admission {
+    /// Run now; hold the permit for the query's duration.
+    Granted(AdmissionPermit),
+    /// Overload: the queue is full, the query must not run.
+    Shed,
+}
+
+/// An admitted query's slot; releases on drop.
+#[derive(Debug)]
+#[must_use = "dropping the permit releases the concurrency slot"]
+pub struct AdmissionPermit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl AdmissionGate {
+    /// A gate running at most `max_concurrent` queries with at most
+    /// `max_queued` waiting.
+    pub fn new(max_concurrent: usize, max_queued: usize) -> Arc<Self> {
+        assert!(
+            max_concurrent >= 1,
+            "admission gate needs at least one slot"
+        );
+        Arc::new(Self {
+            max_concurrent,
+            max_queued,
+            state: Mutex::new(GateState::default()),
+            available: Condvar::new(),
+        })
+    }
+
+    /// Requests admission, blocking in the bounded queue when the gate is
+    /// full and shedding when the queue is also full.
+    pub fn admit(self: &Arc<Self>) -> Admission {
+        let mut state = self.state.lock();
+        if state.active < self.max_concurrent {
+            state.active += 1;
+            return Admission::Granted(AdmissionPermit {
+                gate: Arc::clone(self),
+            });
+        }
+        if state.queued >= self.max_queued {
+            state.shed += 1;
+            return Admission::Shed;
+        }
+        state.queued += 1;
+        while state.active >= self.max_concurrent {
+            state = self.available.wait(state);
+        }
+        state.queued -= 1;
+        state.active += 1;
+        Admission::Granted(AdmissionPermit {
+            gate: Arc::clone(self),
+        })
+    }
+
+    /// Queries currently holding permits.
+    pub fn active(&self) -> usize {
+        self.state.lock().active
+    }
+
+    /// Queries currently waiting for a permit.
+    pub fn queued(&self) -> usize {
+        self.state.lock().queued
+    }
+
+    /// Queries shed since the gate was created.
+    pub fn shed_count(&self) -> u64 {
+        self.state.lock().shed
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock();
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        self.gate.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_budget_arms_unlimited() {
+        let budget = QueryBudget::new();
+        assert!(budget.is_unlimited());
+        assert!(budget.arm().is_unlimited());
+        assert_eq!(termination_of(&budget.arm()), Termination::Complete);
+    }
+
+    #[test]
+    fn budget_limits_compile_into_the_token() {
+        let clock = Arc::new(ManualClock::new());
+        let budget = QueryBudget::new()
+            .deadline(Duration::from_millis(10))
+            .max_cells(100)
+            .clock(clock.clone());
+        let token = budget.arm();
+        assert!(!token.is_unlimited());
+        assert!(token.charge_cells(200));
+        assert_eq!(
+            termination_of(&token),
+            Termination::BudgetExhausted {
+                which: BudgetKind::DtwCells
+            }
+        );
+        // A fresh arm starts a fresh ledger.
+        let token = budget.arm();
+        assert!(!token.charge_cells(50));
+        clock.advance(Duration::from_millis(11));
+        assert!(token.cancelled());
+        assert_eq!(termination_of(&token), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn termination_reads_the_cause_not_the_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let token = QueryBudget::new()
+            .deadline(Duration::from_millis(1))
+            .clock(clock.clone())
+            .arm();
+        // Work finished before anyone observed the deadline: Complete, even
+        // though the wall clock has since passed it.
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(termination_of(&token), Termination::Complete);
+        // Once a checkpoint observes it, it is a deadline exceed.
+        assert!(token.cancelled());
+        assert_eq!(termination_of(&token), Termination::DeadlineExceeded);
+    }
+
+    #[test]
+    fn termination_display() {
+        assert_eq!(Termination::Complete.to_string(), "complete");
+        assert_eq!(
+            Termination::DeadlineExceeded.to_string(),
+            "deadline-exceeded"
+        );
+        assert_eq!(
+            Termination::BudgetExhausted {
+                which: BudgetKind::PagerReads
+            }
+            .to_string(),
+            "budget-exhausted(pager-reads)"
+        );
+        assert_eq!(Termination::Shed.to_string(), "shed");
+    }
+
+    #[test]
+    fn gate_grants_up_to_capacity_then_sheds_past_the_queue() {
+        let gate = AdmissionGate::new(2, 0);
+        let a = gate.admit();
+        let b = gate.admit();
+        assert!(matches!(a, Admission::Granted(_)));
+        assert!(matches!(b, Admission::Granted(_)));
+        assert_eq!(gate.active(), 2);
+        // Queue bound is 0: the third query is shed, not blocked.
+        assert!(matches!(gate.admit(), Admission::Shed));
+        assert_eq!(gate.shed_count(), 1);
+        drop(a);
+        assert_eq!(gate.active(), 1);
+        assert!(matches!(gate.admit(), Admission::Granted(_)));
+    }
+
+    #[test]
+    fn queued_queries_run_when_a_permit_frees() {
+        let gate = AdmissionGate::new(1, 4);
+        let permit = match gate.admit() {
+            Admission::Granted(p) => p,
+            Admission::Shed => panic!("first query must be admitted"),
+        };
+        let gate2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || match gate2.admit() {
+            Admission::Granted(p) => {
+                drop(p);
+                true
+            }
+            Admission::Shed => false,
+        });
+        // Wait until the second query is parked in the queue.
+        while gate.queued() == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(gate.active(), 1);
+        drop(permit);
+        assert!(waiter.join().expect("waiter thread"), "queued query ran");
+        assert_eq!(gate.active(), 0);
+        assert_eq!(gate.shed_count(), 0);
+    }
+
+    #[test]
+    fn permit_released_on_panic_unwind() {
+        let gate = AdmissionGate::new(1, 0);
+        let gate2 = Arc::clone(&gate);
+        let _ = std::thread::spawn(move || {
+            let _permit = match gate2.admit() {
+                Admission::Granted(p) => p,
+                Admission::Shed => panic!("must admit"),
+            };
+            panic!("query blew up");
+        })
+        .join();
+        assert_eq!(gate.active(), 0, "unwind released the slot");
+        assert!(matches!(gate.admit(), Admission::Granted(_)));
+    }
+}

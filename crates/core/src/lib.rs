@@ -69,6 +69,7 @@ pub mod database;
 pub mod distance;
 pub mod error;
 pub mod feature;
+pub mod govern;
 pub mod lower_bound;
 pub mod search;
 pub mod sequence;
@@ -77,14 +78,22 @@ pub mod transform;
 
 pub use alignment::Alignment;
 pub use database::TimeWarpDatabase;
-pub use distance::{dtw, dtw_banded, dtw_with_path, dtw_within, DtwKind, DtwOutcome, DtwResult};
+pub use distance::{
+    dtw, dtw_banded, dtw_banded_governed, dtw_with_path, dtw_within, dtw_within_governed, DtwKind,
+    DtwOutcome, DtwResult,
+};
 pub use error::TwError;
 pub use feature::FeatureVector;
+pub use govern::{
+    termination_of, Admission, AdmissionGate, AdmissionPermit, BudgetKind, CancelCause,
+    CancelToken, Clock, ManualClock, QueryBudget, SystemClock, Termination,
+};
 pub use lower_bound::{lb_keogh, lb_kim, lb_yi};
 pub use search::{
     false_dismissals, verify_candidates, EngineOpts, FastMapSearch, HybridPlan, HybridSearch,
-    KnnMatch, LbScan, Match, NaiveScan, SearchEngine, SearchOutcome, SearchResult, SearchStats,
-    StFilterSearch, SubsequenceIndex, SubsequenceMatch, TwSimSearch, VerifyMode, WindowSpec,
+    KnnMatch, KnnOutcome, LbScan, Match, NaiveScan, SearchEngine, SearchOutcome, SearchResult,
+    SearchStats, StFilterSearch, SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome,
+    TwSimSearch, VerifyMode, WindowSpec,
 };
 pub use sequence::Sequence;
 pub use stats::{Phase, PhaseTimes, PipelineCounters, QueryStats};

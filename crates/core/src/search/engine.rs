@@ -33,6 +33,7 @@ use tw_storage::{HardwareModel, Pager, SeqId, SequenceStore};
 
 use crate::distance::DtwKind;
 use crate::error::TwError;
+use crate::govern::{CancelToken, QueryBudget, Termination};
 use crate::search::{HybridPlan, Match, SearchResult, SearchStats, VerifyMode};
 use crate::stats::QueryStats;
 
@@ -57,6 +58,10 @@ pub struct EngineOpts {
     /// The cost model the hybrid router prices continuations with
     /// (default: the paper's 2001 hardware).
     pub hardware: HardwareModel,
+    /// Optional resource budget (deadline, DTW cells, candidate bytes, pager
+    /// reads) the query runs under. `None` — the default — means unlimited:
+    /// engines behave byte-identically to an unbudgeted build.
+    pub budget: Option<QueryBudget>,
 }
 
 impl EngineOpts {
@@ -68,6 +73,7 @@ impl EngineOpts {
             threads: 1,
             verify: VerifyMode::Exact,
             hardware: HardwareModel::icde2001(),
+            budget: None,
         }
     }
 
@@ -94,6 +100,24 @@ impl EngineOpts {
     pub fn hardware(mut self, hardware: HardwareModel) -> Self {
         self.hardware = hardware;
         self
+    }
+
+    /// Runs the query under `budget`: past any of its limits the engine stops
+    /// early and returns partial (still verified-exact) results with the
+    /// matching [`Termination`].
+    pub fn budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Compiles the budget — if any — into a live [`CancelToken`] for this
+    /// query. Unbudgeted options yield the unlimited token, whose every check
+    /// is a single `Option` test.
+    pub fn arm_budget(&self) -> CancelToken {
+        match &self.budget {
+            Some(budget) => budget.arm(),
+            None => CancelToken::unlimited(),
+        }
     }
 }
 
@@ -158,6 +182,11 @@ pub struct SearchOutcome {
     /// abandon split, I/O, timers) — see [`crate::stats`] for the counter
     /// semantics and the accounting invariant.
     pub query_stats: QueryStats,
+    /// How the query ended: ran to completion, or was cut short by a
+    /// deadline / resource budget / admission control. Partial results are
+    /// still verified-exact — never a false positive — but may miss matches
+    /// the completed query would have found.
+    pub termination: Termination,
 }
 
 impl SearchOutcome {
@@ -183,6 +212,7 @@ impl From<SearchResult> for SearchOutcome {
             plan: None,
             health: EngineHealth::Healthy,
             query_stats: QueryStats::default(),
+            termination: Termination::Complete,
         }
     }
 }
@@ -252,6 +282,7 @@ mod tests {
             plan: Some(HybridPlan::IndexVerify),
             health: EngineHealth::Healthy,
             query_stats: QueryStats::default(),
+            termination: Termination::Complete,
         };
         assert_eq!(outcome.ids(), vec![3]);
         let result = outcome.clone().into_result();

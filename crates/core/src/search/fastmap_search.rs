@@ -13,19 +13,18 @@
 //! approximate; the harness quantifies the recall loss against Naive-Scan
 //! (DESIGN.md "ablation-fastmap").
 
-use std::time::Instant;
-
 use tw_fastmap::{DistanceOracle, FastMap};
 use tw_rtree::{Point, RTree, RTreeConfig, SplitAlgorithm};
 use tw_storage::{Pager, SeqId, SequenceStore};
 
 use crate::distance::{dtw, DtwKind};
 use crate::error::{validate_tolerance, TwError};
+use crate::govern::termination_of;
+use crate::search::verify::verify_candidates_governed;
 use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult,
-    SearchStats,
+    EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
 };
-use crate::stats::{Phase, PipelineCounters};
+use crate::stats::{wall_now, Phase, PipelineCounters};
 
 /// The approximate FastMap engine.
 #[derive(Debug, Clone)]
@@ -109,7 +108,9 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         if query.is_empty() {
             return Err(TwError::EmptySequence);
         }
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
         let retries_before = store.checksum_retries();
         let counters = PipelineCounters::new();
@@ -127,7 +128,7 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         let mut pivot_dtw_cells = 0u64;
         let mut pivot_evals = 0u64;
         let mut pivot_fault: Option<TwError> = None;
-        let started_filter = Instant::now();
+        let started_filter = wall_now();
         let q_coords = self.map.project(|i| match store.get(i as SeqId) {
             Ok(pivot) => {
                 let r = dtw(&pivot, query, self.kind);
@@ -159,21 +160,32 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         counters.add_candidates(range.ids.len() as u64);
         counters.add_phase(Phase::Filter, started_filter.elapsed());
         let mut pruned = 0u64;
+        let mut skipped = 0u64;
         let candidates = counters.time(Phase::Fetch, || {
             let mut candidates = Vec::new();
             for id in range.ids {
+                // A tripped budget stops the fetch: unread proposals are
+                // ledgered as skipped.
+                if token.cancelled() {
+                    skipped += 1;
+                    continue;
+                }
                 let coords = &self.map.coordinates()[id as usize];
                 if FastMap::embedded_distance(&q_coords, coords) > epsilon {
                     pruned += 1;
                     continue; // outside the Euclidean ball
                 }
-                candidates.push((id, store.get(id)?));
+                let values = store.get(id)?;
+                let _ = token
+                    .charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
+                candidates.push((id, values));
             }
             Ok::<_, TwError>(candidates)
         })?;
         counters.add_pruned_embedding(pruned);
+        counters.add_skipped_unverified(skipped);
         stats.candidates = candidates.len();
-        let (matches, verify_stats) = verify_candidates(
+        let (matches, verify_stats) = verify_candidates_governed(
             &candidates,
             query,
             epsilon,
@@ -181,6 +193,7 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
             opts.verify,
             opts.threads,
             &counters,
+            &token,
         );
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
@@ -193,6 +206,7 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
             plan: None,
             health: EngineHealth::Healthy,
             query_stats: counters.snapshot(),
+            termination: termination_of(&token),
         })
     }
 }

@@ -7,21 +7,38 @@
 //! stop once the next candidate's lower bound already exceeds the current
 //! k-th best exact distance — no further candidate can improve the result.
 
-use std::time::Instant;
-
 use tw_rtree::KnnMetric;
 use tw_storage::{Pager, SeqId, SequenceStore};
 
 use crate::distance::{dtw, DtwKind};
 use crate::error::TwError;
 use crate::feature::FeatureVector;
-use crate::search::{SearchStats, TwSimSearch};
+use crate::govern::{termination_of, Termination};
+use crate::search::{EngineOpts, SearchStats, TwSimSearch};
+use crate::stats::{wall_now, PipelineCounters, QueryStats};
 
 /// One kNN answer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KnnMatch {
     pub id: SeqId,
     pub distance: f64,
+}
+
+/// Everything one kNN query produced: neighbours plus the same observability
+/// and governance surface the range engines report.
+#[derive(Debug, Clone, Default)]
+pub struct KnnOutcome {
+    /// The `k` nearest neighbours found, ascending by distance. Under a
+    /// tripped budget this may be fewer — or farther — than the true
+    /// neighbours, but every reported distance is exact.
+    pub matches: Vec<KnnMatch>,
+    /// The legacy work accounting.
+    pub stats: SearchStats,
+    /// Per-phase observability breakdown; sequences fetched for exact
+    /// verification are the "candidates".
+    pub query_stats: QueryStats,
+    /// Whether the query completed or was cut short by its budget.
+    pub termination: Termination,
 }
 
 impl TwSimSearch {
@@ -35,18 +52,41 @@ impl TwSimSearch {
         k: usize,
         kind: DtwKind,
     ) -> Result<(Vec<KnnMatch>, SearchStats), TwError> {
+        let outcome = self.knn_governed(store, query, k, &EngineOpts::new().kind(kind))?;
+        Ok((outcome.matches, outcome.stats))
+    }
+
+    /// [`Self::knn`] with the full option set: honours `opts.budget`
+    /// (stopping the Seidl–Kriegel refinement early with whatever exact
+    /// neighbours it has) and reports the per-phase [`QueryStats`] breakdown.
+    pub fn knn_governed<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        k: usize,
+        opts: &EngineOpts,
+    ) -> Result<KnnOutcome, TwError> {
         if query.is_empty() {
             return Err(TwError::EmptySequence);
         }
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
         };
         if k == 0 || self.is_empty() {
             stats.cpu_time = started.elapsed();
-            return Ok((Vec::new(), stats));
+            return Ok(KnnOutcome {
+                matches: Vec::new(),
+                stats,
+                query_stats: counters.snapshot(),
+                termination: Termination::Complete,
+            });
         }
         let q_point = FeatureVector::from_values(query).as_point();
 
@@ -56,15 +96,17 @@ impl TwSimSearch {
         // distances are cached so refetching never re-verifies a sequence.
         let mut verified: std::collections::HashMap<tw_storage::SeqId, f64> =
             std::collections::HashMap::new();
+        let mut skipped: u64 = 0;
         let mut fetch = (2 * k).max(16).min(self.len());
         let mut best: Vec<KnnMatch> = Vec::new();
-        loop {
+        'refine: loop {
             let batch = self.tree().knn(&q_point, fetch, KnnMetric::Chebyshev);
             stats.index_node_accesses += batch.stats.node_accesses();
+            counters.add_index_internal(batch.stats.node_accesses());
 
             best.clear();
             let mut complete = false;
-            for neighbor in &batch.neighbors {
+            for (pos, neighbor) in batch.neighbors.iter().enumerate() {
                 let kth_best = if best.len() == k {
                     best.last().map_or(f64::INFINITY, |m| m.distance)
                 } else {
@@ -76,13 +118,29 @@ impl TwSimSearch {
                     complete = true;
                     break;
                 }
+                if token.cancelled() {
+                    // The rest of this batch was proposed but never gets a
+                    // verdict: ledger the unverified ones as skipped.
+                    skipped = batch
+                        .neighbors
+                        .iter()
+                        .skip(pos)
+                        .filter(|n| !verified.contains_key(&n.id))
+                        .count() as u64;
+                    break 'refine;
+                }
                 let distance = match verified.get(&neighbor.id) {
                     Some(&d) => d,
                     None => {
                         let values = store.get(neighbor.id)?;
+                        let _ = token.charge_candidate_bytes(
+                            (std::mem::size_of::<f64>() * values.len()) as u64,
+                        );
                         stats.dtw_invocations += 1;
-                        let r = dtw(&values, query, kind);
+                        let r = dtw(&values, query, opts.kind);
+                        let _ = token.charge_cells(r.cells);
                         stats.dtw_cells += r.cells;
+                        counters.add_dtw_cells(r.cells);
                         verified.insert(neighbor.id, r.distance);
                         r.distance
                     }
@@ -105,9 +163,22 @@ impl TwSimSearch {
             }
             fetch = (fetch * 2).min(self.len());
         }
+        stats.candidates = verified.len();
+        // kNN verifies with the full (never-abandoning) distance: every
+        // fetched candidate is either verified exactly or skipped.
+        counters.add_candidates(verified.len() as u64 + skipped);
+        counters.add_verified(verified.len() as u64);
+        counters.add_skipped_unverified(skipped);
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         stats.cpu_time = started.elapsed();
-        Ok((best, stats))
+        Ok(KnnOutcome {
+            matches: best,
+            stats,
+            query_stats: counters.snapshot(),
+            termination: termination_of(&token),
+        })
     }
 }
 

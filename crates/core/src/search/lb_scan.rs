@@ -6,16 +6,14 @@
 //! not I/O, which is exactly why its elapsed time keeps growing with the
 //! database in Figures 4 and 5 while TW-Sim-Search stays flat.
 
-use std::time::Instant;
-
 use tw_storage::{Pager, SequenceStore};
 
 use crate::error::{validate_tolerance, TwError};
+use crate::govern::termination_of;
 use crate::lower_bound::lb_yi;
-use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
-};
-use crate::stats::{Phase, PipelineCounters};
+use crate::search::verify::verify_candidates_governed;
+use crate::search::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats};
+use crate::stats::{wall_now, Phase, PipelineCounters};
 
 /// The lower-bound-filtered sequential scan.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,7 +32,9 @@ impl<P: Pager> SearchEngine<P> for LbScan {
         opts: &EngineOpts,
     ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
         let retries_before = store.checksum_retries();
         let counters = PipelineCounters::new();
@@ -49,23 +49,34 @@ impl<P: Pager> SearchEngine<P> for LbScan {
         // by `D_lb`.
         let mut candidates = Vec::new();
         let mut pruned = 0u64;
+        let mut skipped = 0u64;
         counters.time(Phase::Filter, || {
             store.scan_visit(|id, values| {
+                // A tripped budget turns the rest of the scan into skips: the
+                // rows are still read (the scan is one pass), but no filter
+                // CPU is spent and nothing else is admitted to verification.
+                if token.cancelled() {
+                    skipped += 1;
+                    return;
+                }
                 stats.lb_evaluations += 1;
                 stats.filter_ops += (values.len() + query.len()) as u64;
                 if values.is_empty() || lb_yi(&values, query, opts.kind) > epsilon {
                     pruned += 1;
                     return;
                 }
+                let _ = token
+                    .charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
                 candidates.push((id, values));
             })
         })?;
-        counters.add_candidates(pruned + candidates.len() as u64);
+        counters.add_candidates(pruned + skipped + candidates.len() as u64);
         counters.add_pruned_lb_yi(pruned);
+        counters.add_skipped_unverified(skipped);
         stats.candidates = candidates.len();
         stats.io = store.take_io();
         counters.add_pager_reads(stats.io.total_pages());
-        let (matches, verify_stats) = verify_candidates(
+        let (matches, verify_stats) = verify_candidates_governed(
             &candidates,
             query,
             epsilon,
@@ -73,6 +84,7 @@ impl<P: Pager> SearchEngine<P> for LbScan {
             opts.verify,
             opts.threads,
             &counters,
+            &token,
         );
         stats.accumulate(&verify_stats);
         stats.cpu_time = started.elapsed();
@@ -83,6 +95,7 @@ impl<P: Pager> SearchEngine<P> for LbScan {
             plan: None,
             health: EngineHealth::Healthy,
             query_stats: counters.snapshot(),
+            termination: termination_of(&token),
         })
     }
 }

@@ -23,15 +23,15 @@ mod verify;
 pub use engine::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome};
 pub use fastmap_search::{false_dismissals, FastMapSearch};
 pub use hybrid::{HybridPlan, HybridSearch};
-pub use knn::KnnMatch;
+pub use knn::{KnnMatch, KnnOutcome};
 pub use lb_scan::LbScan;
 pub use naive_scan::NaiveScan;
 pub use parallel::parallel_query_batch;
 pub use resilient::ResilientSearch;
 pub use st_filter::StFilterSearch;
-pub use subsequence::{SubsequenceIndex, SubsequenceMatch, WindowSpec};
+pub use subsequence::{SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome, WindowSpec};
 pub use tw_sim_search::{TwSimSearch, VerifyMode};
-pub use verify::verify_candidates;
+pub use verify::{verify_candidates, verify_candidates_governed};
 
 use std::time::Duration;
 

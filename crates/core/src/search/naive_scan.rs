@@ -5,15 +5,13 @@
 //! every method's verification step alike; under the L∞ recurrence it fires
 //! as soon as any whole DP column exceeds the tolerance (§4.1).
 
-use std::time::Instant;
-
 use tw_storage::{Pager, SequenceStore};
 
 use crate::error::{validate_tolerance, TwError};
-use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
-};
-use crate::stats::{Phase, PipelineCounters};
+use crate::govern::termination_of;
+use crate::search::verify::verify_candidates_governed;
+use crate::search::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats};
+use crate::stats::{wall_now, Phase, PipelineCounters};
 
 /// The sequential-scan baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -32,7 +30,9 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
         opts: &EngineOpts,
     ) -> Result<SearchOutcome, TwError> {
         validate_tolerance(epsilon)?;
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
         let retries_before = store.checksum_retries();
         let counters = PipelineCounters::new();
@@ -45,7 +45,12 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
         stats.io = store.take_io();
         counters.add_candidates(rows.len() as u64);
         counters.add_pager_reads(stats.io.total_pages());
-        let (matches, verify_stats) = verify_candidates(
+        for (_, values) in &rows {
+            if token.charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64) {
+                break;
+            }
+        }
+        let (matches, verify_stats) = verify_candidates_governed(
             &rows,
             query,
             epsilon,
@@ -53,6 +58,7 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
             opts.verify,
             opts.threads,
             &counters,
+            &token,
         );
         stats.accumulate(&verify_stats);
         // Naive-Scan has no filtering step: the paper plots its final result
@@ -66,6 +72,7 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
             plan: None,
             health: EngineHealth::Healthy,
             query_stats: counters.snapshot(),
+            termination: termination_of(&token),
         })
     }
 }

@@ -12,12 +12,20 @@
 //!
 //! Errors that would equally fail the scan path (empty query, invalid
 //! tolerance) are propagated, not masked.
+//!
+//! Overload is handled the same way as damage — answer honestly rather than
+//! fall over: an optional [`AdmissionGate`] in front of the engine bounds
+//! concurrent queries and the waiting line, and a query arriving past both
+//! bounds is *shed*, returning an empty outcome marked
+//! [`Termination::Shed`] instead of stacking up unboundedly.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use tw_storage::{Pager, SequenceStore};
 
 use crate::error::TwError;
+use crate::govern::{Admission, AdmissionGate, Termination};
 use crate::search::{EngineHealth, EngineOpts, LbScan, SearchEngine, SearchOutcome, TwSimSearch};
 
 /// An engine that prefers the index and survives without it.
@@ -26,6 +34,8 @@ pub struct ResilientSearch {
     primary: Option<TwSimSearch>,
     /// Why `primary` is absent (set when the index failed to load).
     offline_reason: Option<String>,
+    /// Admission-control front door; `None` admits everything immediately.
+    gate: Option<Arc<AdmissionGate>>,
 }
 
 impl ResilientSearch {
@@ -34,6 +44,7 @@ impl ResilientSearch {
         Self {
             primary: Some(engine),
             offline_reason: None,
+            gate: None,
         }
     }
 
@@ -49,8 +60,23 @@ impl ResilientSearch {
             Err(e) => Self {
                 primary: None,
                 offline_reason: Some(e.to_string()),
+                gate: None,
             },
         }
+    }
+
+    /// Puts an admission gate in front of every query: at most
+    /// `max_concurrent` run at once, at most `max_queued` wait for a slot,
+    /// and anything beyond that is shed with [`Termination::Shed`]. Clones
+    /// share the gate.
+    pub fn with_admission(mut self, gate: Arc<AdmissionGate>) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The admission gate, when one is installed.
+    pub fn admission_gate(&self) -> Option<&Arc<AdmissionGate>> {
+        self.gate.as_ref()
     }
 
     /// Whether the index is unavailable and every query will fall back.
@@ -108,6 +134,21 @@ impl<P: Pager> SearchEngine<P> for ResilientSearch {
         epsilon: f64,
         opts: &EngineOpts,
     ) -> Result<SearchOutcome, TwError> {
+        // Admission control first: a shed query never touches the store. The
+        // permit is held for the rest of this call and released on return or
+        // unwind.
+        let _permit = match &self.gate {
+            Some(gate) => match gate.admit() {
+                Admission::Granted(permit) => Some(permit),
+                Admission::Shed => {
+                    return Ok(SearchOutcome {
+                        termination: Termination::Shed,
+                        ..SearchOutcome::default()
+                    });
+                }
+            },
+            None => None,
+        };
         let Some(primary) = &self.primary else {
             let reason = self
                 .offline_reason

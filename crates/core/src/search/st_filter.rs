@@ -11,18 +11,18 @@
 //! "abnormally enlarged suffix tree"), which is exactly why the paper finds
 //! ST-Filter uncompetitive for whole matching.
 
-use std::time::Instant;
-
 use tw_storage::{Pager, SequenceStore};
 use tw_suffix::{CategoryMethod, StFilter};
 
-use crate::distance::{dtw_within, DtwKind};
+use crate::distance::{dtw_within_governed, DtwKind};
 use crate::error::{validate_tolerance, TwError};
+use crate::govern::termination_of;
+use crate::search::subsequence::SubsequenceOutcome;
+use crate::search::verify::verify_candidates_governed;
 use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
-    SubsequenceMatch,
+    EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats, SubsequenceMatch,
 };
-use crate::stats::{Phase, PipelineCounters};
+use crate::stats::{wall_now, Phase, PipelineCounters};
 
 /// The suffix-tree baseline engine.
 #[derive(Debug, Clone)]
@@ -77,20 +77,46 @@ impl StFilterSearch {
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<(Vec<SubsequenceMatch>, SearchStats), TwError> {
+        let outcome =
+            self.subsequence_search_governed(store, query, epsilon, &EngineOpts::new().kind(kind))?;
+        Ok((outcome.matches, outcome.stats))
+    }
+
+    /// [`Self::subsequence_search`] with the full option set: honours
+    /// `opts.budget` (returning partial, still-exact window matches with the
+    /// corresponding termination) and reports the per-phase
+    /// [`crate::stats::QueryStats`] breakdown, counting one candidate per
+    /// proposed window.
+    pub fn subsequence_search_governed<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SubsequenceOutcome, TwError> {
         validate_tolerance(epsilon)?;
         if query.is_empty() {
             return Err(TwError::EmptySequence);
         }
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: store.len(),
             ..Default::default()
         };
-        let filtered = self.filter.subsequence_candidates(query, epsilon);
+        let filtered = counters.time(Phase::Filter, || {
+            self.filter.subsequence_candidates(query, epsilon)
+        });
         stats.index_node_accesses = filtered.stats.nodes_visited;
+        counters.add_index_internal(filtered.stats.nodes_visited);
         stats.filter_ops = filtered.stats.dp_cells;
         stats.candidates = filtered.windows.len();
+        counters.add_candidates(filtered.windows.len() as u64);
+        let total_windows = filtered.windows.len() as u64;
 
         // Group candidate windows per sequence so each is read once.
         let mut by_seq: std::collections::BTreeMap<u64, Vec<(usize, usize)>> =
@@ -99,16 +125,43 @@ impl StFilterSearch {
             by_seq.entry(id as u64).or_default().push((offset, len));
         }
         let mut matches = Vec::new();
-        for (id, windows) in by_seq {
+        let mut decided = 0u64;
+        let mut verified = 0u64;
+        let mut abandoned = 0u64;
+        'candidates: for (id, windows) in by_seq {
+            if token.cancelled() {
+                break;
+            }
             let values = store.get(id)?;
+            let _ =
+                token.charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
             for (offset, len) in windows {
+                if token.cancelled() {
+                    break 'candidates;
+                }
                 // The filter reports the shallowest qualifying prefix length;
                 // the true best window starting at `offset` may be longer.
                 // Verify each admissible window length from the proposal up.
+                // The proposal counts as decided once every extension got a
+                // verdict; any abandoned extension marks it abandoned.
+                let mut proposal_abandoned = false;
+                let mut proposal_cancelled = false;
                 for end in (offset + len)..=values.len() {
-                    stats.dtw_invocations += 1;
-                    let outcome = dtw_within(&values[offset..end], query, kind, epsilon);
+                    let outcome = dtw_within_governed(
+                        &values[offset..end],
+                        query,
+                        opts.kind,
+                        epsilon,
+                        &token,
+                    );
                     stats.dtw_cells += outcome.cells;
+                    counters.add_dtw_cells(outcome.cells);
+                    if outcome.cancelled {
+                        proposal_cancelled = true;
+                        break;
+                    }
+                    stats.dtw_invocations += 1;
+                    proposal_abandoned |= outcome.early_abandoned;
                     if let Some(distance) = outcome.within {
                         matches.push(SubsequenceMatch {
                             id,
@@ -118,13 +171,32 @@ impl StFilterSearch {
                         });
                     }
                 }
+                if proposal_cancelled {
+                    break 'candidates;
+                }
+                decided += 1;
+                if proposal_abandoned {
+                    abandoned += 1;
+                } else {
+                    verified += 1;
+                }
             }
         }
+        counters.add_verified(verified);
+        counters.add_abandoned(abandoned);
+        counters.add_skipped_unverified(total_windows - decided);
         matches.sort_by_key(|m| (m.id, m.offset, m.len));
         matches.dedup_by_key(|m| (m.id, m.offset, m.len));
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         stats.cpu_time = started.elapsed();
-        Ok((matches, stats))
+        Ok(SubsequenceOutcome {
+            matches,
+            stats,
+            query_stats: counters.snapshot(),
+            termination: termination_of(&token),
+        })
     }
 }
 
@@ -144,7 +216,9 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
         if query.is_empty() {
             return Err(TwError::EmptySequence);
         }
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
         let retries_before = store.checksum_retries();
         let counters = PipelineCounters::new();
@@ -166,16 +240,26 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
         stats.filter_ops = filtered.stats.dp_cells;
         stats.candidates = filtered.ids.len();
         counters.add_candidates(filtered.ids.len() as u64);
+        let proposed = filtered.ids.len() as u64;
 
         let candidates = counters.time(Phase::Fetch, || {
             let mut candidates = Vec::with_capacity(filtered.ids.len());
             for id in filtered.ids {
+                // A tripped budget stops the fetch: unread proposals are
+                // ledgered as skipped below.
+                if token.cancelled() {
+                    break;
+                }
                 let id = id as u64;
-                candidates.push((id, store.get(id)?));
+                let values = store.get(id)?;
+                let _ = token
+                    .charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
+                candidates.push((id, values));
             }
             Ok::<_, TwError>(candidates)
         })?;
-        let (matches, verify_stats) = verify_candidates(
+        counters.add_skipped_unverified(proposed - candidates.len() as u64);
+        let (matches, verify_stats) = verify_candidates_governed(
             &candidates,
             query,
             epsilon,
@@ -183,6 +267,7 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
             opts.verify,
             opts.threads,
             &counters,
+            &token,
         );
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
@@ -195,6 +280,7 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
             plan: None,
             health: EngineHealth::Healthy,
             query_stats: counters.snapshot(),
+            termination: termination_of(&token),
         })
     }
 }

@@ -9,15 +9,15 @@
 //! Queries run the same filter-and-verify loop as whole matching, over
 //! windows.
 
-use std::time::Instant;
-
 use tw_rtree::{Point, RTree};
 use tw_storage::{Pager, SeqId, SequenceStore};
 
-use crate::distance::{dtw_within, DtwKind};
+use crate::distance::{dtw_within_governed, DtwKind};
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
-use crate::search::{SearchStats, TwSimSearch};
+use crate::govern::{termination_of, Termination};
+use crate::search::{EngineOpts, SearchStats, TwSimSearch};
+use crate::stats::{wall_now, Phase, PipelineCounters, QueryStats};
 
 /// Which windows to index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +77,21 @@ pub struct SubsequenceMatch {
     pub offset: usize,
     pub len: usize,
     pub distance: f64,
+}
+
+/// Everything one subsequence query produced: matches plus the same
+/// observability and governance surface the range engines report.
+#[derive(Debug, Clone, Default)]
+pub struct SubsequenceOutcome {
+    /// Qualifying windows, sorted by `(id, offset, len)`.
+    pub matches: Vec<SubsequenceMatch>,
+    /// The legacy work accounting.
+    pub stats: SearchStats,
+    /// Per-phase observability breakdown; window proposals are the
+    /// "candidates" and the accounting invariant holds over them.
+    pub query_stats: QueryStats,
+    /// Whether the query completed or was cut short by its budget.
+    pub termination: Termination,
 }
 
 /// The subsequence-matching index.
@@ -153,20 +168,43 @@ impl SubsequenceIndex {
         epsilon: f64,
         kind: DtwKind,
     ) -> Result<(Vec<SubsequenceMatch>, SearchStats), TwError> {
+        let outcome = self.search_governed(store, query, epsilon, &EngineOpts::new().kind(kind))?;
+        Ok((outcome.matches, outcome.stats))
+    }
+
+    /// [`Self::search`] with the full option set: honours `opts.budget`
+    /// (returning partial, still-exact matches with the corresponding
+    /// [`Termination`]) and reports the per-phase [`QueryStats`] breakdown.
+    pub fn search_governed<P: Pager>(
+        &self,
+        store: &SequenceStore<P>,
+        query: &[f64],
+        epsilon: f64,
+        opts: &EngineOpts,
+    ) -> Result<SubsequenceOutcome, TwError> {
         validate_tolerance(epsilon)?;
         if query.is_empty() {
             return Err(TwError::EmptySequence);
         }
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
+        let retries_before = store.checksum_retries();
+        let counters = PipelineCounters::new();
         let mut stats = SearchStats {
             db_size: self.windows_indexed,
             ..Default::default()
         };
         let q_point = FeatureVector::from_values(query).as_point();
-        let range = self.tree.range_centered(&q_point, epsilon);
+        let range = counters.time(Phase::Filter, || {
+            self.tree.range_centered(&q_point, epsilon)
+        });
         stats.index_node_accesses = range.stats.node_accesses();
         stats.candidates = range.ids.len();
+        counters.add_index_internal(range.stats.node_accesses());
+        counters.add_candidates(range.ids.len() as u64);
+        let total_windows = range.ids.len() as u64;
 
         // Group candidate windows per sequence so each sequence is read once.
         let mut by_seq: std::collections::BTreeMap<SeqId, Vec<(usize, usize)>> =
@@ -177,13 +215,32 @@ impl SubsequenceIndex {
         }
 
         let mut matches = Vec::new();
-        for (id, windows) in by_seq {
+        let mut verified = 0u64;
+        let mut abandoned = 0u64;
+        'candidates: for (id, windows) in by_seq {
+            if token.cancelled() {
+                break;
+            }
             let values = store.get(id)?;
+            let _ =
+                token.charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
             for (offset, len) in windows {
+                if token.cancelled() {
+                    break 'candidates;
+                }
                 let window = &values[offset..offset + len];
-                stats.dtw_invocations += 1;
-                let outcome = dtw_within(window, query, kind, epsilon);
+                let outcome = dtw_within_governed(window, query, opts.kind, epsilon, &token);
                 stats.dtw_cells += outcome.cells;
+                counters.add_dtw_cells(outcome.cells);
+                if outcome.cancelled {
+                    continue;
+                }
+                stats.dtw_invocations += 1;
+                if outcome.early_abandoned {
+                    abandoned += 1;
+                } else {
+                    verified += 1;
+                }
                 if let Some(distance) = outcome.within {
                     matches.push(SubsequenceMatch {
                         id,
@@ -194,9 +251,21 @@ impl SubsequenceIndex {
                 }
             }
         }
+        counters.add_verified(verified);
+        counters.add_abandoned(abandoned);
+        // Every proposed window that never got a verdict — unreached or cut
+        // mid-DTW — is skipped, keeping the accounting invariant balanced.
+        counters.add_skipped_unverified(total_windows - (verified + abandoned));
         stats.io = store.take_io();
+        counters.add_pager_reads(stats.io.total_pages());
+        counters.add_checksum_retries(store.checksum_retries() - retries_before);
         stats.cpu_time = started.elapsed();
-        Ok((matches, stats))
+        Ok(SubsequenceOutcome {
+            matches,
+            stats,
+            query_stats: counters.snapshot(),
+            termination: termination_of(&token),
+        })
     }
 }
 

@@ -13,17 +13,16 @@
 //!    abandoned) time-warping distance.
 
 use std::path::Path;
-use std::time::Instant;
 
 use tw_rtree::{read_tree_file, write_tree_file, Point, RTree, RTreeConfig, SplitAlgorithm};
 use tw_storage::{Pager, SeqId, SequenceStore};
 
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
-use crate::search::{
-    verify_candidates, EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats,
-};
-use crate::stats::{Phase, PipelineCounters};
+use crate::govern::termination_of;
+use crate::search::verify::verify_candidates_governed;
+use crate::search::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats};
+use crate::stats::{wall_now, Phase, PipelineCounters};
 
 /// How TW-Sim-Search verifies candidates after the index filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,7 +186,9 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
         if query.is_empty() {
             return Err(TwError::EmptySequence);
         }
-        let started = Instant::now();
+        let started = wall_now();
+        let token = opts.arm_budget();
+        let _governed = store.govern_scope(&token);
         store.take_io();
         let retries_before = store.checksum_retries();
         let counters = PipelineCounters::new();
@@ -210,14 +211,24 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
         // it, so candidates == verified + abandoned in the accounting.
         stats.candidates = range.ids.len();
         counters.add_candidates(range.ids.len() as u64);
+        let proposed = range.ids.len() as u64;
         let candidates = counters.time(Phase::Fetch, || {
             let mut candidates = Vec::with_capacity(range.ids.len());
             for id in range.ids {
-                candidates.push((id, store.get(id)?));
+                // A tripped budget stops the fetch: unread proposals are
+                // ledgered as skipped below.
+                if token.cancelled() {
+                    break;
+                }
+                let values = store.get(id)?;
+                let _ = token
+                    .charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
+                candidates.push((id, values));
             }
             Ok::<_, TwError>(candidates)
         })?;
-        let (matches, verify_stats) = verify_candidates(
+        counters.add_skipped_unverified(proposed - candidates.len() as u64);
+        let (matches, verify_stats) = verify_candidates_governed(
             &candidates,
             query,
             epsilon,
@@ -225,6 +236,7 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
             opts.verify,
             opts.threads,
             &counters,
+            &token,
         );
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
@@ -237,6 +249,7 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
             plan: None,
             health: EngineHealth::Healthy,
             query_stats: counters.snapshot(),
+            termination: termination_of(&token),
         })
     }
 }

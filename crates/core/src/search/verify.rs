@@ -13,7 +13,8 @@
 
 use tw_storage::SeqId;
 
-use crate::distance::{dtw_banded, dtw_within, DtwKind};
+use crate::distance::{dtw_banded_governed, dtw_within_governed, DtwKind};
+use crate::govern::CancelToken;
 use crate::search::{Match, SearchStats, VerifyMode};
 use crate::stats::{Phase, PipelineCounters};
 
@@ -41,10 +42,41 @@ pub fn verify_candidates(
     threads: usize,
     counters: &PipelineCounters,
 ) -> (Vec<Match>, SearchStats) {
+    verify_candidates_governed(
+        candidates,
+        query,
+        epsilon,
+        kind,
+        verify,
+        threads,
+        counters,
+        &CancelToken::unlimited(),
+    )
+}
+
+/// [`verify_candidates`] under a query governor.
+///
+/// Each worker checks `token` before starting a candidate and charges DP
+/// cells as it computes; once the token trips, every remaining candidate is
+/// counted as `skipped_unverified` instead of being verified. A candidate
+/// whose DTW was cut short mid-computation is also skipped — never treated
+/// as a verdict — so every returned match is still exact. With an unlimited
+/// token the behaviour and counters are identical to [`verify_candidates`].
+#[allow(clippy::too_many_arguments)] // Mirrors verify_candidates plus the token; a params struct would churn every engine.
+pub fn verify_candidates_governed(
+    candidates: &[(SeqId, Vec<f64>)],
+    query: &[f64],
+    epsilon: f64,
+    kind: DtwKind,
+    verify: VerifyMode,
+    threads: usize,
+    counters: &PipelineCounters,
+    token: &CancelToken,
+) -> (Vec<Match>, SearchStats) {
     assert!(threads >= 1, "need at least one verify worker");
     counters.time(Phase::Verify, || {
         let (mut matches, stats) = if threads == 1 || candidates.len() < 2 {
-            verify_chunk(candidates, query, epsilon, kind, verify, counters)
+            verify_chunk(candidates, query, epsilon, kind, verify, counters, token)
         } else {
             let chunk = candidates.len().div_ceil(threads);
             let parts: Vec<(Vec<Match>, SearchStats)> = std::thread::scope(|scope| {
@@ -52,7 +84,7 @@ pub fn verify_candidates(
                     .chunks(chunk)
                     .map(|part| {
                         scope.spawn(move || {
-                            verify_chunk(part, query, epsilon, kind, verify, counters)
+                            verify_chunk(part, query, epsilon, kind, verify, counters, token)
                         })
                     })
                     .collect();
@@ -84,36 +116,57 @@ fn verify_chunk(
     kind: DtwKind,
     verify: VerifyMode,
     counters: &PipelineCounters,
+    token: &CancelToken,
 ) -> (Vec<Match>, SearchStats) {
     let mut matches = Vec::new();
     let mut stats = SearchStats::default();
     let mut verified = 0u64;
     let mut abandoned = 0u64;
-    for (id, values) in candidates {
-        stats.dtw_invocations += 1;
-        let (within, cells) = match verify {
+    let mut skipped = 0u64;
+    for (i, (id, values)) in candidates.iter().enumerate() {
+        if token.cancelled() {
+            skipped += (candidates.len() - i) as u64;
+            break;
+        }
+        let (within, cells, cancelled) = match verify {
             VerifyMode::Exact => {
-                let outcome = dtw_within(values, query, kind, epsilon);
-                if outcome.early_abandoned {
-                    abandoned += 1;
-                } else {
-                    verified += 1;
+                let outcome = dtw_within_governed(values, query, kind, epsilon, token);
+                if !outcome.cancelled {
+                    if outcome.early_abandoned {
+                        abandoned += 1;
+                    } else {
+                        verified += 1;
+                    }
                 }
-                (outcome.within, outcome.cells)
+                (outcome.within, outcome.cells, outcome.cancelled)
             }
             VerifyMode::Banded(w) => {
-                let r = dtw_banded(values, query, kind, w);
-                verified += 1;
-                ((r.distance <= epsilon).then_some(r.distance), r.cells)
+                let (r, cancelled) = dtw_banded_governed(values, query, kind, w, token);
+                if !cancelled {
+                    verified += 1;
+                }
+                (
+                    (!cancelled && r.distance <= epsilon).then_some(r.distance),
+                    r.cells,
+                    cancelled,
+                )
             }
         };
         stats.dtw_cells += cells;
+        if cancelled {
+            // Started but undecided: the cells were spent, the verdict never
+            // arrived. Ledger the candidate as skipped, not as an invocation.
+            skipped += 1;
+        } else {
+            stats.dtw_invocations += 1;
+        }
         if let Some(distance) = within {
             matches.push(Match { id: *id, distance });
         }
     }
     counters.add_verified(verified);
     counters.add_abandoned(abandoned);
+    counters.add_skipped_unverified(skipped);
     counters.add_dtw_cells(stats.dtw_cells);
     (matches, stats)
 }

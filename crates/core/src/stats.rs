@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! candidates == pruned_lb_kim + pruned_lb_yi + pruned_embedding
-//!               + verified + abandoned
+//!               + verified + abandoned + skipped_unverified
 //! ```
 //!
 //! * `candidates` — sequences the filter stage produced into the pipeline
@@ -22,7 +22,11 @@
 //!   check in the embedded space (a heuristic filter, not a lower bound);
 //! * `verified` — exact DTW computations that ran to completion;
 //! * `abandoned` — DTW computations cut short by early abandoning in
-//!   [`dtw_within`](crate::distance::dtw_within).
+//!   [`dtw_within`](crate::distance::dtw_within);
+//! * `skipped_unverified` — candidates never decided because a query budget
+//!   or deadline cancelled the pipeline first (see [`crate::govern`]); the
+//!   rows were neither pruned nor DTW'd, so under a budget the ledger still
+//!   balances and every returned match remains verified-exact.
 //!
 //! Counters are atomics so the shared verification pipeline can update them
 //! from scoped worker threads; all counting is independent of thread count.
@@ -81,6 +85,8 @@ pub struct QueryStats {
     pub verified: u64,
     /// DTW verifications cut short by early abandoning.
     pub abandoned: u64,
+    /// Candidates left undecided when a budget/deadline cancelled the query.
+    pub skipped_unverified: u64,
     /// Total DP cells evaluated (verification plus any pivot DTWs).
     pub dtw_cells: u64,
     /// DTW computations spent on FastMap pivot projections (not part of
@@ -110,9 +116,10 @@ impl QueryStats {
     }
 
     /// Whether the accounting invariant holds:
-    /// `candidates == pruned + verified + abandoned`.
+    /// `candidates == pruned + verified + abandoned + skipped_unverified`.
     pub fn accounting_balanced(&self) -> bool {
-        self.candidates == self.pruned_total() + self.verified + self.abandoned
+        self.candidates
+            == self.pruned_total() + self.verified + self.abandoned + self.skipped_unverified
     }
 
     /// Equality over the deterministic counters only, ignoring
@@ -139,6 +146,7 @@ impl QueryStats {
         self.pruned_embedding += other.pruned_embedding;
         self.verified += other.verified;
         self.abandoned += other.abandoned;
+        self.skipped_unverified += other.skipped_unverified;
         self.dtw_cells += other.dtw_cells;
         self.pivot_dtw += other.pivot_dtw;
         self.pager_reads += other.pager_reads;
@@ -164,6 +172,7 @@ pub struct PipelineCounters {
     pruned_embedding: AtomicU64,
     verified: AtomicU64,
     abandoned: AtomicU64,
+    skipped_unverified: AtomicU64,
     dtw_cells: AtomicU64,
     pivot_dtw: AtomicU64,
     pager_reads: AtomicU64,
@@ -179,6 +188,16 @@ pub struct PipelineCounters {
 /// would overflow; clamp instead of wrapping).
 fn nanos_u64(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The sanctioned monotonic timestamp source for engine observability.
+/// Library code takes timestamps through here (or through the storage
+/// `Clock` abstraction) rather than calling `Instant::now()` directly —
+/// enforced by the tw-analyze `raw-time` rule. Observability timestamps are
+/// deliberately *not* routed through a query's mockable clock: elapsed-time
+/// reporting must reflect real time even in simulated-clock tests.
+pub(crate) fn wall_now() -> Instant {
+    Instant::now() // tw-allow(raw-time): the sanctioned observability clock source
 }
 
 impl PipelineCounters {
@@ -215,6 +234,11 @@ impl PipelineCounters {
     /// Records a DTW verification cut short by early abandoning.
     pub fn add_abandoned(&self, n: u64) {
         self.abandoned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidates left undecided by a cancelled query.
+    pub fn add_skipped_unverified(&self, n: u64) {
+        self.skipped_unverified.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records DP cells evaluated.
@@ -259,7 +283,7 @@ impl PipelineCounters {
 
     /// Runs `f`, attributing its wall-clock time to `phase`.
     pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
+        let start = wall_now();
         let out = f();
         self.add_phase(phase, start.elapsed());
         out
@@ -274,6 +298,7 @@ impl PipelineCounters {
             pruned_embedding: self.pruned_embedding.load(Ordering::Relaxed),
             verified: self.verified.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            skipped_unverified: self.skipped_unverified.load(Ordering::Relaxed),
             dtw_cells: self.dtw_cells.load(Ordering::Relaxed),
             pivot_dtw: self.pivot_dtw.load(Ordering::Relaxed),
             pager_reads: self.pager_reads.load(Ordering::Relaxed),

@@ -49,6 +49,7 @@ struct PoolInner {
 pub struct BufferPool<P: Pager> {
     pager: Mutex<P>,
     inner: Mutex<PoolInner>,
+    governor: Mutex<crate::govern::CancelToken>,
     capacity: usize,
     page_size: usize,
 }
@@ -65,6 +66,7 @@ impl<P: Pager> BufferPool<P> {
                 clock: 0,
                 stats: BufferStats::default(),
             }),
+            governor: Mutex::new(crate::govern::CancelToken::unlimited()),
             capacity,
             page_size,
         }
@@ -84,6 +86,17 @@ impl<P: Pager> BufferPool<P> {
     /// [`Pager::checksum_retries`]); 0 for stacks without a retry layer.
     pub fn checksum_retries(&self) -> u64 {
         self.pager.lock().checksum_retries()
+    }
+
+    /// Installs a cancellation governor: each cache miss charges one pager
+    /// read against the token, and the pager stack underneath (retry layers
+    /// in particular) caps its sleeps by the token's remaining deadline.
+    /// Cache hits stay free — only misses touch real I/O. Charging trips
+    /// the token but never fails the read: cancellation is observed
+    /// cooperatively by the query loop above, not by poisoning I/O.
+    pub fn set_governor(&self, token: &crate::govern::CancelToken) {
+        *self.governor.lock() = token.clone();
+        self.pager.lock().set_governor(token)
     }
 
     fn check_frame(&self, got: usize) -> Result<(), PagerError> {
@@ -130,6 +143,7 @@ impl<P: Pager> BufferPool<P> {
             return Ok(());
         }
         inner.stats.misses += 1;
+        let _ = self.governor.lock().charge_pager_reads(1);
         let mut data = vec![0u8; out.len()].into_boxed_slice();
         self.pager.lock().read_page(page, &mut data)?;
         out.copy_from_slice(&data);

@@ -207,6 +207,10 @@ impl<P: Pager> Pager for ChecksumPager<P> {
     fn checksum_retries(&self) -> u64 {
         self.inner.checksum_retries()
     }
+
+    fn set_governor(&self, token: &crate::govern::CancelToken) {
+        self.inner.set_governor(token)
+    }
 }
 
 #[cfg(test)]

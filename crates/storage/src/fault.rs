@@ -353,6 +353,10 @@ impl<P: Pager> Pager for FaultPager<P> {
     fn checksum_retries(&self) -> u64 {
         self.inner.checksum_retries()
     }
+
+    fn set_governor(&self, token: &crate::govern::CancelToken) {
+        self.inner.set_governor(token)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,488 @@
+//! Cooperative cancellation primitives shared by the pager stack and the
+//! query pipeline above it.
+//!
+//! The governor splits into two halves so the storage crate stays at the
+//! bottom of the dependency order:
+//!
+//! * a [`Clock`] abstraction — the *only* sanctioned source of wall time in
+//!   library code (the `tw-analyze` `raw-time` rule forbids raw
+//!   `Instant::now()` / `std::thread::sleep` everywhere else), with a real
+//!   [`SystemClock`] and a deterministic [`ManualClock`] for tests;
+//! * a [`CancelToken`]: a cheaply clonable handle compiled from a query
+//!   budget (deadline, DTW-cell, candidate-byte and pager-read limits) and
+//!   checked cooperatively at cheap boundaries — DTW column loops, engine
+//!   candidate loops, the parallel verifier, and [`crate::RetryPager`]
+//!   backoff sleeps.
+//!
+//! A token with no limits is *inert*: it allocates nothing and every check
+//! is a single `Option` test, so ungoverned queries behave byte-identically
+//! to a build without the governor.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonic time source with a sleep primitive.
+///
+/// Implementations must be cheap to query: `now` sits on per-candidate (and,
+/// for governed DTW, per-column) checkpoints.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Monotonic time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Blocks — or, for simulated clocks, pretends to block — for `duration`.
+    fn sleep(&self, duration: Duration);
+}
+
+/// The production clock: monotonic real time anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    epoch: std::time::Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self {
+            epoch: std::time::Instant::now(), // tw-allow(raw-time): the sanctioned real-time source behind the Clock trait
+        }
+    }
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration); // tw-allow(raw-time): the sanctioned real sleep behind the Clock trait
+    }
+}
+
+/// A deterministic test clock: time moves only when told to.
+///
+/// Cloning shares the underlying time, so a test can hand the same clock to
+/// a [`crate::RetryPager`] (whose backoff sleeps then *advance* it) and to a
+/// query budget (whose deadline then trips), making stall-under-deadline
+/// scenarios reproducible without real waiting.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    inner: Arc<ManualState>,
+}
+
+#[derive(Debug, Default)]
+struct ManualState {
+    nanos: AtomicU64,
+    tick_nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero; advance it explicitly or via `sleep`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock that additionally advances by `tick` on every `now()` call,
+    /// simulating work taking time without any instrumented sleeps.
+    pub fn with_tick(tick: Duration) -> Self {
+        let clock = Self::new();
+        clock
+            .inner
+            .tick_nanos
+            .store(duration_nanos(tick), Ordering::Relaxed);
+        clock
+    }
+
+    /// Moves time forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        self.inner
+            .nanos
+            .fetch_add(duration_nanos(by), Ordering::Relaxed);
+    }
+
+    /// The current simulated time (without applying the tick).
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.inner.nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        let tick = self.inner.tick_nanos.load(Ordering::Relaxed);
+        let before = self.inner.nanos.fetch_add(tick, Ordering::Relaxed);
+        Duration::from_nanos(before.saturating_add(tick))
+    }
+
+    fn sleep(&self, duration: Duration) {
+        self.advance(duration);
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Which limit a cancelled token tripped first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The DTW cell budget was exceeded.
+    DtwCells,
+    /// The fetched-candidate byte budget was exceeded.
+    CandidateBytes,
+    /// The pager read budget was exceeded.
+    PagerReads,
+}
+
+const CAUSE_NONE: u8 = 0;
+const CAUSE_DEADLINE: u8 = 1;
+const CAUSE_CELLS: u8 = 2;
+const CAUSE_BYTES: u8 = 3;
+const CAUSE_READS: u8 = 4;
+
+fn cause_code(cause: CancelCause) -> u8 {
+    match cause {
+        CancelCause::Deadline => CAUSE_DEADLINE,
+        CancelCause::DtwCells => CAUSE_CELLS,
+        CancelCause::CandidateBytes => CAUSE_BYTES,
+        CancelCause::PagerReads => CAUSE_READS,
+    }
+}
+
+fn code_cause(code: u8) -> Option<CancelCause> {
+    match code {
+        CAUSE_DEADLINE => Some(CancelCause::Deadline),
+        CAUSE_CELLS => Some(CancelCause::DtwCells),
+        CAUSE_BYTES => Some(CancelCause::CandidateBytes),
+        CAUSE_READS => Some(CancelCause::PagerReads),
+        _ => None,
+    }
+}
+
+/// A shared cancellation handle with budget accounting.
+///
+/// The default token is unlimited: every check is a no-op `Option` test and
+/// no allocation happens. Armed tokens share their state across clones, so
+/// the verifier's worker threads, the engine's candidate loop and the pager
+/// stack all observe the same trip.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<TokenState>>,
+}
+
+#[derive(Debug)]
+struct TokenState {
+    clock: Arc<dyn Clock>,
+    /// Clock-relative instant after which the token is cancelled.
+    deadline: Option<Duration>,
+    max_cells: Option<u64>,
+    max_candidate_bytes: Option<u64>,
+    max_pager_reads: Option<u64>,
+    cells: AtomicU64,
+    candidate_bytes: AtomicU64,
+    pager_reads: AtomicU64,
+    cause: AtomicU8,
+}
+
+impl TokenState {
+    /// First trip wins; later causes are ignored.
+    fn trip(&self, cause: CancelCause) {
+        let _ = self.cause.compare_exchange(
+            CAUSE_NONE,
+            cause_code(cause),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn check(&self) -> bool {
+        if self.cause.load(Ordering::Relaxed) != CAUSE_NONE {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.clock.now() >= deadline {
+                self.trip(CancelCause::Deadline);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn charge(
+        &self,
+        counter: &AtomicU64,
+        limit: Option<u64>,
+        amount: u64,
+        cause: CancelCause,
+    ) -> bool {
+        let total = counter
+            .fetch_add(amount, Ordering::Relaxed)
+            .saturating_add(amount);
+        if let Some(limit) = limit {
+            if total > limit {
+                self.trip(cause);
+            }
+        }
+        self.check()
+    }
+}
+
+impl CancelToken {
+    /// A token that never cancels; all checks are free.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Starts building an armed token against `clock`.
+    pub fn builder(clock: Arc<dyn Clock>) -> CancelTokenBuilder {
+        CancelTokenBuilder {
+            clock,
+            deadline_in: None,
+            max_cells: None,
+            max_candidate_bytes: None,
+            max_pager_reads: None,
+        }
+    }
+
+    /// Whether this token can ever cancel.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Checks the deadline (if any) and reports whether the token tripped.
+    /// This is the cooperative checkpoint: cheap enough for per-candidate
+    /// and per-DTW-column call sites.
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(state) => state.check(),
+        }
+    }
+
+    /// Why the token cancelled, if it did.
+    pub fn cause(&self) -> Option<CancelCause> {
+        let state = self.inner.as_ref()?;
+        code_cause(state.cause.load(Ordering::Relaxed))
+    }
+
+    /// Adds `n` DTW cells to the ledger; returns `true` when the token is
+    /// now cancelled (budget or deadline).
+    #[inline]
+    pub fn charge_cells(&self, n: u64) -> bool {
+        match &self.inner {
+            None => false,
+            Some(s) => s.charge(&s.cells, s.max_cells, n, CancelCause::DtwCells),
+        }
+    }
+
+    /// Adds `n` fetched candidate bytes; returns `true` when cancelled.
+    #[inline]
+    pub fn charge_candidate_bytes(&self, n: u64) -> bool {
+        match &self.inner {
+            None => false,
+            Some(s) => s.charge(
+                &s.candidate_bytes,
+                s.max_candidate_bytes,
+                n,
+                CancelCause::CandidateBytes,
+            ),
+        }
+    }
+
+    /// Adds `n` pager page reads; returns `true` when cancelled.
+    #[inline]
+    pub fn charge_pager_reads(&self, n: u64) -> bool {
+        match &self.inner {
+            None => false,
+            Some(s) => s.charge(
+                &s.pager_reads,
+                s.max_pager_reads,
+                n,
+                CancelCause::PagerReads,
+            ),
+        }
+    }
+
+    /// Time left before the deadline; `None` when no deadline is set.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        let state = self.inner.as_ref()?;
+        let deadline = state.deadline?;
+        Some(deadline.saturating_sub(state.clock.now()))
+    }
+
+    /// Caps a backoff sleep by the remaining deadline, so a retry loop never
+    /// sleeps past the moment the query must give up.
+    pub fn cap_sleep(&self, duration: Duration) -> Duration {
+        match self.remaining_time() {
+            Some(remaining) => duration.min(remaining),
+            None => duration,
+        }
+    }
+}
+
+/// Builder for an armed [`CancelToken`].
+#[derive(Debug)]
+pub struct CancelTokenBuilder {
+    clock: Arc<dyn Clock>,
+    deadline_in: Option<Duration>,
+    max_cells: Option<u64>,
+    max_candidate_bytes: Option<u64>,
+    max_pager_reads: Option<u64>,
+}
+
+impl CancelTokenBuilder {
+    /// Cancels the token `after` the clock advances past now + `after`.
+    pub fn deadline_in(mut self, after: Duration) -> Self {
+        self.deadline_in = Some(after);
+        self
+    }
+
+    pub fn max_cells(mut self, n: u64) -> Self {
+        self.max_cells = Some(n);
+        self
+    }
+
+    pub fn max_candidate_bytes(mut self, n: u64) -> Self {
+        self.max_candidate_bytes = Some(n);
+        self
+    }
+
+    pub fn max_pager_reads(mut self, n: u64) -> Self {
+        self.max_pager_reads = Some(n);
+        self
+    }
+
+    /// Compiles the budget. With no limits set the result is the unlimited
+    /// token (inert, allocation-free).
+    pub fn build(self) -> CancelToken {
+        if self.deadline_in.is_none()
+            && self.max_cells.is_none()
+            && self.max_candidate_bytes.is_none()
+            && self.max_pager_reads.is_none()
+        {
+            return CancelToken::unlimited();
+        }
+        let deadline = self
+            .deadline_in
+            .map(|after| self.clock.now().saturating_add(after));
+        CancelToken {
+            inner: Some(Arc::new(TokenState {
+                clock: self.clock,
+                deadline,
+                max_cells: self.max_cells,
+                max_candidate_bytes: self.max_candidate_bytes,
+                max_pager_reads: self.max_pager_reads,
+                cells: AtomicU64::new(0),
+                candidate_bytes: AtomicU64::new(0),
+                pager_reads: AtomicU64::new(0),
+                cause: AtomicU8::new(CAUSE_NONE),
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manual() -> Arc<ManualClock> {
+        Arc::new(ManualClock::new())
+    }
+
+    #[test]
+    fn unlimited_token_never_cancels() {
+        let token = CancelToken::unlimited();
+        assert!(token.is_unlimited());
+        assert!(!token.cancelled());
+        assert!(!token.charge_cells(u64::MAX));
+        assert!(!token.charge_candidate_bytes(u64::MAX));
+        assert!(!token.charge_pager_reads(u64::MAX));
+        assert_eq!(token.cause(), None);
+        assert_eq!(token.remaining_time(), None);
+        assert_eq!(
+            token.cap_sleep(Duration::from_secs(5)),
+            Duration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn builder_with_no_limits_is_unlimited() {
+        let token = CancelToken::builder(manual()).build();
+        assert!(token.is_unlimited());
+    }
+
+    #[test]
+    fn cell_budget_trips_once_exceeded() {
+        let token = CancelToken::builder(manual()).max_cells(100).build();
+        assert!(!token.charge_cells(60));
+        assert!(!token.cancelled());
+        assert!(token.charge_cells(60));
+        assert!(token.cancelled());
+        assert_eq!(token.cause(), Some(CancelCause::DtwCells));
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let token = CancelToken::builder(manual())
+            .max_cells(1)
+            .max_pager_reads(1)
+            .build();
+        assert!(token.charge_pager_reads(5));
+        assert!(token.charge_cells(5));
+        assert_eq!(token.cause(), Some(CancelCause::PagerReads));
+    }
+
+    #[test]
+    fn deadline_trips_when_the_clock_advances() {
+        let clock = Arc::new(ManualClock::new());
+        let token = CancelToken::builder(clock.clone())
+            .deadline_in(Duration::from_millis(5))
+            .build();
+        assert!(!token.cancelled());
+        assert_eq!(token.remaining_time(), Some(Duration::from_millis(5)));
+        clock.advance(Duration::from_millis(3));
+        assert!(!token.cancelled());
+        assert_eq!(
+            token.cap_sleep(Duration::from_millis(10)),
+            Duration::from_millis(2)
+        );
+        clock.advance(Duration::from_millis(2));
+        assert!(token.cancelled());
+        assert_eq!(token.cause(), Some(CancelCause::Deadline));
+        assert_eq!(token.cap_sleep(Duration::from_millis(10)), Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_the_trip() {
+        let token = CancelToken::builder(manual()).max_cells(10).build();
+        let other = token.clone();
+        assert!(other.charge_cells(11));
+        assert!(token.cancelled());
+        assert_eq!(token.cause(), Some(CancelCause::DtwCells));
+    }
+
+    #[test]
+    fn manual_clock_ticks_per_now_call() {
+        let clock = ManualClock::with_tick(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_millis(2));
+        clock.sleep(Duration::from_millis(10));
+        assert_eq!(clock.elapsed(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn system_clock_advances() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

@@ -34,6 +34,7 @@ mod codec;
 mod convert;
 mod cost;
 mod fault;
+mod govern;
 mod openfile;
 mod pager;
 mod retry;
@@ -48,7 +49,8 @@ pub use codec::{
 };
 pub use cost::{CpuModel, DiskModel, HardwareModel, IoProfile};
 pub use fault::{FaultConfig, FaultHandle, FaultKind, FaultPager, FaultStats};
+pub use govern::{CancelCause, CancelToken, CancelTokenBuilder, Clock, ManualClock, SystemClock};
 pub use openfile::{create_sequence_file, open_sequence_file, DynSequenceStore};
 pub use pager::{FilePager, MemPager, Pager, PagerError, DEFAULT_PAGE_SIZE, PAGE_FORMAT_PLAIN};
 pub use retry::{RetryPager, RetryPolicy};
-pub use seqstore::{RecoveryReport, SeqId, SequenceStore, StoreError};
+pub use seqstore::{GovernorGuard, RecoveryReport, SeqId, SequenceStore, StoreError};

@@ -10,6 +10,8 @@ use std::path::Path;
 
 use parking_lot::Mutex;
 
+use crate::govern::CancelToken;
+
 /// Default page size; the paper's experiments use 1 KB pages (§5.1).
 pub const DEFAULT_PAGE_SIZE: usize = 1024;
 
@@ -113,6 +115,12 @@ pub trait Pager: Send {
     fn checksum_retries(&self) -> u64 {
         0
     }
+    /// Installs a cooperative-cancellation governor consulted by decorators
+    /// that sleep or retry (the retry layer caps each backoff by the token's
+    /// remaining deadline and stops retrying once it cancels). Plain pagers
+    /// ignore it; decorators store and/or forward it down the stack. Install
+    /// [`CancelToken::unlimited`] to clear a previous governor.
+    fn set_governor(&self, _token: &CancelToken) {}
 }
 
 /// Boxed pagers are pagers: lets call sites pick a pager stack at runtime
@@ -141,6 +149,9 @@ impl Pager for Box<dyn Pager> {
     }
     fn checksum_retries(&self) -> u64 {
         (**self).checksum_retries()
+    }
+    fn set_governor(&self, token: &CancelToken) {
+        (**self).set_governor(token)
     }
 }
 

@@ -1,17 +1,37 @@
 //! Bounded retry for transient page I/O.
 //!
 //! [`RetryPager`] decorates any [`Pager`] and re-issues operations that fail
-//! with a *transient* error ([`PagerError::is_transient`]), sleeping an
-//! exponentially growing, bounded backoff between attempts. Permanent errors
-//! — out-of-range pages, checksum corruption, frame-size misuse — pass
-//! through untouched on the first occurrence.
+//! with a *transient* error ([`PagerError::is_transient`]), sleeping a
+//! jittered, exponentially growing, bounded backoff between attempts.
+//! Permanent errors — out-of-range pages, checksum corruption, frame-size
+//! misuse — pass through untouched on the first occurrence.
+//!
+//! Two independent ceilings bound the time one operation can spend asleep:
+//!
+//! * [`RetryPolicy::max_total_backoff`] caps the *sum* of backoff sleeps per
+//!   operation, so a corrupt-retry storm cannot sleep unboundedly long even
+//!   with no query deadline in force;
+//! * an installed governor ([`Pager::set_governor`]) caps each sleep by the
+//!   query's remaining deadline and aborts the retry loop outright once the
+//!   token cancels — a fault-stalled pager never outlives its deadline.
+//!
+//! Jitter comes from a SplitMix64 stream seeded by
+//! [`RetryPolicy::jitter_seed`]: each retry sleeps between half of and the
+//! full exponential step ("equal jitter"), which de-synchronizes concurrent
+//! retry storms while staying deterministic per seed. Jitter only reshapes
+//! sleep *durations*; attempt counts and retry accounting are unaffected.
 //!
 //! Stacking order matters: retry belongs *above* the checksum layer so that
 //! a transient fault injected below the checksum is retried against freshly
 //! verified bytes, while corruption is reported, not hammered.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
+use crate::govern::{CancelToken, Clock, SystemClock};
 use crate::pager::{Pager, PagerError};
 
 /// Retry budget and backoff shape.
@@ -19,10 +39,16 @@ use crate::pager::{Pager, PagerError};
 pub struct RetryPolicy {
     /// Total attempts per operation (first try included). Minimum 1.
     pub max_attempts: u32,
-    /// Sleep before the first retry; doubles each retry after that.
+    /// Base sleep before the first retry; the base doubles each retry after
+    /// that, and the actual sleep is jittered within `[base/2, base]`.
     pub initial_backoff: Duration,
     /// Ceiling on a single backoff sleep.
     pub max_backoff: Duration,
+    /// Ceiling on the *summed* backoff sleeps of one operation. When the
+    /// budget is spent the pending error surfaces instead of sleeping again.
+    pub max_total_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
     /// Also retry [`PagerError::Corrupt`] reads. Off by default — corruption
     /// is normally permanent — but when the damage is injected on the *read*
     /// path (bit flips in transit, not on media), a re-read genuinely heals.
@@ -35,6 +61,8 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             initial_backoff: Duration::from_micros(50),
             max_backoff: Duration::from_millis(5),
+            max_total_backoff: Duration::from_millis(250),
+            jitter_seed: 0xB0FF_5EED,
             retry_corrupt: false,
         }
     }
@@ -55,11 +83,31 @@ impl RetryPolicy {
         self
     }
 
-    fn backoff_for(&self, retry_index: u32) -> Duration {
+    /// Reseeds the jitter stream.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Replaces the per-operation total-backoff ceiling.
+    pub fn with_max_total_backoff(mut self, ceiling: Duration) -> Self {
+        self.max_total_backoff = ceiling;
+        self
+    }
+
+    fn backoff_for(&self, retry_index: u32, jitter: u64) -> Duration {
         let factor = 1u32 << retry_index.min(16);
-        self.initial_backoff
+        let base = self
+            .initial_backoff
             .saturating_mul(factor)
-            .min(self.max_backoff)
+            .min(self.max_backoff);
+        let base_nanos = u64::try_from(base.as_nanos()).unwrap_or(u64::MAX);
+        // Equal jitter: at least half the exponential step, at most all of
+        // it. Keeps ordering (later retries sleep longer on average) while
+        // spreading concurrent storms apart.
+        let half = base_nanos / 2;
+        let span = base_nanos - half + 1;
+        Duration::from_nanos(half.saturating_add(jitter % span))
     }
 
     fn should_retry(&self, err: &PagerError, is_read: bool) -> bool {
@@ -72,8 +120,11 @@ impl RetryPolicy {
 pub struct RetryPager<P: Pager> {
     inner: P,
     policy: RetryPolicy,
-    retries: std::sync::atomic::AtomicU64,
-    corrupt_retries: std::sync::atomic::AtomicU64,
+    clock: Arc<dyn Clock>,
+    governor: Mutex<CancelToken>,
+    jitter_state: AtomicU64,
+    retries: AtomicU64,
+    corrupt_retries: AtomicU64,
 }
 
 impl<P: Pager> RetryPager<P> {
@@ -81,9 +132,20 @@ impl<P: Pager> RetryPager<P> {
         Self {
             inner,
             policy,
-            retries: std::sync::atomic::AtomicU64::new(0),
-            corrupt_retries: std::sync::atomic::AtomicU64::new(0),
+            clock: Arc::new(SystemClock::new()),
+            governor: Mutex::new(CancelToken::unlimited()),
+            jitter_state: AtomicU64::new(policy.jitter_seed),
+            retries: AtomicU64::new(0),
+            corrupt_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the clock used for backoff sleeps — tests pass a
+    /// [`crate::ManualClock`] so retry storms advance simulated time
+    /// deterministically instead of really sleeping.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// The wrapped pager.
@@ -93,14 +155,58 @@ impl<P: Pager> RetryPager<P> {
 
     /// Number of retries performed (not counting first attempts).
     pub fn retries(&self) -> u64 {
-        self.retries.load(std::sync::atomic::Ordering::Relaxed)
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Retries whose trigger was a checksum/corruption failure (a subset of
     /// [`retries`](Self::retries); requires `retry_corrupt`).
     pub fn corrupt_retries(&self) -> u64 {
-        self.corrupt_retries
-            .load(std::sync::atomic::Ordering::Relaxed)
+        self.corrupt_retries.load(Ordering::Relaxed)
+    }
+
+    /// One SplitMix64 step over the shared jitter state.
+    fn next_jitter(&self) -> u64 {
+        let x = self
+            .jitter_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Decides whether a failed attempt should be retried and, if so,
+    /// performs the (jittered, capped, governor-aware) backoff sleep.
+    /// Returns `false` when the error must surface instead.
+    fn absorb_failure(
+        &self,
+        err: &PagerError,
+        attempt: u32,
+        slept: &mut Duration,
+        is_read: bool,
+    ) -> bool {
+        if attempt >= self.policy.max_attempts || !self.policy.should_retry(err, is_read) {
+            return false;
+        }
+        let governor = self.governor.lock().clone();
+        if governor.cancelled() {
+            // The query gave up; hammering the device helps nobody.
+            return false;
+        }
+        let remaining_total = self.policy.max_total_backoff.saturating_sub(*slept);
+        if remaining_total.is_zero() {
+            return false;
+        }
+        let backoff = self.policy.backoff_for(attempt - 1, self.next_jitter());
+        let nap = governor.cap_sleep(backoff.min(remaining_total));
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        if err.is_corruption() {
+            self.corrupt_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        *slept = slept.saturating_add(nap);
+        self.clock.sleep(nap);
+        true
     }
 
     fn run<T>(
@@ -109,22 +215,15 @@ impl<P: Pager> RetryPager<P> {
         mut op: impl FnMut() -> Result<T, PagerError>,
     ) -> Result<T, PagerError> {
         let mut attempt = 0;
+        let mut slept = Duration::ZERO;
         loop {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     attempt += 1;
-                    if attempt >= self.policy.max_attempts || !self.policy.should_retry(&e, is_read)
-                    {
+                    if !self.absorb_failure(&e, attempt, &mut slept, is_read) {
                         return Err(e);
                     }
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if e.is_corruption() {
-                        self.corrupt_retries
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    std::thread::sleep(self.policy.backoff_for(attempt - 1));
                 }
             }
         }
@@ -141,20 +240,18 @@ impl<P: Pager> Pager for RetryPager<P> {
     }
 
     fn allocate(&mut self) -> Result<u64, PagerError> {
-        // Borrow dance: `run` takes &self, allocate needs &mut inner.
-        let policy = self.policy;
+        // `run` takes &self and allocate needs &mut inner, so the loop is
+        // inlined; the backoff decision still shares `absorb_failure`.
         let mut attempt = 0;
+        let mut slept = Duration::ZERO;
         loop {
             match self.inner.allocate() {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     attempt += 1;
-                    if attempt >= policy.max_attempts || !policy.should_retry(&e, false) {
+                    if !self.absorb_failure(&e, attempt, &mut slept, false) {
                         return Err(e);
                     }
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    std::thread::sleep(policy.backoff_for(attempt - 1));
                 }
             }
         }
@@ -166,38 +263,32 @@ impl<P: Pager> Pager for RetryPager<P> {
     }
 
     fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), PagerError> {
-        let policy = self.policy;
         let mut attempt = 0;
+        let mut slept = Duration::ZERO;
         loop {
             match self.inner.write_page(page, data) {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     attempt += 1;
-                    if attempt >= policy.max_attempts || !policy.should_retry(&e, false) {
+                    if !self.absorb_failure(&e, attempt, &mut slept, false) {
                         return Err(e);
                     }
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    std::thread::sleep(policy.backoff_for(attempt - 1));
                 }
             }
         }
     }
 
     fn sync(&mut self) -> Result<(), PagerError> {
-        let policy = self.policy;
         let mut attempt = 0;
+        let mut slept = Duration::ZERO;
         loop {
             match self.inner.sync() {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     attempt += 1;
-                    if attempt >= policy.max_attempts || !policy.should_retry(&e, false) {
+                    if !self.absorb_failure(&e, attempt, &mut slept, false) {
                         return Err(e);
                     }
-                    self.retries
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    std::thread::sleep(policy.backoff_for(attempt - 1));
                 }
             }
         }
@@ -212,12 +303,18 @@ impl<P: Pager> Pager for RetryPager<P> {
         // deeper in the stack already absorbed.
         self.corrupt_retries() + self.inner.checksum_retries()
     }
+
+    fn set_governor(&self, token: &CancelToken) {
+        *self.governor.lock() = token.clone();
+        self.inner.set_governor(token);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::{FaultConfig, FaultKind, FaultPager};
+    use crate::govern::ManualClock;
     use crate::pager::MemPager;
 
     fn faulty() -> (RetryPager<FaultPager<MemPager>>, crate::fault::FaultHandle) {
@@ -324,5 +421,81 @@ mod tests {
         let mut out = vec![0u8; 128];
         p.read_page(0, &mut out).unwrap();
         assert_eq!(out, vec![4u8; 128]);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_within_bounds() {
+        let policy = RetryPolicy::default();
+        let a = RetryPager::new(MemPager::new(128), policy);
+        let b = RetryPager::new(MemPager::new(128), policy);
+        for retry_index in 0..6 {
+            let draw_a = a.next_jitter();
+            let draw_b = b.next_jitter();
+            assert_eq!(draw_a, draw_b, "same seed, same stream");
+            let nap = policy.backoff_for(retry_index, draw_a);
+            let base = policy
+                .initial_backoff
+                .saturating_mul(1 << retry_index.min(16))
+                .min(policy.max_backoff);
+            assert!(nap >= base / 2, "retry {retry_index}: {nap:?} < {base:?}/2");
+            assert!(nap <= base, "retry {retry_index}: {nap:?} > {base:?}");
+        }
+        let reseeded = RetryPager::new(MemPager::new(128), policy.with_jitter_seed(7));
+        assert_ne!(
+            reseeded.next_jitter(),
+            RetryPager::new(MemPager::new(128), policy).next_jitter()
+        );
+    }
+
+    #[test]
+    fn total_backoff_cap_bounds_a_retry_storm() {
+        // 64 forced transients against a generous attempt budget: without
+        // the total cap this would sleep ~64 * max_backoff. With the cap the
+        // operation fails once the summed sleep hits max_total_backoff.
+        let mut inner = MemPager::new(128);
+        inner.allocate().unwrap();
+        inner.write_page(0, &[9u8; 128]).unwrap();
+        let (fp, handle) = FaultPager::new(inner, FaultConfig::quiet(11));
+        let clock = Arc::new(ManualClock::new());
+        let policy = RetryPolicy::attempts(1000).with_max_total_backoff(Duration::from_millis(1));
+        let p = RetryPager::new(fp, policy).with_clock(clock.clone());
+        for _ in 0..64 {
+            handle.force_read(FaultKind::Transient);
+        }
+        let mut out = vec![0u8; 128];
+        let err = p.read_page(0, &mut out).unwrap_err();
+        assert!(err.is_transient());
+        assert!(p.retries() < 64, "cap ended the storm early");
+        // The simulated clock saw at most the configured ceiling (the final
+        // nap is clamped to the remaining budget).
+        assert!(clock.elapsed() <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn governor_deadline_caps_and_cancels_sleeps() {
+        let mut inner = MemPager::new(128);
+        inner.allocate().unwrap();
+        inner.write_page(0, &[9u8; 128]).unwrap();
+        let (fp, handle) = FaultPager::new(inner, FaultConfig::quiet(11));
+        let clock = Arc::new(ManualClock::new());
+        let p = RetryPager::new(fp, RetryPolicy::attempts(1000)).with_clock(clock.clone());
+        let token = CancelToken::builder(clock.clone())
+            .deadline_in(Duration::from_micros(200))
+            .build();
+        p.set_governor(&token);
+        for _ in 0..64 {
+            handle.force_read(FaultKind::Transient);
+        }
+        let mut out = vec![0u8; 128];
+        let err = p.read_page(0, &mut out).unwrap_err();
+        assert!(err.is_transient());
+        // Sleeps were capped by the remaining deadline: simulated time never
+        // passed it by more than the final clamped nap.
+        assert!(clock.elapsed() <= Duration::from_micros(200));
+        assert!(token.cancelled());
+        // Clearing the governor restores unbounded (policy-capped) retries.
+        p.set_governor(&CancelToken::unlimited());
+        handle.force_read(FaultKind::Transient);
+        p.read_page(0, &mut out).expect("ungoverned retry succeeds");
     }
 }

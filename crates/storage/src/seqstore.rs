@@ -503,6 +503,19 @@ impl<P: Pager> SequenceStore<P> {
         self.pool.checksum_retries()
     }
 
+    /// Installs `token` as the pager stack's governor for the returned
+    /// guard's lifetime: retry backoffs below are capped by the token's
+    /// remaining deadline and stop once it cancels. Dropping the guard
+    /// clears the governor so later ungoverned queries retry normally.
+    /// Unlimited tokens install nothing (zero-cost no-op).
+    pub fn govern_scope(&self, token: &crate::govern::CancelToken) -> GovernorGuard<'_, P> {
+        if token.is_unlimited() {
+            return GovernorGuard { store: None };
+        }
+        self.pool.set_governor(token);
+        GovernorGuard { store: Some(self) }
+    }
+
     /// Persists the header and flushes dirty pages.
     pub fn flush(&self) -> Result<(), StoreError> {
         self.write_header()?;
@@ -583,6 +596,23 @@ impl<P: Pager> SequenceStore<P> {
             cursor += usize_to_u64(chunk);
         }
         Ok(())
+    }
+}
+
+/// Clears a store's pager governor on drop (see
+/// [`SequenceStore::govern_scope`]).
+#[must_use = "the governor is cleared when this guard drops"]
+pub struct GovernorGuard<'a, P: Pager> {
+    store: Option<&'a SequenceStore<P>>,
+}
+
+impl<P: Pager> Drop for GovernorGuard<'_, P> {
+    fn drop(&mut self) {
+        if let Some(store) = self.store {
+            store
+                .pool
+                .set_governor(&crate::govern::CancelToken::unlimited());
+        }
     }
 }
 

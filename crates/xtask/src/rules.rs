@@ -18,6 +18,11 @@
 //!   flatten a source error into a `String` (that severs the `source()`
 //!   chain `TwError` promises).
 //!
+//! * **govern** — `raw-time`: library code must route wall-clock reads and
+//!   sleeps through the `Clock` abstraction (`tw_storage::govern`) so query
+//!   deadlines are mockable; raw `Instant::now()` / `SystemTime::now()` /
+//!   `thread::sleep` are forbidden outside the sanctioned sources.
+//!
 //! Plus `forbid-unsafe` / `unsafe-code` (every library crate declares
 //! `#![forbid(unsafe_code)]`) and `bad-allow` (a `tw-allow` with an unknown
 //! rule name or no reason is itself a violation, never a suppression).
@@ -81,6 +86,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "error-stringify",
         "error-hygiene",
         "map_err flattens an error into a String, severing the source() chain",
+    ),
+    (
+        "raw-time",
+        "govern",
+        "raw Instant::now/SystemTime::now/thread::sleep in library code; use the Clock abstraction",
     ),
     (
         "forbid-unsafe",
@@ -308,6 +318,32 @@ fn scan(tokens: &[Token], skip: &[bool], class: FileClass) -> Vec<(u32, &'static
                 }
                 "unsafe" => {
                     out.push((t.line, "unsafe-code", "unsafe in library code".into()));
+                }
+                "now"
+                    if prev_text == "::"
+                        && matches!(
+                            i.checked_sub(2).map(|k| tokens[k].text.as_str()),
+                            Some("Instant") | Some("SystemTime")
+                        ) =>
+                {
+                    out.push((
+                        t.line,
+                        "raw-time",
+                        format!(
+                            "{}::now() in library code; route time through the Clock trait",
+                            at(tokens, i - 2)
+                        ),
+                    ));
+                }
+                "sleep"
+                    if prev_text == "::"
+                        && i.checked_sub(2).map(|k| tokens[k].text.as_str()) == Some("thread") =>
+                {
+                    out.push((
+                        t.line,
+                        "raw-time",
+                        "thread::sleep in library code; use Clock::sleep".into(),
+                    ));
                 }
                 "partial_cmp" if prev_text != "fn" => {
                     if let Some(end) = (next_text == "(")
@@ -548,6 +584,31 @@ mod tests {
         let rules = fired(src, FileClass::library());
         assert!(rules.contains(&("bad-allow", 1)));
         assert!(rules.contains(&("unwrap", 1)), "{rules:?}");
+    }
+
+    #[test]
+    fn raw_time_fires_on_clock_bypass() {
+        let src = "fn f() { let t = std::time::Instant::now();\n std::thread::sleep(d);\n \
+                   let w = SystemTime::now(); }";
+        let rules = fired(src, FileClass::library());
+        assert_eq!(
+            rules.iter().filter(|(r, _)| *r == "raw-time").count(),
+            3,
+            "{rules:?}"
+        );
+    }
+
+    #[test]
+    fn clock_trait_calls_are_not_raw_time() {
+        let src = "fn f(c: &dyn Clock) { let t = c.now(); c.sleep(d); }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.iter().all(|(r, _)| *r != "raw-time"), "{rules:?}");
+    }
+
+    #[test]
+    fn raw_time_allow_escape_hatch() {
+        let src = "fn f() { Instant::now(); // tw-allow(raw-time): sanctioned source\n}";
+        assert!(fired(src, FileClass::library()).is_empty());
     }
 
     #[test]

@@ -67,9 +67,12 @@ db="$WORK/clean.tws"
 echo "==> control (no crash)"
 "$TW" generate --kind walk --count 500 --len 32 --seed 17 --out "$db" > /dev/null
 "$TW" index --db "$db" --out "$WORK/clean.rtree" > /dev/null
-"$TW" verify-store --db "$db" --index "$WORK/clean.rtree" | grep -q "integrity    OK" \
+# Capture to a file rather than piping straight into grep -q: under pipefail,
+# grep -q closing the pipe early makes the CLI's last write fail with EPIPE.
+"$TW" verify-store --db "$db" --index "$WORK/clean.rtree" > "$WORK/clean-verify.out"
+grep -q "integrity    OK" "$WORK/clean-verify.out" \
     || { echo "FAIL: clean store did not verify OK"; exit 1; }
-"$TW" verify-store --db "$db" --index "$WORK/clean.rtree" | grep -q "index        OK" \
+grep -q "index        OK" "$WORK/clean-verify.out" \
     || { echo "FAIL: clean index did not verify OK"; exit 1; }
 echo "    control: clean store and index verify OK"
 

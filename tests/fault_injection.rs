@@ -222,6 +222,86 @@ fn torn_and_transient_writes_never_corrupt_acknowledged_data() {
     }
 }
 
+#[test]
+fn deadline_under_fault_storm_stays_exact_and_typed() {
+    // The governor × fault cross-matrix: a 5 ms (simulated) deadline over a
+    // store whose pager is having a transient-fault storm. The shared
+    // `ManualClock` drives both sides — retry backoff sleeps advance the
+    // same simulated time the deadline is measured against — so the
+    // interaction is deterministic. Every query must end one of three ways:
+    // complete with the exact answer, deadline-exceeded with an exact
+    // subset and a balanced ledger, or a *typed* transient/corruption
+    // error (the governor aborts retry loops, surfacing the device error).
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tw_core::govern::{ManualClock, QueryBudget, Termination};
+
+    let expected = fault_free_answers();
+    let mut deadline_hits = 0u64;
+    for seed in [3u64, 13, 29, 57] {
+        let clock = Arc::new(ManualClock::with_tick(Duration::from_micros(50)));
+        let (fault, handle) =
+            FaultPager::new(MemPager::new(1024), FaultConfig::transient(seed, 300));
+        let stack = RetryPager::new(ChecksumPager::new(fault), RetryPolicy::default())
+            .with_clock(clock.clone());
+        let mut store = SequenceStore::create(stack, 8).expect("create");
+        for s in dataset() {
+            store.append(&s).expect("append");
+        }
+        store.flush().expect("flush");
+        handle.arm();
+
+        for (i, (q, eps)) in queries().iter().enumerate() {
+            let budget = QueryBudget::new()
+                .deadline(Duration::from_millis(5))
+                .clock(clock.clone());
+            let opts = EngineOpts::new()
+                .kind(DtwKind::MaxAbs)
+                .threads(1)
+                .budget(budget);
+            match LbScan.range_search(&store, q, *eps, &opts) {
+                Ok(out) => {
+                    assert!(
+                        out.ids().iter().all(|id| expected[i].contains(id)),
+                        "seed {seed} query {i}: non-subset answer {:?} vs {:?}",
+                        out.ids(),
+                        expected[i]
+                    );
+                    assert!(
+                        out.query_stats.accounting_balanced(),
+                        "seed {seed} query {i}: {:?}",
+                        out.query_stats
+                    );
+                    match out.termination {
+                        Termination::Complete => {
+                            assert_eq!(out.ids(), expected[i], "seed {seed} query {i}")
+                        }
+                        Termination::DeadlineExceeded => deadline_hits += 1,
+                        ref other => {
+                            panic!("seed {seed} query {i}: unexpected termination {other:?}")
+                        }
+                    }
+                }
+                Err(TwError::Storage(e)) => {
+                    assert!(
+                        e.is_transient() || e.is_corruption(),
+                        "seed {seed} query {i}: untyped storage error {e}"
+                    );
+                }
+                Err(other) => panic!("seed {seed} query {i}: unexpected error {other}"),
+            }
+        }
+        assert!(
+            handle.stats().transient_faults > 0,
+            "seed {seed}: fault schedule never fired"
+        );
+    }
+    assert!(
+        deadline_hits > 0,
+        "no query ever hit the simulated deadline — the matrix proved nothing"
+    );
+}
+
 proptest! {
     /// Any single-byte corruption anywhere in a checksummed record is a
     /// decode error — never a successful decode of wrong data.

@@ -199,3 +199,83 @@ fn pruned_candidates_are_never_matches() {
     assert_eq!(out.ids(), naive.ids());
     assert!(out.matches.len() as u64 <= qs.verified + qs.abandoned);
 }
+
+#[test]
+fn knn_accounting_balances() {
+    // kNN rides the same pipeline-counter ledger as the range engines:
+    // every fetched neighbour is verified exactly, nothing is pruned.
+    let data = generate_random_walks(&RandomWalkConfig::paper(60, 35), 81);
+    let store = store_with(&data);
+    let engine = TwSimSearch::build(&store).expect("build tw-sim");
+    let queries = generate_queries(&data, 2, 82);
+
+    for (qi, query) in queries.iter().enumerate() {
+        for k in [1usize, 5, 20] {
+            let out = engine
+                .knn_governed(&store, query, k, &EngineOpts::new().kind(DtwKind::MaxAbs))
+                .expect("knn");
+            let ctx = format!("query {qi} k={k}");
+            assert_accounting("knn", &ctx, &out.query_stats, out.matches.len());
+            assert_eq!(out.matches.len(), k.min(store.len()), "{ctx}");
+            // kNN never prunes: each candidate gets an exact distance.
+            assert_eq!(out.query_stats.pruned_total(), 0, "{ctx}");
+            assert_eq!(out.query_stats.verified, out.stats.dtw_invocations, "{ctx}");
+            assert!(out.query_stats.index_node_accesses() > 0, "{ctx}");
+            assert!(out.termination.is_complete(), "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn subsequence_accounting_balances() {
+    use tw_core::search::{SubsequenceIndex, WindowSpec};
+
+    let data = generate_random_walks(&RandomWalkConfig::paper(20, 30), 91);
+    let store = store_with(&data);
+    let spec = WindowSpec::new(6, 12, 2, 2).expect("spec");
+    let index = SubsequenceIndex::build(&store, spec).expect("build windows");
+    let query = generate_queries(&data, 1, 92).remove(0);
+    let query = &query[..8.min(query.len())];
+
+    for eps in [0.05, 0.3, 1.0] {
+        let out = index
+            .search_governed(&store, query, eps, &EngineOpts::new().kind(DtwKind::MaxAbs))
+            .expect("subsequence search");
+        let ctx = format!("eps {eps}");
+        assert_accounting("subsequence", &ctx, &out.query_stats, out.matches.len());
+        assert!(out.termination.is_complete(), "{ctx}");
+        assert_eq!(
+            out.query_stats.verified + out.query_stats.abandoned,
+            out.stats.dtw_invocations,
+            "{ctx}"
+        );
+    }
+}
+
+#[test]
+fn st_filter_subsequence_accounting_balances() {
+    let data = generate_random_walks(&RandomWalkConfig::paper(15, 25), 101);
+    let store = store_with(&data);
+    let engine = StFilterSearch::build(&store).expect("build st-filter");
+    let query = generate_queries(&data, 1, 102).remove(0);
+    let query = &query[..6.min(query.len())];
+
+    for eps in [0.1, 0.5] {
+        let out = engine
+            .subsequence_search_governed(
+                &store,
+                query,
+                eps,
+                &EngineOpts::new().kind(DtwKind::MaxAbs),
+            )
+            .expect("st-filter subsequence");
+        let ctx = format!("eps {eps}");
+        assert_accounting(
+            "st-filter-subsequence",
+            &ctx,
+            &out.query_stats,
+            out.matches.len(),
+        );
+        assert!(out.termination.is_complete(), "{ctx}");
+    }
+}

@@ -38,6 +38,38 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// Deviates from parking_lot's `wait(&mut guard)` signature: the std
+/// primitive underneath consumes and returns the guard, so this stub exposes
+/// the std-style `wait(guard) -> guard` shape instead (poison recovered, like
+/// the locks). Spurious wakeups are possible; callers must re-check their
+/// predicate in a loop.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Releases the lock and blocks until notified, then reacquires it.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wakes one waiter, if any.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 /// A reader-writer lock whose `read()`/`write()` never return `Result`s.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
