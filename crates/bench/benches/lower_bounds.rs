@@ -1,12 +1,15 @@
-//! Microbenchmarks of the lower-bound distances: the paper's `D_tw-lb`
-//! (LB_Kim), Yi et al.'s `D_lb`, and Keogh's envelope bound. Their whole
-//! value proposition is being orders of magnitude cheaper than the DP.
+//! Microbenchmarks of the lower-bound cascade tiers: the paper's `D_tw-lb`
+//! (LB_Kim), Yi et al.'s `D_lb`, Keogh's envelope bound and Lemire's
+//! LB_Improved. Their whole value proposition is being orders of magnitude
+//! cheaper than the DP, so each tier is measured the way the cascade runs
+//! it: against a query prepared once ([`PreparedQuery`] amortizes the
+//! feature tuple, value range and envelope across the database).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use tw_core::distance::DtwKind;
-use tw_core::{lb_keogh, lb_kim, lb_yi};
+use tw_core::{BoundTier, Candidate, PreparedQuery};
 use tw_workload::{generate_random_walks, RandomWalkConfig};
 
 fn bench_bounds(c: &mut Criterion) {
@@ -14,15 +17,20 @@ fn bench_bounds(c: &mut Criterion) {
     for len in [128usize, 1024, 8192] {
         let data = generate_random_walks(&RandomWalkConfig::paper(2, len), 5);
         let (s, q) = (&data[0], &data[1]);
-        group.bench_with_input(BenchmarkId::new("lb_kim", len), &(), |b, ()| {
-            b.iter(|| lb_kim(black_box(s), black_box(q)))
-        });
-        group.bench_with_input(BenchmarkId::new("lb_yi", len), &(), |b, ()| {
-            b.iter(|| lb_yi(black_box(s), black_box(q), DtwKind::MaxAbs))
-        });
-        group.bench_with_input(BenchmarkId::new("lb_keogh_w16", len), &(), |b, ()| {
-            b.iter(|| lb_keogh(black_box(s), black_box(q), DtwKind::MaxAbs, 16))
-        });
+        let candidate = Candidate {
+            id: 0,
+            values: s,
+            precomputed: None,
+        };
+        for tier in BoundTier::ALL {
+            // Envelope tiers at the UCR-conventional half-width 16; the
+            // range tiers ignore the band.
+            let query = PreparedQuery::new(q, DtwKind::MaxAbs, Some(16));
+            let bound = tier.bound();
+            group.bench_with_input(BenchmarkId::new(tier.name(), len), &(), |b, ()| {
+                b.iter(|| bound.evaluate(black_box(&query), black_box(&candidate)))
+            });
+        }
     }
     group.finish();
 }

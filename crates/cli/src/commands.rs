@@ -352,10 +352,12 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
     writeln!(out, "  verify {:>10.3} ms", ms(qs.phases.verify)).map_err(fail("write"))?;
     writeln!(out, "  total  {:>10.3} ms", ms(qs.phases.total())).map_err(fail("write"))?;
     writeln!(out, "pipeline counters:").map_err(fail("write"))?;
-    let rows: [(&str, u64); 13] = [
+    let rows: [(&str, u64); 15] = [
         ("candidates", qs.candidates),
         ("pruned (lb_kim)", qs.pruned_lb_kim),
         ("pruned (lb_yi)", qs.pruned_lb_yi),
+        ("pruned (lb_keogh)", qs.pruned_lb_keogh),
+        ("pruned (lb_improved)", qs.pruned_lb_improved),
         ("pruned (embedding)", qs.pruned_embedding),
         ("verified", qs.verified),
         ("abandoned", qs.abandoned),

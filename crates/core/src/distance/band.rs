@@ -9,6 +9,7 @@
 //! unconstrained distance would accept — the trade-off is measured by the
 //! harness ablations.
 
+use super::dtw::{dispatch_kind, min3};
 use super::{DtwKind, DtwResult};
 use crate::govern::CancelToken;
 
@@ -50,6 +51,33 @@ pub fn dtw_banded_governed(
         };
         return (DtwResult { distance, cells: 0 }, false);
     }
+    let (raw, cells, cancelled) = dispatch_kind!(kind, |step| banded_kernel(s, q, w, token, step));
+    if cancelled {
+        return (
+            DtwResult {
+                distance: f64::INFINITY,
+                cells,
+            },
+            true,
+        );
+    }
+    let distance = match kind {
+        DtwKind::SumSquared if raw.is_finite() => raw.sqrt(),
+        _ => raw,
+    };
+    (DtwResult { distance, cells }, false)
+}
+
+/// The banded two-row DP, monomorphized per recurrence via `dispatch_kind!`.
+/// Row cells are charged against the governor after each completed row, as
+/// before; the returned raw accumulator is pre-scale-conversion.
+fn banded_kernel(
+    s: &[f64],
+    q: &[f64],
+    w: usize,
+    token: &CancelToken,
+    step: impl Fn(f64, f64) -> f64,
+) -> (f64, u64, bool) {
     let (n, m) = (s.len(), q.len());
     // For different lengths the band must at least cover the slope gap.
     let w = w.max(n.abs_diff(m));
@@ -66,32 +94,16 @@ pub fn dtw_banded_governed(
         cur[..lo].fill(f64::INFINITY);
         for j in lo..=hi {
             let gap = s[i - 1] - q[j - 1];
-            let best_prev = prev[j].min(cur[j - 1]).min(prev[j - 1]);
-            cur[j] = match kind {
-                DtwKind::SumAbs => gap.abs() + best_prev,
-                DtwKind::SumSquared => gap * gap + best_prev,
-                DtwKind::MaxAbs => gap.abs().max(best_prev),
-            };
+            cur[j] = step(gap, min3(prev[j], cur[j - 1], prev[j - 1]));
             cells += 1;
         }
         cur[hi + 1..=m].fill(f64::INFINITY);
         std::mem::swap(&mut prev, &mut cur);
         if token.charge_cells(cells - row_start) {
-            return (
-                DtwResult {
-                    distance: f64::INFINITY,
-                    cells,
-                },
-                true,
-            );
+            return (f64::INFINITY, cells, true);
         }
     }
-    let raw = prev[m];
-    let distance = match kind {
-        DtwKind::SumSquared if raw.is_finite() => raw.sqrt(),
-        _ => raw,
-    };
-    (DtwResult { distance, cells }, false)
+    (prev[m], cells, false)
 }
 
 #[cfg(test)]

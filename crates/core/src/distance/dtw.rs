@@ -1,11 +1,18 @@
 //! The time-warping distance (Definitions 1 and 2), in three forms:
 //!
-//! * [`dtw`] — rolling-row dynamic program, `O(min(|S|,|Q|))` memory;
+//! * [`dtw`] — rolling two-row dynamic program, `O(min(|S|,|Q|))` memory;
 //! * [`dtw_within`] — early-abandoning variant that proves or disproves
 //!   `D_tw <= epsilon` without necessarily completing the table (§4.1 of the
 //!   paper explains why the L∞ recurrence abandons especially early);
 //! * [`dtw_with_path`] — full-matrix variant recovering the optimal element
 //!   mapping `M`, used by diagnostics and tests.
+//!
+//! The hot paths share one kernel shape: two flat row buffers swapped per
+//! column, a branch-free [`min3`] over the three predecessors, and the
+//! recurrence monomorphized per [`DtwKind`] so the inner loop carries no
+//! `match`. The governed variants preserve their contract exactly — cells
+//! are accounted in whole columns, the abandon check runs before the
+//! governor charge, and verdicts are byte-identical to the naive DP.
 
 use super::DtwKind;
 use crate::govern::CancelToken;
@@ -63,6 +70,128 @@ fn threshold(kind: DtwKind, epsilon: f64) -> f64 {
     }
 }
 
+/// Branch-free three-way minimum: two `f64::min` calls, which lower to
+/// hardware min instructions instead of compare-and-branch — the DP inner
+/// loop stays free of unpredictable branches.
+#[inline(always)]
+pub(crate) fn min3(a: f64, b: f64, c: f64) -> f64 {
+    a.min(b).min(c)
+}
+
+/// Dispatches `kind` to a monomorphized copy of a DP kernel: each arm hands
+/// the kernel a concrete closure, hoisting the per-cell recurrence `match`
+/// out of the inner loop entirely (the closures mirror [`combine`]).
+macro_rules! dispatch_kind {
+    ($kind:expr, |$step:ident| $call:expr) => {
+        match $kind {
+            DtwKind::SumAbs => {
+                let $step = |gap: f64, best: f64| gap.abs() + best;
+                $call
+            }
+            DtwKind::SumSquared => {
+                let $step = |gap: f64, best: f64| gap * gap + best;
+                $call
+            }
+            DtwKind::MaxAbs => {
+                let $step = |gap: f64, best: f64| gap.abs().max(best);
+                $call
+            }
+        }
+    };
+}
+pub(crate) use dispatch_kind;
+
+/// The two-row full DP: `prev`/`cur` are flat row buffers of the shorter
+/// sequence's length, swapped per column of the longer one. Returns the raw
+/// accumulator (pre-[`finish`]) and the cell count (`|rows|` per column).
+fn full_kernel(rows: &[f64], cols: &[f64], step: impl Fn(f64, f64) -> f64) -> (f64, u64) {
+    let m = rows.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+    // The dp[0][0] boundary: 0 before the first column, +inf afterwards.
+    let mut corner = 0.0f64;
+    let mut cells = 0u64;
+    for &c in cols {
+        let mut up_left = corner;
+        let mut left = f64::INFINITY;
+        for (&r, (&up, cell)) in rows.iter().zip(prev.iter().zip(cur.iter_mut())) {
+            let v = step(r - c, min3(up, up_left, left));
+            up_left = up;
+            left = v;
+            *cell = v;
+        }
+        cells += m as u64;
+        corner = f64::INFINITY;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev.last().copied().unwrap_or(f64::INFINITY), cells)
+}
+
+/// What [`decide_kernel`] concluded, before scale conversion.
+struct Decision {
+    /// The completed raw accumulator; `None` when abandoned or cancelled.
+    raw: Option<f64>,
+    cells: u64,
+    early_abandoned: bool,
+    cancelled: bool,
+}
+
+/// The two-row thresholded DP. Per completed column, in this order: count
+/// the column's cells, abandon if the column minimum exceeds `thr` (when
+/// `abandon` is set), then charge the governor — so an abandoned column is
+/// never billed twice and a cancelled one was already counted.
+fn decide_kernel(
+    rows: &[f64],
+    cols: &[f64],
+    thr: f64,
+    abandon: bool,
+    token: &CancelToken,
+    step: impl Fn(f64, f64) -> f64,
+) -> Decision {
+    let m = rows.len();
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+    let mut corner = 0.0f64;
+    let mut cells = 0u64;
+    for &c in cols {
+        let mut up_left = corner;
+        let mut left = f64::INFINITY;
+        let mut col_min = f64::INFINITY;
+        for (&r, (&up, cell)) in rows.iter().zip(prev.iter().zip(cur.iter_mut())) {
+            let v = step(r - c, min3(up, up_left, left));
+            up_left = up;
+            left = v;
+            col_min = col_min.min(v);
+            *cell = v;
+        }
+        cells += m as u64;
+        if abandon && col_min > thr {
+            return Decision {
+                raw: None,
+                cells,
+                early_abandoned: true,
+                cancelled: false,
+            };
+        }
+        if token.charge_cells(m as u64) {
+            return Decision {
+                raw: None,
+                cells,
+                early_abandoned: false,
+                cancelled: true,
+            };
+        }
+        corner = f64::INFINITY;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Decision {
+        raw: prev.last().copied(),
+        cells,
+        early_abandoned: false,
+        cancelled: false,
+    }
+}
+
 /// The time-warping distance between two sequences.
 ///
 /// Empty inputs follow the paper's definition: both empty → 0, one empty →
@@ -78,22 +207,9 @@ pub fn dtw(s: &[f64], q: &[f64], kind: DtwKind) -> DtwResult {
     }
     // Keep the shorter sequence as the row to minimize memory.
     let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
-    let m = rows.len();
-    let mut col = vec![f64::INFINITY; m + 1];
-    col[0] = 0.0;
-    let mut cells = 0u64;
-    for &c in cols {
-        let mut prev_diag = col[0];
-        col[0] = f64::INFINITY;
-        for i in 1..=m {
-            let best_prev = col[i].min(col[i - 1]).min(prev_diag);
-            prev_diag = col[i];
-            col[i] = combine(kind, rows[i - 1] - c, best_prev);
-        }
-        cells += m as u64;
-    }
+    let (raw, cells) = dispatch_kind!(kind, |step| full_kernel(rows, cols, step));
     DtwResult {
-        distance: finish(kind, col[m]),
+        distance: finish(kind, raw),
         cells,
     }
 }
@@ -119,6 +235,23 @@ pub fn dtw_within_governed(
     epsilon: f64,
     token: &CancelToken,
 ) -> DtwOutcome {
+    dtw_decide_governed(s, q, kind, epsilon, true, token)
+}
+
+/// [`dtw_within_governed`] with the early-abandon cutoff switchable.
+///
+/// With `early_abandon` set this is exactly [`dtw_within_governed`]. Without
+/// it the DP always runs to completion (or cancellation): candidates are
+/// then never `early_abandoned`, which the cascade exposes through
+/// [`crate::bound::CascadeSpec::early_abandon`] for ablation runs.
+pub fn dtw_decide_governed(
+    s: &[f64],
+    q: &[f64],
+    kind: DtwKind,
+    epsilon: f64,
+    early_abandon: bool,
+    token: &CancelToken,
+) -> DtwOutcome {
     debug_assert!(epsilon >= 0.0);
     if s.is_empty() || q.is_empty() {
         let within = if s.len() == q.len() { Some(0.0) } else { None };
@@ -130,45 +263,24 @@ pub fn dtw_within_governed(
         };
     }
     let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
-    let m = rows.len();
     let thr = threshold(kind, epsilon);
-    let mut col = vec![f64::INFINITY; m + 1];
-    col[0] = 0.0;
-    let mut cells = 0u64;
-    for &c in cols {
-        let mut prev_diag = col[0];
-        col[0] = f64::INFINITY;
-        let mut col_min = f64::INFINITY;
-        for i in 1..=m {
-            let best_prev = col[i].min(col[i - 1]).min(prev_diag);
-            prev_diag = col[i];
-            col[i] = combine(kind, rows[i - 1] - c, best_prev);
-            col_min = col_min.min(col[i]);
-        }
-        cells += m as u64;
-        if col_min > thr {
-            return DtwOutcome {
-                within: None,
-                cells,
-                early_abandoned: true,
-                cancelled: false,
-            };
-        }
-        if token.charge_cells(m as u64) {
-            return DtwOutcome {
-                within: None,
-                cells,
-                early_abandoned: false,
-                cancelled: true,
-            };
-        }
-    }
-    let d = finish(kind, col[m]);
+    let decision = dispatch_kind!(kind, |step| decide_kernel(
+        rows,
+        cols,
+        thr,
+        early_abandon,
+        token,
+        step
+    ));
+    let within = decision
+        .raw
+        .map(|raw| finish(kind, raw))
+        .filter(|&d| d <= epsilon);
     DtwOutcome {
-        within: (d <= epsilon).then_some(d),
-        cells,
-        early_abandoned: false,
-        cancelled: false,
+        within,
+        cells: decision.cells,
+        early_abandoned: decision.early_abandoned,
+        cancelled: decision.cancelled,
     }
 }
 

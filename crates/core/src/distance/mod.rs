@@ -6,7 +6,9 @@ mod dtw;
 mod lp;
 
 pub use band::{dtw_banded, dtw_banded_governed, sakoe_chiba_width};
-pub use dtw::{dtw, dtw_with_path, dtw_within, dtw_within_governed, DtwOutcome, DtwResult};
+pub use dtw::{
+    dtw, dtw_decide_governed, dtw_with_path, dtw_within, dtw_within_governed, DtwOutcome, DtwResult,
+};
 pub use lp::{l1, l2, linf, lp};
 
 /// Which time-warping recurrence is in effect.

@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 
 pub mod alignment;
+pub mod bound;
 pub mod database;
 pub mod distance;
 pub mod error;
@@ -77,6 +78,10 @@ pub mod stats;
 pub mod transform;
 
 pub use alignment::Alignment;
+pub use bound::{
+    lb_improved, BoundCascade, BoundTier, Candidate, CascadeDecision, CascadeSpec, ImprovedBound,
+    KeoghBound, KimBound, LowerBound, PreparedQuery, QueryEnvelope, YiBound,
+};
 pub use database::TimeWarpDatabase;
 pub use distance::{
     dtw, dtw_banded, dtw_banded_governed, dtw_with_path, dtw_within, dtw_within_governed, DtwKind,
@@ -88,12 +93,13 @@ pub use govern::{
     termination_of, Admission, AdmissionGate, AdmissionPermit, BudgetKind, CancelCause,
     CancelToken, Clock, ManualClock, QueryBudget, SystemClock, Termination,
 };
+#[allow(deprecated)] // Re-exported for one release window; see `lower_bound`.
 pub use lower_bound::{lb_keogh, lb_kim, lb_yi};
 pub use search::{
     false_dismissals, verify_candidates, EngineOpts, FastMapSearch, HybridPlan, HybridSearch,
     KnnMatch, KnnOutcome, LbScan, Match, NaiveScan, SearchEngine, SearchOutcome, SearchResult,
     SearchStats, StFilterSearch, SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome,
-    TwSimSearch, VerifyMode, WindowSpec,
+    TwSimSearch, VerifyJob, VerifyMode, WindowSpec,
 };
 pub use sequence::Sequence;
 pub use stats::{Phase, PhaseTimes, PipelineCounters, QueryStats};

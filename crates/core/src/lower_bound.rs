@@ -1,80 +1,35 @@
-//! Lower-bound distances for the time-warping distance.
+//! Deprecated free-function lower bounds.
 //!
-//! * [`lb_kim`] — the paper's contribution: `D_tw-lb`, the L∞ distance of the
-//!   4-tuple feature vectors (known in the later literature as **LB_Kim**);
-//! * [`lb_yi`] — the scan-time lower bound of Yi, Jagadish & Faloutsos that
-//!   powers the LB-Scan baseline, in both the additive form of the original
-//!   paper and the max form matching Definition 2;
-//! * [`lb_keogh`] — the envelope bound of Keogh (an extension beyond the
-//!   paper, standard in post-2002 DTW systems), applicable under a warping
-//!   band.
-//!
-//! All three are proven lower bounds for the matching [`DtwKind`]; the
-//! property-test suite checks the inequality on randomized inputs.
+//! The pruning API now lives in [`crate::bound`]: each bound is a
+//! [`crate::bound::LowerBound`] tier ([`crate::bound::KimBound`],
+//! [`crate::bound::YiBound`], [`crate::bound::KeoghBound`],
+//! [`crate::bound::ImprovedBound`]) composed through a
+//! [`crate::bound::BoundCascade`], which prepares the query-side work
+//! (feature tuple, value range, Lemire envelope) exactly once per query
+//! instead of once per call. The free functions below remain as thin shims
+//! for existing callers and delegate to the same canonical math, so the
+//! proven inequalities are unchanged.
 
+use crate::bound;
 use crate::distance::DtwKind;
-use crate::feature::FeatureVector;
 
 /// `D_tw-lb` (Definition 3): L∞ over the 4-tuple feature vectors.
 ///
 /// Lower-bounds `D_tw` for **every** [`DtwKind`]: Theorem 1 proves it for the
 /// MaxAbs recurrence, and the additive recurrences dominate the max one
 /// (a sum of non-negative gaps is at least their maximum).
+#[deprecated(note = "use `bound::KimBound` through a `bound::BoundCascade`")]
 pub fn lb_kim(s: &[f64], q: &[f64]) -> f64 {
-    FeatureVector::from_values(s).lb_distance(&FeatureVector::from_values(q))
-}
-
-/// Yi et al.'s lower bound, `D_lb`, for the additive (SumAbs) distance:
-/// elements of either sequence lying outside the other's `[min, max]` range
-/// must each pay at least their gap to that range.
-fn lb_yi_sum(s: &[f64], q: &[f64]) -> f64 {
-    let (q_min, q_max) = min_max(q);
-    let (s_min, s_max) = min_max(s);
-    let gap = |v: f64, lo: f64, hi: f64| {
-        if v > hi {
-            v - hi
-        } else if v < lo {
-            lo - v
-        } else {
-            0.0
-        }
-    };
-    let from_s: f64 = s.iter().map(|&v| gap(v, q_min, q_max)).sum();
-    let from_q: f64 = q.iter().map(|&v| gap(v, s_min, s_max)).sum();
-    from_s.max(from_q)
-}
-
-/// The max-aggregation analogue of `D_lb`: every element maps to *some*
-/// element of the other sequence, so its gap to the other's value range is a
-/// lower bound on the maximal mapping distance.
-fn lb_yi_max(s: &[f64], q: &[f64]) -> f64 {
-    let (q_min, q_max) = min_max(q);
-    let (s_min, s_max) = min_max(s);
-    let gap = |v: f64, lo: f64, hi: f64| {
-        if v > hi {
-            v - hi
-        } else if v < lo {
-            lo - v
-        } else {
-            0.0
-        }
-    };
-    let from_s = s.iter().map(|&v| gap(v, q_min, q_max)).fold(0.0, f64::max);
-    let from_q = q.iter().map(|&v| gap(v, s_min, s_max)).fold(0.0, f64::max);
-    from_s.max(from_q)
+    bound::kim_value(s, q)
 }
 
 /// Yi et al.'s scan-time lower bound for the given recurrence.
 ///
 /// Complexity `O(|S| + |Q|)` — the point of LB-Scan is replacing the
 /// `O(|S|·|Q|)` DP with this for most of the database.
+#[deprecated(note = "use `bound::YiBound` through a `bound::BoundCascade`")]
 pub fn lb_yi(s: &[f64], q: &[f64], kind: DtwKind) -> f64 {
-    match kind {
-        DtwKind::SumAbs => lb_yi_sum(s, q),
-        // sum of squares >= square of max gap; bound in the original scale.
-        DtwKind::SumSquared => lb_yi_max(s, q),
-        DtwKind::MaxAbs => lb_yi_max(s, q),
-    }
+    bound::yi_value(s, q, kind)
 }
 
 /// Keogh's envelope lower bound under a Sakoe–Chiba band of half-width `w`,
@@ -88,6 +43,7 @@ pub fn lb_yi(s: &[f64], q: &[f64], kind: DtwKind) -> f64 {
 /// # Panics
 /// Panics when lengths differ (the envelope construction assumes alignment
 /// indices exist on both sides).
+#[deprecated(note = "use `bound::KeoghBound` through a `bound::BoundCascade`")]
 pub fn lb_keogh(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> f64 {
     assert_eq!(
         s.len(),
@@ -96,46 +52,12 @@ pub fn lb_keogh(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> f64 {
         s.len(),
         q.len()
     );
-    let n = q.len();
-    let mut acc: f64 = 0.0;
-    for (i, &si) in s.iter().enumerate() {
-        let lo_i = i.saturating_sub(w);
-        let hi_i = (i + w).min(n - 1);
-        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
-        for &v in &q[lo_i..=hi_i] {
-            lo = lo.min(v);
-            hi = hi.max(v);
-        }
-        let gap = if si > hi {
-            si - hi
-        } else if si < lo {
-            lo - si
-        } else {
-            0.0
-        };
-        match kind {
-            DtwKind::SumAbs => acc += gap,
-            DtwKind::SumSquared => acc += gap * gap,
-            DtwKind::MaxAbs => acc = acc.max(gap),
-        }
-    }
-    match kind {
-        DtwKind::SumSquared => acc.sqrt(),
-        _ => acc,
-    }
-}
-
-fn min_max(v: &[f64]) -> (f64, f64) {
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    for &x in v {
-        lo = lo.min(x);
-        hi = hi.max(x);
-    }
-    (lo, hi)
+    let (lower, upper) = tw_storage::lemire_envelope(q, Some(w));
+    bound::keogh_value(s, &lower, &upper, kind)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // The shims' contracts are pinned by these tests.
 #[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
 mod tests {
     use super::*;

@@ -31,6 +31,7 @@
 
 use tw_storage::{HardwareModel, Pager, SeqId, SequenceStore};
 
+use crate::bound::{BoundCascade, CascadeSpec};
 use crate::distance::DtwKind;
 use crate::error::TwError;
 use crate::govern::{CancelToken, QueryBudget, Termination};
@@ -62,6 +63,12 @@ pub struct EngineOpts {
     /// reads) the query runs under. `None` — the default — means unlimited:
     /// engines behave byte-identically to an unbudgeted build.
     pub budget: Option<QueryBudget>,
+    /// Optional tiered lower-bound cascade applied in the shared
+    /// verification pipeline before any DTW runs. `None` — the default —
+    /// keeps each engine's historical pruning behaviour; `Some` routes
+    /// every candidate through the spec's [`crate::bound::BoundTier`]s
+    /// (counted per tier in [`QueryStats`]) first.
+    pub cascade: Option<CascadeSpec>,
 }
 
 impl EngineOpts {
@@ -74,6 +81,7 @@ impl EngineOpts {
             verify: VerifyMode::Exact,
             hardware: HardwareModel::icde2001(),
             budget: None,
+            cascade: None,
         }
     }
 
@@ -108,6 +116,23 @@ impl EngineOpts {
     pub fn budget(mut self, budget: QueryBudget) -> Self {
         self.budget = Some(budget);
         self
+    }
+
+    /// Routes candidate pruning through the given lower-bound cascade (see
+    /// [`CascadeSpec`] for tiers, band ratio, early abandon and candidate
+    /// envelopes).
+    pub fn cascade(mut self, spec: CascadeSpec) -> Self {
+        self.cascade = Some(spec);
+        self
+    }
+
+    /// Compiles the cascade spec — if any — against one concrete query.
+    /// Engines call this once per query and hand the result to
+    /// [`crate::search::VerifyJob::with_cascade`].
+    pub fn arm_cascade(&self, query: &[f64]) -> Option<BoundCascade> {
+        self.cascade
+            .as_ref()
+            .map(|spec| BoundCascade::prepare(spec, query, self.kind, self.verify))
     }
 
     /// Compiles the budget — if any — into a live [`CancelToken`] for this

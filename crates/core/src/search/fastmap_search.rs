@@ -20,7 +20,7 @@ use tw_storage::{Pager, SeqId, SequenceStore};
 use crate::distance::{dtw, DtwKind};
 use crate::error::{validate_tolerance, TwError};
 use crate::govern::termination_of;
-use crate::search::verify::verify_candidates_governed;
+use crate::search::verify::VerifyJob;
 use crate::search::{
     EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchResult, SearchStats,
 };
@@ -185,16 +185,16 @@ impl<P: Pager> SearchEngine<P> for FastMapSearch {
         counters.add_pruned_embedding(pruned);
         counters.add_skipped_unverified(skipped);
         stats.candidates = candidates.len();
-        let (matches, verify_stats) = verify_candidates_governed(
-            &candidates,
-            query,
-            epsilon,
-            self.kind,
-            opts.verify,
-            opts.threads,
-            &counters,
-            &token,
-        );
+        // The embedding's kind is fixed at fit time, so the cascade is
+        // prepared at `self.kind` rather than the (ignored) `opts.kind`.
+        let cascade = opts
+            .cascade
+            .as_ref()
+            .map(|spec| crate::bound::BoundCascade::prepare(spec, query, self.kind, opts.verify));
+        let (matches, verify_stats) =
+            VerifyJob::new(query, epsilon, self.kind, opts.verify, opts.threads)
+                .with_cascade(cascade.as_ref())
+                .run(&candidates, &counters, &token);
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
         counters.add_pager_reads(stats.io.total_pages());

@@ -8,10 +8,10 @@
 
 use tw_storage::{Pager, SequenceStore};
 
+use crate::bound::yi_value;
 use crate::error::{validate_tolerance, TwError};
 use crate::govern::termination_of;
-use crate::lower_bound::lb_yi;
-use crate::search::verify::verify_candidates_governed;
+use crate::search::verify::VerifyJob;
 use crate::search::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats};
 use crate::stats::{wall_now, Phase, PipelineCounters};
 
@@ -46,7 +46,11 @@ impl<P: Pager> SearchEngine<P> for LbScan {
         // survivors are kept resident for verification. Every scanned row
         // enters the accounting as a candidate; LB rejections (including
         // empty rows, which cannot match a non-empty query) count as pruned
-        // by `D_lb`.
+        // by `D_lb`. With a cascade attached the scan admits every row and
+        // defers all pruning to the cascade's tiers — the same bound runs
+        // there (as the Yi tier) plus whatever tighter tiers the spec adds,
+        // each counted separately.
+        let scan_filter = opts.cascade.is_none();
         let mut candidates = Vec::new();
         let mut pruned = 0u64;
         let mut skipped = 0u64;
@@ -59,11 +63,13 @@ impl<P: Pager> SearchEngine<P> for LbScan {
                     skipped += 1;
                     return;
                 }
-                stats.lb_evaluations += 1;
-                stats.filter_ops += (values.len() + query.len()) as u64;
-                if values.is_empty() || lb_yi(&values, query, opts.kind) > epsilon {
-                    pruned += 1;
-                    return;
+                if scan_filter {
+                    stats.lb_evaluations += 1;
+                    stats.filter_ops += (values.len() + query.len()) as u64;
+                    if values.is_empty() || yi_value(&values, query, opts.kind) > epsilon {
+                        pruned += 1;
+                        return;
+                    }
                 }
                 let _ = token
                     .charge_candidate_bytes((std::mem::size_of::<f64>() * values.len()) as u64);
@@ -76,16 +82,11 @@ impl<P: Pager> SearchEngine<P> for LbScan {
         stats.candidates = candidates.len();
         stats.io = store.take_io();
         counters.add_pager_reads(stats.io.total_pages());
-        let (matches, verify_stats) = verify_candidates_governed(
-            &candidates,
-            query,
-            epsilon,
-            opts.kind,
-            opts.verify,
-            opts.threads,
-            &counters,
-            &token,
-        );
+        let cascade = opts.arm_cascade(query);
+        let (matches, verify_stats) =
+            VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
+                .with_cascade(cascade.as_ref())
+                .run(&candidates, &counters, &token);
         stats.accumulate(&verify_stats);
         stats.cpu_time = started.elapsed();
         counters.add_checksum_retries(store.checksum_retries() - retries_before);

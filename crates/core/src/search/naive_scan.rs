@@ -9,7 +9,7 @@ use tw_storage::{Pager, SequenceStore};
 
 use crate::error::{validate_tolerance, TwError};
 use crate::govern::termination_of;
-use crate::search::verify::verify_candidates_governed;
+use crate::search::verify::VerifyJob;
 use crate::search::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats};
 use crate::stats::{wall_now, Phase, PipelineCounters};
 
@@ -50,16 +50,11 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
                 break;
             }
         }
-        let (matches, verify_stats) = verify_candidates_governed(
-            &rows,
-            query,
-            epsilon,
-            opts.kind,
-            opts.verify,
-            opts.threads,
-            &counters,
-            &token,
-        );
+        let cascade = opts.arm_cascade(query);
+        let (matches, verify_stats) =
+            VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
+                .with_cascade(cascade.as_ref())
+                .run(&rows, &counters, &token);
         stats.accumulate(&verify_stats);
         // Naive-Scan has no filtering step: the paper plots its final result
         // count as its candidate count (Experiment 1).

@@ -18,7 +18,7 @@ use crate::distance::{dtw_within_governed, DtwKind};
 use crate::error::{validate_tolerance, TwError};
 use crate::govern::termination_of;
 use crate::search::subsequence::SubsequenceOutcome;
-use crate::search::verify::verify_candidates_governed;
+use crate::search::verify::VerifyJob;
 use crate::search::{
     EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats, SubsequenceMatch,
 };
@@ -259,16 +259,11 @@ impl<P: Pager> SearchEngine<P> for StFilterSearch {
             Ok::<_, TwError>(candidates)
         })?;
         counters.add_skipped_unverified(proposed - candidates.len() as u64);
-        let (matches, verify_stats) = verify_candidates_governed(
-            &candidates,
-            query,
-            epsilon,
-            opts.kind,
-            opts.verify,
-            opts.threads,
-            &counters,
-            &token,
-        );
+        let cascade = opts.arm_cascade(query);
+        let (matches, verify_stats) =
+            VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
+                .with_cascade(cascade.as_ref())
+                .run(&candidates, &counters, &token);
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
         counters.add_pager_reads(stats.io.total_pages());

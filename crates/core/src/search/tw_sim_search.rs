@@ -20,7 +20,7 @@ use tw_storage::{Pager, SeqId, SequenceStore};
 use crate::error::{validate_tolerance, TwError};
 use crate::feature::FeatureVector;
 use crate::govern::termination_of;
-use crate::search::verify::verify_candidates_governed;
+use crate::search::verify::VerifyJob;
 use crate::search::{EngineHealth, EngineOpts, SearchEngine, SearchOutcome, SearchStats};
 use crate::stats::{wall_now, Phase, PipelineCounters};
 
@@ -207,8 +207,10 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
         counters.add_index_leaf(range.stats.leaf_accesses);
 
         // Step 3-7: read candidates, verify through the shared pipeline.
-        // The index filter *is* the candidate set: nothing is pruned after
-        // it, so candidates == verified + abandoned in the accounting.
+        // Without a cascade the index filter *is* the candidate set: nothing
+        // is pruned after it, so candidates == verified + abandoned in the
+        // accounting. With one, the cascade's tiers take a further cut,
+        // counted per tier.
         stats.candidates = range.ids.len();
         counters.add_candidates(range.ids.len() as u64);
         let proposed = range.ids.len() as u64;
@@ -228,16 +230,11 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
             Ok::<_, TwError>(candidates)
         })?;
         counters.add_skipped_unverified(proposed - candidates.len() as u64);
-        let (matches, verify_stats) = verify_candidates_governed(
-            &candidates,
-            query,
-            epsilon,
-            opts.kind,
-            opts.verify,
-            opts.threads,
-            &counters,
-            &token,
-        );
+        let cascade = opts.arm_cascade(query);
+        let (matches, verify_stats) =
+            VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
+                .with_cascade(cascade.as_ref())
+                .run(&candidates, &counters, &token);
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();
         counters.add_pager_reads(stats.io.total_pages());
@@ -354,7 +351,7 @@ mod tests {
         let res = run_search(&engine, &store, &query, eps, DtwKind::MaxAbs).unwrap();
         let expected: usize = data
             .iter()
-            .filter(|s| crate::lower_bound::lb_kim(s, &query) <= eps)
+            .filter(|s| crate::bound::kim_value(s, &query) <= eps)
             .count();
         assert_eq!(res.stats.candidates, expected);
     }

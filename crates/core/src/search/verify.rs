@@ -3,36 +3,230 @@
 //! Every exact engine is a *filter* followed by the same final step: compute
 //! the true time-warping distance of each surviving candidate and keep those
 //! within tolerance. This module centralizes that step so all engines share
-//! one implementation of early abandoning, banded verification, and
-//! multi-threaded fan-out — the paper's methods differ only in their filters.
+//! one implementation of lower-bound cascading, early abandoning, banded
+//! verification, and multi-threaded fan-out — the paper's methods differ
+//! only in their filters.
 //!
-//! Determinism: candidates are verified independently (early abandoning is
-//! per-candidate, so `dtw_cells` does not depend on thread count or order)
-//! and the merged match list is sorted by sequence id, so the outcome is
-//! identical for every thread count.
+//! When a [`BoundCascade`] is attached (via [`VerifyJob::with_cascade`]),
+//! each candidate is first run through the tiered lower bounds; candidates a
+//! tier prunes are counted per tier ([`crate::stats::QueryStats`]) and never
+//! reach the DP. The cascade may also override the verify mode (when its
+//! spec carries a band ratio) and the early-abandon switch.
+//!
+//! Determinism: candidates are verified independently (pruning and early
+//! abandoning are per-candidate, so `dtw_cells` does not depend on thread
+//! count or order) and the merged match list is sorted by sequence id, so
+//! the outcome is identical for every thread count.
 
 use tw_storage::SeqId;
 
-use crate::distance::{dtw_banded_governed, dtw_within_governed, DtwKind};
+use crate::bound::{BoundCascade, BoundTier, CascadeDecision};
+use crate::distance::{dtw_banded_governed, dtw_decide_governed, DtwKind};
 use crate::govern::CancelToken;
 use crate::search::{Match, SearchStats, VerifyMode};
 use crate::stats::{Phase, PipelineCounters};
 
-/// Verifies pre-read candidate sequences against the query, fanning the DTW
-/// work out over `threads` scoped workers.
+/// One verification request: the query-side parameters every chunk worker
+/// needs, plus the optional per-query [`BoundCascade`].
 ///
-/// Returns the qualifying matches sorted by ascending [`SeqId`] and a
-/// [`SearchStats`] carrying only the verification counters
-/// (`dtw_invocations`, `dtw_cells`) — the caller merges it into its own
-/// stats with [`SearchStats::accumulate`]. The shared [`PipelineCounters`]
-/// receive the observability breakdown: `verified` / `abandoned` per
-/// candidate, `dtw_cells`, and the wall-clock time of the whole call under
-/// [`Phase::Verify`]. Counting is per-candidate, so the counters are
-/// thread-count invariant.
-///
-/// Workers receive only the candidate slices, never the store, so the
-/// pipeline works with any pager and charges no I/O of its own: candidates
-/// arrive already materialized by the engine's filter stage.
+/// Engines build the job from their [`crate::search::EngineOpts`] and call
+/// [`VerifyJob::run`]; the legacy free functions below remain as wrappers
+/// for cascade-less callers.
+pub struct VerifyJob<'a> {
+    query: &'a [f64],
+    epsilon: f64,
+    kind: DtwKind,
+    verify: VerifyMode,
+    threads: usize,
+    cascade: Option<&'a BoundCascade>,
+}
+
+impl<'a> VerifyJob<'a> {
+    /// A cascade-less job (the pre-cascade behaviour).
+    ///
+    /// # Panics
+    /// Panics when `threads == 0`.
+    pub fn new(
+        query: &'a [f64],
+        epsilon: f64,
+        kind: DtwKind,
+        verify: VerifyMode,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one verify worker");
+        VerifyJob {
+            query,
+            epsilon,
+            kind,
+            verify,
+            threads,
+            cascade: None,
+        }
+    }
+
+    /// Attaches a prepared cascade. The cascade's effective verify mode
+    /// replaces the job's (they agree unless the spec carried a band
+    /// ratio), so pruning band and verification band never diverge.
+    pub fn with_cascade(mut self, cascade: Option<&'a BoundCascade>) -> Self {
+        if let Some(c) = cascade {
+            self.verify = c.verify_mode();
+        }
+        self.cascade = cascade;
+        self
+    }
+
+    /// The verify mode candidates will actually be checked under.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify
+    }
+
+    /// Verifies pre-read candidate sequences against the query, fanning the
+    /// DTW work out over the job's worker count.
+    ///
+    /// Returns the qualifying matches sorted by ascending [`SeqId`] and a
+    /// [`SearchStats`] carrying only the verification counters
+    /// (`dtw_invocations`, `dtw_cells`) — the caller merges it into its own
+    /// stats with [`SearchStats::accumulate`]. The shared
+    /// [`PipelineCounters`] receive the observability breakdown: per-tier
+    /// prunes, `verified` / `abandoned` per candidate, `dtw_cells`, and the
+    /// wall-clock time of the whole call under [`Phase::Verify`]. Counting
+    /// is per-candidate, so the counters are thread-count invariant.
+    ///
+    /// Workers receive only the candidate slices, never the store, so the
+    /// pipeline works with any pager and charges no I/O of its own:
+    /// candidates arrive already materialized by the engine's filter stage.
+    ///
+    /// Each worker checks `token` before starting a candidate and charges DP
+    /// cells as it computes; once the token trips, every remaining candidate
+    /// is counted as `skipped_unverified` instead of being verified. A
+    /// candidate whose DTW was cut short mid-computation is also skipped —
+    /// never treated as a verdict — so every returned match is still exact.
+    pub fn run(
+        &self,
+        candidates: &[(SeqId, Vec<f64>)],
+        counters: &PipelineCounters,
+        token: &CancelToken,
+    ) -> (Vec<Match>, SearchStats) {
+        counters.time(Phase::Verify, || {
+            let (mut matches, stats) = if self.threads == 1 || candidates.len() < 2 {
+                self.verify_chunk(candidates, counters, token)
+            } else {
+                let chunk = candidates.len().div_ceil(self.threads);
+                let parts: Vec<(Vec<Match>, SearchStats)> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = candidates
+                        .chunks(chunk)
+                        .map(|part| scope.spawn(move || self.verify_chunk(part, counters, token)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                        .collect()
+                });
+                let mut matches = Vec::new();
+                let mut stats = SearchStats::default();
+                for (part_matches, part_stats) in parts {
+                    matches.extend(part_matches);
+                    stats.accumulate(&part_stats);
+                }
+                (matches, stats)
+            };
+            matches.sort_by_key(|m| m.id);
+            (matches, stats)
+        })
+    }
+
+    /// Sequentially verifies one slice of candidates, publishing per-chunk
+    /// totals into the shared counters (one `fetch_add` per counter per
+    /// chunk, not per candidate, to keep contention negligible).
+    fn verify_chunk(
+        &self,
+        candidates: &[(SeqId, Vec<f64>)],
+        counters: &PipelineCounters,
+        token: &CancelToken,
+    ) -> (Vec<Match>, SearchStats) {
+        let mut matches = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut verified = 0u64;
+        let mut abandoned = 0u64;
+        let mut skipped = 0u64;
+        let mut pruned = [0u64; BoundTier::ALL.len()];
+        let abandon = self.cascade.is_none_or(BoundCascade::early_abandon);
+        for (i, (id, values)) in candidates.iter().enumerate() {
+            if token.cancelled() {
+                skipped += (candidates.len() - i) as u64;
+                break;
+            }
+            if let Some(cascade) = self.cascade {
+                if let CascadeDecision::Pruned { tier } = cascade.check(*id, values, self.epsilon) {
+                    if let Some((_, n)) = BoundTier::ALL
+                        .iter()
+                        .zip(pruned.iter_mut())
+                        .find(|(&t, _)| t == tier)
+                    {
+                        *n += 1;
+                    }
+                    continue;
+                }
+            }
+            let (within, cells, cancelled) = match self.verify {
+                VerifyMode::Exact => {
+                    let outcome = dtw_decide_governed(
+                        values,
+                        self.query,
+                        self.kind,
+                        self.epsilon,
+                        abandon,
+                        token,
+                    );
+                    if !outcome.cancelled {
+                        if outcome.early_abandoned {
+                            abandoned += 1;
+                        } else {
+                            verified += 1;
+                        }
+                    }
+                    (outcome.within, outcome.cells, outcome.cancelled)
+                }
+                VerifyMode::Banded(w) => {
+                    let (r, cancelled) =
+                        dtw_banded_governed(values, self.query, self.kind, w, token);
+                    if !cancelled {
+                        verified += 1;
+                    }
+                    (
+                        (!cancelled && r.distance <= self.epsilon).then_some(r.distance),
+                        r.cells,
+                        cancelled,
+                    )
+                }
+            };
+            stats.dtw_cells += cells;
+            if cancelled {
+                // Started but undecided: the cells were spent, the verdict
+                // never arrived. Ledger the candidate as skipped, not as an
+                // invocation.
+                skipped += 1;
+            } else {
+                stats.dtw_invocations += 1;
+            }
+            if let Some(distance) = within {
+                matches.push(Match { id: *id, distance });
+            }
+        }
+        for (&tier, &n) in BoundTier::ALL.iter().zip(&pruned) {
+            if n > 0 {
+                counters.add_pruned(tier, n);
+            }
+        }
+        counters.add_verified(verified);
+        counters.add_abandoned(abandoned);
+        counters.add_skipped_unverified(skipped);
+        counters.add_dtw_cells(stats.dtw_cells);
+        (matches, stats)
+    }
+}
+
+/// Verifies candidates without a cascade or governor — see [`VerifyJob`].
 pub fn verify_candidates(
     candidates: &[(SeqId, Vec<f64>)],
     query: &[f64],
@@ -42,27 +236,15 @@ pub fn verify_candidates(
     threads: usize,
     counters: &PipelineCounters,
 ) -> (Vec<Match>, SearchStats) {
-    verify_candidates_governed(
+    VerifyJob::new(query, epsilon, kind, verify, threads).run(
         candidates,
-        query,
-        epsilon,
-        kind,
-        verify,
-        threads,
         counters,
         &CancelToken::unlimited(),
     )
 }
 
-/// [`verify_candidates`] under a query governor.
-///
-/// Each worker checks `token` before starting a candidate and charges DP
-/// cells as it computes; once the token trips, every remaining candidate is
-/// counted as `skipped_unverified` instead of being verified. A candidate
-/// whose DTW was cut short mid-computation is also skipped — never treated
-/// as a verdict — so every returned match is still exact. With an unlimited
-/// token the behaviour and counters are identical to [`verify_candidates`].
-#[allow(clippy::too_many_arguments)] // Mirrors verify_candidates plus the token; a params struct would churn every engine.
+/// [`verify_candidates`] under a query governor — see [`VerifyJob::run`].
+#[allow(clippy::too_many_arguments)] // Mirrors verify_candidates plus the token; cascade callers use VerifyJob directly.
 pub fn verify_candidates_governed(
     candidates: &[(SeqId, Vec<f64>)],
     query: &[f64],
@@ -73,107 +255,13 @@ pub fn verify_candidates_governed(
     counters: &PipelineCounters,
     token: &CancelToken,
 ) -> (Vec<Match>, SearchStats) {
-    assert!(threads >= 1, "need at least one verify worker");
-    counters.time(Phase::Verify, || {
-        let (mut matches, stats) = if threads == 1 || candidates.len() < 2 {
-            verify_chunk(candidates, query, epsilon, kind, verify, counters, token)
-        } else {
-            let chunk = candidates.len().div_ceil(threads);
-            let parts: Vec<(Vec<Match>, SearchStats)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            verify_chunk(part, query, epsilon, kind, verify, counters, token)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                    .collect()
-            });
-            let mut matches = Vec::new();
-            let mut stats = SearchStats::default();
-            for (part_matches, part_stats) in parts {
-                matches.extend(part_matches);
-                stats.accumulate(&part_stats);
-            }
-            (matches, stats)
-        };
-        matches.sort_by_key(|m| m.id);
-        (matches, stats)
-    })
-}
-
-/// Sequentially verifies one slice of candidates, publishing per-chunk
-/// totals into the shared counters (one `fetch_add` per counter per chunk,
-/// not per candidate, to keep contention negligible).
-fn verify_chunk(
-    candidates: &[(SeqId, Vec<f64>)],
-    query: &[f64],
-    epsilon: f64,
-    kind: DtwKind,
-    verify: VerifyMode,
-    counters: &PipelineCounters,
-    token: &CancelToken,
-) -> (Vec<Match>, SearchStats) {
-    let mut matches = Vec::new();
-    let mut stats = SearchStats::default();
-    let mut verified = 0u64;
-    let mut abandoned = 0u64;
-    let mut skipped = 0u64;
-    for (i, (id, values)) in candidates.iter().enumerate() {
-        if token.cancelled() {
-            skipped += (candidates.len() - i) as u64;
-            break;
-        }
-        let (within, cells, cancelled) = match verify {
-            VerifyMode::Exact => {
-                let outcome = dtw_within_governed(values, query, kind, epsilon, token);
-                if !outcome.cancelled {
-                    if outcome.early_abandoned {
-                        abandoned += 1;
-                    } else {
-                        verified += 1;
-                    }
-                }
-                (outcome.within, outcome.cells, outcome.cancelled)
-            }
-            VerifyMode::Banded(w) => {
-                let (r, cancelled) = dtw_banded_governed(values, query, kind, w, token);
-                if !cancelled {
-                    verified += 1;
-                }
-                (
-                    (!cancelled && r.distance <= epsilon).then_some(r.distance),
-                    r.cells,
-                    cancelled,
-                )
-            }
-        };
-        stats.dtw_cells += cells;
-        if cancelled {
-            // Started but undecided: the cells were spent, the verdict never
-            // arrived. Ledger the candidate as skipped, not as an invocation.
-            skipped += 1;
-        } else {
-            stats.dtw_invocations += 1;
-        }
-        if let Some(distance) = within {
-            matches.push(Match { id: *id, distance });
-        }
-    }
-    counters.add_verified(verified);
-    counters.add_abandoned(abandoned);
-    counters.add_skipped_unverified(skipped);
-    counters.add_dtw_cells(stats.dtw_cells);
-    (matches, stats)
+    VerifyJob::new(query, epsilon, kind, verify, threads).run(candidates, counters, token)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bound::CascadeSpec;
     use crate::distance::dtw;
 
     fn candidates() -> Vec<(SeqId, Vec<f64>)> {
@@ -244,6 +332,100 @@ mod tests {
         assert_eq!(snap.dtw_cells, s.dtw_cells);
         // Verify-phase time was attributed.
         assert!(snap.phases.verify > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn cascade_prunes_before_dtw_and_counts_per_tier() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let plain_counters = PipelineCounters::new();
+        let (plain, plain_stats) = verify_candidates(
+            &cands,
+            &query,
+            0.5,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+            2,
+            &plain_counters,
+        );
+        let cascade = BoundCascade::prepare(
+            &CascadeSpec::standard(),
+            &query,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+        );
+        let counters = PipelineCounters::new();
+        let (m, s) = VerifyJob::new(&query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 2)
+            .with_cascade(Some(&cascade))
+            .run(&cands, &counters, &CancelToken::unlimited());
+        // Same matches, strictly less DP work: this candidate set is mostly
+        // far from the query, so the bounds must prune.
+        assert_eq!(m, plain);
+        assert!(s.dtw_cells < plain_stats.dtw_cells);
+        let snap = counters.snapshot();
+        assert!(snap.pruned_total() > 0);
+        counters.add_candidates(cands.len() as u64);
+        assert!(counters.snapshot().accounting_balanced());
+    }
+
+    #[test]
+    fn cascade_counters_are_thread_count_invariant() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let cascade = BoundCascade::prepare(
+            &CascadeSpec::standard(),
+            &query,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+        );
+        let base = PipelineCounters::new();
+        let (base_m, base_s) = VerifyJob::new(&query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 1)
+            .with_cascade(Some(&cascade))
+            .run(&cands, &base, &CancelToken::unlimited());
+        for threads in [2usize, 4, 16] {
+            let counters = PipelineCounters::new();
+            let (m, s) = VerifyJob::new(&query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, threads)
+                .with_cascade(Some(&cascade))
+                .run(&cands, &counters, &CancelToken::unlimited());
+            assert_eq!(m, base_m, "threads={threads}");
+            assert_eq!(s.dtw_cells, base_s.dtw_cells);
+            assert!(counters.snapshot().counters_eq(&base.snapshot()));
+        }
+    }
+
+    #[test]
+    fn cascade_band_ratio_overrides_the_job_mode() {
+        let query = [3.0, 3.3, 3.9];
+        let cascade = BoundCascade::prepare(
+            &CascadeSpec::standard().band_ratio(0.5),
+            &query,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+        );
+        let job = VerifyJob::new(&query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 1)
+            .with_cascade(Some(&cascade));
+        assert_eq!(job.verify_mode(), VerifyMode::Banded(2));
+    }
+
+    #[test]
+    fn early_abandon_off_forces_complete_dps() {
+        let cands = candidates();
+        let query = [3.0, 3.3, 3.9];
+        let cascade = BoundCascade::prepare(
+            &CascadeSpec::none().early_abandon(false),
+            &query,
+            DtwKind::MaxAbs,
+            VerifyMode::Exact,
+        );
+        let counters = PipelineCounters::new();
+        let _ = VerifyJob::new(&query, 0.5, DtwKind::MaxAbs, VerifyMode::Exact, 2)
+            .with_cascade(Some(&cascade))
+            .run(&cands, &counters, &CancelToken::unlimited());
+        let snap = counters.snapshot();
+        assert_eq!(snap.abandoned, 0);
+        assert_eq!(snap.verified, cands.len() as u64);
+        // Full DPs everywhere: 23 candidates × 3×3 cells.
+        assert_eq!(snap.dtw_cells, 23 * 9);
     }
 
     #[test]

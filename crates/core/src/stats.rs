@@ -10,14 +10,16 @@
 //! `tests/stats_accounting.rs`):
 //!
 //! ```text
-//! candidates == pruned_lb_kim + pruned_lb_yi + pruned_embedding
+//! candidates == pruned_lb_kim + pruned_lb_yi + pruned_lb_keogh
+//!               + pruned_lb_improved + pruned_embedding
 //!               + verified + abandoned + skipped_unverified
 //! ```
 //!
 //! * `candidates` — sequences the filter stage produced into the pipeline
 //!   (all rows for scan engines, the index result set for index engines);
-//! * `pruned_lb_kim` / `pruned_lb_yi` — candidates dismissed by the
-//!   `D_tw-lb` (Kim) or `D_lb` (Yi) lower bound without a DTW computation;
+//! * `pruned_lb_kim` / `pruned_lb_yi` / `pruned_lb_keogh` /
+//!   `pruned_lb_improved` — candidates dismissed by the corresponding
+//!   [`crate::bound::BoundTier`] without a DTW computation;
 //! * `pruned_embedding` — candidates dismissed by FastMap's Euclidean-ball
 //!   check in the embedded space (a heuristic filter, not a lower bound);
 //! * `verified` — exact DTW computations that ran to completion;
@@ -79,6 +81,10 @@ pub struct QueryStats {
     pub pruned_lb_kim: u64,
     /// Candidates dismissed by Yi's `D_lb` lower bound.
     pub pruned_lb_yi: u64,
+    /// Candidates dismissed by Keogh's envelope lower bound.
+    pub pruned_lb_keogh: u64,
+    /// Candidates dismissed by Lemire's LB_Improved lower bound.
+    pub pruned_lb_improved: u64,
     /// Candidates dismissed by FastMap's embedded-space distance check.
     pub pruned_embedding: u64,
     /// Exact DTW verifications that ran to completion.
@@ -107,7 +113,11 @@ pub struct QueryStats {
 impl QueryStats {
     /// Candidates dismissed by any filter after candidate generation.
     pub fn pruned_total(&self) -> u64 {
-        self.pruned_lb_kim + self.pruned_lb_yi + self.pruned_embedding
+        self.pruned_lb_kim
+            + self.pruned_lb_yi
+            + self.pruned_lb_keogh
+            + self.pruned_lb_improved
+            + self.pruned_embedding
     }
 
     /// Total R-tree node accesses (internal + leaf).
@@ -143,6 +153,8 @@ impl QueryStats {
         self.candidates += other.candidates;
         self.pruned_lb_kim += other.pruned_lb_kim;
         self.pruned_lb_yi += other.pruned_lb_yi;
+        self.pruned_lb_keogh += other.pruned_lb_keogh;
+        self.pruned_lb_improved += other.pruned_lb_improved;
         self.pruned_embedding += other.pruned_embedding;
         self.verified += other.verified;
         self.abandoned += other.abandoned;
@@ -169,6 +181,8 @@ pub struct PipelineCounters {
     candidates: AtomicU64,
     pruned_lb_kim: AtomicU64,
     pruned_lb_yi: AtomicU64,
+    pruned_lb_keogh: AtomicU64,
+    pruned_lb_improved: AtomicU64,
     pruned_embedding: AtomicU64,
     verified: AtomicU64,
     abandoned: AtomicU64,
@@ -219,6 +233,27 @@ impl PipelineCounters {
     /// Records `n` candidates pruned by Yi's `D_lb` bound.
     pub fn add_pruned_lb_yi(&self, n: u64) {
         self.pruned_lb_yi.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidates pruned by Keogh's envelope bound.
+    pub fn add_pruned_lb_keogh(&self, n: u64) {
+        self.pruned_lb_keogh.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidates pruned by Lemire's LB_Improved bound.
+    pub fn add_pruned_lb_improved(&self, n: u64) {
+        self.pruned_lb_improved.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` candidates pruned by the given cascade tier.
+    pub fn add_pruned(&self, tier: crate::bound::BoundTier, n: u64) {
+        use crate::bound::BoundTier;
+        match tier {
+            BoundTier::Kim => self.add_pruned_lb_kim(n),
+            BoundTier::Yi => self.add_pruned_lb_yi(n),
+            BoundTier::Keogh => self.add_pruned_lb_keogh(n),
+            BoundTier::Improved => self.add_pruned_lb_improved(n),
+        }
     }
 
     /// Records `n` candidates pruned by the FastMap embedding check.
@@ -295,6 +330,8 @@ impl PipelineCounters {
             candidates: self.candidates.load(Ordering::Relaxed),
             pruned_lb_kim: self.pruned_lb_kim.load(Ordering::Relaxed),
             pruned_lb_yi: self.pruned_lb_yi.load(Ordering::Relaxed),
+            pruned_lb_keogh: self.pruned_lb_keogh.load(Ordering::Relaxed),
+            pruned_lb_improved: self.pruned_lb_improved.load(Ordering::Relaxed),
             pruned_embedding: self.pruned_embedding.load(Ordering::Relaxed),
             verified: self.verified.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
@@ -335,6 +372,29 @@ mod tests {
         assert_eq!(s.dtw_cells, 123);
         assert_eq!(s.pager_reads, 7);
         assert!(s.accounting_balanced());
+    }
+
+    #[test]
+    fn per_tier_prunes_feed_the_ledger() {
+        use crate::bound::BoundTier;
+        let c = PipelineCounters::new();
+        c.add_candidates(10);
+        c.add_pruned(BoundTier::Kim, 1);
+        c.add_pruned(BoundTier::Yi, 2);
+        c.add_pruned(BoundTier::Keogh, 3);
+        c.add_pruned(BoundTier::Improved, 4);
+        let s = c.snapshot();
+        assert_eq!(s.pruned_lb_kim, 1);
+        assert_eq!(s.pruned_lb_yi, 2);
+        assert_eq!(s.pruned_lb_keogh, 3);
+        assert_eq!(s.pruned_lb_improved, 4);
+        assert_eq!(s.pruned_total(), 10);
+        assert!(s.accounting_balanced());
+        let mut merged = s;
+        merged.merge(&s);
+        assert_eq!(merged.pruned_lb_keogh, 6);
+        assert_eq!(merged.pruned_lb_improved, 8);
+        assert!(merged.accounting_balanced());
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Precomputed warping envelopes, stored beside the sequence data.
+//!
+//! The lower-bound cascade (`tw-core::bound`) charges candidates against a
+//! query envelope, and — when one is available — charges the query against a
+//! *candidate* envelope for a tighter symmetric check. Candidate envelopes
+//! depend only on the stored sequence and the band width, so they can be
+//! computed once at ingest and persisted, instead of being rebuilt on every
+//! query. This module owns that sidecar: the envelope math itself
+//! ([`lemire_envelope`], the streaming min/max of Lemire 2009), the
+//! per-sequence [`EnvelopeEntry`] (the 4-tuple feature beside its envelope),
+//! and the [`EnvelopeSidecar`] container with an explicit little-endian
+//! binary layout:
+//!
+//! ```text
+//! sidecar := magic:"TWEV" version:u32 band:u64 count:u64 entry* crc:u32
+//! entry   := id:u64 len:u32 feature:[f64; 4] lower:[f64; len] upper:[f64; len]
+//! ```
+//!
+//! `band == u64::MAX` encodes a full-width envelope (sound for unbanded
+//! verification); any other value is a Sakoe–Chiba half-width. The trailing
+//! CRC-32 covers every preceding byte, so a damaged sidecar decodes to a
+//! typed error — engines then fall back to query-side bounds only.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::checksum::crc32;
+use crate::convert::u32_to_usize;
+use crate::pager::Pager;
+use crate::seqstore::{SeqId, SequenceStore, StoreError};
+
+const MAGIC: &[u8; 4] = b"TWEV";
+const VERSION: u32 = 1;
+const FULL_WIDTH: u64 = u64::MAX;
+
+/// Sliding min/max envelope of `values` under a Sakoe–Chiba half-width `w`
+/// (`None` = full width): `lower[i] = min(values[i-w ..= i+w])` and likewise
+/// for `upper`, window ends clamped to the sequence.
+///
+/// Runs in O(n) for any width via Lemire's streaming monotonic deques: each
+/// index enters and leaves each deque at most once. The deque front always
+/// holds the extremum of the current window, so the envelope is emitted as
+/// the window's right edge advances.
+pub fn lemire_envelope(values: &[f64], w: Option<usize>) -> (Vec<f64>, Vec<f64>) {
+    let n = values.len();
+    let w = w.unwrap_or(n).min(n);
+    let mut lower = vec![0.0f64; n];
+    let mut upper = vec![0.0f64; n];
+    // Deques of indices; `min_q` ascending by value, `max_q` descending.
+    let mut min_q: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut max_q: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let value_at = |i: usize| values.get(i).copied().unwrap_or(f64::NAN);
+    for right in 0..n {
+        let v = value_at(right);
+        while min_q.back().is_some_and(|&b| value_at(b) >= v) {
+            min_q.pop_back();
+        }
+        min_q.push_back(right);
+        while max_q.back().is_some_and(|&b| value_at(b) <= v) {
+            max_q.pop_back();
+        }
+        max_q.push_back(right);
+        // `right` closes the window of every center i with i + w == right;
+        // emit once the window [center-w, center+w] is fully seen (or the
+        // sequence ends — handled by the drain loop below).
+        if right >= w {
+            let center = right - w;
+            let lo = center.saturating_sub(w);
+            while min_q.front().is_some_and(|&f| f < lo) {
+                min_q.pop_front();
+            }
+            while max_q.front().is_some_and(|&f| f < lo) {
+                max_q.pop_front();
+            }
+            if let (Some(&fmin), Some(&fmax)) = (min_q.front(), max_q.front()) {
+                if let (Some(l), Some(u)) = (lower.get_mut(center), upper.get_mut(center)) {
+                    *l = value_at(fmin);
+                    *u = value_at(fmax);
+                }
+            }
+        }
+    }
+    // Remaining centers whose window is clipped by the end of the sequence.
+    let start = n.saturating_sub(w);
+    for center in start..n {
+        let lo = center.saturating_sub(w);
+        while min_q.front().is_some_and(|&f| f < lo) {
+            min_q.pop_front();
+        }
+        while max_q.front().is_some_and(|&f| f < lo) {
+            max_q.pop_front();
+        }
+        if let (Some(&fmin), Some(&fmax)) = (min_q.front(), max_q.front()) {
+            if let (Some(l), Some(u)) = (lower.get_mut(center), upper.get_mut(center)) {
+                *l = value_at(fmin);
+                *u = value_at(fmax);
+            }
+        }
+    }
+    (lower, upper)
+}
+
+/// One sequence's precomputed pruning data: the paper's 4-tuple feature
+/// (first, last, greatest, smallest) beside the band envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeEntry {
+    /// `[first, last, greatest, smallest]` of the stored sequence.
+    pub feature: [f64; 4],
+    /// Per-position window minimum.
+    pub lower: Vec<f64>,
+    /// Per-position window maximum.
+    pub upper: Vec<f64>,
+}
+
+impl EnvelopeEntry {
+    /// Computes the entry for one sequence at the given band width.
+    pub fn of(values: &[f64], band: Option<usize>) -> Option<Self> {
+        let first = *values.first()?;
+        let last = *values.last()?;
+        let mut greatest = f64::NEG_INFINITY;
+        let mut smallest = f64::INFINITY;
+        for &v in values {
+            greatest = greatest.max(v);
+            smallest = smallest.min(v);
+        }
+        let (lower, upper) = lemire_envelope(values, band);
+        Some(EnvelopeEntry {
+            feature: [first, last, greatest, smallest],
+            lower,
+            upper,
+        })
+    }
+}
+
+/// Errors produced while decoding or loading a persisted sidecar.
+#[derive(Debug)]
+pub enum EnvelopeError {
+    /// The buffer ended before the declared layout was complete.
+    Truncated,
+    /// Magic bytes absent — not a sidecar file.
+    BadMagic,
+    /// Layout generation this build does not know.
+    UnsupportedVersion(u32),
+    /// The trailing CRC-32 does not match the bytes.
+    ChecksumMismatch,
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnvelopeError::Truncated => write!(f, "envelope sidecar truncated"),
+            EnvelopeError::BadMagic => write!(f, "envelope sidecar magic missing"),
+            EnvelopeError::UnsupportedVersion(v) => {
+                write!(f, "envelope sidecar version {v} not supported")
+            }
+            EnvelopeError::ChecksumMismatch => write!(f, "envelope sidecar checksum mismatch"),
+            EnvelopeError::Io(e) => write!(f, "envelope sidecar io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+impl From<std::io::Error> for EnvelopeError {
+    fn from(e: std::io::Error) -> Self {
+        EnvelopeError::Io(e)
+    }
+}
+
+/// Per-candidate envelopes precomputed at ingest, keyed by [`SeqId`].
+///
+/// All entries share one band width (an envelope built for half-width `w`
+/// only lower-bounds a banded distance of width `<= w`); the cascade checks
+/// [`EnvelopeSidecar::band`] against its own band before using an entry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnvelopeSidecar {
+    band: Option<usize>,
+    entries: BTreeMap<SeqId, EnvelopeEntry>,
+}
+
+impl EnvelopeSidecar {
+    /// An empty sidecar at the given band width (`None` = full width).
+    pub fn new(band: Option<usize>) -> Self {
+        EnvelopeSidecar {
+            band,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Builds the sidecar for every sequence currently in `store` with one
+    /// streaming scan (the ingest-time path for bulk loads).
+    pub fn build<P: Pager>(
+        store: &SequenceStore<P>,
+        band: Option<usize>,
+    ) -> Result<Self, StoreError> {
+        let mut sidecar = EnvelopeSidecar::new(band);
+        store.scan_visit(|id, values| sidecar.insert(id, &values))?;
+        Ok(sidecar)
+    }
+
+    /// Computes and stores the entry for one newly ingested sequence.
+    /// Empty sequences have no feature tuple and are skipped.
+    pub fn insert(&mut self, id: SeqId, values: &[f64]) {
+        if let Some(entry) = EnvelopeEntry::of(values, self.band) {
+            self.entries.insert(id, entry);
+        }
+    }
+
+    /// The entry for `id`, when one was ingested.
+    pub fn get(&self, id: SeqId) -> Option<&EnvelopeEntry> {
+        self.entries.get(&id)
+    }
+
+    /// The band half-width the envelopes were built for (`None` = full).
+    pub fn band(&self) -> Option<usize> {
+        self.band
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sidecar holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to the documented binary layout (infallible).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        let band = match self.band {
+            Some(w) => w as u64,
+            None => FULL_WIDTH,
+        };
+        buf.put_u64_le(band);
+        buf.put_u64_le(self.entries.len() as u64);
+        for (id, entry) in &self.entries {
+            buf.put_u64_le(*id);
+            buf.put_u32_le(entry.lower.len() as u32);
+            for v in entry.feature {
+                buf.put_f64_le(v);
+            }
+            for &v in &entry.lower {
+                buf.put_f64_le(v);
+            }
+            for &v in &entry.upper {
+                buf.put_f64_le(v);
+            }
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.to_vec()
+    }
+
+    /// Decodes the documented layout, validating magic, version and CRC.
+    pub fn decode(data: &[u8]) -> Result<Self, EnvelopeError> {
+        const TRAILER: usize = 4;
+        if data.len() < MAGIC.len() + 4 + 8 + 8 + TRAILER {
+            return Err(EnvelopeError::Truncated);
+        }
+        let (body, trailer) = data.split_at(data.len() - TRAILER);
+        let mut crc_bytes = Bytes::copy_from_slice(trailer);
+        if crc_bytes.get_u32_le() != crc32(body) {
+            return Err(EnvelopeError::ChecksumMismatch);
+        }
+        let mut buf = Bytes::copy_from_slice(body);
+        if buf.chunk().get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
+            return Err(EnvelopeError::BadMagic);
+        }
+        buf.advance(MAGIC.len());
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(EnvelopeError::UnsupportedVersion(version));
+        }
+        let band = match buf.get_u64_le() {
+            FULL_WIDTH => None,
+            w => Some(w as usize),
+        };
+        let count = buf.get_u64_le();
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            if buf.remaining() < 8 + 4 {
+                return Err(EnvelopeError::Truncated);
+            }
+            let id = buf.get_u64_le();
+            let len = u32_to_usize(buf.get_u32_le());
+            let need = (4 + 2 * len) * 8;
+            if buf.remaining() < need {
+                return Err(EnvelopeError::Truncated);
+            }
+            let mut feature = [0.0f64; 4];
+            for v in &mut feature {
+                *v = buf.get_f64_le();
+            }
+            let lower: Vec<f64> = (0..len).map(|_| buf.get_f64_le()).collect();
+            let upper: Vec<f64> = (0..len).map(|_| buf.get_f64_le()).collect();
+            entries.insert(
+                id,
+                EnvelopeEntry {
+                    feature,
+                    lower,
+                    upper,
+                },
+            );
+        }
+        Ok(EnvelopeSidecar { band, entries })
+    }
+
+    /// Persists the encoded sidecar to `path`.
+    pub fn save_file(&self, path: &Path) -> Result<(), EnvelopeError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Loads and validates a sidecar from `path`.
+    pub fn load_file(path: &Path) -> Result<Self, EnvelopeError> {
+        let data = std::fs::read(path)?;
+        EnvelopeSidecar::decode(&data)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // Tests assert exact float round-trips and identities on purpose.
+mod tests {
+    use super::*;
+
+    fn naive_envelope(values: &[f64], w: Option<usize>) -> (Vec<f64>, Vec<f64>) {
+        let n = values.len();
+        let w = w.unwrap_or(n);
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(w);
+                let hi = (i + w).min(n.saturating_sub(1));
+                let window = &values[lo..=hi];
+                let min = window.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                (min, max)
+            })
+            .unzip()
+    }
+
+    fn pseudo_random_seq(seed: u64, len: usize) -> Vec<f64> {
+        let mut state = seed.max(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 10_000) as f64 / 1_000.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lemire_matches_naive_for_all_widths() {
+        for seed in 1..20u64 {
+            let values = pseudo_random_seq(seed, 5 + (seed % 40) as usize);
+            for w in [Some(0), Some(1), Some(3), Some(7), Some(values.len()), None] {
+                let (lo, hi) = lemire_envelope(&values, w);
+                let (nlo, nhi) = naive_envelope(&values, w);
+                assert_eq!(lo, nlo, "seed {seed} w {w:?}");
+                assert_eq!(hi, nhi, "seed {seed} w {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_brackets_the_sequence() {
+        let values = pseudo_random_seq(9, 33);
+        let (lo, hi) = lemire_envelope(&values, Some(4));
+        for ((&l, &u), &v) in lo.iter().zip(&hi).zip(&values) {
+            assert!(l <= v && v <= u);
+        }
+    }
+
+    #[test]
+    fn zero_width_envelope_is_the_sequence() {
+        let values = pseudo_random_seq(3, 12);
+        let (lo, hi) = lemire_envelope(&values, Some(0));
+        assert_eq!(lo, values);
+        assert_eq!(hi, values);
+    }
+
+    #[test]
+    fn empty_sequence_yields_empty_envelope() {
+        let (lo, hi) = lemire_envelope(&[], Some(2));
+        assert!(lo.is_empty() && hi.is_empty());
+    }
+
+    #[test]
+    fn entry_records_the_paper_feature_tuple() {
+        let entry = EnvelopeEntry::of(&[2.0, 9.0, -1.0, 4.0], None).expect("entry");
+        assert_eq!(entry.feature, [2.0, 4.0, 9.0, -1.0]);
+        assert!(EnvelopeEntry::of(&[], None).is_none());
+    }
+
+    #[test]
+    fn sidecar_roundtrips_through_bytes() {
+        let mut sidecar = EnvelopeSidecar::new(Some(3));
+        for seed in 1..8u64 {
+            sidecar.insert(seed, &pseudo_random_seq(seed, 10 + seed as usize));
+        }
+        let decoded = EnvelopeSidecar::decode(&sidecar.encode()).expect("decode");
+        assert_eq!(decoded, sidecar);
+        assert_eq!(decoded.band(), Some(3));
+        assert_eq!(decoded.len(), 7);
+    }
+
+    #[test]
+    fn full_width_band_roundtrips_as_none() {
+        let mut sidecar = EnvelopeSidecar::new(None);
+        sidecar.insert(0, &[1.0, 2.0]);
+        let decoded = EnvelopeSidecar::decode(&sidecar.encode()).expect("decode");
+        assert_eq!(decoded.band(), None);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut sidecar = EnvelopeSidecar::new(Some(1));
+        sidecar.insert(4, &[1.0, 2.0, 3.0]);
+        let mut bytes = sidecar.encode();
+        if let Some(b) = bytes.get_mut(20) {
+            *b ^= 0xFF;
+        }
+        assert!(matches!(
+            EnvelopeSidecar::decode(&bytes),
+            Err(EnvelopeError::ChecksumMismatch)
+        ));
+        assert!(matches!(
+            EnvelopeSidecar::decode(&[1, 2, 3]),
+            Err(EnvelopeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn build_covers_every_stored_sequence() {
+        let mut store = SequenceStore::in_memory();
+        for seed in 1..6u64 {
+            store.append(&pseudo_random_seq(seed, 12)).expect("append");
+        }
+        let sidecar = EnvelopeSidecar::build(&store, Some(2)).expect("build");
+        assert_eq!(sidecar.len(), store.len());
+        for id in 0..store.len() as u64 {
+            let entry = sidecar.get(id).expect("entry");
+            let values = store.get(id).expect("get");
+            let (lo, hi) = lemire_envelope(&values, Some(2));
+            assert_eq!(entry.lower, lo);
+            assert_eq!(entry.upper, hi);
+        }
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("tw_envelope_sidecar_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("env.twev");
+        let mut sidecar = EnvelopeSidecar::new(Some(2));
+        sidecar.insert(7, &pseudo_random_seq(7, 20));
+        sidecar.save_file(&path).expect("save");
+        let loaded = EnvelopeSidecar::load_file(&path).expect("load");
+        assert_eq!(loaded, sidecar);
+        std::fs::remove_file(&path).ok();
+    }
+}

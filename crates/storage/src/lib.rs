@@ -33,6 +33,7 @@ mod checksum;
 mod codec;
 mod convert;
 mod cost;
+mod envelope;
 mod fault;
 mod govern;
 mod openfile;
@@ -48,6 +49,7 @@ pub use codec::{
     Record, RecordFormat, MAX_RECORD_ELEMS, RECORD_HEADER_BYTES, RECORD_HEADER_BYTES_V2,
 };
 pub use cost::{CpuModel, DiskModel, HardwareModel, IoProfile};
+pub use envelope::{lemire_envelope, EnvelopeEntry, EnvelopeError, EnvelopeSidecar};
 pub use fault::{FaultConfig, FaultHandle, FaultKind, FaultPager, FaultStats};
 pub use govern::{CancelCause, CancelToken, CancelTokenBuilder, Clock, ManualClock, SystemClock};
 pub use openfile::{create_sequence_file, open_sequence_file, DynSequenceStore};

@@ -14,6 +14,7 @@
 //! ```
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use tw_core::distance::DtwKind;
@@ -21,15 +22,19 @@ use tw_core::search::{
     EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch, SearchEngine,
     StFilterSearch, TwSimSearch,
 };
-use tw_core::QueryStats;
-use tw_storage::{MemPager, SequenceStore};
+use tw_core::{BoundTier, CascadeSpec, QueryStats};
+use tw_storage::{EnvelopeSidecar, MemPager, SequenceStore};
 use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
 
 use crate::json::{self, Json};
 
 /// Bump when a field is added, removed or renamed. The schema-pin test and
 /// [`validate`] both key off this.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: every engine is run twice — with and without the standard lower-bound
+/// cascade — so each `per_engine` entry is now keyed by [`ARMS`], and the
+/// per-tier prune ledger grew the `lb_keogh` / `lb_improved` tiers.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Engine labels in report order — every run covers all seven.
 pub const ENGINES: [&str; 7] = [
@@ -41,6 +46,9 @@ pub const ENGINES: [&str; 7] = [
     "hybrid",
     "resilient-search",
 ];
+
+/// The cascade dimension: each engine runs the matrix once per arm.
+pub const ARMS: [&str; 2] = ["cascade_off", "cascade_on"];
 
 /// The seeded workload matrix. Every field is recorded in the emitted
 /// `config` object so a run is reproducible from the file alone.
@@ -98,12 +106,13 @@ struct EngineAgg {
     matches: u64,
 }
 
-/// Runs the matrix and returns the report document. Fails (rather than
-/// silently emitting nonsense) if any engine's pipeline accounting is
-/// unbalanced or an exact engine disagrees with the naive scan.
+/// Runs the matrix — every engine in both cascade arms — and returns the
+/// report document. Fails (rather than silently emitting nonsense) if any
+/// engine's pipeline accounting is unbalanced or an exact engine disagrees
+/// with the naive scan in either arm.
 pub fn run(config: &BenchConfig, commit: &str) -> Result<Json, String> {
-    let mut aggs: Vec<EngineAgg> = vec![EngineAgg::default(); ENGINES.len()];
-    let opts = EngineOpts::new()
+    let mut aggs: Vec<[EngineAgg; 2]> = vec![Default::default(); ENGINES.len()];
+    let base = EngineOpts::new()
         .kind(DtwKind::MaxAbs)
         .threads(config.threads);
 
@@ -118,11 +127,20 @@ pub fn run(config: &BenchConfig, commit: &str) -> Result<Json, String> {
                     .append(s)
                     .map_err(|e| format!("appending workload sequence: {e}"))?;
             }
+            // The on-arm gets ingest-time candidate envelopes, so the bench
+            // exercises the sidecar fast path the way a deployment would.
+            let sidecar = EnvelopeSidecar::build(&store, None)
+                .map_err(|e| format!("building envelope sidecar: {e}"))?;
+            let opts_arms = [
+                base.clone(),
+                base.clone()
+                    .cascade(CascadeSpec::standard().envelopes(Arc::new(sidecar))),
+            ];
             let engines = build_engines(&store)?;
             let queries = generate_queries(&data, config.queries_per_cell, config.seed + cell);
             for &epsilon in &config.epsilons {
                 for query in &queries {
-                    run_query(&store, &engines, query, epsilon, &opts, &mut aggs)?;
+                    run_query(&store, &engines, query, epsilon, &opts_arms, &mut aggs)?;
                 }
             }
         }
@@ -170,35 +188,42 @@ fn run_query(
     engines: &BuiltEngines,
     query: &[f64],
     epsilon: f64,
-    opts: &EngineOpts,
-    aggs: &mut [EngineAgg],
+    opts_arms: &[EngineOpts; 2],
+    aggs: &mut [[EngineAgg; 2]],
 ) -> Result<(), String> {
     let mut reference: Option<Vec<u64>> = None;
-    for (label, agg) in ENGINES.iter().zip(aggs.iter_mut()) {
+    for (label, arms) in ENGINES.iter().zip(aggs.iter_mut()) {
         let engine = engines.engine_for(label);
-        let started = Instant::now();
-        let outcome = engine
-            .range_search(store, query, epsilon, opts)
-            .map_err(|e| format!("{label}: query failed: {e}"))?;
-        agg.elapsed_nanos += started.elapsed().as_nanos();
+        for (arm, (opts, agg)) in ARMS.iter().zip(opts_arms.iter().zip(arms.iter_mut())) {
+            let started = Instant::now();
+            let outcome = engine
+                .range_search(store, query, epsilon, opts)
+                .map_err(|e| format!("{label}/{arm}: query failed: {e}"))?;
+            agg.elapsed_nanos += started.elapsed().as_nanos();
 
-        let qs = outcome.query_stats;
-        if !qs.accounting_balanced() {
-            return Err(format!("{label}: unbalanced pipeline accounting: {qs:?}"));
-        }
-        let ids = outcome.ids();
-        match (&reference, *label) {
-            // FastMap is allowed to dismiss true answers; every other
-            // engine must agree with the naive scan exactly.
-            (Some(reference), label) if label != "fastmap" && reference != &ids => {
-                return Err(format!("{label} disagrees with naive-scan (eps {epsilon})"));
+            let qs = outcome.query_stats;
+            if !qs.accounting_balanced() {
+                return Err(format!(
+                    "{label}/{arm}: unbalanced pipeline accounting: {qs:?}"
+                ));
             }
-            (None, _) => reference = Some(ids.clone()),
-            _ => {}
+            let ids = outcome.ids();
+            match (&reference, *label) {
+                // FastMap is allowed to dismiss true answers; every other
+                // engine must agree with the naive scan exactly — with or
+                // without the cascade.
+                (Some(reference), label) if label != "fastmap" && reference != &ids => {
+                    return Err(format!(
+                        "{label}/{arm} disagrees with naive-scan (eps {epsilon})"
+                    ));
+                }
+                (None, _) => reference = Some(ids.clone()),
+                _ => {}
+            }
+            agg.stats.merge(&qs);
+            agg.rows_seen += outcome.stats.db_size as u64;
+            agg.matches += outcome.matches.len() as u64;
         }
-        agg.stats.merge(&qs);
-        agg.rows_seen += outcome.stats.db_size as u64;
-        agg.matches += outcome.matches.len() as u64;
     }
     Ok(())
 }
@@ -210,7 +235,36 @@ fn num(n: u64) -> Json {
     Json::Num(n.min(MAX_EXACT) as f64)
 }
 
-fn report(config: &BenchConfig, commit: &str, aggs: &[EngineAgg]) -> Json {
+/// One cascade arm of one engine, as a JSON object.
+fn arm_report(agg: &EngineAgg) -> Json {
+    let s = &agg.stats;
+    let ratio = if agg.rows_seen == 0 {
+        0.0
+    } else {
+        s.candidates as f64 / agg.rows_seen as f64
+    };
+    let prune_counts = Json::Obj(vec![
+        ("lb_kim".to_string(), num(s.pruned_lb_kim)),
+        ("lb_yi".to_string(), num(s.pruned_lb_yi)),
+        ("lb_keogh".to_string(), num(s.pruned_lb_keogh)),
+        ("lb_improved".to_string(), num(s.pruned_lb_improved)),
+        ("embedding".to_string(), num(s.pruned_embedding)),
+    ]);
+    Json::Obj(vec![
+        (
+            "elapsed_ms".to_string(),
+            Json::Num(agg.elapsed_nanos as f64 / 1e6),
+        ),
+        ("candidate_ratio".to_string(), Json::Num(ratio)),
+        ("dtw_cells".to_string(), num(s.dtw_cells)),
+        ("prune_counts".to_string(), prune_counts),
+        ("verified".to_string(), num(s.verified)),
+        ("abandoned".to_string(), num(s.abandoned)),
+        ("matches".to_string(), num(agg.matches)),
+    ])
+}
+
+fn report(config: &BenchConfig, commit: &str, aggs: &[[EngineAgg; 2]]) -> Json {
     let config_obj = Json::Obj(vec![
         ("smoke".to_string(), Json::Bool(config.smoke)),
         ("seed".to_string(), num(config.seed)),
@@ -232,35 +286,29 @@ fn report(config: &BenchConfig, commit: &str, aggs: &[EngineAgg]) -> Json {
         ),
         ("threads".to_string(), num(config.threads as u64)),
         ("kind".to_string(), Json::Str("max-abs".to_string())),
+        (
+            // The tier order of the on-arm's cascade; the off-arm runs each
+            // engine's legacy filter path untouched.
+            "cascade".to_string(),
+            Json::Arr(
+                BoundTier::ALL
+                    .iter()
+                    .map(|t| Json::Str(t.name().to_string()))
+                    .collect(),
+            ),
+        ),
     ]);
 
     let mut per_engine = Vec::with_capacity(ENGINES.len());
-    for (label, agg) in ENGINES.iter().zip(aggs) {
-        let s = &agg.stats;
-        let ratio = if agg.rows_seen == 0 {
-            0.0
-        } else {
-            s.candidates as f64 / agg.rows_seen as f64
-        };
-        let prune_counts = Json::Obj(vec![
-            ("lb_kim".to_string(), num(s.pruned_lb_kim)),
-            ("lb_yi".to_string(), num(s.pruned_lb_yi)),
-            ("embedding".to_string(), num(s.pruned_embedding)),
-        ]);
+    for (label, arms) in ENGINES.iter().zip(aggs) {
         per_engine.push((
             label.to_string(),
-            Json::Obj(vec![
-                (
-                    "elapsed_ms".to_string(),
-                    Json::Num(agg.elapsed_nanos as f64 / 1e6),
-                ),
-                ("candidate_ratio".to_string(), Json::Num(ratio)),
-                ("dtw_cells".to_string(), num(s.dtw_cells)),
-                ("prune_counts".to_string(), prune_counts),
-                ("verified".to_string(), num(s.verified)),
-                ("abandoned".to_string(), num(s.abandoned)),
-                ("matches".to_string(), num(agg.matches)),
-            ]),
+            Json::Obj(
+                ARMS.iter()
+                    .zip(arms)
+                    .map(|(arm, agg)| (arm.to_string(), arm_report(agg)))
+                    .collect(),
+            ),
         ));
     }
 
@@ -274,7 +322,7 @@ fn report(config: &BenchConfig, commit: &str, aggs: &[EngineAgg]) -> Json {
 
 /// The fields every run must carry, in order — the pinned schema.
 pub const TOP_LEVEL_KEYS: [&str; 4] = ["schema_version", "commit", "config", "per_engine"];
-pub const CONFIG_KEYS: [&str; 8] = [
+pub const CONFIG_KEYS: [&str; 9] = [
     "smoke",
     "seed",
     "corpus_sizes",
@@ -283,6 +331,7 @@ pub const CONFIG_KEYS: [&str; 8] = [
     "queries_per_cell",
     "threads",
     "kind",
+    "cascade",
 ];
 pub const ENGINE_KEYS: [&str; 7] = [
     "elapsed_ms",
@@ -293,7 +342,7 @@ pub const ENGINE_KEYS: [&str; 7] = [
     "abandoned",
     "matches",
 ];
-pub const PRUNE_KEYS: [&str; 3] = ["lb_kim", "lb_yi", "embedding"];
+pub const PRUNE_KEYS: [&str; 5] = ["lb_kim", "lb_yi", "lb_keogh", "lb_improved", "embedding"];
 
 fn check_keys(what: &str, doc: &Json, expected: &[&str]) -> Result<(), String> {
     let keys = doc.keys();
@@ -347,37 +396,49 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     for key in ["seed", "queries_per_cell", "threads"] {
         check_num(&format!("config.{key}"), config.get(key))?;
     }
+    let cascade = config
+        .get("cascade")
+        .and_then(Json::as_arr)
+        .ok_or("config.cascade: expected an array of tier names")?;
+    if cascade.is_empty() {
+        return Err("config.cascade: empty tier list".to_string());
+    }
+    for (i, tier) in cascade.iter().enumerate() {
+        if tier.as_str().is_none() {
+            return Err(format!("config.cascade[{i}]: expected a string"));
+        }
+    }
 
     let per_engine = doc.get("per_engine").ok_or("missing per_engine")?;
     check_keys("per_engine", per_engine, &ENGINES)?;
     for label in ENGINES {
-        let entry = per_engine
+        let engine_entry = per_engine
             .get(label)
             .ok_or_else(|| format!("missing engine {label}"))?;
-        check_keys(&format!("per_engine.{label}"), entry, &ENGINE_KEYS)?;
-        for key in [
-            "elapsed_ms",
-            "candidate_ratio",
-            "dtw_cells",
-            "verified",
-            "abandoned",
-            "matches",
-        ] {
-            check_num(&format!("per_engine.{label}.{key}"), entry.get(key))?;
-        }
-        let prune = entry
-            .get("prune_counts")
-            .ok_or_else(|| format!("per_engine.{label}: missing prune_counts"))?;
-        check_keys(
-            &format!("per_engine.{label}.prune_counts"),
-            prune,
-            &PRUNE_KEYS,
-        )?;
-        for key in PRUNE_KEYS {
-            check_num(
-                &format!("per_engine.{label}.prune_counts.{key}"),
-                prune.get(key),
-            )?;
+        check_keys(&format!("per_engine.{label}"), engine_entry, &ARMS)?;
+        for arm in ARMS {
+            let what = format!("per_engine.{label}.{arm}");
+            let entry = engine_entry
+                .get(arm)
+                .ok_or_else(|| format!("{what}: missing arm"))?;
+            check_keys(&what, entry, &ENGINE_KEYS)?;
+            for key in [
+                "elapsed_ms",
+                "candidate_ratio",
+                "dtw_cells",
+                "verified",
+                "abandoned",
+                "matches",
+            ] {
+                check_num(&format!("{what}.{key}"), entry.get(key))?;
+            }
+            let prune = entry
+                .get("prune_counts")
+                .ok_or_else(|| format!("{what}: missing prune_counts"))?;
+            check_keys(&format!("{what}.prune_counts"), prune, &PRUNE_KEYS)?;
+            for key in PRUNE_KEYS {
+                check_num(&format!("{what}.prune_counts.{key}"), prune.get(key))?;
+            }
         }
     }
     Ok(())
@@ -456,20 +517,42 @@ pub fn validate_cli(args: &[String], root: &Path) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn cells(doc: &Json, label: &str, arm: &str) -> f64 {
+        doc.get("per_engine")
+            .and_then(|e| e.get(label))
+            .and_then(|e| e.get(arm))
+            .and_then(|e| e.get("dtw_cells"))
+            .and_then(Json::as_f64)
+            .expect("dtw_cells present")
+    }
+
     #[test]
     fn smoke_run_passes_its_own_validation() {
         let config = BenchConfig::smoke(11);
         let doc = run(&config, "testcommit").unwrap();
         validate(&doc).unwrap();
-        // Every engine did real work.
-        let per_engine = doc.get("per_engine").unwrap();
+        // Every engine did real work in both arms.
         for label in ENGINES {
-            let cells = per_engine
-                .get(label)
-                .and_then(|e| e.get("dtw_cells"))
-                .and_then(Json::as_f64)
-                .unwrap();
-            assert!(cells > 0.0, "{label} evaluated no DTW cells");
+            for arm in ARMS {
+                assert!(
+                    cells(&doc, label, arm) > 0.0,
+                    "{label}/{arm} evaluated no DTW cells"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_arm_cuts_dtw_work() {
+        // The point of the tiered cascade: the on-arm verifies strictly
+        // fewer DP cells on the engines whose off-arm filter it supersedes.
+        let doc = run(&BenchConfig::smoke(11), "testcommit").unwrap();
+        for label in ["lb-scan", "hybrid", "naive-scan"] {
+            let (off, on) = (
+                cells(&doc, label, "cascade_off"),
+                cells(&doc, label, "cascade_on"),
+            );
+            assert!(on < off, "{label}: cascade_on {on} >= cascade_off {off}");
         }
     }
 

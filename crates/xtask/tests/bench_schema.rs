@@ -100,6 +100,7 @@ fn different_seed_changes_the_workload() {
     let cells = |doc: &Json| {
         doc.get("per_engine")
             .and_then(|e| e.get("naive-scan"))
+            .and_then(|e| e.get("cascade_off"))
             .and_then(|e| e.get("dtw_cells"))
             .and_then(Json::as_f64)
             .expect("dtw_cells present")

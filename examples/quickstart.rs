@@ -5,7 +5,7 @@
 
 use tw_core::distance::DtwKind;
 use tw_core::search::{EngineOpts, NaiveScan, SearchEngine, TwSimSearch};
-use tw_core::{dtw, lb_kim, Alignment};
+use tw_core::{dtw, Alignment, Candidate, KimBound, LowerBound, PreparedQuery};
 use tw_storage::{HardwareModel, SequenceStore};
 
 fn main() {
@@ -19,10 +19,18 @@ fn main() {
         s.len(),
         q.len()
     );
-    println!(
-        "  D_tw-lb(S, Q) = {}  (the 4-tuple lower bound)\n",
-        lb_kim(&s, &q)
-    );
+    let prepared = PreparedQuery::new(&q, DtwKind::MaxAbs, None);
+    let lb = KimBound
+        .evaluate(
+            &prepared,
+            &Candidate {
+                id: 0,
+                values: &s,
+                precomputed: None,
+            },
+        )
+        .expect("non-empty query");
+    println!("  D_tw-lb(S, Q) = {lb}  (the 4-tuple lower bound)\n");
 
     // The alignment that realizes the distance: both sequences stretched
     // onto the common axis the paper's Section 1 illustrates.

@@ -12,6 +12,7 @@ use tw_core::search::{
     EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, SearchEngine, StFilterSearch,
     TwSimSearch,
 };
+use tw_core::{BoundTier, CascadeSpec};
 use tw_storage::{MemPager, SequenceStore};
 use tw_workload::{
     cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
@@ -44,26 +45,35 @@ fn assert_all_engines_agree(data: &[Vec<f64>], queries: &[Vec<f64>], epsilons: &
     let engines = exact_engines(&store);
     for kind in [DtwKind::MaxAbs, DtwKind::SumAbs] {
         for threads in VERIFY_THREADS {
-            let opts = EngineOpts::new().kind(kind).threads(threads);
-            for &eps in epsilons {
-                for (qi, q) in queries.iter().enumerate() {
-                    let reference = NaiveScan
-                        .range_search(&store, q, eps, &opts)
-                        .expect("naive")
-                        .ids();
-                    for engine in &engines {
-                        let ids = engine
-                            .range_search(&store, q, eps, &opts)
-                            .unwrap_or_else(|e| panic!("{} failed: {e:?}", engine.name()))
+            // The full tiered cascade under exact verification is itself
+            // exact, so it must never change a result set — only the work
+            // accounting. Both arms run against the same cascade-less
+            // reference.
+            for cascade in [None, Some(CascadeSpec::standard())] {
+                let mut opts = EngineOpts::new().kind(kind).threads(threads);
+                opts.cascade = cascade.clone();
+                for &eps in epsilons {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let reference = NaiveScan
+                            .range_search(&store, q, eps, &EngineOpts::new().kind(kind))
+                            .expect("naive")
                             .ids();
-                        // Identical — not merely equivalent — result sets:
-                        // no false dismissal and no false alarm, in one.
-                        assert_eq!(
-                            reference,
-                            ids,
-                            "{}: {kind:?} eps {eps} query {qi} threads {threads}",
-                            engine.name()
-                        );
+                        for engine in &engines {
+                            let ids = engine
+                                .range_search(&store, q, eps, &opts)
+                                .unwrap_or_else(|e| panic!("{} failed: {e:?}", engine.name()))
+                                .ids();
+                            // Identical — not merely equivalent — result sets:
+                            // no false dismissal and no false alarm, in one.
+                            assert_eq!(
+                                reference,
+                                ids,
+                                "{}: {kind:?} eps {eps} query {qi} threads {threads} \
+                                 cascade {}",
+                                engine.name(),
+                                cascade.is_some()
+                            );
+                        }
                     }
                 }
             }
@@ -161,6 +171,59 @@ fn matches_and_work_are_thread_count_invariant() {
                 out.query_stats,
                 baseline.query_stats
             );
+        }
+    }
+}
+
+#[test]
+fn cascade_tiers_are_monotone_in_work_not_results() {
+    // Growing the cascade tier by tier never changes a match set — each
+    // tier is a proven lower bound — while the DP work can only shrink
+    // (more tiers prune at least as many candidates before verification).
+    let data = generate_random_walks(&RandomWalkConfig::paper(60, 40), 29);
+    let store = store_with(&data);
+    let query = generate_queries(&data, 1, 30).remove(0);
+    let prefixes: [&[BoundTier]; 5] = [
+        &[],
+        &[BoundTier::Kim],
+        &[BoundTier::Kim, BoundTier::Yi],
+        &[BoundTier::Kim, BoundTier::Yi, BoundTier::Keogh],
+        &BoundTier::ALL,
+    ];
+    for engine in [
+        Box::new(NaiveScan) as Box<dyn SearchEngine<MemPager>>,
+        Box::new(LbScan),
+        Box::new(TwSimSearch::build(&store).expect("build tw-sim")),
+    ] {
+        for eps in [0.1, 0.4] {
+            let reference = engine
+                .range_search(&store, &query, eps, &EngineOpts::new())
+                .expect("no cascade");
+            let mut last_cells = u64::MAX;
+            for tiers in prefixes {
+                let opts = EngineOpts::new().cascade(CascadeSpec::none().tiers(tiers));
+                let out = engine
+                    .range_search(&store, &query, eps, &opts)
+                    .expect("cascade");
+                assert_eq!(
+                    reference.ids(),
+                    out.ids(),
+                    "{} eps {eps} tiers {tiers:?}",
+                    engine.name()
+                );
+                assert!(
+                    out.query_stats.accounting_balanced(),
+                    "{} eps {eps} tiers {tiers:?}: {:?}",
+                    engine.name(),
+                    out.query_stats
+                );
+                assert!(
+                    out.query_stats.dtw_cells <= last_cells,
+                    "{} eps {eps} tiers {tiers:?}: cells grew",
+                    engine.name()
+                );
+                last_cells = out.query_stats.dtw_cells;
+            }
         }
     }
 }

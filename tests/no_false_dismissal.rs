@@ -10,10 +10,39 @@ use proptest::prelude::*;
 
 use tw_core::distance::{dtw, dtw_banded, dtw_within, DtwKind};
 use tw_core::search::{EngineOpts, LbScan, NaiveScan, SearchEngine, TwSimSearch};
-use tw_core::{lb_keogh, lb_kim, lb_yi};
+use tw_core::{lb_improved, Candidate, KeoghBound, KimBound, LowerBound, PreparedQuery, YiBound};
 use tw_storage::SequenceStore;
 
 const KINDS: [DtwKind; 3] = [DtwKind::SumAbs, DtwKind::SumSquared, DtwKind::MaxAbs];
+
+fn cand(s: &[f64]) -> Candidate<'_> {
+    Candidate {
+        id: 0,
+        values: s,
+        precomputed: None,
+    }
+}
+
+/// The Kim tier as a plain function (the tier ignores the query kind).
+fn lb_kim(s: &[f64], q: &[f64]) -> f64 {
+    KimBound
+        .evaluate(&PreparedQuery::new(q, DtwKind::MaxAbs, None), &cand(s))
+        .expect("non-empty query")
+}
+
+/// The Yi tier as a plain function.
+fn lb_yi(s: &[f64], q: &[f64], kind: DtwKind) -> f64 {
+    YiBound
+        .evaluate(&PreparedQuery::new(q, kind, None), &cand(s))
+        .expect("the Yi tier always applies")
+}
+
+/// The Keogh tier as a plain function (equal lengths, band half-width `w`).
+fn lb_keogh(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> f64 {
+    KeoghBound
+        .evaluate(&PreparedQuery::new(q, kind, Some(w)), &cand(s))
+        .expect("equal lengths")
+}
 
 fn seq_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-50.0f64..50.0, 1..=max_len)
@@ -150,6 +179,37 @@ proptest! {
             let lb = lb_keogh(&s, &q, kind, w);
             let d = dtw_banded(&s, &q, kind, w).distance;
             prop_assert!(lb <= d + 1e-9, "{kind:?} w {w}: lb_keogh {lb} > banded {d}");
+        }
+    }
+
+    /// The tier ordering of the cascade on the paper's data family:
+    /// `lb_keogh <= lb_improved <= banded DTW` — LB_Improved refines Keogh's
+    /// bound (its first pass *is* LB_Keogh) while staying a lower bound of
+    /// the banded distance it gates.
+    #[test]
+    fn keogh_improved_banded_dtw_are_ordered(
+        starts in (1.0f64..10.0, 1.0f64..10.0),
+        step_pairs in prop::collection::vec((-0.1f64..0.1, -0.1f64..0.1), 1..=24),
+        w in 0usize..6,
+    ) {
+        // Two random walks of equal length, built from paired steps.
+        let (mut s, mut q) = (vec![starts.0], vec![starts.1]);
+        for (ds, dq) in &step_pairs {
+            s.push(s.last().copied().unwrap_or_default() + ds);
+            q.push(q.last().copied().unwrap_or_default() + dq);
+        }
+        for kind in KINDS {
+            let keogh = lb_keogh(&s, &q, kind, w);
+            let improved = lb_improved(&s, &q, kind, w);
+            let d = dtw_banded(&s, &q, kind, w).distance;
+            prop_assert!(
+                keogh <= improved + 1e-9,
+                "{kind:?} w {w}: lb_keogh {keogh} > lb_improved {improved}"
+            );
+            prop_assert!(
+                improved <= d + 1e-9,
+                "{kind:?} w {w}: lb_improved {improved} > banded {d}"
+            );
         }
     }
 

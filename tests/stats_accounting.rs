@@ -2,8 +2,9 @@
 //! verification thread count:
 //!
 //! ```text
-//! candidates == pruned_lb_kim + pruned_lb_yi + pruned_embedding
-//!               + verified + abandoned
+//! candidates == pruned_lb_kim + pruned_lb_yi + pruned_lb_keogh
+//!               + pruned_lb_improved + pruned_embedding
+//!               + verified + abandoned + skipped_unverified
 //! ```
 //!
 //! plus `matches <= verified + abandoned` (a match must have been DTW'd) and
@@ -16,7 +17,7 @@ use tw_core::search::{
     EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch, SearchEngine,
     StFilterSearch, TwSimSearch,
 };
-use tw_core::QueryStats;
+use tw_core::{CascadeSpec, QueryStats};
 use tw_storage::{MemPager, SequenceStore};
 use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
 
@@ -87,6 +88,45 @@ fn every_engine_balances_at_every_thread_count() {
                         "{} {ctx}",
                         engine.name()
                     );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_engine_balances_with_the_cascade_armed() {
+    // The satellite invariant: with the full tiered cascade on, the ledger
+    // still closes on every engine — per-tier prunes are part of the sum,
+    // not a side channel — and stays thread-count invariant.
+    let data = generate_random_walks(&RandomWalkConfig::paper(70, 40), 33);
+    let store = store_with(&data);
+    let engines = all_engines(&store);
+    let query = generate_queries(&data, 1, 34).remove(0);
+
+    for engine in &engines {
+        let mut base: Option<QueryStats> = None;
+        for threads in VERIFY_THREADS {
+            let opts = EngineOpts::new()
+                .kind(DtwKind::MaxAbs)
+                .threads(threads)
+                .cascade(CascadeSpec::standard());
+            for eps in [0.05, 0.3] {
+                let out = engine
+                    .range_search(&store, &query, eps, &opts)
+                    .unwrap_or_else(|e| panic!("{}: {e:?}", engine.name()));
+                let ctx = format!("cascade threads {threads} eps {eps}");
+                assert_accounting(engine.name(), &ctx, &out.query_stats, out.matches.len());
+                if eps == 0.05 {
+                    match &base {
+                        None => base = Some(out.query_stats),
+                        Some(b) => assert!(
+                            out.query_stats.counters_eq(b),
+                            "{} {ctx}: {:?} vs {b:?}",
+                            engine.name(),
+                            out.query_stats
+                        ),
+                    }
                 }
             }
         }
