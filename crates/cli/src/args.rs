@@ -55,6 +55,30 @@ pub enum Command {
     VerifyStore {
         db: PathBuf,
         index: Option<PathBuf>,
+        /// With a WAL path, also audit the write-ahead log: committed
+        /// records, discarded torn tail, and how many acknowledged appends
+        /// a recovery would replay into the store.
+        wal: Option<PathBuf>,
+    },
+    Ingest {
+        db: PathBuf,
+        wal: PathBuf,
+        index: PathBuf,
+        kind: DataKind,
+        /// Sequences to generate and append; 0 = open/recover only.
+        count: usize,
+        len: usize,
+        seed: u64,
+        /// Fold the tail into the base store + index every N appends
+        /// (a final checkpoint always runs).
+        checkpoint_every: Option<usize>,
+        /// Concurrent reader threads snapshot-querying while the writer
+        /// appends.
+        readers: usize,
+        /// Read sequences from stdin (one comma-separated line each)
+        /// instead of generating them; each acknowledged append prints
+        /// `acked <id>`.
+        follow: bool,
     },
     Help,
 }
@@ -100,7 +124,8 @@ USAGE:
   twsearch bench    --db DB --eps E [--queries N] [--seed S]
   twsearch align    --db DB --a ID --b ID
   twsearch subseq   --db DB --eps E --values v1,v2,... [--min-len N] [--max-len N]
-  twsearch verify-store --db DB [--index INDEX]
+  twsearch verify-store --db DB [--index INDEX] [--wal WAL]
+  twsearch ingest   --db DB --wal WAL --index INDEX (--count N --len L [--kind walk|stock|cbf] [--seed S] | --follow) [--checkpoint-every N] [--readers N]
   twsearch help";
 
 struct Flags {
@@ -305,8 +330,71 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut flags = Flags::parse(rest)?;
             let db = PathBuf::from(flags.require("db")?);
             let index = flags.take("index").map(PathBuf::from);
+            let wal = flags.take("wal").map(PathBuf::from);
             flags.finish()?;
-            Ok(Command::VerifyStore { db, index })
+            Ok(Command::VerifyStore { db, index, wal })
+        }
+        "ingest" => {
+            let mut flags = Flags::parse_with_switches(rest, &["follow"])?;
+            let db = PathBuf::from(flags.require("db")?);
+            let wal = PathBuf::from(flags.require("wal")?);
+            let index = PathBuf::from(flags.require("index")?);
+            let follow = flags.take_switch("follow");
+            let kind = match flags.take("kind").as_deref() {
+                None | Some("walk") => DataKind::Walk,
+                Some("stock") => DataKind::Stock,
+                Some("cbf") => DataKind::Cbf,
+                Some(other) => return Err(ParseError(format!("unknown data kind '{other}'"))),
+            };
+            let count = match flags.take("count") {
+                Some(raw) => parse_num("count", &raw)?,
+                None if follow => 0,
+                None => {
+                    return Err(ParseError(
+                        "ingest needs --count (or --follow to read stdin)".into(),
+                    ))
+                }
+            };
+            let len = match flags.take("len") {
+                Some(raw) => parse_num("len", &raw)?,
+                None => 32,
+            };
+            let seed = match flags.take("seed") {
+                Some(raw) => parse_num("seed", &raw)?,
+                None => 42,
+            };
+            let checkpoint_every = match flags.take("checkpoint-every") {
+                Some(raw) => Some(parse_num("checkpoint-every", &raw)?),
+                None => None,
+            };
+            let readers = match flags.take("readers") {
+                Some(raw) => parse_num("readers", &raw)?,
+                None => 0,
+            };
+            flags.finish()?;
+            if follow && count > 0 {
+                return Err(ParseError(
+                    "--follow reads stdin; it cannot be combined with --count".into(),
+                ));
+            }
+            if checkpoint_every == Some(0) {
+                return Err(ParseError("--checkpoint-every must be positive".into()));
+            }
+            if count > 0 && len == 0 {
+                return Err(ParseError("--len must be positive".into()));
+            }
+            Ok(Command::Ingest {
+                db,
+                wal,
+                index,
+                kind,
+                count,
+                len,
+                seed,
+                checkpoint_every,
+                readers,
+                follow,
+            })
         }
         "align" => {
             let mut flags = Flags::parse(rest)?;
@@ -520,13 +608,86 @@ mod tests {
             Command::VerifyStore {
                 db: "d".into(),
                 index: Some("i".into()),
+                wal: None,
             }
         );
         assert!(matches!(
             parse(&argv("verify-store --db d")).unwrap(),
-            Command::VerifyStore { index: None, .. }
+            Command::VerifyStore {
+                index: None,
+                wal: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("verify-store --db d --wal w")).unwrap(),
+            Command::VerifyStore { wal: Some(_), .. }
         ));
         assert!(parse(&argv("verify-store")).is_err());
+    }
+
+    #[test]
+    fn ingest_parses_with_defaults() {
+        let cmd = parse(&argv(
+            "ingest --db d --wal w --index i --count 10 --len 16 --seed 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Ingest {
+                kind,
+                count,
+                len,
+                seed,
+                checkpoint_every,
+                readers,
+                follow,
+                ..
+            } => {
+                assert_eq!(kind, DataKind::Walk);
+                assert_eq!((count, len, seed), (10, 16, 3));
+                assert_eq!(checkpoint_every, None);
+                assert_eq!(readers, 0);
+                assert!(!follow);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_flags_and_modes() {
+        let cmd = parse(&argv(
+            "ingest --db d --wal w --index i --count 8 --checkpoint-every 4 --readers 2",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Ingest {
+                checkpoint_every: Some(4),
+                readers: 2,
+                ..
+            }
+        ));
+        // Follow mode needs no count; count 0 means open/recover only.
+        assert!(matches!(
+            parse(&argv("ingest --db d --wal w --index i --follow")).unwrap(),
+            Command::Ingest {
+                follow: true,
+                count: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&argv("ingest --db d --wal w --index i --count 0")).unwrap(),
+            Command::Ingest { count: 0, .. }
+        ));
+        // Invalid combinations are rejected.
+        assert!(parse(&argv("ingest --db d --wal w --index i")).is_err());
+        assert!(parse(&argv("ingest --db d --wal w --index i --follow --count 3")).is_err());
+        assert!(parse(&argv(
+            "ingest --db d --wal w --index i --count 2 --checkpoint-every 0"
+        ))
+        .is_err());
+        assert!(parse(&argv("ingest --db d --index i --count 2")).is_err()); // missing --wal
     }
 
     #[test]

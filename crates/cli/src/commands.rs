@@ -4,6 +4,7 @@
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use tw_core::distance::DtwKind;
 use tw_core::govern::{QueryBudget, Termination};
@@ -11,10 +12,11 @@ use tw_core::search::{
     EngineHealth, EngineOpts, LbScan, NaiveScan, ResilientSearch, SearchEngine, SubsequenceIndex,
     TwSimSearch, WindowSpec,
 };
+use tw_core::{IngestHandle, SharedConcurrentIngest};
 use tw_rtree::{read_tree_file, RTree};
 use tw_storage::{
-    create_sequence_file, open_sequence_file, DynSequenceStore, HardwareModel, Pager, RecordFormat,
-    RecoveryReport,
+    create_sequence_file, open_sequence_file, open_wal_file, DynSequenceStore, HardwareModel,
+    Pager, RecordFormat, RecoveryReport, SyncPager, WalRecord,
 };
 use tw_workload::{
     cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
@@ -111,14 +113,45 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
             min_len,
             max_len,
         } => subseq(&db, epsilon, &values, min_len, max_len, out),
-        Command::VerifyStore { db, index } => verify_store(&db, index.as_deref(), out),
+        Command::VerifyStore { db, index, wal } => {
+            verify_store(&db, index.as_deref(), wal.as_deref(), out)
+        }
+        Command::Ingest {
+            db,
+            wal,
+            index,
+            kind,
+            count,
+            len,
+            seed,
+            checkpoint_every,
+            readers,
+            follow,
+        } => {
+            let spec = IngestSpec {
+                kind,
+                count,
+                len,
+                seed,
+                checkpoint_every,
+                readers,
+                follow,
+            };
+            ingest(&db, &wal, &index, &spec, out)
+        }
     }
 }
 
 /// Full integrity sweep: open with recovery, decode every record (which
 /// re-verifies page and record checksums end to end), and — when given — the
-/// index file, reporting whether queries would degrade.
-fn verify_store(db: &Path, index: Option<&Path>, out: &mut dyn Write) -> Result<(), CliError> {
+/// index file, reporting whether queries would degrade, and the write-ahead
+/// log, reporting how many acknowledged appends a recovery would replay.
+fn verify_store(
+    db: &Path,
+    index: Option<&Path>,
+    wal: Option<&Path>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     let (store, report) = open_store(db)?;
     writeln!(out, "store        {}", db.display()).map_err(fail("write"))?;
     let page_format = match store.page_format_version() {
@@ -165,6 +198,69 @@ fn verify_store(db: &Path, index: Option<&Path>, out: &mut dyn Write) -> Result<
             .map_err(fail("write"))?,
         }
     }
+    if let Some(wal_path) = wal {
+        verify_wal(wal_path, store.len() as u64, out)?;
+    }
+    Ok(())
+}
+
+/// The `--wal` leg of `verify-store`: replays the committed extent in memory
+/// (nothing is written back) and reports what a recovery would do. An
+/// acknowledged append the store cannot anchor — an id gap — is data loss
+/// and fails the command.
+fn verify_wal(wal_path: &Path, store_len: u64, out: &mut dyn Write) -> Result<(), CliError> {
+    let (wal, records, report) =
+        open_wal_file(wal_path, 1024).map_err(fail(&format!("open wal {}", wal_path.display())))?;
+    writeln!(out, "wal          {}", wal_path.display()).map_err(fail("write"))?;
+    let tail = if report.uncommitted_tail_bytes == 0 {
+        "tail clean".to_string()
+    } else {
+        format!(
+            "{} unacknowledged tail byte(s) discarded",
+            report.uncommitted_tail_bytes
+        )
+    };
+    writeln!(
+        out,
+        "wal records  {} committed in {} byte(s); {tail}",
+        wal.committed_records(),
+        wal.committed_bytes(),
+    )
+    .map_err(fail("write"))?;
+    let mut already_folded = 0u64;
+    let mut pending = 0u64;
+    let mut next = store_len;
+    for record in &records {
+        let WalRecord::AppendSequence { id, .. } = record else {
+            continue;
+        };
+        if *id < store_len {
+            already_folded += 1;
+        } else if *id == next {
+            pending += 1;
+            next += 1;
+        } else {
+            writeln!(
+                out,
+                "wal replay   GAP: acknowledged append {id} beyond the recoverable extent {next}"
+            )
+            .map_err(fail("write"))?;
+            return Err(CliError(
+                "WAL acknowledges an append the store cannot anchor: acknowledged data was lost"
+                    .into(),
+            ));
+        }
+    }
+    writeln!(
+        out,
+        "wal replay   {pending} append(s) pending, {already_folded} already folded"
+    )
+    .map_err(fail("write"))?;
+    writeln!(
+        out,
+        "recoverable  {next} sequence(s) (store {store_len} + wal replay {pending})"
+    )
+    .map_err(fail("write"))?;
     Ok(())
 }
 
@@ -226,15 +322,9 @@ fn align(db: &Path, a: u64, b: u64, out: &mut dyn Write) -> Result<(), CliError>
     Ok(())
 }
 
-fn generate(
-    kind: DataKind,
-    count: usize,
-    len: usize,
-    seed: u64,
-    path: &Path,
-    out: &mut dyn Write,
-) -> Result<(), CliError> {
-    let data: Vec<Vec<f64>> = match kind {
+/// The seeded corpus a `generate`/`ingest` run appends.
+fn generate_data(kind: DataKind, count: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    match kind {
         DataKind::Walk => generate_random_walks(&RandomWalkConfig::paper(count, len), seed),
         DataKind::Stock => {
             let mut d = generate_stocks(
@@ -252,7 +342,18 @@ fn generate(
             .into_iter()
             .map(|(_, s)| s)
             .collect(),
-    };
+    }
+}
+
+fn generate(
+    kind: DataKind,
+    count: usize,
+    len: usize,
+    seed: u64,
+    path: &Path,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let data = generate_data(kind, count, len, seed);
     let mut store = create_sequence_file(path, 1024, 256)
         .map_err(fail(&format!("create {}", path.display())))?;
     // Crash-test hook: abort the process (no flush, no cleanup) after N
@@ -281,6 +382,195 @@ fn generate(
     )
     .map_err(fail("write"))?;
     Ok(())
+}
+
+/// The knobs of the `ingest` command, bundled to keep the call site readable.
+struct IngestSpec {
+    kind: DataKind,
+    count: usize,
+    len: usize,
+    seed: u64,
+    checkpoint_every: Option<usize>,
+    readers: usize,
+    follow: bool,
+}
+
+/// One acknowledged append: WAL-committed by the library, echoed as an
+/// `acked <id>` line (flushed, so a killed writer leaves an exact record of
+/// what it promised), then the crash hook and periodic checkpoints run.
+fn ack_append(
+    writer: &mut IngestHandle<'_, SyncPager>,
+    values: &[f64],
+    acked: &mut u64,
+    crash_after: Option<u64>,
+    checkpoint_every: Option<usize>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let id = writer.append(values).map_err(fail("append"))?;
+    writeln!(out, "acked {id}").map_err(fail("write"))?;
+    out.flush().map_err(fail("flush stdout"))?;
+    *acked += 1;
+    // Crash-test hook: abort the process — no flush, no checkpoint, no
+    // cleanup — after N *acknowledged* appends. Recovery must replay every
+    // acked line the next open sees.
+    if crash_after == Some(*acked) {
+        std::process::abort();
+    }
+    if let Some(every) = checkpoint_every {
+        if (*acked).is_multiple_of(every as u64) {
+            let report = writer.checkpoint().map_err(fail("checkpoint"))?;
+            writeln!(
+                out,
+                "checkpoint folded {} (epoch {})",
+                report.folded, report.epoch
+            )
+            .map_err(fail("write"))?;
+            out.flush().map_err(fail("flush stdout"))?;
+        }
+    }
+    Ok(())
+}
+
+/// WAL-backed concurrent ingest: opens (recovering) the store + WAL + index
+/// triple, claims the single writer, and appends — generated sequences or
+/// stdin lines (`--follow`) — while `--readers` threads continuously pin
+/// snapshots and query them, checking each outcome for snapshot consistency.
+fn ingest(
+    db: &Path,
+    wal: &Path,
+    index: &Path,
+    spec: &IngestSpec,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (ingest, recovery) = SharedConcurrentIngest::open_or_create_file(db, wal, index)
+        .map_err(fail(&format!("open ingest {}", db.display())))?;
+    if !recovery.is_clean() {
+        writeln!(out, "recovery: {recovery}").map_err(fail("write"))?;
+    }
+    writeln!(
+        out,
+        "opened {} sequence(s) at epoch {}",
+        ingest.len(),
+        ingest.epoch()
+    )
+    .map_err(fail("write"))?;
+    out.flush().map_err(fail("flush stdout"))?;
+
+    let crash_after: Option<u64> = std::env::var("TWSEARCH_CRASH_AFTER_APPENDS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let stop = AtomicBool::new(false);
+    let reader_broken = AtomicBool::new(false);
+    let reader_queries = AtomicU64::new(0);
+    let (acked, final_report) = std::thread::scope(|scope| {
+        for _ in 0..spec.readers {
+            let (ingest, stop) = (&ingest, &stop);
+            let (broken, queries) = (&reader_broken, &reader_queries);
+            scope.spawn(move || {
+                let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+                let query = [5.0, 5.5, 5.0, 6.0];
+                while !stop.load(Ordering::Acquire) {
+                    let snap = ingest.snapshot();
+                    let visible = snap.len() as u64;
+                    let consistent = match snap.search(&query, 1.0, &opts) {
+                        Ok(outcome) => {
+                            outcome.query_stats.accounting_balanced()
+                                && outcome.query_stats.snapshot_epoch == snap.epoch()
+                                && outcome.matches.iter().all(|m| m.id < visible)
+                        }
+                        Err(_) => false,
+                    };
+                    if !consistent {
+                        broken.store(true, Ordering::Release);
+                        return;
+                    }
+                    queries.fetch_add(1, Ordering::AcqRel);
+                }
+            });
+        }
+        let result = ingest_writer_loop(&ingest, spec, crash_after, out);
+        stop.store(true, Ordering::Release);
+        result
+        // Scope exit joins the readers.
+    })?;
+
+    writeln!(
+        out,
+        "ingested {acked} sequence(s); {} total at epoch {} (checkpoint folded {})",
+        ingest.len(),
+        final_report.epoch,
+        final_report.folded
+    )
+    .map_err(fail("write"))?;
+    if spec.readers > 0 {
+        writeln!(
+            out,
+            "readers: {} thread(s) ran {} snapshot quer(ies), all consistent",
+            spec.readers,
+            reader_queries.load(Ordering::Acquire)
+        )
+        .map_err(fail("write"))?;
+    }
+    if reader_broken.load(Ordering::Acquire) {
+        return Err(CliError(
+            "a reader observed an inconsistent snapshot (unbalanced counters, foreign epoch, or an id beyond the pinned view)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// The writer side of `ingest`: claim, append (generated or stdin), final
+/// checkpoint. Returns the acknowledged-append count and the last report.
+fn ingest_writer_loop(
+    ingest: &SharedConcurrentIngest,
+    spec: &IngestSpec,
+    crash_after: Option<u64>,
+    out: &mut dyn Write,
+) -> Result<(u64, tw_core::CheckpointReport), CliError> {
+    let mut writer = ingest.writer().map_err(fail("claim writer"))?;
+    let mut acked = 0u64;
+    if spec.follow {
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(fail("read stdin"))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let values: Vec<f64> = trimmed
+                .split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse::<f64>()
+                        .map_err(|_| CliError(format!("cannot parse value '{tok}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            ack_append(
+                &mut writer,
+                &values,
+                &mut acked,
+                crash_after,
+                spec.checkpoint_every,
+                out,
+            )?;
+        }
+    } else {
+        for values in generate_data(spec.kind, spec.count, spec.len, spec.seed) {
+            ack_append(
+                &mut writer,
+                &values,
+                &mut acked,
+                crash_after,
+                spec.checkpoint_every,
+                out,
+            )?;
+        }
+    }
+    let report = writer.checkpoint().map_err(fail("final checkpoint"))?;
+    Ok((acked, report))
 }
 
 fn index(db: &Path, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
@@ -352,7 +642,7 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
     writeln!(out, "  verify {:>10.3} ms", ms(qs.phases.verify)).map_err(fail("write"))?;
     writeln!(out, "  total  {:>10.3} ms", ms(qs.phases.total())).map_err(fail("write"))?;
     writeln!(out, "pipeline counters:").map_err(fail("write"))?;
-    let rows: [(&str, u64); 15] = [
+    let rows: [(&str, u64); 17] = [
         ("candidates", qs.candidates),
         ("pruned (lb_kim)", qs.pruned_lb_kim),
         ("pruned (lb_yi)", qs.pruned_lb_yi),
@@ -368,6 +658,8 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
         ("index leaf accesses", qs.index_leaf_accesses),
         ("pager reads", qs.pager_reads),
         ("checksum retries", qs.checksum_retries),
+        ("wal appends", qs.wal_appends),
+        ("snapshot epoch", qs.snapshot_epoch),
     ];
     for (label, value) in rows {
         writeln!(out, "  {label:<20} {value:>10}").map_err(fail("write"))?;
@@ -829,6 +1121,125 @@ mod tests {
         let degraded_body = degraded.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(degraded_body, scan.trim_end());
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_builds_queryable_store_with_wal() {
+        let dir = temp("ingest");
+        let db = dir.join("db.tws");
+        let wal = dir.join("db.twl");
+        let idx = dir.join("db.twr");
+        let out = run_str(&format!(
+            "ingest --db {} --wal {} --index {} --count 30 --len 16 --seed 6 --checkpoint-every 10 --readers 2",
+            db.display(),
+            wal.display(),
+            idx.display()
+        ))
+        .expect("ingest");
+        assert!(out.contains("acked 0"), "{out}");
+        assert!(out.contains("acked 29"), "{out}");
+        assert!(out.contains("ingested 30 sequence(s)"), "{out}");
+        assert!(out.contains("all consistent"), "{out}");
+
+        // verify-store audits all three files; a checkpointed WAL is empty.
+        let v = run_str(&format!(
+            "verify-store --db {} --index {} --wal {}",
+            db.display(),
+            idx.display(),
+            wal.display()
+        ))
+        .expect("verify");
+        assert!(v.contains("integrity    OK"), "{v}");
+        assert!(v.contains("index        OK"), "{v}");
+        assert!(v.contains("0 append(s) pending"), "{v}");
+        assert!(v.contains("recoverable  30 sequence(s)"), "{v}");
+
+        // Reopening is clean (nothing to recover) and queries work.
+        let re = run_str(&format!(
+            "ingest --db {} --wal {} --index {} --count 0",
+            db.display(),
+            wal.display(),
+            idx.display()
+        ))
+        .expect("reopen");
+        assert!(re.contains("opened 30 sequence(s)"), "{re}");
+        assert!(!re.contains("recovery:"), "{re}");
+        let q = run_str(&format!(
+            "query --db {} --index {} --eps 0.0 --from-id 3",
+            db.display(),
+            idx.display()
+        ))
+        .expect("query");
+        assert!(q.contains("id      3  distance 0.0000"), "{q}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unclean_shutdown_is_reported_and_recovered() {
+        let dir = temp("walreplay");
+        let db = dir.join("db.tws");
+        let wal = dir.join("db.twl");
+        let idx = dir.join("db.twr");
+        // Acknowledge five appends, then "crash" (drop with no checkpoint):
+        // every append lives only in the WAL.
+        {
+            let ing = SharedConcurrentIngest::create_file(&db, &wal, &idx).expect("create");
+            let mut w = ing.writer().expect("writer");
+            for i in 0..5u64 {
+                w.append(&[i as f64, 1.0, 2.0, 3.0]).expect("append");
+            }
+        }
+        let v = run_str(&format!(
+            "verify-store --db {} --wal {}",
+            db.display(),
+            wal.display()
+        ))
+        .expect("verify");
+        assert!(v.contains("5 append(s) pending"), "{v}");
+        assert!(v.contains("recoverable  5 sequence(s)"), "{v}");
+
+        // A recover-only ingest replays them into the store + index.
+        let re = run_str(&format!(
+            "ingest --db {} --wal {} --index {} --count 0",
+            db.display(),
+            wal.display(),
+            idx.display()
+        ))
+        .expect("recover");
+        assert!(re.contains("recovery:"), "{re}");
+        assert!(re.contains("replayed 5 append(s)"), "{re}");
+        assert!(re.contains("opened 5 sequence(s)"), "{re}");
+
+        let v2 = run_str(&format!(
+            "verify-store --db {} --index {} --wal {}",
+            db.display(),
+            idx.display(),
+            wal.display()
+        ))
+        .expect("verify after recovery");
+        assert!(v2.contains("integrity    OK"), "{v2}");
+        assert!(v2.contains("index        OK"), "{v2}");
+        assert!(v2.contains("0 append(s) pending"), "{v2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_stats_table_includes_ingest_gauges() {
+        let dir = temp("gaugerows");
+        let db = dir.join("db.tws");
+        run_str(&format!(
+            "generate --kind walk --count 10 --len 12 --seed 2 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        let out = run_str(&format!(
+            "query --db {} --eps 0.5 --from-id 0 --stats",
+            db.display()
+        ))
+        .expect("query");
+        assert!(out.contains("wal appends"), "{out}");
+        assert!(out.contains("snapshot epoch"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,6 +24,9 @@ pub enum TwError {
     /// The index decoded but failed validation against the store (structural
     /// invariants or a size that contradicts the database).
     CorruptIndex(String),
+    /// The single-writer ingest handle is already claimed
+    /// ([`crate::ingest::ConcurrentIngest`] admits one writer at a time).
+    WriterBusy,
 }
 
 impl std::fmt::Display for TwError {
@@ -41,6 +44,7 @@ impl std::fmt::Display for TwError {
             }
             TwError::Index(e) => write!(f, "index load failed: {e}"),
             TwError::CorruptIndex(why) => write!(f, "index failed validation: {why}"),
+            TwError::WriterBusy => write!(f, "ingest writer already claimed"),
         }
     }
 }

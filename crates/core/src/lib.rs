@@ -71,6 +71,7 @@ pub mod distance;
 pub mod error;
 pub mod feature;
 pub mod govern;
+pub mod ingest;
 pub mod lower_bound;
 pub mod search;
 pub mod sequence;
@@ -92,6 +93,10 @@ pub use feature::FeatureVector;
 pub use govern::{
     termination_of, Admission, AdmissionGate, AdmissionPermit, BudgetKind, CancelCause,
     CancelToken, Clock, ManualClock, QueryBudget, SystemClock, Termination,
+};
+pub use ingest::{
+    CheckpointReport, ConcurrentIngest, IngestHandle, IngestRecovery, SharedConcurrentIngest,
+    Snapshot,
 };
 #[allow(deprecated)] // Re-exported for one release window; see `lower_bound`.
 pub use lower_bound::{lb_keogh, lb_kim, lb_yi};

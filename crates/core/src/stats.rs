@@ -106,6 +106,13 @@ pub struct QueryStats {
     pub index_internal_accesses: u64,
     /// R-tree leaf node visits.
     pub index_leaf_accesses: u64,
+    /// WAL appends acknowledged by the ingest layer when the query's
+    /// snapshot was pinned. A gauge (like `pager_reads`), **outside** the
+    /// accounting ledger; zero for queries against a plain store.
+    pub wal_appends: u64,
+    /// Epoch of the pinned snapshot the query ran against. A gauge, outside
+    /// the accounting ledger; zero for queries against a plain store.
+    pub snapshot_epoch: u64,
     /// Wall-clock time per phase (monotonic clock; non-deterministic).
     pub phases: PhaseTimes,
 }
@@ -165,6 +172,10 @@ impl QueryStats {
         self.checksum_retries += other.checksum_retries;
         self.index_internal_accesses += other.index_internal_accesses;
         self.index_leaf_accesses += other.index_leaf_accesses;
+        // Gauges, not tallies: the merged record reflects the most advanced
+        // ingest state any constituent query observed.
+        self.wal_appends = self.wal_appends.max(other.wal_appends);
+        self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
         self.phases.filter += other.phases.filter;
         self.phases.fetch += other.phases.fetch;
         self.phases.verify += other.phases.verify;
@@ -342,6 +353,10 @@ impl PipelineCounters {
             checksum_retries: self.checksum_retries.load(Ordering::Relaxed),
             index_internal_accesses: self.index_internal_accesses.load(Ordering::Relaxed),
             index_leaf_accesses: self.index_leaf_accesses.load(Ordering::Relaxed),
+            // Snapshot-layer gauges: stamped by `Snapshot::search_with`, not
+            // threaded through the pipeline.
+            wal_appends: 0,
+            snapshot_epoch: 0,
             phases: PhaseTimes {
                 filter: Duration::from_nanos(self.filter_nanos.load(Ordering::Relaxed)),
                 fetch: Duration::from_nanos(self.fetch_nanos.load(Ordering::Relaxed)),

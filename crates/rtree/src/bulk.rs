@@ -45,19 +45,17 @@ impl<const D: usize> RTree<D> {
                 #[allow(clippy::expect_used)]
                 // tw-allow(expect): guarded by `groups.len() == 1` on the line above
                 let root_entries = groups.into_iter().next().expect("one group");
-                let root = Node {
-                    level,
-                    entries: root_entries,
-                };
+                let root = Node::with_entries(level, root_entries);
                 tree.nodes[0] = root;
                 // NodeId(0) was pre-allocated by RTree::new as the root.
                 tree.root = NodeId(0);
+                tree.recompute_summaries();
                 return tree;
             }
             // Materialize this level's nodes and produce parent entries.
             let mut parent_entries = Vec::with_capacity(groups.len());
             for g in groups {
-                let node = Node { level, entries: g };
+                let node = Node::with_entries(level, g);
                 let mbr = node.mbr();
                 let id = tree.push_node(node);
                 parent_entries.push(Entry {

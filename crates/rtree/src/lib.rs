@@ -45,6 +45,7 @@ mod persist;
 mod query;
 mod split;
 mod stats;
+mod summary;
 mod tree;
 mod validation;
 
@@ -55,5 +56,6 @@ pub use persist::{read_tree_file, write_tree_file, DecodeError, PersistError};
 pub use query::{KnnMetric, KnnResult, Neighbor, QueryStats, RangeResult};
 pub use split::SplitAlgorithm;
 pub use stats::TreeQuality;
+pub use summary::NodeSummary;
 pub use tree::{RTree, RTreeConfig};
 pub use validation::Violation;

@@ -5,6 +5,7 @@
 //! straightforward (one node per page, `NodeId` doubles as the page number).
 
 use crate::geometry::Rect;
+use crate::summary::NodeSummary;
 
 /// Identifier of a node inside the tree arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,6 +64,9 @@ impl Payload {
 pub struct Node<const D: usize> {
     pub level: u32,
     pub entries: Vec<Entry<D>>,
+    /// Subtree aggregate (data count + MBR), maintained by the tree along
+    /// mutation paths; derived state, never persisted.
+    pub summary: NodeSummary<D>,
 }
 
 impl<const D: usize> Node<D> {
@@ -70,6 +74,17 @@ impl<const D: usize> Node<D> {
         Self {
             level,
             entries: Vec::new(),
+            summary: NodeSummary::default(),
+        }
+    }
+
+    /// A node over pre-built entries; the summary starts stale and must be
+    /// refreshed (or swept by `recompute_summaries`) before queries.
+    pub fn with_entries(level: u32, entries: Vec<Entry<D>>) -> Self {
+        Self {
+            level,
+            entries,
+            summary: NodeSummary::default(),
         }
     }
 

@@ -380,14 +380,14 @@ impl<const D: usize> RTree<D> {
                     payload,
                 });
             }
-            nodes.push(Node { level, entries });
+            nodes.push(Node::with_entries(level, entries));
         }
 
         if nodes.is_empty() {
             nodes.push(Node::new(0));
         }
         validate_child_structure(&nodes, root_page)?;
-        Ok(Self {
+        let mut tree = Self {
             nodes,
             root: NodeId(root_page),
             config: RTreeConfig {
@@ -397,7 +397,11 @@ impl<const D: usize> RTree<D> {
             },
             len,
             free_list: Vec::new(),
-        })
+        };
+        // Summaries are derived state: rebuild them rather than trusting (or
+        // extending) the wire format.
+        tree.recompute_summaries();
+        Ok(tree)
     }
 }
 

@@ -1,0 +1,186 @@
+//! Per-subtree summary annotation.
+//!
+//! Every node carries a [`NodeSummary`] — the number of data entries in its
+//! subtree plus the subtree's feature MBR — maintained *incrementally* along
+//! mutation paths (the summary-annotated-tree shape: each node's summary is
+//! recomputed in O(fan-out) from its children's summaries, so an insert or
+//! delete refreshes O(log n) nodes instead of rebuilding anything).
+//!
+//! The online ingest layer uses the root summary for O(1) cardinality checks
+//! (does the index cover exactly the sequences the store holds?) without a
+//! full traversal, and the validator cross-checks maintained summaries
+//! against recomputed ones so drift is a structural violation, not a silent
+//! wrong answer.
+
+use crate::geometry::Rect;
+use crate::node::{NodeId, Payload};
+use crate::tree::RTree;
+
+/// Aggregate over one subtree: data-entry count and tight bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeSummary<const D: usize> {
+    /// Data entries reachable in this subtree.
+    pub count: u64,
+    /// Union of every rectangle in this subtree; `None` for an empty node.
+    pub mbr: Option<Rect<D>>,
+}
+
+impl<const D: usize> RTree<D> {
+    /// The root's summary: whole-tree cardinality and MBR in O(1).
+    pub fn summary(&self) -> NodeSummary<D> {
+        self.node(self.root).summary
+    }
+
+    /// Recomputes `id`'s summary from its entries (leaves) or its children's
+    /// summaries (internal nodes). Callers refresh bottom-up along a
+    /// mutation path so children are always current first.
+    pub(crate) fn refresh_summary(&mut self, id: NodeId) {
+        let node = self.node(id);
+        let summary = if node.is_leaf() {
+            NodeSummary {
+                count: node.len() as u64,
+                mbr: if node.is_empty() {
+                    None
+                } else {
+                    Some(node.mbr())
+                },
+            }
+        } else {
+            let mut count = 0u64;
+            let mut mbr: Option<Rect<D>> = None;
+            for e in &node.entries {
+                count += self.node(e.payload.child()).summary.count;
+                mbr = Some(match mbr {
+                    Some(m) => m.union(&e.rect),
+                    None => e.rect,
+                });
+            }
+            NodeSummary { count, mbr }
+        };
+        self.node_mut(id).summary = summary;
+    }
+
+    /// Rebuilds every summary bottom-up. Used once after offline
+    /// construction (bulk load, deserialization); online mutation keeps
+    /// summaries current incrementally.
+    pub(crate) fn recompute_summaries(&mut self) {
+        self.recompute_summary_of(self.root);
+    }
+
+    fn recompute_summary_of(&mut self, id: NodeId) {
+        let children: Vec<NodeId> = self
+            .node(id)
+            .entries
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::Child(c) => Some(c),
+                Payload::Data(_) => None,
+            })
+            .collect();
+        for c in children {
+            self.recompute_summary_of(c);
+        }
+        self.refresh_summary(id);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // Summaries must reproduce MBR floats exactly.
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::split::SplitAlgorithm;
+    use crate::tree::RTreeConfig;
+
+    fn cfg(split: SplitAlgorithm) -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 4,
+            min_entries: 2,
+            split,
+        }
+    }
+
+    fn pts(n: usize) -> Vec<(Point<2>, u64)> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                (Point::new([(f * 1.7) % 50.0, (f * 3.1) % 40.0]), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_summary() {
+        let t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        assert_eq!(t.summary().count, 0);
+        assert!(t.summary().mbr.is_none());
+    }
+
+    #[test]
+    fn summary_tracks_incremental_inserts_under_all_splits() {
+        for split in [
+            SplitAlgorithm::Linear,
+            SplitAlgorithm::Quadratic,
+            SplitAlgorithm::RStar,
+        ] {
+            let mut t: RTree<2> = RTree::new(cfg(split));
+            for (i, (p, id)) in pts(300).into_iter().enumerate() {
+                t.insert_point(p, id);
+                assert_eq!(t.summary().count, i as u64 + 1, "{split:?}");
+            }
+            t.assert_valid();
+        }
+    }
+
+    #[test]
+    fn summary_tracks_removals() {
+        let mut t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        let points = pts(200);
+        for (p, id) in &points {
+            t.insert_point(*p, *id);
+        }
+        for (i, (p, id)) in points.iter().enumerate() {
+            assert!(t.remove_point(p, *id));
+            assert_eq!(t.summary().count, (points.len() - i - 1) as u64);
+        }
+        assert!(t.summary().mbr.is_none());
+        t.assert_valid();
+    }
+
+    #[test]
+    fn root_summary_mbr_bounds_every_point() {
+        let mut t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        for (p, id) in pts(120) {
+            t.insert_point(p, id);
+        }
+        let mbr = t.summary().mbr.expect("non-empty");
+        for (rect, _) in t.iter() {
+            assert!(mbr.contains_rect(rect));
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_summaries_match_incremental() {
+        let points = pts(500);
+        let bulk = RTree::bulk_load(cfg(SplitAlgorithm::Quadratic), points.clone());
+        let mut incr: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        for (p, id) in points {
+            incr.insert_point(p, id);
+        }
+        assert_eq!(bulk.summary().count, incr.summary().count);
+        assert_eq!(bulk.summary().mbr, incr.summary().mbr);
+        bulk.assert_valid();
+    }
+
+    #[test]
+    fn deserialized_tree_recovers_summaries() {
+        let mut t: RTree<2> = RTree::new(cfg(SplitAlgorithm::Quadratic));
+        for (p, id) in pts(150) {
+            t.insert_point(p, id);
+        }
+        let back: RTree<2> = RTree::from_bytes(t.to_bytes(1024)).expect("decode");
+        assert_eq!(back.summary().count, 150);
+        assert_eq!(back.summary().mbr, t.summary().mbr);
+        back.assert_valid();
+    }
+}

@@ -264,8 +264,15 @@ impl<const D: usize> RTree<D> {
                     let (g1, g2) =
                         split_entries(self.config.split, entries, self.config.min_entries);
                     self.node_mut(node_id).entries = g1;
-                    new_sibling = Some(self.alloc(Node { level, entries: g2 }));
+                    new_sibling = Some(self.alloc(Node::with_entries(level, g2)));
                 }
+            }
+            // Keep the subtree summaries current before any parent reads
+            // them: children first (bottom-up loop), split sibling with its
+            // original node.
+            self.refresh_summary(node_id);
+            if let Some(sibling) = new_sibling {
+                self.refresh_summary(sibling);
             }
             if depth == 0 {
                 if let Some(sibling) = new_sibling {
@@ -282,6 +289,7 @@ impl<const D: usize> RTree<D> {
                     };
                     self.node_mut(new_root).entries.extend([e1, e2]);
                     self.root = new_root;
+                    self.refresh_summary(new_root);
                 }
             } else {
                 let parent = path[depth - 1];
@@ -404,7 +412,13 @@ impl<const D: usize> RTree<D> {
                 {
                     e.rect = mbr;
                 }
+                self.refresh_summary(child);
             }
+        }
+        // The loop refreshed surviving children bottom-up; the root (path[0])
+        // still reflects the pre-deletion state.
+        if let Some(&root_on_path) = path.first() {
+            self.refresh_summary(root_on_path);
         }
         // Shrink the root: a non-leaf root with a single child is replaced by
         // that child.

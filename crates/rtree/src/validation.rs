@@ -28,6 +28,9 @@ pub enum Violation {
     LengthMismatch { counted: usize, recorded: usize },
     /// A leaf entry carries a child payload or vice versa.
     PayloadKind { node: NodeId },
+    /// A node's maintained summary disagrees with one recomputed from its
+    /// subtree (incremental maintenance drifted).
+    SummaryDrift { node: NodeId },
 }
 
 impl<const D: usize> RTree<D> {
@@ -91,7 +94,45 @@ impl<const D: usize> RTree<D> {
                 recorded: self.len(),
             });
         }
+        self.check_summaries(root, &mut violations);
         violations
+    }
+
+    /// Recomputes the subtree summary under `id` and reports every node
+    /// whose maintained annotation drifted. Returns the recomputed summary.
+    fn check_summaries(
+        &self,
+        id: NodeId,
+        violations: &mut Vec<Violation>,
+    ) -> crate::summary::NodeSummary<D> {
+        let node = self.node(id);
+        let expected = if node.is_leaf() {
+            crate::summary::NodeSummary {
+                count: node.len() as u64,
+                mbr: if node.is_empty() {
+                    None
+                } else {
+                    Some(node.mbr())
+                },
+            }
+        } else {
+            let mut count = 0u64;
+            let mut mbr: Option<crate::geometry::Rect<D>> = None;
+            for e in &node.entries {
+                if let Payload::Child(c) = e.payload {
+                    count += self.check_summaries(c, violations).count;
+                    mbr = Some(match mbr {
+                        Some(m) => m.union(&e.rect),
+                        None => e.rect,
+                    });
+                }
+            }
+            crate::summary::NodeSummary { count, mbr }
+        };
+        if node.summary != expected {
+            violations.push(Violation::SummaryDrift { node: id });
+        }
+        expected
     }
 
     /// Panics with a readable report when the tree violates any invariant.

@@ -145,6 +145,7 @@ impl<P: Pager> BufferPool<P> {
         inner.stats.misses += 1;
         let _ = self.governor.lock().charge_pager_reads(1);
         let mut data = vec![0u8; out.len()].into_boxed_slice();
+        // tw-allow(lock-hygiene): miss fill pins the frame table so a page loads exactly once
         self.pager.lock().read_page(page, &mut data)?;
         out.copy_from_slice(&data);
         self.insert_frame(&mut inner, page, data, false)?;
@@ -209,10 +210,12 @@ impl<P: Pager> BufferPool<P> {
         let mut pager = self.pager.lock();
         for (&page, frame) in inner.frames.iter_mut() {
             if frame.dirty {
+                // tw-allow(lock-hygiene): write-back must walk the frame table it locks
                 pager.write_page(page, &frame.data)?;
                 frame.dirty = false;
             }
         }
+        // tw-allow(lock-hygiene): dirty flags above and device order must agree
         pager.sync()
     }
 

@@ -40,6 +40,7 @@ mod openfile;
 mod pager;
 mod retry;
 mod seqstore;
+mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use checksum::{crc32, ChecksumPager, Crc32, PAGE_FORMAT_CRC, TRAILER_BYTES};
@@ -52,7 +53,14 @@ pub use cost::{CpuModel, DiskModel, HardwareModel, IoProfile};
 pub use envelope::{lemire_envelope, EnvelopeEntry, EnvelopeError, EnvelopeSidecar};
 pub use fault::{FaultConfig, FaultHandle, FaultKind, FaultPager, FaultStats};
 pub use govern::{CancelCause, CancelToken, CancelTokenBuilder, Clock, ManualClock, SystemClock};
-pub use openfile::{create_sequence_file, open_sequence_file, DynSequenceStore};
+pub use openfile::{
+    create_sequence_file, create_sequence_file_shared, open_sequence_file,
+    open_sequence_file_shared, DynSequenceStore, SharedSequenceStore, SyncPager,
+};
 pub use pager::{FilePager, MemPager, Pager, PagerError, DEFAULT_PAGE_SIZE, PAGE_FORMAT_PLAIN};
 pub use retry::{RetryPager, RetryPolicy};
 pub use seqstore::{GovernorGuard, RecoveryReport, SeqId, SequenceStore, StoreError};
+pub use wal::{
+    create_wal_file, open_or_create_wal_file, open_wal_file, DynWal, Wal, WalRecord,
+    WalRecoveryReport, WAL_FEATURE_DIMS,
+};

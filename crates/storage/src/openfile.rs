@@ -26,6 +26,16 @@ use crate::seqstore::{RecoveryReport, SequenceStore, StoreError};
 /// A sequence store over a runtime-chosen pager stack.
 pub type DynSequenceStore = SequenceStore<Box<dyn Pager>>;
 
+/// A runtime-chosen pager stack that may additionally be shared across
+/// threads (`&store` handed to concurrent readers). Every stack these
+/// helpers assemble is `Sync` already; the alias only keeps the bound in
+/// the type.
+pub type SyncPager = Box<dyn Pager + Sync>;
+
+/// A sequence store whose pager stack is shareable across threads — what
+/// snapshot-isolated concurrent readers require.
+pub type SharedSequenceStore = SequenceStore<SyncPager>;
+
 /// Creates a new store file with the full protective stack (checksummed
 /// pages behind bounded retry). `page_size` is the physical page size.
 pub fn create_sequence_file<Q: AsRef<Path>>(
@@ -54,6 +64,39 @@ pub fn open_sequence_file<Q: AsRef<Path>>(
     let sniff = sniff_page_format(path)?;
     let (file, _trimmed_bytes) = FilePager::open_trimmed(path, page_size)?;
     let stack: Box<dyn Pager> = match sniff {
+        PAGE_FORMAT_CRC => Box::new(RetryPager::new(
+            ChecksumPager::new(file),
+            RetryPolicy::default(),
+        )),
+        _ => Box::new(RetryPager::new(file, RetryPolicy::default())),
+    };
+    SequenceStore::open_recovering(stack, pool_pages)
+}
+
+/// [`create_sequence_file`] with a thread-shareable pager stack.
+pub fn create_sequence_file_shared<Q: AsRef<Path>>(
+    path: Q,
+    page_size: usize,
+    pool_pages: usize,
+) -> Result<SharedSequenceStore, StoreError> {
+    let file = FilePager::create(path, page_size)?;
+    let stack: SyncPager = Box::new(RetryPager::new(
+        ChecksumPager::new(file),
+        RetryPolicy::default(),
+    ));
+    SequenceStore::create(stack, pool_pages)
+}
+
+/// [`open_sequence_file`] with a thread-shareable pager stack.
+pub fn open_sequence_file_shared<Q: AsRef<Path>>(
+    path: Q,
+    page_size: usize,
+    pool_pages: usize,
+) -> Result<(SharedSequenceStore, RecoveryReport), StoreError> {
+    let path = path.as_ref();
+    let sniff = sniff_page_format(path)?;
+    let (file, _trimmed_bytes) = FilePager::open_trimmed(path, page_size)?;
+    let stack: SyncPager = match sniff {
         PAGE_FORMAT_CRC => Box::new(RetryPager::new(
             ChecksumPager::new(file),
             RetryPolicy::default(),

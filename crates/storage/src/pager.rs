@@ -125,7 +125,9 @@ pub trait Pager: Send {
 
 /// Boxed pagers are pagers: lets call sites pick a pager stack at runtime
 /// (plain vs checksummed files) behind one store type.
-impl Pager for Box<dyn Pager> {
+// Forwarding for any boxed pager, including trait objects (`Box<dyn Pager>`
+// and the shareable `Box<dyn Pager + Sync>` used by concurrent readers).
+impl<P: Pager + ?Sized> Pager for Box<P> {
     fn page_size(&self) -> usize {
         (**self).page_size()
     }

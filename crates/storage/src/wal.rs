@@ -1,0 +1,732 @@
+//! Write-ahead log for concurrent ingest.
+//!
+//! The WAL makes appends durable *before* they touch the main store: a
+//! sequence append, its derived feature vector, the R-tree insert and the
+//! folding checkpoint are each logged as a length-prefixed, CRC'd record.
+//! After a crash the log is replayed against the recovered store so no
+//! *acknowledged* append is lost, then truncated once a checkpoint folds the
+//! state into the TWR2/sidecar files.
+//!
+//! ## File layout
+//!
+//! Page 0 is a header page; records live back-to-back in a byte-addressed
+//! data region from page 1, mirroring [`crate::SequenceStore`]'s layout:
+//!
+//! ```text
+//! header:  magic "TWL1" | version | page_format | reserved
+//!          | committed_records u64 | committed_bytes u64 | crc32
+//! record:  kind u8 | payload_len u32 | payload | crc32(kind‖len‖payload)
+//! ```
+//!
+//! ## Durability protocol
+//!
+//! [`Wal::append`] stages a record (written, not yet acknowledged);
+//! [`Wal::commit`] syncs the data pages, *then* publishes the new extent in
+//! the header and syncs again. An append is **acknowledged** only when
+//! `commit` returns. Replay reads exactly `committed_bytes`: a crash between
+//! the two syncs leaves the old extent in force and the torn tail invisible,
+//! so recovery never surfaces a half-written record as data and never drops
+//! a record that was acknowledged. Damage *inside* the committed extent (bit
+//! rot, short reads) fails the record CRC and surfaces as a typed
+//! [`StoreError::Corrupt`] — never a silent truncation of acknowledged work.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::checksum::{ChecksumPager, Crc32};
+use crate::convert::{in_page_usize, u32_to_usize, usize_to_u64};
+use crate::pager::{FilePager, Pager};
+use crate::retry::{RetryPager, RetryPolicy};
+use crate::seqstore::StoreError;
+
+/// Magic marking a WAL header page ("TWL1").
+const MAGIC: u32 = 0x5457_4C31;
+const VERSION: u32 = 1;
+const HEADER_PAGE: u64 = 0;
+/// Bytes of the header covered by its trailing CRC.
+const HEADER_CRC_SPAN: usize = 32;
+/// Full header size: the CRC-covered fields plus the CRC itself. Pages must
+/// be at least this big for page 0 to hold the header.
+const HEADER_BYTES: usize = HEADER_CRC_SPAN + 4;
+/// kind (1) + payload length (4).
+const RECORD_PREFIX_BYTES: usize = 5;
+/// Trailing CRC over kind‖len‖payload.
+const RECORD_CRC_BYTES: usize = 4;
+
+/// Dimensionality of the feature vectors logged by feature/rtree records
+/// (the paper's 4-D `(first, last, min, max)` features).
+pub const WAL_FEATURE_DIMS: usize = 4;
+
+/// One logical WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A sequence was appended to the store under `id`.
+    AppendSequence { id: u64, values: Vec<f64> },
+    /// The feature sidecar entry for `id` was computed.
+    FeatureUpdate {
+        id: u64,
+        feature: [f64; WAL_FEATURE_DIMS],
+    },
+    /// The R-tree gained a data entry for `id` at `point`.
+    RtreeInsert {
+        id: u64,
+        point: [f64; WAL_FEATURE_DIMS],
+    },
+    /// Everything up to epoch `epoch` was folded into the base files.
+    Checkpoint { epoch: u64 },
+}
+
+const KIND_APPEND: u8 = 1;
+const KIND_FEATURE: u8 = 2;
+const KIND_RTREE: u8 = 3;
+const KIND_CHECKPOINT: u8 = 4;
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::AppendSequence { .. } => KIND_APPEND,
+            WalRecord::FeatureUpdate { .. } => KIND_FEATURE,
+            WalRecord::RtreeInsert { .. } => KIND_RTREE,
+            WalRecord::Checkpoint { .. } => KIND_CHECKPOINT,
+        }
+    }
+
+    fn encode_payload(&self, buf: &mut BytesMut) {
+        match self {
+            WalRecord::AppendSequence { id, values } => {
+                buf.put_u64_le(*id);
+                buf.put_u32_le(crate::convert::record_len_u32(values.len()));
+                for v in values {
+                    buf.put_f64_le(*v);
+                }
+            }
+            WalRecord::FeatureUpdate { id, feature } => {
+                buf.put_u64_le(*id);
+                for v in feature {
+                    buf.put_f64_le(*v);
+                }
+            }
+            WalRecord::RtreeInsert { id, point } => {
+                buf.put_u64_le(*id);
+                for v in point {
+                    buf.put_f64_le(*v);
+                }
+            }
+            WalRecord::Checkpoint { epoch } => buf.put_u64_le(*epoch),
+        }
+    }
+
+    fn decode_payload(kind: u8, mut payload: Bytes) -> Result<Self, StoreError> {
+        let need = |n: usize, payload: &Bytes| -> Result<(), StoreError> {
+            if payload.remaining() < n {
+                Err(StoreError::Corrupt("WAL record payload too short"))
+            } else {
+                Ok(())
+            }
+        };
+        match kind {
+            KIND_APPEND => {
+                need(12, &payload)?;
+                let id = payload.get_u64_le();
+                let count = payload.get_u32_le();
+                if count > crate::codec::MAX_RECORD_ELEMS {
+                    return Err(StoreError::Corrupt("WAL record length exceeds bound"));
+                }
+                let n = u32_to_usize(count);
+                need(n * 8, &payload)?;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(payload.get_f64_le());
+                }
+                if payload.remaining() > 0 {
+                    return Err(StoreError::Corrupt("WAL record payload has excess bytes"));
+                }
+                Ok(WalRecord::AppendSequence { id, values })
+            }
+            KIND_FEATURE | KIND_RTREE => {
+                need(8 + WAL_FEATURE_DIMS * 8, &payload)?;
+                let id = payload.get_u64_le();
+                let mut dims = [0.0f64; WAL_FEATURE_DIMS];
+                for d in &mut dims {
+                    *d = payload.get_f64_le();
+                }
+                if payload.remaining() > 0 {
+                    return Err(StoreError::Corrupt("WAL record payload has excess bytes"));
+                }
+                Ok(if kind == KIND_FEATURE {
+                    WalRecord::FeatureUpdate { id, feature: dims }
+                } else {
+                    WalRecord::RtreeInsert { id, point: dims }
+                })
+            }
+            KIND_CHECKPOINT => {
+                need(8, &payload)?;
+                let epoch = payload.get_u64_le();
+                if payload.remaining() > 0 {
+                    return Err(StoreError::Corrupt("WAL record payload has excess bytes"));
+                }
+                Ok(WalRecord::Checkpoint { epoch })
+            }
+            _ => Err(StoreError::Corrupt("WAL record kind unknown")),
+        }
+    }
+}
+
+/// What replay found while reopening a WAL (mirrors
+/// [`crate::RecoveryReport`] for the main store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalRecoveryReport {
+    /// Records inside the committed (acknowledged) extent, all replayed.
+    pub committed_records: u64,
+    /// Bytes of the committed extent.
+    pub committed_bytes: u64,
+    /// Bytes of whole pages allocated past the committed extent: a crashed
+    /// writer's staged-but-unacknowledged tail, discarded by design. Slack
+    /// inside the last committed page does not count.
+    pub uncommitted_tail_bytes: u64,
+}
+
+impl WalRecoveryReport {
+    /// Whether the log carried no torn (staged, never acknowledged) tail.
+    pub fn is_clean(&self) -> bool {
+        self.uncommitted_tail_bytes == 0
+    }
+}
+
+impl std::fmt::Display for WalRecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "wal clean: {} committed records ({} bytes)",
+                self.committed_records, self.committed_bytes
+            )
+        } else {
+            write!(
+                f,
+                "wal replayed {} committed records ({} bytes); \
+                 discarded {} unacknowledged tail bytes",
+                self.committed_records, self.committed_bytes, self.uncommitted_tail_bytes
+            )
+        }
+    }
+}
+
+/// A write-ahead log over any pager stack.
+///
+/// Unlike the main store the WAL bypasses the buffer pool: it is written
+/// once, sequentially, and replayed once on open — caching would only delay
+/// durability.
+pub struct Wal<P: Pager> {
+    pager: P,
+    page_size: usize,
+    committed_bytes: u64,
+    committed_records: u64,
+    staged_bytes: u64,
+    staged_records: u64,
+    /// Append-kind records logged over this handle's lifetime (observability;
+    /// survives truncation, unlike the extent counters).
+    appends_logged: u64,
+}
+
+/// A WAL over a runtime-chosen pager stack (see [`create_wal_file`]).
+pub type DynWal = Wal<Box<dyn Pager>>;
+
+impl<P: Pager> Wal<P> {
+    /// Creates an empty log on a fresh pager. The header is flushed
+    /// immediately so a writer killed right after `create` leaves an
+    /// openable file.
+    pub fn create(mut pager: P) -> Result<Self, StoreError> {
+        assert_eq!(pager.page_count(), 0, "create() requires an empty pager");
+        let page_size = pager.page_size();
+        if page_size < HEADER_BYTES {
+            return Err(StoreError::BadHeader("WAL page size below header size"));
+        }
+        pager.allocate()?; // header page
+        let mut wal = Self {
+            pager,
+            page_size,
+            committed_bytes: 0,
+            committed_records: 0,
+            staged_bytes: 0,
+            staged_records: 0,
+            appends_logged: 0,
+        };
+        wal.write_header()?;
+        wal.pager.sync()?;
+        Ok(wal)
+    }
+
+    /// Opens an existing log and replays its committed extent.
+    ///
+    /// Returns the acknowledged records in append order plus a report. Any
+    /// staged-but-unacknowledged tail past the committed extent is discarded
+    /// (and counted in the report); damage *inside* the committed extent is
+    /// a typed [`StoreError::Corrupt`] — acknowledged records are never
+    /// silently dropped.
+    pub fn open_recovering(
+        pager: P,
+    ) -> Result<(Self, Vec<WalRecord>, WalRecoveryReport), StoreError> {
+        let page_size = pager.page_size();
+        let page_format = pager.page_format_version();
+        if page_size < HEADER_BYTES {
+            return Err(StoreError::BadHeader("WAL page size below header size"));
+        }
+        if pager.page_count() == 0 {
+            return Err(StoreError::BadHeader("WAL file has no header page"));
+        }
+        let mut head = vec![0u8; page_size];
+        pager.read_page(HEADER_PAGE, &mut head)?;
+        let mut buf = Bytes::copy_from_slice(&head);
+        if buf.get_u32_le() != MAGIC {
+            return Err(StoreError::BadHeader("WAL magic"));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let header_page_format = buf.get_u32_le();
+        let _reserved = buf.get_u32_le();
+        let committed_records = buf.get_u64_le();
+        let committed_bytes = buf.get_u64_le();
+        let stored_crc = buf.get_u32_le();
+        // tw-allow(slice-index): page_size >= HEADER_BYTES checked on entry
+        if crate::checksum::crc32(&head[..HEADER_CRC_SPAN]) != stored_crc {
+            return Err(StoreError::BadHeader("WAL header checksum mismatch"));
+        }
+        if header_page_format != page_format {
+            return Err(StoreError::PageFormatMismatch {
+                header: header_page_format,
+                pager: page_format,
+            });
+        }
+        let allocated = pager
+            .page_count()
+            .saturating_sub(1)
+            .saturating_mul(usize_to_u64(page_size));
+        if committed_bytes > allocated {
+            // The commit protocol syncs data before publishing the extent;
+            // an extent past the allocation means the header lies.
+            return Err(StoreError::Corrupt(
+                "WAL committed extent exceeds allocated pages",
+            ));
+        }
+
+        let wal = Self {
+            pager,
+            page_size,
+            committed_bytes,
+            committed_records,
+            staged_bytes: 0,
+            staged_records: 0,
+            appends_logged: 0,
+        };
+        let mut records = Vec::with_capacity(usize::try_from(committed_records).unwrap_or(0));
+        let mut offset = 0u64;
+        for _ in 0..committed_records {
+            let (rec, consumed) = wal.read_record(offset, committed_bytes)?;
+            offset += consumed;
+            records.push(rec);
+        }
+        if offset != committed_bytes {
+            return Err(StoreError::Corrupt(
+                "WAL committed extent does not end on a record boundary",
+            ));
+        }
+        let committed_page_bytes = committed_bytes
+            .div_ceil(usize_to_u64(page_size))
+            .saturating_mul(usize_to_u64(page_size));
+        let report = WalRecoveryReport {
+            committed_records,
+            committed_bytes,
+            uncommitted_tail_bytes: allocated.saturating_sub(committed_page_bytes),
+        };
+        Ok((wal, records, report))
+    }
+
+    /// Stages a record: written to the log's pages but **not** yet
+    /// acknowledged. Call [`Wal::commit`] to make it durable.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let mut payload = BytesMut::new();
+        record.encode_payload(&mut payload);
+        let mut framed =
+            BytesMut::with_capacity(RECORD_PREFIX_BYTES + payload.len() + RECORD_CRC_BYTES);
+        framed.put_u8(record.kind());
+        framed.put_u32_le(crate::convert::record_len_u32(payload.len()));
+        framed.extend_from_slice(&payload);
+        let mut crc = Crc32::new();
+        crc.update(&framed);
+        framed.put_u32_le(crc.finalize());
+        let offset = self.committed_bytes + self.staged_bytes;
+        self.write_span(offset, &framed)?;
+        self.staged_bytes += usize_to_u64(framed.len());
+        self.staged_records += 1;
+        if matches!(record, WalRecord::AppendSequence { .. }) {
+            self.appends_logged += 1;
+        }
+        Ok(())
+    }
+
+    /// Acknowledges every staged record: syncs the data pages, then
+    /// publishes the grown extent in the header and syncs again. After
+    /// `commit` returns, replay is guaranteed to surface the records.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.staged_records == 0 {
+            return Ok(());
+        }
+        self.pager.sync()?;
+        self.committed_bytes += self.staged_bytes;
+        self.committed_records += self.staged_records;
+        self.staged_bytes = 0;
+        self.staged_records = 0;
+        self.write_header()?;
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    /// Stages and immediately acknowledges one record.
+    pub fn append_commit(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        self.append(record)?;
+        self.commit()
+    }
+
+    /// Resets the log to empty after a checkpoint folded its contents into
+    /// the base files. Old record bytes past the (now zero) extent are inert
+    /// — replay never reads beyond the committed extent.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        self.committed_bytes = 0;
+        self.committed_records = 0;
+        self.staged_bytes = 0;
+        self.staged_records = 0;
+        self.write_header()?;
+        self.pager.sync()?;
+        Ok(())
+    }
+
+    /// Acknowledged records currently in the log.
+    pub fn committed_records(&self) -> u64 {
+        self.committed_records
+    }
+
+    /// Acknowledged bytes currently in the log.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
+    /// Staged (written, unacknowledged) records awaiting [`Wal::commit`].
+    pub fn staged_records(&self) -> u64 {
+        self.staged_records
+    }
+
+    /// `AppendSequence` records logged over this handle's lifetime
+    /// (monotonic; not reset by [`Wal::truncate`]).
+    pub fn appends_logged(&self) -> u64 {
+        self.appends_logged
+    }
+
+    /// Reads and CRC-verifies one record at `offset`, bounded by `limit`.
+    fn read_record(&self, offset: u64, limit: u64) -> Result<(WalRecord, u64), StoreError> {
+        let prefix_need = usize_to_u64(RECORD_PREFIX_BYTES);
+        if offset + prefix_need > limit {
+            return Err(StoreError::Corrupt("WAL record header past extent"));
+        }
+        let mut prefix = self.read_span(offset, RECORD_PREFIX_BYTES)?;
+        let kind = prefix.get_u8();
+        let payload_len = prefix.get_u32_le();
+        if payload_len > crate::codec::MAX_RECORD_ELEMS * 8 + 64 {
+            return Err(StoreError::Corrupt("WAL record length exceeds bound"));
+        }
+        let total = RECORD_PREFIX_BYTES + u32_to_usize(payload_len) + RECORD_CRC_BYTES;
+        if offset + usize_to_u64(total) > limit {
+            return Err(StoreError::Corrupt("WAL record body past extent"));
+        }
+        let framed = self.read_span(offset, total)?;
+        let crc_at = total - RECORD_CRC_BYTES;
+        let stored = framed.slice(crc_at..total).get_u32_le();
+        // tw-allow(slice-index): read_span returned exactly `total` > crc_at bytes
+        if crate::checksum::crc32(&framed[..crc_at]) != stored {
+            return Err(StoreError::Corrupt("WAL record checksum mismatch"));
+        }
+        let payload = framed.slice(RECORD_PREFIX_BYTES..crc_at);
+        let rec = WalRecord::decode_payload(kind, payload)?;
+        Ok((rec, usize_to_u64(total)))
+    }
+
+    fn write_header(&mut self) -> Result<(), StoreError> {
+        let mut page = BytesMut::with_capacity(self.page_size);
+        page.put_u32_le(MAGIC);
+        page.put_u32_le(VERSION);
+        page.put_u32_le(self.pager.page_format_version());
+        page.put_u32_le(0); // reserved
+        page.put_u64_le(self.committed_records);
+        page.put_u64_le(self.committed_bytes);
+        let mut crc = Crc32::new();
+        // tw-allow(slice-index): the six fields just written total exactly HEADER_CRC_SPAN bytes
+        crc.update(&page[..HEADER_CRC_SPAN]);
+        page.put_u32_le(crc.finalize());
+        page.resize(self.page_size, 0);
+        self.pager.write_page(HEADER_PAGE, &page)?;
+        Ok(())
+    }
+
+    /// Data-region page number holding byte `offset`.
+    fn data_page(&self, offset: u64) -> u64 {
+        1 + offset / usize_to_u64(self.page_size)
+    }
+
+    fn read_span(&self, offset: u64, len: usize) -> Result<Bytes, StoreError> {
+        if len == 0 {
+            return Ok(Bytes::new());
+        }
+        let ps = usize_to_u64(self.page_size);
+        let first = self.data_page(offset);
+        let last = self.data_page(offset + usize_to_u64(len) - 1);
+        let mut raw = BytesMut::new();
+        let mut page_buf = vec![0u8; self.page_size];
+        for p in first..=last {
+            self.pager.read_page(p, &mut page_buf)?;
+            raw.extend_from_slice(&page_buf);
+        }
+        let start = in_page_usize(offset % ps);
+        Ok(raw.freeze().slice(start..start + len))
+    }
+
+    fn write_span(&mut self, offset: u64, data: &[u8]) -> Result<(), StoreError> {
+        let ps = usize_to_u64(self.page_size);
+        let end = offset + usize_to_u64(data.len());
+        let needed_last = self.data_page(end.saturating_sub(1).max(offset));
+        while self.pager.page_count() <= needed_last {
+            self.pager.allocate()?;
+        }
+        let mut page_buf = vec![0u8; self.page_size];
+        let mut written = 0usize;
+        let mut cursor = offset;
+        while written < data.len() {
+            let page = self.data_page(cursor);
+            let in_page = in_page_usize(cursor % ps);
+            let chunk = (self.page_size - in_page).min(data.len() - written);
+            if chunk < self.page_size {
+                self.pager.read_page(page, &mut page_buf)?;
+            }
+            // tw-allow(slice-index): chunk = min(page_size - in_page, data.len() - written)
+            page_buf[in_page..in_page + chunk].copy_from_slice(&data[written..written + chunk]);
+            self.pager.write_page(page, &page_buf)?;
+            written += chunk;
+            cursor += usize_to_u64(chunk);
+        }
+        Ok(())
+    }
+}
+
+/// Creates a new WAL file with the full protective stack (checksummed pages
+/// behind bounded retry), matching the v2 store stack.
+pub fn create_wal_file<Q: AsRef<std::path::Path>>(
+    path: Q,
+    page_size: usize,
+) -> Result<DynWal, StoreError> {
+    let file = FilePager::create(path, page_size)?;
+    let stack: Box<dyn Pager> = Box::new(RetryPager::new(
+        ChecksumPager::new(file),
+        RetryPolicy::default(),
+    ));
+    Wal::create(stack)
+}
+
+/// Opens an existing WAL file, trimming a trailing partial physical page
+/// (writer killed mid-write) before replaying the committed extent.
+pub fn open_wal_file<Q: AsRef<std::path::Path>>(
+    path: Q,
+    page_size: usize,
+) -> Result<(DynWal, Vec<WalRecord>, WalRecoveryReport), StoreError> {
+    let (file, _trimmed) = FilePager::open_trimmed(path, page_size)?;
+    let stack: Box<dyn Pager> = Box::new(RetryPager::new(
+        ChecksumPager::new(file),
+        RetryPolicy::default(),
+    ));
+    Wal::open_recovering(stack)
+}
+
+/// Opens `path` as a WAL if it exists, creating it otherwise. Returns the
+/// replayed records (empty for a fresh log).
+pub fn open_or_create_wal_file<Q: AsRef<std::path::Path>>(
+    path: Q,
+    page_size: usize,
+) -> Result<(DynWal, Vec<WalRecord>, WalRecoveryReport), StoreError> {
+    if path.as_ref().exists() {
+        open_wal_file(path, page_size)
+    } else {
+        Ok((
+            create_wal_file(path, page_size)?,
+            Vec::new(),
+            WalRecoveryReport::default(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    fn records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::AppendSequence {
+                id: 0,
+                values: vec![20.0, 21.0, 21.0, 20.0, 23.0],
+            },
+            WalRecord::FeatureUpdate {
+                id: 0,
+                feature: [20.0, 23.0, 20.0, 23.0],
+            },
+            WalRecord::RtreeInsert {
+                id: 0,
+                point: [20.0, 23.0, 20.0, 23.0],
+            },
+            WalRecord::AppendSequence {
+                id: 1,
+                values: (0..300).map(|i| i as f64 * 0.5).collect(),
+            },
+            WalRecord::Checkpoint { epoch: 2 },
+        ]
+    }
+
+    fn into_pager(wal: Wal<MemPager>) -> MemPager {
+        wal.pager
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let mut wal = Wal::create(MemPager::new(1024)).unwrap();
+        for r in &records() {
+            wal.append_commit(r).unwrap();
+        }
+        assert_eq!(wal.committed_records(), 5);
+        assert_eq!(wal.appends_logged(), 2);
+        let (wal2, replayed, report) = Wal::open_recovering(into_pager(wal)).expect("reopen");
+        assert_eq!(replayed, records());
+        assert_eq!(report.committed_records, 5);
+        assert_eq!(wal2.committed_records(), 5);
+    }
+
+    #[test]
+    fn staged_records_are_not_acknowledged() {
+        let mut wal = Wal::create(MemPager::new(1024)).unwrap();
+        wal.append_commit(&records()[0]).unwrap();
+        // Staged but never committed: must not replay.
+        wal.append(&records()[3]).unwrap();
+        assert_eq!(wal.staged_records(), 1);
+        let (_, replayed, report) = Wal::open_recovering(into_pager(wal)).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert!(!report.is_clean(), "staged tail is reported: {report}");
+        assert!(report.uncommitted_tail_bytes > 0);
+    }
+
+    #[test]
+    fn batch_commit_acknowledges_all_staged() {
+        let mut wal = Wal::create(MemPager::new(1024)).unwrap();
+        for r in &records() {
+            wal.append(r).unwrap();
+        }
+        wal.commit().unwrap();
+        let (_, replayed, _) = Wal::open_recovering(into_pager(wal)).unwrap();
+        assert_eq!(replayed.len(), 5);
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let mut wal = Wal::create(MemPager::new(1024)).unwrap();
+        for r in &records() {
+            wal.append_commit(r).unwrap();
+        }
+        wal.truncate().unwrap();
+        assert_eq!(wal.committed_records(), 0);
+        // New appends after the truncation replay alone.
+        wal.append_commit(&records()[4]).unwrap();
+        let (_, replayed, _) = Wal::open_recovering(into_pager(wal)).unwrap();
+        assert_eq!(replayed, vec![records()[4].clone()]);
+    }
+
+    #[test]
+    fn bit_flip_inside_committed_extent_is_typed_corruption() {
+        let mut wal = Wal::create(MemPager::new(1024)).unwrap();
+        for r in &records() {
+            wal.append_commit(r).unwrap();
+        }
+        let mut pager = into_pager(wal);
+        // Flip a byte in the first record (page 1, offset 8).
+        let mut buf = vec![0u8; 1024];
+        pager.read_page(1, &mut buf).unwrap();
+        buf[8] ^= 0x40;
+        pager.write_page(1, &buf).unwrap();
+        let err = match Wal::open_recovering(pager) {
+            Err(e) => e,
+            Ok(_) => panic!("bit-flipped acknowledged record must not replay"),
+        };
+        assert!(err.is_corruption(), "{err}");
+    }
+
+    #[test]
+    fn records_span_pages() {
+        let mut wal = Wal::create(MemPager::new(1024)).unwrap();
+        let long = WalRecord::AppendSequence {
+            id: 9,
+            values: (0..1000).map(|i| i as f64).collect(),
+        };
+        wal.append_commit(&long).unwrap();
+        wal.append_commit(&records()[4]).unwrap();
+        let (_, replayed, _) = Wal::open_recovering(into_pager(wal)).unwrap();
+        assert_eq!(replayed, vec![long, records()[4].clone()]);
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        let mut pager = MemPager::new(1024);
+        pager.allocate().unwrap();
+        assert!(matches!(
+            Wal::open_recovering(pager),
+            Err(StoreError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn wal_file_roundtrip_with_checksummed_stack() {
+        let dir = std::env::temp_dir().join(format!("twwal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.twl");
+        {
+            let mut wal = create_wal_file(&path, 1024).unwrap();
+            for r in &records() {
+                wal.append_commit(r).unwrap();
+            }
+        }
+        let (_, replayed, report) = open_wal_file(&path, 1024).expect("reopen");
+        assert_eq!(replayed, records());
+        assert!(report.is_clean(), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_tail_loses_only_unacknowledged_work() {
+        // Acknowledged records survive chopping the staged region; this is
+        // the kill -9 shape the crashtest drives end to end.
+        let dir = std::env::temp_dir().join(format!("twwal-chop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.twl");
+        {
+            let mut wal = create_wal_file(&path, 1024).unwrap();
+            wal.append_commit(&records()[0]).unwrap();
+            // Large staged-but-unacknowledged tail.
+            wal.append(&WalRecord::AppendSequence {
+                id: 1,
+                values: vec![1.0; 600],
+            })
+            .unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 700).unwrap();
+        drop(f);
+        let (_, replayed, _) = open_wal_file(&path, 1024).expect("recovering open");
+        assert_eq!(replayed, vec![records()[0].clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

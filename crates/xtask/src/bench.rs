@@ -22,7 +22,7 @@ use tw_core::search::{
     EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch, SearchEngine,
     StFilterSearch, TwSimSearch,
 };
-use tw_core::{BoundTier, CascadeSpec, QueryStats};
+use tw_core::{BoundTier, CascadeSpec, ConcurrentIngest, QueryStats};
 use tw_storage::{EnvelopeSidecar, MemPager, SequenceStore};
 use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
 
@@ -34,7 +34,12 @@ use crate::json::{self, Json};
 /// v2: every engine is run twice — with and without the standard lower-bound
 /// cascade — so each `per_engine` entry is now keyed by [`ARMS`], and the
 /// per-tier prune ledger grew the `lb_keogh` / `lb_improved` tiers.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: a top-level `ingest` arm — a seeded append run through the WAL-backed
+/// `ConcurrentIngest` recording append count, WAL record/byte volume and the
+/// checkpoint fold. Everything except `elapsed_ms` is a pure function of the
+/// seed.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Engine labels in report order — every run covers all seven.
 pub const ENGINES: [&str; 7] = [
@@ -146,7 +151,60 @@ pub fn run(config: &BenchConfig, commit: &str) -> Result<Json, String> {
         }
     }
 
-    Ok(report(config, commit, &aggs))
+    let ingest = run_ingest_arm(config)?;
+    Ok(report(config, commit, &aggs, ingest))
+}
+
+/// The `ingest` arm: a seeded append run through the WAL-backed concurrent
+/// ingest path. Every append is WAL-committed (the acknowledgement point),
+/// then one checkpoint folds the tail into the base store and index. All
+/// counters except `elapsed_ms` are a pure function of the seed.
+fn run_ingest_arm(config: &BenchConfig) -> Result<Json, String> {
+    let appends = if config.smoke { 60 } else { 240 };
+    let len = config.seq_lens.first().copied().unwrap_or(32);
+    let data = generate_random_walks(
+        &RandomWalkConfig::paper(appends, len),
+        config.seed ^ 0x1A6E57,
+    );
+
+    let ingest = ConcurrentIngest::in_memory();
+    let started = Instant::now();
+    let mut writer = ingest
+        .writer()
+        .map_err(|e| format!("ingest arm: claiming writer: {e}"))?;
+    for s in &data {
+        writer
+            .append(s)
+            .map_err(|e| format!("ingest arm: append: {e}"))?;
+    }
+    // WAL volume is read *before* the checkpoint truncates the log: this is
+    // the full durability cost of the append run.
+    let wal_records = ingest.wal_committed_records();
+    let wal_bytes = ingest.wal_committed_bytes();
+    let folded = writer
+        .checkpoint()
+        .map_err(|e| format!("ingest arm: checkpoint: {e}"))?;
+    let elapsed_nanos = started.elapsed().as_nanos();
+
+    if ingest.len() != data.len() {
+        return Err(format!(
+            "ingest arm: {} sequence(s) visible after {} append(s)",
+            ingest.len(),
+            data.len()
+        ));
+    }
+    Ok(Json::Obj(vec![
+        (
+            "elapsed_ms".to_string(),
+            Json::Num(elapsed_nanos as f64 / 1e6),
+        ),
+        ("appends".to_string(), num(appends as u64)),
+        ("seq_len".to_string(), num(len as u64)),
+        ("wal_records".to_string(), num(wal_records)),
+        ("wal_bytes".to_string(), num(wal_bytes)),
+        ("checkpoint_folded".to_string(), num(folded.folded as u64)),
+        ("final_epoch".to_string(), num(folded.epoch)),
+    ]))
 }
 
 struct BuiltEngines {
@@ -264,7 +322,7 @@ fn arm_report(agg: &EngineAgg) -> Json {
     ])
 }
 
-fn report(config: &BenchConfig, commit: &str, aggs: &[[EngineAgg; 2]]) -> Json {
+fn report(config: &BenchConfig, commit: &str, aggs: &[[EngineAgg; 2]], ingest: Json) -> Json {
     let config_obj = Json::Obj(vec![
         ("smoke".to_string(), Json::Bool(config.smoke)),
         ("seed".to_string(), num(config.seed)),
@@ -317,11 +375,13 @@ fn report(config: &BenchConfig, commit: &str, aggs: &[[EngineAgg; 2]]) -> Json {
         ("commit".to_string(), Json::Str(commit.to_string())),
         ("config".to_string(), config_obj),
         ("per_engine".to_string(), Json::Obj(per_engine)),
+        ("ingest".to_string(), ingest),
     ])
 }
 
 /// The fields every run must carry, in order — the pinned schema.
-pub const TOP_LEVEL_KEYS: [&str; 4] = ["schema_version", "commit", "config", "per_engine"];
+pub const TOP_LEVEL_KEYS: [&str; 5] =
+    ["schema_version", "commit", "config", "per_engine", "ingest"];
 pub const CONFIG_KEYS: [&str; 9] = [
     "smoke",
     "seed",
@@ -343,6 +403,15 @@ pub const ENGINE_KEYS: [&str; 7] = [
     "matches",
 ];
 pub const PRUNE_KEYS: [&str; 5] = ["lb_kim", "lb_yi", "lb_keogh", "lb_improved", "embedding"];
+pub const INGEST_KEYS: [&str; 7] = [
+    "elapsed_ms",
+    "appends",
+    "seq_len",
+    "wal_records",
+    "wal_bytes",
+    "checkpoint_folded",
+    "final_epoch",
+];
 
 fn check_keys(what: &str, doc: &Json, expected: &[&str]) -> Result<(), String> {
     let keys = doc.keys();
@@ -439,6 +508,17 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             for key in PRUNE_KEYS {
                 check_num(&format!("{what}.prune_counts.{key}"), prune.get(key))?;
             }
+        }
+    }
+
+    let ingest = doc.get("ingest").ok_or("missing ingest")?;
+    check_keys("ingest", ingest, &INGEST_KEYS)?;
+    for key in INGEST_KEYS {
+        check_num(&format!("ingest.{key}"), ingest.get(key))?;
+    }
+    for key in ["appends", "wal_records", "wal_bytes"] {
+        if check_num(&format!("ingest.{key}"), ingest.get(key))? == 0.0 {
+            return Err(format!("ingest.{key}: the ingest arm did no work"));
         }
     }
     Ok(())
@@ -554,6 +634,27 @@ mod tests {
             );
             assert!(on < off, "{label}: cascade_on {on} >= cascade_off {off}");
         }
+    }
+
+    #[test]
+    fn ingest_arm_counters_are_deterministic_and_complete() {
+        let doc = run(&BenchConfig::smoke(11), "c").unwrap();
+        let get = |key: &str| {
+            doc.get("ingest")
+                .and_then(|i| i.get(key))
+                .and_then(Json::as_f64)
+                .expect("ingest field present")
+        };
+        // Every append logs an AppendSequence plus a FeatureUpdate record.
+        assert_eq!(get("wal_records"), get("appends") * 2.0);
+        assert!(get("wal_bytes") > 0.0);
+        assert_eq!(get("checkpoint_folded"), get("appends"));
+        // Same seed, same counters (elapsed aside).
+        let again = run(&BenchConfig::smoke(11), "c").unwrap();
+        assert_eq!(
+            doc.get("ingest").and_then(|i| i.get("wal_bytes")),
+            again.get("ingest").and_then(|i| i.get("wal_bytes"))
+        );
     }
 
     #[test]

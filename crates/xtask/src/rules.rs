@@ -22,6 +22,11 @@
 //!   sleeps through the `Clock` abstraction (`tw_storage::govern`) so query
 //!   deadlines are mockable; raw `Instant::now()` / `SystemTime::now()` /
 //!   `thread::sleep` are forbidden outside the sanctioned sources.
+//! * **concurrency** — `lock-hygiene`: a `let`-bound guard from a
+//!   zero-argument `.lock()` / `.read()` / `.write()` must not still be
+//!   lexically live when `read_page(` / `write_page(` / `allocate(` /
+//!   `.sync(` runs — holding a lock across pager I/O stalls every other
+//!   thread for a device round-trip. The baseline holds zero entries.
 //!
 //! Plus `forbid-unsafe` / `unsafe-code` (every library crate declares
 //! `#![forbid(unsafe_code)]`) and `bad-allow` (a `tw-allow` with an unknown
@@ -93,6 +98,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "raw Instant::now/SystemTime::now/thread::sleep in library code; use the Clock abstraction",
     ),
     (
+        "lock-hygiene",
+        "concurrency",
+        "lock guard held across pager I/O (read_page/write_page/sync/allocate); narrow the critical section",
+    ),
+    (
         "forbid-unsafe",
         "unsafe",
         "library crate roots must declare #![forbid(unsafe_code)]",
@@ -159,6 +169,11 @@ pub fn analyze_source(file: &str, source: &str, class: FileClass) -> Vec<Violati
     let lexed = lex(source);
     let skip = test_code_mask(&lexed.tokens);
     let mut raw = scan(&lexed.tokens, &skip, class);
+    if class.library {
+        raw.extend(scan_lock_hygiene(&lexed.tokens, &skip));
+        raw.sort_by_key(|(line, rule, _)| (*line, *rule));
+        raw.dedup();
+    }
     if class.crate_root && !has_forbid_unsafe(&lexed.tokens) {
         raw.push((1, "forbid-unsafe", "missing #![forbid(unsafe_code)]".into()));
     }
@@ -501,6 +516,107 @@ fn check_fn_signature(tokens: &[Token], fn_at: usize) -> Option<(u32, &'static s
 }
 
 // ---------------------------------------------------------------------------
+// lock hygiene
+// ---------------------------------------------------------------------------
+
+/// Pager I/O calls that must not run under a lock guard: holding a mutex or
+/// rwlock across device I/O turns every reader into a hostage of the disk.
+const PAGER_IO_CALLS: &[&str] = &["read_page", "write_page", "allocate"];
+
+/// Flags pager I/O performed while a lexically live lock guard is held.
+///
+/// A guard is a `let`-binding whose initializer ends in a zero-argument
+/// `.lock()` / `.read()` / `.write()` call (the `Mutex`/`RwLock` shapes;
+/// `io::Read::read(&mut buf)`-style calls take arguments and do not match).
+/// The guard is considered held from its `;` until the enclosing block
+/// closes or an explicit `drop(guard)` releases it, whichever comes first.
+/// Inside that span, `read_page(` / `write_page(` / `allocate(` / `.sync(`
+/// each fire one violation. Purely lexical: guards smuggled across function
+/// boundaries are out of scope, as is I/O hidden behind helper calls.
+fn scan_lock_hygiene(tokens: &[Token], skip: &[bool]) -> Vec<(u32, &'static str, String)> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if skip[i] || t.text != "let" || t.kind != Kind::Ident {
+            continue;
+        }
+        // Bound name: `let [mut] name = ...`. Tuple/struct patterns are
+        // skipped — the common guard shape is a plain binding.
+        let mut j = i + 1;
+        if at(tokens, j) == "mut" {
+            j += 1;
+        }
+        let (name, name_kind) = match tokens.get(j) {
+            Some(n) => (n.text.as_str(), n.kind),
+            None => continue,
+        };
+        // `let _ = m.lock()` drops the guard immediately — not a hold.
+        if name_kind != Kind::Ident || name == "_" || at(tokens, j + 1) != "=" {
+            continue;
+        }
+        // Find the statement-ending `;` (bounded lookahead; nested calls are
+        // fine, initializers with block bodies are not worth chasing).
+        let semi = match (j + 2..tokens.len().min(j + 62)).find(|&k| tokens[k].text == ";") {
+            Some(k) => k,
+            None => continue,
+        };
+        let init = &tokens[j + 2..semi];
+        let acquires_guard = init.windows(4).any(|w| {
+            w[0].text == "."
+                && matches!(w[1].text.as_str(), "lock" | "read" | "write")
+                && w[2].text == "("
+                && w[3].text == ")"
+        });
+        if !acquires_guard {
+            continue;
+        }
+        // The guard lives until the enclosing block closes or `drop(name)`.
+        let mut depth = 0i32;
+        let mut k = semi + 1;
+        while k < tokens.len() {
+            let tk = &tokens[k];
+            match tk.text.as_str() {
+                "{" if tk.kind == Kind::Punct => depth += 1,
+                "}" if tk.kind == Kind::Punct => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                "drop" if at(tokens, k + 1) == "(" && at(tokens, k + 2) == name => break,
+                io if PAGER_IO_CALLS.contains(&io) && at(tokens, k + 1) == "(" => {
+                    // I/O *through this guard* (`guard.read_page(..)`) means
+                    // the lock protects the device itself — the granular
+                    // pattern the rule exists to encourage, not a violation.
+                    let through_guard = at(tokens, k.wrapping_sub(1)) == "."
+                        && at(tokens, k.wrapping_sub(2)) == name;
+                    if !through_guard {
+                        out.push((
+                            tk.line,
+                            "lock-hygiene",
+                            format!("{io}() while the `{name}` guard is held"),
+                        ));
+                    }
+                }
+                "sync"
+                    if at(tokens, k.wrapping_sub(1)) == "."
+                        && at(tokens, k + 1) == "("
+                        && at(tokens, k.wrapping_sub(2)) != name =>
+                {
+                    out.push((
+                        tk.line,
+                        "lock-hygiene",
+                        format!("sync() while the `{name}` guard is held"),
+                    ));
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // suppression
 // ---------------------------------------------------------------------------
 
@@ -609,6 +725,54 @@ mod tests {
     fn raw_time_allow_escape_hatch() {
         let src = "fn f() { Instant::now(); // tw-allow(raw-time): sanctioned source\n}";
         assert!(fired(src, FileClass::library()).is_empty());
+    }
+
+    #[test]
+    fn lock_guard_across_pager_io_fires() {
+        let src = "fn f(&self) { let meta = self.meta.lock();\n \
+                   self.pager.read_page(0, &mut buf)?;\n }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.contains(&("lock-hygiene", 2)), "{rules:?}");
+    }
+
+    #[test]
+    fn rwlock_guard_across_sync_fires() {
+        let src = "fn f(&self) { let base = self.base.write();\n self.pager.sync()?;\n }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.contains(&("lock-hygiene", 2)), "{rules:?}");
+    }
+
+    #[test]
+    fn dropped_guard_before_io_is_clean() {
+        let src = "fn f(&self) { let meta = self.meta.lock(); let n = meta.len; drop(meta);\n \
+                   self.pager.read_page(0, &mut buf)?;\n }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.iter().all(|(r, _)| *r != "lock-hygiene"), "{rules:?}");
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        let src = "fn f(&self) { { let meta = self.meta.lock(); let _ = meta.len; }\n \
+                   self.pager.write_page(0, &buf)?;\n }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.iter().all(|(r, _)| *r != "lock-hygiene"), "{rules:?}");
+    }
+
+    #[test]
+    fn io_read_with_arguments_is_not_a_guard() {
+        let src = "fn f(&self) { let n = file.read(&mut buf)?;\n \
+                   self.pager.read_page(0, &mut buf)?;\n }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.iter().all(|(r, _)| *r != "lock-hygiene"), "{rules:?}");
+    }
+
+    #[test]
+    fn lock_hygiene_allow_escape_hatch() {
+        let src = "fn f(&self) { let wal = self.wal.lock();\n \
+                   // tw-allow(lock-hygiene): the WAL mutex is its serialization point\n \
+                   wal.pager.sync()?;\n }";
+        let rules = fired(src, FileClass::library());
+        assert!(rules.iter().all(|(r, _)| *r != "lock-hygiene"), "{rules:?}");
     }
 
     #[test]

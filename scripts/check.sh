@@ -38,6 +38,15 @@ cargo run -q -p xtask --offline -- validate-bench "$BENCH_SMOKE_OUT"
 echo "==> fault injection (fixed seeds)"
 cargo test -q -p tw-integration --offline --test fault_injection
 
+# Seeded writer/reader interleavings at 1/2/4 reader threads: every snapshot
+# query is checked exact against a direct-DTW replay of that epoch's corpus.
+# Also part of the workspace run; named here for its own CI heading.
+echo "==> snapshot-consistency stress (seeded interleavings)"
+cargo test -q -p tw-integration --offline --test snapshot_stress
+
+# Includes the concurrent WAL-backed section: the writer is killed (abort
+# hook and real SIGKILL) while reader threads query pinned snapshots, and
+# recovery must replay every acknowledged append.
 echo "==> crash recovery"
 "$(dirname "$0")/crashtest.sh"
 

@@ -6,6 +6,10 @@
 # The deterministic kill points use the TWSEARCH_CRASH_AFTER_APPENDS hook in
 # `twsearch generate`, which calls abort() — no flush, no cleanup — after N
 # appends. A final best-effort case delivers a real SIGKILL mid-run.
+#
+# The concurrent section runs the WAL-backed `twsearch ingest` path instead:
+# reader threads query pinned snapshots while the writer is killed mid-ingest,
+# and recovery must replay every *acknowledged* (acked-line) append.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +64,86 @@ if kill -9 "$writer" 2>/dev/null; then
     fi
 else
     echo "    sigkill: writer finished before the signal landed (ok)"
+fi
+
+# Concurrent WAL-backed ingest: the writer appends through the WAL while
+# reader threads continuously pin snapshots and query them (the CLI checks
+# every outcome for snapshot consistency in-process). Kill the whole process
+# after exactly N acknowledged appends and assert that recovery replays every
+# acked append — the WAL's durability contract: acknowledged means never lost.
+concurrent_recover_and_check() {
+    local dir="$1" acked="$2" label="$3"
+    local db="$dir/db.tws" wal="$dir/db.twl" idx="$dir/db.twr"
+    # Pre-recovery audit: the WAL must anchor every acknowledged append.
+    # (It may anchor one more: a kill can land between the WAL commit and
+    # the acked line reaching the captured output — never the reverse.)
+    "$TW" verify-store --db "$db" --wal "$wal" > "$dir/verify-pre.out"
+    local recoverable
+    recoverable=$(grep '^recoverable' "$dir/verify-pre.out" | awk '{print $2}')
+    [[ "$recoverable" -ge "$acked" ]] || {
+        echo "FAIL($label): acked $acked append(s) but only $recoverable recoverable"
+        cat "$dir/verify-pre.out"; exit 1; }
+    # Recover (replay + index rebuild/validation + WAL truncate)…
+    "$TW" ingest --db "$db" --wal "$wal" --index "$idx" --count 0 > "$dir/recover.out"
+    grep -q "opened $recoverable sequence(s)" "$dir/recover.out" || {
+        echo "FAIL($label): recovery did not restore $recoverable sequence(s)"
+        cat "$dir/recover.out"; exit 1; }
+    # …then the full post-recovery sweep: store, index, and an empty WAL.
+    "$TW" verify-store --db "$db" --index "$idx" --wal "$wal" > "$dir/verify-post.out"
+    grep -q "integrity    OK" "$dir/verify-post.out" || {
+        echo "FAIL($label): post-recovery store integrity"; exit 1; }
+    grep -q "index        OK" "$dir/verify-post.out" || {
+        echo "FAIL($label): post-recovery index integrity"; exit 1; }
+    grep -q "0 append(s) pending" "$dir/verify-post.out" || {
+        echo "FAIL($label): WAL not folded after recovery"; exit 1; }
+    # A query over the recovered store still answers (index path).
+    "$TW" query --db "$db" --index "$idx" --eps 1000 --values 5,5,5 > /dev/null
+    echo "    $label: all $acked acknowledged append(s) recovered, store+index+wal verify OK"
+}
+
+for n in 1 7 40 100; do
+    dir="$WORK/concurrent-$n"
+    mkdir -p "$dir"
+    echo "==> concurrent ingest, abort after $n acknowledged appends"
+    rc=0
+    TWSEARCH_CRASH_AFTER_APPENDS=$n \
+        "$TW" ingest --db "$dir/db.tws" --wal "$dir/db.twl" --index "$dir/db.twr" \
+        --count 200 --len 24 --seed 9 --readers 2 --checkpoint-every 32 \
+        > "$dir/ingest.out" 2>&1 || rc=$?
+    [[ $rc -ne 0 ]] || { echo "FAIL: concurrent writer was supposed to crash"; exit 1; }
+    acked=$(grep -c '^acked ' "$dir/ingest.out")
+    [[ "$acked" -eq "$n" ]] || {
+        echo "FAIL: expected exactly $n acked line(s), saw $acked"; exit 1; }
+    concurrent_recover_and_check "$dir" "$n" "concurrent-abort@$n"
+done
+
+# Best-effort real SIGKILL mid-ingest with readers querying: the acked lines
+# in the captured output are the durability contract — whatever the writer
+# acknowledged before the signal landed must survive.
+dir="$WORK/concurrent-sigkill"
+mkdir -p "$dir"
+echo "==> concurrent ingest, SIGKILL mid-run"
+"$TW" ingest --db "$dir/db.tws" --wal "$dir/db.twl" --index "$dir/db.twr" \
+    --count 50000 --len 32 --seed 13 --readers 2 --checkpoint-every 512 \
+    > "$dir/ingest.out" 2>&1 &
+writer=$!
+acked_lines() {
+    local c
+    c=$(grep -c '^acked ' "$1" 2>/dev/null) || true
+    echo "${c:-0}"
+}
+while [[ $(acked_lines "$dir/ingest.out") -lt 5 ]] \
+    && kill -0 "$writer" 2>/dev/null; do sleep 0.02; done
+if kill -9 "$writer" 2>/dev/null; then
+    wait "$writer" 2>/dev/null || true
+    acked=$(acked_lines "$dir/ingest.out")
+    if [[ "$acked" -gt 0 ]]; then
+        concurrent_recover_and_check "$dir" "$acked" "concurrent-sigkill"
+    else
+        echo "    concurrent-sigkill: writer died before the first acknowledgement (ok)"
+    fi
+else
+    echo "    concurrent-sigkill: writer finished before the signal landed (ok)"
 fi
 
 # Control: an uninterrupted ingest is clean end to end.

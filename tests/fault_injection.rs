@@ -14,8 +14,9 @@ use tw_core::distance::DtwKind;
 use tw_core::search::{EngineOpts, LbScan, ResilientSearch, SearchEngine, TwSimSearch};
 use tw_core::TwError;
 use tw_storage::{
-    decode_record_v2, encode_record_to_bytes_v2, ChecksumPager, FaultConfig, FaultHandle,
-    FaultPager, MemPager, RetryPager, RetryPolicy, SequenceStore,
+    create_wal_file, decode_record_v2, encode_record_to_bytes_v2, open_wal_file, ChecksumPager,
+    FaultConfig, FaultHandle, FaultPager, FilePager, MemPager, RetryPager, RetryPolicy,
+    SequenceStore, Wal, WalRecord,
 };
 use tw_workload::{generate_random_walks, RandomWalkConfig};
 
@@ -335,4 +336,265 @@ proptest! {
             Err(e) => prop_assert!(e.is_corruption() || matches!(e, tw_storage::CodecError::Truncated { .. })),
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay fault matrix: a write-ahead log must come back from torn tails
+// by clean truncation, and from in-extent damage with a typed error — never
+// with silently missing or altered acknowledged records.
+// ---------------------------------------------------------------------------
+
+const WAL_PAGE: usize = 1024;
+
+fn wal_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("twfault-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Write `count` acknowledged (committed) append records and return them.
+fn committed_wal(path: &std::path::Path, count: u64) -> Vec<WalRecord> {
+    let mut wal = create_wal_file(path, WAL_PAGE).expect("create wal");
+    let mut records = Vec::new();
+    for id in 0..count {
+        let values: Vec<f64> = (0..24).map(|j| (id * 31 + j) as f64 * 0.25).collect();
+        let record = WalRecord::AppendSequence { id, values };
+        wal.append(&record).expect("append");
+        wal.commit().expect("commit");
+        records.push(record);
+    }
+    records
+}
+
+/// A crash after staging but before commit leaves a torn tail. Recovery must
+/// keep every acknowledged record and discard the tail — clean truncation,
+/// not an error, and certainly not replay of unacknowledged data.
+#[test]
+fn torn_wal_tail_is_discarded_without_losing_acknowledged_records() {
+    let dir = wal_temp_dir("torn-tail");
+    let path = dir.join("wal.twl");
+    let committed = committed_wal(&path, 10);
+    {
+        // Re-open and stage records WITHOUT committing, then "crash" (drop).
+        let (mut wal, replayed, report) = open_wal_file(&path, WAL_PAGE).expect("reopen");
+        assert_eq!(replayed, committed, "clean reopen must replay exactly");
+        assert!(report.is_clean());
+        // Big enough to spill whole pages past the committed extent (the
+        // recovery report only counts whole discarded pages, not slack).
+        for id in 10..18 {
+            wal.append(&WalRecord::AppendSequence {
+                id,
+                values: vec![1.0; 64],
+            })
+            .expect("stage");
+        }
+        assert_eq!(wal.staged_records(), 8);
+        // Dropped here: staged pages may be on disk, the header is not.
+    }
+
+    let (wal, replayed, report) = open_wal_file(&path, WAL_PAGE).expect("recover");
+    assert_eq!(
+        replayed, committed,
+        "torn tail changed the acknowledged record set"
+    );
+    assert_eq!(report.committed_records, 10);
+    assert!(
+        report.uncommitted_tail_bytes > 0,
+        "the staged tail should be visible as discarded bytes"
+    );
+    assert!(!report.is_clean());
+    assert_eq!(wal.committed_records(), 10);
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit flip INSIDE the committed extent is not recoverable by truncation:
+/// an acknowledged record is damaged, and replay must say so with a typed
+/// corruption error instead of returning a plausible-but-wrong record set.
+#[test]
+fn bit_flip_inside_committed_extent_is_typed_corruption() {
+    let dir = wal_temp_dir("bit-flip");
+    let path = dir.join("wal.twl");
+    let committed = committed_wal(&path, 10);
+    assert!(committed.len() == 10);
+
+    let mut raw = std::fs::read(&path).expect("read wal file");
+    assert!(
+        raw.len() > WAL_PAGE + 64,
+        "committed extent should span past the first data page"
+    );
+    // Damage the first data page, well inside the committed extent.
+    raw[WAL_PAGE + 40] ^= 0x20;
+    std::fs::write(&path, &raw).expect("write damaged wal");
+
+    match open_wal_file(&path, WAL_PAGE) {
+        Ok((_, replayed, _)) => {
+            // If the stack somehow accepts the file, the acknowledged records
+            // must still be byte-identical — anything else is silent loss.
+            assert_eq!(replayed, committed, "damaged WAL replayed wrong records");
+            panic!("a flipped bit inside the committed extent went undetected");
+        }
+        Err(e) => assert!(
+            e.is_corruption(),
+            "expected a typed corruption error, got: {e}"
+        ),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Chopping whole committed pages off the end of the file (e.g. a filesystem
+/// that lost an extent) removes acknowledged data; recovery must fail with a
+/// typed error rather than quietly replaying the shortened prefix.
+#[test]
+fn truncated_committed_extent_is_a_typed_error_never_a_short_replay() {
+    let dir = wal_temp_dir("chopped");
+    let path = dir.join("wal.twl");
+    let committed = committed_wal(&path, 10);
+
+    // Keep the header page and the first data page only.
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .expect("open wal file");
+    file.set_len(2 * WAL_PAGE as u64).expect("chop file");
+    drop(file);
+
+    match open_wal_file(&path, WAL_PAGE) {
+        Ok((_, replayed, _)) => {
+            assert_eq!(
+                replayed, committed,
+                "chopped WAL silently replayed a shortened record set"
+            );
+            panic!("chopped committed extent went undetected");
+        }
+        Err(e) => {
+            // Typed: corruption (header promises more bytes than exist) —
+            // the one thing it must never be is a short Ok.
+            let msg = e.to_string();
+            assert!(
+                e.is_corruption() || msg.contains("page") || msg.contains("range"),
+                "untyped error for chopped extent: {e}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Short reads during replay zero the tail of a page in transit. The page
+/// checksum catches it, and with corrupt-retry enabled a re-read heals it —
+/// replay converges to exactly the acknowledged record set.
+#[test]
+fn short_reads_during_replay_heal_to_the_exact_record_set() {
+    let dir = wal_temp_dir("short-read");
+    let path = dir.join("wal.twl");
+    let committed = committed_wal(&path, 12);
+
+    let mut healed = 0usize;
+    for seed in 0..6u64 {
+        let (file, _trimmed) = FilePager::open_trimmed(&path, WAL_PAGE).expect("open file");
+        let config = FaultConfig {
+            short_read_per_mille: 400,
+            ..FaultConfig::quiet(seed)
+        };
+        let (faulty, handle) = FaultPager::new(file, config);
+        handle.arm();
+        let stack = RetryPager::new(
+            ChecksumPager::new(faulty),
+            RetryPolicy::default().with_retry_corrupt(),
+        );
+
+        let (wal, replayed, report) = Wal::open_recovering(stack).expect("healed replay");
+        assert_eq!(
+            replayed, committed,
+            "seed {seed}: healed replay diverged from the acknowledged set"
+        );
+        assert_eq!(report.committed_records, 12);
+        assert_eq!(wal.committed_records(), 12);
+        if handle.stats().short_reads > 0 {
+            healed += 1;
+        }
+    }
+    assert!(
+        healed > 0,
+        "no seed ever fired a short read — matrix is vacuous"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same schedule WITHOUT corrupt-retry: replay may fail, but only with a
+/// typed corruption error; any Ok must carry the exact acknowledged records.
+#[test]
+fn unhealed_short_reads_surface_typed_corruption_never_wrong_records() {
+    let dir = wal_temp_dir("short-read-noheal");
+    let path = dir.join("wal.twl");
+    let committed = committed_wal(&path, 12);
+
+    let mut fired = 0usize;
+    let mut failures = 0usize;
+    for seed in 0..8u64 {
+        let (file, _trimmed) = FilePager::open_trimmed(&path, WAL_PAGE).expect("open file");
+        let config = FaultConfig {
+            short_read_per_mille: 400,
+            ..FaultConfig::quiet(seed)
+        };
+        let (faulty, handle) = FaultPager::new(file, config);
+        handle.arm();
+        let stack = RetryPager::new(ChecksumPager::new(faulty), RetryPolicy::default());
+
+        match Wal::open_recovering(stack) {
+            Ok((_, replayed, _)) => assert_eq!(
+                replayed, committed,
+                "seed {seed}: faulted Ok replay diverged from the acknowledged set"
+            ),
+            Err(e) => {
+                assert!(
+                    e.is_corruption(),
+                    "seed {seed}: untyped error under short reads: {e}"
+                );
+                failures += 1;
+            }
+        }
+        fired += usize::from(handle.stats().short_reads > 0);
+    }
+    assert!(
+        fired > 0,
+        "no seed ever fired a short read — matrix is vacuous"
+    );
+    assert!(
+        failures > 0,
+        "no seed ever surfaced the corruption — raise the fault rate"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Transient read faults during replay retry to full recovery: same records,
+/// no error, and the fault schedule demonstrably fired.
+#[test]
+fn transient_faults_during_replay_retry_to_full_recovery() {
+    let dir = wal_temp_dir("transient-replay");
+    let path = dir.join("wal.twl");
+    let committed = committed_wal(&path, 12);
+
+    let mut fired = 0usize;
+    for seed in 0..6u64 {
+        let (file, _trimmed) = FilePager::open_trimmed(&path, WAL_PAGE).expect("open file");
+        let (faulty, handle) = FaultPager::new(file, FaultConfig::transient(seed, 300));
+        handle.arm();
+        let stack = RetryPager::new(ChecksumPager::new(faulty), RetryPolicy::default());
+
+        let (wal, replayed, report) = Wal::open_recovering(stack).expect("retried replay");
+        assert_eq!(
+            replayed, committed,
+            "seed {seed}: retried replay diverged from the acknowledged set"
+        );
+        assert!(report.is_clean());
+        assert_eq!(wal.committed_records(), 12);
+        fired += usize::from(handle.stats().transient_faults > 0);
+    }
+    assert!(
+        fired > 0,
+        "no seed ever fired a transient fault — matrix is vacuous"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

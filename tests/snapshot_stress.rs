@@ -1,0 +1,222 @@
+//! Threaded snapshot-consistency stress: a single writer appends (with
+//! interleaved checkpoints) while reader pools of 1, 2 and 4 threads
+//! continuously pin snapshots and query them. Every [`SearchOutcome`] must
+//! be *exact* against a direct-DTW replay of exactly that snapshot's corpus
+//! prefix — a reader that ever observes a half-applied append, a sequence
+//! from the future, or a checkpoint mid-fold has failed isolation — and
+//! every counter ledger must balance.
+//!
+//! Interleavings are seeded: the seed varies the corpus, the checkpoint
+//! stride and the yield pattern of both writer and readers, so repeated runs
+//! walk different schedules deterministically.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tw_core::distance::{dtw, DtwKind};
+use tw_core::search::{EngineOpts, NaiveScan};
+use tw_core::{ConcurrentIngest, SharedConcurrentIngest};
+use tw_workload::{generate_random_walks, RandomWalkConfig};
+
+fn corpus(seed: u64, count: usize) -> Vec<Vec<f64>> {
+    generate_random_walks(&RandomWalkConfig::paper(count, 24), seed)
+}
+
+/// Ground truth: exact DTW over the first `n` corpus sequences — the corpus
+/// a correctly pinned snapshot of length `n` must answer from.
+fn expected_ids(corpus: &[Vec<f64>], n: usize, query: &[f64], epsilon: f64) -> Vec<u64> {
+    corpus[..n]
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| dtw(s, query, DtwKind::MaxAbs).distance <= epsilon)
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+/// Tiny deterministic generator for seeded yield/jitter decisions.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// One seeded interleaving: `readers` query threads against one writer.
+fn run_interleaving(readers: usize, seed: u64) {
+    const APPENDS: usize = 48;
+    const READER_ITERS: usize = 30;
+
+    let data = corpus(seed, APPENDS);
+    let queries: Vec<(Vec<f64>, f64)> = vec![
+        (data[0].clone(), 0.0),
+        (data[APPENDS / 2].clone(), 0.5),
+        (data[APPENDS - 1].clone(), 1.2),
+        (vec![5.0, 5.5, 6.0, 5.5], 0.8),
+    ];
+    let stride = 5 + (seed as usize % 9);
+
+    let ingest = ConcurrentIngest::in_memory();
+    let opts = EngineOpts::new();
+    let checked = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let ingest = &ingest;
+        let data = &data;
+        let queries = &queries;
+        let opts = &opts;
+        let checked = &checked;
+
+        let writer = scope.spawn(move || {
+            let mut rng = seed ^ 0xBADC0FFEE;
+            let mut w = ingest.writer().expect("claim writer");
+            for (i, values) in data.iter().enumerate() {
+                w.append(values).expect("append");
+                if i % stride == stride - 1 {
+                    w.checkpoint().expect("checkpoint");
+                }
+                if lcg(&mut rng).is_multiple_of(3) {
+                    std::thread::yield_now();
+                }
+            }
+            w.checkpoint().expect("final checkpoint");
+        });
+
+        for r in 0..readers {
+            scope.spawn(move || {
+                let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(r as u64);
+                for i in 0..READER_ITERS {
+                    let snap = ingest.snapshot();
+                    let n = snap.len();
+                    let (q, eps) = &queries[(i + r) % queries.len()];
+
+                    let got = snap.search(q, *eps, opts).expect("indexed search");
+                    let want = expected_ids(data, n, q, *eps);
+                    assert_eq!(
+                        got.ids(),
+                        want,
+                        "reader {r} iter {i}: snapshot of {n} sequences at \
+                         epoch {} answered wrong (seed {seed})",
+                        snap.epoch()
+                    );
+                    assert!(
+                        got.query_stats.accounting_balanced(),
+                        "reader {r} iter {i}: unbalanced ledger (seed {seed})"
+                    );
+                    assert_eq!(got.query_stats.snapshot_epoch, snap.epoch());
+
+                    // The naive engine over the same pinned snapshot agrees.
+                    let scan = snap
+                        .search_with(&NaiveScan, q, *eps, opts)
+                        .expect("naive search");
+                    assert_eq!(
+                        scan.ids(),
+                        want,
+                        "reader {r} iter {i}: naive scan diverged (seed {seed})"
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+
+                    if lcg(&mut rng).is_multiple_of(4) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        writer.join().expect("writer thread");
+    });
+
+    assert_eq!(checked.load(Ordering::Relaxed), readers * READER_ITERS);
+
+    // After the writer finishes, a fresh snapshot sees the whole corpus and
+    // is still exact.
+    let fin = ingest.snapshot();
+    assert_eq!(fin.len(), data.len());
+    let (q, eps) = &queries[1];
+    let got = fin.search(q, *eps, &opts).expect("final search");
+    assert_eq!(got.ids(), expected_ids(&data, data.len(), q, *eps));
+}
+
+#[test]
+fn one_reader_stays_exact_under_concurrent_ingest() {
+    for seed in [11u64, 12, 13] {
+        run_interleaving(1, seed);
+    }
+}
+
+#[test]
+fn two_readers_stay_exact_under_concurrent_ingest() {
+    for seed in [21u64, 22, 23] {
+        run_interleaving(2, seed);
+    }
+}
+
+#[test]
+fn four_readers_stay_exact_under_concurrent_ingest() {
+    for seed in [41u64, 42, 43] {
+        run_interleaving(4, seed);
+    }
+}
+
+/// File-backed variant: concurrent ingest against the real pager stack,
+/// then a crash-free reopen must recover cleanly and answer exactly.
+#[test]
+fn file_backed_concurrent_ingest_reopens_exact() {
+    let dir = std::env::temp_dir().join(format!("tw-snapstress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let db: PathBuf = dir.join("s.tws");
+    let wal: PathBuf = dir.join("s.twl");
+    let idx: PathBuf = dir.join("s.twr");
+
+    let data = corpus(7, 32);
+    let query = data[3].clone();
+    let opts = EngineOpts::new();
+
+    {
+        let ingest = SharedConcurrentIngest::create_file(&db, &wal, &idx).expect("create");
+        let checked = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let ingest = &ingest;
+            let data = &data;
+            let query = &query;
+            let opts = &opts;
+            let checked = &checked;
+            let writer = scope.spawn(move || {
+                let mut w = ingest.writer().expect("claim writer");
+                for (i, values) in data.iter().enumerate() {
+                    w.append(values).expect("append");
+                    if i % 10 == 9 {
+                        w.checkpoint().expect("checkpoint");
+                    }
+                }
+                w.checkpoint().expect("final checkpoint");
+            });
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    for _ in 0..15 {
+                        let snap = ingest.snapshot();
+                        let n = snap.len();
+                        let got = snap.search(query, 0.9, opts).expect("search");
+                        assert_eq!(got.ids(), expected_ids(data, n, query, 0.9));
+                        assert!(got.query_stats.accounting_balanced());
+                        checked.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            writer.join().expect("writer thread");
+        });
+        assert_eq!(checked.load(Ordering::Relaxed), 30);
+    }
+
+    // Reopen: a checkpointed, dropped ingest must come back clean.
+    let (reopened, recovery) = SharedConcurrentIngest::open_file(&db, &wal, &idx).expect("reopen");
+    assert!(
+        recovery.is_clean(),
+        "clean shutdown reported unclean: {recovery}"
+    );
+    let snap = reopened.snapshot();
+    assert_eq!(snap.len(), data.len());
+    let got = snap.search(&query, 0.9, &opts).expect("post-reopen search");
+    assert_eq!(got.ids(), expected_ids(&data, data.len(), &query, 0.9));
+    assert!(got.query_stats.accounting_balanced());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
