@@ -83,27 +83,41 @@ fn banded_kernel(
     let w = w.max(n.abs_diff(m));
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut cur = vec![f64::INFINITY; m + 1];
-    prev[0] = 0.0;
+    if let Some(origin) = prev.first_mut() {
+        *origin = 0.0;
+    }
     let mut cells = 0u64;
-    for i in 1..=n {
+    for (i, &sv) in s.iter().enumerate().map(|(i, sv)| (i + 1, sv)) {
         // Band column range for row i (normalized diagonal j ≈ i * m / n).
         let center = i * m / n;
         let lo = center.saturating_sub(w).max(1);
         let hi = (center + w).min(m);
         let row_start = cells;
-        cur[..lo].fill(f64::INFINITY);
-        for j in lo..=hi {
-            let gap = s[i - 1] - q[j - 1];
-            cur[j] = step(gap, min3(prev[j], cur[j - 1], prev[j - 1]));
+        cur.fill(f64::INFINITY);
+        // Walk the band with running `left`/`up_left` cells: zip stays inside
+        // the three rows, so nothing here can go out of bounds.
+        let mut left = f64::INFINITY;
+        let mut up_left = prev.get(lo - 1).copied().unwrap_or(f64::INFINITY);
+        let width = (hi + 1).saturating_sub(lo);
+        let band = q
+            .iter()
+            .skip(lo - 1)
+            .zip(prev.iter().skip(lo).zip(cur.iter_mut().skip(lo)))
+            .take(width);
+        for (qv, (up, cell)) in band {
+            let gap = sv - qv;
+            let val = step(gap, min3(*up, left, up_left));
+            *cell = val;
+            up_left = *up;
+            left = val;
             cells += 1;
         }
-        cur[hi + 1..=m].fill(f64::INFINITY);
         std::mem::swap(&mut prev, &mut cur);
         if token.charge_cells(cells - row_start) {
             return (f64::INFINITY, cells, true);
         }
     }
-    (prev[m], cells, false)
+    (prev.last().copied().unwrap_or(f64::INFINITY), cells, false)
 }
 
 #[cfg(test)]

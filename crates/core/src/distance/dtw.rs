@@ -296,17 +296,39 @@ pub fn dtw_with_path(s: &[f64], q: &[f64], kind: DtwKind) -> (DtwResult, Vec<(us
         return (DtwResult { distance, cells: 0 }, Vec::new());
     }
     let (n, m) = (s.len(), q.len());
-    let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
-    let idx = |i: usize, j: usize| i * (m + 1) + j;
-    dp[idx(0, 0)] = 0.0;
-    for i in 1..=n {
-        for j in 1..=m {
-            let best_prev = dp[idx(i - 1, j)]
-                .min(dp[idx(i, j - 1)])
-                .min(dp[idx(i - 1, j - 1)]);
-            dp[idx(i, j)] = combine(kind, s[i - 1] - q[j - 1], best_prev);
-        }
+    // Row-by-row DP: each new row reads the previous one plus a running
+    // `left`/`up_left` pair, so no cell is ever reached by raw indexing.
+    let mut dp: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut first = vec![f64::INFINITY; m + 1];
+    if let Some(origin) = first.first_mut() {
+        *origin = 0.0;
     }
+    dp.push(first);
+    for &sv in s {
+        let mut row = vec![f64::INFINITY; m + 1];
+        if let Some(prev) = dp.last() {
+            let mut up_left = prev.first().copied().unwrap_or(f64::INFINITY);
+            let mut left = f64::INFINITY;
+            for ((qv, cell), up) in q
+                .iter()
+                .zip(row.iter_mut().skip(1))
+                .zip(prev.iter().skip(1))
+            {
+                let best_prev = up.min(left).min(up_left);
+                let val = combine(kind, sv - qv, best_prev);
+                *cell = val;
+                up_left = *up;
+                left = val;
+            }
+        }
+        dp.push(row);
+    }
+    let at = |i: usize, j: usize| {
+        dp.get(i)
+            .and_then(|row| row.get(j))
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    };
     // Backtrack the path (prefer the diagonal on ties: shortest mapping).
     let mut path = Vec::with_capacity(n + m);
     let (mut i, mut j) = (n, m);
@@ -315,9 +337,9 @@ pub fn dtw_with_path(s: &[f64], q: &[f64], kind: DtwKind) -> (DtwResult, Vec<(us
         if i == 1 && j == 1 {
             break;
         }
-        let diag = dp[idx(i - 1, j - 1)];
-        let up = dp[idx(i - 1, j)];
-        let left = dp[idx(i, j - 1)];
+        let diag = at(i - 1, j - 1);
+        let up = at(i - 1, j);
+        let left = at(i, j - 1);
         if diag <= up && diag <= left {
             i -= 1;
             j -= 1;
@@ -330,7 +352,7 @@ pub fn dtw_with_path(s: &[f64], q: &[f64], kind: DtwKind) -> (DtwResult, Vec<(us
     path.reverse();
     (
         DtwResult {
-            distance: finish(kind, dp[idx(n, m)]),
+            distance: finish(kind, at(n, m)),
             cells: (n * m) as u64,
         },
         path,

@@ -39,6 +39,19 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+// The machine-checked counter manifest (tw-analyze `stats-ledger` rule).
+// Every u64/AtomicU64 field of the scoped structs must appear in exactly
+// one term below; equation terms must be enforced by accounting_balanced/
+// pruned_total and every equation+cost term aggregated by merge(). Adding
+// a counter without balancing the ledger fails `analyze`, not a stress
+// test three PRs later.
+//
+// tw-ledger(scope): QueryStats, PipelineCounters
+// tw-ledger(equation): candidates = pruned_lb_kim + pruned_lb_yi + pruned_lb_keogh + pruned_lb_improved + pruned_embedding + verified + abandoned + skipped_unverified
+// tw-ledger(cost): dtw_cells, pivot_dtw, pager_reads, checksum_retries, index_internal_accesses, index_leaf_accesses
+// tw-ledger(gauge): wal_appends, snapshot_epoch
+// tw-ledger(timing): filter_nanos, fetch_nanos, verify_nanos
+
 /// The three pipeline stages a query's wall-clock time is attributed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {

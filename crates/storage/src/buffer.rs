@@ -215,7 +215,7 @@ impl<P: Pager> BufferPool<P> {
                 frame.dirty = false;
             }
         }
-        // tw-allow(lock-hygiene): dirty flags above and device order must agree
+        // tw-allow(lock-hygiene, lock-blocking): dirty flags above and device order must agree
         pager.sync()
     }
 

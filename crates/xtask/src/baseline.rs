@@ -106,6 +106,25 @@ impl Baseline {
     pub fn save(&self, path: &Path) -> io::Result<()> {
         fs::write(path, self.render())
     }
+
+    /// Entries that no longer describe anything real: the file is gone from
+    /// the tree, or the rule was removed from the catalog. A stale entry is
+    /// dead weight that silently misstates the debt, so `analyze` fails on
+    /// them and `--fix-baseline` prunes them.
+    pub fn stale_entries(&self, root: &Path) -> Vec<(String, String, &'static str)> {
+        self.entries
+            .keys()
+            .filter_map(|(file, rule)| {
+                if !crate::rules::is_known_rule(rule) {
+                    Some((file.clone(), rule.clone(), "rule no longer exists"))
+                } else if !root.join(file).is_file() {
+                    Some((file.clone(), rule.clone(), "file no longer exists"))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
 }
 
 fn unquote(v: &str) -> Result<String, String> {
@@ -174,6 +193,26 @@ mod tests {
     fn empty_and_comments_parse() {
         let b = Baseline::parse("# nothing here\n\n").expect("parses");
         assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_flag_missing_files_and_removed_rules() {
+        let mut b = Baseline::default();
+        b.entries
+            .insert(("crates/xtask/src/lib.rs".into(), "unwrap".into()), 1);
+        b.entries
+            .insert(("crates/ghost/src/gone.rs".into(), "unwrap".into()), 2);
+        b.entries
+            .insert(("crates/xtask/src/lib.rs".into(), "retired-rule".into()), 3);
+        let root = crate::walk::find_root(None).expect("workspace root");
+        let stale = b.stale_entries(&root);
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale
+            .iter()
+            .any(|(f, _, why)| f.contains("ghost") && why.contains("file")));
+        assert!(stale
+            .iter()
+            .any(|(_, r, why)| r == "retired-rule" && why.contains("rule")));
     }
 
     #[test]

@@ -50,11 +50,23 @@ pub struct Allow {
     pub standalone: bool,
 }
 
-/// The lexed file: tokens plus the suppression directives.
+/// A `// tw-ledger(kind): body` directive — the in-source accounting
+/// manifest the `stats-ledger` symbolic rule checks counters against.
+/// `kind` is one of `equation`, `cost`, `gauge`, `timing`, `scope`; the
+/// body's grammar is kind-specific and parsed by the symbolic pass.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    pub line: u32,
+    pub kind: String,
+    pub body: String,
+}
+
+/// The lexed file: tokens plus the suppression and manifest directives.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub allows: Vec<Allow>,
+    pub ledgers: Vec<Ledger>,
 }
 
 /// Tokenizes `source`. Unterminated literals simply end the token at EOF —
@@ -130,6 +142,9 @@ impl<'a> Lexer<'a> {
         let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         if let Some(allow) = parse_allow(&text, line, standalone) {
             self.out.allows.push(allow);
+        }
+        if let Some(ledger) = parse_ledger(&text, line) {
+            self.out.ledgers.push(ledger);
         }
     }
 
@@ -387,6 +402,19 @@ fn parse_allow(comment: &str, line: u32, standalone: bool) -> Option<Allow> {
     })
 }
 
+/// Parses `tw-ledger(kind): body` out of a line comment, if present.
+/// Malformed directives (no parens, no `:`) are ignored here; the
+/// symbolic pass validates kind names and body grammar and reports
+/// `stats-ledger` violations for anything it cannot interpret.
+fn parse_ledger(comment: &str, line: u32) -> Option<Ledger> {
+    let at = comment.find("tw-ledger(")?;
+    let rest = &comment[at + "tw-ledger(".len()..];
+    let close = rest.find(')')?;
+    let kind = rest[..close].trim().to_string();
+    let body = rest[close + 1..].strip_prefix(':')?.trim().to_string();
+    Some(Ledger { line, kind, body })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +472,20 @@ mod tests {
         for op in ["==", "!=", "->", "::", "..="] {
             assert!(toks.contains(&(Kind::Punct, op.into())), "{op}");
         }
+    }
+
+    #[test]
+    fn ledger_directive_parsed() {
+        let lx = lex(
+            "// tw-ledger(equation): candidates = verified + abandoned\n\
+             // tw-ledger(scope): QueryStats\n\
+             // tw-ledger without parens is not a directive\n",
+        );
+        assert_eq!(lx.ledgers.len(), 2);
+        assert_eq!(lx.ledgers[0].kind, "equation");
+        assert_eq!(lx.ledgers[0].body, "candidates = verified + abandoned");
+        assert_eq!(lx.ledgers[1].kind, "scope");
+        assert_eq!(lx.ledgers[1].line, 2);
     }
 
     #[test]

@@ -113,6 +113,26 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "unsafe blocks/functions forbidden in library code",
     ),
     (
+        "lock-order",
+        "concurrency",
+        "inconsistent lock-acquisition order forms a potential deadlock cycle",
+    ),
+    (
+        "lock-blocking",
+        "concurrency",
+        "lock guard held across a blocking call (sync/sleep/commit/flush/retry-backoff)",
+    ),
+    (
+        "cancel-coverage",
+        "govern",
+        "loop charges dtw_cells/pager_reads without polling the governor",
+    ),
+    (
+        "stats-ledger",
+        "observability",
+        "counter not reconciled with the in-source tw-ledger accounting manifest",
+    ),
+    (
         "bad-allow",
         "meta",
         "tw-allow directive with unknown rule or missing reason",
@@ -128,7 +148,9 @@ pub fn family_of(rule: &str) -> &'static str {
         .unwrap_or("meta")
 }
 
-fn is_known_rule(rule: &str) -> bool {
+/// Whether `rule` exists in the catalog (used by `tw-allow` validation and
+/// the stale-baseline check).
+pub fn is_known_rule(rule: &str) -> bool {
     RULES.iter().any(|(name, _, _)| *name == rule)
 }
 
@@ -163,10 +185,18 @@ pub struct Violation {
     pub suppressed: Option<String>,
 }
 
-/// Lexes and analyzes one file's source. `file` is the path label used in
-/// reports (repo-relative in real runs, arbitrary in fixture tests).
+/// Lexes and analyzes one file's source with the *lexical* rules only.
+/// `file` is the path label used in reports (repo-relative in real runs,
+/// arbitrary in fixture tests). The symbolic families (`lock-order`,
+/// `cancel-coverage`, `stats-ledger`) need the whole workspace at once —
+/// use [`crate::run_sources`] for those.
 pub fn analyze_source(file: &str, source: &str, class: FileClass) -> Vec<Violation> {
     let lexed = lex(source);
+    apply_allows(file, scan_lexical(&lexed, class), &lexed)
+}
+
+/// The raw lexical findings for one lexed file, before suppression.
+pub(crate) fn scan_lexical(lexed: &Lexed, class: FileClass) -> Vec<(u32, &'static str, String)> {
     let skip = test_code_mask(&lexed.tokens);
     let mut raw = scan(&lexed.tokens, &skip, class);
     if class.library {
@@ -177,7 +207,7 @@ pub fn analyze_source(file: &str, source: &str, class: FileClass) -> Vec<Violati
     if class.crate_root && !has_forbid_unsafe(&lexed.tokens) {
         raw.push((1, "forbid-unsafe", "missing #![forbid(unsafe_code)]".into()));
     }
-    apply_allows(file, raw, &lexed)
+    raw
 }
 
 // ---------------------------------------------------------------------------
@@ -187,7 +217,7 @@ pub fn analyze_source(file: &str, source: &str, class: FileClass) -> Vec<Violati
 /// Marks token ranges covered by `#[cfg(test)]` / `#[test]` items: the rules
 /// do not apply inside them. `#[cfg(not(test))]`-style attributes are left
 /// alone (anything mentioning `not` is conservatively treated as non-test).
-fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
     let mut skip = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -248,7 +278,7 @@ fn item_end_after(tokens: &[Token], mut i: usize) -> usize {
 }
 
 /// Index of the delimiter matching `tokens[open_at]`, or None.
-fn matching(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
+pub(crate) fn matching(tokens: &[Token], open_at: usize, open: &str, close: &str) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in tokens.iter().enumerate().skip(open_at) {
         if t.kind == Kind::Punct {
@@ -620,7 +650,7 @@ fn scan_lock_hygiene(tokens: &[Token], skip: &[bool]) -> Vec<(u32, &'static str,
 // suppression
 // ---------------------------------------------------------------------------
 
-fn apply_allows(
+pub(crate) fn apply_allows(
     file: &str,
     raw: Vec<(u32, &'static str, String)>,
     lexed: &Lexed,

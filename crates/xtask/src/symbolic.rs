@@ -1,0 +1,576 @@
+//! The symbolic rule families: workspace-wide checks over [`crate::model`].
+//!
+//! Unlike the lexical rules (one token window at a time), these passes see
+//! every analyzed file at once and reason about structure:
+//!
+//! * **`lock-order`** — builds the global lock-acquisition graph: an edge
+//!   `A → B` whenever lock `B` is acquired while a guard on `A` is live,
+//!   either directly or through one level of call resolution (a called
+//!   function whose body acquires `B`). Any cycle — including a self-loop,
+//!   i.e. re-acquiring a non-reentrant lock — is a potential deadlock.
+//! * **`lock-blocking`** — a guard held across a blocking call (`sync`,
+//!   `sleep`, `commit`, `flush`, retry/backoff helpers). Blocking *through*
+//!   the guard itself (`wal.commit()` on the `wal` guard) is the lock's
+//!   purpose and exempt; every *other* live guard at that site fires.
+//! * **`cancel-coverage`** — a loop that accrues query budget
+//!   (`dtw_cells`/`pager_reads` charges, directly or via one level of call
+//!   resolution) must poll the governor: a consumed `charge_*` result, a
+//!   `cancelled()` check, or a call whose callee (transitively) polls.
+//! * **`stats-ledger`** — reconciles the counter structs named by the
+//!   in-source `// tw-ledger(...)` manifest (see `core/src/stats.rs`)
+//!   against the §10 accounting invariant: every counter field belongs to
+//!   exactly one manifest category, every manifest term names a real field,
+//!   and the equation/cost terms must be enforced by
+//!   `accounting_balanced()`/`pruned_total()` and aggregated by `merge()`.
+//!
+//! Call resolution is by bare name across the analyzed file set — no type
+//! information — so the passes are deliberately conservative and every
+//! finding supports `// tw-allow(rule): reason` at the reported site.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use crate::model::{FileModel, FnModel};
+
+/// One symbolic finding, in raw (pre-suppression) form.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// Runs all symbolic passes, returning findings plus per-pass wall times.
+pub fn analyze(models: &[FileModel]) -> (Vec<Finding>, Vec<(&'static str, Duration)>) {
+    let mut findings = Vec::new();
+    let mut timings = Vec::new();
+    let resolver = Resolver::new(models);
+    for (name, pass) in [
+        (
+            "lock-order",
+            lock_order as fn(&[FileModel], &Resolver) -> Vec<Finding>,
+        ),
+        ("cancel-coverage", cancel_coverage),
+        ("stats-ledger", stats_ledger),
+    ] {
+        let t = Instant::now();
+        findings.extend(pass(models, &resolver));
+        timings.push((name, t.elapsed()));
+    }
+    (findings, timings)
+}
+
+/// Name-based call resolution: `name → every fn with that name`, across
+/// all analyzed files. One level only — enough to see through the thin
+/// wrappers the codebase actually uses, without whole-program explosion.
+struct Resolver<'a> {
+    by_name: BTreeMap<&'a str, Vec<(usize, usize)>>,
+}
+
+impl<'a> Resolver<'a> {
+    fn new(models: &'a [FileModel]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, m) in models.iter().enumerate() {
+            for (fk, f) in m.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push((fi, fk));
+            }
+        }
+        Self { by_name }
+    }
+
+    fn resolve(&self, name: &str) -> &[(usize, usize)] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lock-order + lock-blocking
+// ---------------------------------------------------------------------------
+
+/// Acquisition-graph edges: `(holder, acquired) → witnessing sites`, each
+/// site a `(file, line, via-call suffix)` triple.
+type EdgeMap = BTreeMap<(String, String), Vec<(String, u32, String)>>;
+
+fn lock_order(models: &[FileModel], resolver: &Resolver) -> Vec<Finding> {
+    // Edge (holder → acquired) with every site that witnesses it.
+    let mut edges: EdgeMap = BTreeMap::new();
+    let mut findings = Vec::new();
+
+    for m in models {
+        for f in &m.fns {
+            for g in f.guards() {
+                let Some(held) = g.lock.as_deref() else {
+                    continue;
+                };
+                let in_span = |tok: usize| tok > g.tok && tok < g.span_end;
+                for a in f.locks.iter().filter(|a| in_span(a.tok)) {
+                    if let Some(to) = a.lock.as_deref() {
+                        edges
+                            .entry((held.to_string(), to.to_string()))
+                            .or_default()
+                            .push((m.rel.clone(), a.line, String::new()));
+                    }
+                }
+                // One level of call resolution: a callee that acquires.
+                // Only `self.helper()` and free/path calls resolve here —
+                // a method on an arbitrary receiver (`meta.tail.len()`) is
+                // almost always a std-container call that happens to share
+                // a name with one of our methods, and a false edge into a
+                // lock node fabricates deadlock cycles.
+                let resolvable = |c: &crate::model::CallSite| {
+                    matches!(c.receiver.as_deref(), None | Some("self"))
+                };
+                for c in f.calls.iter().filter(|c| in_span(c.tok) && resolvable(c)) {
+                    for &(fi, fk) in resolver.resolve(&c.name) {
+                        for b in &models[fi].fns[fk].locks {
+                            if let Some(to) = b.lock.as_deref() {
+                                edges
+                                    .entry((held.to_string(), to.to_string()))
+                                    .or_default()
+                                    .push((m.rel.clone(), c.line, format!(" via {}()", c.name)));
+                            }
+                        }
+                    }
+                }
+                // Sub-rule: guard held across a blocking call. Blocking
+                // through the guard itself is that lock's reason to exist.
+                for b in f.blocking.iter().filter(|b| in_span(b.tok)) {
+                    if b.receiver.as_deref() == g.guard.as_deref() {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        file: m.rel.clone(),
+                        line: b.line,
+                        rule: "lock-blocking",
+                        message: format!(
+                            "`{}` guard (lock `{held}`) held across blocking {}()",
+                            g.guard.as_deref().unwrap_or("?"),
+                            b.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings.extend(report_cycles(&edges));
+    findings
+}
+
+/// Detects cycles in the acquisition graph and reports each once, at the
+/// lexically-first witness of the cycle's first edge.
+fn report_cycles(edges: &EdgeMap) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().insert(to);
+        adj.entry(to).or_default();
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adj.keys() {
+        let mut stack: Vec<&str> = vec![start];
+        let mut on_stack: BTreeSet<&str> = [start].into();
+        dfs(start, &adj, &mut stack, &mut on_stack, &mut cycles);
+    }
+    cycles
+        .into_iter()
+        .map(|cycle| {
+            let first = (cycle[0].clone(), cycle.get(1).unwrap_or(&cycle[0]).clone());
+            let (file, line, via) = edges
+                .get(&first)
+                .and_then(|sites| sites.iter().min_by_key(|(f, l, _)| (f.clone(), *l)))
+                .cloned()
+                .unwrap_or_default();
+            let mut path = cycle.join(" -> ");
+            path.push_str(" -> ");
+            path.push_str(&cycle[0]);
+            let witness = format!(" (first edge at {file}:{line}{via})");
+            let message = if cycle.len() == 1 {
+                format!(
+                    "potential deadlock: lock `{}` re-acquired while already held{witness}",
+                    cycle[0]
+                )
+            } else {
+                format!("potential deadlock: lock-order cycle {path}{witness}")
+            };
+            Finding {
+                file,
+                line,
+                rule: "lock-order",
+                message,
+            }
+        })
+        .collect()
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    on_stack: &mut BTreeSet<&'a str>,
+    cycles: &mut BTreeSet<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if on_stack.contains(next) {
+            // Cycle: the stack suffix from `next` onward, canonicalized by
+            // rotating the smallest element first so each cycle dedups.
+            let pos = stack.iter().position(|&n| n == next).unwrap_or(0);
+            let cycle: Vec<String> = stack[pos..].iter().map(|s| s.to_string()).collect();
+            let min = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.as_str())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut rotated = cycle[min..].to_vec();
+            rotated.extend_from_slice(&cycle[..min]);
+            cycles.insert(rotated);
+            continue;
+        }
+        // Bounded depth: lock graphs are tiny; recursion is fine, but guard
+        // against degenerate inputs all the same.
+        if stack.len() > 64 {
+            continue;
+        }
+        stack.push(next);
+        on_stack.insert(next);
+        dfs(next, adj, stack, on_stack, cycles);
+        stack.pop();
+        on_stack.remove(next);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cancel-coverage
+// ---------------------------------------------------------------------------
+
+fn cancel_coverage(models: &[FileModel], resolver: &Resolver) -> Vec<Finding> {
+    // Fn-level facts. `charges`: the body accrues budget directly.
+    // `polls`: the body observes the governor, transitively through calls
+    // (fixpoint) — a loop that calls a deep kernel which itself polls is
+    // governed, and flagging it would only breed spurious allows.
+    let n_fns: Vec<usize> = models.iter().map(|m| m.fns.len()).collect();
+    let idx = |fi: usize, fk: usize| -> usize { n_fns[..fi].iter().sum::<usize>() + fk };
+    let total: usize = n_fns.iter().sum();
+
+    let mut charges = vec![false; total];
+    let mut polls = vec![false; total];
+    for (fi, m) in models.iter().enumerate() {
+        for (fk, f) in m.fns.iter().enumerate() {
+            charges[idx(fi, fk)] = !f.accruals.is_empty();
+            polls[idx(fi, fk)] = f.polls.iter().any(|p| p.consumed);
+        }
+    }
+    // Resolution is restricted exactly as in `lock_order`: free/path calls
+    // and `self.helper()` only. Methods on arbitrary receivers share names
+    // with std container calls (`rows.iter()`, `stack.push(..)`) and would
+    // launder governance through unrelated code. The `charge_*`/`cancelled`
+    // names are excluded too: they resolve to the governor's own methods,
+    // which of course poll — following them would turn a *discarded* charge
+    // into a governed loop. Their effect is modeled precisely by
+    // `PollSite::consumed`.
+    let resolvable = |c: &crate::model::CallSite| {
+        matches!(c.receiver.as_deref(), None | Some("self"))
+            && !crate::model::POLL_CALLS.contains(&c.name.as_str())
+    };
+    loop {
+        let mut changed = false;
+        for (fi, m) in models.iter().enumerate() {
+            for (fk, f) in m.fns.iter().enumerate() {
+                let me = idx(fi, fk);
+                if polls[me] {
+                    continue;
+                }
+                let sees_poll = f
+                    .calls
+                    .iter()
+                    .filter(|c| resolvable(c))
+                    .flat_map(|c| resolver.resolve(&c.name))
+                    .any(|&(ci, ck)| polls[idx(ci, ck)]);
+                if sees_poll {
+                    polls[me] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for m in models {
+        for f in &m.fns {
+            for l in &f.loops {
+                let inside = |tok: usize| tok > l.body.0 && tok < l.body.1;
+                let accrues = f.accruals.iter().any(|a| inside(a.tok))
+                    || f.calls
+                        .iter()
+                        .filter(|c| inside(c.tok) && resolvable(c))
+                        .flat_map(|c| resolver.resolve(&c.name))
+                        .any(|&(ci, ck)| charges[idx(ci, ck)]);
+                if !accrues {
+                    continue;
+                }
+                let polled = f.polls.iter().any(|p| p.consumed && inside(p.tok))
+                    || f.calls
+                        .iter()
+                        .filter(|c| inside(c.tok) && resolvable(c))
+                        .flat_map(|c| resolver.resolve(&c.name))
+                        .any(|&(ci, ck)| polls[idx(ci, ck)]);
+                if !polled {
+                    findings.push(Finding {
+                        file: m.rel.clone(),
+                        line: l.line,
+                        rule: "cancel-coverage",
+                        message: "loop charges dtw_cells/pager_reads but never polls the \
+                                  governor (cancelled()/consumed charge_*)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// stats-ledger
+// ---------------------------------------------------------------------------
+
+/// Field types that make a struct member part of the counter ledger.
+const COUNTER_TYPES: &[&str] = &["u64", "AtomicU64"];
+
+#[derive(Default)]
+struct Manifest {
+    /// `(file, line)` of each directive, for attribution.
+    equation_at: Option<(String, u32)>,
+    lhs: String,
+    equation_terms: Vec<String>,
+    cost: Vec<(String, String, u32)>, // (name, file, line)
+    gauge: Vec<(String, String, u32)>,
+    timing: Vec<(String, String, u32)>,
+    scopes: Vec<(String, String, u32)>,
+}
+
+fn stats_ledger(models: &[FileModel], _resolver: &Resolver) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut man = Manifest::default();
+    let mut any = false;
+    for m in models {
+        for d in &m.ledgers {
+            any = true;
+            let names = || {
+                d.body
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .map(|n| (n, m.rel.clone(), d.line))
+                    .collect::<Vec<_>>()
+            };
+            match d.kind.as_str() {
+                "equation" => {
+                    let Some((lhs, rhs)) = d.body.split_once('=') else {
+                        findings.push(Finding {
+                            file: m.rel.clone(),
+                            line: d.line,
+                            rule: "stats-ledger",
+                            message: "tw-ledger(equation) needs `lhs = a + b + …`".into(),
+                        });
+                        continue;
+                    };
+                    man.lhs = lhs.trim().to_string();
+                    man.equation_terms = rhs
+                        .split('+')
+                        .map(|t| t.trim().to_string())
+                        .filter(|t| !t.is_empty())
+                        .collect();
+                    man.equation_at = Some((m.rel.clone(), d.line));
+                }
+                "cost" => man.cost.extend(names()),
+                "gauge" => man.gauge.extend(names()),
+                "timing" => man.timing.extend(names()),
+                "scope" => man.scopes.extend(names()),
+                other => findings.push(Finding {
+                    file: m.rel.clone(),
+                    line: d.line,
+                    rule: "stats-ledger",
+                    message: format!(
+                        "unknown tw-ledger kind `{other}` \
+                         (expected equation/cost/gauge/timing/scope)"
+                    ),
+                }),
+            }
+        }
+    }
+    // No manifest anywhere: the rule is inert. The workspace self-check
+    // pins the manifest's existence so it cannot be silently deleted.
+    if !any {
+        return findings;
+    }
+
+    // Declared terms, each in exactly one category.
+    let mut declared: BTreeMap<&str, u32> = BTreeMap::new();
+    let eq_at = man.equation_at.clone().unwrap_or_default();
+    let eq_terms: Vec<(String, String, u32)> = std::iter::once(&man.lhs)
+        .chain(man.equation_terms.iter())
+        .filter(|t| !t.is_empty())
+        .map(|t| (t.clone(), eq_at.0.clone(), eq_at.1))
+        .collect();
+    for (name, file, line) in eq_terms
+        .iter()
+        .chain(&man.cost)
+        .chain(&man.gauge)
+        .chain(&man.timing)
+    {
+        let seen = declared.entry(name.as_str()).or_insert(0);
+        *seen += 1;
+        if *seen == 2 {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "stats-ledger",
+                message: format!("counter `{name}` declared in more than one tw-ledger term"),
+            });
+        }
+    }
+
+    // Scope structs and their counter fields.
+    let mut counter_fields: BTreeMap<&str, (&str, u32)> = BTreeMap::new(); // name -> (file, line)
+    for (scope, file, line) in &man.scopes {
+        let found = models
+            .iter()
+            .flat_map(|m| m.structs.iter().map(move |s| (m, s)))
+            .find(|(_, s)| s.name == *scope);
+        let Some((m, s)) = found else {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "stats-ledger",
+                message: format!("tw-ledger(scope) names unknown struct `{scope}`"),
+            });
+            continue;
+        };
+        for fld in &s.fields {
+            if !COUNTER_TYPES.contains(&fld.ty.as_str()) {
+                continue;
+            }
+            counter_fields
+                .entry(fld.name.as_str())
+                .or_insert((m.rel.as_str(), fld.line));
+            if !declared.contains_key(fld.name.as_str()) {
+                findings.push(Finding {
+                    file: m.rel.clone(),
+                    line: fld.line,
+                    rule: "stats-ledger",
+                    message: format!(
+                        "counter `{}` in `{}` is not declared in the tw-ledger manifest \
+                         (equation/cost/gauge/timing)",
+                        fld.name, s.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Stale manifest entries: declared but no such counter field.
+    for (name, file, line) in eq_terms
+        .iter()
+        .chain(&man.cost)
+        .chain(&man.gauge)
+        .chain(&man.timing)
+    {
+        if !counter_fields.contains_key(name.as_str()) {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "stats-ledger",
+                message: format!("tw-ledger term `{name}` matches no counter field in scope"),
+            });
+        }
+    }
+
+    // Teeth: the invariant functions must actually reference the terms.
+    let scope_files: BTreeSet<&str> = man
+        .scopes
+        .iter()
+        .filter_map(|(scope, _, _)| {
+            models
+                .iter()
+                .find(|m| m.structs.iter().any(|s| s.name == *scope))
+                .map(|m| m.rel.as_str())
+        })
+        .collect();
+    let fns_in_scope = |names: &[&str]| -> Vec<&FnModel> {
+        models
+            .iter()
+            .filter(|m| scope_files.contains(m.rel.as_str()))
+            .flat_map(|m| m.fns.iter())
+            .filter(|f| names.contains(&f.name.as_str()))
+            .collect()
+    };
+    fn mentions_of<'a>(fns: &[&'a FnModel]) -> BTreeSet<&'a str> {
+        fns.iter()
+            .flat_map(|f| f.mentions.iter().map(String::as_str))
+            .collect()
+    }
+    let balance_fns = fns_in_scope(&["accounting_balanced", "pruned_total"]);
+    let merge_fns = fns_in_scope(&["merge"]);
+    if let Some((file, line)) = &man.equation_at {
+        let balance_mentions = mentions_of(&balance_fns);
+        if balance_fns.is_empty() {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "stats-ledger",
+                message: "tw-ledger(equation) declared but no accounting_balanced() enforces it"
+                    .into(),
+            });
+        } else {
+            for (t, _, _) in &eq_terms {
+                if !balance_mentions.contains(t.as_str()) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: *line,
+                        rule: "stats-ledger",
+                        message: format!(
+                            "equation term `{t}` is not checked by \
+                             accounting_balanced()/pruned_total()"
+                        ),
+                    });
+                }
+            }
+        }
+        let merge_mentions = mentions_of(&merge_fns);
+        for (t, tf, tl) in eq_terms.iter().chain(&man.cost) {
+            if !merge_fns.is_empty() && !merge_mentions.contains(t.as_str()) {
+                findings.push(Finding {
+                    file: tf.clone(),
+                    line: *tl,
+                    rule: "stats-ledger",
+                    message: format!("counter `{t}` is not aggregated by merge()"),
+                });
+            }
+        }
+    }
+
+    // Every increment site of a scoped counter must map onto a term.
+    for m in models {
+        for f in &m.fns {
+            for inc in &f.increments {
+                if counter_fields.contains_key(inc.name.as_str())
+                    && !declared.contains_key(inc.name.as_str())
+                {
+                    findings.push(Finding {
+                        file: m.rel.clone(),
+                        line: inc.line,
+                        rule: "stats-ledger",
+                        message: format!("increment of `{}` maps onto no tw-ledger term", inc.name),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}

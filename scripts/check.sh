@@ -10,11 +10,18 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# The project's own lints (panic-freedom, float-safety, format-stability,
-# error-hygiene) with the analyze-baseline.toml ratchet: fails on any
-# violation the committed baseline does not grandfather. After intentional
-# changes, regenerate with `cargo run -p xtask -- analyze --fix-baseline`.
+# The project's own lints — the lexical families (panic-freedom,
+# float-safety, format-stability, error-hygiene) plus the symbolic ones
+# (lock-order, cancel-coverage, stats-ledger) — with the
+# analyze-baseline.toml ratchet: fails on any violation the committed
+# baseline does not grandfather. After intentional changes, regenerate with
+# `cargo run -p xtask -- analyze --fix-baseline`. The SARIF report is the
+# machine-readable artifact CI uploads; the text run prints per-pass wall
+# times so a slow analyzer layer is visible in the log.
 echo "==> tw-analyze (project lints + ratchet)"
+mkdir -p target
+cargo run -q -p xtask --offline -- analyze --format=sarif --timings \
+  > target/tw-analyze.sarif
 cargo run -q -p xtask --offline -- analyze
 
 echo "==> cargo test -q"
