@@ -62,8 +62,14 @@ pub enum Command {
     },
     Ingest {
         db: PathBuf,
-        wal: PathBuf,
-        index: PathBuf,
+        /// WAL path (required unless `--shards` selects the sharded path).
+        wal: Option<PathBuf>,
+        /// Index path (required unless `--shards` selects the sharded path).
+        index: Option<PathBuf>,
+        /// Sharded corpus ingest: split the run into this many shards under
+        /// the `--db` directory (per-shard segment, R-tree and sidecar,
+        /// manifest committed last). Mutually exclusive with the WAL path.
+        shards: Option<usize>,
         kind: DataKind,
         /// Sequences to generate and append; 0 = open/recover only.
         count: usize,
@@ -126,6 +132,7 @@ USAGE:
   twsearch subseq   --db DB --eps E --values v1,v2,... [--min-len N] [--max-len N]
   twsearch verify-store --db DB [--index INDEX] [--wal WAL]
   twsearch ingest   --db DB --wal WAL --index INDEX (--count N --len L [--kind walk|stock|cbf] [--seed S] | --follow) [--checkpoint-every N] [--readers N]
+  twsearch ingest   --db DIR --shards N --count C --len L [--kind walk|stock|cbf] [--seed S]   (sharded corpus; query it with --db DIR)
   twsearch help";
 
 struct Flags {
@@ -337,8 +344,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "ingest" => {
             let mut flags = Flags::parse_with_switches(rest, &["follow"])?;
             let db = PathBuf::from(flags.require("db")?);
-            let wal = PathBuf::from(flags.require("wal")?);
-            let index = PathBuf::from(flags.require("index")?);
+            let shards = match flags.take("shards") {
+                Some(raw) => Some(parse_num("shards", &raw)?),
+                None => None,
+            };
+            let wal = flags.take("wal").map(PathBuf::from);
+            let index = flags.take("index").map(PathBuf::from);
             let follow = flags.take_switch("follow");
             let kind = match flags.take("kind").as_deref() {
                 None | Some("walk") => DataKind::Walk,
@@ -383,10 +394,44 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if count > 0 && len == 0 {
                 return Err(ParseError("--len must be positive".into()));
             }
+            match shards {
+                Some(0) => return Err(ParseError("--shards must be positive".into())),
+                Some(_) => {
+                    // The sharded path writes its own per-shard files under
+                    // --db and commits via the manifest, not a WAL.
+                    if wal.is_some() || index.is_some() {
+                        return Err(ParseError(
+                            "--shards writes per-shard files under --db; \
+                             --wal/--index do not apply"
+                                .into(),
+                        ));
+                    }
+                    if follow || readers > 0 || checkpoint_every.is_some() {
+                        return Err(ParseError(
+                            "--shards cannot be combined with --follow, \
+                             --readers or --checkpoint-every"
+                                .into(),
+                        ));
+                    }
+                    if count == 0 {
+                        return Err(ParseError("--shards needs --count > 0".into()));
+                    }
+                }
+                None => {
+                    if wal.is_none() || index.is_none() {
+                        return Err(ParseError(
+                            "ingest needs --wal and --index (or --shards for a \
+                             sharded corpus)"
+                                .into(),
+                        ));
+                    }
+                }
+            }
             Ok(Command::Ingest {
                 db,
                 wal,
                 index,
+                shards,
                 kind,
                 count,
                 len,
@@ -688,6 +733,37 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("ingest --db d --index i --count 2")).is_err()); // missing --wal
+    }
+
+    #[test]
+    fn ingest_shards_selects_the_sharded_path() {
+        let cmd = parse(&argv(
+            "ingest --db corpus --shards 4 --count 100 --len 16 --seed 9",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Ingest {
+                shards: Some(4),
+                wal: None,
+                index: None,
+                count: 100,
+                ..
+            }
+        ));
+        // The sharded path has no WAL, readers, follow or checkpoints.
+        assert!(parse(&argv("ingest --db d --shards 0 --count 1")).is_err());
+        assert!(parse(&argv(
+            "ingest --db d --shards 2 --count 1 --wal w --index i"
+        ))
+        .is_err());
+        assert!(parse(&argv("ingest --db d --shards 2 --follow")).is_err());
+        assert!(parse(&argv("ingest --db d --shards 2 --count 1 --readers 2")).is_err());
+        assert!(parse(&argv(
+            "ingest --db d --shards 2 --count 1 --checkpoint-every 1"
+        ))
+        .is_err());
+        assert!(parse(&argv("ingest --db d --shards 2 --count 0")).is_err());
     }
 
     #[test]

@@ -9,14 +9,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use tw_core::distance::DtwKind;
 use tw_core::govern::{QueryBudget, Termination};
 use tw_core::search::{
-    EngineHealth, EngineOpts, LbScan, NaiveScan, ResilientSearch, SearchEngine, SubsequenceIndex,
-    TwSimSearch, WindowSpec,
+    CorpusSharder, EngineHealth, EngineOpts, LbScan, NaiveScan, ResilientSearch, SearchEngine,
+    ShardedSearch, SubsequenceIndex, TwSimSearch, WindowSpec,
 };
 use tw_core::{IngestHandle, SharedConcurrentIngest};
 use tw_rtree::{read_tree_file, RTree};
 use tw_storage::{
-    create_sequence_file, open_sequence_file, open_wal_file, DynSequenceStore, HardwareModel,
-    Pager, RecordFormat, RecoveryReport, SyncPager, WalRecord,
+    create_sequence_file, manifest_path, open_sequence_file, open_wal_file, DynSequenceStore,
+    HardwareModel, Pager, RecordFormat, RecoveryReport, SyncPager, WalRecord,
 };
 use tw_workload::{
     cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
@@ -120,6 +120,7 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
             db,
             wal,
             index,
+            shards,
             kind,
             count,
             len,
@@ -137,7 +138,14 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 readers,
                 follow,
             };
-            ingest(&db, &wal, &index, &spec, out)
+            match (shards, wal, index) {
+                (Some(n), _, _) => ingest_sharded(&db, n, &spec, out),
+                (None, Some(wal), Some(index)) => ingest(&db, &wal, &index, &spec, out),
+                // The parser enforces this; keep the error typed anyway.
+                (None, _, _) => Err(CliError(
+                    "ingest needs --wal and --index (or --shards)".into(),
+                )),
+            }
         }
     }
 }
@@ -573,6 +581,49 @@ fn ingest_writer_loop(
     Ok((acked, report))
 }
 
+/// Sharded corpus ingest: fold the generated run into fixed-capacity shards
+/// under `dir` (per-shard segment + R-tree + sidecar), committing the corpus
+/// by writing the CRC'd manifest last. `twsearch query --db DIR` then
+/// fans out across the shards.
+fn ingest_sharded(
+    dir: &Path,
+    shards: usize,
+    spec: &IngestSpec,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let capacity = spec.count.div_ceil(shards).max(1);
+    let mut sharder = CorpusSharder::create(dir, capacity)
+        .map_err(fail(&format!("create sharded corpus {}", dir.display())))?;
+    // Crash-test hook: abort the process *mid-fold* — after the N-th shard's
+    // segment and R-tree are durable, before its sidecar and before any
+    // manifest write. The crash harness uses this to prove the manifest-last
+    // commit protocol: the reopened directory is previous-or-empty, never a
+    // manifest naming half-written shards.
+    let crash_after: Option<usize> = std::env::var("TWSEARCH_CRASH_AFTER_FOLDS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    if let Some(after) = crash_after {
+        sharder = sharder.fold_hook(move |index| {
+            if index + 1 >= after {
+                std::process::abort();
+            }
+        });
+    }
+    for values in generate_data(spec.kind, spec.count, spec.len, spec.seed) {
+        sharder.append(&values).map_err(fail("append"))?;
+    }
+    let manifest = sharder.finish().map_err(fail("commit manifest"))?;
+    writeln!(
+        out,
+        "sharded {} sequence(s) into {} shard(s) of <= {capacity}; manifest {}",
+        manifest.total_sequences(),
+        manifest.shard_count(),
+        manifest_path(dir).display()
+    )
+    .map_err(fail("write"))?;
+    Ok(())
+}
+
 fn index(db: &Path, path: &Path, out: &mut dyn Write) -> Result<(), CliError> {
     let (store, _) = open_store(db)?;
     let engine = TwSimSearch::build(&store).map_err(fail("build index"))?;
@@ -706,6 +757,74 @@ fn warn_termination(termination: &Termination, out: &mut dyn Write) -> Result<()
     Ok(())
 }
 
+/// Fan-out query against a sharded corpus directory (detected by its
+/// manifest). Budgets span the whole fan-out through the shared token; a
+/// shard with a damaged index degrades alone.
+fn query_sharded(
+    dir: &Path,
+    epsilon: f64,
+    source: QuerySource,
+    options: &QueryOptions,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (sharded, reports) = ShardedSearch::open_dir(dir, 64)
+        .map_err(fail(&format!("open sharded corpus {}", dir.display())))?;
+    for (i, report) in reports.iter().enumerate() {
+        if !report.is_clean() {
+            writeln!(
+                out,
+                "warning: shard {i} tail was damaged; recovered {} of {} record(s)",
+                report.recovered_records, report.expected_records
+            )
+            .map_err(fail("write"))?;
+        }
+    }
+    let query_values = match source {
+        QuerySource::Values(v) => v,
+        QuerySource::FromId(id) => sharded
+            .get(id)
+            .map_err(fail(&format!("load query sequence {id}")))?,
+    };
+    if query_values.is_empty() {
+        return Err(CliError("query sequence is empty".into()));
+    }
+    let mut opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    if let Some(budget) = options.budget() {
+        opts = opts.budget(budget);
+    }
+    let outcome = sharded
+        .range_search_sharded(&query_values, epsilon, &opts)
+        .map_err(fail("query"))?;
+    if let EngineHealth::Degraded { fallback, reason } = &outcome.merged.health {
+        writeln!(out, "warning: degraded to {fallback}: {reason}").map_err(fail("write"))?;
+    }
+    warn_termination(&outcome.merged.termination, out)?;
+    writeln!(
+        out,
+        "{} sequence(s) within tolerance {epsilon} across {} shard(s):",
+        outcome.merged.matches.len(),
+        sharded.shard_count()
+    )
+    .map_err(fail("write"))?;
+    for m in &outcome.merged.matches {
+        writeln!(out, "  id {:>6}  distance {:.4}", m.id, m.distance).map_err(fail("write"))?;
+    }
+    if options.stats {
+        write_query_stats(&outcome.merged.query_stats, out)?;
+    }
+    if let Some(k) = options.knn {
+        let knn_out = sharded
+            .knn_sharded(&query_values, k, &opts)
+            .map_err(fail("knn"))?;
+        warn_termination(&knn_out.merged.termination, out)?;
+        writeln!(out, "top-{k} nearest:").map_err(fail("write"))?;
+        for n in &knn_out.merged.matches {
+            writeln!(out, "  id {:>6}  distance {:.4}", n.id, n.distance).map_err(fail("write"))?;
+        }
+    }
+    Ok(())
+}
+
 fn query(
     db: &Path,
     index: Option<&Path>,
@@ -714,6 +833,11 @@ fn query(
     options: &QueryOptions,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
+    // A database path holding a shard manifest is a sharded corpus: the
+    // query fans out across its shards instead of opening one store file.
+    if manifest_path(db).is_file() {
+        return query_sharded(db, epsilon, source, options, out);
+    }
     let (store, report) = open_store(db)?;
     warn_recovery(&report, out)?;
     let query_values = match source {
@@ -1221,6 +1345,64 @@ mod tests {
         assert!(v2.contains("integrity    OK"), "{v2}");
         assert!(v2.contains("index        OK"), "{v2}");
         assert!(v2.contains("0 append(s) pending"), "{v2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_ingest_and_query_agree_with_flat_store() {
+        let dir = temp("sharded");
+        let corpus = dir.join("corpus");
+        let db = dir.join("flat.tws");
+
+        let s = run_str(&format!(
+            "ingest --db {} --shards 3 --count 30 --len 16 --seed 6",
+            corpus.display()
+        ))
+        .expect("sharded ingest");
+        assert!(s.contains("sharded 30 sequence(s) into 3 shard(s)"), "{s}");
+
+        // The same generator seed through the flat path gives the same
+        // corpus, so the two query paths must print the same matches.
+        run_str(&format!(
+            "generate --kind walk --count 30 --len 16 --seed 6 --out {}",
+            db.display()
+        ))
+        .expect("generate");
+        let sharded_q = run_str(&format!(
+            "query --db {} --eps 0.3 --from-id 3 --knn 2",
+            corpus.display()
+        ))
+        .expect("sharded query");
+        let flat_q = run_str(&format!(
+            "query --db {} --eps 0.3 --from-id 3 --knn 2",
+            db.display()
+        ))
+        .expect("flat query");
+        assert!(sharded_q.contains("across 3 shard(s)"), "{sharded_q}");
+        assert!(
+            sharded_q.contains("id      3  distance 0.0000"),
+            "{sharded_q}"
+        );
+        // Identical bodies below the differing headline.
+        let body = |s: &str| {
+            s.lines()
+                .skip(1)
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body(&sharded_q), body(&flat_q));
+
+        // Budgets flow through the shared fan-out token.
+        let strict = run_str(&format!(
+            "query --db {} --eps 0.3 --from-id 3 --max-cells 1 --stats",
+            corpus.display()
+        ))
+        .expect("governed sharded query");
+        assert!(
+            strict.contains("partial results") && strict.contains("budget-exhausted(dtw-cells)"),
+            "{strict}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

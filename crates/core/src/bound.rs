@@ -406,6 +406,17 @@ pub struct BoundCascade {
     envelopes: Option<Arc<EnvelopeSidecar>>,
 }
 
+impl std::fmt::Debug for BoundCascade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundCascade")
+            .field("tiers", &self.tier_order())
+            .field("verify", &self.verify)
+            .field("early_abandon", &self.early_abandon)
+            .field("envelopes", &self.envelopes.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl BoundCascade {
     /// Compiles `spec` for `query`. The effective verify mode is the
     /// engine's, unless the spec carries a band ratio; the envelope band

@@ -1,7 +1,7 @@
 //! Error type of the core library.
 
 use tw_rtree::PersistError;
-use tw_storage::StoreError;
+use tw_storage::{EnvelopeError, ShardError, StoreError};
 
 /// Errors surfaced by the tw-core public API.
 #[derive(Debug)]
@@ -27,6 +27,10 @@ pub enum TwError {
     /// The single-writer ingest handle is already claimed
     /// ([`crate::ingest::ConcurrentIngest`] admits one writer at a time).
     WriterBusy,
+    /// A sharded corpus manifest could not be read, written or validated.
+    Shard(ShardError),
+    /// An envelope sidecar could not be read or written.
+    Sidecar(EnvelopeError),
 }
 
 impl std::fmt::Display for TwError {
@@ -45,6 +49,8 @@ impl std::fmt::Display for TwError {
             TwError::Index(e) => write!(f, "index load failed: {e}"),
             TwError::CorruptIndex(why) => write!(f, "index failed validation: {why}"),
             TwError::WriterBusy => write!(f, "ingest writer already claimed"),
+            TwError::Shard(e) => write!(f, "shard layer error: {e}"),
+            TwError::Sidecar(e) => write!(f, "envelope sidecar error: {e}"),
         }
     }
 }
@@ -54,8 +60,22 @@ impl std::error::Error for TwError {
         match self {
             TwError::Storage(e) => Some(e),
             TwError::Index(e) => Some(e),
+            TwError::Shard(e) => Some(e),
+            TwError::Sidecar(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ShardError> for TwError {
+    fn from(e: ShardError) -> Self {
+        TwError::Shard(e)
+    }
+}
+
+impl From<EnvelopeError> for TwError {
+    fn from(e: EnvelopeError) -> Self {
+        TwError::Sidecar(e)
     }
 }
 

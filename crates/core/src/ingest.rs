@@ -627,7 +627,7 @@ impl<P: Pager> Snapshot<'_, P> {
             let cascade = opts.arm_cascade(query);
             let (tail_matches, tail_stats) =
                 VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
-                    .with_cascade(cascade.as_ref())
+                    .with_cascade(cascade.as_deref())
                     .run(&candidates, &counters, &token);
             outcome.stats.candidates += candidates.len();
             outcome.stats.accumulate(&tail_stats);

@@ -101,10 +101,11 @@ pub use ingest::{
 #[allow(deprecated)] // Re-exported for one release window; see `lower_bound`.
 pub use lower_bound::{lb_keogh, lb_kim, lb_yi};
 pub use search::{
-    false_dismissals, verify_candidates, EngineOpts, FastMapSearch, HybridPlan, HybridSearch,
-    KnnMatch, KnnOutcome, LbScan, Match, NaiveScan, SearchEngine, SearchOutcome, SearchResult,
-    SearchStats, StFilterSearch, SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome,
-    TwSimSearch, VerifyJob, VerifyMode, WindowSpec,
+    false_dismissals, verify_candidates, CorpusSharder, EngineOpts, FastMapSearch, HybridPlan,
+    HybridSearch, KnnMatch, KnnOutcome, LbScan, Match, NaiveScan, SearchEngine, SearchOutcome,
+    SearchResult, SearchStats, ShardHandle, ShardedKnnOutcome, ShardedOutcome, ShardedSearch,
+    StFilterSearch, SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome, TwSimSearch, VerifyJob,
+    VerifyMode, WindowSpec,
 };
 pub use sequence::Sequence;
 pub use stats::{Phase, PhaseTimes, PipelineCounters, QueryStats};

@@ -29,6 +29,8 @@
 //! }
 //! ```
 
+use std::sync::Arc;
+
 use tw_storage::{HardwareModel, Pager, SeqId, SequenceStore};
 
 use crate::bound::{BoundCascade, CascadeSpec};
@@ -69,6 +71,20 @@ pub struct EngineOpts {
     /// every candidate through the spec's [`crate::bound::BoundTier`]s
     /// (counted per tier in [`QueryStats`]) first.
     pub cascade: Option<CascadeSpec>,
+    /// A pre-armed cancellation token shared with other sub-searches of the
+    /// same logical query. When set, [`Self::arm_budget`] hands out clones
+    /// of *this* token instead of arming `budget`, so every participant —
+    /// the shard fan-out being the motivating case — charges one shared
+    /// ledger and observes one first-cause-wins trip.
+    pub shared_token: Option<CancelToken>,
+    /// A cascade already compiled for one concrete query. When the query
+    /// handed to [`Self::arm_cascade`] is bit-identical to the prepared one
+    /// (same values, same distance kind) the compiled cascade is reused,
+    /// skipping the per-call feature/range/envelope work — the batch path
+    /// for a query set evaluated across many engines, ε values or shards.
+    /// Any mismatch falls back to compiling `cascade` afresh, so reuse can
+    /// never change results.
+    pub prepared_cascade: Option<Arc<BoundCascade>>,
 }
 
 impl EngineOpts {
@@ -82,6 +98,8 @@ impl EngineOpts {
             hardware: HardwareModel::icde2001(),
             budget: None,
             cascade: None,
+            shared_token: None,
+            prepared_cascade: None,
         }
     }
 
@@ -126,19 +144,53 @@ impl EngineOpts {
         self
     }
 
-    /// Compiles the cascade spec — if any — against one concrete query.
-    /// Engines call this once per query and hand the result to
+    /// Shares a pre-armed token with this query: [`Self::arm_budget`] will
+    /// clone it instead of arming `budget`. The fan-out coordinator arms the
+    /// budget exactly once and installs the result on every shard's options,
+    /// so shard sub-queries spend one shared ledger.
+    pub fn shared_token(mut self, token: CancelToken) -> Self {
+        self.shared_token = Some(token);
+        self
+    }
+
+    /// Installs an already-compiled cascade for reuse by
+    /// [`Self::arm_cascade`] (see the field docs for the matching rules).
+    pub fn prepared_cascade(mut self, cascade: Arc<BoundCascade>) -> Self {
+        self.prepared_cascade = Some(cascade);
+        self
+    }
+
+    /// Compiles the cascade spec — if any — against one concrete query,
+    /// reusing `prepared_cascade` when it was compiled for exactly this
+    /// query. Engines call this once per query and hand the result to
     /// [`crate::search::VerifyJob::with_cascade`].
-    pub fn arm_cascade(&self, query: &[f64]) -> Option<BoundCascade> {
+    pub fn arm_cascade(&self, query: &[f64]) -> Option<Arc<BoundCascade>> {
+        if let Some(prepared) = &self.prepared_cascade {
+            let pq = prepared.query();
+            let same_values = pq.values().len() == query.len()
+                && pq
+                    .values()
+                    .iter()
+                    .zip(query)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if same_values && pq.kind() == self.kind {
+                return Some(Arc::clone(prepared));
+            }
+        }
         self.cascade
             .as_ref()
-            .map(|spec| BoundCascade::prepare(spec, query, self.kind, self.verify))
+            .map(|spec| Arc::new(BoundCascade::prepare(spec, query, self.kind, self.verify)))
     }
 
     /// Compiles the budget — if any — into a live [`CancelToken`] for this
-    /// query. Unbudgeted options yield the unlimited token, whose every check
-    /// is a single `Option` test.
+    /// query; a `shared_token` takes precedence, so a fan-out's sub-queries
+    /// all observe the coordinator's single armed ledger. Unbudgeted options
+    /// yield the unlimited token, whose every check is a single `Option`
+    /// test.
     pub fn arm_budget(&self) -> CancelToken {
+        if let Some(token) = &self.shared_token {
+            return token.clone();
+        }
         match &self.budget {
             Some(budget) => budget.arm(),
             None => CancelToken::unlimited(),

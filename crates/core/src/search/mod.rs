@@ -15,6 +15,7 @@ mod lb_scan;
 mod naive_scan;
 mod parallel;
 mod resilient;
+mod sharded;
 mod st_filter;
 mod subsequence;
 mod tw_sim_search;
@@ -28,6 +29,7 @@ pub use lb_scan::LbScan;
 pub use naive_scan::NaiveScan;
 pub use parallel::parallel_query_batch;
 pub use resilient::ResilientSearch;
+pub use sharded::{CorpusSharder, ShardHandle, ShardedKnnOutcome, ShardedOutcome, ShardedSearch};
 pub use st_filter::StFilterSearch;
 pub use subsequence::{SubsequenceIndex, SubsequenceMatch, SubsequenceOutcome, WindowSpec};
 pub use tw_sim_search::{TwSimSearch, VerifyMode};

@@ -53,7 +53,7 @@ impl<P: Pager> SearchEngine<P> for NaiveScan {
         let cascade = opts.arm_cascade(query);
         let (matches, verify_stats) =
             VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
-                .with_cascade(cascade.as_ref())
+                .with_cascade(cascade.as_deref())
                 .run(&rows, &counters, &token);
         stats.accumulate(&verify_stats);
         // Naive-Scan has no filtering step: the paper plots its final result

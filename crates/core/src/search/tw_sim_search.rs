@@ -233,7 +233,7 @@ impl<P: Pager> SearchEngine<P> for TwSimSearch {
         let cascade = opts.arm_cascade(query);
         let (matches, verify_stats) =
             VerifyJob::new(query, epsilon, opts.kind, opts.verify, opts.threads)
-                .with_cascade(cascade.as_ref())
+                .with_cascade(cascade.as_deref())
                 .run(&candidates, &counters, &token);
         stats.accumulate(&verify_stats);
         stats.io = store.take_io();

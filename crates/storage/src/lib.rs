@@ -40,6 +40,7 @@ mod openfile;
 mod pager;
 mod retry;
 mod seqstore;
+mod shard;
 mod wal;
 
 pub use buffer::{BufferPool, BufferStats};
@@ -60,6 +61,10 @@ pub use openfile::{
 pub use pager::{FilePager, MemPager, Pager, PagerError, DEFAULT_PAGE_SIZE, PAGE_FORMAT_PLAIN};
 pub use retry::{RetryPager, RetryPolicy};
 pub use seqstore::{GovernorGuard, RecoveryReport, SeqId, SequenceStore, StoreError};
+pub use shard::{
+    create_shard_segment, manifest_path, open_shard_segment, rtree_path, segment_path,
+    sidecar_path, SegmentPager, SegmentStore, ShardEntry, ShardError, ShardManifest,
+};
 pub use wal::{
     create_wal_file, open_or_create_wal_file, open_wal_file, DynWal, Wal, WalRecord,
     WalRecoveryReport, WAL_FEATURE_DIMS,

@@ -496,6 +496,11 @@ impl<P: Pager> SequenceStore<P> {
         self.pool.stats()
     }
 
+    /// Resets the buffer pool counters (e.g. between measured queries).
+    pub fn reset_buffer_stats(&self) {
+        self.pool.reset_stats()
+    }
+
     /// Checksum-triggered read retries absorbed by the pager stack since the
     /// store was opened; 0 for stacks without a retry layer. Cumulative —
     /// callers measuring one query take a before/after delta.

@@ -1,0 +1,452 @@
+//! Sharded corpus layout: the manifest plus per-shard segment files.
+//!
+//! A corpus too large for one store file is split into fixed-capacity
+//! *shards*, each a directory sibling holding its own sequence segment,
+//! R-tree and envelope sidecar:
+//!
+//! ```text
+//! corpus/
+//!   manifest.twsm      shard directory: base-id ranges, CRC'd
+//!   shard-000.tws      sequence segment (v2 CRC-paged store)
+//!   shard-000.twr      per-shard R-tree (STR bulk-loaded)
+//!   shard-000.twev     per-shard envelope sidecar
+//!   shard-001.tws      ...
+//! ```
+//!
+//! The manifest is the commit point. Segments, trees and sidecars are
+//! written first; the manifest is written last via temp-file + fsync +
+//! rename, so a crash mid-ingest leaves either the previous manifest or
+//! none — never a manifest naming half-written shards. Its explicit
+//! little-endian layout:
+//!
+//! ```text
+//! manifest := magic:"TWSM" version:u32 page_size:u64 count:u64 shard* crc:u32
+//! shard    := base_id:u64 len:u64
+//! ```
+//!
+//! Shards own contiguous global-id ranges: shard `i` holds global ids
+//! `[base_id, base_id + len)`, stored locally as `0..len`, and
+//! `base_id[i+1] == base_id[i] + len[i]` with `base_id[0] == 0` — decode
+//! rejects anything else, so a loaded manifest always yields a total,
+//! gap-free id mapping.
+//!
+//! Segment files always use the full protective stack
+//! ([`SegmentPager`]). Unlike the sniffing openers in `openfile`, the
+//! shard constructors return the *concrete* stack: shard fan-out shares
+//! `&SequenceStore` across scoped threads, which needs `P: Send`, and a
+//! boxed `dyn Pager` erases that bound.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::checksum::{crc32, ChecksumPager};
+use crate::convert::usize_to_u64;
+use crate::pager::{FilePager, PagerError};
+use crate::retry::{RetryPager, RetryPolicy};
+use crate::seqstore::{RecoveryReport, SequenceStore, StoreError};
+
+const MAGIC: &[u8; 4] = b"TWSM";
+const VERSION: u32 = 1;
+
+/// The concrete pager stack every shard segment uses: checksummed pages
+/// behind bounded retry over a file. Kept un-boxed so `SequenceStore<SegmentPager>`
+/// is `Send + Sync` and shards can be queried from scoped threads.
+pub type SegmentPager = RetryPager<ChecksumPager<FilePager>>;
+
+/// A sequence store over the shard segment stack.
+pub type SegmentStore = SequenceStore<SegmentPager>;
+
+/// Creates a new shard segment file with the full protective stack.
+pub fn create_shard_segment<Q: AsRef<Path>>(
+    path: Q,
+    page_size: usize,
+    pool_pages: usize,
+) -> Result<SegmentStore, StoreError> {
+    let file = FilePager::create(path, page_size)?;
+    let stack = RetryPager::new(ChecksumPager::new(file), RetryPolicy::default());
+    SequenceStore::create(stack, pool_pages)
+}
+
+/// Opens a shard segment, recovering a crashed writer's ragged tail.
+/// Segments are always written through [`SegmentPager`], so no format
+/// sniffing is needed — a plain-paged file fails the CRC open and is
+/// surfaced as the corruption it is.
+pub fn open_shard_segment<Q: AsRef<Path>>(
+    path: Q,
+    page_size: usize,
+    pool_pages: usize,
+) -> Result<(SegmentStore, RecoveryReport), StoreError> {
+    let (file, _trimmed_bytes) = FilePager::open_trimmed(path, page_size)?;
+    let stack = RetryPager::new(ChecksumPager::new(file), RetryPolicy::default());
+    SequenceStore::open_recovering(stack, pool_pages)
+}
+
+/// Path of the corpus manifest inside a shard directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("manifest.twsm")
+}
+
+/// Path of shard `index`'s sequence segment.
+pub fn segment_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}.tws"))
+}
+
+/// Path of shard `index`'s persisted R-tree.
+pub fn rtree_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}.twr"))
+}
+
+/// Path of shard `index`'s envelope sidecar.
+pub fn sidecar_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("shard-{index:03}.twev"))
+}
+
+/// One shard's slice of the global id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// First global id stored in this shard.
+    pub base_id: u64,
+    /// Number of sequences in this shard (local ids `0..len`).
+    pub len: u64,
+}
+
+/// Errors produced while decoding or loading a persisted manifest.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The buffer ended before the declared layout was complete.
+    Truncated,
+    /// Magic bytes absent — not a manifest file.
+    BadMagic,
+    /// Layout generation this build does not know.
+    UnsupportedVersion(u32),
+    /// The trailing CRC-32 does not match the bytes.
+    ChecksumMismatch,
+    /// Decoded fields contradict the shard invariants.
+    Inconsistent(&'static str),
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Truncated => write!(f, "shard manifest truncated"),
+            ShardError::BadMagic => write!(f, "shard manifest magic missing"),
+            ShardError::UnsupportedVersion(v) => {
+                write!(f, "shard manifest version {v} not supported")
+            }
+            ShardError::ChecksumMismatch => write!(f, "shard manifest checksum mismatch"),
+            ShardError::Inconsistent(what) => write!(f, "shard manifest inconsistent: {what}"),
+            ShardError::Io(e) => write!(f, "shard manifest io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// The corpus directory's shard map: which global-id range lives where.
+///
+/// Built up during ingest via [`ShardManifest::push_shard`] and persisted
+/// *last* ([`ShardManifest::save_file`] is atomic), so its existence
+/// certifies that every shard it names was fully folded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    page_size: u64,
+    shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// An empty manifest for segments of the given physical page size.
+    pub fn new(page_size: usize) -> Self {
+        ShardManifest {
+            page_size: usize_to_u64(page_size),
+            shards: Vec::new(),
+        }
+    }
+
+    /// Physical page size every segment was created with.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Appends the next shard, assigning it the next contiguous base id,
+    /// and returns that base id.
+    pub fn push_shard(&mut self, len: u64) -> u64 {
+        let base_id = self.shards.last().map(|s| s.base_id + s.len).unwrap_or(0);
+        self.shards.push(ShardEntry { base_id, len });
+        base_id
+    }
+
+    /// The shard entries in id order.
+    pub fn shards(&self) -> &[ShardEntry] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total sequences across every shard.
+    pub fn total_sequences(&self) -> u64 {
+        self.shards.iter().map(|s| s.len).sum()
+    }
+
+    /// Locates a global id: `(shard index, local id)`.
+    pub fn locate(&self, id: u64) -> Option<(usize, u64)> {
+        // Contiguity (enforced at decode, maintained by push_shard) makes
+        // the ranges sorted and disjoint, so a binary search suffices.
+        let idx = self
+            .shards
+            .partition_point(|s| s.base_id + s.len <= id)
+            .min(self.shards.len().saturating_sub(1));
+        let entry = self.shards.get(idx)?;
+        if id >= entry.base_id && id < entry.base_id + entry.len {
+            Some((idx, id - entry.base_id))
+        } else {
+            None
+        }
+    }
+
+    /// Serializes to the documented binary layout (infallible).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.page_size);
+        buf.put_u64_le(usize_to_u64(self.shards.len()));
+        for shard in &self.shards {
+            buf.put_u64_le(shard.base_id);
+            buf.put_u64_le(shard.len);
+        }
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+        buf.to_vec()
+    }
+
+    /// Decodes the documented layout, validating magic, version, CRC and
+    /// the contiguous-range invariant.
+    pub fn decode(data: &[u8]) -> Result<Self, ShardError> {
+        const TRAILER: usize = 4;
+        if data.len() < MAGIC.len() + 4 + 8 + 8 + TRAILER {
+            return Err(ShardError::Truncated);
+        }
+        let (body, trailer) = data.split_at(data.len() - TRAILER);
+        let mut crc_bytes = Bytes::copy_from_slice(trailer);
+        if crc_bytes.get_u32_le() != crc32(body) {
+            return Err(ShardError::ChecksumMismatch);
+        }
+        let mut buf = Bytes::copy_from_slice(body);
+        if buf.chunk().get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
+            return Err(ShardError::BadMagic);
+        }
+        buf.advance(MAGIC.len());
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(ShardError::UnsupportedVersion(version));
+        }
+        let page_size = buf.get_u64_le();
+        if page_size == 0 {
+            return Err(ShardError::Inconsistent("page size zero"));
+        }
+        let count = buf.get_u64_le();
+        let count = usize::try_from(count).map_err(|_| ShardError::Truncated)?;
+        let mut shards = Vec::new();
+        let mut next_base = 0u64;
+        for _ in 0..count {
+            if buf.remaining() < 16 {
+                return Err(ShardError::Truncated);
+            }
+            let base_id = buf.get_u64_le();
+            let len = buf.get_u64_le();
+            if base_id != next_base {
+                return Err(ShardError::Inconsistent("shard base ids not contiguous"));
+            }
+            next_base = base_id
+                .checked_add(len)
+                .ok_or(ShardError::Inconsistent("shard id range overflows u64"))?;
+            shards.push(ShardEntry { base_id, len });
+        }
+        Ok(ShardManifest { page_size, shards })
+    }
+
+    /// Persists the manifest atomically: encoded bytes go to a temp file
+    /// which is fsynced and renamed over `path`, then the parent directory
+    /// is fsynced. A crash at any point leaves the previous manifest (or
+    /// none) intact — the rename is the commit point of the whole ingest.
+    pub fn save_file(&self, path: &Path) -> Result<(), ShardError> {
+        let tmp = path.with_extension("twsm.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&self.encode())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                // Directory fsync is advisory on some filesystems; the
+                // rename itself is already atomic.
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads and validates a manifest from `path`.
+    pub fn load_file(path: &Path) -> Result<Self, ShardError> {
+        let data = std::fs::read(path)?;
+        ShardManifest::decode(&data)
+    }
+}
+
+impl From<PagerError> for ShardError {
+    fn from(e: PagerError) -> Self {
+        ShardError::Io(std::io::Error::other(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_contiguous_base_ids() {
+        let mut m = ShardManifest::new(1024);
+        assert_eq!(m.push_shard(10), 0);
+        assert_eq!(m.push_shard(7), 10);
+        assert_eq!(m.push_shard(0), 17);
+        assert_eq!(m.push_shard(3), 17);
+        assert_eq!(m.total_sequences(), 20);
+        assert_eq!(m.shard_count(), 4);
+    }
+
+    #[test]
+    fn locate_maps_global_to_local() {
+        let mut m = ShardManifest::new(1024);
+        m.push_shard(10);
+        m.push_shard(5);
+        m.push_shard(8);
+        assert_eq!(m.locate(0), Some((0, 0)));
+        assert_eq!(m.locate(9), Some((0, 9)));
+        assert_eq!(m.locate(10), Some((1, 0)));
+        assert_eq!(m.locate(14), Some((1, 4)));
+        assert_eq!(m.locate(15), Some((2, 0)));
+        assert_eq!(m.locate(22), Some((2, 7)));
+        assert_eq!(m.locate(23), None);
+        assert_eq!(ShardManifest::new(64).locate(0), None);
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_bytes() {
+        let mut m = ShardManifest::new(4096);
+        m.push_shard(1000);
+        m.push_shard(1000);
+        m.push_shard(42);
+        let decoded = ShardManifest::decode(&m.encode()).expect("decode");
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.page_size(), 4096);
+    }
+
+    #[test]
+    fn corruption_and_junk_are_detected() {
+        let mut m = ShardManifest::new(1024);
+        m.push_shard(3);
+        let mut bytes = m.encode();
+        if let Some(b) = bytes.get_mut(10) {
+            *b ^= 0xFF;
+        }
+        assert!(matches!(
+            ShardManifest::decode(&bytes),
+            Err(ShardError::ChecksumMismatch)
+        ));
+        assert!(matches!(
+            ShardManifest::decode(&[1, 2, 3]),
+            Err(ShardError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn non_contiguous_ranges_are_rejected() {
+        let mut m = ShardManifest::new(1024);
+        m.push_shard(4);
+        m.push_shard(4);
+        let mut bytes = m.encode();
+        // Overwrite shard 1's base_id (offset: 4 magic + 4 ver + 8 ps +
+        // 8 count + 16 shard0 = 40) with a gap, then re-CRC.
+        bytes.truncate(bytes.len() - 4);
+        bytes[40..48].copy_from_slice(&9u64.to_le_bytes());
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            ShardManifest::decode(&bytes),
+            Err(ShardError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn save_is_atomic_and_loads_back() {
+        let dir = std::env::temp_dir().join(format!("tw_shard_manifest_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = manifest_path(&dir);
+        let mut m = ShardManifest::new(1024);
+        m.push_shard(128);
+        m.save_file(&path).expect("save");
+        // No temp file is left behind and the manifest loads.
+        assert!(!path.with_extension("twsm.tmp").exists());
+        let loaded = ShardManifest::load_file(&path).expect("load");
+        assert_eq!(loaded, m);
+        // Overwriting is just another atomic commit.
+        m.push_shard(64);
+        m.save_file(&path).expect("resave");
+        assert_eq!(ShardManifest::load_file(&path).expect("reload"), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_files_roundtrip_and_recover() {
+        let dir = std::env::temp_dir().join(format!("tw_shard_segment_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = segment_path(&dir, 0);
+        {
+            let mut store = create_shard_segment(&path, 1024, 8).expect("create");
+            for i in 0..5u64 {
+                store.append(&[i as f64, (i + 1) as f64]).expect("append");
+            }
+            store.flush().expect("flush");
+        }
+        let (store, report) = open_shard_segment(&path, 1024, 8).expect("open");
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.get(3).expect("get"), vec![3.0, 4.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_paths_are_zero_padded() {
+        let dir = Path::new("/corpus");
+        assert_eq!(
+            segment_path(dir, 7),
+            Path::new("/corpus/shard-007.tws").to_path_buf()
+        );
+        assert_eq!(
+            rtree_path(dir, 123),
+            Path::new("/corpus/shard-123.twr").to_path_buf()
+        );
+        assert_eq!(
+            sidecar_path(dir, 0),
+            Path::new("/corpus/shard-000.twev").to_path_buf()
+        );
+        assert_eq!(
+            manifest_path(dir),
+            Path::new("/corpus/manifest.twsm").to_path_buf()
+        );
+    }
+}

@@ -10,6 +10,7 @@
 //! ```text
 //! cargo run -p xtask -- bench --smoke          # CI-sized run
 //! cargo run -p xtask -- bench                  # full matrix
+//! cargo run -p xtask -- bench --large          # ≥1M-sequence sharded arm
 //! cargo run -p xtask -- validate-bench [FILE]  # schema check only
 //! ```
 
@@ -19,8 +20,8 @@ use std::time::Instant;
 
 use tw_core::distance::DtwKind;
 use tw_core::search::{
-    EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch, SearchEngine,
-    StFilterSearch, TwSimSearch,
+    CorpusSharder, EngineOpts, FastMapSearch, HybridSearch, LbScan, NaiveScan, ResilientSearch,
+    SearchEngine, ShardedSearch, StFilterSearch, TwSimSearch,
 };
 use tw_core::{BoundTier, CascadeSpec, ConcurrentIngest, QueryStats};
 use tw_storage::{EnvelopeSidecar, MemPager, SequenceStore};
@@ -39,7 +40,18 @@ use crate::json::{self, Json};
 /// `ConcurrentIngest` recording append count, WAL record/byte volume and the
 /// checkpoint fold. Everything except `elapsed_ms` is a pure function of the
 /// seed.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: a top-level `large` arm — a sharded out-of-core tier: the corpus is
+/// ingested through `CorpusSharder` into per-shard segment files, reopened
+/// through small buffer pools, and queried via the `ShardedSearch` fan-out.
+/// The arm records its own scale config beside the merged query ledger and
+/// the out-of-core witness (`pool_misses > resident_frames`). `--large`
+/// raises the arm to ≥1M sequences; `--smoke` keeps CI at a scaled-down
+/// corpus running the identical code path. The cascade_on arm now also
+/// prepares each query's `BoundCascade` once per query set and reuses it
+/// across engines and ε values (`EngineOpts::prepared_cascade`), instead of
+/// recompiling envelopes per engine invocation.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Engine labels in report order — every run covers all seven.
 pub const ENGINES: [&str; 7] = [
@@ -69,6 +81,64 @@ pub struct BenchConfig {
     pub queries_per_cell: usize,
     /// Verification threads handed to [`EngineOpts`].
     pub threads: usize,
+    /// Scale of the sharded out-of-core `large` arm.
+    pub large: LargeTier,
+}
+
+/// Scale knobs for the `large` arm: a sharded on-disk corpus queried through
+/// deliberately tiny buffer pools so the arm *must* do real I/O. All fields
+/// are recorded in the emitted `large` object.
+#[derive(Debug, Clone)]
+pub struct LargeTier {
+    pub sequences: usize,
+    pub seq_len: usize,
+    pub shard_capacity: usize,
+    /// Buffer-pool frames per shard at query time — kept far below the
+    /// shard's page count so `pool_misses > resident_frames` is structural.
+    pub pool_pages: usize,
+    pub queries: usize,
+    pub epsilon: f64,
+}
+
+impl LargeTier {
+    /// CI scale: a few hundred sequences through the identical sharded
+    /// code path (same shards-per-pool ratio as the million-row run).
+    pub fn smoke() -> Self {
+        Self {
+            sequences: 400,
+            seq_len: 32,
+            shard_capacity: 100,
+            pool_pages: 2,
+            queries: 2,
+            epsilon: 0.5,
+        }
+    }
+
+    /// Default (full-matrix) scale: big enough to span several shards and
+    /// thrash the pools, small enough for a dev-loop run.
+    pub fn full() -> Self {
+        Self {
+            sequences: 5_000,
+            seq_len: 32,
+            shard_capacity: 1_024,
+            pool_pages: 4,
+            queries: 2,
+            epsilon: 0.5,
+        }
+    }
+
+    /// The `--large` tier: ≥1M sequences, out of core by construction
+    /// (16 shards × 32 resident frames against ~260k data pages).
+    pub fn million() -> Self {
+        Self {
+            sequences: 1_000_000,
+            seq_len: 32,
+            shard_capacity: 65_536,
+            pool_pages: 32,
+            queries: 2,
+            epsilon: 0.5,
+        }
+    }
 }
 
 impl BenchConfig {
@@ -82,6 +152,7 @@ impl BenchConfig {
             epsilons: vec![0.3],
             queries_per_cell: 3,
             threads: 2,
+            large: LargeTier::smoke(),
         }
     }
 
@@ -96,6 +167,7 @@ impl BenchConfig {
             epsilons: vec![0.1, 0.3],
             queries_per_cell: 5,
             threads: 2,
+            large: LargeTier::full(),
         }
     }
 }
@@ -136,15 +208,21 @@ pub fn run(config: &BenchConfig, commit: &str) -> Result<Json, String> {
             // exercises the sidecar fast path the way a deployment would.
             let sidecar = EnvelopeSidecar::build(&store, None)
                 .map_err(|e| format!("building envelope sidecar: {e}"))?;
-            let opts_arms = [
-                base.clone(),
-                base.clone()
-                    .cascade(CascadeSpec::standard().envelopes(Arc::new(sidecar))),
-            ];
+            let opts_on = base
+                .clone()
+                .cascade(CascadeSpec::standard().envelopes(Arc::new(sidecar)));
             let engines = build_engines(&store)?;
             let queries = generate_queries(&data, config.queries_per_cell, config.seed + cell);
-            for &epsilon in &config.epsilons {
-                for query in &queries {
+            for query in &queries {
+                // Compile the on-arm's cascade once per query and reuse it
+                // across every engine and ε (the prepared bounds are
+                // ε-independent; only `check` takes the tolerance). Before
+                // v4 every engine invocation recompiled the query envelope.
+                let opts_arms = match opts_on.arm_cascade(query) {
+                    Some(prepared) => [base.clone(), opts_on.clone().prepared_cascade(prepared)],
+                    None => [base.clone(), opts_on.clone()],
+                };
+                for &epsilon in &config.epsilons {
                     run_query(&store, &engines, query, epsilon, &opts_arms, &mut aggs)?;
                 }
             }
@@ -152,7 +230,147 @@ pub fn run(config: &BenchConfig, commit: &str) -> Result<Json, String> {
     }
 
     let ingest = run_ingest_arm(config)?;
-    Ok(report(config, commit, &aggs, ingest))
+    let large = run_large_arm(config)?;
+    Ok(report(config, commit, &aggs, ingest, large))
+}
+
+/// The `large` arm: shard a seeded corpus onto disk through
+/// [`CorpusSharder`] (sidecars off — at scale their footprint exceeds their
+/// pruning value), reopen it through deliberately small per-shard buffer
+/// pools, and fan seeded queries out through [`ShardedSearch`]. The corpus
+/// pages outnumber the resident pool frames by construction, so the
+/// recorded `pool_misses > resident_frames` witnesses real out-of-core
+/// I/O; every counter except the two elapsed fields is a pure function of
+/// the seed.
+fn run_large_arm(config: &BenchConfig) -> Result<Json, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+    let lt = &config.large;
+    let dir = std::env::temp_dir().join(format!(
+        "tw-bench-large-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Ingest: stream seeded batches through the sharder so the corpus is
+    // never resident in memory, then commit the manifest.
+    const BATCH: usize = 10_000;
+    let started = Instant::now();
+    let mut sharder = CorpusSharder::create(&dir, lt.shard_capacity)
+        .map_err(|e| format!("large arm: creating sharder: {e}"))?
+        .sidecars(false);
+    let mut appended = 0usize;
+    let mut batch_index = 0u64;
+    while appended < lt.sequences {
+        let n = BATCH.min(lt.sequences - appended);
+        let data = generate_random_walks(
+            &RandomWalkConfig::paper(n, lt.seq_len),
+            config.seed ^ 0x4C41_5247 ^ batch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        for s in &data {
+            sharder
+                .append(s)
+                .map_err(|e| format!("large arm: append: {e}"))?;
+        }
+        appended += n;
+        batch_index += 1;
+    }
+    let manifest = sharder
+        .finish()
+        .map_err(|e| format!("large arm: committing manifest: {e}"))?;
+    let ingest_elapsed = started.elapsed();
+
+    // Query: reopen through small pools and fan out. Every shard ledger
+    // must balance and sum exactly to the merged ledger — the bench holds
+    // itself to the fan-out accounting invariant on every run.
+    let started = Instant::now();
+    let (sharded, reports) = ShardedSearch::open_dir(&dir, lt.pool_pages)
+        .map_err(|e| format!("large arm: opening corpus: {e}"))?;
+    if reports.iter().any(|r| !r.is_clean()) {
+        return Err("large arm: freshly committed corpus needed recovery".to_string());
+    }
+    if sharded.total_sequences() != lt.sequences as u64 {
+        return Err(format!(
+            "large arm: manifest names {} sequence(s), ingested {}",
+            sharded.total_sequences(),
+            lt.sequences
+        ));
+    }
+    let queries = generate_random_walks(
+        &RandomWalkConfig::paper(lt.queries, lt.seq_len),
+        config.seed ^ 0x51_5259,
+    );
+    let opts = EngineOpts::new()
+        .kind(DtwKind::MaxAbs)
+        .threads(config.threads);
+    let mut qs = QueryStats::default();
+    let mut matches = 0u64;
+    let mut candidates = 0u64;
+    for query in &queries {
+        let out = sharded
+            .range_search_sharded(query, lt.epsilon, &opts)
+            .map_err(|e| format!("large arm: query: {e}"))?;
+        if !out.merged.query_stats.accounting_balanced() {
+            return Err(format!(
+                "large arm: unbalanced fan-out ledger: {:?}",
+                out.merged.query_stats
+            ));
+        }
+        let mut summed = QueryStats::default();
+        for shard in &out.per_shard {
+            if !shard.query_stats.accounting_balanced() {
+                return Err("large arm: unbalanced shard ledger".to_string());
+            }
+            summed.merge(&shard.query_stats);
+        }
+        if !summed.counters_eq(&out.merged.query_stats) {
+            return Err("large arm: merged ledger is not the per-shard sum".to_string());
+        }
+        candidates += out.merged.stats.candidates as u64;
+        matches += out.merged.matches.len() as u64;
+        qs.merge(&out.merged.query_stats);
+    }
+    let query_elapsed = started.elapsed();
+    let pool_misses = sharded.pool_misses();
+    let resident_frames = (manifest.shard_count() * lt.pool_pages) as u64;
+    if pool_misses <= resident_frames {
+        return Err(format!(
+            "large arm: not out of core: {pool_misses} pool miss(es) against \
+             {resident_frames} resident frame(s)"
+        ));
+    }
+    drop(sharded);
+    std::fs::remove_dir_all(&dir).ok();
+
+    Ok(Json::Obj(vec![
+        (
+            "ingest_elapsed_ms".to_string(),
+            Json::Num(ingest_elapsed.as_nanos() as f64 / 1e6),
+        ),
+        (
+            "query_elapsed_ms".to_string(),
+            Json::Num(query_elapsed.as_nanos() as f64 / 1e6),
+        ),
+        ("sequences".to_string(), num(lt.sequences as u64)),
+        ("seq_len".to_string(), num(lt.seq_len as u64)),
+        ("shard_capacity".to_string(), num(lt.shard_capacity as u64)),
+        ("shards".to_string(), num(manifest.shard_count() as u64)),
+        (
+            "pool_pages_per_shard".to_string(),
+            num(lt.pool_pages as u64),
+        ),
+        ("resident_frames".to_string(), num(resident_frames)),
+        ("queries".to_string(), num(lt.queries as u64)),
+        ("epsilon".to_string(), Json::Num(lt.epsilon)),
+        ("matches".to_string(), num(matches)),
+        ("candidates".to_string(), num(candidates)),
+        ("verified".to_string(), num(qs.verified)),
+        ("skipped_unverified".to_string(), num(qs.skipped_unverified)),
+        ("dtw_cells".to_string(), num(qs.dtw_cells)),
+        ("pager_reads".to_string(), num(qs.pager_reads)),
+        ("pool_misses".to_string(), num(pool_misses)),
+    ]))
 }
 
 /// The `ingest` arm: a seeded append run through the WAL-backed concurrent
@@ -322,7 +540,13 @@ fn arm_report(agg: &EngineAgg) -> Json {
     ])
 }
 
-fn report(config: &BenchConfig, commit: &str, aggs: &[[EngineAgg; 2]], ingest: Json) -> Json {
+fn report(
+    config: &BenchConfig,
+    commit: &str,
+    aggs: &[[EngineAgg; 2]],
+    ingest: Json,
+    large: Json,
+) -> Json {
     let config_obj = Json::Obj(vec![
         ("smoke".to_string(), Json::Bool(config.smoke)),
         ("seed".to_string(), num(config.seed)),
@@ -376,12 +600,19 @@ fn report(config: &BenchConfig, commit: &str, aggs: &[[EngineAgg; 2]], ingest: J
         ("config".to_string(), config_obj),
         ("per_engine".to_string(), Json::Obj(per_engine)),
         ("ingest".to_string(), ingest),
+        ("large".to_string(), large),
     ])
 }
 
 /// The fields every run must carry, in order — the pinned schema.
-pub const TOP_LEVEL_KEYS: [&str; 5] =
-    ["schema_version", "commit", "config", "per_engine", "ingest"];
+pub const TOP_LEVEL_KEYS: [&str; 6] = [
+    "schema_version",
+    "commit",
+    "config",
+    "per_engine",
+    "ingest",
+    "large",
+];
 pub const CONFIG_KEYS: [&str; 9] = [
     "smoke",
     "seed",
@@ -411,6 +642,25 @@ pub const INGEST_KEYS: [&str; 7] = [
     "wal_bytes",
     "checkpoint_folded",
     "final_epoch",
+];
+pub const LARGE_KEYS: [&str; 17] = [
+    "ingest_elapsed_ms",
+    "query_elapsed_ms",
+    "sequences",
+    "seq_len",
+    "shard_capacity",
+    "shards",
+    "pool_pages_per_shard",
+    "resident_frames",
+    "queries",
+    "epsilon",
+    "matches",
+    "candidates",
+    "verified",
+    "skipped_unverified",
+    "dtw_cells",
+    "pager_reads",
+    "pool_misses",
 ];
 
 fn check_keys(what: &str, doc: &Json, expected: &[&str]) -> Result<(), String> {
@@ -521,6 +771,27 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             return Err(format!("ingest.{key}: the ingest arm did no work"));
         }
     }
+
+    let large = doc.get("large").ok_or("missing large")?;
+    check_keys("large", large, &LARGE_KEYS)?;
+    for key in LARGE_KEYS {
+        check_num(&format!("large.{key}"), large.get(key))?;
+    }
+    for key in ["sequences", "shards", "queries"] {
+        if check_num(&format!("large.{key}"), large.get(key))? == 0.0 {
+            return Err(format!("large.{key}: the large arm did no work"));
+        }
+    }
+    // The arm's reason to exist: the corpus must not fit in the buffer
+    // pools. Structural at every scale, including `--smoke`.
+    let misses = check_num("large.pool_misses", large.get("pool_misses"))?;
+    let resident = check_num("large.resident_frames", large.get("resident_frames"))?;
+    if misses <= resident {
+        return Err(format!(
+            "large.pool_misses {misses} <= large.resident_frames {resident}: \
+             the large arm was not out of core"
+        ));
+    }
     Ok(())
 }
 
@@ -543,15 +814,21 @@ fn default_out(root: &Path) -> PathBuf {
     root.join("BENCH_search.json")
 }
 
-/// `xtask bench [--smoke] [--seed N] [--out FILE]`.
+/// `xtask bench [--smoke] [--large] [--seed N] [--out FILE]`.
+///
+/// `--large` raises the sharded out-of-core arm to ≥1M sequences.
+/// Combined with `--smoke` the corpus stays smoke-scaled — CI runs the
+/// identical sharded code path without the million-row cost.
 pub fn bench_cli(args: &[String], root: &Path) -> Result<(), String> {
     let mut smoke = false;
+    let mut large = false;
     let mut seed = 20010402u64; // same master seed as the experiment harness
     let mut out = default_out(root);
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--large" => large = true,
             "--seed" => {
                 let v = iter.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|e| format!("--seed {v}: {e}"))?;
@@ -560,20 +837,25 @@ pub fn bench_cli(args: &[String], root: &Path) -> Result<(), String> {
             other => return Err(format!("unknown bench flag {other}")),
         }
     }
-    let config = if smoke {
+    let mut config = if smoke {
         BenchConfig::smoke(seed)
     } else {
         BenchConfig::full(seed)
     };
+    if large && !smoke {
+        config.large = LargeTier::million();
+    }
     let doc = run(&config, &current_commit(root))?;
     validate(&doc)?; // the writer holds itself to the same pin as CI
     let text = doc.to_pretty()?;
     std::fs::write(&out, &text).map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!(
-        "wrote {} ({} engines, {} run)",
+        "wrote {} ({} engines, {} run, large arm: {} sequences x {} shards)",
         out.display(),
         ENGINES.len(),
-        if smoke { "smoke" } else { "full" }
+        if smoke { "smoke" } else { "full" },
+        config.large.sequences,
+        config.large.sequences.div_ceil(config.large.shard_capacity),
     );
     Ok(())
 }
@@ -655,6 +937,29 @@ mod tests {
             doc.get("ingest").and_then(|i| i.get("wal_bytes")),
             again.get("ingest").and_then(|i| i.get("wal_bytes"))
         );
+    }
+
+    #[test]
+    fn large_arm_is_deterministic_and_out_of_core() {
+        let doc = run(&BenchConfig::smoke(11), "c").unwrap();
+        let get = |d: &Json, key: &str| {
+            d.get("large")
+                .and_then(|l| l.get(key))
+                .and_then(Json::as_f64)
+                .expect("large field present")
+        };
+        assert_eq!(get(&doc, "sequences"), 400.0);
+        assert_eq!(get(&doc, "shards"), 4.0);
+        // The corpus outgrows its pools — the point of the arm.
+        assert!(get(&doc, "pool_misses") > get(&doc, "resident_frames"));
+        // Same seed, same counters (the two elapsed fields aside).
+        let again = run(&BenchConfig::smoke(11), "c").unwrap();
+        for key in LARGE_KEYS {
+            if key.ends_with("elapsed_ms") {
+                continue;
+            }
+            assert_eq!(get(&doc, key), get(&again, key), "large.{key} drifted");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: tw-analyze <analyze|rules> [--fix-baseline] [--list] [--timings] \
          [--format=text|sarif|github] [--root DIR] [--baseline FILE]\n       \
-         tw-analyze bench [--smoke] [--seed N] [--out FILE]\n       \
+         tw-analyze bench [--smoke] [--large] [--seed N] [--out FILE]\n       \
          tw-analyze validate-bench [FILE]"
     );
     ExitCode::from(2)

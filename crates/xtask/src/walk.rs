@@ -26,6 +26,7 @@ pub const FORMAT_FILES: &[&str] = &[
     "crates/storage/src/codec.rs",
     "crates/storage/src/checksum.rs",
     "crates/storage/src/seqstore.rs",
+    "crates/storage/src/shard.rs",
     "crates/storage/src/wal.rs",
     "crates/rtree/src/persist.rs",
 ];

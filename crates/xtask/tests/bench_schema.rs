@@ -1,13 +1,15 @@
 //! Schema pin for `BENCH_search.json`.
 //!
 //! The golden fixture (`tests/fixtures/BENCH_search.golden.json`) is a smoke
-//! run at the default seed with the two legitimately run-dependent fields
-//! normalized (`commit` → `"golden"`, `elapsed_ms` → `0`). These tests pin:
+//! run at the default seed with the legitimately run-dependent fields
+//! normalized (`commit` → `"golden"`, every `*elapsed_ms` → `0`). These
+//! tests pin:
 //!
 //! 1. the exact key structure (names and order, recursively);
-//! 2. every value except `commit` and `elapsed_ms` — the counters are a pure
-//!    function of the seed, so a drift here means the workload generator, an
-//!    engine, or the stats layer changed behaviour;
+//! 2. every value except `commit` and the elapsed-time fields — the counters
+//!    are a pure function of the seed, so a drift here means the workload
+//!    generator, an engine, the sharded fan-out, or the stats layer changed
+//!    behaviour;
 //! 3. that two same-seed runs differ only in the elapsed-time fields.
 //!
 //! If a schema change is intentional: bump `SCHEMA_VERSION`, regenerate the
@@ -32,9 +34,11 @@ fn fresh() -> Json {
     bench::run(&BenchConfig::smoke(GOLDEN_SEED), "golden").expect("smoke bench run")
 }
 
-/// Is `path` one of the fields allowed to vary between runs?
+/// Is `path` one of the fields allowed to vary between runs? Covers both
+/// the per-engine/ingest `elapsed_ms` and the large arm's
+/// `ingest_elapsed_ms` / `query_elapsed_ms`.
 fn run_dependent(path: &str) -> bool {
-    path == "commit" || path.ends_with(".elapsed_ms")
+    path == "commit" || path.ends_with("elapsed_ms")
 }
 
 /// Recursively asserts equal structure, and equal values outside the
@@ -79,6 +83,23 @@ fn golden_fixture_passes_the_pinned_schema() {
         Some(SCHEMA_VERSION as f64)
     );
     assert_eq!(doc.get("per_engine").unwrap().keys(), ENGINES);
+}
+
+#[test]
+fn golden_large_arm_did_real_out_of_core_work() {
+    // At the golden seed the sharded arm is pinned to have fetched real
+    // candidates through the buffer pools, not just opened the corpus.
+    let large = golden();
+    let get = |key: &str| {
+        large
+            .get("large")
+            .and_then(|l| l.get(key))
+            .and_then(Json::as_f64)
+            .expect("large field present")
+    };
+    assert!(get("pager_reads") > 0.0, "no query-time pager traffic");
+    assert!(get("verified") > 0.0, "no candidates verified");
+    assert!(get("pool_misses") > get("resident_frames"));
 }
 
 #[test]

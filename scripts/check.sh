@@ -38,6 +38,16 @@ trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
 cargo run -q -p xtask --offline -- bench --smoke --out "$BENCH_SMOKE_OUT"
 cargo run -q -p xtask --offline -- validate-bench "$BENCH_SMOKE_OUT"
 
+# The sharded out-of-core arm at smoke scale: same code path as the
+# million-sequence `bench --large` tier (CorpusSharder ingest, fan-out
+# query through per-shard buffer pools), shrunk so CI proves the I/O model
+# — the schema validator pins pool_misses > resident frames — in seconds.
+echo "==> bench large (smoke scale) + schema validation"
+BENCH_LARGE_OUT="$(mktemp -t BENCH_large.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_OUT" "$BENCH_LARGE_OUT"' EXIT
+cargo run -q -p xtask --offline -- bench --large --smoke --out "$BENCH_LARGE_OUT"
+cargo run -q -p xtask --offline -- validate-bench "$BENCH_LARGE_OUT"
+
 # The fault-schedule matrix runs fixed seeds (the schedules are deterministic
 # SplitMix64 streams), so this pass is reproducible bit-for-bit. It is part of
 # the workspace test run above; running it again by name makes a regression

@@ -146,6 +146,38 @@ else
     echo "    concurrent-sigkill: writer finished before the signal landed (ok)"
 fi
 
+# Sharded corpus ingest: the CRC'd manifest is the commit point — it is
+# written last, after every shard's segment, index and sidecar are durable.
+# A crash mid-shard-fold (via the TWSEARCH_CRASH_AFTER_FOLDS hook, which
+# aborts between a shard's R-tree save and its sidecar) must therefore leave
+# NO manifest — never a manifest naming half-written shards — and the same
+# ingest re-run over the directory must commit cleanly and answer queries.
+for n in 1 2 4; do
+    dir="$WORK/sharded-$n"
+    echo "==> sharded ingest, abort mid-fold of shard $n"
+    rc=0
+    TWSEARCH_CRASH_AFTER_FOLDS=$n \
+        "$TW" ingest --db "$dir" --shards 4 --count 100 --len 24 --seed 21 \
+        > /dev/null 2>&1 || rc=$?
+    [[ $rc -ne 0 ]] || { echo "FAIL: sharded writer was supposed to crash"; exit 1; }
+    [[ ! -f "$dir/manifest.twsm" ]] || {
+        echo "FAIL(sharded-$n): crash mid-fold left a committed manifest"; exit 1; }
+    # Re-running the same ingest over the crashed directory commits.
+    "$TW" ingest --db "$dir" --shards 4 --count 100 --len 24 --seed 21 \
+        > "$WORK/sharded-$n.out"
+    grep -q "sharded 100 sequence(s) into 4 shard(s)" "$WORK/sharded-$n.out" || {
+        echo "FAIL(sharded-$n): re-ingest did not commit all 4 shards"
+        cat "$WORK/sharded-$n.out"; exit 1; }
+    [[ -f "$dir/manifest.twsm" ]] || {
+        echo "FAIL(sharded-$n): committed corpus has no manifest"; exit 1; }
+    # The fan-out query path answers over the recovered corpus.
+    "$TW" query --db "$dir" --eps 1000 --values 5,5,5 > "$WORK/sharded-$n-query.out"
+    grep -q "across 4 shard(s)" "$WORK/sharded-$n-query.out" || {
+        echo "FAIL(sharded-$n): query did not fan out across 4 shards"
+        cat "$WORK/sharded-$n-query.out"; exit 1; }
+    echo "    sharded-abort@$n: no manifest after crash; re-ingest committed and queries fan out"
+done
+
 # Control: an uninterrupted ingest is clean end to end.
 db="$WORK/clean.tws"
 echo "==> control (no crash)"

@@ -188,6 +188,75 @@ fn corrupt_index_file_degrades_to_the_exact_qualifying_set() {
 }
 
 #[test]
+fn corrupt_shard_index_degrades_that_shard_alone_and_stays_exact() {
+    // One shard's R-tree file takes a bit flip. Opening the corpus must
+    // succeed, only that shard's engine may go index-offline (falling back
+    // to LB-Scan), the merged health must name the damaged shard — and the
+    // fan-out answer must still be exactly the qualifying set.
+    use tw_core::search::{CorpusSharder, ShardedSearch};
+    use tw_storage::rtree_path;
+
+    let dir = std::env::temp_dir().join(format!("twfault-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let data = dataset();
+    let mut sharder = CorpusSharder::create(&dir, 10).expect("create sharder");
+    for s in &data {
+        sharder.append(s).expect("append");
+    }
+    let manifest = sharder.finish().expect("finish");
+    assert_eq!(manifest.shard_count(), 4);
+
+    // Flip one byte in the middle of shard 1's index file.
+    let idx = rtree_path(&dir, 1);
+    let mut raw = std::fs::read(&idx).expect("read shard index");
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x40;
+    std::fs::write(&idx, &raw).expect("write corrupted shard index");
+
+    let (sharded, reports) = ShardedSearch::open_dir(&dir, 16).expect("open corpus");
+    assert_eq!(reports.len(), 4);
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        assert_eq!(
+            shard.engine().is_index_offline(),
+            i == 1,
+            "shard {i}: wrong index health"
+        );
+    }
+
+    let expected = fault_free_answers();
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    for (i, (q, eps)) in queries().iter().enumerate() {
+        let out = sharded
+            .range_search_sharded(q, *eps, &opts)
+            .expect("degraded fan-out");
+        assert_eq!(out.merged.ids(), expected[i], "query {i}");
+        assert!(out.merged.health.is_degraded(), "query {i}");
+        match &out.merged.health {
+            tw_core::search::EngineHealth::Degraded { reason, .. } => {
+                assert!(
+                    reason.contains("shard 1"),
+                    "query {i}: health does not name the damaged shard: {reason}"
+                );
+                assert!(!reason.contains("shard 0"), "query {i}: {reason}");
+                assert!(!reason.contains("shard 2"), "query {i}: {reason}");
+                assert!(!reason.contains("shard 3"), "query {i}: {reason}");
+            }
+            other => panic!("query {i}: expected degraded health, got {other:?}"),
+        }
+        // The healthy shards answered through their indexes.
+        for (si, shard_out) in out.per_shard.iter().enumerate() {
+            assert_eq!(
+                shard_out.health.is_degraded(),
+                si == 1,
+                "query {i} shard {si}: wrong per-shard health"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn torn_and_transient_writes_never_corrupt_acknowledged_data() {
     // Writes that tear persist a prefix and report failure; the retry layer
     // rewrites the page. Appends that fail after the retry budget are NOT

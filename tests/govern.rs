@@ -353,6 +353,114 @@ fn admission_gate_queues_concurrent_queries_without_shedding() {
 }
 
 #[test]
+fn sharded_deadline_mid_fan_out_returns_typed_exact_subset() {
+    // A shared deadline expiring after shard k of n must surface as a
+    // *typed* partial answer: the merged outcome is `DeadlineExceeded`, its
+    // matches are an exact subset of the full fan-out answer, and no shard
+    // is ever short-read — a shard either reports `Complete` with its full
+    // per-shard answer, or reports the deadline itself with an exact subset.
+    use tw_core::search::ShardedSearch;
+
+    let data = generate_random_walks(&RandomWalkConfig::paper(60, 35), 291);
+    let sharded = ShardedSearch::build_in_memory(&data, 12, None).expect("build sharded");
+    assert_eq!(sharded.shard_count(), 5);
+    let query = generate_queries(&data, 1, 292).remove(0);
+
+    let full = sharded
+        .range_search_sharded(
+            &query,
+            0.5,
+            &EngineOpts::new().kind(DtwKind::MaxAbs).threads(1),
+        )
+        .expect("full fan-out");
+    assert!(full.merged.termination.is_complete());
+
+    let run = |deadline_ms: u64| {
+        // Fresh simulated clock per run: every read advances 1 ms, so the
+        // trip lands on exactly the same cancellation check each time.
+        let clock = Arc::new(ManualClock::with_tick(Duration::from_millis(1)));
+        let budget = QueryBudget::new()
+            .deadline(Duration::from_millis(deadline_ms))
+            .clock(clock);
+        sharded
+            .range_search_sharded(
+                &query,
+                0.5,
+                &EngineOpts::new()
+                    .kind(DtwKind::MaxAbs)
+                    .threads(1)
+                    .budget(budget),
+            )
+            .expect("deadlined fan-out")
+    };
+
+    // Walk a deadline ladder until the trip lands strictly mid-fan-out:
+    // at least one leading shard complete, at least one trailing shard cut.
+    let mut saw_mid_trip = false;
+    for deadline_ms in [2u64, 5, 10, 20, 40, 80, 160, 320, 640] {
+        let out = run(deadline_ms);
+        match out.merged.termination {
+            Termination::Complete => {
+                assert_eq!(out.merged.ids(), full.merged.ids(), "{deadline_ms} ms");
+                continue;
+            }
+            Termination::DeadlineExceeded => {}
+            ref other => panic!("{deadline_ms} ms: unexpected {other:?}"),
+        }
+        assert!(
+            is_exact_subset(&out.merged.matches, &full.merged.matches),
+            "{deadline_ms} ms: merged answer is not an exact subset"
+        );
+        assert!(
+            out.merged.query_stats.accounting_balanced(),
+            "{deadline_ms} ms: {:?}",
+            out.merged.query_stats
+        );
+        let complete_prefix = out
+            .per_shard
+            .iter()
+            .take_while(|s| s.termination.is_complete())
+            .count();
+        for (si, shard) in out.per_shard.iter().enumerate() {
+            if shard.termination.is_complete() {
+                // Completeness means *that shard's whole answer*, id for id.
+                assert_eq!(
+                    shard.ids(),
+                    full.per_shard[si].ids(),
+                    "{deadline_ms} ms: shard {si} short-read its matches"
+                );
+            } else {
+                assert_eq!(
+                    shard.termination,
+                    Termination::DeadlineExceeded,
+                    "{deadline_ms} ms: shard {si}"
+                );
+                assert!(
+                    is_exact_subset(&shard.matches, &full.per_shard[si].matches),
+                    "{deadline_ms} ms: shard {si} partial answer is not exact"
+                );
+            }
+        }
+        if complete_prefix > 0 && complete_prefix < out.per_shard.len() {
+            saw_mid_trip = true;
+            // The simulated trip point is deterministic: same deadline,
+            // same answer.
+            let again = run(deadline_ms);
+            assert_eq!(again.merged.termination, Termination::DeadlineExceeded);
+            assert_eq!(again.merged.ids(), out.merged.ids(), "{deadline_ms} ms");
+            assert!(again
+                .merged
+                .query_stats
+                .counters_eq(&out.merged.query_stats));
+        }
+    }
+    assert!(
+        saw_mid_trip,
+        "no deadline on the ladder tripped after shard k of n — retune the ladder"
+    );
+}
+
+#[test]
 fn knn_budget_returns_exact_partial_neighbours() {
     let data = generate_random_walks(&RandomWalkConfig::paper(60, 35), 271);
     let store = store_with(&data);

@@ -1,0 +1,146 @@
+//! Shard-equivalence: a sharded corpus must answer **byte-identically** to
+//! the unsharded engine over the same data — same ids, same distances (to
+//! the bit), same ordering — whatever the shard count, verification thread
+//! count, or cascade arm. Sharding is a physical layout decision; it is
+//! never allowed to become a semantic one.
+//!
+//! The property runs over seeded random-walk corpora at shard counts 1, 2,
+//! 4 and 8 (including counts that don't divide the corpus evenly), verify
+//! threads 1, 2 and 4, with the tiered cascade off and on, for both range
+//! and kNN queries.
+
+use proptest::prelude::*;
+use tw_core::distance::DtwKind;
+use tw_core::govern::Termination;
+use tw_core::search::{EngineOpts, SearchEngine, ShardedSearch, TwSimSearch};
+use tw_core::CascadeSpec;
+use tw_storage::{MemPager, SequenceStore};
+use tw_workload::{generate_queries, generate_random_walks, RandomWalkConfig};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const VERIFY_THREADS: [usize; 3] = [1, 2, 4];
+
+fn store_with(data: &[Vec<f64>]) -> SequenceStore<MemPager> {
+    let mut store = SequenceStore::in_memory();
+    for s in data {
+        store.append(s).expect("append");
+    }
+    store
+}
+
+/// Range + kNN agreement across every (shard count, threads, cascade) cell.
+fn assert_sharded_agrees(data: &[Vec<f64>], queries: &[Vec<f64>], epsilons: &[f64], ks: &[usize]) {
+    let store = store_with(data);
+    let flat = TwSimSearch::build(&store).expect("build unsharded index");
+    for shard_count in SHARD_COUNTS {
+        let capacity = data.len().div_ceil(shard_count).max(1);
+        let sharded =
+            ShardedSearch::build_in_memory(data, capacity, None).expect("build sharded corpus");
+        for threads in VERIFY_THREADS {
+            for cascade in [false, true] {
+                let mut opts = EngineOpts::new().kind(DtwKind::MaxAbs).threads(threads);
+                if cascade {
+                    opts = opts.cascade(CascadeSpec::standard());
+                }
+                let tag = format!(
+                    "shards={shard_count} cap={capacity} threads={threads} cascade={cascade}"
+                );
+                for &eps in epsilons {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let expect = flat
+                            .range_search(&store, q, eps, &opts)
+                            .expect("unsharded range");
+                        let got = sharded
+                            .range_search_sharded(q, eps, &opts)
+                            .expect("sharded range");
+                        assert_eq!(
+                            got.merged.ids(),
+                            expect.ids(),
+                            "{tag} eps={eps} query={qi}: id drift"
+                        );
+                        for (g, e) in got.merged.matches.iter().zip(&expect.matches) {
+                            assert_eq!(
+                                g.distance.to_bits(),
+                                e.distance.to_bits(),
+                                "{tag} eps={eps} query={qi} id={}: distance drift",
+                                g.id
+                            );
+                        }
+                        assert_eq!(got.merged.termination, Termination::Complete, "{tag}");
+                        assert!(
+                            got.merged.query_stats.accounting_balanced(),
+                            "{tag}: {:?}",
+                            got.merged.query_stats
+                        );
+                    }
+                }
+                for &k in ks {
+                    for (qi, q) in queries.iter().enumerate() {
+                        let expect = flat
+                            .knn_governed(&store, q, k, &opts)
+                            .expect("unsharded knn");
+                        let got = sharded.knn_sharded(q, k, &opts).expect("sharded knn");
+                        assert_eq!(
+                            got.merged.matches.len(),
+                            expect.matches.len(),
+                            "{tag} k={k} query={qi}: neighbour count drift"
+                        );
+                        for (g, e) in got.merged.matches.iter().zip(&expect.matches) {
+                            assert_eq!(g.id, e.id, "{tag} k={k} query={qi}: id drift");
+                            assert_eq!(
+                                g.distance.to_bits(),
+                                e.distance.to_bits(),
+                                "{tag} k={k} query={qi} id={}: distance drift",
+                                g.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_answers_are_byte_identical_to_unsharded(
+        seed in 0u64..1_000,
+        n in 9usize..40,
+        len in 8usize..24,
+    ) {
+        let data = generate_random_walks(&RandomWalkConfig::paper(n, len), seed);
+        let queries = generate_queries(&data, 2, seed ^ 0xABCD);
+        assert_sharded_agrees(&data, &queries, &[0.2, 1.0, 5.0], &[1, 3]);
+    }
+}
+
+#[test]
+fn sharded_agreement_holds_on_the_paper_workload() {
+    // One deterministic, slightly larger cell on top of the property — the
+    // paper's random-walk family with queries drawn from the corpus.
+    let data = generate_random_walks(&RandomWalkConfig::paper(64, 32), 20010402);
+    let queries = generate_queries(&data, 3, 42);
+    assert_sharded_agrees(&data, &queries, &[0.1, 0.3, 2.0], &[1, 5, 10]);
+}
+
+#[test]
+fn uneven_tail_shard_is_still_exact() {
+    // 25 sequences at capacity 8 leaves a one-sequence tail shard; the
+    // global ids must still line up exactly.
+    let data = generate_random_walks(&RandomWalkConfig::paper(25, 16), 7);
+    let sharded = ShardedSearch::build_in_memory(&data, 8, None).expect("build");
+    assert_eq!(sharded.shard_count(), 4);
+    let store = store_with(&data);
+    let flat = TwSimSearch::build(&store).expect("build flat");
+    let opts = EngineOpts::new().kind(DtwKind::MaxAbs);
+    let queries = generate_queries(&data, 2, 8);
+    for q in &queries {
+        let expect = flat.range_search(&store, q, 4.0, &opts).expect("flat");
+        let got = sharded
+            .range_search_sharded(q, 4.0, &opts)
+            .expect("sharded");
+        assert_eq!(got.merged.ids(), expect.ids());
+    }
+}

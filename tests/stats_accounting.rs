@@ -293,6 +293,116 @@ fn subsequence_accounting_balances() {
 }
 
 #[test]
+fn sharded_fan_out_ledger_sums_exactly() {
+    // Cross-shard accounting: the merged fan-out ledger balances, and every
+    // per-shard counter sums *exactly* to the merged total — no work is
+    // double-counted by the merge and none leaks.
+    use tw_core::search::ShardedSearch;
+
+    let data = generate_random_walks(&RandomWalkConfig::paper(60, 30), 111);
+    let sharded = ShardedSearch::build_in_memory(&data, 16, None).expect("build sharded");
+    assert!(sharded.shard_count() > 1);
+    let queries = generate_queries(&data, 2, 112);
+
+    for threads in VERIFY_THREADS {
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs).threads(threads);
+        for (qi, query) in queries.iter().enumerate() {
+            for eps in [0.05, 0.3, 2.0] {
+                let out = sharded
+                    .range_search_sharded(query, eps, &opts)
+                    .expect("fan-out");
+                let ctx = format!("threads {threads} query {qi} eps {eps}");
+                assert_accounting(
+                    "sharded",
+                    &ctx,
+                    &out.merged.query_stats,
+                    out.merged.matches.len(),
+                );
+                // Each shard's own ledger closes too.
+                let mut sum = QueryStats::default();
+                let mut match_sum = 0usize;
+                for (si, shard) in out.per_shard.iter().enumerate() {
+                    assert_accounting(
+                        "sharded",
+                        &format!("{ctx} shard {si}"),
+                        &shard.query_stats,
+                        shard.matches.len(),
+                    );
+                    sum.merge(&shard.query_stats);
+                    match_sum += shard.matches.len();
+                }
+                assert!(
+                    sum.counters_eq(&out.merged.query_stats),
+                    "sharded {ctx}: per-shard sum {sum:?} != merged {:?}",
+                    out.merged.query_stats
+                );
+                assert_eq!(match_sum, out.merged.matches.len(), "sharded {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exhausted_budget_mid_fan_out_still_sums_exactly() {
+    // When a shared budget dies mid-fan-out, later shards skip their
+    // candidates as `skipped_unverified` rather than verifying them — and
+    // the per-shard ledgers must still sum exactly to the merged one,
+    // skipped work included.
+    use tw_core::govern::QueryBudget;
+    use tw_core::search::ShardedSearch;
+
+    let data = generate_random_walks(&RandomWalkConfig::paper(50, 30), 121);
+    let sharded = ShardedSearch::build_in_memory(&data, 10, None).expect("build sharded");
+    assert_eq!(sharded.shard_count(), 5);
+    let query = generate_queries(&data, 1, 122).remove(0);
+
+    for threads in VERIFY_THREADS {
+        let opts = EngineOpts::new()
+            .kind(DtwKind::MaxAbs)
+            .threads(threads)
+            .budget(QueryBudget::new().max_cells(1));
+        let out = sharded
+            .range_search_sharded(&query, 5.0, &opts)
+            .expect("budgeted fan-out");
+        let ctx = format!("threads {threads}");
+        assert!(
+            !out.merged.termination.is_complete(),
+            "{ctx}: a 1-cell budget must exhaust"
+        );
+        assert!(
+            out.merged.query_stats.skipped_unverified > 0,
+            "{ctx}: {:?}",
+            out.merged.query_stats
+        );
+        assert_accounting(
+            "sharded(budget)",
+            &ctx,
+            &out.merged.query_stats,
+            out.merged.matches.len(),
+        );
+        let mut sum = QueryStats::default();
+        for (si, shard) in out.per_shard.iter().enumerate() {
+            assert_accounting(
+                "sharded(budget)",
+                &format!("{ctx} shard {si}"),
+                &shard.query_stats,
+                shard.matches.len(),
+            );
+            sum.merge(&shard.query_stats);
+        }
+        assert!(
+            sum.counters_eq(&out.merged.query_stats),
+            "{ctx}: per-shard sum {sum:?} != merged {:?}",
+            out.merged.query_stats
+        );
+        assert_eq!(
+            sum.skipped_unverified, out.merged.query_stats.skipped_unverified,
+            "{ctx}"
+        );
+    }
+}
+
+#[test]
 fn st_filter_subsequence_accounting_balances() {
     let data = generate_random_walks(&RandomWalkConfig::paper(15, 25), 101);
     let store = store_with(&data);
