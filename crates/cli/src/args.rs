@@ -60,6 +60,34 @@ pub enum Command {
         /// a recovery would replay into the store.
         wal: Option<PathBuf>,
     },
+    /// Serve a store (flat file or sharded corpus directory) over the
+    /// TWNP binary protocol.
+    Serve {
+        db: PathBuf,
+        index: Option<PathBuf>,
+        /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free one).
+        addr: String,
+        /// Per-tenant concurrent-query limit.
+        max_concurrent: usize,
+        /// Per-tenant admission-queue bound; beyond it requests are shed.
+        max_queued: usize,
+        /// Drain (graceful shutdown) after this long; absent = run until
+        /// killed.
+        drain_after_ms: Option<u64>,
+    },
+    /// Send one query to a running `serve` instance and print its typed
+    /// reply.
+    NetQuery {
+        addr: String,
+        /// Range query tolerance; exactly one of `epsilon`/`knn` is set.
+        epsilon: Option<f64>,
+        knn: Option<u32>,
+        values: Vec<f64>,
+        tenant: u32,
+        deadline_ms: Option<u64>,
+        max_cells: Option<u64>,
+        stats: bool,
+    },
     Ingest {
         db: PathBuf,
         /// WAL path (required unless `--shards` selects the sharded path).
@@ -133,6 +161,8 @@ USAGE:
   twsearch verify-store --db DB [--index INDEX] [--wal WAL]
   twsearch ingest   --db DB --wal WAL --index INDEX (--count N --len L [--kind walk|stock|cbf] [--seed S] | --follow) [--checkpoint-every N] [--readers N]
   twsearch ingest   --db DIR --shards N --count C --len L [--kind walk|stock|cbf] [--seed S]   (sharded corpus; query it with --db DIR)
+  twsearch serve    --db DB|DIR [--index INDEX] --addr HOST:PORT [--max-concurrent N] [--max-queued N] [--drain-after-ms MS]
+  twsearch net-query --addr HOST:PORT (--eps E | --knn K) --values v1,v2,... [--tenant T] [--deadline-ms MS] [--max-cells N] [--stats]
   twsearch help";
 
 struct Flags {
@@ -439,6 +469,92 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 checkpoint_every,
                 readers,
                 follow,
+            })
+        }
+        "serve" => {
+            let mut flags = Flags::parse(rest)?;
+            let db = PathBuf::from(flags.require("db")?);
+            let index = flags.take("index").map(PathBuf::from);
+            let addr = flags.require("addr")?;
+            let max_concurrent = match flags.take("max-concurrent") {
+                Some(raw) => parse_num("max-concurrent", &raw)?,
+                None => 4,
+            };
+            let max_queued = match flags.take("max-queued") {
+                Some(raw) => parse_num("max-queued", &raw)?,
+                None => 8,
+            };
+            let drain_after_ms = match flags.take("drain-after-ms") {
+                Some(raw) => Some(parse_num("drain-after-ms", &raw)?),
+                None => None,
+            };
+            flags.finish()?;
+            if max_concurrent == 0 {
+                return Err(ParseError("--max-concurrent must be positive".into()));
+            }
+            Ok(Command::Serve {
+                db,
+                index,
+                addr,
+                max_concurrent,
+                max_queued,
+                drain_after_ms,
+            })
+        }
+        "net-query" => {
+            let mut flags = Flags::parse_with_switches(rest, &["stats"])?;
+            let addr = flags.require("addr")?;
+            let epsilon = match flags.take("eps") {
+                Some(raw) => Some(parse_num::<f64>("eps", &raw)?),
+                None => None,
+            };
+            let knn = match flags.take("knn") {
+                Some(raw) => Some(parse_num::<u32>("knn", &raw)?),
+                None => None,
+            };
+            let csv = flags.require("values")?;
+            let values: Vec<f64> = csv
+                .split(',')
+                .map(|tok| parse_num::<f64>("values", tok.trim()))
+                .collect::<Result<_, _>>()?;
+            let tenant = match flags.take("tenant") {
+                Some(raw) => parse_num("tenant", &raw)?,
+                None => 0,
+            };
+            let deadline_ms = match flags.take("deadline-ms") {
+                Some(raw) => Some(parse_num("deadline-ms", &raw)?),
+                None => None,
+            };
+            let max_cells = match flags.take("max-cells") {
+                Some(raw) => Some(parse_num("max-cells", &raw)?),
+                None => None,
+            };
+            let stats = flags.take_switch("stats");
+            flags.finish()?;
+            match (epsilon, knn) {
+                (Some(_), Some(_)) | (None, None) => {
+                    return Err(ParseError(
+                        "net-query needs exactly one of --eps or --knn".into(),
+                    ))
+                }
+                (Some(e), None) if e.is_nan() || e < 0.0 => {
+                    return Err(ParseError(format!("--eps must be non-negative, got {e}")))
+                }
+                (None, Some(0)) => return Err(ParseError("--knn must be positive".into())),
+                _ => {}
+            }
+            if values.is_empty() {
+                return Err(ParseError("--values must be non-empty".into()));
+            }
+            Ok(Command::NetQuery {
+                addr,
+                epsilon,
+                knn,
+                values,
+                tenant,
+                deadline_ms,
+                max_cells,
+                stats,
             })
         }
         "align" => {
@@ -764,6 +880,75 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("ingest --db d --shards 2 --count 0")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_defaults() {
+        let cmd = parse(&argv("serve --db d --addr 127.0.0.1:0")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                db: "d".into(),
+                index: None,
+                addr: "127.0.0.1:0".into(),
+                max_concurrent: 4,
+                max_queued: 8,
+                drain_after_ms: None,
+            }
+        );
+        let cmd = parse(&argv(
+            "serve --db d --index i --addr :7878 --max-concurrent 2 --max-queued 1 --drain-after-ms 500",
+        ))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                max_concurrent: 2,
+                max_queued: 1,
+                drain_after_ms: Some(500),
+                ..
+            }
+        ));
+        assert!(parse(&argv("serve --db d")).is_err()); // missing --addr
+        assert!(parse(&argv("serve --db d --addr a --max-concurrent 0")).is_err());
+    }
+
+    #[test]
+    fn net_query_needs_exactly_one_mode() {
+        let cmd = parse(&argv("net-query --addr a:1 --eps 0.5 --values 1,2")).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::NetQuery {
+                epsilon: Some(_),
+                knn: None,
+                ..
+            }
+        ));
+        let cmd = parse(&argv(
+            "net-query --addr a:1 --knn 3 --values 1 --tenant 7 --deadline-ms 250 --max-cells 10 --stats",
+        ))
+        .unwrap();
+        match cmd {
+            Command::NetQuery {
+                knn,
+                tenant,
+                deadline_ms,
+                max_cells,
+                stats,
+                ..
+            } => {
+                assert_eq!(knn, Some(3));
+                assert_eq!(tenant, 7);
+                assert_eq!(deadline_ms, Some(250));
+                assert_eq!(max_cells, Some(10));
+                assert!(stats);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("net-query --addr a:1 --values 1")).is_err());
+        assert!(parse(&argv("net-query --addr a:1 --eps 1 --knn 2 --values 1")).is_err());
+        assert!(parse(&argv("net-query --addr a:1 --knn 0 --values 1")).is_err());
+        assert!(parse(&argv("net-query --addr a:1 --eps -1 --values 1")).is_err());
     }
 
     #[test]

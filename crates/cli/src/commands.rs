@@ -5,6 +5,8 @@
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use tw_core::distance::DtwKind;
 use tw_core::govern::{QueryBudget, Termination};
@@ -12,11 +14,15 @@ use tw_core::search::{
     CorpusSharder, EngineHealth, EngineOpts, LbScan, NaiveScan, ResilientSearch, SearchEngine,
     ShardedSearch, SubsequenceIndex, TwSimSearch, WindowSpec,
 };
-use tw_core::{IngestHandle, SharedConcurrentIngest};
+use tw_core::{IngestHandle, SharedConcurrentIngest, TwError};
+use tw_net::{
+    Client, ClientConfig, QueryKind, QueryRequest, QueryService, Reply, Server, ServerConfig,
+    ServiceOutcome, TenantQos, WireBudget, WireHealth,
+};
 use tw_rtree::{read_tree_file, RTree};
 use tw_storage::{
     create_sequence_file, manifest_path, open_sequence_file, open_wal_file, DynSequenceStore,
-    HardwareModel, Pager, RecordFormat, RecoveryReport, SyncPager, WalRecord,
+    HardwareModel, Pager, RecordFormat, RecoveryReport, SegmentPager, SyncPager, WalRecord,
 };
 use tw_workload::{
     cbf_dataset, generate_queries, generate_random_walks, generate_stocks, normalize_to_unit_range,
@@ -115,6 +121,45 @@ pub fn run(command: Command, out: &mut dyn Write) -> Result<(), CliError> {
         } => subseq(&db, epsilon, &values, min_len, max_len, out),
         Command::VerifyStore { db, index, wal } => {
             verify_store(&db, index.as_deref(), wal.as_deref(), out)
+        }
+        Command::Serve {
+            db,
+            index,
+            addr,
+            max_concurrent,
+            max_queued,
+            drain_after_ms,
+        } => serve(
+            &db,
+            index.as_deref(),
+            &addr,
+            TenantQos {
+                max_concurrent,
+                max_queued,
+            },
+            drain_after_ms,
+            out,
+        ),
+        Command::NetQuery {
+            addr,
+            epsilon,
+            knn,
+            values,
+            tenant,
+            deadline_ms,
+            max_cells,
+            stats,
+        } => {
+            let spec = NetQuerySpec {
+                epsilon,
+                knn,
+                values,
+                tenant,
+                deadline_ms,
+                max_cells,
+                stats,
+            };
+            net_query(&addr, &spec, out)
         }
         Command::Ingest {
             db,
@@ -270,6 +315,267 @@ fn verify_wal(wal_path: &Path, store_len: u64, out: &mut dyn Write) -> Result<()
     )
     .map_err(fail("write"))?;
     Ok(())
+}
+
+/// The query engine behind `serve`: a sharded corpus fan-out or a flat
+/// store with an R-tree, wrapped as a [`QueryService`] so every TWNP
+/// request — range or kNN, with its wire budget compiled onto the server
+/// clock — runs the same governed paths the local `query` command uses.
+enum ServeBackend {
+    Sharded(ShardedSearch<SegmentPager>),
+    Flat(Box<FlatBackend>),
+}
+
+struct FlatBackend {
+    store: DynSequenceStore,
+    /// Range path when `--index` was given: degrades (never fails)
+    /// if the index file cannot be trusted.
+    resilient: Option<ResilientSearch>,
+    /// Built at startup from the store; serves kNN always, and range
+    /// when no index file was given.
+    indexed: TwSimSearch,
+}
+
+struct EngineService {
+    backend: ServeBackend,
+}
+
+impl EngineService {
+    /// Opens the database the same way `query` does — a directory with a
+    /// shard manifest fans out, anything else is a flat store — and
+    /// returns a one-line description for the startup banner.
+    fn open(db: &Path, index: Option<&Path>) -> Result<(Self, String), CliError> {
+        if manifest_path(db).is_file() {
+            let (sharded, reports) = ShardedSearch::open_dir(db, 64)
+                .map_err(fail(&format!("open sharded corpus {}", db.display())))?;
+            let recovered = reports.iter().filter(|r| !r.is_clean()).count();
+            let mut describe = format!(
+                "sharded corpus {} ({} shard(s), {} sequence(s))",
+                db.display(),
+                sharded.shard_count(),
+                sharded.total_sequences()
+            );
+            if recovered > 0 {
+                describe.push_str(&format!("; {recovered} shard tail(s) recovered"));
+            }
+            return Ok((
+                Self {
+                    backend: ServeBackend::Sharded(sharded),
+                },
+                describe,
+            ));
+        }
+        let (store, report) = open_store(db)?;
+        let indexed = TwSimSearch::build(&store).map_err(fail("build index"))?;
+        let resilient = index.map(|path| ResilientSearch::from_index_file(path, Some(store.len())));
+        let mut describe = format!(
+            "store {} ({} sequence(s), {})",
+            db.display(),
+            store.len(),
+            match (index, &resilient) {
+                (Some(path), _) => format!("index file {}", path.display()),
+                _ => "index built at startup".to_string(),
+            }
+        );
+        if !report.is_clean() {
+            describe.push_str(&format!(
+                "; tail recovered {} of {} record(s)",
+                report.recovered_records, report.expected_records
+            ));
+        }
+        Ok((
+            Self {
+                backend: ServeBackend::Flat(Box::new(FlatBackend {
+                    store,
+                    resilient,
+                    indexed,
+                })),
+            },
+            describe,
+        ))
+    }
+}
+
+impl QueryService for EngineService {
+    fn execute(
+        &self,
+        request: &QueryRequest,
+        budget: QueryBudget,
+    ) -> Result<ServiceOutcome, TwError> {
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs).budget(budget);
+        match &self.backend {
+            ServeBackend::Sharded(sharded) => match request.kind {
+                QueryKind::Range { epsilon } => sharded
+                    .range_search_sharded(&request.values, epsilon, &opts)
+                    .map(|o| o.merged.into()),
+                QueryKind::Knn { k } => sharded
+                    .knn_sharded(
+                        &request.values,
+                        usize::try_from(k).unwrap_or(usize::MAX),
+                        &opts,
+                    )
+                    .map(|o| o.merged.into()),
+            },
+            ServeBackend::Flat(flat) => match request.kind {
+                QueryKind::Range { epsilon } => match &flat.resilient {
+                    Some(engine) => engine
+                        .range_search(&flat.store, &request.values, epsilon, &opts)
+                        .map(Into::into),
+                    None => flat
+                        .indexed
+                        .range_search(&flat.store, &request.values, epsilon, &opts)
+                        .map(Into::into),
+                },
+                QueryKind::Knn { k } => flat
+                    .indexed
+                    .knn_governed(
+                        &flat.store,
+                        &request.values,
+                        usize::try_from(k).unwrap_or(usize::MAX),
+                        &opts,
+                    )
+                    .map(Into::into),
+            },
+        }
+    }
+}
+
+/// `twsearch serve`: bind, serve until killed (or for `--drain-after-ms`),
+/// then drain gracefully and print the reconciled frame ledger.
+fn serve(
+    db: &Path,
+    index: Option<&Path>,
+    addr: &str,
+    qos: TenantQos,
+    drain_after_ms: Option<u64>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (service, describe) = EngineService::open(db, index)?;
+    let config = ServerConfig {
+        default_qos: qos,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind(addr, Arc::new(service), config).map_err(fail(&format!("bind {addr}")))?;
+    writeln!(out, "serving {describe}").map_err(fail("write"))?;
+    writeln!(
+        out,
+        "listening on {} (tenant QoS: {} concurrent, {} queued)",
+        server.local_addr(),
+        qos.max_concurrent,
+        qos.max_queued
+    )
+    .map_err(fail("write"))?;
+    out.flush().map_err(fail("flush stdout"))?;
+    match drain_after_ms {
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        // Until killed; the OS reclaims everything on exit.
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let report = server.drain();
+    let s = &report.server;
+    writeln!(
+        out,
+        "drained: {} frame(s) read; {} response(s), {} shed, {} error repl(ies), \
+         {} slow-client drop(s), {} io drop(s), {} bad frame(s), {} panic(s)",
+        s.frames_read,
+        s.responses_sent,
+        s.frames_shed,
+        s.error_replies,
+        s.slow_client_drops,
+        s.io_drops,
+        s.bad_frames,
+        s.handler_panics
+    )
+    .map_err(fail("write"))?;
+    if !s.ledger_balanced() {
+        return Err(CliError(format!(
+            "server frame ledger does not balance: {s:?}"
+        )));
+    }
+    writeln!(
+        out,
+        "ledger balanced; {} connection(s) accepted, {} closed",
+        s.connections_accepted, s.connections_closed
+    )
+    .map_err(fail("write"))?;
+    Ok(())
+}
+
+/// The knobs of `net-query`, bundled to keep the call site readable.
+struct NetQuerySpec {
+    epsilon: Option<f64>,
+    knn: Option<u32>,
+    values: Vec<f64>,
+    tenant: u32,
+    deadline_ms: Option<u64>,
+    max_cells: Option<u64>,
+    stats: bool,
+}
+
+/// `twsearch net-query`: one request, one typed reply. A shed reply prints
+/// the server's back-off hint; a typed server error fails the command.
+fn net_query(addr: &str, spec: &NetQuerySpec, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut client = Client::connect(
+        addr,
+        Arc::new(tw_core::SystemClock::new()),
+        ClientConfig::default(),
+    )
+    .map_err(fail(&format!("connect {addr}")))?;
+    let kind = match (spec.epsilon, spec.knn) {
+        (Some(epsilon), _) => QueryKind::Range { epsilon },
+        (None, Some(k)) => QueryKind::Knn { k },
+        // The parser enforces this; keep the error typed anyway.
+        (None, None) => return Err(CliError("net-query needs --eps or --knn".into())),
+    };
+    let request = QueryRequest {
+        tenant: spec.tenant,
+        budget: WireBudget {
+            deadline_ms: spec.deadline_ms.unwrap_or(0),
+            max_cells: spec.max_cells.unwrap_or(0),
+            max_candidate_bytes: 0,
+            max_pager_reads: 0,
+        },
+        kind,
+        values: spec.values.clone(),
+    };
+    match client.call(&request).map_err(fail("query"))? {
+        Reply::Outcome(resp) => {
+            if let WireHealth::Degraded { fallback, reason } = &resp.health {
+                writeln!(out, "warning: degraded to {fallback}: {reason}")
+                    .map_err(fail("write"))?;
+            }
+            warn_termination(&resp.termination, out)?;
+            let what = match kind {
+                QueryKind::Range { epsilon } => format!("within tolerance {epsilon}"),
+                QueryKind::Knn { k } => format!("nearest (k = {k})"),
+            };
+            writeln!(out, "{} match(es) {what}:", resp.matches.len()).map_err(fail("write"))?;
+            for m in &resp.matches {
+                writeln!(out, "  id {:>6}  distance {:.4}", m.id, m.distance)
+                    .map_err(fail("write"))?;
+            }
+            if spec.stats {
+                write_query_stats(&resp.stats, out)?;
+            }
+            Ok(())
+        }
+        Reply::Shed(shed) => {
+            writeln!(
+                out,
+                "shed by server: retry after {} ms (queue depth {}, {} shed total)",
+                shed.retry_after_ms, shed.queue_depth, shed.shed_total
+            )
+            .map_err(fail("write"))?;
+            Ok(())
+        }
+        Reply::Error(e) => Err(CliError(format!(
+            "server error ({:?}): {}",
+            e.code, e.message
+        ))),
+    }
 }
 
 fn subseq(
@@ -693,7 +999,7 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
     writeln!(out, "  verify {:>10.3} ms", ms(qs.phases.verify)).map_err(fail("write"))?;
     writeln!(out, "  total  {:>10.3} ms", ms(qs.phases.total())).map_err(fail("write"))?;
     writeln!(out, "pipeline counters:").map_err(fail("write"))?;
-    let rows: [(&str, u64); 17] = [
+    let rows: [(&str, u64); 19] = [
         ("candidates", qs.candidates),
         ("pruned (lb_kim)", qs.pruned_lb_kim),
         ("pruned (lb_yi)", qs.pruned_lb_yi),
@@ -711,6 +1017,8 @@ fn write_query_stats(qs: &tw_core::QueryStats, out: &mut dyn Write) -> Result<()
         ("checksum retries", qs.checksum_retries),
         ("wal appends", qs.wal_appends),
         ("snapshot epoch", qs.snapshot_epoch),
+        ("admission shed", qs.admission_shed),
+        ("admission queue", qs.admission_queue_depth),
     ];
     for (label, value) in rows {
         writeln!(out, "  {label:<20} {value:>10}").map_err(fail("write"))?;
@@ -1422,6 +1730,68 @@ mod tests {
         .expect("query");
         assert!(out.contains("wal appends"), "{out}");
         assert!(out.contains("snapshot epoch"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_net_query_round_trip() {
+        let dir = temp("serve");
+        let corpus = dir.join("corpus");
+        run_str(&format!(
+            "ingest --db {} --shards 2 --count 20 --len 16 --seed 6",
+            corpus.display()
+        ))
+        .expect("sharded ingest");
+
+        // Reserve a free port, then serve the corpus on it for a bounded
+        // window while the client side runs against it.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            probe.local_addr().expect("probe addr").to_string()
+        };
+        let serve_line = format!(
+            "serve --db {} --addr {addr} --drain-after-ms 4000",
+            corpus.display()
+        );
+        let server = std::thread::spawn(move || run_str(&serve_line));
+
+        // The server needs a moment to open the corpus and bind; retry
+        // until the first query lands.
+        let range_line = format!("net-query --addr {addr} --eps 0.3 --values 5,5.2,5,5.4 --stats");
+        let mut range = Err(CliError("never ran".into()));
+        for _ in 0..200 {
+            range = run_str(&range_line);
+            if range.is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let range = range.expect("range query against live server");
+        assert!(range.contains("match(es) within tolerance 0.3"), "{range}");
+        assert!(range.contains("pipeline counters:"), "{range}");
+        assert!(range.contains("admission queue"), "{range}");
+
+        let knn = run_str(&format!(
+            "net-query --addr {addr} --knn 2 --values 5,5.2,5,5.4 --deadline-ms 30000"
+        ))
+        .expect("knn query against live server");
+        assert!(knn.contains("2 match(es) nearest (k = 2):"), "{knn}");
+
+        // A starved budget comes back as typed partial results, not an
+        // error: deadline propagation end to end.
+        let strict = run_str(&format!(
+            "net-query --addr {addr} --eps 0.3 --values 5,5.2,5,5.4 --max-cells 1"
+        ))
+        .expect("governed query against live server");
+        assert!(
+            strict.contains("partial results") && strict.contains("budget-exhausted(dtw-cells)"),
+            "{strict}"
+        );
+
+        let served = server.join().expect("join server").expect("serve");
+        assert!(served.contains("listening on"), "{served}");
+        assert!(served.contains("ledger balanced"), "{served}");
+        assert!(served.contains("3 response(s)"), "{served}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -86,6 +86,12 @@ fn banded_kernel(
     if let Some(origin) = prev.first_mut() {
         *origin = 0.0;
     }
+    // The column range the previous row actually wrote. Cells outside it are
+    // stale (two rows old), so the O(m) per-row `cur.fill` is replaced by
+    // patching only the read-range cells the previous row left stale —
+    // narrow bands then cost O((n+m)·w) instead of O(n·m). Row 0 (the
+    // boundary row) is fully initialized above, hence the full range.
+    let (mut prev_lo, mut prev_hi) = (0usize, m);
     let mut cells = 0u64;
     for (i, &sv) in s.iter().enumerate().map(|(i, sv)| (i + 1, sv)) {
         // Band column range for row i (normalized diagonal j ≈ i * m / n).
@@ -93,7 +99,23 @@ fn banded_kernel(
         let lo = center.saturating_sub(w).max(1);
         let hi = (center + w).min(m);
         let row_start = cells;
-        cur.fill(f64::INFINITY);
+        // This row reads `prev` over [lo-1, hi]; any of those cells the
+        // previous row did not write must read as +∞ (the original full-fill
+        // semantics). The band center is nondecreasing, so at most one cell
+        // trails below `prev_lo` and a short run leads past `prev_hi`.
+        let read_lo = lo - 1;
+        if read_lo < prev_lo {
+            let len = prev_lo.min(hi + 1) - read_lo;
+            for slot in prev.iter_mut().skip(read_lo).take(len) {
+                *slot = f64::INFINITY;
+            }
+        }
+        if hi > prev_hi {
+            let start = (prev_hi + 1).max(read_lo);
+            for slot in prev.iter_mut().skip(start).take(hi + 1 - start) {
+                *slot = f64::INFINITY;
+            }
+        }
         // Walk the band with running `left`/`up_left` cells: zip stays inside
         // the three rows, so nothing here can go out of bounds.
         let mut left = f64::INFINITY;
@@ -113,6 +135,7 @@ fn banded_kernel(
             cells += 1;
         }
         std::mem::swap(&mut prev, &mut cur);
+        (prev_lo, prev_hi) = (lo, hi);
         if token.charge_cells(cells - row_start) {
             return (f64::INFINITY, cells, true);
         }
@@ -187,6 +210,87 @@ mod tests {
         let q = vec![2.0; 10];
         let d = dtw_banded(&s, &q, DtwKind::MaxAbs, 1);
         assert_eq!(d.distance, 0.0);
+    }
+
+    /// The pre-optimization kernel (full `cur.fill` per row), kept as a test
+    /// oracle: the range-patching kernel must match it bit-for-bit on the
+    /// distance and the cell ledger.
+    fn reference_banded(s: &[f64], q: &[f64], kind: DtwKind, w: usize) -> (f64, u64) {
+        let (n, m) = (s.len(), q.len());
+        let w = w.max(n.abs_diff(m));
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut cur = vec![f64::INFINITY; m + 1];
+        if let Some(origin) = prev.first_mut() {
+            *origin = 0.0;
+        }
+        let mut cells = 0u64;
+        for (i, &sv) in s.iter().enumerate().map(|(i, sv)| (i + 1, sv)) {
+            let center = i * m / n;
+            let lo = center.saturating_sub(w).max(1);
+            let hi = (center + w).min(m);
+            cur.fill(f64::INFINITY);
+            let mut left = f64::INFINITY;
+            let mut up_left = prev.get(lo - 1).copied().unwrap_or(f64::INFINITY);
+            let width = (hi + 1).saturating_sub(lo);
+            let band = q
+                .iter()
+                .skip(lo - 1)
+                .zip(prev.iter().skip(lo).zip(cur.iter_mut().skip(lo)))
+                .take(width);
+            for (qv, (up, cell)) in band {
+                let gap = sv - qv;
+                let val = match kind {
+                    DtwKind::SumAbs => gap.abs() + min3(*up, left, up_left),
+                    DtwKind::SumSquared => gap * gap + min3(*up, left, up_left),
+                    DtwKind::MaxAbs => gap.abs().max(min3(*up, left, up_left)),
+                };
+                *cell = val;
+                up_left = *up;
+                left = val;
+                cells += 1;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        (prev.last().copied().unwrap_or(f64::INFINITY), cells)
+    }
+
+    #[test]
+    fn patched_kernel_matches_full_fill_reference_bit_for_bit() {
+        let seq = |len: usize, salt: u64| -> Vec<f64> {
+            (0..len)
+                .map(|i| {
+                    let x = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                    ((x % 787) as f64) / 37.0 + (i as f64 * 0.21).cos()
+                })
+                .collect()
+        };
+        for &(n, m) in &[
+            (1usize, 1usize),
+            (5, 5),
+            (12, 7),
+            (7, 12),
+            (30, 30),
+            (40, 13),
+        ] {
+            let s = seq(n, 3);
+            let q = seq(m, 101);
+            for kind in KINDS {
+                for w in [0usize, 1, 2, 5, 20, 60] {
+                    let got = dtw_banded(&s, &q, kind, w);
+                    let (want_raw, want_cells) = reference_banded(&s, &q, kind, w);
+                    let want = match kind {
+                        DtwKind::SumSquared if want_raw.is_finite() => want_raw.sqrt(),
+                        _ => want_raw,
+                    };
+                    assert_eq!(
+                        got.distance.to_bits(),
+                        want.to_bits(),
+                        "{kind:?} n={n} m={m} w={w}"
+                    );
+                    assert_eq!(got.cells, want_cells, "{kind:?} n={n} m={m} w={w}");
+                }
+            }
+        }
     }
 
     #[test]

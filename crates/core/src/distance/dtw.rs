@@ -136,10 +136,27 @@ struct Decision {
     cancelled: bool,
 }
 
-/// The two-row thresholded DP. Per completed column, in this order: count
-/// the column's cells, abandon if the column minimum exceeds `thr` (when
-/// `abandon` is set), then charge the governor — so an abandoned column is
-/// never billed twice and a cancelled one was already counted.
+/// Columns per cache block of [`decide_kernel`]: small enough that the
+/// per-block scratch (`COL_BLOCK` running cells plus column minima) lives in
+/// registers/L1, large enough to amortize the `bound` sweep — each element
+/// of the carried column is now touched once per *block* instead of once per
+/// column, cutting row-buffer traffic by the block factor.
+const COL_BLOCK: usize = 8;
+
+/// The thresholded DP, cache-blocked over columns. Columns are processed
+/// `COL_BLOCK` at a time with the rows of the block walked in one sweep:
+/// `bound` carries the DP column left of the block, `above` holds the
+/// previous row's cells inside the block, and `col_min` accumulates each
+/// block column's minimum for the abandon check.
+///
+/// The per-column ledger contract is unchanged from the column-at-a-time
+/// kernel: after a block's cells are computed, each of its columns is
+/// *replayed* in order — count the column's cells, abandon if its minimum
+/// exceeds `thr` (when `abandon` is set), then charge the governor. DP cell
+/// values do not depend on traversal order (same recurrence, same inputs,
+/// and `min3` over non-negative values is order-exact), so verdicts, cell
+/// counts and trip points are byte-identical to the unblocked kernel —
+/// pinned by `engines_agree.rs` / `stats_accounting.rs`.
 fn decide_kernel(
     rows: &[f64],
     cols: &[f64],
@@ -149,43 +166,57 @@ fn decide_kernel(
     step: impl Fn(f64, f64) -> f64,
 ) -> Decision {
     let m = rows.len();
-    let mut prev = vec![f64::INFINITY; m];
-    let mut cur = vec![f64::INFINITY; m];
-    let mut corner = 0.0f64;
+    // `bound[r]` = DP(r, j0-1): the column just left of the current block.
+    let mut bound = vec![f64::INFINITY; m];
+    let mut above = [f64::INFINITY; COL_BLOCK];
+    let mut col_min = [f64::INFINITY; COL_BLOCK];
     let mut cells = 0u64;
-    for &c in cols {
-        let mut up_left = corner;
-        let mut left = f64::INFINITY;
-        let mut col_min = f64::INFINITY;
-        for (&r, (&up, cell)) in rows.iter().zip(prev.iter().zip(cur.iter_mut())) {
-            let v = step(r - c, min3(up, up_left, left));
-            up_left = up;
-            left = v;
-            col_min = col_min.min(v);
-            *cell = v;
+    let mut first_block = true;
+    for block in cols.chunks(COL_BLOCK) {
+        above.fill(f64::INFINITY);
+        col_min.fill(f64::INFINITY);
+        // DP(-1, j0-1): the dp[0][0] boundary — 0 left of column 0 only.
+        let mut diag = if first_block { 0.0 } else { f64::INFINITY };
+        first_block = false;
+        for (&r, slot) in rows.iter().zip(bound.iter_mut()) {
+            let carried = *slot;
+            // `left` runs DP(r, j-1) along the row; `ul` is DP(r-1, j-1).
+            let mut left = carried;
+            let mut ul = diag;
+            for (&c, (up_slot, cm)) in block.iter().zip(above.iter_mut().zip(col_min.iter_mut())) {
+                let up = *up_slot;
+                let v = step(r - c, min3(left, ul, up));
+                ul = up;
+                *up_slot = v;
+                left = v;
+                *cm = (*cm).min(v);
+            }
+            diag = carried;
+            *slot = left;
         }
-        cells += m as u64;
-        if abandon && col_min > thr {
-            return Decision {
-                raw: None,
-                cells,
-                early_abandoned: true,
-                cancelled: false,
-            };
+        // Replay the block's ledger column by column, in original order.
+        for cm in col_min.iter().take(block.len()) {
+            cells += m as u64;
+            if abandon && *cm > thr {
+                return Decision {
+                    raw: None,
+                    cells,
+                    early_abandoned: true,
+                    cancelled: false,
+                };
+            }
+            if token.charge_cells(m as u64) {
+                return Decision {
+                    raw: None,
+                    cells,
+                    early_abandoned: false,
+                    cancelled: true,
+                };
+            }
         }
-        if token.charge_cells(m as u64) {
-            return Decision {
-                raw: None,
-                cells,
-                early_abandoned: false,
-                cancelled: true,
-            };
-        }
-        corner = f64::INFINITY;
-        std::mem::swap(&mut prev, &mut cur);
     }
     Decision {
-        raw: prev.last().copied(),
+        raw: bound.last().copied(),
         cells,
         early_abandoned: false,
         cancelled: false,
@@ -539,6 +570,158 @@ mod tests {
         let d10 = dtw(&s10, &q10, DtwKind::SumAbs).distance;
         let d100 = dtw(&s100, &q100, DtwKind::SumAbs).distance;
         assert!(d100 > 5.0 * d10);
+    }
+
+    /// The pre-blocking column-at-a-time kernel, kept as a test oracle: the
+    /// cache-blocked kernel must reproduce its verdict, cell ledger and
+    /// flags bit-for-bit for every recurrence kind.
+    fn reference_decide(
+        s: &[f64],
+        q: &[f64],
+        kind: DtwKind,
+        epsilon: f64,
+        token: &CancelToken,
+    ) -> DtwOutcome {
+        if s.is_empty() || q.is_empty() {
+            let within = if s.len() == q.len() { Some(0.0) } else { None };
+            return DtwOutcome {
+                within,
+                cells: 0,
+                early_abandoned: false,
+                cancelled: false,
+            };
+        }
+        let (rows, cols) = if s.len() <= q.len() { (s, q) } else { (q, s) };
+        let thr = threshold(kind, epsilon);
+        let m = rows.len();
+        let mut prev = vec![f64::INFINITY; m];
+        let mut cur = vec![f64::INFINITY; m];
+        let mut corner = 0.0f64;
+        let mut cells = 0u64;
+        let mut decision = Decision {
+            raw: None,
+            cells: 0,
+            early_abandoned: false,
+            cancelled: false,
+        };
+        let mut done = false;
+        for &c in cols {
+            let mut up_left = corner;
+            let mut left = f64::INFINITY;
+            let mut col_min = f64::INFINITY;
+            for (&r, (&up, cell)) in rows.iter().zip(prev.iter().zip(cur.iter_mut())) {
+                let v = combine(kind, r - c, min3(up, up_left, left));
+                up_left = up;
+                left = v;
+                col_min = col_min.min(v);
+                *cell = v;
+            }
+            cells += m as u64;
+            if col_min > thr {
+                decision = Decision {
+                    raw: None,
+                    cells,
+                    early_abandoned: true,
+                    cancelled: false,
+                };
+                done = true;
+                break;
+            }
+            if token.charge_cells(m as u64) {
+                decision = Decision {
+                    raw: None,
+                    cells,
+                    early_abandoned: false,
+                    cancelled: true,
+                };
+                done = true;
+                break;
+            }
+            corner = f64::INFINITY;
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        if !done {
+            decision = Decision {
+                raw: prev.last().copied(),
+                cells,
+                early_abandoned: false,
+                cancelled: false,
+            };
+        }
+        let within = decision
+            .raw
+            .map(|raw| finish(kind, raw))
+            .filter(|&d| d <= epsilon);
+        DtwOutcome {
+            within,
+            cells: decision.cells,
+            early_abandoned: decision.early_abandoned,
+            cancelled: decision.cancelled,
+        }
+    }
+
+    fn pseudo_seq(len: usize, salt: u64) -> Vec<f64> {
+        // Deterministic, aperiodic data with enough spread to exercise both
+        // accepting and abandoning paths.
+        (0..len)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                ((x % 1000) as f64) / 61.0 + (i as f64 * 0.37).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_kernel_matches_reference_bit_for_bit() {
+        // Lengths straddle every block boundary (COL_BLOCK = 8): partial
+        // blocks, exact multiples, and rows/cols swaps.
+        let lens = [1usize, 2, 7, 8, 9, 15, 16, 17, 23];
+        for &n in &lens {
+            for &m in &[1usize, 3, 8, 13] {
+                let s = pseudo_seq(n, 17);
+                let q = pseudo_seq(m, 1031);
+                for kind in KINDS {
+                    for eps in [0.0, 0.4, 2.0, 9.0, 1e6] {
+                        let got = dtw_within(&s, &q, kind, eps);
+                        let want = reference_decide(&s, &q, kind, eps, &CancelToken::unlimited());
+                        assert_eq!(
+                            got.within.map(f64::to_bits),
+                            want.within.map(f64::to_bits),
+                            "{kind:?} n={n} m={m} eps={eps}"
+                        );
+                        assert_eq!(got.cells, want.cells, "{kind:?} n={n} m={m} eps={eps}");
+                        assert_eq!(got.early_abandoned, want.early_abandoned);
+                        assert_eq!(got.cancelled, want.cancelled);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_budget_trip_matches_reference() {
+        use std::sync::Arc;
+        let s = pseudo_seq(19, 5);
+        let q = pseudo_seq(11, 7);
+        let full_cells = (s.len() * q.len()) as u64;
+        for kind in KINDS {
+            for budget in [1u64, 10, 33, 80, full_cells, full_cells + 1] {
+                let mk = || {
+                    CancelToken::builder(Arc::new(crate::govern::SystemClock::new()))
+                        .max_cells(budget)
+                        .build()
+                };
+                let got = dtw_within_governed(&s, &q, kind, 1e9, &mk());
+                let want = reference_decide(&s, &q, kind, 1e9, &mk());
+                assert_eq!(got.cells, want.cells, "{kind:?} budget={budget}");
+                assert_eq!(got.cancelled, want.cancelled, "{kind:?} budget={budget}");
+                assert_eq!(
+                    got.within.map(f64::to_bits),
+                    want.within.map(f64::to_bits),
+                    "{kind:?} budget={budget}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -287,6 +287,18 @@ impl AdmissionGate {
     pub fn shed_count(&self) -> u64 {
         self.state.lock().shed
     }
+
+    /// Stamps the gate's admission gauges onto a stats snapshot — the shed
+    /// total (monotone) and the queue depth at this instant — so overload
+    /// observability flows through the same ledgered [`QueryStats`] record
+    /// as everything else. Both read under one lock, so a stamped pair is a
+    /// consistent observation. Stamp after a query finishes (or immediately
+    /// for a shed verdict), like the ingest layer stamps its gauges.
+    pub fn stamp(&self, stats: &mut crate::stats::QueryStats) {
+        let state = self.state.lock();
+        stats.admission_shed = state.shed;
+        stats.admission_queue_depth = u64::try_from(state.queued).unwrap_or(u64::MAX);
+    }
 }
 
 impl Drop for AdmissionPermit {
@@ -407,6 +419,28 @@ mod tests {
         assert!(waiter.join().expect("waiter thread"), "queued query ran");
         assert_eq!(gate.active(), 0);
         assert_eq!(gate.shed_count(), 0);
+    }
+
+    #[test]
+    fn stamp_publishes_shed_total_and_queue_depth() {
+        let gate = AdmissionGate::new(1, 0);
+        let _permit = gate.admit();
+        assert!(matches!(gate.admit(), Admission::Shed));
+        assert!(matches!(gate.admit(), Admission::Shed));
+        let mut stats = crate::stats::QueryStats::default();
+        gate.stamp(&mut stats);
+        assert_eq!(stats.admission_shed, 2);
+        assert_eq!(stats.admission_queue_depth, 0);
+        // Gauges merge by max: aggregating stamped snapshots reports the
+        // gate total once, not the sum of cumulative observations.
+        let mut earlier = crate::stats::QueryStats {
+            admission_shed: 1,
+            admission_queue_depth: 3,
+            ..Default::default()
+        };
+        earlier.merge(&stats);
+        assert_eq!(earlier.admission_shed, 2);
+        assert_eq!(earlier.admission_queue_depth, 3);
     }
 
     #[test]

@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 // tw-ledger(scope): QueryStats, PipelineCounters
 // tw-ledger(equation): candidates = pruned_lb_kim + pruned_lb_yi + pruned_lb_keogh + pruned_lb_improved + pruned_embedding + verified + abandoned + skipped_unverified
 // tw-ledger(cost): dtw_cells, pivot_dtw, pager_reads, checksum_retries, index_internal_accesses, index_leaf_accesses
-// tw-ledger(gauge): wal_appends, snapshot_epoch
+// tw-ledger(gauge): wal_appends, snapshot_epoch, admission_shed, admission_queue_depth
 // tw-ledger(timing): filter_nanos, fetch_nanos, verify_nanos
 
 /// The three pipeline stages a query's wall-clock time is attributed to.
@@ -126,6 +126,15 @@ pub struct QueryStats {
     /// Epoch of the pinned snapshot the query ran against. A gauge, outside
     /// the accounting ledger; zero for queries against a plain store.
     pub snapshot_epoch: u64,
+    /// Queries shed by the serving [`AdmissionGate`](crate::AdmissionGate)
+    /// since it was created, observed when this query's stats were stamped.
+    /// A monotone gauge (like `wal_appends`): merging takes the most recent
+    /// observation, so an aggregate reports the gate's true total instead of
+    /// double-counting the cumulative value. Zero for ungated queries.
+    pub admission_shed: u64,
+    /// Depth of the admission queue when this query's stats were stamped.
+    /// A gauge; merging keeps the deepest observation (peak queueing).
+    pub admission_queue_depth: u64,
     /// Wall-clock time per phase (monotonic clock; non-deterministic).
     pub phases: PhaseTimes,
 }
@@ -189,6 +198,8 @@ impl QueryStats {
         // ingest state any constituent query observed.
         self.wal_appends = self.wal_appends.max(other.wal_appends);
         self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
+        self.admission_shed = self.admission_shed.max(other.admission_shed);
+        self.admission_queue_depth = self.admission_queue_depth.max(other.admission_queue_depth);
         self.phases.filter += other.phases.filter;
         self.phases.fetch += other.phases.fetch;
         self.phases.verify += other.phases.verify;
@@ -370,6 +381,10 @@ impl PipelineCounters {
             // threaded through the pipeline.
             wal_appends: 0,
             snapshot_epoch: 0,
+            // Admission gauges: stamped by `AdmissionGate::stamp`, not
+            // threaded through the pipeline.
+            admission_shed: 0,
+            admission_queue_depth: 0,
             phases: PhaseTimes {
                 filter: Duration::from_nanos(self.filter_nanos.load(Ordering::Relaxed)),
                 fetch: Duration::from_nanos(self.fetch_nanos.load(Ordering::Relaxed)),

@@ -1,0 +1,106 @@
+//! A small blocking TWNP client.
+//!
+//! Generic over the transport so tests can thread a
+//! [`crate::FaultStream`] between the codec and the socket — the whole
+//! transport fault matrix runs against a real server through this type.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tw_core::Clock;
+
+use crate::error::NetError;
+use crate::protocol::{decode_reply, encode_frame, QueryRequest, Reply, DEFAULT_MAX_PAYLOAD};
+use crate::stream::{read_frame, write_frame, NetStream};
+
+/// Client-side timeouts and bounds.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Frame payload bound, both directions.
+    pub max_payload: u32,
+    /// How long to wait for a complete reply frame.
+    pub read_timeout: Duration,
+    /// How long a request write may take.
+    pub write_timeout: Duration,
+    /// OS-level poll interval between clock checks.
+    pub poll_interval: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One connection speaking TWNP v1.
+pub struct Client<S: NetStream> {
+    stream: S,
+    clock: Arc<dyn Clock>,
+    config: ClientConfig,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP.
+    pub fn connect(
+        addr: &str,
+        clock: Arc<dyn Clock>,
+        config: ClientConfig,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr).map_err(NetError::Io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            clock,
+            config,
+        })
+    }
+}
+
+impl<S: NetStream> Client<S> {
+    /// Wraps an existing transport (e.g. a [`crate::FaultStream`]).
+    pub fn from_stream(stream: S, clock: Arc<dyn Clock>, config: ClientConfig) -> Self {
+        Self {
+            stream,
+            clock,
+            config,
+        }
+    }
+
+    /// Sends one query and waits for its typed reply.
+    ///
+    /// A shed or failed query is an `Ok` carrying the server's typed
+    /// answer; `Err` means the *transport* failed (corrupt frame,
+    /// timeout, closed connection).
+    pub fn call(&mut self, request: &QueryRequest) -> Result<Reply, NetError> {
+        let (kind, payload) = request.encode();
+        let bytes = encode_frame(kind, &payload, self.config.max_payload)?;
+        write_frame(
+            &mut self.stream,
+            self.clock.as_ref(),
+            self.config.write_timeout,
+            self.config.poll_interval,
+            &bytes,
+        )?;
+        let frame = read_frame(
+            &mut self.stream,
+            self.clock.as_ref(),
+            self.config.read_timeout,
+            self.config.poll_interval,
+            self.config.max_payload,
+            None,
+        )?;
+        decode_reply(&frame)
+            .map_err(|e| NetError::Frame(crate::protocol::FrameError::BadPayload(e)))
+    }
+
+    /// The wrapped transport.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}

@@ -1,0 +1,43 @@
+//! Cast-free numeric conversions for the wire codec.
+//!
+//! The storage crate keeps its equivalents `pub(crate)` for the same
+//! reason we keep ours: conversion policy is part of a format's contract,
+//! and every call site should go through one audited helper instead of an
+//! `as` cast that silently truncates.
+
+use std::time::Duration;
+
+/// A byte length as the wire's `u32`, or `None` when it cannot fit.
+pub(crate) fn u32_len(n: usize) -> Option<u32> {
+    u32::try_from(n).ok()
+}
+
+/// A wire `u32` length as a `usize`. Lossless on every supported target
+/// (the workspace assumes at least 32-bit pointers, as the pager does).
+pub(crate) fn usize_len(n: u32) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// A duration as saturating whole nanoseconds, the wire's timing unit.
+pub(crate) fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_round_trip() {
+        assert_eq!(u32_len(0), Some(0));
+        assert_eq!(u32_len(7), Some(7));
+        assert_eq!(usize_len(7), 7);
+        assert_eq!(u32_len(usize::MAX), None);
+    }
+
+    #[test]
+    fn nanos_saturate() {
+        assert_eq!(duration_nanos(Duration::from_nanos(42)), 42);
+        assert_eq!(duration_nanos(Duration::MAX), u64::MAX);
+    }
+}

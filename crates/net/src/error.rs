@@ -1,0 +1,76 @@
+//! The transport-level error taxonomy.
+
+use std::fmt;
+use std::io;
+
+use crate::protocol::FrameError;
+
+/// Everything that can go wrong moving frames over a connection.
+///
+/// The split matters operationally: [`NetError::Frame`] means the peer
+/// sent bytes we refuse to trust (close the connection),
+/// [`NetError::ReadTimeout`] / [`NetError::WriteTimeout`] mean the peer is
+/// too slow (shed it), [`NetError::Closed`] is a clean end of stream
+/// between frames, and [`NetError::Draining`] means *we* are shutting
+/// down and stopped accepting work at a frame boundary.
+#[derive(Debug)]
+pub enum NetError {
+    /// The peer's bytes failed a frame-level check.
+    Frame(FrameError),
+    /// The operating system reported a transport failure.
+    Io(io::Error),
+    /// The clock-driven read deadline passed before a full frame arrived.
+    ReadTimeout,
+    /// The clock-driven write deadline passed before the frame drained.
+    WriteTimeout,
+    /// The peer closed the connection at a frame boundary.
+    Closed,
+    /// This endpoint is draining; no new frames are accepted.
+    Draining,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Frame(e) => write!(f, "protocol error: {e}"),
+            NetError::Io(e) => write!(f, "transport error: {e}"),
+            NetError::ReadTimeout => write!(f, "read deadline exceeded"),
+            NetError::WriteTimeout => write!(f, "write deadline exceeded (slow peer)"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Draining => write!(f, "endpoint draining"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Frame(e) => Some(e),
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl NetError {
+    /// Whether this error is the peer's fault (corrupt or slow), as
+    /// opposed to a local failure.
+    pub fn is_peer_fault(&self) -> bool {
+        matches!(
+            self,
+            NetError::Frame(_) | NetError::ReadTimeout | NetError::WriteTimeout
+        )
+    }
+}

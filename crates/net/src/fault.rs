@@ -1,0 +1,587 @@
+//! Deterministic transport fault injection.
+//!
+//! [`FaultStream`] is the [`tw_storage::FaultPager`] idiom lifted to
+//! sockets: it decorates any [`NetStream`] and injects faults on a
+//! schedule driven entirely by a seed, so every failure mode the
+//! transport fault matrix provokes is reproducible from its seed alone.
+//!
+//! Supported fault kinds:
+//! - **Transient** — one read/write fails with `Interrupted`; the frame
+//!   loops absorb it by re-issuing the call, modelling an EINTR blip.
+//! - **Bit flip** — a read succeeds but one bit of the delivered bytes is
+//!   flipped. The CRC trailer turns this into a typed
+//!   [`crate::protocol::FrameError::BadCrc`], never a mis-parse.
+//! - **Short read** — a read delivers only a prefix of what the peer
+//!   sent; the rest arrives on the next call. Models ragged TCP segment
+//!   boundaries, which a correct decoder must already tolerate.
+//! - **Torn write** — only a prefix of one write reaches the wire, then
+//!   the stream breaks permanently (`BrokenPipe`), modelling a peer dying
+//!   mid-frame. The receiver sees a typed truncation or CRC failure.
+//! - **Stall** — the operation completes only after a clock-visible
+//!   pause, modelling a peer that wedges mid-frame; combined with a
+//!   ticking [`tw_core::ManualClock`] this drives read/write deadlines
+//!   deterministically.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use tw_core::Clock;
+
+use crate::stream::NetStream;
+
+/// One injected transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Fail the call with `Interrupted`; a retry heals it.
+    Transient,
+    /// Deliver the read, then flip bit `bit` of byte `byte` (both modulo
+    /// the delivered length).
+    BitFlip { byte: usize, bit: u8 },
+    /// Deliver at most `len` bytes of the read (minimum 1).
+    ShortRead { len: usize },
+    /// Pass at most `len` bytes of the write through (minimum 1), then
+    /// break the stream permanently.
+    TornWrite { len: usize },
+    /// Sleep the configured stall duration on the shared clock, then
+    /// perform the operation.
+    Stall,
+}
+
+/// Per-operation fault probabilities, in parts per thousand.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFaultConfig {
+    /// Seed for the deterministic schedule.
+    pub seed: u64,
+    /// ‰ of reads that fail transiently.
+    pub transient_read_per_mille: u16,
+    /// ‰ of writes that fail transiently.
+    pub transient_write_per_mille: u16,
+    /// ‰ of reads with one flipped bit.
+    pub bit_flip_per_mille: u16,
+    /// ‰ of reads delivered short.
+    pub short_read_per_mille: u16,
+    /// ‰ of writes that tear (and break the stream).
+    pub torn_write_per_mille: u16,
+    /// ‰ of operations that stall first.
+    pub stall_per_mille: u16,
+    /// How long a stall lasts on the shared clock.
+    pub stall: Duration,
+    /// Upper bound on *consecutive* injected faults, so transient-heavy
+    /// schedules cannot starve a frame forever.
+    pub max_consecutive: u32,
+}
+
+impl NetFaultConfig {
+    /// A schedule that injects nothing until armed or forced.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_read_per_mille: 0,
+            transient_write_per_mille: 0,
+            bit_flip_per_mille: 0,
+            short_read_per_mille: 0,
+            torn_write_per_mille: 0,
+            stall_per_mille: 0,
+            stall: Duration::from_millis(10),
+            max_consecutive: 2,
+        }
+    }
+
+    /// Transient + short-read chatter at `per_mille`‰: the healable mix a
+    /// robust frame loop must absorb without a single protocol error.
+    pub fn flaky(seed: u64, per_mille: u16) -> Self {
+        Self {
+            transient_read_per_mille: per_mille,
+            transient_write_per_mille: per_mille,
+            short_read_per_mille: per_mille,
+            ..Self::quiet(seed)
+        }
+    }
+}
+
+/// Counters of what was actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub transient_faults: u64,
+    pub bit_flips: u64,
+    pub short_reads: u64,
+    pub torn_writes: u64,
+    pub stalls: u64,
+}
+
+impl NetFaultStats {
+    /// Total injected faults of any kind.
+    pub fn injected(&self) -> u64 {
+        self.transient_faults + self.bit_flips + self.short_reads + self.torn_writes + self.stalls
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    config: NetFaultConfig,
+    rng: u64,
+    armed: bool,
+    consecutive: u32,
+    forced_read: VecDeque<NetFaultKind>,
+    forced_write: VecDeque<NetFaultKind>,
+    stats: NetFaultStats,
+    broken: bool,
+}
+
+impl FaultState {
+    /// SplitMix64 step — same deterministic generator the storage fault
+    /// pager uses; no dependency on the vendored rand needed.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn roll(&mut self, per_mille: u16) -> bool {
+        per_mille > 0 && self.next_u64() % 1000 < u64::from(per_mille)
+    }
+
+    fn schedule_read(&mut self, buf_len: usize) -> Option<NetFaultKind> {
+        if let Some(kind) = self.forced_read.pop_front() {
+            return Some(kind);
+        }
+        if !self.armed || self.consecutive >= self.config.max_consecutive {
+            self.consecutive = 0;
+            return None;
+        }
+        if self.roll(self.config.stall_per_mille) {
+            return Some(NetFaultKind::Stall);
+        }
+        if self.roll(self.config.transient_read_per_mille) {
+            return Some(NetFaultKind::Transient);
+        }
+        if self.roll(self.config.bit_flip_per_mille) {
+            let byte = usize::try_from(self.next_u64()).unwrap_or(usize::MAX) % buf_len.max(1);
+            let bit = u8::try_from(self.next_u64() % 8).unwrap_or(0);
+            return Some(NetFaultKind::BitFlip { byte, bit });
+        }
+        if self.roll(self.config.short_read_per_mille) {
+            let len = usize::try_from(self.next_u64()).unwrap_or(usize::MAX) % buf_len.max(1);
+            return Some(NetFaultKind::ShortRead { len: len.max(1) });
+        }
+        None
+    }
+
+    fn schedule_write(&mut self, buf_len: usize) -> Option<NetFaultKind> {
+        if let Some(kind) = self.forced_write.pop_front() {
+            return Some(kind);
+        }
+        if !self.armed || self.consecutive >= self.config.max_consecutive {
+            self.consecutive = 0;
+            return None;
+        }
+        if self.roll(self.config.stall_per_mille) {
+            return Some(NetFaultKind::Stall);
+        }
+        if self.roll(self.config.transient_write_per_mille) {
+            return Some(NetFaultKind::Transient);
+        }
+        if self.roll(self.config.torn_write_per_mille) {
+            let len = usize::try_from(self.next_u64()).unwrap_or(usize::MAX) % buf_len.max(1);
+            return Some(NetFaultKind::TornWrite { len: len.max(1) });
+        }
+        None
+    }
+}
+
+/// Shared control surface for a [`FaultStream`]: arms rates and forces
+/// specific faults after the stream is buried inside a client or test.
+#[derive(Debug, Clone)]
+pub struct NetFaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl NetFaultHandle {
+    /// Starts injecting per the configured rates.
+    pub fn arm(&self) {
+        self.state.lock().armed = true;
+    }
+
+    /// Stops rate-based injection (forced faults still fire).
+    pub fn disarm(&self) {
+        self.state.lock().armed = false;
+    }
+
+    /// Queues a specific fault for an upcoming read, bypassing the rates.
+    pub fn force_read(&self, kind: NetFaultKind) {
+        self.state.lock().forced_read.push_back(kind);
+    }
+
+    /// Queues a specific fault for an upcoming write, bypassing the rates.
+    pub fn force_write(&self, kind: NetFaultKind) {
+        self.state.lock().forced_write.push_back(kind);
+    }
+
+    /// Snapshot of injection counters.
+    pub fn stats(&self) -> NetFaultStats {
+        self.state.lock().stats
+    }
+}
+
+/// A transport decorator injecting deterministic faults (see module docs).
+pub struct FaultStream<S: NetStream> {
+    inner: S,
+    clock: Arc<dyn Clock>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<S: NetStream> FaultStream<S> {
+    /// Wraps `inner` with the given schedule, initially **disarmed**.
+    /// Returns the stream and the handle that arms/steers it. Stalls
+    /// sleep on `clock`, so a [`tw_core::ManualClock`] makes
+    /// stall-until-deadline scenarios instantaneous and exact.
+    pub fn new(inner: S, clock: Arc<dyn Clock>, config: NetFaultConfig) -> (Self, NetFaultHandle) {
+        let state = Arc::new(Mutex::new(FaultState {
+            rng: config.seed ^ 0xD6E8_FEB8_6659_FD93,
+            config,
+            armed: false,
+            consecutive: 0,
+            forced_read: VecDeque::new(),
+            forced_write: VecDeque::new(),
+            stats: NetFaultStats::default(),
+            broken: false,
+        }));
+        let handle = NetFaultHandle {
+            state: Arc::clone(&state),
+        };
+        (
+            Self {
+                inner,
+                clock,
+                state,
+            },
+            handle,
+        )
+    }
+
+    /// The wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: NetStream> io::Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let fault = {
+            let mut st = self.state.lock();
+            if st.broken {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected torn write broke the stream",
+                ));
+            }
+            st.stats.reads += 1;
+            st.schedule_read(buf.len())
+        };
+        match fault {
+            None => {
+                self.state.lock().consecutive = 0;
+                self.inner.read(buf)
+            }
+            Some(NetFaultKind::Transient) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected transient read fault",
+                ))
+            }
+            Some(NetFaultKind::ShortRead { len }) => {
+                {
+                    let mut st = self.state.lock();
+                    st.stats.short_reads += 1;
+                    st.consecutive += 1;
+                }
+                let cap = len.max(1).min(buf.len().max(1));
+                match buf.get_mut(..cap) {
+                    Some(prefix) => self.inner.read(prefix),
+                    None => self.inner.read(buf),
+                }
+            }
+            Some(NetFaultKind::BitFlip { byte, bit }) => {
+                {
+                    let mut st = self.state.lock();
+                    st.stats.bit_flips += 1;
+                    st.consecutive += 1;
+                }
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    if let Some(slot) = buf.get_mut(byte % n) {
+                        *slot ^= 1u8 << u32::from(bit % 8);
+                    }
+                }
+                Ok(n)
+            }
+            Some(NetFaultKind::Stall) => {
+                let pause = {
+                    let mut st = self.state.lock();
+                    st.stats.stalls += 1;
+                    st.consecutive += 1;
+                    st.config.stall
+                };
+                self.clock.sleep(pause);
+                self.inner.read(buf)
+            }
+            // Write-side fault drawn for a read: treat as transient.
+            Some(NetFaultKind::TornWrite { .. }) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected transient read fault",
+                ))
+            }
+        }
+    }
+}
+
+impl<S: NetStream> io::Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let fault = {
+            let mut st = self.state.lock();
+            if st.broken {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected torn write broke the stream",
+                ));
+            }
+            st.stats.writes += 1;
+            st.schedule_write(buf.len())
+        };
+        match fault {
+            None => {
+                self.state.lock().consecutive = 0;
+                self.inner.write(buf)
+            }
+            Some(NetFaultKind::Transient) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected transient write fault",
+                ))
+            }
+            Some(NetFaultKind::TornWrite { len }) => {
+                {
+                    let mut st = self.state.lock();
+                    st.stats.torn_writes += 1;
+                    st.broken = true;
+                }
+                let cap = len.max(1).min(buf.len().max(1));
+                if let Some(prefix) = buf.get(..cap) {
+                    // Push the prefix through so the peer sees a torn
+                    // frame, then report the break.
+                    let _ = self.inner.write(prefix);
+                    let _ = self.inner.flush();
+                }
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected torn write broke the stream",
+                ))
+            }
+            Some(NetFaultKind::Stall) => {
+                let pause = {
+                    let mut st = self.state.lock();
+                    st.stats.stalls += 1;
+                    st.consecutive += 1;
+                    st.config.stall
+                };
+                self.clock.sleep(pause);
+                self.inner.write(buf)
+            }
+            // Read-side faults drawn for a write: treat as transient.
+            Some(NetFaultKind::BitFlip { .. }) | Some(NetFaultKind::ShortRead { .. }) => {
+                let mut st = self.state.lock();
+                st.stats.transient_faults += 1;
+                st.consecutive += 1;
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected transient write fault",
+                ))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: NetStream> NetStream for FaultStream<S> {
+    fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_poll(timeout)
+    }
+
+    fn set_write_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_poll(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use tw_core::ManualClock;
+
+    /// Loopback memory stream: reads drain what the test preloaded,
+    /// writes accumulate.
+    #[derive(Default)]
+    struct Mem {
+        incoming: VecDeque<u8>,
+        outgoing: Vec<u8>,
+    }
+
+    impl io::Read for Mem {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.incoming.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.incoming.pop_front().unwrap_or(0);
+            }
+            Ok(n)
+        }
+    }
+
+    impl io::Write for Mem {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.outgoing.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl NetStream for Mem {
+        fn set_read_poll(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn set_write_poll(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn clock() -> Arc<ManualClock> {
+        Arc::new(ManualClock::new())
+    }
+
+    #[test]
+    fn quiet_stream_is_transparent() {
+        let mut mem = Mem::default();
+        mem.incoming.extend([1u8, 2, 3]);
+        let (mut fs, handle) = FaultStream::new(mem, clock(), NetFaultConfig::quiet(1));
+        let mut buf = [0u8; 3];
+        assert_eq!(fs.read(&mut buf).unwrap(), 3);
+        assert_eq!(buf, [1, 2, 3]);
+        fs.write_all(&[9, 9]).unwrap();
+        assert_eq!(fs.into_inner().outgoing, vec![9, 9]);
+        assert_eq!(handle.stats().injected(), 0);
+    }
+
+    #[test]
+    fn forced_transient_read_heals_on_retry() {
+        let mut mem = Mem::default();
+        mem.incoming.extend([5u8]);
+        let (mut fs, handle) = FaultStream::new(mem, clock(), NetFaultConfig::quiet(1));
+        handle.force_read(NetFaultKind::Transient);
+        let mut buf = [0u8; 1];
+        let err = fs.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(fs.read(&mut buf).unwrap(), 1);
+        assert_eq!(buf[0], 5);
+        assert_eq!(handle.stats().transient_faults, 1);
+    }
+
+    #[test]
+    fn forced_bit_flip_corrupts_exactly_one_bit() {
+        let mut mem = Mem::default();
+        mem.incoming.extend([0u8, 0, 0, 0]);
+        let (mut fs, handle) = FaultStream::new(mem, clock(), NetFaultConfig::quiet(1));
+        handle.force_read(NetFaultKind::BitFlip { byte: 2, bit: 3 });
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(&mut buf).unwrap(), 4);
+        assert_eq!(buf, [0, 0, 8, 0]);
+    }
+
+    #[test]
+    fn forced_short_read_delivers_prefix_then_rest() {
+        let mut mem = Mem::default();
+        mem.incoming.extend([1u8, 2, 3, 4]);
+        let (mut fs, handle) = FaultStream::new(mem, clock(), NetFaultConfig::quiet(1));
+        handle.force_read(NetFaultKind::ShortRead { len: 2 });
+        let mut buf = [0u8; 4];
+        assert_eq!(fs.read(&mut buf).unwrap(), 2);
+        assert_eq!(fs.read(&mut buf[2..]).unwrap(), 2);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn torn_write_passes_prefix_then_breaks_stream() {
+        let (mut fs, handle) = FaultStream::new(Mem::default(), clock(), NetFaultConfig::quiet(1));
+        handle.force_write(NetFaultKind::TornWrite { len: 3 });
+        let err = fs.write(&[1, 2, 3, 4, 5]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Every later operation fails the same way.
+        assert_eq!(
+            fs.write(&[6]).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            fs.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        assert_eq!(handle.stats().torn_writes, 1);
+        assert_eq!(fs.into_inner().outgoing, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stall_sleeps_on_the_shared_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let mut config = NetFaultConfig::quiet(1);
+        config.stall = Duration::from_millis(250);
+        let mut mem = Mem::default();
+        mem.incoming.extend([7u8]);
+        let (mut fs, handle) = FaultStream::new(mem, clock.clone(), config);
+        handle.force_read(NetFaultKind::Stall);
+        let mut buf = [0u8; 1];
+        assert_eq!(fs.read(&mut buf).unwrap(), 1);
+        assert_eq!(clock.elapsed(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = || {
+            let mut mem = Mem::default();
+            mem.incoming.extend(std::iter::repeat_n(0xAAu8, 512));
+            let (mut fs, handle) = FaultStream::new(mem, clock(), NetFaultConfig::flaky(42, 300));
+            handle.arm();
+            let mut buf = [0u8; 8];
+            for _ in 0..64 {
+                let _ = fs.read(&mut buf);
+                let _ = fs.write(&buf);
+            }
+            handle.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.injected() > 0, "schedule at 300‰ must inject something");
+    }
+}

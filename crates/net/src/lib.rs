@@ -1,0 +1,58 @@
+//! Fault-tolerant network query service for the time-warping search engine.
+//!
+//! The crate splits along the same seams as the storage stack:
+//!
+//! * [`protocol`] — the **TWNP v1** wire format: length-prefixed,
+//!   CRC-framed request/response messages carrying first-class
+//!   [`tw_core::QueryBudget`] fields (deadline, cell / pager-read caps,
+//!   tenant id) and typed responses that serialize
+//!   `SearchOutcome::termination`, engine health, and the full
+//!   [`tw_core::QueryStats`] counter set. Pinned byte-for-byte by
+//!   `tests/net_protocol.rs` with the same format-stability discipline as
+//!   the TWS1/TWS2/TWR2 on-disk layouts.
+//! * [`stream`] — deadline-aware frame I/O over any [`NetStream`]. All
+//!   waiting is driven by the mockable [`tw_core::Clock`]: short OS-level
+//!   poll timeouts wake the loop, the clock decides when a read or write
+//!   deadline has truly passed. Corrupt input surfaces as a typed
+//!   [`FrameError`], never a mis-parse.
+//! * [`fault`] — [`FaultStream`], the [`tw_storage::FaultPager`] idiom
+//!   lifted to sockets: a seeded, deterministic schedule of torn frames,
+//!   bit flips, short reads and mid-frame stalls for the transport fault
+//!   matrix.
+//! * [`server`] — a thread-per-connection TCP server with per-tenant
+//!   admission control ([`tw_core::AdmissionGate`] per tenant), panic
+//!   isolation around the query handler, slow-client shedding on write
+//!   deadlines, graceful drain, and a [`ServerStats`] counter ledger that
+//!   reconciles every decoded frame against exactly one outcome.
+//! * [`client`] — a small blocking client speaking the same frames.
+//!
+//! Overload produces *answers*, not hangs: a shed query gets a typed
+//! [`protocol::ShedReply`] with a retry-after hint, a governed query that
+//! runs out of budget returns its verified-exact partial results with the
+//! honest [`tw_core::Termination`] label, and a corrupt frame gets a typed
+//! error before the connection closes.
+
+#![forbid(unsafe_code)]
+
+mod convert;
+
+pub mod client;
+pub mod error;
+pub mod fault;
+pub mod protocol;
+pub mod server;
+pub mod stream;
+
+pub use client::{Client, ClientConfig};
+pub use error::NetError;
+pub use fault::{FaultStream, NetFaultConfig, NetFaultHandle, NetFaultKind, NetFaultStats};
+pub use protocol::{
+    decode_frame, decode_reply, encode_frame, ErrorCode, ErrorReply, Frame, FrameError, FrameKind,
+    PayloadError, QueryKind, QueryRequest, QueryResponse, Reply, ShedReply, WireBudget, WireHealth,
+    WireMatch, DEFAULT_MAX_PAYLOAD, HEADER_BYTES, MAGIC, TRAILER_BYTES, VERSION,
+};
+pub use server::{
+    DrainReport, QueryService, Server, ServerConfig, ServerCounters, ServerStats, ServiceOutcome,
+    TenantQos,
+};
+pub use stream::{read_frame, write_frame, NetStream};

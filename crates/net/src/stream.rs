@@ -1,0 +1,467 @@
+//! Deadline-aware frame I/O.
+//!
+//! The transport pattern mirrors the storage governor: the OS socket
+//! timeout is only a *poll interval* that wakes the loop, while the
+//! mockable [`Clock`] decides when a deadline has truly passed. That keeps
+//! every timeout scenario — slow trickle, mid-frame stall, write to a
+//! client that stopped reading — deterministic under a
+//! [`tw_core::ManualClock`], exactly like deadline-during-pager-stall
+//! tests in the storage crate.
+//!
+//! [`read_frame`] consumes input incrementally and validates the header
+//! *before* sizing the payload read, so a corrupt length field is refused
+//! without allocating or waiting for phantom bytes. A shutdown flag is
+//! honoured only at frame boundaries: a frame that has started arriving
+//! is always finished (or times out), which is what lets a draining
+//! server complete in-flight work.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tw_core::Clock;
+use tw_storage::Crc32;
+
+use crate::convert::usize_len;
+use crate::error::NetError;
+use crate::protocol::{validate_header, Frame, FrameError, HEADER_BYTES, TRAILER_BYTES};
+
+/// A bidirectional byte stream with configurable poll timeouts.
+///
+/// `set_read_poll` / `set_write_poll` bound how long one OS-level
+/// `read`/`write` may block; the frame loops re-check the [`Clock`]
+/// between polls. [`std::net::TcpStream`] implements this via
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO`.
+pub trait NetStream: io::Read + io::Write + Send {
+    fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+    fn set_write_poll(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl NetStream for std::net::TcpStream {
+    fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn set_write_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
+}
+
+/// How a buffer fill ended.
+enum FillEnd {
+    Full,
+    Eof,
+}
+
+fn fill<S: NetStream + ?Sized>(
+    stream: &mut S,
+    clock: &dyn Clock,
+    deadline: Duration,
+    buf: &mut [u8],
+    filled: &mut usize,
+    stop: Option<&AtomicBool>,
+) -> Result<FillEnd, NetError> {
+    loop {
+        let dst = match buf.get_mut(*filled..) {
+            Some(d) if !d.is_empty() => d,
+            _ => return Ok(FillEnd::Full),
+        };
+        match stream.read(dst) {
+            Ok(0) => return Ok(FillEnd::Eof),
+            Ok(n) => *filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                // Transient blip (or an injected fault); re-read heals it.
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // One poll interval elapsed with no data. Shutdown is only
+                // honoured before the first byte of a frame.
+                if *filled == 0 {
+                    if let Some(flag) = stop {
+                        if flag.load(Ordering::Acquire) {
+                            return Err(NetError::Draining);
+                        }
+                    }
+                }
+                if clock.now() >= deadline {
+                    return Err(NetError::ReadTimeout);
+                }
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Reads one frame, enforcing `timeout` on the whole frame via `clock`.
+///
+/// Returns [`NetError::Closed`] on a clean close between frames,
+/// [`NetError::Draining`] when `stop` is set while idle, a typed
+/// [`FrameError`] for anything corrupt, and [`NetError::ReadTimeout`]
+/// when the deadline passes mid-frame (a stalled peer).
+pub fn read_frame<S: NetStream + ?Sized>(
+    stream: &mut S,
+    clock: &dyn Clock,
+    timeout: Duration,
+    poll: Duration,
+    max_payload: u32,
+    stop: Option<&AtomicBool>,
+) -> Result<Frame, NetError> {
+    stream.set_read_poll(Some(poll)).map_err(NetError::Io)?;
+    let deadline = clock.now().saturating_add(timeout);
+
+    let mut header = [0u8; HEADER_BYTES];
+    let mut got = 0usize;
+    match fill(stream, clock, deadline, &mut header, &mut got, stop)? {
+        FillEnd::Full => {}
+        FillEnd::Eof if got == 0 => return Err(NetError::Closed),
+        FillEnd::Eof => {
+            return Err(NetError::Frame(FrameError::Truncated {
+                needed: HEADER_BYTES,
+                got,
+            }))
+        }
+    }
+
+    // Validate before trusting the length: a corrupt header can neither
+    // drive an allocation nor a blocking read for phantom payload.
+    let (kind, len) = validate_header(&header, max_payload)?;
+    let payload_len = usize_len(len);
+    let mut body = vec![0u8; payload_len + TRAILER_BYTES];
+    let mut body_got = 0usize;
+    match fill(stream, clock, deadline, &mut body, &mut body_got, None)? {
+        FillEnd::Full => {}
+        FillEnd::Eof => {
+            return Err(NetError::Frame(FrameError::Truncated {
+                needed: HEADER_BYTES + body.len(),
+                got: HEADER_BYTES + body_got,
+            }))
+        }
+    }
+
+    let mut hasher = Crc32::new();
+    hasher.update(&header);
+    hasher.update(body.get(..payload_len).unwrap_or(&[]));
+    let expected = hasher.finalize();
+    let mut crc_bytes = [0u8; 4];
+    crc_bytes.copy_from_slice(body.get(payload_len..).unwrap_or(&[0; 4]));
+    let actual = u32::from_le_bytes(crc_bytes);
+    if expected != actual {
+        return Err(NetError::Frame(FrameError::BadCrc { expected, actual }));
+    }
+    body.truncate(payload_len);
+    Ok(Frame {
+        kind,
+        payload: body,
+    })
+}
+
+/// Writes pre-encoded frame bytes, enforcing `timeout` via `clock`.
+///
+/// A peer that stops reading (full socket buffers) produces
+/// [`NetError::WriteTimeout`] — the caller sheds the connection instead
+/// of blocking a server thread forever.
+pub fn write_frame<S: NetStream + ?Sized>(
+    stream: &mut S,
+    clock: &dyn Clock,
+    timeout: Duration,
+    poll: Duration,
+    bytes: &[u8],
+) -> Result<(), NetError> {
+    stream.set_write_poll(Some(poll)).map_err(NetError::Io)?;
+    let deadline = clock.now().saturating_add(timeout);
+    let mut written = 0usize;
+    while written < bytes.len() {
+        let rest = match bytes.get(written..) {
+            Some(r) if !r.is_empty() => r,
+            _ => break,
+        };
+        match stream.write(rest) {
+            Ok(0) => return Err(NetError::Closed),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if clock.now() >= deadline {
+                    return Err(NetError::WriteTimeout);
+                }
+            }
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    stream.flush().map_err(NetError::Io)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_frame, FrameKind, DEFAULT_MAX_PAYLOAD};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use tw_core::ManualClock;
+
+    /// A scripted stream: reads pop from a queue of events, writes accept
+    /// up to a budget then block.
+    struct Scripted {
+        reads: VecDeque<Event>,
+        block_when_empty: bool,
+        written: Vec<u8>,
+        write_budget: usize,
+    }
+
+    enum Event {
+        Data(Vec<u8>),
+        Block,
+        Eof,
+    }
+
+    impl Scripted {
+        fn new(reads: Vec<Event>) -> Self {
+            Self {
+                reads: reads.into(),
+                block_when_empty: false,
+                written: Vec::new(),
+                write_budget: usize::MAX,
+            }
+        }
+    }
+
+    impl io::Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.reads.pop_front() {
+                Some(Event::Data(mut data)) => {
+                    let n = data.len().min(buf.len());
+                    buf[..n].copy_from_slice(&data[..n]);
+                    if n < data.len() {
+                        self.reads.push_front(Event::Data(data.split_off(n)));
+                    }
+                    Ok(n)
+                }
+                Some(Event::Block) => Err(io::ErrorKind::WouldBlock.into()),
+                Some(Event::Eof) => Ok(0),
+                None if self.block_when_empty => Err(io::ErrorKind::WouldBlock.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    impl io::Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.write_budget == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.write_budget);
+            self.write_budget -= n;
+            self.written.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl NetStream for Scripted {
+        fn set_read_poll(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn set_write_poll(&mut self, _: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn clock() -> Arc<ManualClock> {
+        // Every now() call moves time 1ms, so poll loops converge.
+        Arc::new(ManualClock::with_tick(Duration::from_millis(1)))
+    }
+
+    const TIMEOUT: Duration = Duration::from_millis(50);
+    const POLL: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn reads_a_frame_split_across_many_chunks() {
+        let frame = encode_frame(FrameKind::Shed, b"payload", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut events = Vec::new();
+        for chunk in frame.chunks(3) {
+            events.push(Event::Data(chunk.to_vec()));
+            events.push(Event::Block); // transient gap between chunks
+        }
+        let mut stream = Scripted::new(events);
+        let got = read_frame(
+            &mut stream,
+            clock().as_ref(),
+            TIMEOUT,
+            POLL,
+            DEFAULT_MAX_PAYLOAD,
+            None,
+        )
+        .unwrap();
+        assert_eq!(got.kind, FrameKind::Shed);
+        assert_eq!(got.payload, b"payload");
+    }
+
+    #[test]
+    fn clean_close_between_frames_is_closed() {
+        let mut stream = Scripted::new(vec![Event::Eof]);
+        assert!(matches!(
+            read_frame(
+                &mut stream,
+                clock().as_ref(),
+                TIMEOUT,
+                POLL,
+                DEFAULT_MAX_PAYLOAD,
+                None
+            ),
+            Err(NetError::Closed)
+        ));
+    }
+
+    #[test]
+    fn torn_frame_is_a_typed_truncation() {
+        let frame = encode_frame(FrameKind::Error, b"x", DEFAULT_MAX_PAYLOAD).unwrap();
+        let torn = frame[..frame.len() - 2].to_vec();
+        let mut stream = Scripted::new(vec![Event::Data(torn), Event::Eof]);
+        assert!(matches!(
+            read_frame(
+                &mut stream,
+                clock().as_ref(),
+                TIMEOUT,
+                POLL,
+                DEFAULT_MAX_PAYLOAD,
+                None
+            ),
+            Err(NetError::Frame(FrameError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn stalled_peer_times_out_mid_frame() {
+        let frame = encode_frame(FrameKind::Shed, b"abc", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut stream = Scripted::new(vec![Event::Data(frame[..4].to_vec())]);
+        stream.block_when_empty = true;
+        assert!(matches!(
+            read_frame(
+                &mut stream,
+                clock().as_ref(),
+                Duration::from_millis(5),
+                POLL,
+                DEFAULT_MAX_PAYLOAD,
+                None
+            ),
+            Err(NetError::ReadTimeout)
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_is_refused_before_payload_wait() {
+        let frame = encode_frame(FrameKind::Shed, b"abc", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut corrupt = frame.clone();
+        corrupt[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Only the header arrives; a decoder that trusted the length would
+        // block forever waiting for 4 GiB.
+        let mut stream = Scripted::new(vec![Event::Data(corrupt[..HEADER_BYTES].to_vec())]);
+        assert!(matches!(
+            read_frame(
+                &mut stream,
+                clock().as_ref(),
+                TIMEOUT,
+                POLL,
+                DEFAULT_MAX_PAYLOAD,
+                None
+            ),
+            Err(NetError::Frame(FrameError::FrameTooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_a_crc_error() {
+        let mut frame = encode_frame(FrameKind::Shed, b"abcd", DEFAULT_MAX_PAYLOAD).unwrap();
+        frame[HEADER_BYTES + 1] ^= 0x01;
+        let mut stream = Scripted::new(vec![Event::Data(frame)]);
+        assert!(matches!(
+            read_frame(
+                &mut stream,
+                clock().as_ref(),
+                TIMEOUT,
+                POLL,
+                DEFAULT_MAX_PAYLOAD,
+                None
+            ),
+            Err(NetError::Frame(FrameError::BadCrc { .. }))
+        ));
+    }
+
+    #[test]
+    fn drain_flag_honoured_only_between_frames() {
+        use std::sync::atomic::AtomicBool;
+        let stop = AtomicBool::new(true);
+
+        // Idle connection: drain wins.
+        let mut idle = Scripted::new(vec![Event::Block]);
+        idle.block_when_empty = true;
+        assert!(matches!(
+            read_frame(
+                &mut idle,
+                clock().as_ref(),
+                TIMEOUT,
+                POLL,
+                DEFAULT_MAX_PAYLOAD,
+                Some(&stop)
+            ),
+            Err(NetError::Draining)
+        ));
+
+        // Frame already in flight: it completes despite the flag.
+        let frame = encode_frame(FrameKind::Shed, b"zz", DEFAULT_MAX_PAYLOAD).unwrap();
+        let mut busy = Scripted::new(vec![
+            Event::Data(frame[..5].to_vec()),
+            Event::Block,
+            Event::Data(frame[5..].to_vec()),
+        ]);
+        let got = read_frame(
+            &mut busy,
+            clock().as_ref(),
+            TIMEOUT,
+            POLL,
+            DEFAULT_MAX_PAYLOAD,
+            Some(&stop),
+        )
+        .unwrap();
+        assert_eq!(got.payload, b"zz");
+    }
+
+    #[test]
+    fn write_times_out_when_peer_stops_reading() {
+        let mut stream = Scripted::new(Vec::new());
+        stream.write_budget = 4;
+        let bytes = encode_frame(FrameKind::Shed, &[0; 64], DEFAULT_MAX_PAYLOAD).unwrap();
+        assert!(matches!(
+            write_frame(
+                &mut stream,
+                clock().as_ref(),
+                Duration::from_millis(5),
+                POLL,
+                &bytes
+            ),
+            Err(NetError::WriteTimeout)
+        ));
+        assert_eq!(stream.written.len(), 4);
+    }
+
+    #[test]
+    fn write_succeeds_in_chunks() {
+        let mut stream = Scripted::new(Vec::new());
+        let bytes = encode_frame(FrameKind::Shed, &[7; 32], DEFAULT_MAX_PAYLOAD).unwrap();
+        write_frame(&mut stream, clock().as_ref(), TIMEOUT, POLL, &bytes).unwrap();
+        assert_eq!(stream.written, bytes);
+    }
+}

@@ -24,6 +24,7 @@ pub mod baseline;
 pub mod bench;
 pub mod json;
 pub mod lexer;
+pub mod loadtest;
 pub mod model;
 pub mod rules;
 pub mod sarif;

@@ -1,0 +1,573 @@
+//! `xtask loadtest` — concurrent-client load harness for the tw-net server.
+//!
+//! Ingests a seeded sharded corpus into a scratch directory, serves it
+//! through an in-process [`tw_net::Server`] with deliberately tight
+//! per-tenant QoS, and drives N client threads through a seeded request
+//! mix (range + kNN, with a slice of cell-capped requests that must come
+//! back as honest partial results). The harness writes one JSON report —
+//! latency percentiles, shed rate, partial-result rate, and the server's
+//! full frame ledger — and, under `--smoke`, asserts the run was clean:
+//! zero transport errors, zero server errors, and both accounting ledgers
+//! balanced.
+//!
+//! ```text
+//! cargo run -p xtask -- loadtest --smoke       # CI gate (8 clients)
+//! cargo run -p xtask -- loadtest               # full run (16 clients)
+//! cargo run -p xtask -- loadtest --clients 32 --requests 50 --out FILE
+//! ```
+//!
+//! Latency numbers vary run to run; everything the smoke gate *asserts*
+//! (error counts, ledger balance) is load-independent.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tw_core::distance::DtwKind;
+use tw_core::search::{CorpusSharder, EngineOpts, ShardedSearch};
+use tw_core::{QueryBudget, Termination, TwError};
+use tw_net::{
+    Client, ClientConfig, QueryKind, QueryRequest, QueryService, Reply, Server, ServerConfig,
+    ServiceOutcome, TenantQos, WireBudget,
+};
+use tw_storage::SegmentPager;
+use tw_workload::{generate_random_walks, RandomWalkConfig};
+
+use crate::json::Json;
+
+/// Bump when a report field is added, removed or renamed.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Harness knobs. [`LoadtestConfig::smoke`] is the CI shape; the default
+/// is a heavier local run.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues before disconnecting.
+    pub requests_per_client: usize,
+    /// Corpus size (sequences).
+    pub sequences: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Sequences per shard segment.
+    pub shard_capacity: usize,
+    /// Buffer-pool pages per shard on reopen.
+    pub pool_pages: usize,
+    /// Range-query tolerance.
+    pub epsilon: f64,
+    /// Workload seed; the corpus and every request are functions of it.
+    pub seed: u64,
+    /// Per-tenant admission QoS the server enforces.
+    pub qos: TenantQos,
+}
+
+impl LoadtestConfig {
+    /// The CI shape: 8 clients over a small corpus, QoS roomy enough
+    /// that a clean run sees no involuntary drops.
+    pub fn smoke() -> Self {
+        Self {
+            clients: 8,
+            requests_per_client: 9,
+            sequences: 96,
+            seq_len: 64,
+            shard_capacity: 48,
+            pool_pages: 8,
+            epsilon: 2.0,
+            seed: 42,
+            qos: TenantQos {
+                max_concurrent: 4,
+                max_queued: 16,
+            },
+        }
+    }
+
+    /// The default local run: more clients than admission slots, so the
+    /// shed path is exercised for real.
+    pub fn full() -> Self {
+        Self {
+            clients: 16,
+            requests_per_client: 25,
+            sequences: 512,
+            seq_len: 64,
+            shard_capacity: 128,
+            pool_pages: 8,
+            epsilon: 2.0,
+            seed: 42,
+            qos: TenantQos {
+                max_concurrent: 2,
+                max_queued: 2,
+            },
+        }
+    }
+}
+
+/// The sharded corpus behind the wire: range and kNN fan-outs with the
+/// budget the frame carried.
+struct ShardedService {
+    sharded: ShardedSearch<SegmentPager>,
+}
+
+impl QueryService for ShardedService {
+    fn execute(
+        &self,
+        request: &QueryRequest,
+        budget: QueryBudget,
+    ) -> Result<ServiceOutcome, TwError> {
+        let opts = EngineOpts::new().kind(DtwKind::MaxAbs).budget(budget);
+        match request.kind {
+            QueryKind::Range { epsilon } => self
+                .sharded
+                .range_search_sharded(&request.values, epsilon, &opts)
+                .map(|o| o.merged.into()),
+            QueryKind::Knn { k } => self
+                .sharded
+                .knn_sharded(
+                    &request.values,
+                    usize::try_from(k).unwrap_or(usize::MAX),
+                    &opts,
+                )
+                .map(|o| o.merged.into()),
+        }
+    }
+}
+
+/// What one client thread saw.
+#[derive(Debug, Default)]
+struct ClientTally {
+    ok_full: u64,
+    ok_partial: u64,
+    shed: u64,
+    server_errors: u64,
+    transport_errors: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Runs the harness and returns the JSON report. Everything lives in a
+/// scratch directory under the system temp dir and is removed on the way
+/// out.
+pub fn run(config: &LoadtestConfig) -> Result<Json, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tw-loadtest-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let report = run_in(config, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    report
+}
+
+fn run_in(config: &LoadtestConfig, dir: &Path) -> Result<Json, String> {
+    // Corpus: seeded random walks sharded onto disk, reopened through
+    // small pools — the same out-of-core shape the large bench arm uses.
+    let walks = generate_random_walks(
+        &RandomWalkConfig::paper(config.sequences, config.seq_len),
+        config.seed ^ 0x4C4F_4144,
+    );
+    let mut sharder = CorpusSharder::create(dir, config.shard_capacity)
+        .map_err(|e| format!("loadtest: creating sharder: {e}"))?
+        .sidecars(false);
+    for s in &walks {
+        sharder
+            .append(s)
+            .map_err(|e| format!("loadtest: append: {e}"))?;
+    }
+    sharder
+        .finish()
+        .map_err(|e| format!("loadtest: committing manifest: {e}"))?;
+    let (sharded, reports) = ShardedSearch::open_dir(dir, config.pool_pages)
+        .map_err(|e| format!("loadtest: opening corpus: {e}"))?;
+    if reports.iter().any(|r| !r.is_clean()) {
+        return Err("loadtest: freshly committed corpus needed recovery".to_string());
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(ShardedService { sharded }),
+        ServerConfig {
+            default_qos: config.qos,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("loadtest: binding server: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    // Clients: each issues a seeded mix — mostly range, every 4th a kNN,
+    // every 3rd carrying a tiny cell cap so the deadline/budget path is
+    // exercised and honest partial results come back over the wire.
+    let queries = generate_random_walks(
+        &RandomWalkConfig::paper(config.clients, config.seq_len),
+        config.seed ^ 0x51_5259,
+    );
+    let epsilon = config.epsilon;
+    let per_client = config.requests_per_client;
+    let mut tally = ClientTally::default();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.clients);
+        for (index, query) in queries.iter().enumerate() {
+            let addr = addr.clone();
+            handles
+                .push(scope.spawn(move || drive_client(&addr, query, epsilon, per_client, index)));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(t) => {
+                    tally.ok_full += t.ok_full;
+                    tally.ok_partial += t.ok_partial;
+                    tally.shed += t.shed;
+                    tally.server_errors += t.server_errors;
+                    tally.transport_errors += t.transport_errors;
+                    tally.latencies.extend(t.latencies);
+                }
+                Err(_) => tally.transport_errors += per_client as u64,
+            }
+        }
+    });
+
+    let drain = server.drain();
+    let requests = (config.clients * per_client) as u64;
+    let answered = tally.ok_full
+        + tally.ok_partial
+        + tally.shed
+        + tally.server_errors
+        + tally.transport_errors;
+    if answered != requests {
+        return Err(format!(
+            "loadtest: {requests} request(s) issued but {answered} accounted for"
+        ));
+    }
+
+    tally.latencies.sort_unstable();
+    let rate = |n: u64| {
+        if requests == 0 {
+            0.0
+        } else {
+            n as f64 / requests as f64
+        }
+    };
+    let server_obj = Json::Obj(vec![
+        ("frames_read".into(), num(drain.server.frames_read)),
+        ("responses_sent".into(), num(drain.server.responses_sent)),
+        ("frames_shed".into(), num(drain.server.frames_shed)),
+        ("error_replies".into(), num(drain.server.error_replies)),
+        (
+            "slow_client_drops".into(),
+            num(drain.server.slow_client_drops),
+        ),
+        ("io_drops".into(), num(drain.server.io_drops)),
+        ("bad_frames".into(), num(drain.server.bad_frames)),
+        ("handler_panics".into(), num(drain.server.handler_panics)),
+        (
+            "connections_accepted".into(),
+            num(drain.server.connections_accepted),
+        ),
+        (
+            "connections_closed".into(),
+            num(drain.server.connections_closed),
+        ),
+        (
+            "ledger_balanced".into(),
+            Json::Bool(drain.server.ledger_balanced()),
+        ),
+    ]);
+    Ok(Json::Obj(vec![
+        ("schema_version".into(), num(SCHEMA_VERSION)),
+        ("seed".into(), num(config.seed)),
+        ("clients".into(), num(config.clients as u64)),
+        ("requests".into(), num(requests)),
+        ("ok_full".into(), num(tally.ok_full)),
+        ("ok_partial".into(), num(tally.ok_partial)),
+        ("shed".into(), num(tally.shed)),
+        ("server_errors".into(), num(tally.server_errors)),
+        ("transport_errors".into(), num(tally.transport_errors)),
+        ("shed_rate".into(), Json::Num(rate(tally.shed))),
+        ("partial_rate".into(), Json::Num(rate(tally.ok_partial))),
+        (
+            "latency_ms".into(),
+            Json::Obj(vec![
+                ("p50".into(), Json::Num(percentile(&tally.latencies, 0.50))),
+                ("p95".into(), Json::Num(percentile(&tally.latencies, 0.95))),
+                ("p99".into(), Json::Num(percentile(&tally.latencies, 0.99))),
+                ("max".into(), Json::Num(percentile(&tally.latencies, 1.0))),
+            ]),
+        ),
+        ("server".into(), server_obj),
+        (
+            "aggregate_stats_balanced".into(),
+            Json::Bool(drain.aggregate.accounting_balanced()),
+        ),
+    ]))
+}
+
+/// One client connection's request loop.
+fn drive_client(
+    addr: &str,
+    query: &[f64],
+    epsilon: f64,
+    requests: usize,
+    index: usize,
+) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let clock: Arc<dyn tw_core::Clock> = Arc::new(tw_core::SystemClock::new());
+    let mut client = match Client::connect(addr, Arc::clone(&clock), ClientConfig::default()) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.transport_errors = requests as u64;
+            return tally;
+        }
+    };
+    for request_index in 0..requests {
+        let kind = if (index + request_index) % 4 == 3 {
+            QueryKind::Knn { k: 3 }
+        } else {
+            QueryKind::Range { epsilon }
+        };
+        // Every 3rd request is cell-capped: it must come back as a typed
+        // partial result, never an error.
+        let budget = if request_index % 3 == 2 {
+            WireBudget {
+                max_cells: 50,
+                ..WireBudget::default()
+            }
+        } else {
+            WireBudget {
+                deadline_ms: 30_000,
+                ..WireBudget::default()
+            }
+        };
+        let request = QueryRequest {
+            tenant: 0,
+            budget,
+            kind,
+            values: query.to_vec(),
+        };
+        let started = Instant::now();
+        match client.call(&request) {
+            Ok(Reply::Outcome(resp)) => {
+                tally.latencies.push(started.elapsed());
+                if matches!(resp.termination, Termination::Complete) {
+                    tally.ok_full += 1;
+                } else {
+                    tally.ok_partial += 1;
+                }
+            }
+            Ok(Reply::Shed(shed)) => {
+                tally.latencies.push(started.elapsed());
+                tally.shed += 1;
+                std::thread::sleep(Duration::from_millis(shed.retry_after_ms.min(200)));
+            }
+            Ok(Reply::Error(_)) => {
+                tally.latencies.push(started.elapsed());
+                tally.server_errors += 1;
+            }
+            Err(_) => {
+                // The connection is poisoned; bill the rest of the loop
+                // to transport and stop.
+                tally.transport_errors += (requests - request_index) as u64;
+                break;
+            }
+        }
+    }
+    tally
+}
+
+/// Nearest-rank percentile over a sorted latency list, in milliseconds.
+fn percentile(sorted: &[Duration], p: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n => {
+            let rank = ((n as f64 - 1.0) * p).round() as usize;
+            sorted[rank.min(n - 1)].as_secs_f64() * 1000.0
+        }
+    }
+}
+
+fn num(n: u64) -> Json {
+    const MAX_SAFE: u64 = (1 << 53) - 1;
+    Json::Num(n.min(MAX_SAFE) as f64)
+}
+
+/// Flag grammar: `loadtest [--smoke] [--clients N] [--requests N]
+/// [--seed N] [--out FILE]`.
+pub fn loadtest_cli(args: &[String], root: &Path) -> Result<(), String> {
+    let mut smoke = false;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--clients" => {
+                let v = it.next().ok_or("loadtest: --clients needs a value")?;
+                clients = Some(
+                    v.parse()
+                        .map_err(|_| format!("loadtest: bad --clients {v}"))?,
+                );
+            }
+            "--requests" => {
+                let v = it.next().ok_or("loadtest: --requests needs a value")?;
+                requests = Some(
+                    v.parse()
+                        .map_err(|_| format!("loadtest: bad --requests {v}"))?,
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("loadtest: --seed needs a value")?;
+                seed = Some(v.parse().map_err(|_| format!("loadtest: bad --seed {v}"))?);
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or("loadtest: --out needs a value")?,
+                ))
+            }
+            other => return Err(format!("loadtest: unknown flag {other}")),
+        }
+    }
+    let mut config = if smoke {
+        LoadtestConfig::smoke()
+    } else {
+        LoadtestConfig::full()
+    };
+    if let Some(n) = clients {
+        config.clients = n.max(1);
+    }
+    if let Some(n) = requests {
+        config.requests_per_client = n.max(1);
+    }
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    let report = run(&config)?;
+
+    let out = out.unwrap_or_else(|| root.join("target").join("loadtest.json"));
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("loadtest: creating {}: {e}", parent.display()))?;
+    }
+    let text = report
+        .to_pretty()
+        .map_err(|e| format!("loadtest: serializing report: {e}"))?;
+    std::fs::write(&out, text).map_err(|e| format!("loadtest: writing {}: {e}", out.display()))?;
+
+    let get_num = |path: &[&str]| -> f64 {
+        let mut node = &report;
+        for key in path {
+            node = node.get(key).unwrap_or(&Json::Null);
+        }
+        node.as_f64().unwrap_or(f64::NAN)
+    };
+    let get_bool = |path: &[&str]| -> bool {
+        let mut node = &report;
+        for key in path {
+            node = node.get(key).unwrap_or(&Json::Null);
+        }
+        matches!(node, Json::Bool(true))
+    };
+    println!(
+        "loadtest: {} client(s) x {} request(s): p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms; \
+         shed rate {:.1}%, partial rate {:.1}%",
+        config.clients,
+        config.requests_per_client,
+        get_num(&["latency_ms", "p50"]),
+        get_num(&["latency_ms", "p95"]),
+        get_num(&["latency_ms", "p99"]),
+        get_num(&["shed_rate"]) * 100.0,
+        get_num(&["partial_rate"]) * 100.0,
+    );
+    println!("loadtest: report written to {}", out.display());
+
+    if smoke {
+        // The CI gate: a clean seeded run has no protocol-level failures
+        // and both accounting ledgers reconcile exactly.
+        let mut failures = Vec::new();
+        let zero_counters: [(&str, &[&str]); 4] = [
+            ("transport_errors", &["transport_errors"]),
+            ("server_errors", &["server_errors"]),
+            ("server.bad_frames", &["server", "bad_frames"]),
+            ("server.handler_panics", &["server", "handler_panics"]),
+        ];
+        for (name, path) in zero_counters {
+            let value = get_num(path);
+            if value != 0.0 {
+                failures.push(format!("{name} = {value}"));
+            }
+        }
+        if !get_bool(&["server", "ledger_balanced"]) {
+            failures.push("server frame ledger does not balance".to_string());
+        }
+        if !get_bool(&["aggregate_stats_balanced"]) {
+            failures.push("aggregate QueryStats ledger does not balance".to_string());
+        }
+        if get_num(&["ok_partial"]) == 0.0 {
+            failures.push("no cell-capped request produced a partial result".to_string());
+        }
+        if !failures.is_empty() {
+            return Err(format!("loadtest --smoke: {}", failures.join("; ")));
+        }
+        println!("loadtest: smoke gate clean (zero protocol errors, ledgers balanced)");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_is_clean_and_ledger_balanced() {
+        let config = LoadtestConfig {
+            clients: 2,
+            requests_per_client: 6,
+            sequences: 32,
+            seq_len: 32,
+            shard_capacity: 16,
+            pool_pages: 4,
+            epsilon: 2.0,
+            seed: 7,
+            qos: TenantQos {
+                max_concurrent: 2,
+                max_queued: 8,
+            },
+        };
+        let report = run(&config).expect("tiny loadtest");
+        let requests = report.get("requests").and_then(Json::as_f64).unwrap();
+        assert_eq!(requests, 12.0);
+        let errors = report
+            .get("transport_errors")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(errors, 0.0, "transport must be clean on loopback");
+        assert!(matches!(
+            report.get("server").and_then(|s| s.get("ledger_balanced")),
+            Some(Json::Bool(true))
+        ));
+        assert!(matches!(
+            report.get("aggregate_stats_balanced"),
+            Some(Json::Bool(true))
+        ));
+        // Every 3rd request is cell-capped at 50 DTW cells — far below a
+        // 32-sequence corpus's need — so partials must appear.
+        let partial = report.get("ok_partial").and_then(Json::as_f64).unwrap();
+        assert!(partial > 0.0, "cell-capped requests must yield partials");
+        let p99 = report
+            .get("latency_ms")
+            .and_then(|l| l.get("p99"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(p99 >= 0.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&lat, 0.0), 1.0);
+        assert_eq!(percentile(&lat, 1.0), 100.0);
+        let p50 = percentile(&lat, 0.50);
+        assert!((50.0..=51.0).contains(&p50), "{p50}");
+    }
+}

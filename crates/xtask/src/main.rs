@@ -10,6 +10,7 @@
 //! cargo run -p xtask -- rules                   # rule catalog
 //! cargo run -p xtask -- bench --smoke           # write BENCH_search.json
 //! cargo run -p xtask -- validate-bench [FILE]   # schema-pin check
+//! cargo run -p xtask -- loadtest --smoke        # net-server load gate
 //! ```
 //!
 //! Exit codes: 0 clean (vs. baseline), 1 new violations or a stale
@@ -47,12 +48,14 @@ fn usage() -> ExitCode {
         "usage: tw-analyze <analyze|rules> [--fix-baseline] [--list] [--timings] \
          [--format=text|sarif|github] [--root DIR] [--baseline FILE]\n       \
          tw-analyze bench [--smoke] [--large] [--seed N] [--out FILE]\n       \
-         tw-analyze validate-bench [FILE]"
+         tw-analyze validate-bench [FILE]\n       \
+         tw-analyze loadtest [--smoke] [--clients N] [--requests N] [--seed N] [--out FILE]"
     );
     ExitCode::from(2)
 }
 
-/// Dispatches the bench subcommands, which have their own flag grammar.
+/// Dispatches the bench and loadtest subcommands, which have their own
+/// flag grammars.
 fn bench_command(command: &str, args: &[String]) -> ExitCode {
     let root = match walk::find_root(None) {
         Ok(r) => r,
@@ -63,6 +66,7 @@ fn bench_command(command: &str, args: &[String]) -> ExitCode {
     };
     let result = match command {
         "bench" => xtask::bench::bench_cli(args, &root),
+        "loadtest" => xtask::loadtest::loadtest_cli(args, &root),
         _ => xtask::bench::validate_cli(args, &root),
     };
     match result {
@@ -119,7 +123,9 @@ fn parse_format(name: &str) -> Result<Format, ExitCode> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(command @ ("bench" | "validate-bench")) = argv.first().map(String::as_str) {
+    if let Some(command @ ("bench" | "validate-bench" | "loadtest")) =
+        argv.first().map(String::as_str)
+    {
         return bench_command(command, &argv[1..]);
     }
     let opts = match parse_args() {

@@ -18,6 +18,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "fastmap",
     "suffixtree",
     "workload",
+    "net",
 ];
 
 /// Files implementing the on-disk formats (TWS1/TWS2 records, TWR2 pages):
@@ -29,6 +30,7 @@ pub const FORMAT_FILES: &[&str] = &[
     "crates/storage/src/shard.rs",
     "crates/storage/src/wal.rs",
     "crates/rtree/src/persist.rs",
+    "crates/net/src/protocol.rs",
 ];
 
 /// Locates the workspace root: an explicit `--root`, else walking up from

@@ -48,6 +48,15 @@ trap 'rm -f "$BENCH_SMOKE_OUT" "$BENCH_LARGE_OUT"' EXIT
 cargo run -q -p xtask --offline -- bench --large --smoke --out "$BENCH_LARGE_OUT"
 cargo run -q -p xtask --offline -- validate-bench "$BENCH_LARGE_OUT"
 
+# The network-service load gate: 8 concurrent clients over a seeded sharded
+# corpus against the in-process tw-net server (DESIGN.md §15). Asserts zero
+# protocol errors and that both accounting ledgers — the server's frame
+# ledger and the aggregate QueryStats — balance exactly; the JSON report
+# (latency percentiles, shed rate, partial-result rate) is uploaded as a CI
+# artifact.
+echo "==> net loadtest (smoke)"
+cargo run -q -p xtask --offline -- loadtest --smoke --out target/loadtest.json
+
 # The fault-schedule matrix runs fixed seeds (the schedules are deterministic
 # SplitMix64 streams), so this pass is reproducible bit-for-bit. It is part of
 # the workspace test run above; running it again by name makes a regression

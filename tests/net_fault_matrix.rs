@@ -1,0 +1,288 @@
+//! The transport fault matrix: a live server under seeded [`FaultStream`]
+//! injection.
+//!
+//! Each scenario drives one documented failure mode end to end over a real
+//! TCP loopback and checks both sides of the contract — the client gets a
+//! *typed* outcome (never a mis-parse, never a hang), and the server's
+//! frame ledger bills the connection to exactly one counter while it keeps
+//! serving everyone else:
+//!
+//! | fault                | client sees                  | server ledger       |
+//! |----------------------|------------------------------|---------------------|
+//! | torn request frame   | `NetError::Io` (broken pipe) | `bad_frames`        |
+//! | transient/short read | a normal reply (healed)      | `responses_sent`    |
+//! | bit flip on a reply  | `FrameError::BadCrc`         | `responses_sent`    |
+//! | client stops reading | —                            | `slow_client_drops` |
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tw_core::{Clock, QueryBudget, QueryStats, SystemClock, Termination, TwError};
+use tw_net::{
+    encode_frame, read_frame, write_frame, Client, ClientConfig, FaultStream, FrameError, NetError,
+    NetFaultConfig, NetFaultKind, QueryKind, QueryRequest, QueryService, Reply, Server,
+    ServerConfig, ServiceOutcome, WireBudget, WireHealth, WireMatch, DEFAULT_MAX_PAYLOAD,
+    HEADER_BYTES,
+};
+
+/// Returns a fixed number of matches per query; `count` scales the reply
+/// size so tests can provoke (or avoid) socket-buffer backpressure.
+struct MatchService {
+    count: u64,
+}
+
+impl QueryService for MatchService {
+    fn execute(
+        &self,
+        _request: &QueryRequest,
+        _budget: QueryBudget,
+    ) -> Result<ServiceOutcome, TwError> {
+        Ok(ServiceOutcome {
+            matches: (0..self.count)
+                .map(|id| WireMatch { id, distance: 1.5 })
+                .collect(),
+            stats: QueryStats::default(),
+            health: WireHealth::Healthy,
+            termination: Termination::Complete,
+        })
+    }
+}
+
+fn clock() -> Arc<dyn Clock> {
+    Arc::new(SystemClock::new())
+}
+
+fn request() -> QueryRequest {
+    QueryRequest {
+        tenant: 0,
+        budget: WireBudget::default(),
+        kind: QueryKind::Range { epsilon: 1.0 },
+        values: vec![1.0, 2.0, 3.0],
+    }
+}
+
+fn small_server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        Arc::new(MatchService { count: 3 }),
+        ServerConfig::default(),
+    )
+    .expect("bind")
+}
+
+/// Polls a server counter until it reaches `want` or the deadline passes.
+fn wait_for(server: &Server, want: u64, read: impl Fn(&tw_net::ServerStats) -> u64) -> bool {
+    for _ in 0..1000 {
+        if read(&server.stats()) >= want {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn torn_frame_is_refused_and_server_keeps_serving() {
+    let server = small_server();
+    let addr = server.local_addr().to_string();
+
+    // The faulty client: its one request tears 12 bytes in — a complete,
+    // valid header plus two payload bytes — then the stream breaks.
+    let tcp = TcpStream::connect(&addr).expect("connect");
+    let (stream, fault) = FaultStream::new(tcp, clock(), NetFaultConfig::quiet(7));
+    fault.force_write(NetFaultKind::TornWrite { len: 12 });
+    let mut torn = Client::from_stream(stream, clock(), ClientConfig::default());
+    let err = torn.call(&request()).expect_err("torn write must fail");
+    assert!(matches!(err, NetError::Io(_)), "{err}");
+    assert_eq!(fault.stats().torn_writes, 1);
+    // Dropping the client closes the socket; the server now sees EOF in
+    // the middle of the declared payload.
+    drop(torn);
+    assert!(
+        wait_for(&server, 1, |s| s.bad_frames),
+        "server never refused the torn frame"
+    );
+
+    // A healthy client on a fresh connection is unaffected.
+    let mut ok = Client::connect(&addr, clock(), ClientConfig::default()).expect("connect");
+    match ok.call(&request()).expect("healthy call") {
+        Reply::Outcome(response) => assert_eq!(response.matches.len(), 3),
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    drop(ok);
+
+    let report = server.drain();
+    assert_eq!(report.server.bad_frames, 1);
+    assert_eq!(report.server.responses_sent, 1);
+    // The torn frame never entered `frames_read`, so the ledger balances
+    // without it.
+    assert!(report.server.ledger_balanced(), "{:?}", report.server);
+}
+
+#[test]
+fn transient_and_short_read_chatter_heals_transparently() {
+    let server = small_server();
+    let addr = server.local_addr().to_string();
+
+    let tcp = TcpStream::connect(&addr).expect("connect");
+    let (stream, fault) = FaultStream::new(tcp, clock(), NetFaultConfig::quiet(11));
+    // One transient on the request write, then a transient and a ragged
+    // short read on the reply: the frame loops must absorb all three.
+    fault.force_write(NetFaultKind::Transient);
+    fault.force_read(NetFaultKind::Transient);
+    fault.force_read(NetFaultKind::ShortRead { len: 3 });
+    let mut client = Client::from_stream(stream, clock(), ClientConfig::default());
+    match client.call(&request()).expect("chatter must heal") {
+        Reply::Outcome(response) => assert_eq!(response.matches.len(), 3),
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    let stats = fault.stats();
+    assert_eq!(stats.transient_faults, 2);
+    assert_eq!(stats.short_reads, 1);
+    drop(client);
+
+    let report = server.drain();
+    assert_eq!(report.server.responses_sent, 1);
+    assert_eq!(report.server.bad_frames, 0);
+    assert!(report.server.ledger_balanced());
+}
+
+#[test]
+fn seeded_fault_schedule_is_deterministic_against_a_live_server() {
+    // The same seed must inject the same schedule on every run — the
+    // property that makes every scenario in this file reproducible.
+    let run = |seed: u64| {
+        let server = small_server();
+        let addr = server.local_addr().to_string();
+        let tcp = TcpStream::connect(&addr).expect("connect");
+        let (stream, fault) = FaultStream::new(tcp, clock(), NetFaultConfig::flaky(seed, 150));
+        fault.arm();
+        let mut client = Client::from_stream(stream, clock(), ClientConfig::default());
+        let mut answered = 0u64;
+        for _ in 0..10 {
+            match client.call(&request()) {
+                Ok(Reply::Outcome(_)) => answered += 1,
+                Ok(other) => panic!("unexpected reply {other:?}"),
+                Err(e) => panic!("flaky chatter must heal, got {e}"),
+            }
+        }
+        drop(client);
+        let report = server.drain();
+        assert_eq!(report.server.responses_sent, answered);
+        assert!(report.server.ledger_balanced());
+        (answered, fault.stats())
+    };
+    let (answered_a, stats_a) = run(42);
+    let (answered_b, stats_b) = run(42);
+    assert_eq!(answered_a, 10, "healable chatter must not lose queries");
+    assert_eq!(answered_b, 10);
+    assert_eq!(stats_a, stats_b, "same seed, same injected schedule");
+    assert!(stats_a.injected() > 0, "150‰ over 10 calls must inject");
+}
+
+#[test]
+fn bit_flip_on_a_reply_is_a_typed_crc_error() {
+    let server = small_server();
+    let addr = server.local_addr().to_string();
+    let clk = clock();
+
+    // Send the request on the raw socket and give the reply time to be
+    // fully buffered locally, so the faulty reads below are deterministic:
+    // the first (short) read delivers exactly the header, the second —
+    // with the flipped bit — the payload and CRC trailer.
+    let mut tcp = TcpStream::connect(&addr).expect("connect");
+    let (kind, payload) = request().encode();
+    let bytes = encode_frame(kind, &payload, DEFAULT_MAX_PAYLOAD).expect("encode");
+    tcp.write_all(&bytes).expect("send request");
+    tcp.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (mut stream, fault) = FaultStream::new(tcp, Arc::clone(&clk), NetFaultConfig::quiet(13));
+    fault.force_read(NetFaultKind::ShortRead { len: HEADER_BYTES });
+    fault.force_read(NetFaultKind::BitFlip { byte: 1, bit: 4 });
+    let err = read_frame(
+        &mut stream,
+        clk.as_ref(),
+        Duration::from_secs(5),
+        Duration::from_millis(5),
+        DEFAULT_MAX_PAYLOAD,
+        None,
+    )
+    .expect_err("flipped bit must fail the CRC");
+    assert!(
+        matches!(err, NetError::Frame(FrameError::BadCrc { .. })),
+        "{err}"
+    );
+
+    let report = server.drain();
+    // From the server's view the reply was delivered; the corruption
+    // happened on the client's read path.
+    assert_eq!(report.server.responses_sent, 1);
+    assert!(report.server.ledger_balanced());
+}
+
+#[test]
+fn slow_client_is_shed_while_others_are_served() {
+    // 1M matches = 16 MB per reply: beyond even auto-tuned loopback
+    // socket buffers (~10 MB send + receive), so a client that never
+    // reads wedges the server's write until the (shortened) write
+    // deadline sheds it. The frame bound is raised to match.
+    const MATCHES: u64 = 1_000_000;
+    const BIG_PAYLOAD: u32 = 64 << 20;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(MatchService { count: MATCHES }),
+        ServerConfig {
+            max_payload: BIG_PAYLOAD,
+            write_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let clk = clock();
+
+    // The slow client sends a valid request and then never reads.
+    let mut slow = TcpStream::connect(&addr).expect("connect");
+    let (kind, payload) = request().encode();
+    let bytes = encode_frame(kind, &payload, DEFAULT_MAX_PAYLOAD).expect("encode");
+    write_frame(
+        &mut slow,
+        clk.as_ref(),
+        Duration::from_secs(5),
+        Duration::from_millis(5),
+        &bytes,
+    )
+    .expect("send request");
+
+    // Meanwhile a prompt client on another connection gets its (equally
+    // huge) answer in full.
+    let mut prompt = Client::connect(
+        &addr,
+        Arc::clone(&clk),
+        ClientConfig {
+            max_payload: BIG_PAYLOAD,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    match prompt.call(&request()).expect("prompt client is served") {
+        Reply::Outcome(response) => assert_eq!(response.matches.len(), MATCHES as usize),
+        other => panic!("expected an outcome, got {other:?}"),
+    }
+    drop(prompt);
+
+    assert!(
+        wait_for(&server, 1, |s| s.slow_client_drops),
+        "server never shed the slow client"
+    );
+    drop(slow);
+
+    let report = server.drain();
+    assert_eq!(report.server.slow_client_drops, 1);
+    assert_eq!(report.server.responses_sent, 1);
+    assert_eq!(report.server.frames_read, 2);
+    assert!(report.server.ledger_balanced(), "{:?}", report.server);
+}
